@@ -1,0 +1,26 @@
+//! # tcsm-baselines
+//!
+//! The comparison algorithms of the paper's evaluation (§VI), rebuilt to the
+//! extent their published descriptions allow (see DESIGN.md §5 for the
+//! substitution rationale):
+//!
+//! * [`oracle::OracleEngine`] — a from-scratch enumerator used as the
+//!   correctness reference in tests (not a performance baseline);
+//! * [`rapidflow::RapidFlowLite`] — local enumeration rooted at the updated
+//!   edge with no temporal awareness, post-checking `≺` (the role RapidFlow
+//!   and SymBi play in Figures 7–9: fast non-temporal CSM + post-check);
+//! * [`timing::TimingJoin`] — incremental multiway join with **materialized
+//!   partial embeddings** per query prefix, the defining cost profile of
+//!   Timing (exponential space, join-on-update).
+//!
+//! The SymBi baseline itself is `tcsm_core` with
+//! [`tcsm_core::AlgorithmPreset::SymBiPostCheck`] (label-only DCS, temporal
+//! post-check), matching how the paper derived it from the same codebase.
+
+pub mod oracle;
+pub mod rapidflow;
+pub mod timing;
+
+pub use oracle::OracleEngine;
+pub use rapidflow::RapidFlowLite;
+pub use timing::TimingJoin;

@@ -1,0 +1,292 @@
+//! Brute-force reference: re-enumerate every time-constrained embedding
+//! after each stream event and diff.
+//!
+//! This is the semantic ground truth for the whole workspace: Definition
+//! II.3 applied literally, no auxiliary structures, no pruning. Tests
+//! compare every engine and baseline against it on small random streams.
+
+use tcsm_core::{Embedding, MatchEvent, MatchKind};
+use tcsm_graph::{
+    EventKind, EventQueue, GraphError, QueryGraph, TemporalGraph, Ts, VertexId, WindowGraph,
+};
+use std::collections::BTreeSet;
+
+/// From-scratch continuous matcher (exponential; test-sized graphs only).
+pub struct OracleEngine<'g> {
+    q: QueryGraph,
+    full: &'g TemporalGraph,
+    window: WindowGraph,
+    queue: EventQueue,
+    next_event: usize,
+    current: BTreeSet<Embedding>,
+}
+
+impl<'g> OracleEngine<'g> {
+    /// Builds the oracle for the same inputs as `TcmEngine::new`.
+    pub fn new(
+        q: &QueryGraph,
+        g: &'g TemporalGraph,
+        delta: i64,
+        directed: bool,
+    ) -> Result<OracleEngine<'g>, GraphError> {
+        Ok(OracleEngine {
+            q: q.clone(),
+            full: g,
+            window: WindowGraph::new(g.labels().to_vec(), directed),
+            queue: EventQueue::new(g, delta)?,
+            next_event: 0,
+            current: BTreeSet::new(),
+        })
+    }
+
+    /// Processes the whole stream, returning all match events.
+    pub fn run(&mut self) -> Vec<MatchEvent> {
+        let mut out = Vec::new();
+        while self.step(&mut out) {}
+        out
+    }
+
+    /// Processes one event; `false` when the stream is done.
+    pub fn step(&mut self, out: &mut Vec<MatchEvent>) -> bool {
+        let Some(ev) = self.queue.events().get(self.next_event).copied() else {
+            return false;
+        };
+        self.next_event += 1;
+        let edge = *self.full.edge(ev.edge);
+        match ev.kind {
+            EventKind::Insert => self.window.insert(&edge),
+            EventKind::Delete => self.window.remove(&edge),
+        }
+        let now = enumerate_all(&self.q, &self.window);
+        for m in now.difference(&self.current) {
+            out.push(MatchEvent {
+                kind: MatchKind::Occurred,
+                at: ev.at,
+                embedding: m.clone(),
+            });
+        }
+        for m in self.current.difference(&now) {
+            out.push(MatchEvent {
+                kind: MatchKind::Expired,
+                at: ev.at,
+                embedding: m.clone(),
+            });
+        }
+        self.current = now;
+        true
+    }
+}
+
+/// Enumerates every time-constrained embedding of `q` in the current window
+/// by unconstrained backtracking over query edges in a connected order.
+pub fn enumerate_all(q: &QueryGraph, w: &WindowGraph) -> BTreeSet<Embedding> {
+    // Connected edge order: each edge after the first shares a vertex with
+    // the prefix (queries are connected, so this always succeeds).
+    let m = q.num_edges();
+    let mut order: Vec<usize> = Vec::with_capacity(m);
+    let mut seen_v = vec![false; q.num_vertices()];
+    let mut used_e = vec![false; m];
+    if m > 0 {
+        order.push(0);
+        used_e[0] = true;
+        seen_v[q.edge(0).a] = true;
+        seen_v[q.edge(0).b] = true;
+        while order.len() < m {
+            let next = (0..m)
+                .find(|&e| !used_e[e] && (seen_v[q.edge(e).a] || seen_v[q.edge(e).b]))
+                .expect("query graph is connected");
+            order.push(next);
+            used_e[next] = true;
+            seen_v[q.edge(next).a] = true;
+            seen_v[q.edge(next).b] = true;
+        }
+    }
+
+    let mut out = BTreeSet::new();
+    let mut vmap: Vec<Option<VertexId>> = vec![None; q.num_vertices()];
+    let mut emap: Vec<Option<tcsm_graph::EdgeKey>> = vec![None; m];
+    let mut etime: Vec<Ts> = vec![Ts::ZERO; m];
+    rec(
+        q, w, &order, 0, &mut vmap, &mut emap, &mut etime, &mut out,
+    );
+    return out;
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        q: &QueryGraph,
+        w: &WindowGraph,
+        order: &[usize],
+        depth: usize,
+        vmap: &mut Vec<Option<VertexId>>,
+        emap: &mut Vec<Option<tcsm_graph::EdgeKey>>,
+        etime: &mut Vec<Ts>,
+        out: &mut BTreeSet<Embedding>,
+    ) {
+        if depth == order.len() {
+            out.insert(Embedding {
+                vertices: vmap.iter().map(|v| v.unwrap()).collect(),
+                edges: emap.iter().map(|e| e.unwrap()).collect(),
+            });
+            return;
+        }
+        let e = order[depth];
+        let qe = *q.edge(e);
+        // Candidate (va, vb) endpoint images.
+        let try_assign = |vmap: &mut Vec<Option<VertexId>>,
+                          emap: &mut Vec<Option<tcsm_graph::EdgeKey>>,
+                          etime: &mut Vec<Ts>,
+                          out: &mut BTreeSet<Embedding>,
+                          va: VertexId,
+                          vb: VertexId| {
+            if w.label(va) != q.label(qe.a) || w.label(vb) != q.label(qe.b) {
+                return;
+            }
+            // Injectivity against already-mapped vertices.
+            let a_new = vmap[qe.a].is_none();
+            let b_new = vmap[qe.b].is_none();
+            if a_new && vmap.contains(&Some(va)) {
+                return;
+            }
+            if b_new && (vmap.contains(&Some(vb)) || va == vb) {
+                return;
+            }
+            if !a_new && vmap[qe.a] != Some(va) {
+                return;
+            }
+            if !b_new && vmap[qe.b] != Some(vb) {
+                return;
+            }
+            let Some(bucket) = w.pair(va, vb) else {
+                return;
+            };
+            let c = w.constraint_for(va, vb, qe.direction, qe.label);
+            for rec_edge in bucket.iter_matching(c) {
+                // Edge injectivity (only possible via parallel candidates).
+                if emap.contains(&Some(rec_edge.key)) {
+                    continue;
+                }
+                // Temporal order against mapped edges.
+                let ord = q.order();
+                let ok = (0..q.num_edges()).all(|e2| {
+                    emap[e2].is_none()
+                        || (!ord.precedes(e2, e) || etime[e2] < rec_edge.time)
+                            && (!ord.precedes(e, e2) || rec_edge.time < etime[e2])
+                });
+                if !ok {
+                    continue;
+                }
+                if a_new {
+                    vmap[qe.a] = Some(va);
+                }
+                if b_new {
+                    vmap[qe.b] = Some(vb);
+                }
+                emap[e] = Some(rec_edge.key);
+                etime[e] = rec_edge.time;
+                rec(q, w, order, depth + 1, vmap, emap, etime, out);
+                emap[e] = None;
+                if b_new {
+                    vmap[qe.b] = None;
+                }
+                if a_new {
+                    vmap[qe.a] = None;
+                }
+            }
+        };
+        match (vmap[qe.a], vmap[qe.b]) {
+            (Some(va), Some(vb)) => try_assign(vmap, emap, etime, out, va, vb),
+            (Some(va), None) => {
+                let nbrs: Vec<VertexId> = w.neighbors(va).map(|(x, _)| x).collect();
+                for vb in nbrs {
+                    try_assign(vmap, emap, etime, out, va, vb);
+                }
+            }
+            (None, Some(vb)) => {
+                let nbrs: Vec<VertexId> = w.neighbors(vb).map(|(x, _)| x).collect();
+                for va in nbrs {
+                    try_assign(vmap, emap, etime, out, va, vb);
+                }
+            }
+            (None, None) => {
+                // Only possible at depth 0: iterate all alive buckets.
+                let pairs: Vec<(VertexId, VertexId)> =
+                    w.buckets().map(|p| (p.a, p.b)).collect();
+                for (x, y) in pairs {
+                    try_assign(vmap, emap, etime, out, x, y);
+                    try_assign(vmap, emap, etime, out, y, x);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsm_graph::query::paper_running_example;
+    use tcsm_graph::TemporalGraphBuilder;
+
+    fn figure_2a() -> TemporalGraph {
+        let mut b = TemporalGraphBuilder::new();
+        let labels = [0u32, 1, 5, 2, 3, 5, 4];
+        let v: Vec<_> = labels.iter().map(|&l| b.vertex(l)).collect();
+        b.edge(v[0], v[1], 1);
+        b.edge(v[3], v[4], 2);
+        b.edge(v[3], v[4], 3);
+        b.edge(v[0], v[3], 4);
+        b.edge(v[3], v[6], 5);
+        b.edge(v[0], v[1], 6);
+        b.edge(v[3], v[6], 7);
+        b.edge(v[0], v[3], 8);
+        b.edge(v[4], v[6], 9);
+        b.edge(v[4], v[6], 10);
+        b.edge(v[1], v[4], 11);
+        b.edge(v[0], v[3], 12);
+        b.edge(v[3], v[4], 13);
+        b.edge(v[3], v[6], 14);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn example_ii_1_static_embeddings() {
+        // With the whole of Figure 2a alive, Example II.1's two
+        // time-constrained embeddings (σ1 and σ6 variants) exist.
+        let q = paper_running_example();
+        let g = figure_2a();
+        let mut w = WindowGraph::new(g.labels().to_vec(), false);
+        for e in g.edges() {
+            w.insert(e);
+        }
+        let all = enumerate_all(&q, &w);
+        for m in &all {
+            assert!(m.verify(&q, &g));
+        }
+        let times: Vec<Vec<i64>> = all
+            .iter()
+            .map(|m| m.edge_times(&g).iter().map(|t| t.raw()).collect())
+            .collect();
+        assert!(times.contains(&vec![1, 8, 11, 13, 10, 14]));
+        assert!(times.contains(&vec![6, 8, 11, 13, 10, 14]));
+        // The non-time-constrained mapping of Example II.1 must be absent.
+        assert!(!times.contains(&vec![1, 4, 11, 2, 9, 5]));
+    }
+
+    #[test]
+    fn oracle_stream_matches_engine_on_running_example() {
+        let q = paper_running_example();
+        let g = figure_2a();
+        let mut oracle = OracleEngine::new(&q, &g, 10, false).unwrap();
+        let oracle_events = oracle.run();
+        let mut engine = tcsm_core::TcmEngine::new(&q, &g, 10, Default::default()).unwrap();
+        let engine_events = engine.run();
+        let norm = |evs: &[MatchEvent]| {
+            let mut v: Vec<(MatchKind, Ts, Embedding)> = evs
+                .iter()
+                .map(|m| (m.kind, m.at, m.embedding.clone()))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(norm(&oracle_events), norm(&engine_events));
+    }
+}

@@ -1,0 +1,324 @@
+//! `RapidFlow-lite`: non-temporal local enumeration with post-check.
+//!
+//! Stands in for RapidFlow (VLDB'22) in the evaluation (DESIGN.md §5): like
+//! RapidFlow it enumerates embeddings locally around the updated edge and is
+//! completely unaware of the temporal order during the search, so matches
+//! violating `≺` are generated and discarded at the end — which is why its
+//! Figure 8 curve is flat in the density dimension. RapidFlow's query
+//! reduction and dual-matching machinery are not reproduced; the static
+//! least-frequent-label-first matching order stands in.
+
+use tcsm_core::{Embedding, EngineStats, MatchEvent, MatchKind, SearchBudget};
+use tcsm_graph::{
+    EventKind, EventQueue, GraphError, QEdgeId, QueryGraph, Set64, TemporalEdge, TemporalGraph,
+    Ts, VertexId, WindowGraph,
+};
+
+/// Continuous subgraph matcher: plain DFS + temporal post-check.
+pub struct RapidFlowLite<'g> {
+    q: QueryGraph,
+    full: &'g TemporalGraph,
+    window: WindowGraph,
+    queue: EventQueue,
+    next_event: usize,
+    budget: SearchBudget,
+    stats: EngineStats,
+    collect: bool,
+}
+
+impl<'g> RapidFlowLite<'g> {
+    /// Builds the matcher (same signature family as `TcmEngine::new`).
+    pub fn new(
+        q: &QueryGraph,
+        g: &'g TemporalGraph,
+        delta: i64,
+        directed: bool,
+        budget: SearchBudget,
+        collect: bool,
+    ) -> Result<RapidFlowLite<'g>, GraphError> {
+        Ok(RapidFlowLite {
+            q: q.clone(),
+            full: g,
+            window: WindowGraph::new(g.labels().to_vec(), directed),
+            queue: EventQueue::new(g, delta)?,
+            next_event: 0,
+            budget,
+            stats: EngineStats::default(),
+            collect,
+        })
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Processes the whole stream.
+    pub fn run(&mut self) -> Vec<MatchEvent> {
+        let mut out = Vec::new();
+        while self.step(&mut out) {}
+        out
+    }
+
+    /// Processes one event; `false` when done or budget-exhausted.
+    pub fn step(&mut self, out: &mut Vec<MatchEvent>) -> bool {
+        if self.stats.budget_exhausted {
+            return false;
+        }
+        let Some(ev) = self.queue.events().get(self.next_event).copied() else {
+            return false;
+        };
+        self.next_event += 1;
+        self.stats.events += 1;
+        let edge = *self.full.edge(ev.edge);
+        match ev.kind {
+            EventKind::Insert => {
+                self.window.insert(&edge);
+                self.enumerate(&edge, MatchKind::Occurred, ev.at, out);
+            }
+            EventKind::Delete => {
+                self.enumerate(&edge, MatchKind::Expired, ev.at, out);
+                self.window.remove(&edge);
+            }
+        }
+        true
+    }
+
+    fn enumerate(&mut self, sigma: &TemporalEdge, kind: MatchKind, at: Ts, out: &mut Vec<MatchEvent>) {
+        let mut dfs = Dfs {
+            q: &self.q,
+            w: &self.window,
+            vmap: vec![None; self.q.num_vertices()],
+            emap: vec![None; self.q.num_edges()],
+            etime: vec![Ts::ZERO; self.q.num_edges()],
+            mapped_e: Set64::EMPTY,
+            mapped_v: Set64::EMPTY,
+            nodes: 0,
+            found: 0,
+            rejected: 0,
+            budget: &self.budget,
+            nodes_before: self.stats.search_nodes,
+            exhausted: false,
+            sink: Vec::new(),
+            collect: self.collect,
+        };
+        for e in 0..self.q.num_edges() {
+            for o in [true, false] {
+                let qe = *self.q.edge(e);
+                let (va, vb) = if o {
+                    (sigma.src, sigma.dst)
+                } else {
+                    (sigma.dst, sigma.src)
+                };
+                if self.q.label(qe.a) != self.window.label(va)
+                    || self.q.label(qe.b) != self.window.label(vb)
+                {
+                    continue;
+                }
+                if qe.label != tcsm_graph::EDGE_LABEL_ANY && qe.label != sigma.label {
+                    continue;
+                }
+                if self.window.is_directed()
+                    && qe.direction == tcsm_graph::Direction::AToB
+                    && !o
+                {
+                    continue;
+                }
+                dfs.vmap[qe.a] = Some(va);
+                dfs.vmap[qe.b] = Some(vb);
+                dfs.mapped_v.insert(qe.a);
+                dfs.mapped_v.insert(qe.b);
+                dfs.emap[e] = Some(sigma.key);
+                dfs.etime[e] = sigma.time;
+                dfs.mapped_e.insert(e);
+                dfs.go();
+                dfs.mapped_e.remove(e);
+                dfs.emap[e] = None;
+                dfs.mapped_v.remove(qe.a);
+                dfs.mapped_v.remove(qe.b);
+                dfs.vmap[qe.a] = None;
+                dfs.vmap[qe.b] = None;
+                if dfs.exhausted {
+                    break;
+                }
+            }
+        }
+        self.stats.search_nodes += dfs.nodes;
+        self.stats.post_check_rejections += dfs.rejected;
+        self.stats.budget_exhausted |= dfs.exhausted;
+        match kind {
+            MatchKind::Occurred => self.stats.occurred += dfs.found,
+            MatchKind::Expired => self.stats.expired += dfs.found,
+        }
+        out.extend(dfs.sink.into_iter().map(|embedding| MatchEvent {
+            kind,
+            at,
+            embedding,
+        }));
+    }
+}
+
+struct Dfs<'a> {
+    q: &'a QueryGraph,
+    w: &'a WindowGraph,
+    vmap: Vec<Option<VertexId>>,
+    emap: Vec<Option<tcsm_graph::EdgeKey>>,
+    etime: Vec<Ts>,
+    mapped_e: Set64,
+    mapped_v: Set64,
+    nodes: u64,
+    found: u64,
+    rejected: u64,
+    budget: &'a SearchBudget,
+    nodes_before: u64,
+    exhausted: bool,
+    sink: Vec<Embedding>,
+    collect: bool,
+}
+
+impl Dfs<'_> {
+    fn tick(&mut self) -> bool {
+        self.nodes += 1;
+        let b = self.budget;
+        if (b.max_nodes_per_event != 0 && self.nodes > b.max_nodes_per_event)
+            || (b.max_total_nodes != 0 && self.nodes_before + self.nodes > b.max_total_nodes)
+            || (b.max_matches_per_event != 0 && self.found >= b.max_matches_per_event)
+        {
+            self.exhausted = true;
+            return false;
+        }
+        true
+    }
+
+    fn go(&mut self) {
+        if self.exhausted || !self.tick() {
+            return;
+        }
+        // Pending edge first (both endpoints mapped).
+        let pending: Option<QEdgeId> = (0..self.q.num_edges()).find(|&e| {
+            !self.mapped_e.contains(e)
+                && self.mapped_v.contains(self.q.edge(e).a)
+                && self.mapped_v.contains(self.q.edge(e).b)
+        });
+        if let Some(e) = pending {
+            let qe = *self.q.edge(e);
+            let va = self.vmap[qe.a].unwrap();
+            let vb = self.vmap[qe.b].unwrap();
+            let Some(bucket) = self.w.pair(va, vb) else {
+                return;
+            };
+            let c = self.w.constraint_for(va, vb, qe.direction, qe.label);
+            let cands: Vec<(tcsm_graph::EdgeKey, Ts)> = bucket
+                .iter_matching(c)
+                .filter(|r| !self.emap.contains(&Some(r.key)))
+                .map(|r| (r.key, r.time))
+                .collect();
+            for (k, t) in cands {
+                self.emap[e] = Some(k);
+                self.etime[e] = t;
+                self.mapped_e.insert(e);
+                self.go();
+                self.mapped_e.remove(e);
+                self.emap[e] = None;
+                if self.exhausted {
+                    return;
+                }
+            }
+            return;
+        }
+        if self.mapped_v.len() == self.q.num_vertices() {
+            self.report();
+            return;
+        }
+        // Static order: first unmapped vertex adjacent to the mapped region.
+        let u = (0..self.q.num_vertices())
+            .find(|&u| {
+                !self.mapped_v.contains(u)
+                    && self
+                        .q
+                        .incident_edges(u)
+                        .iter()
+                        .any(|&(_, w)| self.mapped_v.contains(w))
+            })
+            .expect("connected query");
+        let (_, w0) = *self
+            .q
+            .incident_edges(u)
+            .iter()
+            .find(|&&(_, w)| self.mapped_v.contains(w))
+            .unwrap();
+        let pivot = self.vmap[w0].unwrap();
+        let cands: Vec<VertexId> = self
+            .w
+            .neighbors(pivot)
+            .map(|(v, _)| v)
+            .filter(|&v| {
+                self.w.label(v) == self.q.label(u) && !self.vmap.contains(&Some(v))
+            })
+            .collect();
+        for v in cands {
+            self.vmap[u] = Some(v);
+            self.mapped_v.insert(u);
+            self.go();
+            self.mapped_v.remove(u);
+            self.vmap[u] = None;
+            if self.exhausted {
+                return;
+            }
+        }
+    }
+
+    fn report(&mut self) {
+        // Post-check the temporal order (the defining trait of this
+        // baseline).
+        for (a, b) in self.q.order().pairs() {
+            if self.etime[a] >= self.etime[b] {
+                self.rejected += 1;
+                return;
+            }
+        }
+        self.found += 1;
+        if self.collect {
+            self.sink.push(Embedding {
+                vertices: self.vmap.iter().map(|v| v.unwrap()).collect(),
+                edges: self.emap.iter().map(|e| e.unwrap()).collect(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsm_graph::QueryGraphBuilder;
+    use tcsm_graph::TemporalGraphBuilder;
+
+    #[test]
+    fn agrees_with_core_engine_on_small_stream() {
+        let mut qb = QueryGraphBuilder::new();
+        let a = qb.vertex(0);
+        let b = qb.vertex(0);
+        let c = qb.vertex(0);
+        let e0 = qb.edge(a, b);
+        let e1 = qb.edge(b, c);
+        qb.precede(e0, e1);
+        let q = qb.build().unwrap();
+        let mut gb = TemporalGraphBuilder::new();
+        let v = gb.vertices(4, 0);
+        gb.edge(v, v + 1, 1);
+        gb.edge(v + 1, v + 2, 2);
+        gb.edge(v + 2, v + 3, 3);
+        gb.edge(v + 1, v + 2, 4);
+        let g = gb.build().unwrap();
+
+        let mut lite = RapidFlowLite::new(&q, &g, 5, false, Default::default(), true).unwrap();
+        let mut lite_events = lite.run();
+        let mut engine = tcsm_core::TcmEngine::new(&q, &g, 5, Default::default()).unwrap();
+        let mut engine_events = engine.run();
+        let key = |m: &MatchEvent| (m.kind, m.at, m.embedding.clone());
+        lite_events.sort_by_key(key);
+        engine_events.sort_by_key(key);
+        assert_eq!(lite_events, engine_events);
+        assert!(lite.stats().post_check_rejections > 0);
+    }
+}

@@ -1,0 +1,559 @@
+//! `Timing-join`: incremental multiway join with materialized partial
+//! embeddings.
+//!
+//! This reproduces the defining cost profile of Timing (Li et al., ICDE'19,
+//! DESIGN.md §5): the query is decomposed into a left-deep connected edge
+//! order `e_0, …, e_{m−1}`; for every prefix the algorithm **materializes**
+//! all time-consistent partial embeddings. An arriving edge σ joins into
+//! every position it can match, and the resulting delta cascades rightward
+//! through alive edges; an expiring edge deletes every partial containing
+//! it. Complete-prefix partials are the reported matches.
+//!
+//! Space is worst-case exponential in the query size — exactly the behaviour
+//! Figure 10 contrasts against TCM's polynomial-space structures. A
+//! `max_partials` cap marks the run unsolved instead of exhausting memory.
+
+use tcsm_core::{Embedding, EngineStats, MatchEvent, MatchKind};
+use tcsm_graph::{
+    EdgeKey, EventKind, EventQueue, FxHashMap, GraphError, QEdgeId, QueryGraph, TemporalEdge,
+    TemporalGraph, Ts, VertexId, WindowGraph,
+};
+
+const UNBOUND: VertexId = VertexId::MAX;
+
+/// One materialized partial embedding of the prefix `order[0..=level]`.
+#[derive(Clone, Debug)]
+struct Partial {
+    /// Image per query vertex (`UNBOUND` where not yet bound).
+    vmap: Box<[VertexId]>,
+    /// Image per prefix position (`edges[j]` matches `order[j]`).
+    edges: Box<[EdgeKey]>,
+    times: Box<[Ts]>,
+}
+
+/// Slot-addressed storage with lazy secondary indexes.
+#[derive(Default)]
+struct Level {
+    slots: Vec<Option<Partial>>,
+    free: Vec<usize>,
+    len: usize,
+    /// Join index: image of the next level's anchor vertex → slots.
+    /// Entries are validated lazily (slot alive + key still matches).
+    by_anchor: FxHashMap<VertexId, Vec<usize>>,
+}
+
+impl Level {
+    fn insert(&mut self, p: Partial, anchor_key: Option<VertexId>) -> usize {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s] = Some(p);
+                s
+            }
+            None => {
+                self.slots.push(Some(p));
+                self.slots.len() - 1
+            }
+        };
+        self.len += 1;
+        if let Some(k) = anchor_key {
+            self.by_anchor.entry(k).or_default().push(slot);
+        }
+        slot
+    }
+
+    /// Removes a partial, eagerly purging its join-index entry: slots are
+    /// recycled, so a stale index entry could otherwise alias a future
+    /// occupant with the same anchor key and duplicate joins.
+    fn remove(&mut self, slot: usize, anchor_key: Option<VertexId>) -> Option<Partial> {
+        let p = self.slots[slot].take();
+        if p.is_some() {
+            self.free.push(slot);
+            self.len -= 1;
+            if let Some(k) = anchor_key {
+                if let Some(v) = self.by_anchor.get_mut(&k) {
+                    v.retain(|&s| s != slot);
+                    if v.is_empty() {
+                        self.by_anchor.remove(&k);
+                    }
+                }
+            }
+        }
+        p
+    }
+}
+
+/// The Timing-style continuous matcher.
+pub struct TimingJoin<'g> {
+    q: QueryGraph,
+    full: &'g TemporalGraph,
+    window: WindowGraph,
+    queue: EventQueue,
+    next_event: usize,
+    /// Connected left-deep edge order and, per level > 0, the prefix-bound
+    /// anchor endpoint used for the join index.
+    order: Vec<QEdgeId>,
+    /// `pos_of[e]` = position of query edge `e` in `order`.
+    pos_of: Vec<usize>,
+    anchor: Vec<tcsm_graph::QVertexId>,
+    levels: Vec<Level>,
+    /// Expiry index: oldest edge of a partial → (level, slot) refs (lazy).
+    by_oldest: FxHashMap<EdgeKey, Vec<(u32, u32)>>,
+    total_partials: usize,
+    peak_partials: usize,
+    max_partials: usize,
+    /// Join-attempt budget (0 = unlimited) — the per-run analogue of the
+    /// paper's wall-clock timeout.
+    max_join_attempts: u64,
+    stats: EngineStats,
+    collect: bool,
+}
+
+impl<'g> TimingJoin<'g> {
+    /// Builds the matcher. `max_partials` caps materialized state
+    /// (0 = unlimited); exceeding it marks the run unsolved.
+    pub fn new(
+        q: &QueryGraph,
+        g: &'g TemporalGraph,
+        delta: i64,
+        directed: bool,
+        max_partials: usize,
+        collect: bool,
+    ) -> Result<TimingJoin<'g>, GraphError> {
+        let queue = EventQueue::new(g, delta)?;
+        let m = q.num_edges();
+        // Connected order (same construction as the oracle's).
+        let mut order = Vec::with_capacity(m);
+        let mut bound = vec![false; q.num_vertices()];
+        let mut used = vec![false; m];
+        let mut anchor = vec![0; m];
+        if m > 0 {
+            order.push(0);
+            used[0] = true;
+            bound[q.edge(0).a] = true;
+            bound[q.edge(0).b] = true;
+            while order.len() < m {
+                let e = (0..m)
+                    .find(|&e| !used[e] && (bound[q.edge(e).a] || bound[q.edge(e).b]))
+                    .expect("connected query");
+                anchor[order.len()] = if bound[q.edge(e).a] {
+                    q.edge(e).a
+                } else {
+                    q.edge(e).b
+                };
+                order.push(e);
+                used[e] = true;
+                bound[q.edge(e).a] = true;
+                bound[q.edge(e).b] = true;
+            }
+        }
+        let mut pos_of = vec![0; m];
+        for (i, &e) in order.iter().enumerate() {
+            pos_of[e] = i;
+        }
+        Ok(TimingJoin {
+            q: q.clone(),
+            full: g,
+            window: WindowGraph::new(g.labels().to_vec(), directed),
+            queue,
+            next_event: 0,
+            order,
+            pos_of,
+            anchor,
+            levels: (0..m).map(|_| Level::default()).collect(),
+            by_oldest: FxHashMap::default(),
+            total_partials: 0,
+            peak_partials: 0,
+            max_partials,
+            max_join_attempts: 0,
+            stats: EngineStats::default(),
+            collect,
+        })
+    }
+
+    /// Caps the total number of join attempts (0 = unlimited).
+    pub fn set_max_join_attempts(&mut self, cap: u64) {
+        self.max_join_attempts = cap;
+    }
+
+    #[inline]
+    fn attempt(&mut self) -> bool {
+        self.stats.search_nodes += 1;
+        if self.max_join_attempts != 0 && self.stats.search_nodes > self.max_join_attempts {
+            self.stats.budget_exhausted = true;
+            return false;
+        }
+        true
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Peak number of materialized partial embeddings (the memory-profile
+    /// headline of this baseline).
+    pub fn peak_partials(&self) -> usize {
+        self.peak_partials
+    }
+
+    /// Processes the whole stream.
+    pub fn run(&mut self) -> Vec<MatchEvent> {
+        let mut out = Vec::new();
+        while self.step(&mut out) {}
+        out
+    }
+
+    /// Processes one event; `false` when done or budget-exhausted.
+    pub fn step(&mut self, out: &mut Vec<MatchEvent>) -> bool {
+        if self.stats.budget_exhausted {
+            return false;
+        }
+        let Some(ev) = self.queue.events().get(self.next_event).copied() else {
+            return false;
+        };
+        self.next_event += 1;
+        self.stats.events += 1;
+        let edge = *self.full.edge(ev.edge);
+        match ev.kind {
+            EventKind::Insert => {
+                self.window.insert(&edge);
+                self.on_insert(&edge, ev.at, out);
+            }
+            EventKind::Delete => {
+                self.on_delete(&edge, ev.at, out);
+                self.window.remove(&edge);
+            }
+        }
+        self.peak_partials = self.peak_partials.max(self.total_partials);
+        true
+    }
+
+    /// Temporal-order consistency of placing time `t` at position `pos`
+    /// against all earlier-bound positions.
+    fn time_ok(&self, p: &Partial, upto: usize, pos: usize, t: Ts) -> bool {
+        let ord = self.q.order();
+        let e = self.order[pos];
+        for k in 0..upto {
+            let ek = self.order[k];
+            if ord.precedes(ek, e) && p.times[k] >= t {
+                return false;
+            }
+            if ord.precedes(e, ek) && t >= p.times[k] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Attempts to extend `p` (a prefix of length `pos`) with data edge
+    /// `(key, t, va→qa, vb→qb)` at position `pos`.
+    fn extend(
+        &self,
+        p: &Partial,
+        pos: usize,
+        key: EdgeKey,
+        t: Ts,
+        va: VertexId,
+        vb: VertexId,
+    ) -> Option<Partial> {
+        let qe = *self.q.edge(self.order[pos]);
+        // Vertex compatibility + injectivity.
+        for (&u, &img) in [(&qe.a, &va), (&qe.b, &vb)] {
+            match p.vmap[u] {
+                UNBOUND => {
+                    if self.window.label(img) != self.q.label(u) {
+                        return None;
+                    }
+                    if p.vmap.contains(&img) {
+                        return None;
+                    }
+                }
+                bound if bound != img => return None,
+                _ => {}
+            }
+        }
+        if p.vmap[qe.a] == UNBOUND && p.vmap[qe.b] == UNBOUND && va == vb {
+            return None;
+        }
+        // Edge injectivity + temporal order.
+        if p.edges[..pos].contains(&key) {
+            return None;
+        }
+        if !self.time_ok(p, pos, pos, t) {
+            return None;
+        }
+        let mut vmap = p.vmap.clone();
+        vmap[qe.a] = va;
+        vmap[qe.b] = vb;
+        let mut edges = Vec::with_capacity(pos + 1);
+        edges.extend_from_slice(&p.edges[..pos]);
+        edges.push(key);
+        let mut times = Vec::with_capacity(pos + 1);
+        times.extend_from_slice(&p.times[..pos]);
+        times.push(t);
+        Some(Partial {
+            vmap,
+            edges: edges.into_boxed_slice(),
+            times: times.into_boxed_slice(),
+        })
+    }
+
+    /// Stores a new partial at `level`, reporting it when complete.
+    fn commit(&mut self, p: Partial, level: usize, at: Ts, out: &mut Vec<MatchEvent>) {
+        let m = self.q.num_edges();
+        if level + 1 == m {
+            self.stats.occurred += 1;
+            if self.collect {
+                out.push(MatchEvent {
+                    kind: MatchKind::Occurred,
+                    at,
+                    embedding: Embedding {
+                        vertices: p.vmap.to_vec(),
+                        edges: self.canonical_edges(&p),
+                    },
+                });
+            }
+        }
+        let anchor_key = if level + 1 < m {
+            Some(p.vmap[self.anchor[level + 1]])
+        } else {
+            None
+        };
+        // Oldest edge (first to expire) indexes the partial for deletion.
+        let oldest = p
+            .edges
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, k)| (p.times[i], *k))
+            .map(|(_, &k)| k)
+            .expect("non-empty prefix");
+        let slot = self.levels[level].insert(p, anchor_key);
+        self.by_oldest
+            .entry(oldest)
+            .or_default()
+            .push((level as u32, slot as u32));
+        self.total_partials += 1;
+        if self.max_partials != 0 && self.total_partials > self.max_partials {
+            self.stats.budget_exhausted = true;
+        }
+    }
+
+    /// Converts prefix-ordered edge images back to query-edge order.
+    fn canonical_edges(&self, p: &Partial) -> Vec<EdgeKey> {
+        let mut edges = vec![EdgeKey(0); self.q.num_edges()];
+        for (e, slot) in edges.iter_mut().enumerate() {
+            *slot = p.edges[self.pos_of[e]];
+        }
+        edges
+    }
+
+    fn on_insert(&mut self, sigma: &TemporalEdge, at: Ts, out: &mut Vec<MatchEvent>) {
+        let m = self.q.num_edges();
+        for i in 0..m {
+            if self.stats.budget_exhausted {
+                return;
+            }
+            let e = self.order[i];
+            let qe = *self.q.edge(e);
+            // Candidate orientations of σ at position i.
+            let mut seeds: Vec<Partial> = Vec::new();
+            for o in [true, false] {
+                let (va, vb) = if o {
+                    (sigma.src, sigma.dst)
+                } else {
+                    (sigma.dst, sigma.src)
+                };
+                if qe.label != tcsm_graph::EDGE_LABEL_ANY && qe.label != sigma.label {
+                    continue;
+                }
+                if self.window.is_directed()
+                    && qe.direction == tcsm_graph::Direction::AToB
+                    && !o
+                {
+                    continue;
+                }
+                if i == 0 {
+                    let empty = Partial {
+                        vmap: vec![UNBOUND; self.q.num_vertices()].into_boxed_slice(),
+                        edges: Box::new([]),
+                        times: Box::new([]),
+                    };
+                    if !self.attempt() {
+                        return;
+                    }
+                    if let Some(p) = self.extend(&empty, 0, sigma.key, sigma.time, va, vb) {
+                        seeds.push(p);
+                    }
+                } else {
+                    // Join with level i-1 via the anchor index.
+                    let anchor_u = self.anchor[i];
+                    let anchor_img = if anchor_u == qe.a { va } else { vb };
+                    let slots: Vec<usize> = self.levels[i - 1]
+                        .by_anchor
+                        .get(&anchor_img).cloned()
+                        .unwrap_or_default();
+                    for slot in slots {
+                        if !self.attempt() {
+                            return;
+                        }
+                        let Some(p) = self.levels[i - 1].slots[slot].as_ref() else {
+                            continue; // lazily-deleted index entry
+                        };
+                        if p.vmap[anchor_u] != anchor_img {
+                            continue; // stale (slot reused)
+                        }
+                        if let Some(np) = self.extend(p, i, sigma.key, sigma.time, va, vb) {
+                            seeds.push(np);
+                        }
+                    }
+                }
+            }
+            // Cascade each seed rightwards through alive edges.
+            let mut frontier = seeds;
+            let mut level = i;
+            while !frontier.is_empty() {
+                for p in &frontier {
+                    self.commit(p.clone(), level, at, out);
+                }
+                if level + 1 == m || self.stats.budget_exhausted {
+                    break;
+                }
+                let next_pos = level + 1;
+                let ne = self.order[next_pos];
+                let nqe = *self.q.edge(ne);
+                let mut next: Vec<Partial> = Vec::new();
+                for p in &frontier {
+                    let anchor_u = self.anchor[next_pos];
+                    let anchor_img = p.vmap[anchor_u];
+                    let other_u = nqe.other(anchor_u);
+                    let neighbours: Vec<VertexId> = match p.vmap[other_u] {
+                        UNBOUND => self.window.neighbors(anchor_img).map(|(v, _)| v).collect(),
+                        bound => vec![bound],
+                    };
+                    for vn in neighbours {
+                        let Some(bucket) = self.window.pair(anchor_img, vn) else {
+                            continue;
+                        };
+                        let (va, vb) = if anchor_u == nqe.a {
+                            (anchor_img, vn)
+                        } else {
+                            (vn, anchor_img)
+                        };
+                        let c = self
+                            .window
+                            .constraint_for(va, vb, nqe.direction, nqe.label);
+                        let recs: Vec<(EdgeKey, Ts)> = bucket
+                            .iter_matching(c)
+                            .map(|r| (r.key, r.time))
+                            .collect();
+                        for (k, t) in recs {
+                            if !self.attempt() {
+                                return;
+                            }
+                            if let Some(np) = self.extend(p, next_pos, k, t, va, vb) {
+                                next.push(np);
+                            }
+                        }
+                    }
+                }
+                frontier = next;
+                level = next_pos;
+            }
+        }
+    }
+
+    fn on_delete(&mut self, sigma: &TemporalEdge, at: Ts, out: &mut Vec<MatchEvent>) {
+        let Some(refs) = self.by_oldest.remove(&sigma.key) else {
+            return;
+        };
+        let m = self.q.num_edges();
+        for (level, slot) in refs {
+            let (level, slot) = (level as usize, slot as usize);
+            let anchor_key = match self.levels[level].slots[slot].as_ref() {
+                Some(p) if p.edges.contains(&sigma.key) => {
+                    if level + 1 < m {
+                        Some(p.vmap[self.anchor[level + 1]])
+                    } else {
+                        None
+                    }
+                }
+                _ => continue, // stale reference
+            };
+            let p = self.levels[level]
+                .remove(slot, anchor_key)
+                .expect("checked alive");
+            self.total_partials -= 1;
+            if level + 1 == m {
+                self.stats.expired += 1;
+                if self.collect {
+                    out.push(MatchEvent {
+                        kind: MatchKind::Expired,
+                        at,
+                        embedding: Embedding {
+                            vertices: p.vmap.to_vec(),
+                            edges: self.canonical_edges(&p),
+                        },
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsm_graph::{QueryGraphBuilder, TemporalGraphBuilder};
+
+    fn small_setup() -> (QueryGraph, TemporalGraph) {
+        let mut qb = QueryGraphBuilder::new();
+        let a = qb.vertex(0);
+        let b = qb.vertex(0);
+        let c = qb.vertex(0);
+        let e0 = qb.edge(a, b);
+        let e1 = qb.edge(b, c);
+        qb.precede(e0, e1);
+        let q = qb.build().unwrap();
+        let mut gb = TemporalGraphBuilder::new();
+        let v = gb.vertices(4, 0);
+        gb.edge(v, v + 1, 1);
+        gb.edge(v + 1, v + 2, 2);
+        gb.edge(v + 2, v + 3, 3);
+        gb.edge(v + 1, v + 2, 4);
+        gb.edge(v, v + 1, 5);
+        let g = gb.build().unwrap();
+        (q, g)
+    }
+
+    #[test]
+    fn agrees_with_core_engine() {
+        let (q, g) = small_setup();
+        for delta in [3, 5, 100] {
+            let mut tj = TimingJoin::new(&q, &g, delta, false, 0, true).unwrap();
+            let mut tj_events = tj.run();
+            let mut engine =
+                tcsm_core::TcmEngine::new(&q, &g, delta, Default::default()).unwrap();
+            let mut engine_events = engine.run();
+            let key = |m: &MatchEvent| (m.kind, m.at, m.embedding.clone());
+            tj_events.sort_by_key(key);
+            engine_events.sort_by_key(key);
+            assert_eq!(tj_events, engine_events, "delta={delta}");
+        }
+    }
+
+    #[test]
+    fn materializes_partials() {
+        let (q, g) = small_setup();
+        let mut tj = TimingJoin::new(&q, &g, 100, false, 0, false).unwrap();
+        let _ = tj.run();
+        assert!(tj.peak_partials() > 0);
+    }
+
+    #[test]
+    fn partial_cap_marks_unsolved() {
+        let (q, g) = small_setup();
+        let mut tj = TimingJoin::new(&q, &g, 100, false, 1, false).unwrap();
+        let _ = tj.run();
+        assert!(tj.stats().budget_exhausted);
+    }
+}

@@ -1,0 +1,106 @@
+//! Behavioural contracts of the baselines that the figures rely on.
+
+use tcsm_baselines::{OracleEngine, RapidFlowLite, TimingJoin};
+use tcsm_core::{MatchKind, SearchBudget, TcmEngine};
+use tcsm_datasets::{profiles::YAHOO, QueryGen};
+
+fn workload(
+    size: usize,
+    density: f64,
+) -> (tcsm_graph::QueryGraph, tcsm_graph::TemporalGraph, i64) {
+    let g = YAHOO.generate(13, 0.3);
+    let delta = YAHOO.window_sizes(0.3)[2];
+    let qg = QueryGen::new(&g);
+    let q = qg
+        .generate(size, density, delta * 3 / 4, 5)
+        .expect("query generation succeeds");
+    (q, g, delta)
+}
+
+#[test]
+fn timing_memory_grows_with_window() {
+    // Timing materializes partials: a larger window must never shrink its
+    // peak state (the Figure 10 mechanism).
+    let (q, g, _) = workload(5, 0.5);
+    let mut peaks = Vec::new();
+    for delta in YAHOO.window_sizes(0.3) {
+        let mut tj = TimingJoin::new(&q, &g, delta, true, 0, false).unwrap();
+        let _ = tj.run();
+        peaks.push(tj.peak_partials());
+    }
+    assert!(peaks[0] > 0);
+    assert!(
+        peaks.last().unwrap() >= peaks.first().unwrap(),
+        "peaks {peaks:?}"
+    );
+}
+
+#[test]
+fn rapidflow_is_density_blind() {
+    // The non-temporal baseline does the same search work regardless of the
+    // temporal order's density (its Figure 8 curve is flat); only the
+    // post-check rejections change.
+    let (q0, g, delta) = workload(6, 0.0);
+    // Rebuild the same topology with a total order: regenerate at density 1
+    // with the same seed so the walk (and thus the topology) is identical.
+    let qg = QueryGen::new(&g);
+    let q1 = qg.generate(6, 1.0, delta * 3 / 4, 5).unwrap();
+    let mut a = RapidFlowLite::new(&q0, &g, delta, true, SearchBudget::default(), false).unwrap();
+    let _ = a.run();
+    let mut b = RapidFlowLite::new(&q1, &g, delta, true, SearchBudget::default(), false).unwrap();
+    let _ = b.run();
+    assert_eq!(a.stats().search_nodes, b.stats().search_nodes);
+    assert!(b.stats().post_check_rejections >= a.stats().post_check_rejections);
+    assert!(b.stats().occurred <= a.stats().occurred);
+}
+
+#[test]
+fn tighter_density_means_fewer_matches() {
+    // Across all engines: raising the density can only remove matches.
+    let (_, g, delta) = workload(6, 0.0);
+    let qg = QueryGen::new(&g);
+    let mut last = u64::MAX;
+    for d in [0.0, 0.5, 1.0] {
+        let q = qg.generate(6, d, delta * 3 / 4, 5).unwrap();
+        let mut e = TcmEngine::new(&q, &g, delta, Default::default()).unwrap();
+        let occurred = e
+            .run()
+            .iter()
+            .filter(|m| m.kind == MatchKind::Occurred)
+            .count() as u64;
+        assert!(occurred <= last, "density {d}: {occurred} > {last}");
+        assert!(occurred > 0, "walk guarantees a witness at density {d}");
+        last = occurred;
+    }
+}
+
+#[test]
+fn oracle_agrees_on_budgetless_workload() {
+    let (q, g, delta) = workload(4, 0.5);
+    let mut oracle = OracleEngine::new(&q, &g, delta, true).unwrap();
+    let mut engine = TcmEngine::new(
+        &q,
+        &g,
+        delta,
+        tcsm_core::EngineConfig {
+            directed: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut a = oracle.run();
+    let mut b = engine.run();
+    let key = |m: &tcsm_core::MatchEvent| (m.kind, m.at, m.embedding.clone());
+    a.sort_by_key(key);
+    b.sort_by_key(key);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn timing_join_attempt_budget_halts() {
+    let (q, g, delta) = workload(7, 0.25);
+    let mut tj = TimingJoin::new(&q, &g, delta, true, 0, false).unwrap();
+    tj.set_max_join_attempts(50);
+    let _ = tj.run();
+    assert!(tj.stats().budget_exhausted);
+}

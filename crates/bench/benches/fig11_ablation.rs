@@ -1,0 +1,31 @@
+//! Criterion microbench for the Figure 11 ablation: SymBi vs TCM-Pruning
+//! (filter only) vs full TCM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcsm_bench::{run_one, Algo, RunConfig};
+use tcsm_datasets::{profiles::YAHOO, QueryGen};
+
+fn bench(c: &mut Criterion) {
+    let scale = 0.2;
+    let g = YAHOO.generate(5, scale);
+    let delta = YAHOO.window_sizes(scale)[2];
+    let qg = QueryGen::new(&g);
+    let rc = RunConfig {
+        max_total_nodes: 200_000,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("fig11_ablation");
+    group.sample_size(10);
+    let Some(q) = qg.generate(9, 0.5, delta / 2, 23) else {
+        return;
+    };
+    for algo in Algo::ABLATION {
+        group.bench_with_input(BenchmarkId::new(algo.name(), 9), &q, |b, q| {
+            b.iter(|| run_one(algo, q, &g, delta, &rc))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion microbench for the Figure 7 axis: query-size scaling of full
+//! stream processing, TCM vs the SymBi post-check baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcsm_bench::{run_one, Algo, RunConfig};
+use tcsm_datasets::{profiles::SUPERUSER, QueryGen};
+
+fn bench(c: &mut Criterion) {
+    let scale = 0.15;
+    let g = SUPERUSER.generate(11, scale);
+    let delta = SUPERUSER.window_sizes(scale)[2];
+    let qg = QueryGen::new(&g);
+    let rc = RunConfig {
+        max_total_nodes: 200_000,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("fig7_query_size");
+    group.sample_size(10);
+    for size in [5usize, 9, 13] {
+        let Some(q) = qg.generate(size, 0.5, delta / 2, 42) else {
+            continue;
+        };
+        for algo in [Algo::Tcm, Algo::SymBi] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), size),
+                &q,
+                |b, q| b.iter(|| run_one(algo, q, &g, delta, &rc)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion microbench for the Figure 8 axis: temporal-order density.
+//! TCM should get *faster* with density; SymBi's post-check stays flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcsm_bench::{run_one, Algo, RunConfig};
+use tcsm_datasets::{profiles::YAHOO, QueryGen};
+
+fn bench(c: &mut Criterion) {
+    let scale = 0.2;
+    let g = YAHOO.generate(5, scale);
+    let delta = YAHOO.window_sizes(scale)[2];
+    let qg = QueryGen::new(&g);
+    let rc = RunConfig {
+        max_total_nodes: 200_000,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("fig8_density");
+    group.sample_size(10);
+    for density in [0.0f64, 0.5, 1.0] {
+        let Some(q) = qg.generate(7, density, delta / 2, 17) else {
+            continue;
+        };
+        for algo in [Algo::Tcm, Algo::SymBi] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("{density:.2}")),
+                &q,
+                |b, q| b.iter(|| run_one(algo, q, &g, delta, &rc)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion microbench for the Figure 9 axis: window size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcsm_bench::{run_one, Algo, RunConfig};
+use tcsm_datasets::{profiles::SUPERUSER, QueryGen};
+
+fn bench(c: &mut Criterion) {
+    let scale = 0.15;
+    let g = SUPERUSER.generate(11, scale);
+    let windows = SUPERUSER.window_sizes(scale);
+    let qg = QueryGen::new(&g);
+    let rc = RunConfig {
+        max_total_nodes: 200_000,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("fig9_window");
+    group.sample_size(10);
+    let Some(q) = qg.generate(7, 0.5, windows[0] / 2, 5) else {
+        return;
+    };
+    for (i, &delta) in windows.iter().enumerate() {
+        group.bench_with_input(
+            BenchmarkId::new("TCM", format!("{}0k", i + 1)),
+            &q,
+            |b, q| b.iter(|| run_one(Algo::Tcm, q, &g, delta, &rc)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

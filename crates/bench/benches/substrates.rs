@@ -1,0 +1,62 @@
+//! Substrate microbenches: greedy DAG construction, max-min timestamp
+//! maintenance (Algorithm 3) and DCS maintenance throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcsm_dag::build_best_dag;
+use tcsm_datasets::{profiles::SUPERUSER, QueryGen};
+use tcsm_dcs::Dcs;
+use tcsm_filter::{FilterBank, FilterMode};
+use tcsm_graph::{EventKind, EventQueue, WindowGraph};
+
+fn bench(c: &mut Criterion) {
+    let scale = 0.15;
+    let g = SUPERUSER.generate(11, scale);
+    let delta = SUPERUSER.window_sizes(scale)[2];
+    let qg = QueryGen::new(&g);
+
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(10);
+    for size in [5usize, 11] {
+        let Some(q) = qg.generate(size, 0.5, delta / 2, 99) else {
+            continue;
+        };
+        group.bench_with_input(BenchmarkId::new("build_dag", size), &q, |b, q| {
+            b.iter(|| build_best_dag(q))
+        });
+        // Full-stream maintenance without any matching: filter + DCS.
+        group.bench_with_input(
+            BenchmarkId::new("maxmin_and_dcs_update", size),
+            &q,
+            |b, q| {
+                b.iter(|| {
+                    let dag = build_best_dag(q);
+                    let mut bank = FilterBank::new(q, &dag, FilterMode::Tc);
+                    let mut dcs = Dcs::new(dag.clone());
+                    let mut w = WindowGraph::new(g.labels().to_vec(), true);
+                    let queue = EventQueue::new(&g, delta).unwrap();
+                    let mut deltas = Vec::new();
+                    for ev in queue.iter() {
+                        let edge = *g.edge(ev.edge);
+                        deltas.clear();
+                        match ev.kind {
+                            EventKind::Insert => {
+                                w.insert(&edge);
+                                bank.on_insert(q, &w, &edge, |k| g.edge(k), &mut deltas);
+                            }
+                            EventKind::Delete => {
+                                w.remove(&edge);
+                                bank.on_delete(q, &w, &edge, |k| g.edge(k), &mut deltas);
+                            }
+                        }
+                        dcs.apply(q, &w, |k| g.edge(k), &deltas);
+                    }
+                    dcs.num_edges()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

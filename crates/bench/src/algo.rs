@@ -1,0 +1,191 @@
+//! Uniform runner over all evaluated algorithms.
+
+use std::time::{Duration, Instant};
+use tcsm_baselines::{RapidFlowLite, TimingJoin};
+use tcsm_core::{AlgorithmPreset, EngineConfig, SearchBudget, TcmEngine};
+use tcsm_graph::{QueryGraph, TemporalGraph};
+
+/// The algorithms of §VI (plus one extra ablation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algo {
+    /// Full TCM.
+    Tcm,
+    /// `TCM-Pruning` of §VI-B: filter on, backtracking pruning off.
+    TcmPruning,
+    /// Extra ablation: pruning on, filter off (not in the paper).
+    TcmNoFilter,
+    /// SymBi + temporal post-check.
+    SymBi,
+    /// RapidFlow-lite + temporal post-check (DESIGN.md §5).
+    RapidFlow,
+    /// Timing-style materialized join.
+    Timing,
+}
+
+impl Algo {
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Tcm => "TCM",
+            Algo::TcmPruning => "TCM-Pruning",
+            Algo::TcmNoFilter => "TCM-NoFilter",
+            Algo::SymBi => "SymBi",
+            Algo::RapidFlow => "RapidFlow",
+            Algo::Timing => "Timing",
+        }
+    }
+
+    /// The four algorithms of Figures 7–9.
+    pub const MAIN: [Algo; 4] = [Algo::Tcm, Algo::Timing, Algo::RapidFlow, Algo::SymBi];
+    /// The three variants of Figure 11 / §VI-B.
+    pub const ABLATION: [Algo; 3] = [Algo::SymBi, Algo::TcmPruning, Algo::Tcm];
+}
+
+/// Limits emulating the paper's 1-hour timeout at laptop scale.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Total backtracking-node budget per (query, stream) run.
+    pub max_total_nodes: u64,
+    /// Materialized-partial cap for Timing.
+    pub max_partials: usize,
+    /// Treat graphs as directed.
+    pub directed: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> RunConfig {
+        RunConfig {
+            max_total_nodes: 3_000_000,
+            max_partials: 1_500_000,
+            directed: true,
+        }
+    }
+}
+
+/// Outcome of one (algorithm, query, stream) run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunResult {
+    /// Wall-clock time for the whole stream.
+    pub elapsed: Duration,
+    /// False when a budget was exhausted (counts as unsolved).
+    pub solved: bool,
+    /// Occurred / expired embedding counts.
+    pub occurred: u64,
+    pub expired: u64,
+    /// Backtracking nodes (or join attempts).
+    pub search_nodes: u64,
+    /// Peak heap bytes during the run (0 without the counting allocator).
+    pub peak_mem: usize,
+    /// Average DCS edge pairs per event (TCM/SymBi presets only).
+    pub avg_dcs_edges: f64,
+    /// Average `d2` candidate vertices per event.
+    pub avg_dcs_vertices: f64,
+}
+
+/// Runs one algorithm over one stream, counting matches.
+pub fn run_one(
+    algo: Algo,
+    q: &QueryGraph,
+    g: &TemporalGraph,
+    delta: i64,
+    rc: &RunConfig,
+) -> RunResult {
+    crate::mem::reset_peak();
+    let start = Instant::now();
+    let budget = SearchBudget {
+        max_total_nodes: rc.max_total_nodes,
+        ..Default::default()
+    };
+    let (solved, occurred, expired, nodes, de, dv) = match algo {
+        Algo::Tcm | Algo::TcmPruning | Algo::TcmNoFilter | Algo::SymBi => {
+            let preset = match algo {
+                Algo::Tcm => AlgorithmPreset::Tcm,
+                Algo::TcmPruning => AlgorithmPreset::TcmNoPruning,
+                Algo::TcmNoFilter => AlgorithmPreset::TcmNoFilter,
+                _ => AlgorithmPreset::SymBiPostCheck,
+            };
+            let cfg = EngineConfig {
+                preset,
+                pruning_override: None,
+                budget,
+                directed: rc.directed,
+                collect_matches: false,
+            };
+            let mut e = TcmEngine::new(q, g, delta, cfg).expect("valid run inputs");
+            let s = *e.run_counting();
+            (
+                !s.budget_exhausted,
+                s.occurred,
+                s.expired,
+                s.search_nodes,
+                s.avg_dcs_edges(),
+                s.avg_dcs_vertices(),
+            )
+        }
+        Algo::RapidFlow => {
+            let mut e = RapidFlowLite::new(q, g, delta, rc.directed, budget, false)
+                .expect("valid run inputs");
+            let _ = e.run();
+            let s = *e.stats();
+            (
+                !s.budget_exhausted,
+                s.occurred,
+                s.expired,
+                s.search_nodes,
+                0.0,
+                0.0,
+            )
+        }
+        Algo::Timing => {
+            let mut e = TimingJoin::new(q, g, delta, rc.directed, rc.max_partials, false)
+                .expect("valid run inputs");
+            e.set_max_join_attempts(rc.max_total_nodes * 4);
+            let _ = e.run();
+            let s = *e.stats();
+            (
+                !s.budget_exhausted,
+                s.occurred,
+                s.expired,
+                s.search_nodes,
+                0.0,
+                0.0,
+            )
+        }
+    };
+    RunResult {
+        elapsed: start.elapsed(),
+        solved,
+        occurred,
+        expired,
+        search_nodes: nodes,
+        peak_mem: crate::mem::peak_bytes(),
+        avg_dcs_edges: de,
+        avg_dcs_vertices: dv,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsm_datasets::{profiles::SUPERUSER, QueryGen};
+
+    #[test]
+    fn all_algorithms_agree_on_counts() {
+        let g = SUPERUSER.generate(1, 0.3);
+        let qg = QueryGen::new(&g);
+        let delta = SUPERUSER.window_sizes(0.3)[2];
+        let q = qg.generate(5, 0.5, delta / 2, 3).expect("query");
+        let rc = RunConfig::default();
+        let results: Vec<RunResult> = [Algo::Tcm, Algo::TcmPruning, Algo::SymBi, Algo::RapidFlow, Algo::Timing]
+            .iter()
+            .map(|&a| run_one(a, &q, &g, delta, &rc))
+            .collect();
+        for r in &results {
+            assert!(r.solved);
+            assert_eq!(r.occurred, results[0].occurred, "{results:?}");
+            assert_eq!(r.expired, results[0].expired);
+        }
+        // The generated query is guaranteed at least one match.
+        assert!(results[0].occurred > 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Experiment CLI: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p tcsm-bench --bin experiments -- <cmd> [flags]
+//!
+//! cmds:  table3 | settings | fig7 | fig8 | fig9 | fig10 | fig11 | table5 | all
+//! flags: --scale F        dataset scale (default 0.25; 1.0 = 1:1000 paper)
+//!        --queries N      queries per set (default 3; paper uses 100)
+//!        --budget N       node budget per run (default 3_000_000)
+//!        --dataset NAME   restrict to one dataset (repeatable)
+//!        --undirected     treat graphs as undirected
+//!        --seed N         base seed
+//!        --out DIR        CSV output dir (default results/)
+//! ```
+
+use tcsm_bench::experiments::Suite;
+use tcsm_bench::mem::CountingAlloc;
+use tcsm_datasets::ALL_PROFILES;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn main() {
+    CountingAlloc::mark_installed();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmds: Vec<String> = Vec::new();
+    let mut suite = Suite::default();
+    let mut picked_datasets: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                suite.scale = args[i].parse().expect("--scale takes a float");
+            }
+            "--queries" => {
+                i += 1;
+                suite.queries_per_set = args[i].parse().expect("--queries takes an int");
+            }
+            "--budget" => {
+                i += 1;
+                suite.run_cfg.max_total_nodes = args[i].parse().expect("--budget takes an int");
+            }
+            "--seed" => {
+                i += 1;
+                suite.seed = args[i].parse().expect("--seed takes an int");
+            }
+            "--out" => {
+                i += 1;
+                suite.results_dir = args[i].clone().into();
+            }
+            "--dataset" => {
+                i += 1;
+                picked_datasets.push(args[i].to_lowercase());
+            }
+            "--undirected" => suite.run_cfg.directed = false,
+            other => cmds.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if !picked_datasets.is_empty() {
+        suite.datasets = ALL_PROFILES
+            .iter()
+            .filter(|p| picked_datasets.iter().any(|n| p.name.to_lowercase().contains(n)))
+            .copied()
+            .collect();
+        assert!(!suite.datasets.is_empty(), "no dataset matched");
+    }
+    if cmds.is_empty() {
+        eprintln!("usage: experiments <table3|settings|fig7|fig8|fig9|fig10|fig11|table5|ablation|all> [flags]");
+        std::process::exit(2);
+    }
+    for cmd in &cmds {
+        match cmd.as_str() {
+            "table3" => suite.table3(),
+            "settings" => suite.settings(),
+            "fig7" => suite.fig7(),
+            "fig8" => suite.fig8(),
+            "fig9" => suite.fig9(),
+            "fig10" => suite.fig10(),
+            "fig11" => suite.fig11(),
+            "table5" => suite.table5(),
+            "ablation" => suite.ablation(),
+            "all" => suite.all(),
+            other => {
+                eprintln!("unknown command {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! Drivers regenerating the paper's tables and figures (§VI).
+//!
+//! Absolute numbers will differ from the paper (synthetic scaled datasets,
+//! different hardware); the *shapes* are the reproduction target: who wins,
+//! by roughly what factor, and how gaps move along each swept axis. See
+//! EXPERIMENTS.md for the recorded outcomes.
+
+use crate::algo::{run_one, Algo, RunConfig, RunResult};
+use crate::report::{fmt_mb, fmt_ms, Table};
+use std::path::PathBuf;
+use tcsm_datasets::{DatasetProfile, QueryGen, ALL_PROFILES};
+use tcsm_graph::QueryGraph;
+
+/// Experiment-wide parameters (Table IV, plus laptop-scale knobs).
+#[derive(Clone, Debug)]
+pub struct Suite {
+    /// Dataset scale relative to the 1:1000 profiles.
+    pub scale: f64,
+    /// Queries per (dataset, size, density) set — the paper uses 100.
+    pub queries_per_set: usize,
+    /// Datasets to include.
+    pub datasets: Vec<DatasetProfile>,
+    /// Budgets standing in for the paper's 1 h timeout.
+    pub run_cfg: RunConfig,
+    /// Where CSVs are written.
+    pub results_dir: PathBuf,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Suite {
+    fn default() -> Suite {
+        Suite {
+            scale: 0.25,
+            queries_per_set: 3,
+            datasets: ALL_PROFILES.to_vec(),
+            run_cfg: RunConfig::default(),
+            results_dir: PathBuf::from("results"),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// The paper's parameter grids (Table IV); defaults in the middle.
+pub const QUERY_SIZES: [usize; 6] = [5, 7, 9, 11, 13, 15];
+/// Temporal-order densities.
+pub const DENSITIES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+/// Default query size / density / window index.
+pub const DEFAULT_SIZE: usize = 9;
+pub const DEFAULT_DENSITY: f64 = 0.5;
+pub const DEFAULT_WINDOW_IDX: usize = 2; // "30k"
+/// Names of the five window settings.
+pub const WINDOW_NAMES: [&str; 5] = ["10k", "20k", "30k", "40k", "50k"];
+
+impl Suite {
+    fn queries(
+        &self,
+        profile: &DatasetProfile,
+        g: &tcsm_graph::TemporalGraph,
+        size: usize,
+        density: f64,
+        delta: i64,
+    ) -> Vec<QueryGraph> {
+        let mut qg = QueryGen::new(g);
+        qg.directed = self.run_cfg.directed && profile.directed;
+        let mut out = Vec::new();
+        for i in 0..self.queries_per_set {
+            let seed = self
+                .seed
+                .wrapping_add((size as u64) << 32)
+                .wrapping_add((density * 100.0) as u64)
+                .wrapping_add(i as u64 * 7919);
+            if let Some(q) = qg.generate(size, density, (delta * 3 / 4).max(4), seed) {
+                out.push(q);
+            }
+        }
+        out
+    }
+
+    /// Runs a set of algorithms over a query set; returns per-algorithm
+    /// (mean elapsed ms over queries, #solved, mean peak MB, per-query
+    /// results).
+    fn run_set(
+        &self,
+        algos: &[Algo],
+        queries: &[QueryGraph],
+        g: &tcsm_graph::TemporalGraph,
+        delta: i64,
+    ) -> Vec<(f64, usize, usize, Vec<RunResult>)> {
+        algos
+            .iter()
+            .map(|&a| {
+                let results: Vec<RunResult> = queries
+                    .iter()
+                    .map(|q| run_one(a, q, g, delta, &self.run_cfg))
+                    .collect();
+                let solved = results.iter().filter(|r| r.solved).count();
+                let mean_ms = if results.is_empty() {
+                    0.0
+                } else {
+                    results
+                        .iter()
+                        .map(|r| r.elapsed.as_secs_f64() * 1e3)
+                        .sum::<f64>()
+                        / results.len() as f64
+                };
+                let mean_peak = if results.is_empty() {
+                    0
+                } else {
+                    results.iter().map(|r| r.peak_mem).sum::<usize>() / results.len()
+                };
+                (mean_ms, solved, mean_peak, results)
+            })
+            .collect()
+    }
+
+    /// Table III: characteristics of the (synthetic, scaled) datasets.
+    pub fn table3(&self) {
+        let mut t = Table::new(
+            format!("Table III — dataset characteristics (scale {})", self.scale),
+            &["dataset", "|V|", "|E|", "|ΣV|", "|ΣE|", "davg", "mavg"],
+        );
+        for p in &self.datasets {
+            let g = p.generate(self.seed, self.scale);
+            t.row(vec![
+                p.name.to_string(),
+                g.num_vertices().to_string(),
+                g.num_edges().to_string(),
+                g.num_vertex_labels().to_string(),
+                g.num_edge_labels().to_string(),
+                format!("{:.1}", g.avg_degree()),
+                format!("{:.2}", g.avg_parallel_edges()),
+            ]);
+        }
+        t.emit(&self.results_dir, "table3");
+    }
+
+    /// Table IV: the experiment settings in effect.
+    pub fn settings(&self) {
+        let mut t = Table::new("Table IV — experiment settings", &["parameter", "values (bold = default)"]);
+        t.row(vec![
+            "datasets".into(),
+            self.datasets
+                .iter()
+                .map(|p| p.name)
+                .collect::<Vec<_>>()
+                .join(", "),
+        ]);
+        t.row(vec!["query size".into(), "5 7 [9] 11 13 15".into()]);
+        t.row(vec!["density".into(), "0 0.25 [0.50] 0.75 1".into()]);
+        t.row(vec!["window".into(), "10k 20k [30k] 40k 50k (see EXPERIMENTS.md scaling)".into()]);
+        t.row(vec!["queries/set".into(), self.queries_per_set.to_string()]);
+        t.row(vec![
+            "node budget".into(),
+            self.run_cfg.max_total_nodes.to_string(),
+        ]);
+        t.emit(&self.results_dir, "table4");
+    }
+
+    /// Figure 7: elapsed time and solved counts vs query size.
+    pub fn fig7(&self) {
+        self.size_sweep("fig7", &Algo::MAIN, "Figure 7");
+    }
+
+    /// Figure 11: the §VI-B ablation (SymBi vs TCM-Pruning vs TCM).
+    pub fn fig11(&self) {
+        self.size_sweep("fig11", &Algo::ABLATION, "Figure 11");
+    }
+
+    fn size_sweep(&self, stem: &str, algos: &[Algo], caption: &str) {
+        let names: Vec<&str> = algos.iter().map(|a| a.name()).collect();
+        let mut headers = vec!["dataset", "size"];
+        headers.extend(names.iter());
+        let mut ta = Table::new(
+            format!("{caption}(a) — avg elapsed ms (density 0.5, window 30k)"),
+            &headers,
+        );
+        let mut tb = Table::new(
+            format!(
+                "{caption}(b) — solved queries (of {})",
+                self.queries_per_set
+            ),
+            &headers,
+        );
+        for p in &self.datasets {
+            let g = p.generate(self.seed, self.scale);
+            let delta = p.window_sizes(self.scale)[DEFAULT_WINDOW_IDX];
+            for &size in &QUERY_SIZES {
+                let queries = self.queries(p, &g, size, DEFAULT_DENSITY, delta);
+                let res = self.run_set(algos, &queries, &g, delta);
+                let mut ra = vec![p.name.to_string(), size.to_string()];
+                let mut rb = ra.clone();
+                for (ms, solved, _, _) in &res {
+                    ra.push(fmt_ms(*ms));
+                    rb.push(format!("{solved}/{}", queries.len()));
+                }
+                ta.row(ra);
+                tb.row(rb);
+                eprintln!("[{stem}] {} size {size} done", p.name);
+            }
+        }
+        ta.emit(&self.results_dir, &format!("{stem}a"));
+        tb.emit(&self.results_dir, &format!("{stem}b"));
+    }
+
+    /// Figure 8: elapsed time and solved counts vs temporal-order density.
+    pub fn fig8(&self) {
+        let algos = Algo::MAIN;
+        let names: Vec<&str> = algos.iter().map(|a| a.name()).collect();
+        let mut headers = vec!["dataset", "density"];
+        headers.extend(names.iter());
+        let mut ta = Table::new(
+            "Figure 8(a) — avg elapsed ms (size 9, window 30k)",
+            &headers,
+        );
+        let mut tb = Table::new(
+            format!("Figure 8(b) — solved queries (of {})", self.queries_per_set),
+            &headers,
+        );
+        for p in &self.datasets {
+            let g = p.generate(self.seed, self.scale);
+            let delta = p.window_sizes(self.scale)[DEFAULT_WINDOW_IDX];
+            for &d in &DENSITIES {
+                let queries = self.queries(p, &g, DEFAULT_SIZE, d, delta);
+                let res = self.run_set(&algos, &queries, &g, delta);
+                let mut ra = vec![p.name.to_string(), format!("{d:.2}")];
+                let mut rb = ra.clone();
+                for (ms, solved, _, _) in &res {
+                    ra.push(fmt_ms(*ms));
+                    rb.push(format!("{solved}/{}", queries.len()));
+                }
+                ta.row(ra);
+                tb.row(rb);
+                eprintln!("[fig8] {} density {d} done", p.name);
+            }
+        }
+        ta.emit(&self.results_dir, "fig8a");
+        tb.emit(&self.results_dir, "fig8b");
+    }
+
+    /// Figure 9: elapsed time and solved counts vs window size.
+    pub fn fig9(&self) {
+        let algos = Algo::MAIN;
+        let names: Vec<&str> = algos.iter().map(|a| a.name()).collect();
+        let mut headers = vec!["dataset", "window"];
+        headers.extend(names.iter());
+        let mut ta = Table::new(
+            "Figure 9(a) — avg elapsed ms (size 9, density 0.5)",
+            &headers,
+        );
+        let mut tb = Table::new(
+            format!("Figure 9(b) — solved queries (of {})", self.queries_per_set),
+            &headers,
+        );
+        for p in &self.datasets {
+            let g = p.generate(self.seed, self.scale);
+            let windows = p.window_sizes(self.scale);
+            for (wi, &delta) in windows.iter().enumerate() {
+                let queries = self.queries(p, &g, DEFAULT_SIZE, DEFAULT_DENSITY, delta);
+                let res = self.run_set(&algos, &queries, &g, delta);
+                let mut ra = vec![p.name.to_string(), WINDOW_NAMES[wi].to_string()];
+                let mut rb = ra.clone();
+                for (ms, solved, _, _) in &res {
+                    ra.push(fmt_ms(*ms));
+                    rb.push(format!("{solved}/{}", queries.len()));
+                }
+                ta.row(ra);
+                tb.row(rb);
+                eprintln!("[fig9] {} window {} done", p.name, WINDOW_NAMES[wi]);
+            }
+        }
+        ta.emit(&self.results_dir, "fig9a");
+        tb.emit(&self.results_dir, "fig9b");
+    }
+
+    /// Figure 10: average peak memory vs query size.
+    pub fn fig10(&self) {
+        if !crate::mem::installed() {
+            eprintln!(
+                "[fig10] counting allocator not installed — run via the \
+                 `experiments` binary for real numbers"
+            );
+        }
+        let algos = Algo::MAIN;
+        let names: Vec<&str> = algos.iter().map(|a| a.name()).collect();
+        let mut headers = vec!["dataset", "size"];
+        headers.extend(names.iter());
+        let mut t = Table::new(
+            "Figure 10 — avg peak memory MB (density 0.5, window 30k)",
+            &headers,
+        );
+        for p in &self.datasets {
+            let g = p.generate(self.seed, self.scale);
+            let delta = p.window_sizes(self.scale)[DEFAULT_WINDOW_IDX];
+            for &size in &QUERY_SIZES {
+                let queries = self.queries(p, &g, size, DEFAULT_DENSITY, delta);
+                let res = self.run_set(&algos, &queries, &g, delta);
+                let mut row = vec![p.name.to_string(), size.to_string()];
+                for (_, _, peak, _) in &res {
+                    row.push(fmt_mb(*peak));
+                }
+                t.row(row);
+                eprintln!("[fig10] {} size {size} done", p.name);
+            }
+        }
+        t.emit(&self.results_dir, "fig10");
+    }
+
+    /// Table V: filtering power of the TC-matchable edge — the ratio of DCS
+    /// edges and surviving DCS vertices with vs without the filter.
+    pub fn table5(&self) {
+        let mut t = Table::new(
+            "Table V — filtering power (TCM / SymBi ratios; smaller = more filtering)",
+            &["dataset", "size", "edge ratio", "vertex ratio"],
+        );
+        for p in &self.datasets {
+            let g = p.generate(self.seed, self.scale);
+            let delta = p.window_sizes(self.scale)[DEFAULT_WINDOW_IDX];
+            for &size in &QUERY_SIZES {
+                let queries = self.queries(p, &g, size, DEFAULT_DENSITY, delta);
+                if queries.is_empty() {
+                    continue;
+                }
+                let (mut er, mut vr, mut n) = (0.0, 0.0, 0);
+                for q in &queries {
+                    let tcm = run_one(Algo::Tcm, q, &g, delta, &self.run_cfg);
+                    let sym = run_one(Algo::SymBi, q, &g, delta, &self.run_cfg);
+                    // Unsolved runs processed different event prefixes, so
+                    // their per-event averages are not comparable.
+                    if !(tcm.solved && sym.solved) {
+                        continue;
+                    }
+                    if sym.avg_dcs_edges > 0.0 {
+                        er += tcm.avg_dcs_edges / sym.avg_dcs_edges;
+                        vr += if sym.avg_dcs_vertices > 0.0 {
+                            tcm.avg_dcs_vertices / sym.avg_dcs_vertices
+                        } else {
+                            1.0
+                        };
+                        n += 1;
+                    }
+                }
+                if n > 0 {
+                    t.row(vec![
+                        p.name.to_string(),
+                        size.to_string(),
+                        format!("{:.3}", er / n as f64),
+                        format!("{:.3}", vr / n as f64),
+                    ]);
+                }
+                eprintln!("[table5] {} size {size} done", p.name);
+            }
+        }
+        t.emit(&self.results_dir, "table5");
+    }
+
+    /// Extra ablation (beyond the paper): each §V pruning technique
+    /// enabled in isolation, measured by search nodes and elapsed time.
+    pub fn ablation(&self) {
+        use tcsm_core::{EngineConfig, PruningFlags, SearchBudget, TcmEngine};
+        let variants: [(&str, PruningFlags); 5] = [
+            ("none", PruningFlags::NONE),
+            ("case1", PruningFlags::only(1)),
+            ("case2", PruningFlags::only(2)),
+            ("case3", PruningFlags::only(3)),
+            ("all", PruningFlags::ALL),
+        ];
+        let mut t = Table::new(
+            "Ablation — §V pruning techniques in isolation (search nodes | ms)",
+            &["dataset", "none", "case1", "case2", "case3", "all"],
+        );
+        for p in &self.datasets {
+            let g = p.generate(self.seed, self.scale);
+            let delta = p.window_sizes(self.scale)[DEFAULT_WINDOW_IDX];
+            let queries = self.queries(p, &g, DEFAULT_SIZE, DEFAULT_DENSITY, delta);
+            if queries.is_empty() {
+                continue;
+            }
+            let mut row = vec![p.name.to_string()];
+            for (_, flags) in variants {
+                let (mut nodes, mut ms) = (0u64, 0.0f64);
+                for q in &queries {
+                    let cfg = EngineConfig {
+                        pruning_override: Some(flags),
+                        directed: self.run_cfg.directed,
+                        collect_matches: false,
+                        budget: SearchBudget {
+                            max_total_nodes: self.run_cfg.max_total_nodes,
+                            ..Default::default()
+                        },
+                        ..Default::default()
+                    };
+                    let start = std::time::Instant::now();
+                    let mut e = TcmEngine::new(q, &g, delta, cfg).expect("valid");
+                    let s = e.run_counting();
+                    nodes += s.search_nodes;
+                    ms += start.elapsed().as_secs_f64() * 1e3;
+                }
+                row.push(format!("{nodes} | {}", fmt_ms(ms / queries.len() as f64)));
+            }
+            t.row(row);
+            eprintln!("[ablation] {} done", p.name);
+        }
+        t.emit(&self.results_dir, "ablation");
+    }
+
+    /// Runs everything in figure order.
+    pub fn all(&self) {
+        self.table3();
+        self.settings();
+        self.fig7();
+        self.fig8();
+        self.fig9();
+        self.fig10();
+        self.fig11();
+        self.table5();
+        self.ablation();
+    }
+}

@@ -1,0 +1,23 @@
+//! # tcsm-bench
+//!
+//! The experiment harness behind EXPERIMENTS.md: for every table and figure
+//! of the paper's evaluation (§VI) there is a driver here that regenerates
+//! the corresponding rows/series on the synthetic dataset profiles.
+//!
+//! * Figure 7 — query-size sweep ([`experiments::fig7`])
+//! * Figure 8 — density sweep ([`experiments::fig8`])
+//! * Figure 9 — window sweep ([`experiments::fig9`])
+//! * Figure 10 — peak memory ([`experiments::fig10`])
+//! * Figure 11 — ablation ([`experiments::fig11`])
+//! * Table III — dataset characteristics ([`experiments::table3`])
+//! * Table V — filtering power ([`experiments::table5`])
+//!
+//! Run `cargo run --release -p tcsm-bench --bin experiments -- all` for the
+//! full suite, or a single id (`fig7`, `table5`, …).
+
+pub mod algo;
+pub mod experiments;
+pub mod mem;
+pub mod report;
+
+pub use algo::{run_one, Algo, RunConfig, RunResult};

@@ -1,0 +1,78 @@
+//! Peak-heap tracking for the Figure 10 reproduction.
+//!
+//! The paper measures peak RSS with `ps`; here a counting global allocator
+//! tracks live heap bytes and their high-water mark, resettable between
+//! algorithm runs. The `experiments` binary installs [`CountingAlloc`] as
+//! its global allocator; library users that don't install it simply read
+//! zeros (reported as n/a).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+static INSTALLED: AtomicUsize = AtomicUsize::new(0);
+
+/// A `System`-backed allocator that tracks live bytes and the peak.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// Marks the allocator as installed (call once from `main`).
+    pub fn mark_installed() {
+        INSTALLED.store(1, Ordering::Relaxed);
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                let add = new_size - layout.size();
+                let live = LIVE.fetch_add(add, Ordering::Relaxed) + add;
+                PEAK.fetch_max(live, Ordering::Relaxed);
+            } else {
+                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+/// True when the counting allocator is the process allocator.
+pub fn installed() -> bool {
+    INSTALLED.load(Ordering::Relaxed) == 1
+}
+
+/// Resets the high-water mark to the current live size.
+pub fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Peak live bytes since the last reset (0 when not installed).
+pub fn peak_bytes() -> usize {
+    if installed() {
+        PEAK.load(Ordering::Relaxed)
+    } else {
+        0
+    }
+}
+
+/// Current live bytes.
+pub fn live_bytes() -> usize {
+    LIVE.load(Ordering::Relaxed)
+}

@@ -1,0 +1,140 @@
+//! Plain-text/CSV tables for the experiment outputs.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple column-aligned table with a caption.
+pub struct Table {
+    caption: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given caption and column headers.
+    pub fn new(caption: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            caption: caption.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Renders as aligned text.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut s = String::new();
+        let _ = writeln!(s, "== {} ==", self.caption);
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(line, "{:<w$}  ", c, w = widths[i]);
+            }
+            line.trim_end().to_string()
+        };
+        let _ = writeln!(s, "{}", fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + widths.len() * 2;
+        let _ = writeln!(s, "{}", "-".repeat(total));
+        for r in &self.rows {
+            let _ = writeln!(s, "{}", fmt_row(r, &widths));
+        }
+        s
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for r in &self.rows {
+            let _ = writeln!(s, "{}", r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        s
+    }
+
+    /// Writes the CSV next to the results dir and prints the text table.
+    pub fn emit(&self, results_dir: &Path, file_stem: &str) {
+        println!("{}", self.to_text());
+        if let Err(e) = fs::create_dir_all(results_dir)
+            .and_then(|_| fs::write(results_dir.join(format!("{file_stem}.csv")), self.to_csv()))
+        {
+            eprintln!("(could not write CSV: {e})");
+        }
+    }
+}
+
+/// Formats a millisecond value like the paper's log plots (3 significant-ish
+/// digits).
+pub fn fmt_ms(ms: f64) -> String {
+    if ms >= 100.0 {
+        format!("{ms:.0}")
+    } else if ms >= 1.0 {
+        format!("{ms:.1}")
+    } else {
+        format!("{ms:.3}")
+    }
+}
+
+/// Formats bytes as MB with one decimal.
+pub fn fmt_mb(bytes: usize) -> String {
+    if bytes == 0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering() {
+        let mut t = Table::new("demo", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        let text = t.to_text();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("333"));
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_ms(1234.5), "1234"); // round-half-to-even
+        assert_eq!(fmt_ms(12.34), "12.3");
+        assert_eq!(fmt_ms(0.1234), "0.123");
+        assert_eq!(fmt_mb(0), "n/a");
+        assert_eq!(fmt_mb(1024 * 1024 * 3 / 2), "1.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Engine configuration: algorithm variants and search budgets.
+
+use tcsm_filter::FilterMode;
+
+/// Which parts of the TCM algorithm are enabled — the §VI-B ablation axes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlgorithmPreset {
+    /// Full TCM: TC-matchable-edge filter + temporal candidate sets +
+    /// the three time-constrained pruning techniques.
+    Tcm,
+    /// `TCM-Pruning` of §VI-B: the filter stays on, backtracking pruning is
+    /// disabled (candidates still respect `R⁺`, Definition V.2).
+    TcmNoPruning,
+    /// Pruning without the filter (extra ablation, not in the paper).
+    TcmNoFilter,
+    /// SymBi baseline: label-only filtering, no temporal work during the
+    /// search, temporal order post-checked on complete embeddings.
+    SymBiPostCheck,
+}
+
+impl AlgorithmPreset {
+    /// Filter mode implied by the preset.
+    pub fn filter_mode(self) -> FilterMode {
+        match self {
+            AlgorithmPreset::Tcm | AlgorithmPreset::TcmNoPruning => FilterMode::Tc,
+            AlgorithmPreset::TcmNoFilter | AlgorithmPreset::SymBiPostCheck => {
+                FilterMode::LabelOnly
+            }
+        }
+    }
+
+    /// Whether candidate edge sets apply the `R⁺` temporal checks of
+    /// Definition V.2 during the search.
+    pub fn temporal_candidates(self) -> bool {
+        !matches!(self, AlgorithmPreset::SymBiPostCheck)
+    }
+
+    /// Whether the §V pruning techniques run.
+    pub fn pruning(self) -> bool {
+        matches!(self, AlgorithmPreset::Tcm | AlgorithmPreset::TcmNoFilter)
+    }
+
+    /// Whether complete embeddings must be re-verified against `≺`
+    /// (only needed when the search itself did not enforce it).
+    pub fn post_check(self) -> bool {
+        matches!(self, AlgorithmPreset::SymBiPostCheck)
+    }
+}
+
+/// Individual switches for the three §V pruning techniques, for ablation
+/// studies beyond the paper's whole-pruning on/off comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PruningFlags {
+    /// Case 1: interchangeable candidates when `R⁻_M(e) = ∅`.
+    pub case1: bool,
+    /// Case 2: chronological scan with early break on uniform `R⁻`.
+    pub case2: bool,
+    /// Case 3: temporal-failing-set sibling pruning.
+    pub case3: bool,
+}
+
+impl PruningFlags {
+    /// All three techniques on (the TCM default).
+    pub const ALL: PruningFlags = PruningFlags {
+        case1: true,
+        case2: true,
+        case3: true,
+    };
+    /// All off (the `TCM-Pruning` ablation).
+    pub const NONE: PruningFlags = PruningFlags {
+        case1: false,
+        case2: false,
+        case3: false,
+    };
+
+    /// Only the given case enabled.
+    pub fn only(case: u8) -> PruningFlags {
+        PruningFlags {
+            case1: case == 1,
+            case2: case == 2,
+            case3: case == 3,
+        }
+    }
+
+    /// Any technique enabled?
+    pub fn any(self) -> bool {
+        self.case1 || self.case2 || self.case3
+    }
+}
+
+/// Limits for one `FindMatches` invocation (the problem is NP-hard; the
+/// paper uses a 1-hour wall-clock limit per query, scaled down here).
+#[derive(Clone, Copy, Debug)]
+#[derive(Default)]
+pub struct SearchBudget {
+    /// Maximum backtracking nodes visited per event (0 = unlimited).
+    pub max_nodes_per_event: u64,
+    /// Maximum embeddings reported per event (0 = unlimited).
+    pub max_matches_per_event: u64,
+    /// Total node budget across the whole stream (0 = unlimited); once
+    /// exhausted the engine marks the run unsolved and stops searching.
+    pub max_total_nodes: u64,
+}
+
+
+/// Full engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Algorithm variant.
+    pub preset: AlgorithmPreset,
+    /// Per-technique pruning switches; only consulted when the preset
+    /// enables pruning at all. `None` means "whatever the preset says".
+    pub pruning_override: Option<PruningFlags>,
+    /// Search limits.
+    pub budget: SearchBudget,
+    /// Treat the data graph as directed (query edges with
+    /// [`tcsm_graph::Direction::AToB`] then require matching direction).
+    pub directed: bool,
+    /// Keep reported embeddings in memory (disable for counting-only runs).
+    pub collect_matches: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            preset: AlgorithmPreset::Tcm,
+            pruning_override: None,
+            budget: SearchBudget::default(),
+            directed: false,
+            collect_matches: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The effective per-case pruning switches.
+    pub fn pruning_flags(&self) -> PruningFlags {
+        match self.pruning_override {
+            Some(f) if self.preset.pruning() => f,
+            None if self.preset.pruning() => PruningFlags::ALL,
+            _ => PruningFlags::NONE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_axes() {
+        assert_eq!(AlgorithmPreset::Tcm.filter_mode(), FilterMode::Tc);
+        assert!(AlgorithmPreset::Tcm.pruning());
+        assert!(!AlgorithmPreset::Tcm.post_check());
+
+        assert_eq!(
+            AlgorithmPreset::TcmNoPruning.filter_mode(),
+            FilterMode::Tc
+        );
+        assert!(!AlgorithmPreset::TcmNoPruning.pruning());
+        assert!(AlgorithmPreset::TcmNoPruning.temporal_candidates());
+
+        assert_eq!(
+            AlgorithmPreset::SymBiPostCheck.filter_mode(),
+            FilterMode::LabelOnly
+        );
+        assert!(AlgorithmPreset::SymBiPostCheck.post_check());
+        assert!(!AlgorithmPreset::SymBiPostCheck.temporal_candidates());
+    }
+}

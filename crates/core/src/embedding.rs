@@ -1,0 +1,148 @@
+//! Reported embeddings and match events.
+
+use serde::{Deserialize, Serialize};
+use tcsm_graph::{EdgeKey, QueryGraph, TemporalGraph, Ts, VertexId};
+
+/// A complete time-constrained embedding: one data vertex per query vertex
+/// and one data edge per query edge (Definition II.3).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Embedding {
+    /// `vertices[u]` = image of query vertex `u`.
+    pub vertices: Vec<VertexId>,
+    /// `edges[e]` = image of query edge `e`.
+    pub edges: Vec<EdgeKey>,
+}
+
+impl Embedding {
+    /// Verifies every condition of Definition II.3 against the full graph —
+    /// the test-oracle validity check (labels, topology, injectivity, `≺`).
+    pub fn verify(&self, q: &QueryGraph, g: &TemporalGraph) -> bool {
+        if self.vertices.len() != q.num_vertices() || self.edges.len() != q.num_edges() {
+            return false;
+        }
+        // Injectivity.
+        let mut vs = self.vertices.clone();
+        vs.sort_unstable();
+        vs.dedup();
+        if vs.len() != self.vertices.len() {
+            return false;
+        }
+        let mut es = self.edges.clone();
+        es.sort_unstable();
+        es.dedup();
+        if es.len() != self.edges.len() {
+            return false;
+        }
+        // Labels.
+        for (u, &v) in self.vertices.iter().enumerate() {
+            if q.label(u) != g.label(v) {
+                return false;
+            }
+        }
+        // Topology + edge labels.
+        for (ei, &k) in self.edges.iter().enumerate() {
+            let qe = q.edge(ei);
+            let de = g.edge(k);
+            let (ia, ib) = (self.vertices[qe.a], self.vertices[qe.b]);
+            let fwd = de.src == ia && de.dst == ib;
+            let bwd = de.src == ib && de.dst == ia;
+            if !(fwd || bwd) {
+                return false;
+            }
+            if qe.label != tcsm_graph::EDGE_LABEL_ANY && qe.label != de.label {
+                return false;
+            }
+        }
+        // Temporal order.
+        for (a, b) in q.order().pairs() {
+            if g.edge(self.edges[a]).time >= g.edge(self.edges[b]).time {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The timestamps of the images of all query edges, by query edge id.
+    pub fn edge_times(&self, g: &TemporalGraph) -> Vec<Ts> {
+        self.edges.iter().map(|&k| g.edge(k).time).collect()
+    }
+}
+
+/// Whether a match appeared or disappeared.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MatchKind {
+    /// The embedding came into existence (edge arrival).
+    Occurred,
+    /// The embedding ceased to exist (edge expiration).
+    Expired,
+}
+
+/// One reported match event.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchEvent {
+    /// Occurrence or expiration.
+    pub kind: MatchKind,
+    /// Stream time of the triggering event.
+    pub at: Ts,
+    /// The embedding concerned.
+    pub embedding: Embedding,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsm_graph::{QueryGraphBuilder, TemporalGraphBuilder};
+
+    fn setup() -> (QueryGraph, TemporalGraph) {
+        let mut qb = QueryGraphBuilder::new();
+        let a = qb.vertex(0);
+        let b = qb.vertex(1);
+        let e0 = qb.edge(a, b);
+        let c = qb.vertex(0);
+        let e1 = qb.edge(b, c);
+        qb.precede(e0, e1);
+        let q = qb.build().unwrap();
+        let mut gb = TemporalGraphBuilder::new();
+        let v0 = gb.vertex(0);
+        let v1 = gb.vertex(1);
+        let v2 = gb.vertex(0);
+        gb.edge(v0, v1, 1);
+        gb.edge(v1, v2, 5);
+        let g = gb.build().unwrap();
+        (q, g)
+    }
+
+    #[test]
+    fn verify_accepts_valid_embedding() {
+        let (q, g) = setup();
+        let m = Embedding {
+            vertices: vec![0, 1, 2],
+            edges: vec![EdgeKey(0), EdgeKey(1)],
+        };
+        assert!(m.verify(&q, &g));
+        assert_eq!(m.edge_times(&g), vec![Ts::new(1), Ts::new(5)]);
+    }
+
+    #[test]
+    fn verify_rejects_violations() {
+        let (q, g) = setup();
+        // Temporal order violated (e1 before e0).
+        let m = Embedding {
+            vertices: vec![2, 1, 0],
+            edges: vec![EdgeKey(1), EdgeKey(0)],
+        };
+        assert!(!m.verify(&q, &g));
+        // Non-injective vertices.
+        let m = Embedding {
+            vertices: vec![0, 1, 0],
+            edges: vec![EdgeKey(0), EdgeKey(1)],
+        };
+        assert!(!m.verify(&q, &g));
+        // Wrong topology.
+        let m = Embedding {
+            vertices: vec![0, 1, 2],
+            edges: vec![EdgeKey(1), EdgeKey(0)],
+        };
+        assert!(!m.verify(&q, &g));
+    }
+}

@@ -1,0 +1,196 @@
+//! The continuous-matching driver (Algorithm 1).
+
+use crate::config::EngineConfig;
+use crate::embedding::{MatchEvent, MatchKind};
+use crate::matcher::Matcher;
+use crate::stats::EngineStats;
+use tcsm_dag::{build_best_dag, QueryDag};
+use tcsm_dcs::Dcs;
+use tcsm_filter::FilterBank;
+use tcsm_graph::{
+    EventKind, EventQueue, GraphError, QueryGraph, TemporalGraph, WindowGraph,
+};
+
+/// Time-constrained continuous subgraph matching over one stream.
+///
+/// Owns the full pipeline: window graph, max-min timestamp filter bank, DCS,
+/// and the backtracking matcher. Process the stream with [`TcmEngine::run`]
+/// (whole stream) or [`TcmEngine::step`] (one event at a time).
+pub struct TcmEngine<'g> {
+    q: QueryGraph,
+    full: &'g TemporalGraph,
+    dag: QueryDag,
+    window: WindowGraph,
+    bank: FilterBank,
+    dcs: Dcs,
+    queue: EventQueue,
+    next_event: usize,
+    cfg: EngineConfig,
+    stats: EngineStats,
+    deltas_scratch: Vec<tcsm_filter::DcsDelta>,
+}
+
+impl<'g> TcmEngine<'g> {
+    /// Builds an engine for query `q` over the stream of `g` with window
+    /// `delta` (Algorithm 1, lines 1–8).
+    pub fn new(
+        q: &QueryGraph,
+        g: &'g TemporalGraph,
+        delta: i64,
+        cfg: EngineConfig,
+    ) -> Result<TcmEngine<'g>, GraphError> {
+        let queue = EventQueue::new(g, delta)?;
+        let dag = build_best_dag(q);
+        let bank = FilterBank::new(q, &dag, cfg.preset.filter_mode());
+        let dcs = Dcs::new(dag.clone());
+        Ok(TcmEngine {
+            q: q.clone(),
+            full: g,
+            window: WindowGraph::new(g.labels().to_vec(), cfg.directed),
+            bank,
+            dcs,
+            dag,
+            queue,
+            next_event: 0,
+            cfg,
+            stats: EngineStats::default(),
+        deltas_scratch: Vec::new(),
+        })
+    }
+
+    /// The query DAG chosen by the greedy builder.
+    #[inline]
+    pub fn dag(&self) -> &QueryDag {
+        &self.dag
+    }
+
+    /// Statistics accumulated so far.
+    #[inline]
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// The live window graph.
+    #[inline]
+    pub fn window(&self) -> &WindowGraph {
+        &self.window
+    }
+
+    /// Current number of DCS edge pairs (Table V's "edges in DCS").
+    #[inline]
+    pub fn dcs_edges(&self) -> usize {
+        self.bank.num_pairs()
+    }
+
+    /// Current number of `d2` candidate vertices (Table V's second metric).
+    #[inline]
+    pub fn dcs_vertices(&self) -> usize {
+        self.dcs.num_candidate_vertices()
+    }
+
+    /// Remaining events in the stream.
+    pub fn remaining_events(&self) -> usize {
+        self.queue.len() - self.next_event
+    }
+
+    /// Processes one stream event, appending any match events to `out`.
+    /// Returns `false` when the stream is exhausted or a total budget was
+    /// hit (check [`EngineStats::budget_exhausted`]).
+    pub fn step(&mut self, out: &mut Vec<MatchEvent>) -> bool {
+        if self.stats.budget_exhausted {
+            return false;
+        }
+        let Some(ev) = self.queue.events().get(self.next_event).copied() else {
+            return false;
+        };
+        self.next_event += 1;
+        self.stats.events += 1;
+        let edge = *self.full.edge(ev.edge);
+        let mut deltas = std::mem::take(&mut self.deltas_scratch);
+        deltas.clear();
+        match ev.kind {
+            EventKind::Insert => {
+                self.window.insert(&edge);
+                let (full, q, w) = (&self.full, &self.q, &self.window);
+                self.bank.on_insert(q, w, &edge, |k| full.edge(k), &mut deltas);
+                self.dcs.apply(q, w, |k| full.edge(k), &deltas);
+                self.find_matches(&edge, MatchKind::Occurred, out);
+            }
+            EventKind::Delete => {
+                // Expired embeddings are enumerated before the removal (the
+                // structures still admit the expiring edge) — see DESIGN.md.
+                self.find_matches(&edge, MatchKind::Expired, out);
+                self.window.remove(&edge);
+                let (full, q, w) = (&self.full, &self.q, &self.window);
+                self.bank.on_delete(q, w, &edge, |k| full.edge(k), &mut deltas);
+                self.dcs.apply(q, w, |k| full.edge(k), &deltas);
+            }
+        }
+        self.deltas_scratch = deltas;
+        let de = self.bank.num_pairs() as u64;
+        let dv = self.dcs.num_candidate_vertices() as u64;
+        self.stats.peak_dcs_edges = self.stats.peak_dcs_edges.max(de);
+        self.stats.sum_dcs_edges += de;
+        self.stats.peak_dcs_vertices = self.stats.peak_dcs_vertices.max(dv);
+        self.stats.sum_dcs_vertices += dv;
+        true
+    }
+
+    fn find_matches(
+        &mut self,
+        edge: &tcsm_graph::TemporalEdge,
+        kind: MatchKind,
+        out: &mut Vec<MatchEvent>,
+    ) {
+        let mut m = Matcher::new(
+            &self.q,
+            &self.window,
+            &self.dcs,
+            &self.bank,
+            &self.cfg,
+            self.stats.search_nodes,
+        );
+        m.run(edge);
+        // Merge matcher counters into the engine stats.
+        let s = m.stats;
+        self.stats.search_nodes += s.search_nodes;
+        self.stats.pruned_case1 += s.pruned_case1;
+        self.stats.pruned_case2 += s.pruned_case2;
+        self.stats.pruned_case3 += s.pruned_case3;
+        self.stats.cloned_case1 += s.cloned_case1;
+        self.stats.post_check_rejections += s.post_check_rejections;
+        self.stats.budget_exhausted |= s.budget_exhausted;
+        match kind {
+            MatchKind::Occurred => self.stats.occurred += m.found_count,
+            MatchKind::Expired => self.stats.expired += m.found_count,
+        }
+        if self.cfg.collect_matches {
+            let at = match kind {
+                MatchKind::Occurred => edge.time,
+                MatchKind::Expired => edge.time.plus(self.queue.delta()),
+            };
+            out.extend(m.found.drain(..).map(|embedding| MatchEvent {
+                kind,
+                at,
+                embedding,
+            }));
+        }
+    }
+
+    /// Processes the whole stream and returns every match event.
+    pub fn run(&mut self) -> Vec<MatchEvent> {
+        let mut out = Vec::new();
+        while self.step(&mut out) {}
+        out
+    }
+
+    /// Processes the whole stream counting matches without materializing
+    /// them (used by the benchmark harness).
+    pub fn run_counting(&mut self) -> &EngineStats {
+        let mut out = Vec::new();
+        while self.step(&mut out) {
+            out.clear();
+        }
+        &self.stats
+    }
+}

@@ -1,0 +1,53 @@
+//! # tcsm-core
+//!
+//! The TCM algorithm: **time-constrained continuous subgraph matching**
+//! (Min, Jang, Park, Giammarresi, Italiano, Han — ICDE 2024).
+//!
+//! [`TcmEngine`] wires the whole pipeline of Algorithm 1 together:
+//!
+//! 1. a query DAG `ˆq` built greedily to maximize temporal
+//!    ancestor–descendant pairs ([`tcsm_dag`]),
+//! 2. the max-min timestamp tables and TC-matchable-edge filter
+//!    ([`tcsm_filter`]), updated on every edge arrival/expiration,
+//! 3. the DCS auxiliary structure restricted to surviving pairs
+//!    ([`tcsm_dcs`]),
+//! 4. the backtracking matcher `FindMatches` (Algorithm 4) with the three
+//!    time-constrained pruning techniques of §V ([`matcher`]).
+//!
+//! ```
+//! use tcsm_core::{TcmEngine, EngineConfig, MatchKind};
+//! use tcsm_graph::{QueryGraphBuilder, TemporalGraphBuilder};
+//!
+//! // Query: a 2-path with e0 ≺ e1.
+//! let mut qb = QueryGraphBuilder::new();
+//! let (a, b, c) = (qb.vertex(0), qb.vertex(0), qb.vertex(0));
+//! let e0 = qb.edge(a, b);
+//! let e1 = qb.edge(b, c);
+//! qb.precede(e0, e1);
+//! let q = qb.build().unwrap();
+//!
+//! // Stream: v0-v1 at t=1, v1-v2 at t=2, window 10.
+//! let mut gb = TemporalGraphBuilder::new();
+//! let v = gb.vertices(3, 0);
+//! gb.edge(v, v + 1, 1);
+//! gb.edge(v + 1, v + 2, 2);
+//! let g = gb.build().unwrap();
+//!
+//! let mut engine = TcmEngine::new(&q, &g, 10, EngineConfig::default()).unwrap();
+//! let events = engine.run();
+//! let occurred = events.iter().filter(|m| m.kind == MatchKind::Occurred).count();
+//! assert_eq!(occurred, 1); // e0 ↦ t=1, e1 ↦ t=2 (the reverse violates ≺)
+//! ```
+
+pub mod config;
+pub mod embedding;
+pub mod engine;
+pub mod matcher;
+pub mod parallel;
+pub mod stats;
+
+pub use config::{AlgorithmPreset, EngineConfig, PruningFlags, SearchBudget};
+pub use parallel::run_queries_parallel;
+pub use embedding::{Embedding, MatchEvent, MatchKind};
+pub use engine::TcmEngine;
+pub use stats::EngineStats;

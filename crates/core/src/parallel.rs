@@ -1,0 +1,116 @@
+//! Multi-query parallel driving — the paper's "parallelizing our approach"
+//! future-work direction, realized at the inter-query level.
+//!
+//! Continuous-matching deployments register many patterns against one
+//! stream; each [`crate::TcmEngine`] is independent, so queries parallelize
+//! embarrassingly. [`run_queries_parallel`] fans a query set out over
+//! scoped threads and returns per-query statistics in input order.
+
+use crate::config::EngineConfig;
+use crate::engine::TcmEngine;
+use crate::stats::EngineStats;
+use tcsm_graph::{GraphError, QueryGraph, TemporalGraph};
+
+/// Runs one engine per query over the same stream, `threads`-wide
+/// (0 = one thread per available CPU). Matches are counted, not collected.
+pub fn run_queries_parallel(
+    queries: &[QueryGraph],
+    g: &TemporalGraph,
+    delta: i64,
+    cfg: EngineConfig,
+    threads: usize,
+) -> Result<Vec<EngineStats>, GraphError> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let cfg = EngineConfig {
+        collect_matches: false,
+        ..cfg
+    };
+    let n = queries.len();
+    let mut results: Vec<Option<Result<EngineStats, GraphError>>> = (0..n).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_cell: Vec<std::sync::Mutex<Option<Result<EngineStats, GraphError>>>> =
+        results.drain(..).map(std::sync::Mutex::new).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n.max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = TcmEngine::new(&queries[i], g, delta, cfg).map(|mut e| {
+                    let _ = e.run_counting();
+                    *e.stats()
+                });
+                *results_cell[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+
+    results_cell
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("every query processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsm_graph::{QueryGraphBuilder, TemporalGraphBuilder};
+
+    fn workload() -> (Vec<QueryGraph>, TemporalGraph) {
+        let mut gb = TemporalGraphBuilder::new();
+        let v = gb.vertices(5, 0);
+        for t in 1..=30i64 {
+            gb.edge(v + (t % 5) as u32, v + ((t + 1) % 5) as u32, t);
+        }
+        let g = gb.build().unwrap();
+        let queries = (2..=4usize)
+            .map(|k| {
+                let mut qb = QueryGraphBuilder::new();
+                let vs: Vec<_> = (0..=k).map(|_| qb.vertex(0)).collect();
+                let mut prev = None;
+                for i in 0..k {
+                    let e = qb.edge(vs[i], vs[i + 1]);
+                    if let Some(p) = prev {
+                        qb.precede(p, e);
+                    }
+                    prev = Some(e);
+                }
+                qb.build().unwrap()
+            })
+            .collect();
+        (queries, g)
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let (queries, g) = workload();
+        let cfg = EngineConfig::default();
+        let par = run_queries_parallel(&queries, &g, 10, cfg, 3).unwrap();
+        for (i, q) in queries.iter().enumerate() {
+            let mut e = TcmEngine::new(q, &g, 10, EngineConfig {
+                collect_matches: false,
+                ..cfg
+            })
+            .unwrap();
+            let seq = *e.run_counting();
+            assert_eq!(par[i], seq, "query {i}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_all_cpus() {
+        let (queries, g) = workload();
+        let out =
+            run_queries_parallel(&queries, &g, 10, EngineConfig::default(), 0).unwrap();
+        assert_eq!(out.len(), queries.len());
+        assert!(out.iter().any(|s| s.occurred > 0));
+    }
+}

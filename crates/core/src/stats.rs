@@ -1,0 +1,74 @@
+//! Engine statistics, including the measurements Table V and Figure 10 use.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated over a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Stream events processed.
+    pub events: u64,
+    /// Backtracking nodes visited (recursive `FindMatches` entries).
+    pub search_nodes: u64,
+    /// Complete time-constrained embeddings reported (occurred).
+    pub occurred: u64,
+    /// Expired embeddings reported.
+    pub expired: u64,
+    /// Candidate edges pruned by the Case-1 technique (`R⁻ = ∅` sharing).
+    pub pruned_case1: u64,
+    /// Candidate edges skipped by the Case-2 chronological break.
+    pub pruned_case2: u64,
+    /// Candidate edges pruned by temporal failing sets (Case 3).
+    pub pruned_case3: u64,
+    /// Embeddings re-emitted by Case-1 candidate swapping.
+    pub cloned_case1: u64,
+    /// Complete embeddings discarded by the post-check (baselines only).
+    pub post_check_rejections: u64,
+    /// Peak number of DCS edges (pairs admitted by the filter) — Table V.
+    pub peak_dcs_edges: u64,
+    /// Sum over events of DCS edges, for averaging — Table V.
+    pub sum_dcs_edges: u64,
+    /// Peak number of `d2` candidate vertices — Table V.
+    pub peak_dcs_vertices: u64,
+    /// Sum over events of `d2` candidate vertices — Table V.
+    pub sum_dcs_vertices: u64,
+    /// True when a budget was exhausted (query counts as unsolved).
+    pub budget_exhausted: bool,
+}
+
+impl EngineStats {
+    /// Average DCS edge count per event.
+    pub fn avg_dcs_edges(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.sum_dcs_edges as f64 / self.events as f64
+        }
+    }
+
+    /// Average `d2` candidate-vertex count per event.
+    pub fn avg_dcs_vertices(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.sum_dcs_vertices as f64 / self.events as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages() {
+        let s = EngineStats {
+            events: 4,
+            sum_dcs_edges: 10,
+            sum_dcs_vertices: 6,
+            ..Default::default()
+        };
+        assert!((s.avg_dcs_edges() - 2.5).abs() < 1e-12);
+        assert!((s.avg_dcs_vertices() - 1.5).abs() < 1e-12);
+        assert_eq!(EngineStats::default().avg_dcs_edges(), 0.0);
+    }
+}

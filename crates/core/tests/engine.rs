@@ -1,0 +1,181 @@
+//! Engine-level behaviour: stepping, budgets, counting mode, determinism,
+//! directedness.
+
+use tcsm_core::*;
+use tcsm_datasets::{profiles::SUPERUSER, QueryGen};
+use tcsm_graph::{Direction, QueryGraphBuilder, TemporalGraphBuilder, EDGE_LABEL_ANY};
+
+fn workload() -> (tcsm_graph::QueryGraph, tcsm_graph::TemporalGraph, i64) {
+    let g = SUPERUSER.generate(21, 0.3);
+    let delta = SUPERUSER.window_sizes(0.3)[2];
+    let qg = QueryGen::new(&g);
+    let q = qg.generate(6, 0.5, delta / 2, 77).expect("query");
+    (q, g, delta)
+}
+
+#[test]
+fn step_equals_run() {
+    let (q, g, delta) = workload();
+    let mut e1 = TcmEngine::new(&q, &g, delta, Default::default()).unwrap();
+    let all = e1.run();
+    let mut e2 = TcmEngine::new(&q, &g, delta, Default::default()).unwrap();
+    let mut stepped = Vec::new();
+    while e2.step(&mut stepped) {}
+    assert_eq!(all, stepped);
+    assert_eq!(e1.stats(), e2.stats());
+    assert_eq!(e2.remaining_events(), 0);
+}
+
+#[test]
+fn counting_mode_matches_collecting_mode() {
+    let (q, g, delta) = workload();
+    let mut collecting = TcmEngine::new(&q, &g, delta, Default::default()).unwrap();
+    let events = collecting.run();
+    let cfg = EngineConfig {
+        collect_matches: false,
+        ..Default::default()
+    };
+    let mut counting = TcmEngine::new(&q, &g, delta, cfg).unwrap();
+    let s = *counting.run_counting();
+    assert_eq!(
+        s.occurred as usize,
+        events.iter().filter(|m| m.kind == MatchKind::Occurred).count()
+    );
+    assert_eq!(
+        s.expired as usize,
+        events.iter().filter(|m| m.kind == MatchKind::Expired).count()
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let (q, g, delta) = workload();
+    let runs: Vec<Vec<MatchEvent>> = (0..2)
+        .map(|_| {
+            TcmEngine::new(&q, &g, delta, Default::default())
+                .unwrap()
+                .run()
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1]);
+}
+
+#[test]
+fn per_event_budget_halts_gracefully() {
+    let (q, g, delta) = workload();
+    let cfg = EngineConfig {
+        budget: SearchBudget {
+            max_nodes_per_event: 2,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut e = TcmEngine::new(&q, &g, delta, cfg).unwrap();
+    let _ = e.run();
+    assert!(e.stats().budget_exhausted);
+}
+
+#[test]
+fn match_budget_caps_reported_embeddings() {
+    // Single-edge query over many parallel edges: every arrival matches.
+    let mut qb = QueryGraphBuilder::new();
+    let a = qb.vertex(0);
+    let b = qb.vertex(0);
+    qb.edge(a, b);
+    let q = qb.build().unwrap();
+    let mut gb = TemporalGraphBuilder::new();
+    let v = gb.vertices(2, 0);
+    for t in 1..=20 {
+        gb.edge(v, v + 1, t);
+    }
+    let g = gb.build().unwrap();
+    let cfg = EngineConfig {
+        budget: SearchBudget {
+            max_matches_per_event: 1,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut e = TcmEngine::new(&q, &g, 100, cfg).unwrap();
+    let _ = e.run();
+    // The budget halts the run rather than over-reporting.
+    assert!(e.stats().budget_exhausted);
+    assert!(e.stats().occurred <= 2);
+}
+
+#[test]
+fn directed_mode_restricts_matches() {
+    // Query a →(dir) b; data has one edge each way.
+    let mut qb = QueryGraphBuilder::new();
+    let a = qb.vertex(0);
+    let b = qb.vertex(1);
+    qb.edge_full(a, b, Direction::AToB, EDGE_LABEL_ANY);
+    let q = qb.build().unwrap();
+    let mut gb = TemporalGraphBuilder::new();
+    let v0 = gb.vertex(0);
+    let v1 = gb.vertex(1);
+    gb.edge(v0, v1, 1); // 0 → 1: label-correct AND direction-correct
+    gb.edge(v1, v0, 2); // 1 → 0: labels force a↦v0 but direction is wrong
+    let g = gb.build().unwrap();
+
+    let undirected = EngineConfig::default();
+    let mut e = TcmEngine::new(&q, &g, 100, undirected).unwrap();
+    let occ_undirected = e
+        .run()
+        .iter()
+        .filter(|m| m.kind == MatchKind::Occurred)
+        .count();
+    assert_eq!(occ_undirected, 2);
+
+    let directed = EngineConfig {
+        directed: true,
+        ..Default::default()
+    };
+    let mut e = TcmEngine::new(&q, &g, 100, directed).unwrap();
+    let occ_directed = e
+        .run()
+        .iter()
+        .filter(|m| m.kind == MatchKind::Occurred)
+        .count();
+    assert_eq!(occ_directed, 1);
+}
+
+#[test]
+fn dcs_stats_are_tracked() {
+    let (q, g, delta) = workload();
+    let mut e = TcmEngine::new(&q, &g, delta, Default::default()).unwrap();
+    let _ = e.run();
+    let s = e.stats();
+    assert!(s.peak_dcs_edges > 0);
+    assert!(s.peak_dcs_vertices > 0);
+    assert!(s.avg_dcs_edges() > 0.0);
+    assert!(s.avg_dcs_edges() <= s.peak_dcs_edges as f64);
+    assert_eq!(s.events, 2 * g.num_edges() as u64);
+}
+
+#[test]
+fn empty_stream_is_fine() {
+    let mut qb = QueryGraphBuilder::new();
+    let a = qb.vertex(0);
+    let b = qb.vertex(0);
+    qb.edge(a, b);
+    let q = qb.build().unwrap();
+    let g = TemporalGraphBuilder::new().build().unwrap();
+    // No vertices at all: engine still runs to completion.
+    let mut e = TcmEngine::new(&q, &g, 5, Default::default()).unwrap();
+    assert!(e.run().is_empty());
+    assert_eq!(e.stats().events, 0);
+}
+
+#[test]
+fn label_mismatch_query_finds_nothing() {
+    let mut qb = QueryGraphBuilder::new();
+    let a = qb.vertex(9); // label absent from the data
+    let b = qb.vertex(9);
+    qb.edge(a, b);
+    let q = qb.build().unwrap();
+    let (_, g, delta) = workload();
+    let mut e = TcmEngine::new(&q, &g, delta, Default::default()).unwrap();
+    assert!(e.run().is_empty());
+    assert_eq!(e.stats().occurred, 0);
+}

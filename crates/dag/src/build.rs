@@ -1,0 +1,199 @@
+//! Greedy query-DAG construction (Algorithm 2 and Algorithm 1 lines 1–6).
+//!
+//! `BuildDAG(q, r)` grows a rooted DAG one vertex at a time: among the
+//! candidate vertices adjacent to the current DAG it picks the one whose
+//! selection creates the most temporal ancestor–descendant pairs, breaking
+//! ties by earliest insertion into the candidate set (Example IV.2).
+//!
+//! Score accounting follows the complexity proof of Lemma IV.2 — `Score[u′]`
+//! is recomputed on every visit of an edge `(u, u′)` and, for each neighbour
+//! `u′_n` outside the DAG, counts the temporally related ancestor edges of
+//! the would-be edge `(u′, u′_n)` (current DAG edges plus `u′`'s would-be
+//! in-edges). The paper's Example IV.2 score trace is not reproducible under
+//! any single reading of the pseudocode (see DESIGN.md §4); the final score
+//! `S_r` is computed exactly from the finished DAG, as §III defines it, so
+//! root selection is deterministic and unambiguous.
+
+use crate::dag::QueryDag;
+use tcsm_graph::{QVertexId, QueryGraph, Set64};
+
+/// Builds the rooted DAG `ˆq_r` with root `r` via the greedy of Algorithm 2.
+/// Returns the DAG; its exact score is available as [`QueryDag::score`].
+pub fn build_dag(q: &QueryGraph, root: QVertexId) -> QueryDag {
+    let n = q.num_vertices();
+    assert!(root < n, "root out of range");
+    let order = q.order();
+
+    // Partial-DAG state.
+    let mut in_dag = Set64::EMPTY; // vertices added so far
+    let mut vanc = vec![Set64::EMPTY; n]; // strict vertex ancestors (partial)
+    let mut anc_edges = vec![Set64::EMPTY; n]; // A(u) in the partial DAG
+    let mut orient = vec![true; q.num_edges()];
+
+    // Candidate bookkeeping: score + FIFO sequence for tie-breaks.
+    let mut in_cand = vec![false; n];
+    let mut score = vec![0usize; n];
+    let mut seq = vec![usize::MAX; n];
+    let mut next_seq = 0usize;
+
+    // Score[u'] per the Lemma IV.2 reading (recomputed on each edge visit).
+    let compute_score = |u2: QVertexId,
+                         in_dag: &Set64,
+                         anc_edges: &[Set64]|
+     -> usize {
+        // Hypothetical ancestor-edge set of u' if selected now: the union of
+        // A(w) over DAG neighbours w, plus the new in-edges (w, u').
+        let mut hyp = Set64::EMPTY;
+        for &(e, w) in q.incident_edges(u2) {
+            if in_dag.contains(w) {
+                hyp = hyp.union(anc_edges[w]).union(Set64::singleton(e));
+            }
+        }
+        let mut s = 0;
+        for &(e, w) in q.incident_edges(u2) {
+            if !in_dag.contains(w) {
+                s += hyp.intersect(order.related_set(e)).len();
+            }
+        }
+        s
+    };
+
+    in_cand[root] = true;
+    score[root] = 0;
+    seq[root] = next_seq;
+    next_seq += 1;
+
+    for _ in 0..n {
+        // Pop candidate with max score; FIFO tie-break.
+        let u = (0..n)
+            .filter(|&v| in_cand[v])
+            .max_by(|&x, &y| score[x].cmp(&score[y]).then(seq[y].cmp(&seq[x])))
+            .expect("query graph is connected");
+        in_cand[u] = false;
+        in_dag.insert(u);
+
+        // Add in-edges from DAG neighbours, maintaining partial ancestry.
+        let mut anc_v = Set64::EMPTY;
+        let mut anc_e = Set64::EMPTY;
+        for &(e, w) in q.incident_edges(u) {
+            if in_dag.contains(w) && w != u {
+                // Edge directed w → u.
+                orient[e] = q.edge(e).a == w;
+                anc_v = anc_v.union(vanc[w]).union(Set64::singleton(w));
+                anc_e = anc_e.union(anc_edges[w]).union(Set64::singleton(e));
+            }
+        }
+        vanc[u] = anc_v;
+        anc_edges[u] = anc_e;
+
+        // Visit edges to non-DAG neighbours: enqueue + (re)score.
+        for &(_, w) in q.incident_edges(u) {
+            if !in_dag.contains(w) {
+                if !in_cand[w] {
+                    in_cand[w] = true;
+                    seq[w] = next_seq;
+                    next_seq += 1;
+                }
+                score[w] = compute_score(w, &in_dag, &anc_edges);
+            }
+        }
+    }
+
+    QueryDag::from_orientation(q, &orient, Some(root))
+}
+
+/// Algorithm 1 lines 1–6: builds `ˆq_r` for every root and keeps the DAG
+/// with the highest score (ties: smallest root id).
+pub fn build_best_dag(q: &QueryGraph) -> QueryDag {
+    let mut best: Option<QueryDag> = None;
+    for r in 0..q.num_vertices() {
+        let dag = build_dag(q, r);
+        let better = match &best {
+            None => true,
+            Some(b) => dag.score() > b.score(),
+        };
+        if better {
+            best = Some(dag);
+        }
+    }
+    best.expect("query graph has at least one vertex")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsm_graph::query::paper_running_example;
+    use tcsm_graph::QueryGraphBuilder;
+
+    #[test]
+    fn running_example_root_u1_recovers_figure_3a() {
+        let q = paper_running_example();
+        let dag = build_dag(&q, 0);
+        // Example IV.2: selection order u1, u3, u2, u4, u5 and score 5.
+        assert_eq!(dag.score(), 5);
+        // Figure 3a orientations.
+        let expect = [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (2, 4)];
+        for (e, &(t, h)) in expect.iter().enumerate() {
+            assert_eq!((dag.tail(e), dag.head(e)), (t, h), "edge {e}");
+        }
+    }
+
+    #[test]
+    fn best_dag_is_at_least_as_good_as_every_root() {
+        let q = paper_running_example();
+        let best = build_best_dag(&q);
+        for r in 0..q.num_vertices() {
+            assert!(best.score() >= build_dag(&q, r).score());
+        }
+        assert!(best.score() >= 5);
+    }
+
+    #[test]
+    fn empty_order_gives_zero_score() {
+        let mut b = QueryGraphBuilder::new();
+        let v0 = b.vertex(0);
+        let v1 = b.vertex(0);
+        let v2 = b.vertex(0);
+        b.edge(v0, v1);
+        b.edge(v1, v2);
+        let q = b.build().unwrap();
+        let dag = build_best_dag(&q);
+        assert_eq!(dag.score(), 0);
+        assert_eq!(dag.num_edges(), 2);
+    }
+
+    #[test]
+    fn every_root_yields_valid_rooted_dag() {
+        let q = paper_running_example();
+        for r in 0..q.num_vertices() {
+            let dag = build_dag(&q, r);
+            assert_eq!(dag.root(), Some(r));
+            // Root has no parents.
+            assert!(dag.parents(r).is_empty());
+            // All vertices reachable from the root (connected query).
+            let reach = dag.descendants(r).union(Set64::singleton(r));
+            assert_eq!(reach.len(), q.num_vertices());
+        }
+    }
+
+    #[test]
+    fn total_order_path_scores_all_pairs() {
+        // Path v0-v1-v2-v3 with total order e0 ≺ e1 ≺ e2. Rooted at v0 the
+        // DAG is the path itself: ancestry relates every pair ⇒ score 3.
+        let mut b = QueryGraphBuilder::new();
+        let v: Vec<_> = (0..4).map(|_| b.vertex(0)).collect();
+        let e0 = b.edge(v[0], v[1]);
+        let e1 = b.edge(v[1], v[2]);
+        let e2 = b.edge(v[2], v[3]);
+        b.precede(e0, e1).precede(e1, e2);
+        let q = b.build().unwrap();
+        let dag = build_dag(&q, 0);
+        assert_eq!(dag.score(), 3);
+        // Rooted mid-path the two arms split: (v2 root) edges e2 and e1,e0;
+        // pairs across arms are not DAG-related, so the score drops.
+        let mid = build_dag(&q, 2);
+        assert!(mid.score() < 3);
+        // And the best root therefore picks an endpoint.
+        assert_eq!(build_best_dag(&q).score(), 3);
+    }
+}

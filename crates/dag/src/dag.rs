@@ -1,0 +1,369 @@
+//! The [`QueryDag`] structure and its precomputed ancestry artefacts.
+
+use crate::polarity::Polarity;
+use serde::{Deserialize, Serialize};
+use tcsm_graph::{QEdgeId, QVertexId, QueryGraph, Set64};
+
+/// A direction assignment over the edges of a query graph, together with
+/// everything the filter/matcher repeatedly asks about it.
+///
+/// Edge ids and vertex ids are those of the originating [`QueryGraph`]; the
+/// DAG only adds an orientation `tail(e) → head(e)` per edge (the paper's
+/// convention "(u1, u2) where u1 is the parent").
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QueryDag {
+    /// Root vertex when the DAG was built rooted (forward DAGs); reversed
+    /// DAGs generally have several sources and store `None`.
+    root: Option<QVertexId>,
+    /// `tail[e] → head[e]` orientation per query edge.
+    tail: Vec<QVertexId>,
+    head: Vec<QVertexId>,
+    /// `children[u]` = outgoing `(edge, child)` pairs; `parents[u]` mirrors.
+    children: Vec<Vec<(QEdgeId, QVertexId)>>,
+    parents: Vec<Vec<(QEdgeId, QVertexId)>>,
+    /// Vertices in a topological order (every tail before its head).
+    topo: Vec<QVertexId>,
+    /// Ancestor / descendant *vertex* sets per vertex (strict).
+    vanc: Vec<Set64>,
+    vdesc: Vec<Set64>,
+    /// `sub_edges[u]` = edge set of the sub-DAG `ˆq_u` (Definition II.5):
+    /// edges whose tail is `u` or a descendant of `u`.
+    sub_edges: Vec<Set64>,
+    /// `anc_edges[u]` = `A(u)`: edges whose head is `u` or an ancestor of
+    /// `u` — exactly the edges that are DAG-ancestors of every edge leaving
+    /// `u`.
+    anc_edges: Vec<Set64>,
+    /// `TR(u)` per polarity: the temporally relevant subset of `A(u)` whose
+    /// max-min timestamps must actually be stored at `u` (DESIGN.md §4).
+    relevant: [Vec<Set64>; 2],
+    /// Number of ordered `⇝` pairs (the DAG's score `S_r`, §III).
+    score: usize,
+}
+
+impl QueryDag {
+    /// Builds a `QueryDag` from an explicit orientation. `orient[e] == true`
+    /// means edge `e` is directed `q.edge(e).a → q.edge(e).b`.
+    ///
+    /// # Panics
+    /// Panics if the orientation contains a cycle.
+    pub fn from_orientation(q: &QueryGraph, orient: &[bool], root: Option<QVertexId>) -> QueryDag {
+        let n = q.num_vertices();
+        let m = q.num_edges();
+        assert_eq!(orient.len(), m);
+        let mut tail = vec![0; m];
+        let mut head = vec![0; m];
+        let mut children = vec![Vec::new(); n];
+        let mut parents = vec![Vec::new(); n];
+        for e in 0..m {
+            let qe = q.edge(e);
+            let (t, h) = if orient[e] { (qe.a, qe.b) } else { (qe.b, qe.a) };
+            tail[e] = t;
+            head[e] = h;
+            children[t].push((e, h));
+            parents[h].push((e, t));
+        }
+        // Kahn topological sort.
+        let mut indeg: Vec<usize> = (0..n).map(|u| parents[u].len()).collect();
+        let mut topo = Vec::with_capacity(n);
+        let mut stack: Vec<QVertexId> = (0..n).filter(|&u| indeg[u] == 0).collect();
+        while let Some(u) = stack.pop() {
+            topo.push(u);
+            for &(_, c) in &children[u] {
+                indeg[c] -= 1;
+                if indeg[c] == 0 {
+                    stack.push(c);
+                }
+            }
+        }
+        assert_eq!(topo.len(), n, "orientation contains a cycle");
+
+        // Ancestor sets in topo order; descendant sets in reverse.
+        let mut vanc = vec![Set64::EMPTY; n];
+        for &u in &topo {
+            for &(_, c) in &children[u] {
+                let merged = vanc[c].union(vanc[u]).union(Set64::singleton(u));
+                vanc[c] = merged;
+            }
+        }
+        let mut vdesc = vec![Set64::EMPTY; n];
+        let mut sub_edges = vec![Set64::EMPTY; n];
+        for &u in topo.iter().rev() {
+            for &(e, c) in &children[u] {
+                let merged_v = vdesc[u].union(vdesc[c]).union(Set64::singleton(c));
+                vdesc[u] = merged_v;
+                let merged_e = sub_edges[u].union(sub_edges[c]).union(Set64::singleton(e));
+                sub_edges[u] = merged_e;
+            }
+        }
+        let mut anc_edges = vec![Set64::EMPTY; n];
+        for &u in &topo {
+            for &(e, c) in &children[u] {
+                let merged = anc_edges[c]
+                    .union(anc_edges[u])
+                    .union(Set64::singleton(e));
+                anc_edges[c] = merged;
+            }
+        }
+
+        // TR(u) per polarity and the DAG score.
+        let order = q.order();
+        let mut relevant = [vec![Set64::EMPTY; n], vec![Set64::EMPTY; n]];
+        for (pi, pol) in Polarity::BOTH.iter().enumerate() {
+            for u in 0..n {
+                let mut tr = Set64::EMPTY;
+                for e in anc_edges[u].iter() {
+                    // e' must have a constrained edge inside ˆq_u.
+                    if !pol
+                        .constrained_side(order, e)
+                        .intersect(sub_edges[u])
+                        .is_empty()
+                    {
+                        tr.insert(e);
+                    }
+                }
+                relevant[pi][u] = tr;
+            }
+        }
+        let mut score = 0;
+        for e2 in 0..m {
+            score += anc_edges[tail[e2]].intersect(order.related_set(e2)).len();
+        }
+
+        QueryDag {
+            root,
+            tail,
+            head,
+            children,
+            parents,
+            topo,
+            vanc,
+            vdesc,
+            sub_edges,
+            anc_edges,
+            relevant,
+            score,
+        }
+    }
+
+    /// The reversed DAG `ˆq⁻¹` (every edge flipped; same ids).
+    pub fn reversed(&self, q: &QueryGraph) -> QueryDag {
+        // Reversed orientation directs `a → b` exactly when `a` is the
+        // current head.
+        let orient: Vec<bool> = (0..q.num_edges())
+            .map(|e| self.head[e] == q.edge(e).a)
+            .collect();
+        QueryDag::from_orientation(q, &orient, None)
+    }
+
+    /// The root, for rooted (forward) DAGs.
+    #[inline]
+    pub fn root(&self) -> Option<QVertexId> {
+        self.root
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// Tail (parent endpoint) of edge `e`.
+    #[inline]
+    pub fn tail(&self, e: QEdgeId) -> QVertexId {
+        self.tail[e]
+    }
+
+    /// Head (child endpoint) of edge `e`.
+    #[inline]
+    pub fn head(&self, e: QEdgeId) -> QVertexId {
+        self.head[e]
+    }
+
+    /// Outgoing `(edge, child)` pairs of `u`.
+    #[inline]
+    pub fn children(&self, u: QVertexId) -> &[(QEdgeId, QVertexId)] {
+        &self.children[u]
+    }
+
+    /// Incoming `(edge, parent)` pairs of `u`.
+    #[inline]
+    pub fn parents(&self, u: QVertexId) -> &[(QEdgeId, QVertexId)] {
+        &self.parents[u]
+    }
+
+    /// Vertices in topological order (tails before heads).
+    #[inline]
+    pub fn topo_order(&self) -> &[QVertexId] {
+        &self.topo
+    }
+
+    /// Strict ancestor vertex set of `u`.
+    #[inline]
+    pub fn ancestors(&self, u: QVertexId) -> Set64 {
+        self.vanc[u]
+    }
+
+    /// Strict descendant vertex set of `u`.
+    #[inline]
+    pub fn descendants(&self, u: QVertexId) -> Set64 {
+        self.vdesc[u]
+    }
+
+    /// Edge set of the sub-DAG `ˆq_u`.
+    #[inline]
+    pub fn sub_dag_edges(&self, u: QVertexId) -> Set64 {
+        self.sub_edges[u]
+    }
+
+    /// `A(u)`: edges whose head is `u` or an ancestor of `u`.
+    #[inline]
+    pub fn ancestor_edges(&self, u: QVertexId) -> Set64 {
+        self.anc_edges[u]
+    }
+
+    /// `TR(u)` for a polarity: ancestor edges whose max-min timestamp is
+    /// stored at `u`.
+    #[inline]
+    pub fn relevant_ancestors(&self, u: QVertexId, pol: Polarity) -> Set64 {
+        match pol {
+            Polarity::Later => self.relevant[0][u],
+            Polarity::Earlier => self.relevant[1][u],
+        }
+    }
+
+    /// True iff edge `a` is a DAG-ancestor of edge `b`
+    /// (`head(a) = tail(b)` or `head(a)` an ancestor of `tail(b)`).
+    #[inline]
+    pub fn edge_is_ancestor(&self, a: QEdgeId, b: QEdgeId) -> bool {
+        self.anc_edges[self.tail[b]].contains(a)
+    }
+
+    /// `e1 ⇝ e2` under a polarity: DAG-ancestry plus the polarity's temporal
+    /// relation (Definition II.4 split per DESIGN.md §4).
+    #[inline]
+    pub fn temporal_ancestor(
+        &self,
+        q: &QueryGraph,
+        pol: Polarity,
+        e1: QEdgeId,
+        e2: QEdgeId,
+    ) -> bool {
+        self.edge_is_ancestor(e1, e2) && pol.relates(q.order(), e1, e2)
+    }
+
+    /// The DAG score `S_r`: number of ordered pairs in the temporal
+    /// ancestor–descendant relation (both polarities).
+    #[inline]
+    pub fn score(&self) -> usize {
+        self.score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsm_graph::query::paper_running_example;
+
+    /// Orientation of Figure 3a: ε1=(u1,u2), ε2=(u1,u3), ε3=(u2,u4),
+    /// ε4=(u3,u4), ε5=(u4,u5), ε6=(u3,u5) — all stored `a → b` already.
+    fn figure_3a() -> (tcsm_graph::QueryGraph, QueryDag) {
+        let q = paper_running_example();
+        let orient = vec![true; 6];
+        let dag = QueryDag::from_orientation(&q, &orient, Some(0));
+        (q, dag)
+    }
+
+    #[test]
+    fn ancestry_matches_figure_3a() {
+        let (_q, dag) = figure_3a();
+        // ˆq_{u3} contains ε4, ε5, ε6 (Definition II.5 example).
+        let s = dag.sub_dag_edges(2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 4, 5]);
+        // ˆq_{ε2} = {ε2} ∪ ˆq_{u3} — edge sub-DAG is edge + sub_edges(head).
+        let e2_sub = dag.sub_dag_edges(dag.head(1)).union(Set64::singleton(1));
+        assert_eq!(e2_sub.iter().collect::<Vec<_>>(), vec![1, 3, 4, 5]);
+        // ε2 is an ancestor of ε4, ε5, ε6 (paper: "ε2 is an ancestor of ε4,
+        // ε5, and ε6 in Figure 3a").
+        assert!(dag.edge_is_ancestor(1, 3));
+        assert!(dag.edge_is_ancestor(1, 4));
+        assert!(dag.edge_is_ancestor(1, 5));
+        assert!(!dag.edge_is_ancestor(1, 0));
+        // ε4 is NOT an ancestor of ε6 (different branch under u3).
+        assert!(!dag.edge_is_ancestor(3, 5));
+    }
+
+    #[test]
+    fn score_matches_paper_example() {
+        // Example IV.2: the DAG of Figure 3a has score 5.
+        // Our score counts both polarities; all 5 pairs are Later-polarity
+        // pairs here: (ε1,ε3), (ε1,ε5), (ε2,ε4), (ε2,ε5), (ε2,ε6).
+        let (_q, dag) = figure_3a();
+        assert_eq!(dag.score(), 5);
+    }
+
+    #[test]
+    fn reversal_is_involutive_and_flips_ancestry() {
+        let (q, dag) = figure_3a();
+        let rev = dag.reversed(&q);
+        assert_eq!(rev.tail(0), dag.head(0));
+        assert_eq!(rev.head(0), dag.tail(0));
+        let back = rev.reversed(&q);
+        for e in 0..q.num_edges() {
+            assert_eq!(back.tail(e), dag.tail(e));
+        }
+        // In ˆq⁻¹, ε5=(u5,u4): ε5 is now an ancestor of ε1 (u4 → u2 path).
+        assert!(rev.edge_is_ancestor(4, 0));
+    }
+
+    #[test]
+    fn relevant_sets_respect_polarity() {
+        let (q, dag) = figure_3a();
+        // At u4 (=index 3): A(u4) = {ε3, ε4, ε1, ε2}; ˆq_{u4} = {ε5}.
+        let a = dag.ancestor_edges(3);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        // Later-polarity TR(u4): ancestors with a successor inside {ε5}:
+        // ε1 ≺ ε5 and ε2 ≺ ε5 ⇒ {ε1, ε2}.
+        let tr = dag.relevant_ancestors(3, Polarity::Later);
+        assert_eq!(tr.iter().collect::<Vec<_>>(), vec![0, 1]);
+        // Earlier-polarity TR(u4): ancestors with a predecessor inside {ε5}:
+        // none (ε5 precedes nothing in the running example).
+        assert!(dag.relevant_ancestors(3, Polarity::Earlier).is_empty());
+        let _ = q;
+    }
+
+    #[test]
+    fn topo_order_is_consistent() {
+        let (_q, dag) = figure_3a();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; dag.num_vertices()];
+            for (i, &u) in dag.topo_order().iter().enumerate() {
+                p[u] = i;
+            }
+            p
+        };
+        for e in 0..dag.num_edges() {
+            assert!(pos[dag.tail(e)] < pos[dag.head(e)]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cyclic_orientation_panics() {
+        let mut b = tcsm_graph::QueryGraphBuilder::new();
+        let v0 = b.vertex(0);
+        let v1 = b.vertex(0);
+        let v2 = b.vertex(0);
+        b.edge(v0, v1);
+        b.edge(v1, v2);
+        b.edge(v2, v0);
+        let q = b.build().unwrap();
+        // 0→1, 1→2, 2→0 is a cycle.
+        let _ = QueryDag::from_orientation(&q, &[true, true, true], None);
+    }
+}

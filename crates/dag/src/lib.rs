@@ -1,0 +1,27 @@
+//! # tcsm-dag
+//!
+//! Query DAGs for the TCM algorithm (paper §III–§IV-B).
+//!
+//! A rooted DAG `ˆq` is obtained from the temporal query graph `q` by
+//! directing every edge; the TC-matchable-edge filter considers the ordered
+//! pairs of edges that are in the *temporal ancestor–descendant* relation
+//! `⇝` of `ˆq` (Definition II.4), so the greedy [`build::build_dag`]
+//! (Algorithm 2) maximizes the number of such pairs, and
+//! [`build::build_best_dag`] tries every vertex as the root (Algorithm 1,
+//! lines 1–6).
+//!
+//! [`QueryDag`] precomputes the ancestry artefacts used throughout the
+//! filter and matcher: vertex ancestor/descendant sets, sub-DAG edge sets
+//! `ˆq_u` (Definition II.5), ancestor-edge sets `A(u)`, and the
+//! polarity-split *temporally relevant* sets `TR(u)` (DESIGN.md §4).
+//! [`path_tree::PathTree`] materializes Definition II.6 for the test oracle.
+
+pub mod build;
+pub mod dag;
+pub mod path_tree;
+pub mod polarity;
+
+pub use build::{build_best_dag, build_dag};
+pub use dag::QueryDag;
+pub use path_tree::PathTree;
+pub use polarity::Polarity;

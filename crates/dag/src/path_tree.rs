@@ -1,0 +1,160 @@
+//! Path trees (Definition II.6) — the semantic reference for weak
+//! embeddings.
+//!
+//! The production filter never materializes path trees (the Eq. 1 recurrence
+//! subsumes them); this module exists so tests can check the recurrence
+//! against the *definition*: a weak embedding of `ˆq_u` at `v` is a
+//! homomorphism of the path tree of `ˆq_u` with `u ↦ v` (Definition II.7).
+//! Path trees can be exponentially larger than their DAG, so construction is
+//! size-capped.
+
+use crate::dag::QueryDag;
+use tcsm_graph::{QEdgeId, QVertexId};
+
+/// One node of a path tree: a copy of a query vertex.
+#[derive(Clone, Debug)]
+pub struct PathTreeNode {
+    /// The query vertex this node is a copy of.
+    pub vertex: QVertexId,
+    /// Children as `(query edge, child node index)`.
+    pub children: Vec<(QEdgeId, usize)>,
+}
+
+/// The path tree of a sub-DAG `ˆq_u` (Definition II.6): each root-to-leaf
+/// path corresponds to a distinct root-to-leaf path of the DAG, with common
+/// prefixes shared.
+#[derive(Clone, Debug)]
+pub struct PathTree {
+    nodes: Vec<PathTreeNode>,
+}
+
+impl PathTree {
+    /// Builds the path tree of `ˆq_u`. Returns `None` if more than
+    /// `max_nodes` nodes would be created.
+    pub fn of_vertex(dag: &QueryDag, u: QVertexId, max_nodes: usize) -> Option<PathTree> {
+        let mut t = PathTree { nodes: Vec::new() };
+        t.nodes.push(PathTreeNode {
+            vertex: u,
+            children: Vec::new(),
+        });
+        t.expand(dag, 0, max_nodes)?;
+        Some(t)
+    }
+
+    /// Builds the path tree of `ˆq_e` (paths starting at edge `e`).
+    pub fn of_edge(dag: &QueryDag, e: QEdgeId, max_nodes: usize) -> Option<PathTree> {
+        let mut t = PathTree { nodes: Vec::new() };
+        t.nodes.push(PathTreeNode {
+            vertex: dag.tail(e),
+            children: Vec::new(),
+        });
+        t.nodes.push(PathTreeNode {
+            vertex: dag.head(e),
+            children: Vec::new(),
+        });
+        t.nodes[0].children.push((e, 1));
+        t.expand(dag, 1, max_nodes)?;
+        Some(t)
+    }
+
+    fn expand(&mut self, dag: &QueryDag, node: usize, max_nodes: usize) -> Option<()> {
+        // The path tree duplicates the sub-DAG under every distinct path, so
+        // a plain recursive unfolding is exactly the definition.
+        let qv = self.nodes[node].vertex;
+        for &(e, c) in dag.children(qv) {
+            if self.nodes.len() >= max_nodes {
+                return None;
+            }
+            let idx = self.nodes.len();
+            self.nodes.push(PathTreeNode {
+                vertex: c,
+                children: Vec::new(),
+            });
+            self.nodes[node].children.push((e, idx));
+            self.expand(dag, idx, max_nodes)?;
+        }
+        Some(())
+    }
+
+    /// Root node index (always 0).
+    #[inline]
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// All nodes.
+    #[inline]
+    pub fn nodes(&self) -> &[PathTreeNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tree is a single node.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Number of distinct root-to-leaf paths.
+    pub fn num_paths(&self) -> usize {
+        fn rec(t: &PathTree, n: usize) -> usize {
+            if t.nodes[n].children.is_empty() {
+                1
+            } else {
+                t.nodes[n].children.iter().map(|&(_, c)| rec(t, c)).sum()
+            }
+        }
+        rec(self, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::QueryDag;
+    use tcsm_graph::query::paper_running_example;
+
+    #[test]
+    fn figure_3c_path_tree_shape() {
+        // Path tree of ˆq (Figure 3a) rooted at u1 (Figure 3c):
+        // u1 has paths ε1→ε3→ε5, ε2→ε4→ε5, ε2→ε6 ⇒ 3 leaves.
+        let q = paper_running_example();
+        let dag = QueryDag::from_orientation(&q, &[true; 6], Some(0));
+        let t = PathTree::of_vertex(&dag, 0, 1000).unwrap();
+        assert_eq!(t.num_paths(), 3);
+        // Nodes: u1, u2, u4, u5 (via ε1ε3ε5), u3, u4', u5', u5'' ⇒ 8 copies.
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn edge_sub_tree() {
+        let q = paper_running_example();
+        let dag = QueryDag::from_orientation(&q, &[true; 6], Some(0));
+        // ˆq_{ε2}: ε2 then {ε4→ε5, ε6} ⇒ 2 paths, 5 nodes.
+        let t = PathTree::of_edge(&dag, 1, 1000).unwrap();
+        assert_eq!(t.num_paths(), 2);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.nodes()[0].vertex, 0); // u1
+    }
+
+    #[test]
+    fn size_cap_returns_none() {
+        let q = paper_running_example();
+        let dag = QueryDag::from_orientation(&q, &[true; 6], Some(0));
+        assert!(PathTree::of_vertex(&dag, 0, 3).is_none());
+    }
+
+    #[test]
+    fn leaf_vertex_tree_is_single_node() {
+        let q = paper_running_example();
+        let dag = QueryDag::from_orientation(&q, &[true; 6], Some(0));
+        let t = PathTree::of_vertex(&dag, 4, 10).unwrap(); // u5 is a leaf
+        assert!(t.is_empty());
+        assert_eq!(t.num_paths(), 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Temporal polarity of the `⇝` relation.
+//!
+//! Definition II.4 makes `e1 ⇝ e2` hold when `e1` is a DAG-ancestor of `e2`
+//! and the two are temporally related in *either* direction. The paper
+//! presents only the `e1 ≺ e2` case and implements `e2 ≺ e1` "in a
+//! symmetrical way"; we split `⇝` by polarity and run one max-min filter
+//! instance per polarity (DESIGN.md §4), mapping the `Earlier` case onto the
+//! `Later` machinery via timestamp negation.
+
+use serde::{Deserialize, Serialize};
+use tcsm_graph::{Set64, TemporalOrder};
+
+/// Which temporal direction a filter instance enforces on DAG descendants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Polarity {
+    /// Descendants `e'` with `e ≺ e'`: their images must be **later** than
+    /// the image of `e`.
+    Later,
+    /// Descendants `e'` with `e' ≺ e`: their images must be **earlier**.
+    Earlier,
+}
+
+impl Polarity {
+    /// Both polarities, in a fixed order.
+    pub const BOTH: [Polarity; 2] = [Polarity::Later, Polarity::Earlier];
+
+    /// Edges that must be on this polarity's side of `e`:
+    /// successors of `e` for `Later`, predecessors for `Earlier`.
+    #[inline]
+    pub fn constrained_side(self, order: &TemporalOrder, e: usize) -> Set64 {
+        match self {
+            Polarity::Later => order.successors(e),
+            Polarity::Earlier => order.predecessors(e),
+        }
+    }
+
+    /// True iff `anc ⇝ desc` holds *temporally* under this polarity
+    /// (the DAG-ancestry half of `⇝` is checked by the caller).
+    #[inline]
+    pub fn relates(self, order: &TemporalOrder, anc: usize, desc: usize) -> bool {
+        match self {
+            Polarity::Later => order.precedes(anc, desc),
+            Polarity::Earlier => order.precedes(desc, anc),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sides_are_mirrors() {
+        let o = TemporalOrder::new(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(
+            Polarity::Later.constrained_side(&o, 0),
+            o.successors(0)
+        );
+        assert_eq!(
+            Polarity::Earlier.constrained_side(&o, 2),
+            o.predecessors(2)
+        );
+        assert!(Polarity::Later.relates(&o, 0, 2));
+        assert!(!Polarity::Later.relates(&o, 2, 0));
+        assert!(Polarity::Earlier.relates(&o, 2, 0));
+    }
+}

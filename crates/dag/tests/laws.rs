@@ -1,0 +1,117 @@
+//! Structural laws of query DAGs on random queries.
+
+use proptest::prelude::*;
+use tcsm_dag::{build_best_dag, build_dag, Polarity};
+use tcsm_graph::{QueryGraphBuilder, Set64};
+
+fn arb_query() -> impl Strategy<Value = tcsm_graph::QueryGraph> {
+    (
+        2usize..8,
+        any::<u64>(),
+        prop::collection::vec((0usize..16, 0usize..16), 0..8),
+    )
+        .prop_map(|(n, seed, order_pairs)| {
+            let mut qb = QueryGraphBuilder::new();
+            for i in 0..n {
+                qb.vertex((seed >> i) as u32 % 3);
+            }
+            let mut m = 0usize;
+            for i in 1..n {
+                qb.edge((seed as usize >> i) % i, i);
+                m += 1;
+            }
+            // A couple of closing edges when they stay simple.
+            for k in 0..2usize {
+                let a = (seed as usize >> (2 * k)) % n;
+                let b = (seed as usize >> (2 * k + 7)) % n;
+                if a != b {
+                    let mut qb2 = qb.clone();
+                    qb2.edge(a.min(b), a.max(b));
+                    if qb2.clone().build().is_ok() {
+                        qb = qb2;
+                        m += 1;
+                    }
+                }
+            }
+            for &(x, y) in &order_pairs {
+                if m >= 2 {
+                    let x = x % m;
+                    let y = y % m;
+                    if x != y {
+                        qb.precede(x.min(y), x.max(y));
+                    }
+                }
+            }
+            qb.build().expect("valid random query")
+        })
+}
+
+proptest! {
+    #[test]
+    fn dag_structure_laws(q in arb_query()) {
+        for root in 0..q.num_vertices() {
+            let dag = build_dag(&q, root);
+            // Root has no parents; every other vertex has at least one.
+            prop_assert!(dag.parents(root).is_empty());
+            for u in 0..q.num_vertices() {
+                if u != root {
+                    prop_assert!(!dag.parents(u).is_empty());
+                }
+                // TR(u) ⊆ A(u) for both polarities.
+                for pol in Polarity::BOTH {
+                    prop_assert!(dag
+                        .relevant_ancestors(u, pol)
+                        .is_subset_of(dag.ancestor_edges(u)));
+                }
+                // Ancestor/descendant sets are consistent duals.
+                for w in dag.ancestors(u).iter() {
+                    prop_assert!(dag.descendants(w).contains(u));
+                }
+                // sub_dag_edges(u) = edges whose tail is u or a descendant.
+                let mut expect = Set64::EMPTY;
+                for e in 0..q.num_edges() {
+                    let t = dag.tail(e);
+                    if t == u || dag.descendants(u).contains(t) {
+                        expect.insert(e);
+                    }
+                }
+                prop_assert_eq!(dag.sub_dag_edges(u), expect);
+            }
+            // Reversal is an involution and swaps ancestor relations.
+            let rev = dag.reversed(&q);
+            for e in 0..q.num_edges() {
+                prop_assert_eq!(rev.tail(e), dag.head(e));
+                prop_assert_eq!(rev.head(e), dag.tail(e));
+            }
+            for a in 0..q.num_edges() {
+                for b in 0..q.num_edges() {
+                    if dag.edge_is_ancestor(a, b) {
+                        prop_assert!(rev.edge_is_ancestor(b, a));
+                    }
+                }
+            }
+            // Score equals the direct pair count over both polarities.
+            let mut count = 0;
+            for a in 0..q.num_edges() {
+                for b in 0..q.num_edges() {
+                    if dag.edge_is_ancestor(a, b) && q.order().related(a, b) {
+                        count += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(dag.score(), count);
+        }
+    }
+
+    #[test]
+    fn best_dag_dominates_every_root(q in arb_query()) {
+        let best = build_best_dag(&q);
+        for root in 0..q.num_vertices() {
+            prop_assert!(best.score() >= build_dag(&q, root).score());
+        }
+        // The score can never exceed the number of related ordered pairs
+        // (each unordered related pair contributes at most one ⇝ pair,
+        // since DAG ancestry is antisymmetric).
+        prop_assert!(best.score() <= q.order().num_pairs());
+    }
+}

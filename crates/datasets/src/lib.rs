@@ -1,0 +1,24 @@
+//! # tcsm-datasets
+//!
+//! Workload generation for the TCM evaluation (§VI).
+//!
+//! The paper evaluates on six datasets (Table III): Netflow, Wiki-talk,
+//! Superuser, StackOverflow, Yahoo and LSBench. None of these dumps is
+//! available offline, so [`profiles`] provides parameterized synthetic
+//! generators matched to each dataset's published statistics — vertex/edge
+//! counts (scaled 1:1000 by default), label alphabet sizes, degree skew and
+//! the average parallel-edge multiplicity `mavg` that drives the paper's
+//! multigraph arguments. See DESIGN.md §5 for why this substitution
+//! preserves the experiment shapes.
+//!
+//! [`querygen`] reimplements the paper's query generation protocol: random
+//! walks over the data graph (restricted to a time span so at least one
+//! time-constrained embedding occurs), plus temporal orders derived from a
+//! random permutation filtered by actual timestamps, with densities
+//! {0, 0.25, 0.5, 0.75, 1} (§VI "Queries").
+
+pub mod profiles;
+pub mod querygen;
+
+pub use profiles::{DatasetProfile, ALL_PROFILES};
+pub use querygen::QueryGen;

@@ -1,0 +1,244 @@
+//! The six dataset profiles of Table III, as synthetic generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tcsm_graph::{TemporalGraph, TemporalGraphBuilder, VertexId};
+
+/// A synthetic stand-in for one evaluation dataset.
+///
+/// Counts are the paper's Table III values divided by 1000 (the default
+/// `scale = 1.0`); raise `scale` to approach the originals.
+#[derive(Clone, Copy, Debug)]
+pub struct DatasetProfile {
+    /// Dataset name as used in the paper's figures.
+    pub name: &'static str,
+    /// Vertex count at `scale = 1`.
+    pub num_vertices: usize,
+    /// Edge count at `scale = 1`.
+    pub num_edges: usize,
+    /// Vertex label alphabet size (`|Σ_V|`).
+    pub vertex_labels: u32,
+    /// Edge label alphabet size (`|Σ_E|`; 1 = unlabelled).
+    pub edge_labels: u32,
+    /// Probability an arriving edge duplicates an existing vertex pair —
+    /// tuned so the expected parallel multiplicity matches `mavg`.
+    pub parallel_prob: f64,
+    /// Zipf exponent of the endpoint sampler (degree skew).
+    pub zipf_exponent: f64,
+    /// Whether the dataset is directed (all six are interaction networks,
+    /// matched directed in the paper's experiments).
+    pub directed: bool,
+}
+
+/// Netflow: 1 vertex label, a huge edge-label alphabet, extreme parallelism.
+pub const NETFLOW: DatasetProfile = DatasetProfile {
+    name: "Netflow",
+    num_vertices: 370,
+    num_edges: 15_960,
+    vertex_labels: 1,
+    edge_labels: 24,
+    parallel_prob: 0.964, // mavg ≈ 27.6
+    zipf_exponent: 1.1,
+    directed: true,
+};
+
+/// Wiki-talk: many vertex labels, moderate parallelism.
+pub const WIKI_TALK: DatasetProfile = DatasetProfile {
+    name: "Wiki-talk",
+    num_vertices: 1_140,
+    num_edges: 7_830,
+    vertex_labels: 26,
+    edge_labels: 1,
+    parallel_prob: 0.578, // mavg ≈ 2.37
+    zipf_exponent: 1.2,
+    directed: true,
+};
+
+/// Superuser: 5 vertex labels, 3 interaction-type edge labels.
+pub const SUPERUSER: DatasetProfile = DatasetProfile {
+    name: "Superuser",
+    num_vertices: 190,
+    num_edges: 1_440,
+    vertex_labels: 5,
+    edge_labels: 3,
+    parallel_prob: 0.359, // mavg ≈ 1.56
+    zipf_exponent: 1.0,
+    directed: true,
+};
+
+/// StackOverflow: the largest stream.
+pub const STACKOVERFLOW: DatasetProfile = DatasetProfile {
+    name: "StackOverflow",
+    num_vertices: 2_600,
+    num_edges: 63_500,
+    vertex_labels: 5,
+    edge_labels: 3,
+    parallel_prob: 0.43, // mavg ≈ 1.75
+    zipf_exponent: 1.1,
+    directed: true,
+};
+
+/// Yahoo: dense messaging network.
+pub const YAHOO: DatasetProfile = DatasetProfile {
+    name: "Yahoo",
+    num_vertices: 100,
+    num_edges: 3_180,
+    vertex_labels: 5,
+    edge_labels: 1,
+    parallel_prob: 0.715, // mavg ≈ 3.51
+    zipf_exponent: 0.9,
+    directed: true,
+};
+
+/// LSBench: sparse synthetic social stream, no parallel edges.
+pub const LSBENCH: DatasetProfile = DatasetProfile {
+    name: "LSBench",
+    num_vertices: 13_120,
+    num_edges: 21_040,
+    vertex_labels: 11,
+    edge_labels: 19,
+    parallel_prob: 0.0, // mavg = 1.00
+    zipf_exponent: 0.8,
+    directed: true,
+};
+
+/// All six profiles in the paper's figure order.
+pub const ALL_PROFILES: [DatasetProfile; 6] = [
+    NETFLOW,
+    WIKI_TALK,
+    SUPERUSER,
+    STACKOVERFLOW,
+    YAHOO,
+    LSBENCH,
+];
+
+/// Zipf-distributed index sampler over `0..n` (cumulative table + binary
+/// search; n is at most a few thousand here).
+struct Zipf {
+    cum: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Zipf {
+        let mut cum = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cum.push(acc);
+        }
+        Zipf { cum }
+    }
+
+    fn sample(&self, rng: &mut impl Rng) -> usize {
+        let total = *self.cum.last().expect("non-empty");
+        let x = rng.gen::<f64>() * total;
+        self.cum.partition_point(|&c| c < x).min(self.cum.len() - 1)
+    }
+}
+
+impl DatasetProfile {
+    /// Generates the synthetic temporal graph: one edge per tick
+    /// (`t = 1..=m`), Zipf endpoints, parallel-pair duplication, random
+    /// labels. Deterministic in `seed`.
+    pub fn generate(&self, seed: u64, scale: f64) -> TemporalGraph {
+        let n = ((self.num_vertices as f64 * scale).round() as usize).max(4);
+        let m = ((self.num_edges as f64 * scale).round() as usize).max(8);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7c5a_31f0);
+        let mut b = TemporalGraphBuilder::new();
+        for _ in 0..n {
+            b.vertex(rng.gen_range(0..self.vertex_labels));
+        }
+        let zipf = Zipf::new(n, self.zipf_exponent);
+        // Vertex identities are shuffled so the Zipf head isn't id 0..k.
+        let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+        for i in (1..n).rev() {
+            perm.swap(i, rng.gen_range(0..=i));
+        }
+        let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut pair_set: tcsm_graph::FxHashSet<(VertexId, VertexId)> =
+            tcsm_graph::FxHashSet::default();
+        for t in 1..=m as i64 {
+            let (src, dst) = if !pairs.is_empty() && rng.gen::<f64>() < self.parallel_prob {
+                pairs[rng.gen_range(0..pairs.len())]
+            } else {
+                loop {
+                    let a = perm[zipf.sample(&mut rng)];
+                    let c = perm[zipf.sample(&mut rng)];
+                    if a != c {
+                        break (a, c);
+                    }
+                }
+            };
+            if pair_set.insert((src.min(dst), src.max(dst))) {
+                pairs.push((src, dst));
+            }
+            let label = if self.edge_labels <= 1 {
+                0
+            } else {
+                rng.gen_range(0..self.edge_labels)
+            };
+            b.edge_full(src, dst, t, label);
+        }
+        b.build().expect("generator produces valid graphs")
+    }
+
+    /// The named window sizes of Table IV (`10k … 50k`), mapped onto the
+    /// scaled stream: the paper's windows hold 10k–50k edges of a stream of
+    /// millions; here window *i* holds `i/16` of the stream so the live
+    /// graph remains non-trivial at laptop scale (see EXPERIMENTS.md).
+    pub fn window_sizes(&self, scale: f64) -> [i64; 5] {
+        let m = (self.num_edges as f64 * scale).round() as i64;
+        [1, 2, 3, 4, 5].map(|i| (i * m / 16).max(8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_match_profiles_roughly() {
+        for p in ALL_PROFILES {
+            let g = p.generate(42, 0.25);
+            let want_v = (p.num_vertices as f64 * 0.25).round();
+            assert!((g.num_vertices() as f64 - want_v).abs() <= 1.0, "{}", p.name);
+            // mavg within a factor ~1.6 of the target (Zipf head collisions
+            // add parallel pairs beyond parallel_prob).
+            let target_mavg = 1.0 / (1.0 - p.parallel_prob);
+            let got = g.avg_parallel_edges();
+            assert!(
+                got >= target_mavg * 0.75 && got <= target_mavg * 2.5,
+                "{}: mavg {got} vs target {target_mavg}",
+                p.name
+            );
+            // Labels within the alphabet.
+            assert!(g.num_vertex_labels() <= p.vertex_labels as usize);
+            assert!(g.num_edge_labels() <= p.edge_labels.max(1) as usize);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = NETFLOW.generate(7, 0.1);
+        let b = NETFLOW.generate(7, 0.1);
+        assert_eq!(a.edges(), b.edges());
+        let c = NETFLOW.generate(8, 0.1);
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn timestamps_are_unique_ticks() {
+        let g = SUPERUSER.generate(3, 0.5);
+        let mut times: Vec<i64> = g.edges().iter().map(|e| e.time.raw()).collect();
+        times.sort_unstable();
+        times.dedup();
+        assert_eq!(times.len(), g.num_edges());
+    }
+
+    #[test]
+    fn window_sizes_are_increasing() {
+        let w = STACKOVERFLOW.window_sizes(1.0);
+        assert!(w.windows(2).all(|p| p[0] < p[1]));
+        assert!(w[0] >= 4);
+    }
+}

@@ -1,0 +1,80 @@
+//! Workload-generation contracts the experiments rely on.
+
+use tcsm_core::{MatchKind, TcmEngine};
+use tcsm_datasets::{QueryGen, ALL_PROFILES};
+
+#[test]
+fn every_profile_generates_matchable_queries() {
+    // The §VI protocol guarantees each query has at least one match in the
+    // stream (the walked subgraph itself). Verify per profile.
+    for p in ALL_PROFILES {
+        let g = p.generate(31, 0.12);
+        let delta = p.window_sizes(0.12)[2];
+        let qg = QueryGen::new(&g);
+        let mut found_any = false;
+        for seed in 0..6u64 {
+            let Some(q) = qg.generate(5, 0.5, delta * 3 / 4, seed) else {
+                continue;
+            };
+            let cfg = tcsm_core::EngineConfig {
+                directed: true,
+                collect_matches: false,
+                ..Default::default()
+            };
+            let mut e = TcmEngine::new(&q, &g, delta, cfg).unwrap();
+            let s = e.run_counting();
+            if s.occurred > 0 {
+                found_any = true;
+                break;
+            }
+        }
+        assert!(found_any, "{}: no generated query matched", p.name);
+    }
+}
+
+#[test]
+fn walk_witness_occurs_at_expected_density_one() {
+    // Density 1 queries force a total order; the walk witness must still
+    // occur.
+    let p = ALL_PROFILES[2]; // Superuser
+    let g = p.generate(8, 0.3);
+    let delta = p.window_sizes(0.3)[2];
+    let qg = QueryGen::new(&g);
+    let q = qg.generate(7, 1.0, delta * 3 / 4, 3).expect("query");
+    assert!((q.order().density() - 1.0).abs() < 1e-9);
+    let cfg = tcsm_core::EngineConfig {
+        directed: true,
+        ..Default::default()
+    };
+    let mut e = TcmEngine::new(&q, &g, delta, cfg).unwrap();
+    let events = e.run();
+    assert!(events.iter().any(|m| m.kind == MatchKind::Occurred));
+}
+
+#[test]
+fn scaled_profiles_preserve_shape_ratios() {
+    for p in ALL_PROFILES {
+        let small = p.generate(1, 0.1);
+        let big = p.generate(1, 0.4);
+        // Edge/vertex ratio (≈ davg/2) stays within 2× across scales.
+        let r_small = small.num_edges() as f64 / small.num_vertices() as f64;
+        let r_big = big.num_edges() as f64 / big.num_vertices() as f64;
+        let ratio = r_small.max(r_big) / r_small.min(r_big).max(1e-9);
+        assert!(ratio < 2.0, "{}: davg drifted {ratio}", p.name);
+    }
+}
+
+#[test]
+fn queries_inherit_labels_from_data() {
+    let p = ALL_PROFILES[0]; // Netflow: edge labels matter
+    let g = p.generate(2, 0.2);
+    let delta = p.window_sizes(0.2)[2];
+    let qg = QueryGen::new(&g);
+    let q = qg.generate(6, 0.5, delta * 3 / 4, 11).expect("query");
+    // Netflow has a single vertex label.
+    for u in 0..q.num_vertices() {
+        assert_eq!(q.label(u), g.label(0));
+    }
+    // Edge labels are copied from the walked data edges.
+    assert!(q.edges().iter().all(|e| e.label != tcsm_graph::EDGE_LABEL_ANY));
+}

@@ -1,0 +1,28 @@
+//! # tcsm-dcs
+//!
+//! The **dynamic candidate space** (DCS) auxiliary structure, rebuilt from
+//! SymBi (VLDB'21) as the paper's Algorithm 1 uses it (§III, "Updating the
+//! data structures").
+//!
+//! The DCS stores, for every label-compatible `(query vertex u, data vertex
+//! v)` pair, two boolean candidacies derived from weak embeddings of the
+//! query DAG:
+//!
+//! * `d1[u, v]` — every parent `u_p` of `u` in `ˆq` has some DCS edge
+//!   `((u_p, u), (v_p, v))`, with `d1[u_p, v_p]` (ancestor-side support);
+//! * `d2[u, v]` — `d1[u, v]` holds and every child `u_c` has some DCS edge
+//!   `((u, u_c), (v, v_c))` with `d2[u_c, v_c]` (descendant-side support).
+//!
+//! Where SymBi admits every label-matching edge pair as a DCS edge, TCM only
+//! admits pairs that survived the TC-matchable-edge filter (`E⁺/E⁻_DCS` from
+//! [`tcsm_filter::FilterBank`]), so both the update cost and the surviving
+//! candidates shrink (Table V measures exactly these two quantities).
+//!
+//! Updates are counter-based and incremental: each event's pair deltas are
+//! monotone (arrivals only add pairs, expirations only remove them), so the
+//! boolean flips propagate once per node per event.
+
+mod node;
+mod update;
+
+pub use node::Dcs;

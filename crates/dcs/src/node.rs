@@ -1,0 +1,134 @@
+//! DCS storage: per-node counters and the multiplicity index.
+
+use tcsm_dag::QueryDag;
+use tcsm_graph::{FxHashMap, QEdgeId, QVertexId, QueryGraph, VertexId};
+
+/// Per-`(u, v)` candidacy state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct NodeState {
+    /// Per parent slot: number of distinct `v_p` with a supporting DCS edge
+    /// (`mult > 0` and `d1[u_p, v_p]`).
+    pub n1: Box<[u32]>,
+    /// Per child slot: number of distinct `v_c` with `mult > 0` and
+    /// `d2[u_c, v_c]`.
+    pub n2: Box<[u32]>,
+    /// Cached `d1` / `d2` booleans (consistent with the counters).
+    pub d1: bool,
+    pub d2: bool,
+}
+
+impl NodeState {
+    pub(crate) fn n1_sat(&self) -> bool {
+        self.n1.iter().all(|&c| c > 0)
+    }
+
+    pub(crate) fn n2_sat(&self) -> bool {
+        self.n2.iter().all(|&c| c > 0)
+    }
+
+    pub(crate) fn is_zero(&self) -> bool {
+        self.n1.iter().all(|&c| c == 0) && self.n2.iter().all(|&c| c == 0)
+    }
+}
+
+/// The dynamic candidate space.
+pub struct Dcs {
+    pub(crate) dag: QueryDag,
+    /// Multiplicity of DCS edges per `(qedge, image of tail, image of head)`:
+    /// the number of alive oriented pairs currently admitted by the filter.
+    pub(crate) mult: FxHashMap<(QEdgeId, VertexId, VertexId), u32>,
+    pub(crate) nodes: FxHashMap<(QVertexId, VertexId), NodeState>,
+    /// Number of nodes with `d2 == true` (the Table V vertex metric).
+    pub(crate) d2_count: usize,
+    /// Parent/child slot of each edge at its head/tail (cached).
+    pub(crate) parent_slot: Vec<usize>,
+    pub(crate) child_slot: Vec<usize>,
+}
+
+impl Dcs {
+    /// Creates an empty DCS over the forward query DAG.
+    pub fn new(dag: QueryDag) -> Dcs {
+        let m = dag.num_edges();
+        let mut parent_slot = vec![0; m];
+        let mut child_slot = vec![0; m];
+        for u in 0..dag.num_vertices() {
+            for (i, &(e, _)) in dag.parents(u).iter().enumerate() {
+                parent_slot[e] = i;
+            }
+            for (i, &(e, _)) in dag.children(u).iter().enumerate() {
+                child_slot[e] = i;
+            }
+        }
+        Dcs {
+            dag,
+            mult: FxHashMap::default(),
+            nodes: FxHashMap::default(),
+            d2_count: 0,
+            parent_slot,
+            child_slot,
+        }
+    }
+
+    /// The DAG this DCS is built over.
+    #[inline]
+    pub fn dag(&self) -> &QueryDag {
+        &self.dag
+    }
+
+    /// Number of alive DCS edges for `(e, v_tail, v_head)` — i.e. how many
+    /// parallel data edges between the two images are admitted for `e`.
+    #[inline]
+    pub fn mult(&self, e: QEdgeId, v_tail: VertexId, v_head: VertexId) -> u32 {
+        self.mult.get(&(e, v_tail, v_head)).copied().unwrap_or(0)
+    }
+
+    /// `d1[u, v]` (ancestor-side candidacy).
+    #[inline]
+    pub fn d1(&self, q: &QueryGraph, g: &tcsm_graph::WindowGraph, u: QVertexId, v: VertexId) -> bool {
+        match self.nodes.get(&(u, v)) {
+            Some(n) => n.d1,
+            None => q.label(u) == g.label(v) && self.dag.parents(u).is_empty(),
+        }
+    }
+
+    /// `d2[u, v]` (full candidacy; implies `d1`).
+    #[inline]
+    pub fn d2(&self, q: &QueryGraph, g: &tcsm_graph::WindowGraph, u: QVertexId, v: VertexId) -> bool {
+        match self.nodes.get(&(u, v)) {
+            Some(n) => n.d2,
+            None => {
+                q.label(u) == g.label(v)
+                    && self.dag.parents(u).is_empty()
+                    && self.dag.children(u).is_empty()
+            }
+        }
+    }
+
+    /// Number of distinct `(qedge, data pair)` groups with alive DCS edges.
+    #[inline]
+    pub fn num_edge_groups(&self) -> usize {
+        self.mult.len()
+    }
+
+    /// Total DCS edge multiplicity (= number of admitted oriented pairs).
+    pub fn num_edges(&self) -> usize {
+        self.mult.values().map(|&c| c as usize).sum()
+    }
+
+    /// Number of `(u, v)` pairs with `d2` — the "vertices remaining in DCS
+    /// after filtering" metric of Table V.
+    ///
+    /// Nodes that are candidates *by default* (isolated single-vertex
+    /// queries) are not counted; every query this library accepts has at
+    /// least one edge, so default-`d2` nodes cannot occur.
+    #[inline]
+    pub fn num_candidate_vertices(&self) -> usize {
+        self.d2_count
+    }
+
+    /// Number of materialized node states (memory diagnostics).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}

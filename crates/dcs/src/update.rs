@@ -1,0 +1,401 @@
+//! Incremental DCS maintenance (`DCSInsertion` / `DCSDeletion` of
+//! Algorithm 1, following SymBi's counter scheme).
+
+use crate::node::{Dcs, NodeState};
+use tcsm_graph::{QEdgeId, QVertexId, QueryGraph, TemporalEdge, VertexId, WindowGraph};
+use tcsm_filter::DcsDelta;
+
+/// A pending counter adjustment.
+#[derive(Clone, Copy, Debug)]
+enum Work {
+    /// `n1[u, v][slot] += delta` (support from a parent-side change).
+    N1 {
+        u: QVertexId,
+        v: VertexId,
+        slot: usize,
+        delta: i32,
+    },
+    /// `n2[u, v][slot] += delta` (support from a child-side change).
+    N2 {
+        u: QVertexId,
+        v: VertexId,
+        slot: usize,
+        delta: i32,
+    },
+}
+
+impl Dcs {
+    /// Applies one event's DCS edge deltas (all additions or all removals).
+    ///
+    /// `g` is the window graph *after* the event; `lookup` resolves pair
+    /// keys to edge records (needed to place each pair's endpoint images).
+    pub fn apply<'a>(
+        &mut self,
+        q: &QueryGraph,
+        g: &WindowGraph,
+        lookup: impl Fn(tcsm_graph::EdgeKey) -> &'a TemporalEdge,
+        deltas: &[DcsDelta],
+    ) {
+        let mut work: Vec<Work> = Vec::new();
+        for d in deltas {
+            let e = d.pair.qedge;
+            let sigma = lookup(d.pair.key);
+            let tail = self.dag.tail(e);
+            let head = self.dag.head(e);
+            let v_tail = d.pair.image_of(q, sigma, tail);
+            let v_head = d.pair.image_of(q, sigma, head);
+            if d.added {
+                let m = self.mult.entry((e, v_tail, v_head)).or_insert(0);
+                *m += 1;
+                if *m == 1 {
+                    self.pair_edge_transition(q, g, e, v_tail, v_head, 1, &mut work);
+                }
+            } else {
+                let m = self
+                    .mult
+                    .get_mut(&(e, v_tail, v_head))
+                    .expect("removing pair with zero multiplicity");
+                *m -= 1;
+                if *m == 0 {
+                    self.mult.remove(&(e, v_tail, v_head));
+                    self.pair_edge_transition(q, g, e, v_tail, v_head, -1, &mut work);
+                }
+            }
+        }
+        self.drain(q, g, work);
+    }
+
+    /// A DCS edge group `(e, v_tail, v_head)` appeared (`delta = 1`) or
+    /// disappeared (`delta = -1`); seed the counter adjustments it implies.
+    #[allow(clippy::too_many_arguments)]
+    fn pair_edge_transition(
+        &mut self,
+        q: &QueryGraph,
+        g: &WindowGraph,
+        e: QEdgeId,
+        v_tail: VertexId,
+        v_head: VertexId,
+        delta: i32,
+        work: &mut Vec<Work>,
+    ) {
+        let tail = self.dag.tail(e);
+        let head = self.dag.head(e);
+        // Parent-side support for the head node.
+        if self.d1(q, g, tail, v_tail) {
+            work.push(Work::N1 {
+                u: head,
+                v: v_head,
+                slot: self.parent_slot[e],
+                delta,
+            });
+        }
+        // Child-side support for the tail node.
+        if self.d2(q, g, head, v_head) {
+            work.push(Work::N2 {
+                u: tail,
+                v: v_tail,
+                slot: self.child_slot[e],
+                delta,
+            });
+        }
+    }
+
+    fn ensure_node(&mut self, q: &QueryGraph, g: &WindowGraph, u: QVertexId, v: VertexId) {
+        if !self.nodes.contains_key(&(u, v)) {
+            let ns = Dcs::make_node_static(&self.dag, q, g, u, v);
+            self.nodes.insert((u, v), ns);
+        }
+    }
+
+    fn drain(&mut self, q: &QueryGraph, g: &WindowGraph, mut work: Vec<Work>) {
+        while let Some(w) = work.pop() {
+            let (u, v, crossed_zero) = match w {
+                Work::N1 { u, v, slot, delta } => {
+                    self.ensure_node(q, g, u, v);
+                    let node = self.nodes.get_mut(&(u, v)).expect("just ensured");
+                    let c = &mut node.n1[slot];
+                    let before = *c;
+                    *c = (*c as i64 + delta as i64) as u32;
+                    (u, v, (before == 0) != (*c == 0))
+                }
+                Work::N2 { u, v, slot, delta } => {
+                    self.ensure_node(q, g, u, v);
+                    let node = self.nodes.get_mut(&(u, v)).expect("just ensured");
+                    let c = &mut node.n2[slot];
+                    let before = *c;
+                    *c = (*c as i64 + delta as i64) as u32;
+                    (u, v, (before == 0) != (*c == 0))
+                }
+            };
+            if crossed_zero {
+                self.refresh_node(q, g, u, v, &mut work);
+            } else {
+                self.prune_node(u, v);
+            }
+        }
+    }
+
+    /// Recomputes `d1`/`d2` of a node from its counters; on flips, seeds the
+    /// induced adjustments in neighbours.
+    fn refresh_node(
+        &mut self,
+        q: &QueryGraph,
+        g: &WindowGraph,
+        u: QVertexId,
+        v: VertexId,
+        work: &mut Vec<Work>,
+    ) {
+        let label_ok = q.label(u) == g.label(v);
+        let (old_d1, old_d2, new_d1, new_d2) = {
+            let node = self.nodes.get_mut(&(u, v)).expect("node exists");
+            let old_d1 = node.d1;
+            let old_d2 = node.d2;
+            let new_d1 = label_ok && node.n1_sat();
+            let new_d2 = new_d1 && node.n2_sat();
+            node.d1 = new_d1;
+            node.d2 = new_d2;
+            (old_d1, old_d2, new_d1, new_d2)
+        };
+        if new_d2 != old_d2 {
+            if new_d2 {
+                self.d2_count += 1;
+            } else {
+                self.d2_count -= 1;
+            }
+        }
+        if new_d1 != old_d1 {
+            // d1[u, v] supports n1 of every child image connected by an
+            // alive DCS edge group.
+            let delta = if new_d1 { 1 } else { -1 };
+            let children: Vec<(QEdgeId, QVertexId)> = self.dag.children(u).to_vec();
+            for (e, uc) in children {
+                for (vc, _) in g.neighbors(v) {
+                    if self.mult(e, v, vc) > 0 {
+                        work.push(Work::N1 {
+                            u: uc,
+                            v: vc,
+                            slot: self.parent_slot[e],
+                            delta,
+                        });
+                    }
+                }
+            }
+        }
+        if new_d2 != old_d2 {
+            // d2[u, v] supports n2 of every parent image connected by an
+            // alive DCS edge group.
+            let delta = if new_d2 { 1 } else { -1 };
+            let parents: Vec<(QEdgeId, QVertexId)> = self.dag.parents(u).to_vec();
+            for (e, up) in parents {
+                for (vp, _) in g.neighbors(v) {
+                    if self.mult(e, vp, v) > 0 {
+                        work.push(Work::N2 {
+                            u: up,
+                            v: vp,
+                            slot: self.child_slot[e],
+                            delta,
+                        });
+                    }
+                }
+            }
+        }
+        self.prune_node(u, v);
+    }
+
+    /// Drops a node whose state equals the never-touched default.
+    fn prune_node(&mut self, u: QVertexId, v: VertexId) {
+        if let Some(node) = self.nodes.get(&(u, v)) {
+            if node.is_zero() {
+                // A zero-counter node's booleans equal the default's; safe to
+                // drop (d2_count was maintained on the flip).
+                self.nodes.remove(&(u, v));
+            }
+        }
+    }
+
+    fn make_node_static(
+        dag: &tcsm_dag::QueryDag,
+        q: &QueryGraph,
+        g: &WindowGraph,
+        u: QVertexId,
+        v: VertexId,
+    ) -> NodeState {
+        let np = dag.parents(u).len();
+        let nc = dag.children(u).len();
+        let label_ok = q.label(u) == g.label(v);
+        let d1 = label_ok && np == 0;
+        let d2 = d1 && nc == 0;
+        NodeState {
+            n1: vec![0; np].into_boxed_slice(),
+            n2: vec![0; nc].into_boxed_slice(),
+            d1,
+            d2,
+        }
+    }
+
+    /// From-scratch recomputation of `d1`/`d2` from the multiplicity index,
+    /// compared against the incremental state — the test invariant.
+    #[doc(hidden)]
+    pub fn check_consistency(&self, q: &QueryGraph, g: &WindowGraph) {
+        let n = g.num_vertices() as VertexId;
+        let nq = q.num_vertices();
+        // Fixpoint d1 in topo order, then d2 in reverse topo order.
+        let mut d1 = vec![vec![false; n as usize]; nq];
+        for &u in self.dag.topo_order() {
+            for v in 0..n {
+                if q.label(u) != g.label(v) {
+                    continue;
+                }
+                let ok = self.dag.parents(u).iter().all(|&(e, up)| {
+                    (0..n).any(|vp| self.mult(e, vp, v) > 0 && d1[up][vp as usize])
+                });
+                d1[u][v as usize] = ok;
+            }
+        }
+        let mut d2 = vec![vec![false; n as usize]; nq];
+        for &u in self.dag.topo_order().iter().rev() {
+            for v in 0..n {
+                if !d1[u][v as usize] {
+                    continue;
+                }
+                let ok = self.dag.children(u).iter().all(|&(e, uc)| {
+                    (0..n).any(|vc| self.mult(e, v, vc) > 0 && d2[uc][vc as usize])
+                });
+                d2[u][v as usize] = ok;
+            }
+        }
+        let mut expected_d2_count = 0;
+        for u in 0..nq {
+            for v in 0..n {
+                assert_eq!(
+                    self.d1(q, g, u, v),
+                    d1[u][v as usize],
+                    "d1 mismatch at (u{u}, v{v})"
+                );
+                assert_eq!(
+                    self.d2(q, g, u, v),
+                    d2[u][v as usize],
+                    "d2 mismatch at (u{u}, v{v})"
+                );
+                if d2[u][v as usize] {
+                    expected_d2_count += 1;
+                }
+            }
+        }
+        assert_eq!(self.d2_count, expected_d2_count, "d2_count diverged");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsm_dag::build_best_dag;
+    use tcsm_filter::{FilterBank, FilterMode};
+    use tcsm_graph::query::paper_running_example;
+    use tcsm_graph::{EventKind, EventQueue, TemporalGraphBuilder, WindowGraph};
+
+    fn figure_2a() -> tcsm_graph::TemporalGraph {
+        let mut b = TemporalGraphBuilder::new();
+        let labels = [0u32, 1, 5, 2, 3, 5, 4];
+        let v: Vec<_> = labels.iter().map(|&l| b.vertex(l)).collect();
+        b.edge(v[0], v[1], 1);
+        b.edge(v[3], v[4], 2);
+        b.edge(v[3], v[4], 3);
+        b.edge(v[0], v[3], 4);
+        b.edge(v[3], v[6], 5);
+        b.edge(v[0], v[1], 6);
+        b.edge(v[3], v[6], 7);
+        b.edge(v[0], v[3], 8);
+        b.edge(v[4], v[6], 9);
+        b.edge(v[4], v[6], 10);
+        b.edge(v[1], v[4], 11);
+        b.edge(v[0], v[3], 12);
+        b.edge(v[3], v[4], 13);
+        b.edge(v[3], v[6], 14);
+        b.build().unwrap()
+    }
+
+    fn run_stream(mode: FilterMode, delta: i64) -> (usize, usize) {
+        let q = paper_running_example();
+        let dag = build_best_dag(&q);
+        let g = figure_2a();
+        let mut w = WindowGraph::new(g.labels().to_vec(), false);
+        let mut bank = FilterBank::new(&q, &dag, mode);
+        let mut dcs = Dcs::new(dag.clone());
+        let mut deltas = Vec::new();
+        let mut peak_edges = 0;
+        let mut peak_vertices = 0;
+        let queue = EventQueue::new(&g, delta).unwrap();
+        for ev in queue.iter() {
+            let edge = *g.edge(ev.edge);
+            deltas.clear();
+            match ev.kind {
+                EventKind::Insert => {
+                    w.insert(&edge);
+                    bank.on_insert(&q, &w, &edge, |k| g.edge(k), &mut deltas);
+                }
+                EventKind::Delete => {
+                    w.remove(&edge);
+                    bank.on_delete(&q, &w, &edge, |k| g.edge(k), &mut deltas);
+                }
+            }
+            dcs.apply(&q, &w, |k| g.edge(k), &deltas);
+            dcs.check_consistency(&q, &w);
+            peak_edges = peak_edges.max(dcs.num_edges());
+            peak_vertices = peak_vertices.max(dcs.num_candidate_vertices());
+        }
+        assert_eq!(dcs.num_edges(), 0);
+        assert_eq!(dcs.num_candidate_vertices(), 0);
+        assert_eq!(dcs.num_nodes(), 0, "all node states pruned after drain");
+        (peak_edges, peak_vertices)
+    }
+
+    #[test]
+    fn incremental_matches_scratch_tc_mode() {
+        let (edges, vertices) = run_stream(FilterMode::Tc, 10);
+        assert!(edges > 0);
+        assert!(vertices > 0);
+    }
+
+    #[test]
+    fn incremental_matches_scratch_label_only_mode() {
+        let (edges, vertices) = run_stream(FilterMode::LabelOnly, 10);
+        assert!(edges > 0);
+        assert!(vertices > 0);
+    }
+
+    #[test]
+    fn tc_filter_shrinks_dcs() {
+        // Table V's premise: with the TC-matchable edge filter both the DCS
+        // edge count and the surviving vertex count shrink (or tie).
+        let (e_tc, v_tc) = run_stream(FilterMode::Tc, 14);
+        let (e_lo, v_lo) = run_stream(FilterMode::LabelOnly, 14);
+        assert!(e_tc < e_lo, "tc {e_tc} !< label-only {e_lo}");
+        assert!(v_tc <= v_lo);
+    }
+
+    #[test]
+    fn full_graph_d2_matches_expected_candidates() {
+        // With all 14 edges alive and label-only filtering, d2 should accept
+        // exactly the label-correct vertex pairs that have full support:
+        // u1↦v1, u2↦v2, u3↦v4, u4↦v5, u5↦v7.
+        let q = paper_running_example();
+        let dag = build_best_dag(&q);
+        let g = figure_2a();
+        let mut w = WindowGraph::new(g.labels().to_vec(), false);
+        let mut bank = FilterBank::new(&q, &dag, FilterMode::LabelOnly);
+        let mut dcs = Dcs::new(dag.clone());
+        let mut deltas = Vec::new();
+        for e in g.edges() {
+            w.insert(e);
+            deltas.clear();
+            bank.on_insert(&q, &w, e, |k| g.edge(k), &mut deltas);
+            dcs.apply(&q, &w, |k| g.edge(k), &deltas);
+        }
+        let expect = [(0usize, 0u32), (1, 1), (2, 3), (3, 4), (4, 6)];
+        for &(u, v) in &expect {
+            assert!(dcs.d2(&q, &w, u, v), "expected d2 at (u{u}, v{v})");
+        }
+        assert_eq!(dcs.num_candidate_vertices(), expect.len());
+    }
+}

@@ -1,0 +1,126 @@
+//! DCS candidacy laws on random streams.
+
+use proptest::prelude::*;
+use tcsm_dag::build_best_dag;
+use tcsm_dcs::Dcs;
+use tcsm_filter::{FilterBank, FilterMode};
+use tcsm_graph::*;
+
+fn arb_stream() -> impl Strategy<Value = (TemporalGraph, QueryGraph, i64)> {
+    (
+        3usize..6,
+        prop::collection::vec((0u32..8, 0u32..8, 1i64..20, 0u32..2), 4..14),
+        2usize..5,
+        any::<u64>(),
+        3i64..12,
+    )
+        .prop_map(|(n, edges, qn, seed, delta)| {
+            let mut b = TemporalGraphBuilder::new();
+            for i in 0..n {
+                b.vertex((seed >> i) as u32 % 2);
+            }
+            for (a, c, t, l) in edges {
+                let (a, c) = (a % n as u32, c % n as u32);
+                if a != c {
+                    b.edge_full(a, c, t, l);
+                }
+            }
+            let g = b.build().unwrap();
+            let mut qb = QueryGraphBuilder::new();
+            for i in 0..qn {
+                qb.vertex((seed >> (i + 8)) as u32 % 2);
+            }
+            for i in 1..qn {
+                qb.edge((seed as usize >> i) % i, i);
+            }
+            (g, qb.build().unwrap(), delta)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn d2_implies_d1_implies_labels((g, q, delta) in arb_stream()) {
+        for mode in [FilterMode::Tc, FilterMode::LabelOnly] {
+            let dag = build_best_dag(&q);
+            let mut w = WindowGraph::new(g.labels().to_vec(), false);
+            let mut bank = FilterBank::new(&q, &dag, mode);
+            let mut dcs = Dcs::new(dag.clone());
+            let mut deltas = Vec::new();
+            let queue = EventQueue::new(&g, delta).unwrap();
+            for ev in queue.iter() {
+                let edge = *g.edge(ev.edge);
+                deltas.clear();
+                match ev.kind {
+                    EventKind::Insert => {
+                        w.insert(&edge);
+                        bank.on_insert(&q, &w, &edge, |k| g.edge(k), &mut deltas);
+                    }
+                    EventKind::Delete => {
+                        w.remove(&edge);
+                        bank.on_delete(&q, &w, &edge, |k| g.edge(k), &mut deltas);
+                    }
+                }
+                dcs.apply(&q, &w, |k| g.edge(k), &deltas);
+                let mut d2_count = 0;
+                for u in 0..q.num_vertices() {
+                    for v in 0..g.num_vertices() as u32 {
+                        if dcs.d2(&q, &w, u, v) {
+                            d2_count += 1;
+                            prop_assert!(dcs.d1(&q, &w, u, v), "d2 without d1");
+                        }
+                        if dcs.d1(&q, &w, u, v) {
+                            prop_assert_eq!(q.label(u), g.label(v), "d1 label mismatch");
+                        }
+                    }
+                }
+                prop_assert_eq!(d2_count, dcs.num_candidate_vertices());
+                // Edge groups are bounded by alive edges × query edges × 2.
+                prop_assert!(
+                    dcs.num_edges() <= w.num_alive_edges() * q.num_edges() * 2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tc_mode_never_has_more_candidates((g, q, delta) in arb_stream()) {
+        let dag = build_best_dag(&q);
+        let mut w = WindowGraph::new(g.labels().to_vec(), false);
+        let mut bank_tc = FilterBank::new(&q, &dag, FilterMode::Tc);
+        let mut bank_lo = FilterBank::new(&q, &dag, FilterMode::LabelOnly);
+        let mut dcs_tc = Dcs::new(dag.clone());
+        let mut dcs_lo = Dcs::new(dag.clone());
+        let mut deltas = Vec::new();
+        let queue = EventQueue::new(&g, delta).unwrap();
+        for ev in queue.iter() {
+            let edge = *g.edge(ev.edge);
+            match ev.kind {
+                EventKind::Insert => {
+                    w.insert(&edge);
+                    deltas.clear();
+                    bank_tc.on_insert(&q, &w, &edge, |k| g.edge(k), &mut deltas);
+                    dcs_tc.apply(&q, &w, |k| g.edge(k), &deltas);
+                    deltas.clear();
+                    bank_lo.on_insert(&q, &w, &edge, |k| g.edge(k), &mut deltas);
+                    dcs_lo.apply(&q, &w, |k| g.edge(k), &deltas);
+                }
+                EventKind::Delete => {
+                    w.remove(&edge);
+                    deltas.clear();
+                    bank_tc.on_delete(&q, &w, &edge, |k| g.edge(k), &mut deltas);
+                    dcs_tc.apply(&q, &w, |k| g.edge(k), &deltas);
+                    deltas.clear();
+                    bank_lo.on_delete(&q, &w, &edge, |k| g.edge(k), &mut deltas);
+                    dcs_lo.apply(&q, &w, |k| g.edge(k), &deltas);
+                }
+            }
+            // Table V's premise as an invariant: the TC filter only shrinks.
+            prop_assert!(dcs_tc.num_edges() <= dcs_lo.num_edges());
+            prop_assert!(
+                dcs_tc.num_candidate_vertices() <= dcs_lo.num_candidate_vertices()
+            );
+        }
+    }
+}

@@ -1,0 +1,600 @@
+//! One `(DAG, polarity)` instance of the max-min timestamp machinery.
+//!
+//! An instance maintains, for its DAG `ˆd` and polarity `p`, the table
+//! `T[u, v, e′]` of Definition IV.3 restricted to the temporally relevant
+//! ancestor edges `TR(u)` (DESIGN.md §4), plus the weak-embedding existence
+//! bit `W[u, v]` which the paper encodes as `T = −∞`.
+//!
+//! All timestamps live in the *effective* domain: identity for the `Later`
+//! polarity, negation for `Earlier`. In that domain both polarities are the
+//! same max-min computation, and the TC-match condition (Lemma IV.3) is
+//! uniformly `eff(t) < T_eff[head(e), v_head, e]`.
+//!
+//! Updates follow Algorithm 3 (`TCMInsertion` / `TCMDeletion`): the entries
+//! of the endpoints matched by the changed data edge are recomputed first,
+//! then changes propagate towards DAG parents through alive data edges.
+//! Values are monotone per event (non-decreasing on insert, non-increasing
+//! on delete, in the effective domain), so the worklist converges and each
+//! candidate pair flips its per-instance status at most once per event.
+
+use crate::pair::{valid_orientations, CandPair};
+use tcsm_dag::{Polarity, QueryDag};
+use tcsm_graph::{
+    EdgeConstraint, FxHashMap, FxHashSet, PairEdges, QEdgeId, QVertexId, QueryGraph,
+    TemporalEdge, Ts, VertexId, WindowGraph,
+};
+
+/// Stored per `(query vertex, data vertex)` pair.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct Entry {
+    /// `W[u, v]`: does a weak embedding of `ˆd_u` at `v` exist?
+    exists: bool,
+    /// Max-min values (effective domain) for each edge of `TR(u)`, in
+    /// ascending edge-id order. All `NEG_INF` when `!exists`.
+    vals: Box<[Ts]>,
+}
+
+impl Entry {
+    fn non_existent(len: usize) -> Entry {
+        Entry {
+            exists: false,
+            vals: vec![Ts::NEG_INF; len].into_boxed_slice(),
+        }
+    }
+
+    /// Value for relevant-edge rank `i`, or the `∞/−∞` defaults.
+    #[inline]
+    fn value_at(&self, rank: Option<usize>) -> Ts {
+        if !self.exists {
+            return Ts::NEG_INF;
+        }
+        match rank {
+            Some(i) => self.vals[i],
+            None => Ts::INF,
+        }
+    }
+}
+
+/// One `(DAG, polarity)` filter instance.
+pub struct FilterInstance {
+    pol: Polarity,
+    dag: QueryDag,
+    /// `TR(u)` per vertex (cached from the DAG).
+    tr: Vec<tcsm_graph::Set64>,
+    table: FxHashMap<(QVertexId, VertexId), Entry>,
+    /// Scratch worklist, kept across events to reuse its allocation.
+    queue: Vec<(QVertexId, VertexId)>,
+    queued: FxHashSet<(QVertexId, VertexId)>,
+}
+
+impl FilterInstance {
+    /// Creates an instance for the given DAG orientation and polarity.
+    pub fn new(dag: QueryDag, pol: Polarity) -> FilterInstance {
+        let tr = (0..dag.num_vertices())
+            .map(|u| dag.relevant_ancestors(u, pol))
+            .collect();
+        FilterInstance {
+            pol,
+            dag,
+            tr,
+            table: FxHashMap::default(),
+            queue: Vec::new(),
+            queued: FxHashSet::default(),
+        }
+    }
+
+    /// The instance's polarity.
+    #[inline]
+    pub fn polarity(&self) -> Polarity {
+        self.pol
+    }
+
+    /// The instance's DAG.
+    #[inline]
+    pub fn dag(&self) -> &QueryDag {
+        &self.dag
+    }
+
+    /// Number of materialized (non-default) table entries.
+    #[inline]
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+
+    #[inline]
+    fn eff(&self, t: Ts) -> Ts {
+        match self.pol {
+            Polarity::Later => t,
+            Polarity::Earlier => t.neg(),
+        }
+    }
+
+    /// Max over alive parallel edges of `eff(t)`, under a constraint.
+    #[inline]
+    fn eff_max(&self, pair: &PairEdges, c: EdgeConstraint) -> Option<Ts> {
+        match self.pol {
+            Polarity::Later => pair.max_time(c),
+            Polarity::Earlier => pair.min_time(c).map(Ts::neg),
+        }
+    }
+
+    /// Rank of `e` within `TR(u)` (its index in the `vals` array).
+    #[inline]
+    fn rank(&self, u: QVertexId, e: QEdgeId) -> Option<usize> {
+        let tr = self.tr[u];
+        if tr.contains(e) {
+            let below = tr.bits() & ((1u64 << e) - 1);
+            Some(below.count_ones() as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Default (never-touched) entry for `(u, v)`: with no alive edges the
+    /// weak embedding exists iff `u` is a leaf and labels agree.
+    fn default_entry(&self, q: &QueryGraph, g: &WindowGraph, u: QVertexId, v: VertexId) -> Entry {
+        let len = self.tr[u].len();
+        if self.dag.children(u).is_empty() && q.label(u) == g.label(v) {
+            Entry {
+                exists: true,
+                vals: vec![Ts::INF; len].into_boxed_slice(),
+            }
+        } else {
+            Entry::non_existent(len)
+        }
+    }
+
+    /// `T_eff[u, v, e]` with all defaults applied (allocation-free: absent
+    /// entries are leaves-with-∞ or non-existent).
+    fn value(&self, q: &QueryGraph, g: &WindowGraph, u: QVertexId, v: VertexId, e: QEdgeId) -> Ts {
+        match self.table.get(&(u, v)) {
+            Some(en) => en.value_at(self.rank(u, e)),
+            None => {
+                if self.dag.children(u).is_empty() && q.label(u) == g.label(v) {
+                    Ts::INF
+                } else {
+                    Ts::NEG_INF
+                }
+            }
+        }
+    }
+
+    /// `T(ˆd)[u, v, e]` in the *natural* time domain (paper's orientation of
+    /// the value). Used by tests against the worked examples.
+    pub fn natural_value(
+        &self,
+        q: &QueryGraph,
+        g: &WindowGraph,
+        u: QVertexId,
+        v: VertexId,
+        e: QEdgeId,
+    ) -> Ts {
+        let v = self.value(q, g, u, v, e);
+        match self.pol {
+            Polarity::Later => v,
+            Polarity::Earlier => v.neg(),
+        }
+    }
+
+    /// Lemma IV.3 check: does this instance accept the oriented pair?
+    pub fn passes(
+        &self,
+        q: &QueryGraph,
+        g: &WindowGraph,
+        pair: CandPair,
+        sigma: &TemporalEdge,
+    ) -> bool {
+        let head = self.dag.head(pair.qedge);
+        let v_head = pair.image_of(q, sigma, head);
+        self.eff(sigma.time) < self.value(q, g, head, v_head, pair.qedge)
+    }
+
+    /// The [`EdgeConstraint`] for matching query edge `e` with data images
+    /// `v_tail ↦ tail(e)`, `v_head ↦ head(e)`.
+    fn constraint(
+        &self,
+        q: &QueryGraph,
+        g: &WindowGraph,
+        e: QEdgeId,
+        v_tail: VertexId,
+        v_head: VertexId,
+    ) -> EdgeConstraint {
+        let qe = q.edge(e);
+        let (img_a, img_b) = if qe.a == self.dag.tail(e) {
+            (v_tail, v_head)
+        } else {
+            (v_head, v_tail)
+        };
+        g.constraint_for(img_a, img_b, qe.direction, qe.label)
+    }
+
+    /// Full Eq. (1) evaluation of the entry at `(u, v)` from current child
+    /// entries and the alive adjacency of `v`.
+    fn recompute(&self, q: &QueryGraph, g: &WindowGraph, u: QVertexId, v: VertexId) -> Entry {
+        let tr = self.tr[u];
+        let len = tr.len();
+        if q.label(u) != g.label(v) {
+            return Entry::non_existent(len);
+        }
+        let order = q.order();
+        let mut exists = true;
+        let mut vals = vec![Ts::INF; len];
+        let mut best = vec![Ts::NEG_INF; len];
+        for &(echild, uc) in self.dag.children(u) {
+            best.iter_mut().for_each(|b| *b = Ts::NEG_INF);
+            let mut any = false;
+            // Absent child entries are defaults: leaves exist with all-∞
+            // values, internal vertices don't exist.
+            let child_default_exists = self.dag.children(uc).is_empty();
+            for (vc, pe) in g.neighbors(v) {
+                if g.label(vc) != q.label(uc) {
+                    continue;
+                }
+                let c = self.constraint(q, g, echild, v, vc);
+                let Some(tmax) = self.eff_max(pe, c) else {
+                    continue;
+                };
+                let child = self.table.get(&(uc, vc));
+                match child {
+                    Some(en) if !en.exists => continue,
+                    None if !child_default_exists => continue,
+                    _ => {}
+                }
+                any = true;
+                for (i, ep) in tr.iter().enumerate() {
+                    let tstar = match child {
+                        Some(en) => en.value_at(self.rank(uc, ep)),
+                        None => Ts::INF,
+                    };
+                    let f = if self.pol.relates(order, ep, echild) {
+                        tstar.min(tmax)
+                    } else {
+                        tstar
+                    };
+                    if f > best[i] {
+                        best[i] = f;
+                    }
+                }
+            }
+            if !any {
+                exists = false;
+                break;
+            }
+            for i in 0..len {
+                if best[i] < vals[i] {
+                    vals[i] = best[i];
+                }
+            }
+        }
+        if !exists {
+            Entry::non_existent(len)
+        } else {
+            Entry {
+                exists: true,
+                vals: vals.into_boxed_slice(),
+            }
+        }
+    }
+
+    fn enqueue(&mut self, u: QVertexId, v: VertexId) {
+        if self.queued.insert((u, v)) {
+            self.queue.push((u, v));
+        }
+    }
+
+    /// Algorithm 3 (`TCMInsertion`) / its deletion twin (`TCMDeletion`).
+    ///
+    /// `g` must already reflect the event (edge inserted / removed). Returns
+    /// every oriented pair of an *alive* data edge whose per-instance pass
+    /// status flipped during the update. Pairs of `sigma` itself are *not*
+    /// reported — the bank evaluates those directly.
+    pub fn apply(
+        &mut self,
+        q: &QueryGraph,
+        g: &WindowGraph,
+        sigma: &TemporalEdge,
+        flips: &mut Vec<CandPair>,
+    ) {
+        debug_assert!(self.queue.is_empty());
+        // Phase (i): seed the entries whose child-term gained or lost a
+        // parallel edge — the tail image of every orientation σ can take.
+        let mut seeds: Vec<(QVertexId, VertexId)> = Vec::new();
+        for e in 0..q.num_edges() {
+            for o in valid_orientations(q, g, e, sigma) {
+                let pair = CandPair {
+                    qedge: e,
+                    key: sigma.key,
+                    a_to_src: o,
+                };
+                let tail = self.dag.tail(e);
+                seeds.push((tail, pair.image_of(q, sigma, tail)));
+            }
+        }
+        for (u, v) in seeds {
+            self.enqueue(u, v);
+        }
+        // Phase (ii): propagate to parents while entries keep changing.
+        let mut to_enqueue: Vec<(QVertexId, VertexId)> = Vec::new();
+        while let Some((u, v)) = self.queue.pop() {
+            self.queued.remove(&(u, v));
+            let old = match self.table.get(&(u, v)) {
+                Some(en) => en.clone(),
+                None => self.default_entry(q, g, u, v),
+            };
+            let new = self.recompute(q, g, u, v);
+            if new == old {
+                continue;
+            }
+            if new == self.default_entry(q, g, u, v) {
+                self.table.remove(&(u, v));
+            } else {
+                self.table.insert((u, v), new.clone());
+            }
+            to_enqueue.clear();
+            for &(eparent, up) in self.dag.parents(u) {
+                let old_val = old.value_at(self.rank(u, eparent));
+                let new_val = new.value_at(self.rank(u, eparent));
+                let report = old_val != new_val;
+                for (vp, pe) in g.neighbors(v) {
+                    if g.label(vp) != q.label(up) {
+                        continue;
+                    }
+                    let c = self.constraint(q, g, eparent, vp, v);
+                    let mut matched = false;
+                    for rec in pe.iter_matching(c) {
+                        matched = true;
+                        if report {
+                            let teff = self.eff(rec.time);
+                            if (teff < old_val) != (teff < new_val) && rec.key != sigma.key {
+                                // Orientation: which endpoint of the stored
+                                // record is the image of the query edge's a?
+                                let qe = q.edge(eparent);
+                                let img_a = if qe.a == up { vp } else { v };
+                                let src = if rec.src_is_a { pe.a } else { pe.b };
+                                flips.push(CandPair {
+                                    qedge: eparent,
+                                    key: rec.key,
+                                    a_to_src: img_a == src,
+                                });
+                            }
+                        }
+                    }
+                    if matched {
+                        to_enqueue.push((up, vp));
+                    }
+                }
+            }
+            let pending = std::mem::take(&mut to_enqueue);
+            for (up, vp) in &pending {
+                self.enqueue(*up, *vp);
+            }
+            to_enqueue = pending;
+        }
+    }
+
+    /// Recomputes every reachable entry from scratch and asserts the table
+    /// matches — the incremental-maintenance invariant, used by tests.
+    #[doc(hidden)]
+    pub fn check_consistency(&self, q: &QueryGraph, g: &WindowGraph) {
+        // Every stored entry must equal its recomputation, and no stored
+        // entry may equal the default (those must be removed).
+        for (&(u, v), en) in &self.table {
+            let fresh = self.recompute(q, g, u, v);
+            assert_eq!(
+                en, &fresh,
+                "stale entry at (u{u}, v{v}) pol={:?}",
+                self.pol
+            );
+            assert_ne!(
+                en,
+                &self.default_entry(q, g, u, v),
+                "default entry not pruned at (u{u}, v{v})"
+            );
+        }
+        // Every label-compatible (u, v) pair with alive adjacency must be
+        // consistent with its recomputation (absent ⇒ default).
+        for u in 0..q.num_vertices() {
+            for v in 0..g.num_vertices() as VertexId {
+                if self.table.contains_key(&(u, v)) {
+                    continue;
+                }
+                let fresh = self.recompute(q, g, u, v);
+                assert_eq!(
+                    fresh,
+                    self.default_entry(q, g, u, v),
+                    "missing entry at (u{u}, v{v}) pol={:?}",
+                    self.pol
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use tcsm_dag::build_dag;
+    use tcsm_graph::query::paper_running_example;
+    use tcsm_graph::{TemporalGraph, TemporalGraphBuilder};
+
+    /// Figure 2a: v1..v7 (0-indexed v0..v6), σ1..σ14 arriving at t = 1..14.
+    /// Labels follow the figure's colours: v1~u1, v2~u2, v4~u3, v5~u4,
+    /// v7~u5; v3 and v6 carry a label matching nothing in the query.
+    pub(crate) fn figure_2a() -> TemporalGraph {
+        let mut b = TemporalGraphBuilder::new();
+        let labels = [0u32, 1, 5, 2, 3, 5, 4];
+        let v: Vec<_> = labels.iter().map(|&l| b.vertex(l)).collect();
+        // σi arrives at time i (1-indexed names).
+        b.edge(v[0], v[1], 1); // σ1  (v1,v2)
+        b.edge(v[3], v[4], 2); // σ2  (v4,v5)
+        b.edge(v[3], v[4], 3); // σ3  (v4,v5)
+        b.edge(v[0], v[3], 4); // σ4  (v1,v4)
+        b.edge(v[3], v[6], 5); // σ5  (v4,v7)
+        b.edge(v[0], v[1], 6); // σ6  (v1,v2)
+        b.edge(v[3], v[6], 7); // σ7  (v4,v7)
+        b.edge(v[0], v[3], 8); // σ8  (v1,v4)
+        b.edge(v[4], v[6], 9); // σ9  (v5,v7)
+        b.edge(v[4], v[6], 10); // σ10 (v5,v7)
+        b.edge(v[1], v[4], 11); // σ11 (v2,v5)
+        b.edge(v[0], v[3], 12); // σ12 (v1,v4)
+        b.edge(v[3], v[4], 13); // σ13 (v4,v5)
+        b.edge(v[3], v[6], 14); // σ14 (v4,v7)
+        b.build().unwrap()
+    }
+
+    fn window_with(g: &TemporalGraph, upto: i64) -> WindowGraph {
+        let mut w = WindowGraph::new(g.labels().to_vec(), false);
+        for e in g.edges() {
+            if e.time.raw() <= upto {
+                w.insert(e);
+            }
+        }
+        w
+    }
+
+    fn instance_after(upto: i64) -> (tcsm_graph::QueryGraph, TemporalGraph, WindowGraph, FilterInstance) {
+        let q = paper_running_example();
+        let dag = build_dag(&q, 0); // Figure 3a
+        let g = figure_2a();
+        let mut w = WindowGraph::new(g.labels().to_vec(), false);
+        let mut inst = FilterInstance::new(dag, Polarity::Later);
+        let mut flips = Vec::new();
+        for e in g.edges() {
+            if e.time.raw() <= upto {
+                w.insert(e);
+                inst.apply(&q, &w, e, &mut flips);
+            }
+        }
+        (q, g, w, inst)
+    }
+
+    #[test]
+    fn example_iv3_maxmin_value() {
+        // With all 14 edges: T[u3, v4, ε2] = 10 (Example IV.3/IV.4).
+        let (q, _g, w, inst) = instance_after(14);
+        assert_eq!(inst.natural_value(&q, &w, 2, 3, 1), Ts::new(10));
+        // Before σ14 arrives it is 7 (Example IV.4: "updated from 7 to 10").
+        let (q, _g, w, inst) = instance_after(13);
+        assert_eq!(inst.natural_value(&q, &w, 2, 3, 1), Ts::new(7));
+    }
+
+    #[test]
+    fn example_iv1_tc_matchability() {
+        let (q, g, w, inst) = instance_after(14);
+        // ε2 is TC-matchable with σ8 (t=8 < 10) but not σ12 (t=12 ≥ 10).
+        let sigma8 = g.edges().iter().find(|e| e.time == Ts::new(8)).unwrap();
+        let sigma12 = g.edges().iter().find(|e| e.time == Ts::new(12)).unwrap();
+        // ε2=(u1,u3): u1 ↦ v1=0 must be the tail side; σ8=(v0,v3).
+        let p8 = CandPair {
+            qedge: 1,
+            key: sigma8.key,
+            a_to_src: true,
+        };
+        let p12 = CandPair {
+            qedge: 1,
+            key: sigma12.key,
+            a_to_src: true,
+        };
+        assert!(inst.passes(&q, &w, p8, sigma8));
+        assert!(!inst.passes(&q, &w, p12, sigma12));
+    }
+
+    #[test]
+    fn intro_example_sigma4_filtered() {
+        // §I: "we can safely exclude σ4 from the matching candidates of ε2"
+        // because no path from σ4 satisfies ε2 ≺ ε4 … wait, the intro uses
+        // the constraint ε2 ≺ ε4 via the path ε2 → ε4. At t=4 nothing
+        // follows σ4 yet, so ε2 cannot TC-match σ4.
+        let (q, g, w, inst) = instance_after(4);
+        let sigma4 = g.edges().iter().find(|e| e.time == Ts::new(4)).unwrap();
+        let p = CandPair {
+            qedge: 1,
+            key: sigma4.key,
+            a_to_src: true,
+        };
+        assert!(!inst.passes(&q, &w, p, sigma4));
+    }
+
+    #[test]
+    fn flips_report_sigma8_on_sigma14_arrival() {
+        // Example IV.4: when σ14 arrives, (ε2, σ8) enters E⁺ but (ε2, σ12)
+        // does not.
+        let q = paper_running_example();
+        let dag = build_dag(&q, 0);
+        let g = figure_2a();
+        let mut w = WindowGraph::new(g.labels().to_vec(), false);
+        let mut inst = FilterInstance::new(dag, Polarity::Later);
+        let mut flips = Vec::new();
+        for e in g.edges() {
+            w.insert(e);
+            flips.clear();
+            inst.apply(&q, &w, e, &mut flips);
+            if e.time == Ts::new(14) {
+                let sigma8_key = g
+                    .edges()
+                    .iter()
+                    .find(|x| x.time == Ts::new(8))
+                    .unwrap()
+                    .key;
+                let sigma12_key = g
+                    .edges()
+                    .iter()
+                    .find(|x| x.time == Ts::new(12))
+                    .unwrap()
+                    .key;
+                assert!(flips
+                    .iter()
+                    .any(|p| p.qedge == 1 && p.key == sigma8_key));
+                assert!(!flips
+                    .iter()
+                    .any(|p| p.qedge == 1 && p.key == sigma12_key));
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_equals_scratch_over_stream() {
+        // Insert all edges then expire them with δ=6; after every event the
+        // table must equal its from-scratch recomputation.
+        let q = paper_running_example();
+        let g = figure_2a();
+        for pol in Polarity::BOTH {
+            let dag = build_dag(&q, 0);
+            let mut w = WindowGraph::new(g.labels().to_vec(), false);
+            let mut inst = FilterInstance::new(dag, pol);
+            let mut flips = Vec::new();
+            let queue = tcsm_graph::EventQueue::new(&g, 6).unwrap();
+            for ev in queue.iter() {
+                let edge = *g.edge(ev.edge);
+                match ev.kind {
+                    tcsm_graph::EventKind::Insert => {
+                        w.insert(&edge);
+                        inst.apply(&q, &w, &edge, &mut flips);
+                    }
+                    tcsm_graph::EventKind::Delete => {
+                        w.remove(&edge);
+                        inst.apply(&q, &w, &edge, &mut flips);
+                    }
+                }
+                inst.check_consistency(&q, &w);
+            }
+            assert_eq!(inst.table_len(), 0, "all entries pruned after drain");
+        }
+    }
+
+    #[test]
+    fn reversed_dag_instance_is_consistent_too() {
+        let q = paper_running_example();
+        let g = figure_2a();
+        let fwd = build_dag(&q, 0);
+        let dag = fwd.reversed(&q);
+        let mut w = WindowGraph::new(g.labels().to_vec(), false);
+        let mut inst = FilterInstance::new(dag, Polarity::Earlier);
+        let mut flips = Vec::new();
+        for e in g.edges() {
+            w.insert(e);
+            inst.apply(&q, &w, e, &mut flips);
+        }
+        inst.check_consistency(&q, &w);
+    }
+}

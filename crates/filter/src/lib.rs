@@ -1,0 +1,27 @@
+//! # tcsm-filter
+//!
+//! The *time-constrained matchable edge* filter of the paper (§IV).
+//!
+//! For a query DAG `ˆq`, a query edge `e` is a **TC-matchable edge** of a
+//! data edge `e` when a TC-weak embedding of `ˆq_e` at `e` exists
+//! (Definition IV.1); by Lemma IV.1 any `(e, e)` pair failing this test can
+//! never appear in a time-constrained embedding and is filtered. The test
+//! reduces (Lemma IV.3) to one comparison against the **max-min timestamp**
+//! `T(ˆq)[u, v, e]` (Definition IV.3), maintained incrementally by the
+//! Eq. (1) recurrence via `TCMInsertion`/`TCMDeletion` (Algorithm 3).
+//!
+//! [`instance::FilterInstance`] implements one `(DAG, polarity)` instance of
+//! that machinery; [`bank::FilterBank`] runs the four instances
+//! (`ˆq`/`ˆq⁻¹` × later/earlier, DESIGN.md §4) and turns their per-instance
+//! pass-flips into DCS insertion/deletion deltas (`E⁺_DCS` / `E⁻_DCS` of
+//! Algorithm 1). [`oracle`] recomputes max-min timestamps from the
+//! definition (path-tree weak embeddings) for tests.
+
+pub mod bank;
+pub mod instance;
+pub mod oracle;
+pub mod pair;
+
+pub use bank::{DcsDelta, FilterBank, FilterMode};
+pub use instance::FilterInstance;
+pub use pair::CandPair;

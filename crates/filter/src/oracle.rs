@@ -1,0 +1,185 @@
+//! Definitional recomputation of max-min timestamps, for tests.
+//!
+//! [`maxmin_by_definition`] enumerates every weak embedding of the path tree
+//! of `ˆd_u` at `v` (Definition II.7), takes each embedding's *min timestamp
+//! for `e`* over the polarity-constrained descendants (Definition IV.2, in
+//! the effective time domain), and returns the maximum (Definition IV.3).
+//! Exponential — only usable on the small graphs tests work with.
+
+use tcsm_dag::{PathTree, Polarity, QueryDag};
+use tcsm_graph::{QEdgeId, QVertexId, QueryGraph, Ts, VertexId, WindowGraph};
+
+/// Effective-domain timestamp of `t` under `pol`.
+fn eff(pol: Polarity, t: Ts) -> Ts {
+    match pol {
+        Polarity::Later => t,
+        Polarity::Earlier => t.neg(),
+    }
+}
+
+/// `T_eff(ˆd)[u, v, e]` recomputed from the definition. Panics if the path
+/// tree would exceed `max_nodes`.
+#[allow(clippy::too_many_arguments)]
+pub fn maxmin_by_definition(
+    q: &QueryGraph,
+    g: &WindowGraph,
+    dag: &QueryDag,
+    pol: Polarity,
+    u: QVertexId,
+    v: VertexId,
+    e: QEdgeId,
+    max_nodes: usize,
+) -> Ts {
+    if q.label(u) != g.label(v) {
+        return Ts::NEG_INF;
+    }
+    let tree = PathTree::of_vertex(dag, u, max_nodes).expect("path tree too large for oracle");
+    let constrained = pol.constrained_side(q.order(), e);
+
+    // DFS over tree nodes assigning data vertices; for each tree edge pick a
+    // data edge; track the min effective timestamp over constrained qedges.
+    #[allow(clippy::too_many_arguments)]
+    fn assign(
+        q: &QueryGraph,
+        g: &WindowGraph,
+        dag: &QueryDag,
+        pol: Polarity,
+        tree: &PathTree,
+        constrained: tcsm_graph::Set64,
+        node: usize,
+        img: VertexId,
+        running_min: Ts,
+        best: &mut Ts,
+    ) {
+        let children = &tree.nodes()[node].children;
+        if children.is_empty() {
+            if running_min > *best {
+                *best = running_min;
+            }
+            return;
+        }
+        // Children of one node are independent branches of the tree, but a
+        // weak embedding must fix all of them simultaneously; the min over
+        // branches composes, so recurse per child accumulating the min.
+        // Enumerate assignments branch by branch.
+        #[allow(clippy::too_many_arguments)]
+        fn per_child(
+            q: &QueryGraph,
+            g: &WindowGraph,
+            dag: &QueryDag,
+            pol: Polarity,
+            tree: &PathTree,
+            constrained: tcsm_graph::Set64,
+            node: usize,
+            img: VertexId,
+            child_idx: usize,
+            running_min: Ts,
+            best: &mut Ts,
+        ) {
+            let children = &tree.nodes()[node].children;
+            if child_idx == children.len() {
+                if running_min > *best {
+                    *best = running_min;
+                }
+                return;
+            }
+            let (qe, cnode) = children[child_idx];
+            let cq = tree.nodes()[cnode].vertex;
+            for (vc, pe) in g.neighbors(img) {
+                if g.label(vc) != q.label(cq) {
+                    continue;
+                }
+                let qedge = q.edge(qe);
+                let (img_a, img_b) = if qedge.a == dag.tail(qe) {
+                    (img, vc)
+                } else {
+                    (vc, img)
+                };
+                let c = g.constraint_for(img_a, img_b, qedge.direction, qedge.label);
+                for rec in pe.iter_matching(c) {
+                    let mut m = running_min;
+                    if constrained.contains(qe) {
+                        m = m.min(eff(pol, rec.time));
+                    }
+                    // Descend into the child subtree, then continue with the
+                    // remaining children. Collect the subtree's contribution
+                    // by enumerating it inline.
+                    let mut sub_best = Ts::NEG_INF;
+                    assign(
+                        q, g, dag, pol, tree, constrained, cnode, vc, m, &mut sub_best,
+                    );
+                    if sub_best > Ts::NEG_INF {
+                        per_child(
+                            q, g, dag, pol, tree, constrained, node, img,
+                            child_idx + 1, sub_best, best,
+                        );
+                    }
+                }
+            }
+        }
+        per_child(
+            q, g, dag, pol, tree, constrained, node, img, 0, running_min, best,
+        );
+    }
+
+    let mut best = Ts::NEG_INF;
+    assign(
+        q,
+        g,
+        dag,
+        pol,
+        &tree,
+        constrained,
+        tree.root(),
+        v,
+        Ts::INF,
+        &mut best,
+    );
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::FilterInstance;
+    use tcsm_dag::build_dag;
+    use tcsm_graph::query::paper_running_example;
+    use tcsm_graph::WindowGraph;
+
+    #[test]
+    fn oracle_matches_incremental_on_running_example() {
+        let q = paper_running_example();
+        let g = crate::instance::tests::figure_2a();
+        for pol in Polarity::BOTH {
+            let dag = build_dag(&q, 0);
+            let mut w = WindowGraph::new(g.labels().to_vec(), false);
+            let mut inst = FilterInstance::new(dag.clone(), pol);
+            let mut flips = Vec::new();
+            for e in g.edges() {
+                w.insert(e);
+                inst.apply(&q, &w, e, &mut flips);
+            }
+            for u in 0..q.num_vertices() {
+                for v in 0..7u32 {
+                    // The table only maintains values for ancestor edges
+                    // A(u) — the only entries Lemma IV.3 ever reads; the
+                    // definitional value of other edges is not stored.
+                    for e in dag.ancestor_edges(u).iter() {
+                        let oracle =
+                            maxmin_by_definition(&q, &w, &dag, pol, u, v, e, 100_000);
+                        let inc = match pol {
+                            Polarity::Later => inst.natural_value(&q, &w, u, v, e),
+                            Polarity::Earlier => {
+                                inst.natural_value(&q, &w, u, v, e).neg()
+                            }
+                        };
+                        assert_eq!(
+                            inc, oracle,
+                            "mismatch at u{u} v{v} e{e} pol={pol:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Candidate pairs: an oriented match of a query edge onto a data edge.
+
+use tcsm_graph::{
+    EdgeKey, QEdgeId, QVertexId, QueryGraph, TemporalEdge, VertexId, WindowGraph,
+};
+
+/// An oriented candidate `(ε, σ)`: query edge `qedge` mapped onto data edge
+/// `key`, with `a_to_src == true` meaning the query endpoint `a` maps to the
+/// data edge's storage `src` endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CandPair {
+    /// The query edge.
+    pub qedge: QEdgeId,
+    /// The data edge.
+    pub key: EdgeKey,
+    /// Orientation: `a ↦ src` when true, `a ↦ dst` when false.
+    pub a_to_src: bool,
+}
+
+impl CandPair {
+    /// Packs into a `u64` for set membership (qedge < 64).
+    #[inline]
+    pub fn pack(self) -> u64 {
+        (self.key.0 as u64) | ((self.a_to_src as u64) << 32) | ((self.qedge as u64) << 33)
+    }
+
+    /// Inverse of [`CandPair::pack`].
+    #[inline]
+    pub fn unpack(p: u64) -> CandPair {
+        CandPair {
+            qedge: (p >> 33) as QEdgeId,
+            key: EdgeKey(p as u32),
+            a_to_src: (p >> 32) & 1 == 1,
+        }
+    }
+
+    /// Image of query vertex `u` (an endpoint of `qedge`) under this pair.
+    #[inline]
+    pub fn image_of(&self, q: &QueryGraph, sigma: &TemporalEdge, u: QVertexId) -> VertexId {
+        let qe = q.edge(self.qedge);
+        if (u == qe.a) == self.a_to_src {
+            sigma.src
+        } else {
+            sigma.dst
+        }
+    }
+}
+
+/// Enumerates the orientations in which `σ` can match query edge `qe_id`:
+/// endpoint labels, edge label, and (in directed graphs) edge direction must
+/// all be compatible. Yields 0, 1 or 2 orientations.
+pub fn valid_orientations(
+    q: &QueryGraph,
+    g: &WindowGraph,
+    qe_id: QEdgeId,
+    sigma: &TemporalEdge,
+) -> impl Iterator<Item = bool> {
+    let qe = *q.edge(qe_id);
+    let label_ok = qe.label == tcsm_graph::EDGE_LABEL_ANY || qe.label == sigma.label;
+    let la = q.label(qe.a);
+    let lb = q.label(qe.b);
+    let lsrc = g.label(sigma.src);
+    let ldst = g.label(sigma.dst);
+    let directed = g.is_directed() && qe.direction == tcsm_graph::Direction::AToB;
+    let fwd = label_ok && la == lsrc && lb == ldst;
+    // `a ↦ dst` reverses the data edge; forbidden when direction matters.
+    let bwd = label_ok && la == ldst && lb == lsrc && !directed;
+    [true, false]
+        .into_iter()
+        .filter(move |&o| if o { fwd } else { bwd })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsm_graph::{Direction, QueryGraphBuilder, TemporalGraphBuilder};
+
+    #[test]
+    fn pack_roundtrip() {
+        for qedge in [0usize, 5, 63] {
+            for a_to_src in [true, false] {
+                let p = CandPair {
+                    qedge,
+                    key: EdgeKey(0xDEAD_BEEF),
+                    a_to_src,
+                };
+                assert_eq!(CandPair::unpack(p.pack()), p);
+            }
+        }
+    }
+
+    #[test]
+    fn orientations_respect_labels_and_direction() {
+        let mut qb = QueryGraphBuilder::new();
+        let a = qb.vertex(1);
+        let b = qb.vertex(2);
+        qb.edge_full(a, b, Direction::AToB, 7);
+        let q = qb.build().unwrap();
+
+        let mut gb = TemporalGraphBuilder::new();
+        let v0 = gb.vertex(1);
+        let v1 = gb.vertex(2);
+        gb.edge_full(v0, v1, 3, 7);
+        gb.edge_full(v1, v0, 4, 7); // reversed direction
+        gb.edge_full(v0, v1, 5, 9); // wrong label
+        let g = gb.build().unwrap();
+
+        // Undirected window: direction requirement ignored.
+        let mut w = WindowGraph::new(g.labels().to_vec(), false);
+        for e in g.edges() {
+            w.insert(e);
+        }
+        let o: Vec<bool> = valid_orientations(&q, &w, 0, &g.edges()[0]).collect();
+        assert_eq!(o, vec![true]); // labels 1→2 only fit a ↦ src
+        let o: Vec<bool> = valid_orientations(&q, &w, 0, &g.edges()[1]).collect();
+        assert_eq!(o, vec![false]); // reversed storage, a ↦ dst
+        let o: Vec<bool> = valid_orientations(&q, &w, 0, &g.edges()[2]).collect();
+        assert!(o.is_empty()); // label mismatch
+
+        // Directed window: the reversed edge no longer matches.
+        let wd = WindowGraph::new(g.labels().to_vec(), true);
+        let o: Vec<bool> = valid_orientations(&q, &wd, 0, &g.edges()[1]).collect();
+        assert!(o.is_empty());
+        let o: Vec<bool> = valid_orientations(&q, &wd, 0, &g.edges()[0]).collect();
+        assert_eq!(o, vec![true]);
+    }
+
+    #[test]
+    fn image_of_resolves_orientation() {
+        let mut qb = QueryGraphBuilder::new();
+        let a = qb.vertex(0);
+        let b = qb.vertex(0);
+        qb.edge(a, b);
+        let q = qb.build().unwrap();
+        let mut gb = TemporalGraphBuilder::new();
+        let v0 = gb.vertex(0);
+        let v1 = gb.vertex(0);
+        gb.edge(v0, v1, 1);
+        let g = gb.build().unwrap();
+        let sigma = &g.edges()[0];
+        let p = CandPair {
+            qedge: 0,
+            key: sigma.key,
+            a_to_src: true,
+        };
+        assert_eq!(p.image_of(&q, sigma, a), v0);
+        assert_eq!(p.image_of(&q, sigma, b), v1);
+        let p = CandPair {
+            a_to_src: false,
+            ..p
+        };
+        assert_eq!(p.image_of(&q, sigma, a), v1);
+        assert_eq!(p.image_of(&q, sigma, b), v0);
+    }
+}

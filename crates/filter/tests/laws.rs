@@ -1,0 +1,131 @@
+//! Monotonicity and soundness laws of the TC-matchable-edge filter.
+
+use proptest::prelude::*;
+use tcsm_dag::build_best_dag;
+use tcsm_filter::{CandPair, FilterBank, FilterMode};
+use tcsm_graph::*;
+
+fn arb_stream() -> impl Strategy<Value = (TemporalGraph, QueryGraph, i64)> {
+    (
+        3usize..6,
+        prop::collection::vec((0u32..8, 0u32..8, 1i64..20, 0u32..2), 4..14),
+        2usize..5,
+        any::<u64>(),
+        prop::collection::vec((0usize..8, 0usize..8), 0..4),
+        3i64..12,
+    )
+        .prop_map(|(n, edges, qn, seed, order_pairs, delta)| {
+            let mut b = TemporalGraphBuilder::new();
+            for i in 0..n {
+                b.vertex((seed >> i) as u32 % 2);
+            }
+            for (a, c, t, l) in edges {
+                let (a, c) = (a % n as u32, c % n as u32);
+                if a != c {
+                    b.edge_full(a, c, t, l);
+                }
+            }
+            let g = b.build().unwrap();
+            let mut qb = QueryGraphBuilder::new();
+            for i in 0..qn {
+                qb.vertex((seed >> (i + 8)) as u32 % 2);
+            }
+            let mut m = 0;
+            for i in 1..qn {
+                qb.edge((seed as usize >> i) % i, i);
+                m += 1;
+            }
+            for &(x, y) in &order_pairs {
+                if m >= 2 {
+                    let (x, y) = (x % m, y % m);
+                    if x != y {
+                        qb.precede(x.min(y), x.max(y));
+                    }
+                }
+            }
+            (g, qb.build().unwrap(), delta)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn insert_only_adds_delete_only_removes((g, q, delta) in arb_stream()) {
+        let dag = build_best_dag(&q);
+        let mut w = WindowGraph::new(g.labels().to_vec(), false);
+        let mut bank = FilterBank::new(&q, &dag, FilterMode::Tc);
+        let mut deltas = Vec::new();
+        let queue = EventQueue::new(&g, delta).unwrap();
+        for ev in queue.iter() {
+            let edge = *g.edge(ev.edge);
+            deltas.clear();
+            match ev.kind {
+                EventKind::Insert => {
+                    w.insert(&edge);
+                    bank.on_insert(&q, &w, &edge, |k| g.edge(k), &mut deltas);
+                    // Max-min values rise monotonically on insert: the
+                    // event may only ADD pairs.
+                    prop_assert!(deltas.iter().all(|d| d.added));
+                }
+                EventKind::Delete => {
+                    w.remove(&edge);
+                    bank.on_delete(&q, &w, &edge, |k| g.edge(k), &mut deltas);
+                    prop_assert!(deltas.iter().all(|d| !d.added));
+                }
+            }
+        }
+        prop_assert_eq!(bank.num_pairs(), 0);
+    }
+
+    #[test]
+    fn tc_filter_is_a_subset_of_label_filter((g, q, delta) in arb_stream()) {
+        let dag = build_best_dag(&q);
+        let mut w = WindowGraph::new(g.labels().to_vec(), false);
+        let mut tc = FilterBank::new(&q, &dag, FilterMode::Tc);
+        let mut lo = FilterBank::new(&q, &dag, FilterMode::LabelOnly);
+        let mut deltas = Vec::new();
+        let queue = EventQueue::new(&g, delta).unwrap();
+        let mut alive: Vec<TemporalEdge> = Vec::new();
+        for ev in queue.iter() {
+            let edge = *g.edge(ev.edge);
+            match ev.kind {
+                EventKind::Insert => {
+                    w.insert(&edge);
+                    alive.push(edge);
+                    deltas.clear();
+                    tc.on_insert(&q, &w, &edge, |k| g.edge(k), &mut deltas);
+                    deltas.clear();
+                    lo.on_insert(&q, &w, &edge, |k| g.edge(k), &mut deltas);
+                }
+                EventKind::Delete => {
+                    alive.retain(|e| e.key != edge.key);
+                    w.remove(&edge);
+                    deltas.clear();
+                    tc.on_delete(&q, &w, &edge, |k| g.edge(k), &mut deltas);
+                    deltas.clear();
+                    lo.on_delete(&q, &w, &edge, |k| g.edge(k), &mut deltas);
+                }
+            }
+            // Every TC pair is also a label pair (Lemma IV.1 filters are
+            // only ever *stricter*).
+            prop_assert!(tc.num_pairs() <= lo.num_pairs());
+            for sigma in &alive {
+                for e in 0..q.num_edges() {
+                    for o in [true, false] {
+                        let pair = CandPair { qedge: e, key: sigma.key, a_to_src: o };
+                        if tc.contains(pair) {
+                            prop_assert!(lo.contains(pair));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip(qedge in 0usize..64, key in any::<u32>(), o in any::<bool>()) {
+        let p = CandPair { qedge, key: EdgeKey(key), a_to_src: o };
+        prop_assert_eq!(CandPair::unpack(p.pack()), p);
+    }
+}

@@ -1,0 +1,182 @@
+//! Fixed-capacity bitsets over at most 64 elements.
+//!
+//! Query graphs are capped at 64 vertices and 64 edges (the paper evaluates
+//! queries of 5–15 edges), which lets temporal-order rows, `R⁺/R⁻` sets and
+//! temporal failing sets (Definition V.3) all be single machine words.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of element indices in `0..64`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Set64(u64);
+
+impl Set64 {
+    /// The empty set.
+    pub const EMPTY: Set64 = Set64(0);
+
+    /// Set containing the single element `i`.
+    #[inline]
+    pub fn singleton(i: usize) -> Set64 {
+        debug_assert!(i < 64);
+        Set64(1u64 << i)
+    }
+
+    /// Set containing all elements in `0..n`.
+    #[inline]
+    pub fn all(n: usize) -> Set64 {
+        debug_assert!(n <= 64);
+        if n == 64 {
+            Set64(u64::MAX)
+        } else {
+            Set64((1u64 << n) - 1)
+        }
+    }
+
+    #[inline]
+    pub fn contains(self, i: usize) -> bool {
+        debug_assert!(i < 64);
+        self.0 & (1u64 << i) != 0
+    }
+
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < 64);
+        self.0 |= 1u64 << i;
+    }
+
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < 64);
+        self.0 &= !(1u64 << i);
+    }
+
+    #[inline]
+    pub fn union(self, other: Set64) -> Set64 {
+        Set64(self.0 | other.0)
+    }
+
+    #[inline]
+    pub fn intersect(self, other: Set64) -> Set64 {
+        Set64(self.0 & other.0)
+    }
+
+    #[inline]
+    pub fn difference(self, other: Set64) -> Set64 {
+        Set64(self.0 & !other.0)
+    }
+
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    #[inline]
+    pub fn is_subset_of(self, other: Set64) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterates elements in increasing order.
+    #[inline]
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+
+    /// Raw word, for serialization and tests.
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Builds a set from a raw word.
+    #[inline]
+    pub fn from_bits(bits: u64) -> Set64 {
+        Set64(bits)
+    }
+}
+
+impl FromIterator<usize> for Set64 {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Set64 {
+        let mut s = Set64::EMPTY;
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+/// Ascending-order iterator over a [`Set64`].
+pub struct Iter(u64);
+
+impl Iterator for Iter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let i = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(i)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl fmt::Debug for Set64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = Set64::EMPTY;
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(63);
+        s.insert(17);
+        assert!(s.contains(0) && s.contains(63) && s.contains(17));
+        assert_eq!(s.len(), 3);
+        s.remove(17);
+        assert!(!s.contains(17));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63]);
+    }
+
+    #[test]
+    fn all_and_set_algebra() {
+        let a = Set64::all(5);
+        assert_eq!(a.len(), 5);
+        let b: Set64 = [3, 4, 5, 6].into_iter().collect();
+        assert_eq!(a.intersect(b).iter().collect::<Vec<_>>(), vec![3, 4]);
+        assert_eq!(a.union(b).len(), 7);
+        assert_eq!(a.difference(b).iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(Set64::singleton(3).is_subset_of(a));
+        assert!(!b.is_subset_of(a));
+        assert_eq!(Set64::all(64).len(), 64);
+    }
+
+    #[test]
+    fn iterator_is_sorted_and_exact() {
+        let s: Set64 = [9, 1, 33, 2].into_iter().collect();
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![1, 2, 9, 33]);
+        assert_eq!(s.iter().len(), 4);
+    }
+}

@@ -1,0 +1,292 @@
+//! Temporal data graphs (Definition II.1).
+//!
+//! A [`TemporalGraph`] is the *full* history: a vertex-labelled multigraph
+//! whose every edge carries a timestamp. It is immutable once built; the
+//! streaming view (window `δ`) is derived from it by [`crate::stream`] and
+//! materialized incrementally in a [`crate::window::WindowGraph`].
+
+use crate::error::GraphError;
+use crate::time::Ts;
+use crate::{EdgeLabel, Label};
+use serde::{Deserialize, Serialize};
+
+/// Index of a data vertex (`v` in the paper).
+pub type VertexId = u32;
+
+/// Stable identity of one data edge across its lifetime (`σ` in the paper).
+///
+/// Parallel edges between the same endpoints get distinct keys even when
+/// they share a timestamp, so `EdgeKey` — not `(u, v, t)` — is the identity
+/// used by mappings and the DCS.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeKey(pub u32);
+
+/// One data edge `(src, dst, t)` with an optional label.
+///
+/// For undirected graphs `src`/`dst` is merely the storage order; direction
+/// is only enforced when a query edge demands it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemporalEdge {
+    /// Stable identity.
+    pub key: EdgeKey,
+    /// Storage-order source endpoint.
+    pub src: VertexId,
+    /// Storage-order destination endpoint.
+    pub dst: VertexId,
+    /// Arrival timestamp `T_G(e)`.
+    pub time: Ts,
+    /// Edge label (`EDGE_LABEL_ANY`-labelled query edges ignore it).
+    pub label: EdgeLabel,
+}
+
+impl TemporalEdge {
+    /// The opposite endpoint.
+    #[inline]
+    pub fn other(&self, v: VertexId) -> VertexId {
+        if v == self.src {
+            self.dst
+        } else {
+            debug_assert_eq!(v, self.dst);
+            self.src
+        }
+    }
+}
+
+/// A complete temporal data graph.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TemporalGraph {
+    labels: Vec<Label>,
+    /// Edges sorted by `(time, key)` — i.e., in arrival order.
+    edges: Vec<TemporalEdge>,
+    /// Position of each key in `edges` (`key_pos[key] = index`).
+    key_pos: Vec<usize>,
+}
+
+impl TemporalGraph {
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges over the whole history.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Label of a vertex.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> Label {
+        self.labels[v as usize]
+    }
+
+    /// All vertex labels, indexed by `VertexId`.
+    #[inline]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Edges in arrival order.
+    #[inline]
+    pub fn edges(&self) -> &[TemporalEdge] {
+        &self.edges
+    }
+
+    /// Edge by key. Keys are dense (`0..num_edges`) but *not* in arrival
+    /// order, so this is an indexed lookup, not `edges()[key]`.
+    #[inline]
+    pub fn edge(&self, key: EdgeKey) -> &TemporalEdge {
+        // Keys are assigned before sorting; maintain a lookup by scanning is
+        // O(m); instead we store edges sorted and keep a permutation.
+        &self.edges[self.key_pos[key.0 as usize]]
+    }
+
+    /// Average number of parallel edges between adjacent vertex pairs
+    /// (`mavg` in Table III).
+    pub fn avg_parallel_edges(&self) -> f64 {
+        use std::collections::HashSet;
+        let mut pairs: HashSet<(VertexId, VertexId)> = HashSet::new();
+        for e in &self.edges {
+            let k = (e.src.min(e.dst), e.src.max(e.dst));
+            pairs.insert(k);
+        }
+        if pairs.is_empty() {
+            0.0
+        } else {
+            self.edges.len() as f64 / pairs.len() as f64
+        }
+    }
+
+    /// Average degree `2|E| / |V|` (`davg` in Table III; counts parallel
+    /// edges like the paper does).
+    pub fn avg_degree(&self) -> f64 {
+        if self.labels.is_empty() {
+            0.0
+        } else {
+            2.0 * self.edges.len() as f64 / self.labels.len() as f64
+        }
+    }
+
+    /// Number of distinct vertex labels.
+    pub fn num_vertex_labels(&self) -> usize {
+        let mut set: Vec<Label> = self.labels.clone();
+        set.sort_unstable();
+        set.dedup();
+        set.len()
+    }
+
+    /// Number of distinct edge labels.
+    pub fn num_edge_labels(&self) -> usize {
+        let mut set: Vec<EdgeLabel> = self.edges.iter().map(|e| e.label).collect();
+        set.sort_unstable();
+        set.dedup();
+        set.len()
+    }
+
+    /// Mean gap between consecutive arrival timestamps — the paper's unit
+    /// for window sizes ("we set each unit of the window size as the average
+    /// time span between two consecutive edges").
+    pub fn avg_interarrival(&self) -> f64 {
+        if self.edges.len() < 2 {
+            return 1.0;
+        }
+        let first = self.edges.first().unwrap().time.raw();
+        let last = self.edges.last().unwrap().time.raw();
+        ((last - first) as f64 / (self.edges.len() - 1) as f64).max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Incremental constructor for [`TemporalGraph`].
+#[derive(Default, Clone, Debug)]
+pub struct TemporalGraphBuilder {
+    labels: Vec<Label>,
+    edges: Vec<TemporalEdge>,
+}
+
+impl TemporalGraphBuilder {
+    /// New empty builder.
+    pub fn new() -> TemporalGraphBuilder {
+        TemporalGraphBuilder::default()
+    }
+
+    /// Adds a vertex; returns its id.
+    pub fn vertex(&mut self, label: Label) -> VertexId {
+        self.labels.push(label);
+        (self.labels.len() - 1) as VertexId
+    }
+
+    /// Adds `n` vertices with the same label; returns the first id.
+    pub fn vertices(&mut self, n: usize, label: Label) -> VertexId {
+        let first = self.labels.len() as VertexId;
+        self.labels.extend(std::iter::repeat_n(label, n));
+        first
+    }
+
+    /// Adds an unlabelled edge at time `t`; returns its key.
+    pub fn edge(&mut self, src: VertexId, dst: VertexId, t: i64) -> EdgeKey {
+        self.edge_full(src, dst, t, 0)
+    }
+
+    /// Adds a labelled edge at time `t`; returns its key.
+    pub fn edge_full(&mut self, src: VertexId, dst: VertexId, t: i64, label: EdgeLabel) -> EdgeKey {
+        let key = EdgeKey(self.edges.len() as u32);
+        self.edges.push(TemporalEdge {
+            key,
+            src,
+            dst,
+            time: Ts::new(t),
+            label,
+        });
+        key
+    }
+
+    /// Validates endpoints and freezes the graph (edges sorted by arrival).
+    pub fn build(self) -> Result<TemporalGraph, GraphError> {
+        let n = self.labels.len() as u32;
+        for e in &self.edges {
+            if e.src >= n {
+                return Err(GraphError::UnknownVertex(e.src));
+            }
+            if e.dst >= n {
+                return Err(GraphError::UnknownVertex(e.dst));
+            }
+            if e.src == e.dst {
+                return Err(GraphError::SelfLoop(e.src));
+            }
+        }
+        let mut edges = self.edges;
+        edges.sort_by_key(|e| (e.time, e.key));
+        let mut key_pos = vec![0usize; edges.len()];
+        for (pos, e) in edges.iter().enumerate() {
+            key_pos[e.key.0 as usize] = pos;
+        }
+        Ok(TemporalGraph {
+            labels: self.labels,
+            edges,
+            key_pos,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TemporalGraph {
+        let mut b = TemporalGraphBuilder::new();
+        let v0 = b.vertex(1);
+        let v1 = b.vertex(2);
+        let v2 = b.vertex(1);
+        b.edge(v0, v1, 5);
+        b.edge(v1, v2, 3);
+        b.edge(v0, v1, 9); // parallel with the first
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn edges_sorted_by_arrival_and_key_lookup() {
+        let g = tiny();
+        let times: Vec<i64> = g.edges().iter().map(|e| e.time.raw()).collect();
+        assert_eq!(times, vec![3, 5, 9]);
+        // EdgeKey(0) was the t=5 edge.
+        assert_eq!(g.edge(EdgeKey(0)).time, Ts::new(5));
+        assert_eq!(g.edge(EdgeKey(1)).time, Ts::new(3));
+    }
+
+    #[test]
+    fn stats() {
+        let g = tiny();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!((g.avg_parallel_edges() - 1.5).abs() < 1e-12);
+        assert!((g.avg_degree() - 2.0).abs() < 1e-12);
+        assert_eq!(g.num_vertex_labels(), 2);
+        assert_eq!(g.num_edge_labels(), 1);
+        assert!((g.avg_interarrival() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_validation() {
+        let mut b = TemporalGraphBuilder::new();
+        let v0 = b.vertex(0);
+        b.edge(v0, 99, 1);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GraphError::UnknownVertex(99)
+        ));
+
+        let mut b = TemporalGraphBuilder::new();
+        let v0 = b.vertex(0);
+        b.edge(v0, v0, 1);
+        assert!(matches!(b.build().unwrap_err(), GraphError::SelfLoop(0)));
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let g = tiny();
+        let e = g.edge(EdgeKey(0));
+        assert_eq!(e.other(e.src), e.dst);
+        assert_eq!(e.other(e.dst), e.src);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type shared by the substrate constructors.
+
+use std::fmt;
+
+/// Errors raised while building temporal graphs, query graphs, or temporal
+/// orders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex id referenced an out-of-range vertex.
+    UnknownVertex(u32),
+    /// Self-loops are not part of the paper's model.
+    SelfLoop(u32),
+    /// Query graphs must be simple (at most one edge per vertex pair).
+    DuplicateQueryEdge(u32, u32),
+    /// Query graphs are capped at 64 vertices / 64 edges (bitset layout).
+    QueryTooLarge(&'static str, usize),
+    /// The temporal order referenced an out-of-range edge index.
+    UnknownEdge(usize),
+    /// The relation's transitive closure was not irreflexive.
+    NotAStrictOrder(usize),
+    /// The query graph must be connected for the matching order to extend.
+    DisconnectedQuery,
+    /// A parse failure in the text loader, with the offending line number.
+    Parse(usize, String),
+    /// Window length must be positive.
+    NonPositiveWindow(i64),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownVertex(v) => write!(f, "unknown vertex id {v}"),
+            GraphError::SelfLoop(v) => write!(f, "self-loop on vertex {v} is not supported"),
+            GraphError::DuplicateQueryEdge(a, b) => {
+                write!(f, "duplicate query edge between {a} and {b} (query graphs are simple)")
+            }
+            GraphError::QueryTooLarge(what, n) => {
+                write!(f, "query has {n} {what}; at most 64 are supported")
+            }
+            GraphError::UnknownEdge(e) => write!(f, "unknown edge index {e} in temporal order"),
+            GraphError::NotAStrictOrder(e) => {
+                write!(f, "temporal order closure contains e{e} ≺ e{e}; not a strict partial order")
+            }
+            GraphError::DisconnectedQuery => write!(f, "query graph must be connected"),
+            GraphError::Parse(line, msg) => write!(f, "parse error at line {line}: {msg}"),
+            GraphError::NonPositiveWindow(d) => write!(f, "window must be positive, got {d}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::DuplicateQueryEdge(1, 2);
+        assert!(e.to_string().contains("duplicate query edge"));
+        let e = GraphError::QueryTooLarge("edges", 65);
+        assert!(e.to_string().contains("65"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Plain-text loaders/savers for temporal graphs and queries.
+//!
+//! Data graph format (one record per line, `#` comments allowed):
+//! ```text
+//! v <vertex-id> <label>
+//! e <src> <dst> <time> [edge-label]
+//! ```
+//! Query format adds direction/order records:
+//! ```text
+//! v <vertex-id> <label>
+//! e <a> <b> [-> | --] [edge-label]
+//! o <edge-index> <edge-index>     # left ≺ right
+//! ```
+//! Vertex ids must be dense (`0..n`) in both formats.
+
+use crate::data::{TemporalGraph, TemporalGraphBuilder};
+use crate::error::GraphError;
+use crate::query::{Direction, QueryGraph, QueryGraphBuilder};
+use crate::EDGE_LABEL_ANY;
+use std::fmt::Write as _;
+
+fn parse_err(line: usize, msg: impl Into<String>) -> GraphError {
+    GraphError::Parse(line, msg.into())
+}
+
+/// Parses a temporal data graph from the text format above.
+pub fn parse_temporal_graph(text: &str) -> Result<TemporalGraph, GraphError> {
+    let mut b = TemporalGraphBuilder::new();
+    let mut expected_vid = 0u32;
+    for (no, raw) in text.lines().enumerate() {
+        let line = no + 1;
+        let l = raw.trim();
+        if l.is_empty() || l.starts_with('#') {
+            continue;
+        }
+        let mut it = l.split_whitespace();
+        match it.next() {
+            Some("v") => {
+                let id: u32 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(line, "bad vertex id"))?;
+                if id != expected_vid {
+                    return Err(parse_err(line, format!("vertex ids must be dense, expected {expected_vid}")));
+                }
+                let label: u32 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(line, "bad vertex label"))?;
+                b.vertex(label);
+                expected_vid += 1;
+            }
+            Some("e") => {
+                let src: u32 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(line, "bad edge src"))?;
+                let dst: u32 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(line, "bad edge dst"))?;
+                let t: i64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(line, "bad edge time"))?;
+                let label: u32 = match it.next() {
+                    Some(s) => s.parse().map_err(|_| parse_err(line, "bad edge label"))?,
+                    None => 0,
+                };
+                b.edge_full(src, dst, t, label);
+            }
+            Some(tok) => return Err(parse_err(line, format!("unknown record '{tok}'"))),
+            None => unreachable!(),
+        }
+    }
+    b.build()
+}
+
+/// Serializes a temporal data graph to the text format.
+pub fn write_temporal_graph(g: &TemporalGraph) -> String {
+    let mut s = String::new();
+    for (v, &label) in g.labels().iter().enumerate() {
+        let _ = writeln!(s, "v {v} {label}");
+    }
+    for e in g.edges() {
+        let _ = writeln!(s, "e {} {} {} {}", e.src, e.dst, e.time.raw(), e.label);
+    }
+    s
+}
+
+/// Parses a temporal query graph from the text format above.
+pub fn parse_query_graph(text: &str) -> Result<QueryGraph, GraphError> {
+    let mut b = QueryGraphBuilder::new();
+    let mut expected_vid = 0usize;
+    for (no, raw) in text.lines().enumerate() {
+        let line = no + 1;
+        let l = raw.trim();
+        if l.is_empty() || l.starts_with('#') {
+            continue;
+        }
+        let mut it = l.split_whitespace();
+        match it.next() {
+            Some("v") => {
+                let id: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(line, "bad vertex id"))?;
+                if id != expected_vid {
+                    return Err(parse_err(line, format!("vertex ids must be dense, expected {expected_vid}")));
+                }
+                let label: u32 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(line, "bad vertex label"))?;
+                b.vertex(label);
+                expected_vid += 1;
+            }
+            Some("e") => {
+                let a: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(line, "bad edge endpoint"))?;
+                let bb: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(line, "bad edge endpoint"))?;
+                let mut dir = Direction::Undirected;
+                let mut label = EDGE_LABEL_ANY;
+                for tok in it {
+                    match tok {
+                        "->" => dir = Direction::AToB,
+                        "--" => dir = Direction::Undirected,
+                        other => {
+                            label = other
+                                .parse()
+                                .map_err(|_| parse_err(line, "bad edge label"))?;
+                        }
+                    }
+                }
+                b.edge_full(a, bb, dir, label);
+            }
+            Some("o") => {
+                let x: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(line, "bad order pair"))?;
+                let y: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(line, "bad order pair"))?;
+                b.precede(x, y);
+            }
+            Some(tok) => return Err(parse_err(line, format!("unknown record '{tok}'"))),
+            None => unreachable!(),
+        }
+    }
+    b.build()
+}
+
+/// Serializes a query graph to the text format.
+pub fn write_query_graph(q: &QueryGraph) -> String {
+    let mut s = String::new();
+    for u in 0..q.num_vertices() {
+        let _ = writeln!(s, "v {u} {}", q.label(u));
+    }
+    for e in q.edges() {
+        let dir = match e.direction {
+            Direction::AToB => "->",
+            Direction::Undirected => "--",
+        };
+        if e.label == EDGE_LABEL_ANY {
+            let _ = writeln!(s, "e {} {} {dir}", e.a, e.b);
+        } else {
+            let _ = writeln!(s, "e {} {} {dir} {}", e.a, e.b, e.label);
+        }
+    }
+    for (a, b) in q.order().pairs() {
+        let _ = writeln!(s, "o {a} {b}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_graph_roundtrip() {
+        let text = "\n# demo\nv 0 1\nv 1 2\nv 2 1\ne 0 1 5 3\ne 1 2 7\n";
+        let g = parse_temporal_graph(text).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        let text2 = write_temporal_graph(&g);
+        let g2 = parse_temporal_graph(&text2).unwrap();
+        assert_eq!(g2.num_edges(), 2);
+        assert_eq!(g2.edges()[0].label, 3);
+    }
+
+    #[test]
+    fn query_graph_roundtrip() {
+        let text = "v 0 1\nv 1 1\nv 2 2\ne 0 1 -> 9\ne 1 2\no 0 1\n";
+        let q = parse_query_graph(text).unwrap();
+        assert_eq!(q.num_edges(), 2);
+        assert_eq!(q.edge(0).direction, Direction::AToB);
+        assert_eq!(q.edge(0).label, 9);
+        assert!(q.order().precedes(0, 1));
+        let q2 = parse_query_graph(&write_query_graph(&q)).unwrap();
+        assert!(q2.order().precedes(0, 1));
+        assert_eq!(q2.edge(0).label, 9);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_temporal_graph("v 0 1\nx 1 2\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse(2, _)));
+        let err = parse_temporal_graph("v 1 1\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse(1, _)));
+        let err = parse_query_graph("v 0 1\ne 0 zz\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse(2, _)));
+    }
+}

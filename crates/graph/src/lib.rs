@@ -1,0 +1,47 @@
+//! # tcsm-graph
+//!
+//! Substrate crate for the TCM reproduction: temporal multigraphs, temporal
+//! query graphs with a strict partial order on edges, and the sliding-window
+//! streaming machinery of the paper's problem statement (§II).
+//!
+//! A *temporal data graph* `G = (V, E, L_G, T_G)` assigns a label to every
+//! vertex and a timestamp to every edge; parallel edges between the same
+//! vertex pair are distinguished by timestamp. With a window `δ` and current
+//! time `t`, only edges with timestamp in `(t − δ, t]` are alive, which turns
+//! `G` into a stream of arrival/expiration events (`stream` module) over a
+//! live [`WindowGraph`].
+//!
+//! A *temporal query graph* `q = (V, E, L_q, ≺)` additionally carries a
+//! strict partial order `≺` on its edge set (`order` module); an embedding
+//! must respect both the topology and `≺` (Definition II.3).
+
+pub mod bitset;
+pub mod data;
+pub mod error;
+pub mod fx;
+pub mod io;
+pub mod order;
+pub mod query;
+pub mod stream;
+pub mod time;
+pub mod window;
+
+pub use bitset::Set64;
+pub use data::{EdgeKey, TemporalEdge, TemporalGraph, TemporalGraphBuilder, VertexId};
+pub use error::GraphError;
+pub use fx::{FxHashMap, FxHashSet};
+pub use order::TemporalOrder;
+pub use query::{Direction, QEdgeId, QVertexId, QueryEdge, QueryGraph, QueryGraphBuilder};
+pub use stream::{Event, EventKind, EventQueue};
+pub use time::Ts;
+pub use window::{EdgeConstraint, PairEdges, WindowGraph};
+
+/// A vertex label. Label `0` is a valid label; unlabeled graphs use a single
+/// label for every vertex.
+pub type Label = u32;
+
+/// An edge label. `EDGE_LABEL_ANY`-labelled query edges match any data edge.
+pub type EdgeLabel = u32;
+
+/// Wildcard edge label used by query edges that do not constrain the label.
+pub const EDGE_LABEL_ANY: EdgeLabel = u32::MAX;

@@ -1,0 +1,192 @@
+//! Strict partial orders on query edges (the temporal order `≺`).
+//!
+//! Definition II.2: a temporal query graph carries a strict partial order on
+//! its edge set. Users supply any generating set of pairs; we take the
+//! transitive closure, then verify irreflexivity (which, together with
+//! transitivity, implies asymmetry). Rows are stored as [`Set64`] bitmasks so
+//! `R⁺_M(e)` / `R⁻_M(e)` (Definition V.1) are single `AND`s in the matcher.
+
+use crate::bitset::Set64;
+use crate::error::GraphError;
+use serde::{Deserialize, Serialize};
+
+/// A strict partial order over edge indices `0..m` (m ≤ 64).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemporalOrder {
+    m: usize,
+    /// `succ[e]` = set of `e'` with `e ≺ e'` (after closure).
+    succ: Vec<Set64>,
+    /// `pred[e]` = set of `e'` with `e' ≺ e`.
+    pred: Vec<Set64>,
+}
+
+impl TemporalOrder {
+    /// Builds the order over `m` edges from generating pairs `(a, b)` meaning
+    /// `a ≺ b`, closing transitively and validating strictness.
+    pub fn new(m: usize, pairs: &[(usize, usize)]) -> Result<TemporalOrder, GraphError> {
+        if m > 64 {
+            return Err(GraphError::QueryTooLarge("edges", m));
+        }
+        let mut succ = vec![Set64::EMPTY; m];
+        for &(a, b) in pairs {
+            if a >= m {
+                return Err(GraphError::UnknownEdge(a));
+            }
+            if b >= m {
+                return Err(GraphError::UnknownEdge(b));
+            }
+            succ[a].insert(b);
+        }
+        // Transitive closure: repeat `succ[a] |= succ[b]` for b ∈ succ[a]
+        // until fixpoint. m ≤ 64 so the O(m^3 / 64)-ish loop is trivial.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for a in 0..m {
+                let mut row = succ[a];
+                for b in succ[a].iter() {
+                    row = row.union(succ[b]);
+                }
+                if row != succ[a] {
+                    succ[a] = row;
+                    changed = true;
+                }
+            }
+        }
+        for (e, row) in succ.iter().enumerate() {
+            if row.contains(e) {
+                return Err(GraphError::NotAStrictOrder(e));
+            }
+        }
+        let mut pred = vec![Set64::EMPTY; m];
+        #[allow(clippy::needless_range_loop)]
+        for a in 0..m {
+            for b in succ[a].iter() {
+                pred[b].insert(a);
+            }
+        }
+        Ok(TemporalOrder { m, succ, pred })
+    }
+
+    /// The empty order (no constraints) over `m` edges.
+    pub fn empty(m: usize) -> TemporalOrder {
+        TemporalOrder::new(m, &[]).expect("empty order is always valid")
+    }
+
+    /// Number of edges the order ranges over.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    /// True iff `a ≺ b`.
+    #[inline]
+    pub fn precedes(&self, a: usize, b: usize) -> bool {
+        self.succ[a].contains(b)
+    }
+
+    /// True iff `a ≺ b` or `b ≺ a` ("temporally related", Definition II.2).
+    #[inline]
+    pub fn related(&self, a: usize, b: usize) -> bool {
+        self.succ[a].contains(b) || self.pred[a].contains(b)
+    }
+
+    /// Set of `e'` with `e ≺ e'`.
+    #[inline]
+    pub fn successors(&self, e: usize) -> Set64 {
+        self.succ[e]
+    }
+
+    /// Set of `e'` with `e' ≺ e`.
+    #[inline]
+    pub fn predecessors(&self, e: usize) -> Set64 {
+        self.pred[e]
+    }
+
+    /// Set of edges temporally related to `e` in either direction.
+    #[inline]
+    pub fn related_set(&self, e: usize) -> Set64 {
+        self.succ[e].union(self.pred[e])
+    }
+
+    /// Number of ordered pairs in the relation.
+    pub fn num_pairs(&self) -> usize {
+        self.succ.iter().map(|s| s.len()).sum()
+    }
+
+    /// `density` of the order as defined in §VI: ordered pairs divided by the
+    /// number of unordered edge pairs `C(m, 2)`. Returns 0 for `m < 2`.
+    pub fn density(&self) -> f64 {
+        if self.m < 2 {
+            return 0.0;
+        }
+        let total = self.m * (self.m - 1) / 2;
+        self.num_pairs() as f64 / total as f64
+    }
+
+    /// All ordered pairs `(a, b)` with `a ≺ b`, ascending.
+    pub fn pairs(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.num_pairs());
+        for a in 0..self.m {
+            for b in self.succ[a].iter() {
+                out.push((a, b));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_and_queries() {
+        // 0 ≺ 1, 1 ≺ 2 ⇒ 0 ≺ 2.
+        let o = TemporalOrder::new(4, &[(0, 1), (1, 2)]).unwrap();
+        assert!(o.precedes(0, 1));
+        assert!(o.precedes(0, 2));
+        assert!(!o.precedes(2, 0));
+        assert!(o.related(2, 0));
+        assert!(!o.related(0, 3));
+        assert_eq!(o.num_pairs(), 3);
+        assert_eq!(o.successors(0).iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(o.predecessors(2).iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let err = TemporalOrder::new(3, &[(0, 1), (1, 2), (2, 0)]).unwrap_err();
+        assert!(matches!(err, GraphError::NotAStrictOrder(_)));
+    }
+
+    #[test]
+    fn reflexive_pair_is_rejected() {
+        let err = TemporalOrder::new(2, &[(1, 1)]).unwrap_err();
+        assert!(matches!(err, GraphError::NotAStrictOrder(1)));
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        assert!(matches!(
+            TemporalOrder::new(2, &[(0, 5)]).unwrap_err(),
+            GraphError::UnknownEdge(5)
+        ));
+    }
+
+    #[test]
+    fn density_of_total_order() {
+        let o = TemporalOrder::new(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        // closure has all 6 pairs of a total order on 4 elements
+        assert_eq!(o.num_pairs(), 6);
+        assert!((o.density() - 1.0).abs() < 1e-12);
+        assert_eq!(TemporalOrder::empty(4).density(), 0.0);
+    }
+
+    #[test]
+    fn pairs_roundtrip_through_constructor() {
+        let o = TemporalOrder::new(5, &[(0, 2), (2, 4), (1, 3)]).unwrap();
+        let o2 = TemporalOrder::new(5, &o.pairs()).unwrap();
+        assert_eq!(o, o2);
+    }
+}

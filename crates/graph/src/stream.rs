@@ -1,0 +1,174 @@
+//! The event stream derived from a temporal graph and a window `δ`.
+//!
+//! Problem statement (§II): for window `δ` and current time `t`, edges with
+//! timestamp `≤ t − δ` have expired; the alive interval of an edge arriving
+//! at `t_e` is `[t_e, t_e + δ)`. Algorithm 1 materializes this as the event
+//! set `L = {(e, t, +), (e, t + δ, −)}` processed in chronological order;
+//! expirations at a given instant precede arrivals at the same instant
+//! (Example II.2: when `σ14` arrives at `t = 14` with `δ = 10`, `σ4` has
+//! already left the window).
+
+use crate::data::{EdgeKey, TemporalGraph};
+use crate::error::GraphError;
+use crate::time::Ts;
+use serde::{Deserialize, Serialize};
+
+/// Arrival (`+`) or expiration (`−`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Edge leaves the window. Ordered before `Insert` at equal times.
+    Delete,
+    /// Edge enters the window.
+    Insert,
+}
+
+/// One stream event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// When the event fires.
+    pub at: Ts,
+    /// Arrival or expiration.
+    pub kind: EventKind,
+    /// The edge concerned.
+    pub edge: EdgeKey,
+}
+
+/// The full chronological event list for a graph + window.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EventQueue {
+    events: Vec<Event>,
+    delta: i64,
+}
+
+impl EventQueue {
+    /// Builds the event list `L` of Algorithm 1 for window length `delta`.
+    pub fn new(g: &TemporalGraph, delta: i64) -> Result<EventQueue, GraphError> {
+        if delta <= 0 {
+            return Err(GraphError::NonPositiveWindow(delta));
+        }
+        let mut events = Vec::with_capacity(g.num_edges() * 2);
+        for e in g.edges() {
+            events.push(Event {
+                at: e.time,
+                kind: EventKind::Insert,
+                edge: e.key,
+            });
+            events.push(Event {
+                at: e.time.plus(delta),
+                kind: EventKind::Delete,
+                edge: e.key,
+            });
+        }
+        // Delete < Insert at equal timestamps; key-order ties keep arrival
+        // (and hence expiry) order deterministic.
+        events.sort_by_key(|ev| (ev.at, ev.kind, ev.edge));
+        Ok(EventQueue { events, delta })
+    }
+
+    /// The window length used to build this queue.
+    #[inline]
+    pub fn delta(&self) -> i64 {
+        self.delta
+    }
+
+    /// All events in processing order.
+    #[inline]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events (`2 |E(G)|`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the stream is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates events.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::TemporalGraphBuilder;
+
+    #[test]
+    fn example_ii_2_ordering() {
+        // Edges σ4 (t=4) and σ14 (t=14), δ = 10: σ4 must expire before σ14
+        // arrives.
+        let mut b = TemporalGraphBuilder::new();
+        let v = b.vertices(4, 0);
+        let k4 = b.edge(v, v + 1, 4);
+        let k14 = b.edge(v + 2, v + 3, 14);
+        let g = b.build().unwrap();
+        let q = EventQueue::new(&g, 10).unwrap();
+        let evs = q.events();
+        assert_eq!(evs.len(), 4);
+        let pos_del4 = evs
+            .iter()
+            .position(|e| e.edge == k4 && e.kind == EventKind::Delete)
+            .unwrap();
+        let pos_ins14 = evs
+            .iter()
+            .position(|e| e.edge == k14 && e.kind == EventKind::Insert)
+            .unwrap();
+        assert_eq!(evs[pos_del4].at, Ts::new(14));
+        assert!(pos_del4 < pos_ins14, "expiry precedes same-time arrival");
+    }
+
+    #[test]
+    fn every_edge_appears_twice() {
+        let mut b = TemporalGraphBuilder::new();
+        let v = b.vertices(3, 0);
+        for t in 1..=5 {
+            b.edge(v, v + 1, t);
+            b.edge(v + 1, v + 2, t + 3);
+        }
+        let g = b.build().unwrap();
+        let q = EventQueue::new(&g, 7).unwrap();
+        assert_eq!(q.len(), 2 * g.num_edges());
+        let inserts = q.iter().filter(|e| e.kind == EventKind::Insert).count();
+        assert_eq!(inserts, g.num_edges());
+        // Chronologically sorted.
+        assert!(q.events().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn rejects_bad_window() {
+        let g = TemporalGraphBuilder::new().build().unwrap();
+        assert!(matches!(
+            EventQueue::new(&g, 0).unwrap_err(),
+            GraphError::NonPositiveWindow(0)
+        ));
+    }
+
+    #[test]
+    fn expiry_order_equals_arrival_order_per_pair() {
+        let mut b = TemporalGraphBuilder::new();
+        let v = b.vertices(2, 0);
+        let k1 = b.edge(v, v + 1, 1);
+        let k2 = b.edge(v, v + 1, 1); // same timestamp, parallel
+        let g = b.build().unwrap();
+        let q = EventQueue::new(&g, 5).unwrap();
+        let dels: Vec<EdgeKey> = q
+            .iter()
+            .filter(|e| e.kind == EventKind::Delete)
+            .map(|e| e.edge)
+            .collect();
+        let ins: Vec<EdgeKey> = q
+            .iter()
+            .filter(|e| e.kind == EventKind::Insert)
+            .map(|e| e.edge)
+            .collect();
+        assert_eq!(dels, ins);
+        assert_eq!(ins, vec![k1, k2]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Timestamps with `±∞` sentinels.
+//!
+//! The max-min timestamp recurrence (paper Eq. 1) needs `−∞` ("no weak
+//! embedding exists") and `∞` ("no temporally related descendant") as
+//! ordinary values, and the *earlier-than* polarity of the filter is run on
+//! negated timestamps (DESIGN.md §4), so negation must map the sentinels onto
+//! each other without overflow.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A timestamp: a finite instant, or one of the two infinities.
+///
+/// Finite values are restricted to the open interval
+/// `(i64::MIN, i64::MAX)` so that negation is total.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ts(i64);
+
+impl Ts {
+    /// Smaller than every finite timestamp.
+    pub const NEG_INF: Ts = Ts(i64::MIN);
+    /// Larger than every finite timestamp.
+    pub const INF: Ts = Ts(i64::MAX);
+    /// The zero instant.
+    pub const ZERO: Ts = Ts(0);
+
+    /// Creates a finite timestamp.
+    ///
+    /// # Panics
+    /// Panics if `v` equals either sentinel (`i64::MIN` / `i64::MAX`).
+    #[inline]
+    pub fn new(v: i64) -> Ts {
+        assert!(
+            v != i64::MIN && v != i64::MAX,
+            "timestamp {v} collides with a sentinel"
+        );
+        Ts(v)
+    }
+
+    /// Returns the raw value; sentinels keep their extreme representation.
+    #[inline]
+    pub fn raw(self) -> i64 {
+        self.0
+    }
+
+    /// True when neither `INF` nor `NEG_INF`.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self != Ts::INF && self != Ts::NEG_INF
+    }
+
+    /// Order-reversing involution: `neg(INF) = NEG_INF`, finite `t ↦ −t`.
+    /// (Deliberately not `std::ops::Neg`: sentinel handling differs.)
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn neg(self) -> Ts {
+        match self {
+            Ts::INF => Ts::NEG_INF,
+            Ts::NEG_INF => Ts::INF,
+            Ts(v) => Ts(-v),
+        }
+    }
+
+    /// Timestamp shifted by a window length; saturates at the sentinels.
+    #[inline]
+    pub fn plus(self, delta: i64) -> Ts {
+        if !self.is_finite() {
+            return self;
+        }
+        let v = self.0.saturating_add(delta);
+        Ts(v.clamp(i64::MIN + 1, i64::MAX - 1))
+    }
+}
+
+impl From<i64> for Ts {
+    #[inline]
+    fn from(v: i64) -> Ts {
+        Ts::new(v)
+    }
+}
+
+impl fmt::Debug for Ts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Ts::INF => write!(f, "+inf"),
+            Ts::NEG_INF => write!(f, "-inf"),
+            Ts(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl fmt::Display for Ts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_of_sentinels() {
+        assert!(Ts::NEG_INF < Ts::new(-5));
+        assert!(Ts::new(-5) < Ts::new(0));
+        assert!(Ts::new(0) < Ts::INF);
+        assert!(Ts::NEG_INF < Ts::INF);
+    }
+
+    #[test]
+    fn negation_is_order_reversing_involution() {
+        let samples = [Ts::NEG_INF, Ts::new(-7), Ts::ZERO, Ts::new(42), Ts::INF];
+        for &a in &samples {
+            assert_eq!(a.neg().neg(), a);
+            for &b in &samples {
+                assert_eq!(a < b, b.neg() < a.neg());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn finite_constructor_rejects_sentinel() {
+        let _ = Ts::new(i64::MAX);
+    }
+
+    #[test]
+    fn plus_saturates_and_preserves_sentinels() {
+        assert_eq!(Ts::INF.plus(10), Ts::INF);
+        assert_eq!(Ts::NEG_INF.plus(10), Ts::NEG_INF);
+        assert_eq!(Ts::new(5).plus(10), Ts::new(15));
+        assert!(Ts::new(i64::MAX - 2).plus(100).is_finite());
+    }
+}

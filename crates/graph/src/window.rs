@@ -1,0 +1,355 @@
+//! The live windowed data graph `g` (§III "Updating the data structures").
+//!
+//! Edges arrive in chronological order and expire in the same order, so each
+//! vertex-pair bucket is a queue: arrivals push at the back, expirations pop
+//! from the front (the paper's "removing the edge from the front of the
+//! adjacency list"). Adjacency is a per-vertex hash map from neighbour to a
+//! shared pair bucket, so parallel edges between the same endpoints are
+//! iterated without rescanning the whole neighbourhood.
+
+use crate::data::{EdgeKey, TemporalEdge, VertexId};
+use crate::fx::FxHashMap;
+use crate::query::Direction;
+use crate::time::Ts;
+use crate::{EdgeLabel, Label, EDGE_LABEL_ANY};
+use std::collections::VecDeque;
+
+/// Constraint a data edge must satisfy to match a given (oriented) query
+/// edge: label compatibility plus an optional direction requirement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeConstraint {
+    /// Required edge label ([`EDGE_LABEL_ANY`] accepts everything).
+    pub label: EdgeLabel,
+    /// Direction requirement, expressed relative to the *pair bucket's*
+    /// canonical `(a, b)` endpoint order via [`EdgeConstraint::matches`].
+    pub direction: Direction,
+    /// When `direction == AToB`: true if the query-edge source maps to the
+    /// bucket's `a` endpoint, false if it maps to `b`.
+    pub src_is_a: bool,
+}
+
+impl EdgeConstraint {
+    /// Unconstrained (undirected, any label).
+    pub const ANY: EdgeConstraint = EdgeConstraint {
+        label: EDGE_LABEL_ANY,
+        direction: Direction::Undirected,
+        src_is_a: true,
+    };
+
+    /// Does the alive edge `rec` (stored in a bucket with canonical order
+    /// `(a, b)`) satisfy this constraint?
+    #[inline]
+    pub fn matches(&self, rec: &EdgeRecord) -> bool {
+        (self.label == EDGE_LABEL_ANY || self.label == rec.label)
+            && match self.direction {
+                Direction::Undirected => true,
+                Direction::AToB => rec.src_is_a == self.src_is_a,
+            }
+    }
+}
+
+/// One alive edge inside a pair bucket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeRecord {
+    /// Stable identity.
+    pub key: EdgeKey,
+    /// Arrival timestamp.
+    pub time: Ts,
+    /// Edge label.
+    pub label: EdgeLabel,
+    /// True iff the original edge's `src` is the bucket's canonical `a`
+    /// endpoint (`a < b`).
+    pub src_is_a: bool,
+}
+
+/// All alive parallel edges between one vertex pair, in arrival order.
+#[derive(Clone, Debug, Default)]
+pub struct PairEdges {
+    /// Canonical smaller endpoint.
+    pub a: VertexId,
+    /// Canonical larger endpoint.
+    pub b: VertexId,
+    edges: VecDeque<EdgeRecord>,
+}
+
+impl PairEdges {
+    /// Alive edges in arrival order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = &EdgeRecord> + Clone {
+        self.edges.iter()
+    }
+
+    /// Alive edges matching `c`, in arrival order.
+    #[inline]
+    pub fn iter_matching(
+        &self,
+        c: EdgeConstraint,
+    ) -> impl Iterator<Item = &EdgeRecord> + Clone {
+        self.edges.iter().filter(move |r| c.matches(r))
+    }
+
+    /// Largest alive timestamp among edges matching `c`.
+    pub fn max_time(&self, c: EdgeConstraint) -> Option<Ts> {
+        self.iter_matching(c).map(|r| r.time).max()
+    }
+
+    /// Smallest alive timestamp among edges matching `c`.
+    pub fn min_time(&self, c: EdgeConstraint) -> Option<Ts> {
+        self.iter_matching(c).map(|r| r.time).min()
+    }
+
+    /// Number of alive parallel edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when no edge is alive (the bucket is then dropped).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// The live windowed graph.
+#[derive(Clone, Debug)]
+pub struct WindowGraph {
+    labels: Vec<Label>,
+    /// `adj[v][w]` = bucket of alive edges between `v` and `w`.
+    adj: Vec<FxHashMap<VertexId, PairEdges>>,
+    alive_edges: usize,
+    directed: bool,
+}
+
+impl WindowGraph {
+    /// Empty window over a fixed vertex set.
+    pub fn new(labels: Vec<Label>, directed: bool) -> WindowGraph {
+        let n = labels.len();
+        WindowGraph {
+            labels,
+            adj: (0..n).map(|_| FxHashMap::default()).collect(),
+            alive_edges: 0,
+            directed,
+        }
+    }
+
+    /// Whether edge direction is semantically meaningful for this graph.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Vertex label.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> Label {
+        self.labels[v as usize]
+    }
+
+    /// Total vertex count (fixed for the stream's lifetime).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of currently alive edges.
+    #[inline]
+    pub fn num_alive_edges(&self) -> usize {
+        self.alive_edges
+    }
+
+    /// Number of alive edges incident to `v` (counting parallels).
+    pub fn alive_degree(&self, v: VertexId) -> usize {
+        self.adj[v as usize].values().map(|p| p.len()).sum()
+    }
+
+    /// Inserts an arriving edge. Panics if it is older than an already-alive
+    /// edge between the same endpoints (arrival order violated).
+    pub fn insert(&mut self, e: &TemporalEdge) {
+        let (a, b) = (e.src.min(e.dst), e.src.max(e.dst));
+        let rec = EdgeRecord {
+            key: e.key,
+            time: e.time,
+            label: e.label,
+            src_is_a: e.src == a,
+        };
+        for &(v, w) in &[(a, b), (b, a)] {
+            let bucket = self.adj[v as usize].entry(w).or_insert_with(|| PairEdges {
+                a,
+                b,
+                edges: VecDeque::new(),
+            });
+            if let Some(last) = bucket.edges.back() {
+                debug_assert!(last.time <= rec.time, "out-of-order arrival");
+            }
+            bucket.edges.push_back(rec);
+        }
+        self.alive_edges += 1;
+    }
+
+    /// Removes an expiring edge. Expiry order equals arrival order, so the
+    /// edge must sit at the front of its bucket.
+    ///
+    /// # Panics
+    /// Panics if the edge is not alive or not the oldest of its bucket.
+    pub fn remove(&mut self, e: &TemporalEdge) {
+        let (a, b) = (e.src.min(e.dst), e.src.max(e.dst));
+        for &(v, w) in &[(a, b), (b, a)] {
+            let m = &mut self.adj[v as usize];
+            let bucket = m.get_mut(&w).expect("expiring edge has no bucket");
+            let front = bucket.edges.pop_front().expect("bucket empty");
+            assert_eq!(front.key, e.key, "expiry order violated");
+            if bucket.edges.is_empty() {
+                m.remove(&w);
+            }
+        }
+        self.alive_edges -= 1;
+    }
+
+    /// The bucket of alive edges between `v` and `w`, if any.
+    #[inline]
+    pub fn pair(&self, v: VertexId, w: VertexId) -> Option<&PairEdges> {
+        self.adj[v as usize].get(&w)
+    }
+
+    /// Iterates `(neighbour, bucket)` over all alive neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, &PairEdges)> {
+        self.adj[v as usize].iter().map(|(&w, p)| (w, p))
+    }
+
+    /// Number of distinct alive neighbours of `v`.
+    #[inline]
+    pub fn num_neighbors(&self, v: VertexId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Iterates every alive pair bucket exactly once.
+    pub fn buckets(&self) -> impl Iterator<Item = &PairEdges> {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(v, m)| {
+                m.values()
+                    .filter(move |p| p.a as usize == v)
+            })
+    }
+
+    /// Builds the [`EdgeConstraint`] for matching a query edge onto the pair
+    /// `(vsrc, vdst)` where `vsrc` is the image of the query edge's source
+    /// endpoint. `required_dir` is the query edge's direction requirement.
+    #[inline]
+    pub fn constraint_for(
+        &self,
+        vsrc: VertexId,
+        vdst: VertexId,
+        required_dir: Direction,
+        label: EdgeLabel,
+    ) -> EdgeConstraint {
+        let direction = if self.directed { required_dir } else { Direction::Undirected };
+        EdgeConstraint {
+            label,
+            direction,
+            src_is_a: vsrc < vdst,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::TemporalGraphBuilder;
+
+    fn setup() -> (WindowGraph, Vec<TemporalEdge>) {
+        let mut b = TemporalGraphBuilder::new();
+        let v0 = b.vertex(0);
+        let v1 = b.vertex(1);
+        let v2 = b.vertex(0);
+        b.edge_full(v0, v1, 1, 10);
+        b.edge_full(v1, v0, 2, 11); // parallel, reversed storage order
+        b.edge_full(v1, v2, 3, 10);
+        let g = b.build().unwrap();
+        let w = WindowGraph::new(g.labels().to_vec(), false);
+        (w, g.edges().to_vec())
+    }
+
+    #[test]
+    fn insert_query_remove() {
+        let (mut w, es) = setup();
+        for e in &es {
+            w.insert(e);
+        }
+        assert_eq!(w.num_alive_edges(), 3);
+        assert_eq!(w.alive_degree(1), 3);
+        assert_eq!(w.num_neighbors(1), 2);
+        let p = w.pair(0, 1).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.min_time(EdgeConstraint::ANY), Some(Ts::new(1)));
+        assert_eq!(p.max_time(EdgeConstraint::ANY), Some(Ts::new(2)));
+        // Expire in arrival order.
+        w.remove(&es[0]);
+        assert_eq!(w.pair(0, 1).unwrap().len(), 1);
+        w.remove(&es[1]);
+        assert!(w.pair(0, 1).is_none());
+        assert_eq!(w.num_alive_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "expiry order violated")]
+    fn out_of_order_expiry_panics() {
+        let (mut w, es) = setup();
+        for e in &es {
+            w.insert(e);
+        }
+        w.remove(&es[1]); // es[0] arrived earlier between the same pair
+    }
+
+    #[test]
+    fn label_constraint_filters() {
+        let (mut w, es) = setup();
+        for e in &es {
+            w.insert(e);
+        }
+        let p = w.pair(0, 1).unwrap();
+        let only_11 = EdgeConstraint {
+            label: 11,
+            direction: Direction::Undirected,
+            src_is_a: true,
+        };
+        let got: Vec<_> = p.iter_matching(only_11).map(|r| r.time.raw()).collect();
+        assert_eq!(got, vec![2]);
+    }
+
+    #[test]
+    fn direction_constraint_filters_in_directed_mode() {
+        let mut b = TemporalGraphBuilder::new();
+        let v0 = b.vertex(0);
+        let v1 = b.vertex(0);
+        b.edge(v0, v1, 1); // 0 -> 1
+        b.edge(v1, v0, 2); // 1 -> 0
+        let g = b.build().unwrap();
+        let mut w = WindowGraph::new(g.labels().to_vec(), true);
+        for e in g.edges() {
+            w.insert(e);
+        }
+        let p = w.pair(0, 1).unwrap();
+        // Require direction 0 -> 1 (source maps to canonical a = 0).
+        let c = w.constraint_for(0, 1, Direction::AToB, EDGE_LABEL_ANY);
+        let got: Vec<_> = p.iter_matching(c).map(|r| r.time.raw()).collect();
+        assert_eq!(got, vec![1]);
+        // Require direction 1 -> 0.
+        let c = w.constraint_for(1, 0, Direction::AToB, EDGE_LABEL_ANY);
+        let got: Vec<_> = p.iter_matching(c).map(|r| r.time.raw()).collect();
+        assert_eq!(got, vec![2]);
+    }
+
+    #[test]
+    fn undirected_mode_ignores_direction_requirement() {
+        let (mut w, es) = setup();
+        for e in &es {
+            w.insert(e);
+        }
+        let c = w.constraint_for(1, 0, Direction::AToB, EDGE_LABEL_ANY);
+        assert_eq!(c.direction, Direction::Undirected);
+        assert_eq!(w.pair(0, 1).unwrap().iter_matching(c).count(), 2);
+    }
+}

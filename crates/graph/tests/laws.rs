@@ -1,0 +1,128 @@
+//! Property laws of the substrate types: strict-partial-order closure,
+//! timestamp algebra, window/stream invariants.
+
+use proptest::prelude::*;
+use tcsm_graph::*;
+
+proptest! {
+    #[test]
+    fn order_closure_is_transitive_and_irreflexive(
+        pairs in prop::collection::vec((0usize..10, 0usize..10), 0..24)
+    ) {
+        // Orient every pair low ≺ high so acyclicity is guaranteed.
+        let pairs: Vec<(usize, usize)> = pairs
+            .into_iter()
+            .filter(|&(a, b)| a != b)
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        let o = TemporalOrder::new(10, &pairs).expect("acyclic by construction");
+        for a in 0..10 {
+            prop_assert!(!o.precedes(a, a));
+            for b in 0..10 {
+                for c in 0..10 {
+                    if o.precedes(a, b) && o.precedes(b, c) {
+                        prop_assert!(o.precedes(a, c), "{a}≺{b}≺{c} not closed");
+                    }
+                }
+                // Asymmetry.
+                prop_assert!(!(o.precedes(a, b) && o.precedes(b, a)));
+                // related is symmetric.
+                prop_assert_eq!(o.related(a, b), o.related(b, a));
+            }
+        }
+        // density consistent with num_pairs.
+        let total = 45.0;
+        prop_assert!((o.density() - o.num_pairs() as f64 / total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ts_algebra(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        let (x, y) = (Ts::new(a), Ts::new(b));
+        prop_assert_eq!(x.neg().neg(), x);
+        prop_assert_eq!(x < y, y.neg() < x.neg());
+        prop_assert_eq!(x.max(y).neg(), x.neg().min(y.neg()));
+        prop_assert!(Ts::NEG_INF < x && x < Ts::INF);
+    }
+
+    #[test]
+    fn window_insert_remove_is_lifo_free(
+        times in prop::collection::vec(1i64..30, 1..14),
+        delta in 2i64..12,
+    ) {
+        // One pair, many parallel edges: window contents after the stream
+        // prefix must equal the brute-force alive set.
+        let mut b = TemporalGraphBuilder::new();
+        let v = b.vertices(2, 0);
+        for &t in &times {
+            b.edge(v, v + 1, t);
+        }
+        let g = b.build().unwrap();
+        let queue = EventQueue::new(&g, delta).unwrap();
+        let mut w = WindowGraph::new(g.labels().to_vec(), false);
+        for (i, ev) in queue.iter().enumerate() {
+            let edge = *g.edge(ev.edge);
+            match ev.kind {
+                EventKind::Insert => w.insert(&edge),
+                EventKind::Delete => w.remove(&edge),
+            }
+            // Brute force: edges whose [t, t+delta) covers the current
+            // instant, given processed prefix.
+            let alive_bf = g
+                .edges()
+                .iter()
+                .filter(|e| {
+                    let arrived = queue
+                        .events()
+                        .iter()
+                        .take(i + 1)
+                        .any(|x| x.kind == EventKind::Insert && x.edge == e.key);
+                    let expired = queue
+                        .events()
+                        .iter()
+                        .take(i + 1)
+                        .any(|x| x.kind == EventKind::Delete && x.edge == e.key);
+                    arrived && !expired
+                })
+                .count();
+            prop_assert_eq!(w.num_alive_edges(), alive_bf);
+            if alive_bf > 0 {
+                let p = w.pair(v, v + 1).unwrap();
+                prop_assert_eq!(p.len(), alive_bf);
+                // Chronological within the bucket.
+                let ts: Vec<Ts> = p.iter().map(|r| r.time).collect();
+                prop_assert!(ts.windows(2).all(|x| x[0] <= x[1]));
+                prop_assert_eq!(w.buckets().count(), 1);
+            } else {
+                prop_assert!(w.pair(v, v + 1).is_none());
+                prop_assert_eq!(w.buckets().count(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn io_roundtrip_random_graphs(
+        n in 2usize..6,
+        edges in prop::collection::vec((0u32..6, 0u32..6, 1i64..40, 0u32..3), 0..12),
+    ) {
+        let mut b = TemporalGraphBuilder::new();
+        for i in 0..n {
+            b.vertex(i as u32 % 3);
+        }
+        for (a, c, t, l) in edges {
+            let a = a % n as u32;
+            let c = c % n as u32;
+            if a != c {
+                b.edge_full(a, c, t, l);
+            }
+        }
+        let g = b.build().unwrap();
+        let g2 = io::parse_temporal_graph(&io::write_temporal_graph(&g)).unwrap();
+        prop_assert_eq!(g.num_edges(), g2.num_edges());
+        prop_assert_eq!(g.labels(), g2.labels());
+        for (e1, e2) in g.edges().iter().zip(g2.edges()) {
+            prop_assert_eq!(e1.time, e2.time);
+            prop_assert_eq!(e1.label, e2.label);
+            prop_assert_eq!((e1.src, e1.dst), (e2.src, e2.dst));
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Quickstart: define a temporal query, stream a temporal graph through the
+//! TCM engine, and print every occurrence/expiration.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use tcsm::prelude::*;
+
+fn main() {
+    // Query: the paper's running example (Figure 2c) — five vertices, six
+    // edges, constraints like ε1 ≺ ε3 and ε2 ≺ ε6.
+    let query = tcsm::graph::query::paper_running_example();
+    println!(
+        "query: {} vertices, {} edges, {} temporal pairs (density {:.2})",
+        query.num_vertices(),
+        query.num_edges(),
+        query.order().num_pairs(),
+        query.order().density()
+    );
+
+    // Data: the paper's Figure 2a — σ1..σ14 arriving at t = 1..14.
+    let mut gb = TemporalGraphBuilder::new();
+    let labels = [0u32, 1, 5, 2, 3, 5, 4];
+    let v: Vec<_> = labels.iter().map(|&l| gb.vertex(l)).collect();
+    for (a, b, t) in [
+        (0, 1, 1),
+        (3, 4, 2),
+        (3, 4, 3),
+        (0, 3, 4),
+        (3, 6, 5),
+        (0, 1, 6),
+        (3, 6, 7),
+        (0, 3, 8),
+        (4, 6, 9),
+        (4, 6, 10),
+        (1, 4, 11),
+        (0, 3, 12),
+        (3, 4, 13),
+        (3, 6, 14),
+    ] {
+        gb.edge(v[a], v[b], t);
+    }
+    let stream = gb.build().unwrap();
+
+    // Window δ = 10, as in Example II.2.
+    let mut engine = TcmEngine::new(&query, &stream, 10, EngineConfig::default()).unwrap();
+    println!(
+        "query DAG score (temporal ancestor-descendant pairs): {}",
+        engine.dag().score()
+    );
+
+    for ev in engine.run() {
+        let times: Vec<i64> = ev
+            .embedding
+            .edge_times(&stream)
+            .iter()
+            .map(|t| t.raw())
+            .collect();
+        println!(
+            "t={:>3}  {:?}  edge times {:?}",
+            ev.at.raw(),
+            ev.kind,
+            times
+        );
+    }
+
+    let s = engine.stats();
+    println!(
+        "\n{} events, {} search nodes, {} occurred, {} expired",
+        s.events, s.search_nodes, s.occurred, s.expired
+    );
+    println!(
+        "pruning: case1 {} case2 {} case3 {} (clones {})",
+        s.pruned_case1, s.pruned_case2, s.pruned_case3, s.cloned_case1
+    );
+}

@@ -1,0 +1,65 @@
+//! # tcsm — Time-Constrained Continuous Subgraph Matching
+//!
+//! A from-scratch Rust implementation of **TCM** (Min, Jang, Park,
+//! Giammarresi, Italiano, Han: *Time-Constrained Continuous Subgraph
+//! Matching Using Temporal Information for Filtering and Backtracking*,
+//! ICDE 2024), including every substrate the paper depends on and the
+//! baselines its evaluation compares against.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`graph`] | `tcsm-graph` | temporal multigraphs, query graphs, windows, streams |
+//! | [`dag`] | `tcsm-dag` | greedy query-DAG construction (Algorithm 2), ancestry |
+//! | [`filter`] | `tcsm-filter` | max-min timestamps, TC-matchable-edge filter (§IV) |
+//! | [`dcs`] | `tcsm-dcs` | SymBi's dynamic candidate space, TC-restricted |
+//! | [`core`] | `tcsm-core` | the `TcmEngine` + `FindMatches` with §V pruning |
+//! | [`baselines`] | `tcsm-baselines` | oracle, RapidFlow-lite, Timing-join |
+//! | [`datasets`] | `tcsm-datasets` | Table III profiles + query generator |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tcsm::prelude::*;
+//!
+//! // Temporal query: money moves a → b → c strictly forward in time.
+//! let mut qb = QueryGraphBuilder::new();
+//! let (a, b, c) = (qb.vertex(0), qb.vertex(0), qb.vertex(0));
+//! let hop1 = qb.edge(a, b);
+//! let hop2 = qb.edge(b, c);
+//! qb.precede(hop1, hop2);
+//! let query = qb.build().unwrap();
+//!
+//! // A tiny transaction stream.
+//! let mut gb = TemporalGraphBuilder::new();
+//! let v = gb.vertices(3, 0);
+//! gb.edge(v, v + 1, 10);
+//! gb.edge(v + 1, v + 2, 20);
+//! let stream = gb.build().unwrap();
+//!
+//! let mut engine = TcmEngine::new(&query, &stream, 100, EngineConfig::default()).unwrap();
+//! let matches = engine.run();
+//! assert_eq!(matches.iter().filter(|m| m.kind == MatchKind::Occurred).count(), 1);
+//! ```
+
+pub use tcsm_baselines as baselines;
+pub use tcsm_core as core;
+pub use tcsm_dag as dag;
+pub use tcsm_datasets as datasets;
+pub use tcsm_dcs as dcs;
+pub use tcsm_filter as filter;
+pub use tcsm_graph as graph;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use tcsm_core::{
+        AlgorithmPreset, Embedding, EngineConfig, EngineStats, MatchEvent, MatchKind,
+        SearchBudget, TcmEngine,
+    };
+    pub use tcsm_dag::{build_best_dag, Polarity, QueryDag};
+    pub use tcsm_graph::{
+        Direction, EventKind, EventQueue, QueryGraph, QueryGraphBuilder, TemporalGraph,
+        TemporalGraphBuilder, TemporalOrder, Ts, WindowGraph, EDGE_LABEL_ANY,
+    };
+}

@@ -1,0 +1,78 @@
+//! The workspace's strongest correctness guarantee: on random streams and
+//! random queries, every algorithm variant and every baseline reports
+//! exactly the same occurrence/expiration events as the brute-force oracle.
+
+mod common;
+
+use common::{arb_graph, arb_query, normalize};
+use proptest::prelude::*;
+use tcsm::baselines::{OracleEngine, RapidFlowLite, TimingJoin};
+use tcsm::prelude::*;
+
+fn run_engine(
+    preset: AlgorithmPreset,
+    q: &QueryGraph,
+    g: &TemporalGraph,
+    delta: i64,
+    directed: bool,
+) -> Vec<MatchEvent> {
+    let cfg = EngineConfig {
+        preset,
+        directed,
+        ..Default::default()
+    };
+    let mut e = TcmEngine::new(q, g, delta, cfg).expect("engine builds");
+    e.run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 400,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn all_variants_match_the_oracle(
+        g in arb_graph(),
+        q in arb_query(),
+        delta in 3i64..18,
+        directed in any::<bool>(),
+    ) {
+        let mut oracle = OracleEngine::new(&q, &g, delta, directed).expect("oracle builds");
+        let expected = normalize(oracle.run());
+
+        for preset in [
+            AlgorithmPreset::Tcm,
+            AlgorithmPreset::TcmNoPruning,
+            AlgorithmPreset::TcmNoFilter,
+            AlgorithmPreset::SymBiPostCheck,
+        ] {
+            let got = normalize(run_engine(preset, &q, &g, delta, directed));
+            prop_assert_eq!(&expected, &got, "preset {:?} diverged", preset);
+        }
+
+        let mut rf = RapidFlowLite::new(&q, &g, delta, directed, Default::default(), true)
+            .expect("rapidflow builds");
+        prop_assert_eq!(&expected, &normalize(rf.run()), "RapidFlow-lite diverged");
+
+        let mut tj = TimingJoin::new(&q, &g, delta, directed, 0, true).expect("timing builds");
+        prop_assert_eq!(&expected, &normalize(tj.run()), "Timing-join diverged");
+    }
+
+    #[test]
+    fn every_reported_embedding_is_valid(
+        g in arb_graph(),
+        q in arb_query(),
+        delta in 3i64..18,
+    ) {
+        let events = run_engine(AlgorithmPreset::Tcm, &q, &g, delta, false);
+        for ev in &events {
+            prop_assert!(ev.embedding.verify(&q, &g));
+        }
+        // Occurrences and expirations pair up exactly once the stream drains.
+        let occ = events.iter().filter(|m| m.kind == MatchKind::Occurred).count();
+        let exp = events.iter().filter(|m| m.kind == MatchKind::Expired).count();
+        prop_assert_eq!(occ, exp);
+    }
+}

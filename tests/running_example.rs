@@ -1,0 +1,143 @@
+//! The paper's running example (Figures 2–3) end-to-end through the facade:
+//! every worked example of §II and §IV must hold.
+
+use tcsm::dag::{build_best_dag, build_dag, Polarity};
+use tcsm::filter::{CandPair, FilterBank, FilterMode};
+use tcsm::graph::query::paper_running_example;
+use tcsm::prelude::*;
+
+/// Figure 2a: σ1..σ14 arriving at t = 1..14, with the figure's colours.
+fn figure_2a() -> TemporalGraph {
+    let mut b = TemporalGraphBuilder::new();
+    let labels = [0u32, 1, 5, 2, 3, 5, 4];
+    let v: Vec<_> = labels.iter().map(|&l| b.vertex(l)).collect();
+    for (a, bb, t) in [
+        (0, 1, 1),
+        (3, 4, 2),
+        (3, 4, 3),
+        (0, 3, 4),
+        (3, 6, 5),
+        (0, 1, 6),
+        (3, 6, 7),
+        (0, 3, 8),
+        (4, 6, 9),
+        (4, 6, 10),
+        (1, 4, 11),
+        (0, 3, 12),
+        (3, 4, 13),
+        (3, 6, 14),
+    ] {
+        b.edge(v[a], v[bb], t);
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn example_iv_2_dag_scores() {
+    // BuildDAG rooted at u1 recovers Figure 3a with score 5, and the best
+    // root is at least as good.
+    let q = paper_running_example();
+    let dag = build_dag(&q, 0);
+    assert_eq!(dag.score(), 5);
+    assert!(build_best_dag(&q).score() >= 5);
+}
+
+#[test]
+fn example_iv_1_and_iv_4_filtering() {
+    // (ε2, σ8) is TC-matchable, (ε2, σ12) is not; both enter/stay out of
+    // the DCS pair set accordingly once σ14 has arrived.
+    let q = paper_running_example();
+    let dag = build_dag(&q, 0);
+    let g = figure_2a();
+    let mut w = WindowGraph::new(g.labels().to_vec(), false);
+    let mut bank = FilterBank::new(&q, &dag, FilterMode::Tc);
+    let mut deltas = Vec::new();
+    for e in g.edges() {
+        w.insert(e);
+        deltas.clear();
+        bank.on_insert(&q, &w, e, |k| g.edge(k), &mut deltas);
+    }
+    let key_of = |t: i64| {
+        g.edges()
+            .iter()
+            .find(|e| e.time == Ts::new(t))
+            .unwrap()
+            .key
+    };
+    let pair8 = CandPair {
+        qedge: 1,
+        key: key_of(8),
+        a_to_src: true,
+    };
+    let pair12 = CandPair {
+        qedge: 1,
+        key: key_of(12),
+        a_to_src: true,
+    };
+    assert!(bank.contains(pair8));
+    assert!(!bank.contains(pair12));
+}
+
+#[test]
+fn example_ii_2_stream_semantics() {
+    // δ = 10: the σ6-variant embedding occurs at t = 14 and expires at
+    // t = 16 (when σ6 leaves the window).
+    let q = paper_running_example();
+    let g = figure_2a();
+    let mut engine = TcmEngine::new(&q, &g, 10, EngineConfig::default()).unwrap();
+    let events = engine.run();
+    let times_of = |m: &MatchEvent| -> Vec<i64> {
+        m.embedding.edge_times(&g).iter().map(|t| t.raw()).collect()
+    };
+    let paper_variant = vec![6, 8, 11, 13, 10, 14];
+    let occurred_at: Vec<i64> = events
+        .iter()
+        .filter(|m| m.kind == MatchKind::Occurred && times_of(m) == paper_variant)
+        .map(|m| m.at.raw())
+        .collect();
+    assert_eq!(occurred_at, vec![14]);
+    let expired_at: Vec<i64> = events
+        .iter()
+        .filter(|m| m.kind == MatchKind::Expired && times_of(m) == paper_variant)
+        .map(|m| m.at.raw())
+        .collect();
+    assert_eq!(expired_at, vec![16]);
+    // The σ1 variant never occurs with δ = 10 (σ1 expires at t = 11).
+    let sigma1_variant = vec![1, 8, 11, 13, 10, 14];
+    assert!(!events.iter().any(|m| times_of(m) == sigma1_variant));
+}
+
+#[test]
+fn example_ii_1_with_unbounded_window() {
+    // With a window longer than the whole stream, both Example II.1
+    // embeddings (σ1 and σ6 variants) occur.
+    let q = paper_running_example();
+    let g = figure_2a();
+    let mut engine = TcmEngine::new(&q, &g, 1000, EngineConfig::default()).unwrap();
+    let events = engine.run();
+    let occurred: Vec<Vec<i64>> = events
+        .iter()
+        .filter(|m| m.kind == MatchKind::Occurred)
+        .map(|m| m.embedding.edge_times(&g).iter().map(|t| t.raw()).collect())
+        .collect();
+    assert!(occurred.contains(&vec![1, 8, 11, 13, 10, 14]));
+    assert!(occurred.contains(&vec![6, 8, 11, 13, 10, 14]));
+    // The non-time-constrained mapping of Example II.1 must not occur:
+    // ε2 ↦ σ4 with ε4 ↦ σ2 violates ε2 ≺ ε4.
+    assert!(!occurred.contains(&vec![1, 4, 11, 2, 9, 5]));
+}
+
+#[test]
+fn temporal_relation_definition_ii_4() {
+    // ε2 ⇝ ε4, ε5, ε6 in Figure 3a (it is their ancestor and temporally
+    // related); ε2 is an ancestor of ε3's head but unrelated to ε3.
+    let q = paper_running_example();
+    let dag = build_dag(&q, 0);
+    assert!(dag.temporal_ancestor(&q, Polarity::Later, 1, 3));
+    assert!(dag.temporal_ancestor(&q, Polarity::Later, 1, 4));
+    assert!(dag.temporal_ancestor(&q, Polarity::Later, 1, 5));
+    assert!(!dag.temporal_ancestor(&q, Polarity::Later, 1, 2));
+    // ε4 ≺ ε6 holds but ε4 is not a DAG-ancestor of ε6.
+    assert!(q.order().precedes(3, 5));
+    assert!(!dag.temporal_ancestor(&q, Polarity::Later, 3, 5));
+}

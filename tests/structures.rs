@@ -1,0 +1,96 @@
+//! Incremental-structure invariants on random streams: after every event,
+//! the max-min timestamp tables, the filter-bank membership and the DCS
+//! candidacies must equal their from-scratch recomputations.
+
+mod common;
+
+use common::{arb_graph, arb_query};
+use proptest::prelude::*;
+use tcsm::dag::build_best_dag;
+use tcsm::dcs::Dcs;
+use tcsm::filter::{FilterBank, FilterMode};
+use tcsm::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn filter_and_dcs_stay_consistent(
+        g in arb_graph(),
+        q in arb_query(),
+        delta in 3i64..15,
+        directed in any::<bool>(),
+    ) {
+        let dag = build_best_dag(&q);
+        let mut w = WindowGraph::new(g.labels().to_vec(), directed);
+        let mut bank = FilterBank::new(&q, &dag, FilterMode::Tc);
+        let mut dcs = Dcs::new(dag.clone());
+        let mut alive: Vec<tcsm::graph::TemporalEdge> = Vec::new();
+        let mut deltas = Vec::new();
+        let queue = EventQueue::new(&g, delta).unwrap();
+        for ev in queue.iter() {
+            let edge = *g.edge(ev.edge);
+            deltas.clear();
+            match ev.kind {
+                EventKind::Insert => {
+                    w.insert(&edge);
+                    alive.push(edge);
+                    bank.on_insert(&q, &w, &edge, |k| g.edge(k), &mut deltas);
+                }
+                EventKind::Delete => {
+                    alive.retain(|e| e.key != edge.key);
+                    w.remove(&edge);
+                    bank.on_delete(&q, &w, &edge, |k| g.edge(k), &mut deltas);
+                }
+            }
+            dcs.apply(&q, &w, |k| g.edge(k), &deltas);
+            bank.check_consistency(&q, &w, alive.iter());
+            dcs.check_consistency(&q, &w);
+        }
+        // Stream drained: everything must be back to empty.
+        prop_assert_eq!(bank.num_pairs(), 0);
+        prop_assert_eq!(dcs.num_edges(), 0);
+        prop_assert_eq!(dcs.num_nodes(), 0);
+    }
+
+    #[test]
+    fn maxmin_values_match_definitional_oracle(
+        g in arb_graph(),
+        q in arb_query(),
+        delta in 4i64..12,
+    ) {
+        use tcsm::filter::instance::FilterInstance;
+        use tcsm::filter::oracle::maxmin_by_definition;
+        let dag = build_best_dag(&q);
+        for pol in Polarity::BOTH {
+            let mut w = WindowGraph::new(g.labels().to_vec(), false);
+            let mut inst = FilterInstance::new(dag.clone(), pol);
+            let mut flips = Vec::new();
+            let queue = EventQueue::new(&g, delta).unwrap();
+            // Check a prefix of the stream (the oracle is exponential).
+            for ev in queue.iter().take(14) {
+                let edge = *g.edge(ev.edge);
+                match ev.kind {
+                    EventKind::Insert => w.insert(&edge),
+                    EventKind::Delete => w.remove(&edge),
+                }
+                inst.apply(&q, &w, &edge, &mut flips);
+            }
+            for u in 0..q.num_vertices() {
+                for v in 0..g.num_vertices() as u32 {
+                    for e in dag.ancestor_edges(u).iter() {
+                        let oracle = maxmin_by_definition(&q, &w, &dag, pol, u, v, e, 200_000);
+                        let inc = match pol {
+                            Polarity::Later => inst.natural_value(&q, &w, u, v, e),
+                            Polarity::Earlier => inst.natural_value(&q, &w, u, v, e).neg(),
+                        };
+                        prop_assert_eq!(inc, oracle, "u{} v{} e{} {:?}", u, v, e, pol);
+                    }
+                }
+            }
+        }
+    }
+}
