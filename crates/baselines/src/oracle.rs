@@ -5,11 +5,11 @@
 //! II.3 applied literally, no auxiliary structures, no pruning. Tests
 //! compare every engine and baseline against it on small random streams.
 
+use std::collections::BTreeSet;
 use tcsm_core::{Embedding, MatchEvent, MatchKind};
 use tcsm_graph::{
     EventKind, EventQueue, GraphError, QueryGraph, TemporalGraph, Ts, VertexId, WindowGraph,
 };
-use std::collections::BTreeSet;
 
 /// From-scratch continuous matcher (exponential; test-sized graphs only).
 pub struct OracleEngine<'g> {
@@ -106,9 +106,7 @@ pub fn enumerate_all(q: &QueryGraph, w: &WindowGraph) -> BTreeSet<Embedding> {
     let mut vmap: Vec<Option<VertexId>> = vec![None; q.num_vertices()];
     let mut emap: Vec<Option<tcsm_graph::EdgeKey>> = vec![None; m];
     let mut etime: Vec<Ts> = vec![Ts::ZERO; m];
-    rec(
-        q, w, &order, 0, &mut vmap, &mut emap, &mut etime, &mut out,
-    );
+    rec(q, w, &order, 0, &mut vmap, &mut emap, &mut etime, &mut out);
     return out;
 
     #[allow(clippy::too_many_arguments)]
@@ -209,8 +207,7 @@ pub fn enumerate_all(q: &QueryGraph, w: &WindowGraph) -> BTreeSet<Embedding> {
             }
             (None, None) => {
                 // Only possible at depth 0: iterate all alive buckets.
-                let pairs: Vec<(VertexId, VertexId)> =
-                    w.buckets().map(|p| (p.a, p.b)).collect();
+                let pairs: Vec<(VertexId, VertexId)> = w.buckets().map(|p| (p.a, p.b)).collect();
                 for (x, y) in pairs {
                     try_assign(vmap, emap, etime, out, x, y);
                     try_assign(vmap, emap, etime, out, y, x);

@@ -10,8 +10,8 @@
 
 use tcsm_core::{Embedding, EngineStats, MatchEvent, MatchKind, SearchBudget};
 use tcsm_graph::{
-    EventKind, EventQueue, GraphError, QEdgeId, QueryGraph, Set64, TemporalEdge, TemporalGraph,
-    Ts, VertexId, WindowGraph,
+    EventKind, EventQueue, GraphError, QEdgeId, QueryGraph, Set64, TemporalEdge, TemporalGraph, Ts,
+    VertexId, WindowGraph,
 };
 
 /// Continuous subgraph matcher: plain DFS + temporal post-check.
@@ -84,7 +84,13 @@ impl<'g> RapidFlowLite<'g> {
         true
     }
 
-    fn enumerate(&mut self, sigma: &TemporalEdge, kind: MatchKind, at: Ts, out: &mut Vec<MatchEvent>) {
+    fn enumerate(
+        &mut self,
+        sigma: &TemporalEdge,
+        kind: MatchKind,
+        at: Ts,
+        out: &mut Vec<MatchEvent>,
+    ) {
         let mut dfs = Dfs {
             q: &self.q,
             w: &self.window,
@@ -118,10 +124,7 @@ impl<'g> RapidFlowLite<'g> {
                 if qe.label != tcsm_graph::EDGE_LABEL_ANY && qe.label != sigma.label {
                     continue;
                 }
-                if self.window.is_directed()
-                    && qe.direction == tcsm_graph::Direction::AToB
-                    && !o
-                {
+                if self.window.is_directed() && qe.direction == tcsm_graph::Direction::AToB && !o {
                     continue;
                 }
                 dfs.vmap[qe.a] = Some(va);
@@ -252,9 +255,7 @@ impl Dfs<'_> {
             .w
             .neighbors(pivot)
             .map(|(v, _)| v)
-            .filter(|&v| {
-                self.w.label(v) == self.q.label(u) && !self.vmap.contains(&Some(v))
-            })
+            .filter(|&v| self.w.label(v) == self.q.label(u) && !self.vmap.contains(&Some(v)))
             .collect();
         for v in cands {
             self.vmap[u] = Some(v);

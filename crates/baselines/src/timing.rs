@@ -366,10 +366,7 @@ impl<'g> TimingJoin<'g> {
                 if qe.label != tcsm_graph::EDGE_LABEL_ANY && qe.label != sigma.label {
                     continue;
                 }
-                if self.window.is_directed()
-                    && qe.direction == tcsm_graph::Direction::AToB
-                    && !o
-                {
+                if self.window.is_directed() && qe.direction == tcsm_graph::Direction::AToB && !o {
                     continue;
                 }
                 if i == 0 {
@@ -390,7 +387,8 @@ impl<'g> TimingJoin<'g> {
                     let anchor_img = if anchor_u == qe.a { va } else { vb };
                     let slots: Vec<usize> = self.levels[i - 1]
                         .by_anchor
-                        .get(&anchor_img).cloned()
+                        .get(&anchor_img)
+                        .cloned()
                         .unwrap_or_default();
                     for slot in slots {
                         if !self.attempt() {
@@ -439,13 +437,9 @@ impl<'g> TimingJoin<'g> {
                         } else {
                             (vn, anchor_img)
                         };
-                        let c = self
-                            .window
-                            .constraint_for(va, vb, nqe.direction, nqe.label);
-                        let recs: Vec<(EdgeKey, Ts)> = bucket
-                            .iter_matching(c)
-                            .map(|r| (r.key, r.time))
-                            .collect();
+                        let c = self.window.constraint_for(va, vb, nqe.direction, nqe.label);
+                        let recs: Vec<(EdgeKey, Ts)> =
+                            bucket.iter_matching(c).map(|r| (r.key, r.time)).collect();
                         for (k, t) in recs {
                             if !self.attempt() {
                                 return;
@@ -531,8 +525,7 @@ mod tests {
         for delta in [3, 5, 100] {
             let mut tj = TimingJoin::new(&q, &g, delta, false, 0, true).unwrap();
             let mut tj_events = tj.run();
-            let mut engine =
-                tcsm_core::TcmEngine::new(&q, &g, delta, Default::default()).unwrap();
+            let mut engine = tcsm_core::TcmEngine::new(&q, &g, delta, Default::default()).unwrap();
             let mut engine_events = engine.run();
             let key = |m: &MatchEvent| (m.kind, m.at, m.embedding.clone());
             tj_events.sort_by_key(key);

@@ -4,10 +4,7 @@ use tcsm_baselines::{OracleEngine, RapidFlowLite, TimingJoin};
 use tcsm_core::{MatchKind, SearchBudget, TcmEngine};
 use tcsm_datasets::{profiles::YAHOO, QueryGen};
 
-fn workload(
-    size: usize,
-    density: f64,
-) -> (tcsm_graph::QueryGraph, tcsm_graph::TemporalGraph, i64) {
+fn workload(size: usize, density: f64) -> (tcsm_graph::QueryGraph, tcsm_graph::TemporalGraph, i64) {
     let g = YAHOO.generate(13, 0.3);
     let delta = YAHOO.window_sizes(0.3)[2];
     let qg = QueryGen::new(&g);

@@ -21,11 +21,9 @@ fn bench(c: &mut Criterion) {
             continue;
         };
         for algo in [Algo::Tcm, Algo::SymBi] {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), size),
-                &q,
-                |b, q| b.iter(|| run_one(algo, q, &g, delta, &rc)),
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), size), &q, |b, q| {
+                b.iter(|| run_one(algo, q, &g, delta, &rc))
+            });
         }
     }
     group.finish();

@@ -1,7 +1,13 @@
 //! Substrate microbenches: greedy DAG construction, max-min timestamp
-//! maintenance (Algorithm 3) and DCS maintenance throughput.
+//! maintenance (Algorithm 3), DCS maintenance throughput, and the
+//! end-to-end `TcmEngine::run` on a Table III-style profile.
+//!
+//! These are the numbers tracked in the repo-root `BENCH_*.json` perf
+//! trajectory — run with `cargo bench -p tcsm-bench --bench substrates`
+//! and copy `target/criterion-stub/substrates.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcsm_core::{EngineConfig, TcmEngine};
 use tcsm_dag::build_best_dag;
 use tcsm_datasets::{profiles::SUPERUSER, QueryGen};
 use tcsm_dcs::Dcs;
@@ -23,6 +29,33 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("build_dag", size), &q, |b, q| {
             b.iter(|| build_best_dag(q))
         });
+        // Filter maintenance alone: the max-min tables over the stream.
+        group.bench_with_input(BenchmarkId::new("maxmin_update", size), &q, |b, q| {
+            b.iter(|| {
+                let dag = build_best_dag(q);
+                let mut w = WindowGraph::new(g.labels().to_vec(), true);
+                let mut bank = FilterBank::new(q, &dag, FilterMode::Tc, &w);
+                let queue = EventQueue::new(&g, delta).unwrap();
+                let mut deltas = Vec::new();
+                let mut total = 0usize;
+                for ev in queue.iter() {
+                    let edge = *g.edge(ev.edge);
+                    deltas.clear();
+                    match ev.kind {
+                        EventKind::Insert => {
+                            w.insert(&edge);
+                            bank.on_insert(q, &w, &edge, |k| g.edge(k), &mut deltas);
+                        }
+                        EventKind::Delete => {
+                            w.remove(&edge);
+                            bank.on_delete(q, &w, &edge, |k| g.edge(k), &mut deltas);
+                        }
+                    }
+                    total += deltas.len();
+                }
+                total
+            })
+        });
         // Full-stream maintenance without any matching: filter + DCS.
         group.bench_with_input(
             BenchmarkId::new("maxmin_and_dcs_update", size),
@@ -30,9 +63,9 @@ fn bench(c: &mut Criterion) {
             |b, q| {
                 b.iter(|| {
                     let dag = build_best_dag(q);
-                    let mut bank = FilterBank::new(q, &dag, FilterMode::Tc);
-                    let mut dcs = Dcs::new(dag.clone());
                     let mut w = WindowGraph::new(g.labels().to_vec(), true);
+                    let mut bank = FilterBank::new(q, &dag, FilterMode::Tc, &w);
+                    let mut dcs = Dcs::new(dag.clone(), q, &w);
                     let queue = EventQueue::new(&g, delta).unwrap();
                     let mut deltas = Vec::new();
                     for ev in queue.iter() {
@@ -54,6 +87,18 @@ fn bench(c: &mut Criterion) {
                 })
             },
         );
+        // End to end: the full Algorithm 1 pipeline including FindMatches.
+        group.bench_with_input(BenchmarkId::new("engine_run", size), &q, |b, q| {
+            b.iter(|| {
+                let cfg = EngineConfig {
+                    collect_matches: false,
+                    directed: true,
+                    ..Default::default()
+                };
+                let mut engine = TcmEngine::new(q, &g, delta, cfg).unwrap();
+                engine.run_counting().occurred
+            })
+        });
     }
     group.finish();
 }

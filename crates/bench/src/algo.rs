@@ -176,10 +176,16 @@ mod tests {
         let delta = SUPERUSER.window_sizes(0.3)[2];
         let q = qg.generate(5, 0.5, delta / 2, 3).expect("query");
         let rc = RunConfig::default();
-        let results: Vec<RunResult> = [Algo::Tcm, Algo::TcmPruning, Algo::SymBi, Algo::RapidFlow, Algo::Timing]
-            .iter()
-            .map(|&a| run_one(a, &q, &g, delta, &rc))
-            .collect();
+        let results: Vec<RunResult> = [
+            Algo::Tcm,
+            Algo::TcmPruning,
+            Algo::SymBi,
+            Algo::RapidFlow,
+            Algo::Timing,
+        ]
+        .iter()
+        .map(|&a| run_one(a, &q, &g, delta, &rc))
+        .collect();
         for r in &results {
             assert!(r.solved);
             assert_eq!(r.occurred, results[0].occurred, "{results:?}");

@@ -61,7 +61,11 @@ fn main() {
     if !picked_datasets.is_empty() {
         suite.datasets = ALL_PROFILES
             .iter()
-            .filter(|p| picked_datasets.iter().any(|n| p.name.to_lowercase().contains(n)))
+            .filter(|p| {
+                picked_datasets
+                    .iter()
+                    .any(|n| p.name.to_lowercase().contains(n))
+            })
             .copied()
             .collect();
         assert!(!suite.datasets.is_empty(), "no dataset matched");

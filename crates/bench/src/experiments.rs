@@ -137,7 +137,10 @@ impl Suite {
 
     /// Table IV: the experiment settings in effect.
     pub fn settings(&self) {
-        let mut t = Table::new("Table IV — experiment settings", &["parameter", "values (bold = default)"]);
+        let mut t = Table::new(
+            "Table IV — experiment settings",
+            &["parameter", "values (bold = default)"],
+        );
         t.row(vec![
             "datasets".into(),
             self.datasets
@@ -148,7 +151,10 @@ impl Suite {
         ]);
         t.row(vec!["query size".into(), "5 7 [9] 11 13 15".into()]);
         t.row(vec!["density".into(), "0 0.25 [0.50] 0.75 1".into()]);
-        t.row(vec!["window".into(), "10k 20k [30k] 40k 50k (see EXPERIMENTS.md scaling)".into()]);
+        t.row(vec![
+            "window".into(),
+            "10k 20k [30k] 40k 50k (see EXPERIMENTS.md scaling)".into(),
+        ]);
         t.row(vec!["queries/set".into(), self.queries_per_set.to_string()]);
         t.row(vec![
             "node budget".into(),

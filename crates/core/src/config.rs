@@ -23,9 +23,7 @@ impl AlgorithmPreset {
     pub fn filter_mode(self) -> FilterMode {
         match self {
             AlgorithmPreset::Tcm | AlgorithmPreset::TcmNoPruning => FilterMode::Tc,
-            AlgorithmPreset::TcmNoFilter | AlgorithmPreset::SymBiPostCheck => {
-                FilterMode::LabelOnly
-            }
+            AlgorithmPreset::TcmNoFilter | AlgorithmPreset::SymBiPostCheck => FilterMode::LabelOnly,
         }
     }
 
@@ -90,8 +88,7 @@ impl PruningFlags {
 
 /// Limits for one `FindMatches` invocation (the problem is NP-hard; the
 /// paper uses a 1-hour wall-clock limit per query, scaled down here).
-#[derive(Clone, Copy, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct SearchBudget {
     /// Maximum backtracking nodes visited per event (0 = unlimited).
     pub max_nodes_per_event: u64,
@@ -101,7 +98,6 @@ pub struct SearchBudget {
     /// exhausted the engine marks the run unsolved and stops searching.
     pub max_total_nodes: u64,
 }
-
 
 /// Full engine configuration.
 #[derive(Clone, Copy, Debug)]
@@ -153,10 +149,7 @@ mod tests {
         assert!(AlgorithmPreset::Tcm.pruning());
         assert!(!AlgorithmPreset::Tcm.post_check());
 
-        assert_eq!(
-            AlgorithmPreset::TcmNoPruning.filter_mode(),
-            FilterMode::Tc
-        );
+        assert_eq!(AlgorithmPreset::TcmNoPruning.filter_mode(), FilterMode::Tc);
         assert!(!AlgorithmPreset::TcmNoPruning.pruning());
         assert!(AlgorithmPreset::TcmNoPruning.temporal_candidates());
 

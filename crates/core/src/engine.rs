@@ -2,14 +2,12 @@
 
 use crate::config::EngineConfig;
 use crate::embedding::{MatchEvent, MatchKind};
-use crate::matcher::Matcher;
+use crate::matcher::{Matcher, MatcherScratch};
 use crate::stats::EngineStats;
 use tcsm_dag::{build_best_dag, QueryDag};
 use tcsm_dcs::Dcs;
 use tcsm_filter::FilterBank;
-use tcsm_graph::{
-    EventKind, EventQueue, GraphError, QueryGraph, TemporalGraph, WindowGraph,
-};
+use tcsm_graph::{EventKind, EventQueue, GraphError, QueryGraph, TemporalGraph, WindowGraph};
 
 /// Time-constrained continuous subgraph matching over one stream.
 ///
@@ -28,6 +26,8 @@ pub struct TcmEngine<'g> {
     cfg: EngineConfig,
     stats: EngineStats,
     deltas_scratch: Vec<tcsm_filter::DcsDelta>,
+    /// Search-state buffers reused by every `FindMatches` call.
+    matcher_scratch: MatcherScratch,
 }
 
 impl<'g> TcmEngine<'g> {
@@ -41,12 +41,13 @@ impl<'g> TcmEngine<'g> {
     ) -> Result<TcmEngine<'g>, GraphError> {
         let queue = EventQueue::new(g, delta)?;
         let dag = build_best_dag(q);
-        let bank = FilterBank::new(q, &dag, cfg.preset.filter_mode());
-        let dcs = Dcs::new(dag.clone());
+        let window = WindowGraph::new(g.labels().to_vec(), cfg.directed);
+        let bank = FilterBank::new(q, &dag, cfg.preset.filter_mode(), &window);
+        let dcs = Dcs::new(dag.clone(), q, &window);
         Ok(TcmEngine {
             q: q.clone(),
             full: g,
-            window: WindowGraph::new(g.labels().to_vec(), cfg.directed),
+            window,
             bank,
             dcs,
             dag,
@@ -54,7 +55,8 @@ impl<'g> TcmEngine<'g> {
             next_event: 0,
             cfg,
             stats: EngineStats::default(),
-        deltas_scratch: Vec::new(),
+            deltas_scratch: Vec::new(),
+            matcher_scratch: MatcherScratch::default(),
         })
     }
 
@@ -112,7 +114,8 @@ impl<'g> TcmEngine<'g> {
             EventKind::Insert => {
                 self.window.insert(&edge);
                 let (full, q, w) = (&self.full, &self.q, &self.window);
-                self.bank.on_insert(q, w, &edge, |k| full.edge(k), &mut deltas);
+                self.bank
+                    .on_insert(q, w, &edge, |k| full.edge(k), &mut deltas);
                 self.dcs.apply(q, w, |k| full.edge(k), &deltas);
                 self.find_matches(&edge, MatchKind::Occurred, out);
             }
@@ -122,7 +125,8 @@ impl<'g> TcmEngine<'g> {
                 self.find_matches(&edge, MatchKind::Expired, out);
                 self.window.remove(&edge);
                 let (full, q, w) = (&self.full, &self.q, &self.window);
-                self.bank.on_delete(q, w, &edge, |k| full.edge(k), &mut deltas);
+                self.bank
+                    .on_delete(q, w, &edge, |k| full.edge(k), &mut deltas);
                 self.dcs.apply(q, w, |k| full.edge(k), &deltas);
             }
         }
@@ -142,17 +146,21 @@ impl<'g> TcmEngine<'g> {
         kind: MatchKind,
         out: &mut Vec<MatchEvent>,
     ) {
-        let mut m = Matcher::new(
-            &self.q,
-            &self.window,
-            &self.dcs,
-            &self.bank,
-            &self.cfg,
-            self.stats.search_nodes,
-        );
-        m.run(edge);
+        let mut scratch = std::mem::take(&mut self.matcher_scratch);
+        let (s, found_count) = {
+            let mut m = Matcher::new(
+                &self.q,
+                &self.window,
+                &self.dcs,
+                &self.bank,
+                &self.cfg,
+                self.stats.search_nodes,
+                &mut scratch,
+            );
+            m.run(edge);
+            (m.stats, m.found_count)
+        };
         // Merge matcher counters into the engine stats.
-        let s = m.stats;
         self.stats.search_nodes += s.search_nodes;
         self.stats.pruned_case1 += s.pruned_case1;
         self.stats.pruned_case2 += s.pruned_case2;
@@ -161,20 +169,23 @@ impl<'g> TcmEngine<'g> {
         self.stats.post_check_rejections += s.post_check_rejections;
         self.stats.budget_exhausted |= s.budget_exhausted;
         match kind {
-            MatchKind::Occurred => self.stats.occurred += m.found_count,
-            MatchKind::Expired => self.stats.expired += m.found_count,
+            MatchKind::Occurred => self.stats.occurred += found_count,
+            MatchKind::Expired => self.stats.expired += found_count,
         }
         if self.cfg.collect_matches {
             let at = match kind {
                 MatchKind::Occurred => edge.time,
                 MatchKind::Expired => edge.time.plus(self.queue.delta()),
             };
-            out.extend(m.found.drain(..).map(|embedding| MatchEvent {
+            out.extend(scratch.found.drain(..).map(|embedding| MatchEvent {
                 kind,
                 at,
                 embedding,
             }));
+        } else {
+            scratch.found.clear();
         }
+        self.matcher_scratch = scratch;
     }
 
     /// Processes the whole stream and returns every match event.

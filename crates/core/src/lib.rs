@@ -47,7 +47,7 @@ pub mod parallel;
 pub mod stats;
 
 pub use config::{AlgorithmPreset, EngineConfig, PruningFlags, SearchBudget};
-pub use parallel::run_queries_parallel;
 pub use embedding::{Embedding, MatchEvent, MatchKind};
 pub use engine::TcmEngine;
+pub use parallel::run_queries_parallel;
 pub use stats::EngineStats;

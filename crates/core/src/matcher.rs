@@ -30,8 +30,7 @@ use crate::stats::EngineStats;
 use tcsm_dcs::Dcs;
 use tcsm_filter::{CandPair, FilterBank};
 use tcsm_graph::{
-    EdgeKey, QEdgeId, QVertexId, QueryGraph, Set64, TemporalEdge, Ts, VertexId,
-    WindowGraph,
+    EdgeKey, QEdgeId, QVertexId, QueryGraph, Set64, TemporalEdge, Ts, VertexId, WindowGraph,
 };
 
 /// Result of exploring one search-tree node.
@@ -52,6 +51,41 @@ enum Last {
     Vertex,
 }
 
+/// Search-state buffers that persist across `FindMatches` invocations.
+///
+/// One stream event spawns one [`Matcher`]; the engine owns this scratch and
+/// lends it out, so the per-event cost is a handful of `fill`s instead of
+/// five allocations plus a fresh candidate `Vec` per search-tree node. The
+/// pools hold candidate buffers recycled across recursion depths.
+#[derive(Default)]
+pub(crate) struct MatcherScratch {
+    vmap: Vec<Option<VertexId>>,
+    emap: Vec<Option<EdgeKey>>,
+    etime: Vec<Ts>,
+    used_vertices: Vec<VertexId>,
+    /// Collected embeddings (drained by the engine after each event).
+    pub(crate) found: Vec<Embedding>,
+    /// Recycled edge-candidate buffers, one in flight per recursion depth.
+    cand_pool: Vec<Vec<(EdgeKey, Ts)>>,
+    /// Recycled vertex-candidate buffers.
+    vcand_pool: Vec<Vec<VertexId>>,
+}
+
+impl MatcherScratch {
+    /// Sizes the mapping buffers for `q` (no-op when already sized).
+    fn prepare(&mut self, q: &QueryGraph) {
+        let (nv, ne) = (q.num_vertices(), q.num_edges());
+        self.vmap.clear();
+        self.vmap.resize(nv, None);
+        self.emap.clear();
+        self.emap.resize(ne, None);
+        self.etime.clear();
+        self.etime.resize(ne, Ts::ZERO);
+        self.used_vertices.clear();
+        debug_assert!(self.found.is_empty(), "engine drains found between events");
+    }
+}
+
 /// One `FindMatches` invocation rooted at an updated data edge.
 pub(crate) struct Matcher<'a> {
     q: &'a QueryGraph,
@@ -59,15 +93,11 @@ pub(crate) struct Matcher<'a> {
     dcs: &'a Dcs,
     bank: &'a FilterBank,
     cfg: &'a EngineConfig,
-    /// Partial mapping state.
-    vmap: Vec<Option<VertexId>>,
-    emap: Vec<Option<EdgeKey>>,
-    etime: Vec<Ts>,
+    /// Partial mapping state + pools, reused across events.
+    s: &'a mut MatcherScratch,
     mapped_edges: Set64,
     mapped_vertices: Set64,
-    used_vertices: Vec<VertexId>,
     /// Output.
-    pub(crate) found: Vec<Embedding>,
     pub(crate) found_count: u64,
     pub(crate) stats: EngineStats,
     nodes_this_event: u64,
@@ -82,20 +112,18 @@ impl<'a> Matcher<'a> {
         bank: &'a FilterBank,
         cfg: &'a EngineConfig,
         total_nodes_so_far: u64,
+        scratch: &'a mut MatcherScratch,
     ) -> Matcher<'a> {
+        scratch.prepare(q);
         Matcher {
             q,
             g,
             dcs,
             bank,
             cfg,
-            vmap: vec![None; q.num_vertices()],
-            emap: vec![None; q.num_edges()],
-            etime: vec![Ts::ZERO; q.num_edges()],
+            s: scratch,
             mapped_edges: Set64::EMPTY,
             mapped_vertices: Set64::EMPTY,
-            used_vertices: Vec::with_capacity(q.num_vertices()),
-            found: Vec::new(),
             found_count: 0,
             stats: EngineStats::default(),
             nodes_this_event: 0,
@@ -125,8 +153,7 @@ impl<'a> Matcher<'a> {
                 if va == vb {
                     continue;
                 }
-                if !self.dcs.d2(self.q, self.g, qe.a, va) || !self.dcs.d2(self.q, self.g, qe.b, vb)
-                {
+                if !self.dcs.d2(qe.a, va) || !self.dcs.d2(qe.b, vb) {
                     continue;
                 }
                 // Pin (e, σ) and search.
@@ -147,34 +174,34 @@ impl<'a> Matcher<'a> {
 
     #[inline]
     fn map_vertex(&mut self, u: QVertexId, v: VertexId) {
-        self.vmap[u] = Some(v);
+        self.s.vmap[u] = Some(v);
         self.mapped_vertices.insert(u);
-        self.used_vertices.push(v);
+        self.s.used_vertices.push(v);
     }
 
     #[inline]
     fn unmap_vertex(&mut self, u: QVertexId) {
-        self.vmap[u] = None;
+        self.s.vmap[u] = None;
         self.mapped_vertices.remove(u);
-        self.used_vertices.pop();
+        self.s.used_vertices.pop();
     }
 
     #[inline]
     fn map_edge(&mut self, e: QEdgeId, k: EdgeKey, t: Ts) {
-        self.emap[e] = Some(k);
-        self.etime[e] = t;
+        self.s.emap[e] = Some(k);
+        self.s.etime[e] = t;
         self.mapped_edges.insert(e);
     }
 
     #[inline]
     fn unmap_edge(&mut self, e: QEdgeId) {
-        self.emap[e] = None;
+        self.s.emap[e] = None;
         self.mapped_edges.remove(e);
     }
 
     #[inline]
     fn vertex_used(&self, v: VertexId) -> bool {
-        self.used_vertices.contains(&v)
+        self.s.used_vertices.contains(&v)
     }
 
     /// Budget check; `true` means continue.
@@ -186,8 +213,7 @@ impl<'a> Matcher<'a> {
             self.stats.budget_exhausted = true;
             return false;
         }
-        if b.max_total_nodes != 0 && self.nodes_before + self.nodes_this_event > b.max_total_nodes
-        {
+        if b.max_total_nodes != 0 && self.nodes_before + self.nodes_this_event > b.max_total_nodes {
             self.stats.budget_exhausted = true;
             return false;
         }
@@ -247,7 +273,7 @@ impl<'a> Matcher<'a> {
     fn report(&mut self) {
         if self.cfg.preset.post_check() {
             for (a, b) in self.q.order().pairs() {
-                if self.etime[a] >= self.etime[b] {
+                if self.s.etime[a] >= self.s.etime[b] {
                     self.stats.post_check_rejections += 1;
                     return;
                 }
@@ -255,20 +281,21 @@ impl<'a> Matcher<'a> {
         }
         self.found_count += 1;
         if self.cfg.collect_matches {
-            self.found.push(Embedding {
-                vertices: self.vmap.iter().map(|v| v.unwrap()).collect(),
-                edges: self.emap.iter().map(|e| e.unwrap()).collect(),
+            self.s.found.push(Embedding {
+                vertices: self.s.vmap.iter().map(|v| v.unwrap()).collect(),
+                edges: self.s.emap.iter().map(|e| e.unwrap()).collect(),
             });
         }
     }
 
-    /// Computes `EC_M(e)` in chronological order.
-    fn candidates(&self, e: QEdgeId) -> Vec<(EdgeKey, Ts)> {
+    /// Computes `EC_M(e)` in chronological order into `out` (a pooled
+    /// buffer — no allocation on the steady-state search path).
+    fn fill_candidates(&self, e: QEdgeId, out: &mut Vec<(EdgeKey, Ts)>) {
         let qe = self.q.edge(e);
-        let va = self.vmap[qe.a].unwrap();
-        let vb = self.vmap[qe.b].unwrap();
+        let va = self.s.vmap[qe.a].unwrap();
+        let vb = self.s.vmap[qe.b].unwrap();
         let Some(bucket) = self.g.pair(va, vb) else {
-            return Vec::new();
+            return;
         };
         // Temporal bounds from R⁺ (Definition V.2).
         let (mut lo, mut hi) = (Ts::NEG_INF, Ts::INF);
@@ -276,13 +303,12 @@ impl<'a> Matcher<'a> {
             let order = self.q.order();
             for ep in self.r_plus(e).iter() {
                 if order.precedes(ep, e) {
-                    lo = lo.max(self.etime[ep]);
+                    lo = lo.max(self.s.etime[ep]);
                 } else {
-                    hi = hi.min(self.etime[ep]);
+                    hi = hi.min(self.s.etime[ep]);
                 }
             }
         }
-        let mut out = Vec::new();
         for rec in bucket.iter() {
             if !(lo < rec.time && rec.time < hi) {
                 continue;
@@ -298,12 +324,21 @@ impl<'a> Matcher<'a> {
                 out.push((rec.key, rec.time));
             }
         }
-        out
     }
 
     /// Matches the pending edge `e` over its candidates, with §V pruning.
     fn match_edge(&mut self, e: QEdgeId) -> Outcome {
-        let ec = self.candidates(e);
+        let mut ec = self.s.cand_pool.pop().unwrap_or_default();
+        debug_assert!(ec.is_empty());
+        self.fill_candidates(e, &mut ec);
+        let out = self.match_edge_with(e, &ec);
+        ec.clear();
+        self.s.cand_pool.push(ec);
+        out
+    }
+
+    /// The dispatch over the §V cases, with candidates already computed.
+    fn match_edge_with(&mut self, e: QEdgeId, ec: &[(EdgeKey, Ts)]) -> Outcome {
         if ec.is_empty() {
             // Pseudo-leaf (e, ∅): TF = R⁺_M(e) (Definition V.3, case 1).
             return Outcome::Failed(self.r_plus(e));
@@ -316,15 +351,15 @@ impl<'a> Matcher<'a> {
 
         // Case 1: no unmapped related edges — candidates interchangeable.
         if flags.case1 && r_minus.is_empty() {
-            return self.match_edge_case1(e, &ec);
+            return self.match_edge_case1(e, ec);
         }
         // Case 2: uniform relationship — chronological scan, break on fail.
         if flags.case2 && !r_minus.is_empty() {
             if r_minus.is_subset_of(order.successors(e)) {
-                return self.match_edge_case2(e, &ec, false);
+                return self.match_edge_case2(e, ec, false);
             }
             if r_minus.is_subset_of(order.predecessors(e)) {
-                return self.match_edge_case2(e, &ec, true);
+                return self.match_edge_case2(e, ec, true);
             }
         }
         // Case 3 / pruning disabled: plain scan, failing-set pruning when on.
@@ -358,7 +393,7 @@ impl<'a> Matcher<'a> {
     /// Case 1: explore one candidate; clone successes / prune failures.
     fn match_edge_case1(&mut self, e: QEdgeId, ec: &[(EdgeKey, Ts)]) -> Outcome {
         let (k0, t0) = ec[0];
-        let sink_start = self.found.len();
+        let sink_start = self.s.found.len();
         let count_start = self.found_count;
         self.map_edge(e, k0, t0);
         let out = self.search(Last::Edge(e));
@@ -375,12 +410,12 @@ impl<'a> Matcher<'a> {
                 self.found_count += clones;
                 self.stats.cloned_case1 += clones;
                 if self.cfg.collect_matches {
-                    let produced_range = sink_start..self.found.len();
+                    let produced_range = sink_start..self.s.found.len();
                     for &(k, _) in &ec[1..] {
                         for i in produced_range.clone() {
-                            let mut m = self.found[i].clone();
+                            let mut m = self.s.found[i].clone();
                             m.edges[e] = k;
-                            self.found.push(m);
+                            self.s.found.push(m);
                         }
                     }
                 }
@@ -391,12 +426,7 @@ impl<'a> Matcher<'a> {
 
     /// Case 2: chronological scan (`descending` when every unmapped related
     /// edge precedes `e`); stop at the first failed candidate.
-    fn match_edge_case2(
-        &mut self,
-        e: QEdgeId,
-        ec: &[(EdgeKey, Ts)],
-        descending: bool,
-    ) -> Outcome {
+    fn match_edge_case2(&mut self, e: QEdgeId, ec: &[(EdgeKey, Ts)], descending: bool) -> Outcome {
         let mut any_found = false;
         let mut tf_children = Set64::EMPTY;
         let n = ec.len();
@@ -427,8 +457,11 @@ impl<'a> Matcher<'a> {
 
     /// Vertex extension: SymBi-style adaptive order (minimum candidates).
     fn extend_vertex(&mut self) -> Outcome {
+        let mut best_cand = self.s.vcand_pool.pop().unwrap_or_default();
+        let mut trial = self.s.vcand_pool.pop().unwrap_or_default();
+        debug_assert!(best_cand.is_empty() && trial.is_empty());
         // Extendable vertices: unmapped with at least one mapped neighbour.
-        let mut best: Option<(QVertexId, Vec<VertexId>)> = None;
+        let mut best_u: Option<QVertexId> = None;
         for u in 0..self.q.num_vertices() {
             if self.mapped_vertices.contains(u) {
                 continue;
@@ -441,57 +474,72 @@ impl<'a> Matcher<'a> {
             {
                 continue;
             }
-            let cand = self.vertex_candidates(u);
-            let better = match &best {
-                None => true,
-                Some((_, c)) => cand.len() < c.len(),
-            };
+            trial.clear();
+            self.fill_vertex_candidates(u, &mut trial);
+            let better = best_u.is_none() || trial.len() < best_cand.len();
             if better {
-                let empty = cand.is_empty();
-                best = Some((u, cand));
-                if empty {
+                std::mem::swap(&mut best_cand, &mut trial);
+                best_u = Some(u);
+                if best_cand.is_empty() {
                     break;
                 }
             }
         }
-        let Some((u, cand)) = best else {
-            // Unreachable for connected queries, but stay safe.
-            return Outcome::Failed(Set64::EMPTY);
-        };
-        if cand.is_empty() {
-            // Structural failure: no timestamps involved (DESIGN.md §4).
-            return Outcome::Failed(Set64::EMPTY);
-        }
-        let mut any_found = false;
-        let mut tf_children = Set64::EMPTY;
-        for v in cand {
-            self.map_vertex(u, v);
-            let out = self.search(Last::Vertex);
-            self.unmap_vertex(u);
-            match out {
-                Outcome::Aborted => return Outcome::Aborted,
-                Outcome::Found => any_found = true,
-                Outcome::Failed(tf) => tf_children = tf_children.union(tf),
+        let out = match best_u {
+            // Unreachable for connected queries, but stay safe; an empty
+            // candidate set is a structural failure — no timestamps
+            // involved (DESIGN.md §4).
+            None => Outcome::Failed(Set64::EMPTY),
+            Some(_) if best_cand.is_empty() => Outcome::Failed(Set64::EMPTY),
+            Some(u) => {
+                let mut any_found = false;
+                let mut tf_children = Set64::EMPTY;
+                let mut aborted = false;
+                // Indexed loop: `best_cand` must stay owned while `self` is
+                // mutably borrowed by the recursion.
+                #[allow(clippy::needless_range_loop)]
+                for i in 0..best_cand.len() {
+                    let v = best_cand[i];
+                    self.map_vertex(u, v);
+                    let out = self.search(Last::Vertex);
+                    self.unmap_vertex(u);
+                    match out {
+                        Outcome::Aborted => {
+                            aborted = true;
+                            break;
+                        }
+                        Outcome::Found => any_found = true,
+                        Outcome::Failed(tf) => tf_children = tf_children.union(tf),
+                    }
+                }
+                if aborted {
+                    Outcome::Aborted
+                } else if any_found {
+                    Outcome::Found
+                } else {
+                    Outcome::Failed(tf_children)
+                }
             }
-        }
-        if any_found {
-            Outcome::Found
-        } else {
-            Outcome::Failed(tf_children)
-        }
+        };
+        best_cand.clear();
+        trial.clear();
+        self.s.vcand_pool.push(best_cand);
+        self.s.vcand_pool.push(trial);
+        out
     }
 
     /// `C_M(u)`: structural candidates of `u` (label, `d2`, injectivity, and
-    /// DCS edge support towards every mapped neighbour). Temporal checks are
-    /// deferred to the edge nodes so failing sets stay sound.
-    fn vertex_candidates(&self, u: QVertexId) -> Vec<VertexId> {
+    /// DCS edge support towards every mapped neighbour), written into a
+    /// pooled buffer. Temporal checks are deferred to the edge nodes so
+    /// failing sets stay sound.
+    fn fill_vertex_candidates(&self, u: QVertexId, out: &mut Vec<VertexId>) {
         // Pivot: the mapped neighbour with the smallest alive neighbourhood.
         let mut pivot: Option<(VertexId, usize)> = None;
         for &(_, w) in self.q.incident_edges(u) {
             if let Some(img) = self
                 .mapped_vertices
                 .contains(w)
-                .then(|| self.vmap[w].unwrap())
+                .then(|| self.s.vmap[w].unwrap())
             {
                 let n = self.g.num_neighbors(img);
                 if pivot.is_none_or(|(_, pn)| n < pn) {
@@ -501,23 +549,22 @@ impl<'a> Matcher<'a> {
         }
         let (pivot_img, _) = pivot.expect("extendable vertex has a mapped neighbour");
         let dag = self.dcs.dag();
-        let mut out = Vec::new();
         'cand: for (v, _) in self.g.neighbors(pivot_img) {
             if self.g.label(v) != self.q.label(u) || self.vertex_used(v) {
                 continue;
             }
-            if !self.dcs.d2(self.q, self.g, u, v) {
+            if !self.dcs.d2(u, v) {
                 continue;
             }
             for &(e, w) in self.q.incident_edges(u) {
                 if !self.mapped_vertices.contains(w) {
                     continue;
                 }
-                let img_w = self.vmap[w].unwrap();
+                let img_w = self.s.vmap[w].unwrap();
                 let supported = if dag.tail(e) == w {
-                    self.dcs.mult(e, img_w, v) > 0
+                    self.dcs.mult(self.g, e, img_w, v) > 0
                 } else {
-                    self.dcs.mult(e, v, img_w) > 0
+                    self.dcs.mult(self.g, e, v, img_w) > 0
                 };
                 if !supported {
                     continue 'cand;
@@ -525,7 +572,6 @@ impl<'a> Matcher<'a> {
             }
             out.push(v);
         }
-        out
     }
 }
 
@@ -599,11 +645,20 @@ mod tests {
             let mut engine = TcmEngine::new(&q, &g, 10, cfg).unwrap();
             let events = engine.run();
             for ev in &events {
-                assert!(ev.embedding.verify(&q, &g), "invalid embedding ({preset:?})");
+                assert!(
+                    ev.embedding.verify(&q, &g),
+                    "invalid embedding ({preset:?})"
+                );
             }
             // Stream fully drains, so every occurrence later expires.
-            let occ = events.iter().filter(|m| m.kind == MatchKind::Occurred).count();
-            let exp = events.iter().filter(|m| m.kind == MatchKind::Expired).count();
+            let occ = events
+                .iter()
+                .filter(|m| m.kind == MatchKind::Occurred)
+                .count();
+            let exp = events
+                .iter()
+                .filter(|m| m.kind == MatchKind::Expired)
+                .count();
             assert_eq!(occ, exp, "occurred/expired mismatch ({preset:?})");
         }
     }
@@ -656,7 +711,10 @@ mod tests {
         let g = gb.build().unwrap();
         let mut engine = TcmEngine::new(&q, &g, 10, Default::default()).unwrap();
         let events = engine.run();
-        let occ = events.iter().filter(|m| m.kind == MatchKind::Occurred).count();
+        let occ = events
+            .iter()
+            .filter(|m| m.kind == MatchKind::Occurred)
+            .count();
         assert_eq!(occ, 2);
     }
 

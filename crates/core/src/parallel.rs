@@ -95,10 +95,15 @@ mod tests {
         let cfg = EngineConfig::default();
         let par = run_queries_parallel(&queries, &g, 10, cfg, 3).unwrap();
         for (i, q) in queries.iter().enumerate() {
-            let mut e = TcmEngine::new(q, &g, 10, EngineConfig {
-                collect_matches: false,
-                ..cfg
-            })
+            let mut e = TcmEngine::new(
+                q,
+                &g,
+                10,
+                EngineConfig {
+                    collect_matches: false,
+                    ..cfg
+                },
+            )
             .unwrap();
             let seq = *e.run_counting();
             assert_eq!(par[i], seq, "query {i}");
@@ -108,8 +113,7 @@ mod tests {
     #[test]
     fn zero_threads_means_all_cpus() {
         let (queries, g) = workload();
-        let out =
-            run_queries_parallel(&queries, &g, 10, EngineConfig::default(), 0).unwrap();
+        let out = run_queries_parallel(&queries, &g, 10, EngineConfig::default(), 0).unwrap();
         assert_eq!(out.len(), queries.len());
         assert!(out.iter().any(|s| s.occurred > 0));
     }

@@ -39,11 +39,17 @@ fn counting_mode_matches_collecting_mode() {
     let s = *counting.run_counting();
     assert_eq!(
         s.occurred as usize,
-        events.iter().filter(|m| m.kind == MatchKind::Occurred).count()
+        events
+            .iter()
+            .filter(|m| m.kind == MatchKind::Occurred)
+            .count()
     );
     assert_eq!(
         s.expired as usize,
-        events.iter().filter(|m| m.kind == MatchKind::Expired).count()
+        events
+            .iter()
+            .filter(|m| m.kind == MatchKind::Expired)
+            .count()
     );
 }
 

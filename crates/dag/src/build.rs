@@ -37,10 +37,7 @@ pub fn build_dag(q: &QueryGraph, root: QVertexId) -> QueryDag {
     let mut next_seq = 0usize;
 
     // Score[u'] per the Lemma IV.2 reading (recomputed on each edge visit).
-    let compute_score = |u2: QVertexId,
-                         in_dag: &Set64,
-                         anc_edges: &[Set64]|
-     -> usize {
+    let compute_score = |u2: QVertexId, in_dag: &Set64, anc_edges: &[Set64]| -> usize {
         // Hypothetical ancestor-edge set of u' if selected now: the union of
         // A(w) over DAG neighbours w, plus the new in-edges (w, u').
         let mut hyp = Set64::EMPTY;

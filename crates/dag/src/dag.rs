@@ -56,7 +56,11 @@ impl QueryDag {
         let mut parents = vec![Vec::new(); n];
         for e in 0..m {
             let qe = q.edge(e);
-            let (t, h) = if orient[e] { (qe.a, qe.b) } else { (qe.b, qe.a) };
+            let (t, h) = if orient[e] {
+                (qe.a, qe.b)
+            } else {
+                (qe.b, qe.a)
+            };
             tail[e] = t;
             head[e] = h;
             children[t].push((e, h));
@@ -98,9 +102,7 @@ impl QueryDag {
         let mut anc_edges = vec![Set64::EMPTY; n];
         for &u in &topo {
             for &(e, c) in &children[u] {
-                let merged = anc_edges[c]
-                    .union(anc_edges[u])
-                    .union(Set64::singleton(e));
+                let merged = anc_edges[c].union(anc_edges[u]).union(Set64::singleton(e));
                 anc_edges[c] = merged;
             }
         }

@@ -52,14 +52,8 @@ mod tests {
     #[test]
     fn sides_are_mirrors() {
         let o = TemporalOrder::new(3, &[(0, 1), (1, 2)]).unwrap();
-        assert_eq!(
-            Polarity::Later.constrained_side(&o, 0),
-            o.successors(0)
-        );
-        assert_eq!(
-            Polarity::Earlier.constrained_side(&o, 2),
-            o.predecessors(2)
-        );
+        assert_eq!(Polarity::Later.constrained_side(&o, 0), o.successors(0));
+        assert_eq!(Polarity::Earlier.constrained_side(&o, 2), o.predecessors(2));
         assert!(Polarity::Later.relates(&o, 0, 2));
         assert!(!Polarity::Later.relates(&o, 2, 0));
         assert!(Polarity::Earlier.relates(&o, 2, 0));

@@ -103,14 +103,8 @@ pub const LSBENCH: DatasetProfile = DatasetProfile {
 };
 
 /// All six profiles in the paper's figure order.
-pub const ALL_PROFILES: [DatasetProfile; 6] = [
-    NETFLOW,
-    WIKI_TALK,
-    SUPERUSER,
-    STACKOVERFLOW,
-    YAHOO,
-    LSBENCH,
-];
+pub const ALL_PROFILES: [DatasetProfile; 6] =
+    [NETFLOW, WIKI_TALK, SUPERUSER, STACKOVERFLOW, YAHOO, LSBENCH];
 
 /// Zipf-distributed index sampler over `0..n` (cumulative table + binary
 /// search; n is at most a few thousand here).
@@ -201,7 +195,11 @@ mod tests {
         for p in ALL_PROFILES {
             let g = p.generate(42, 0.25);
             let want_v = (p.num_vertices as f64 * 0.25).round();
-            assert!((g.num_vertices() as f64 - want_v).abs() <= 1.0, "{}", p.name);
+            assert!(
+                (g.num_vertices() as f64 - want_v).abs() <= 1.0,
+                "{}",
+                p.name
+            );
             // mavg within a factor ~1.6 of the target (Zipf head collisions
             // add parallel pairs beyond parallel_prob).
             let target_mavg = 1.0 / (1.0 - p.parallel_prob);

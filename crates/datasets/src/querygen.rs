@@ -280,6 +280,9 @@ mod tests {
         let qg = QueryGen::new(&g);
         let a = qg.generate(6, 0.5, 200, 9).unwrap();
         let b = qg.generate(6, 0.5, 200, 9).unwrap();
-        assert_eq!(tcsm_graph::io::write_query_graph(&a), tcsm_graph::io::write_query_graph(&b));
+        assert_eq!(
+            tcsm_graph::io::write_query_graph(&a),
+            tcsm_graph::io::write_query_graph(&b)
+        );
     }
 }

@@ -76,5 +76,8 @@ fn queries_inherit_labels_from_data() {
         assert_eq!(q.label(u), g.label(0));
     }
     // Edge labels are copied from the walked data edges.
-    assert!(q.edges().iter().all(|e| e.label != tcsm_graph::EDGE_LABEL_ANY));
+    assert!(q
+        .edges()
+        .iter()
+        .all(|e| e.label != tcsm_graph::EDGE_LABEL_ANY));
 }

@@ -21,6 +21,19 @@
 //! Updates are counter-based and incremental: each event's pair deltas are
 //! monotone (arrivals only add pairs, expirations only remove them), so the
 //! boolean flips propagate once per node per event.
+//!
+//! # Memory model
+//!
+//! All per-`(u, v)` state is **dense and index-addressed** (see
+//! [`node`](crate::Dcs)): the support-counter slab, the `d1`/`d2` bitmaps
+//! and the label-compatibility bitmap are `O(|V(q)|·|V(g)|)`-shaped and
+//! allocated once when the engine is constructed. The multiplicity index is
+//! keyed by the window graph's stable pair-bucket ids and grows amortized
+//! with the peak number of concurrently alive vertex pairs, after which it
+//! is reused. Per-event work therefore allocates nothing proportional to
+//! the table sizes and performs no hashing; window expiration zeroes slots
+//! in place (`num_nodes()` returns to 0 on a drained stream — the
+//! regression tests in `tests/dense_oracle.rs` pin this).
 
 mod node;
 mod update;

@@ -1,71 +1,138 @@
-//! DCS storage: per-node counters and the multiplicity index.
+//! DCS storage: dense per-`(u, v)` counter slabs and the pair-indexed
+//! multiplicity slab.
+//!
+//! # Memory model
+//!
+//! Query vertices are bounded by 64 and the data-vertex count `n` is fixed
+//! when the stream opens, so *all* per-node state lives in flat arrays
+//! allocated once at construction:
+//!
+//! * `counters` — for every query vertex `u`, an `n × (parents(u) +
+//!   children(u))` block of `u32` support counters, one row per data vertex
+//!   (`O(|E(q)| · n)` words total, rows contiguous so one node's
+//!   `n1`/`n2` check is a short cache-resident scan);
+//! * `d1` / `d2` — one bit per `(u, v)` pair (`O(|V(q)| · n)` bits), plus a
+//!   precomputed `label_ok` bitmap so candidacy refreshes never touch the
+//!   label arrays;
+//! * `mult` — DCS edge multiplicities addressed by **window pair-bucket id**
+//!   (`pair · 2|E(q)| + ε·2 + orientation`), the stable ids handed out by
+//!   [`tcsm_graph::WindowGraph`]. This slab grows amortized with the peak
+//!   number of concurrently alive vertex pairs and is then reused; no
+//!   per-event allocation is proportional to anything.
+//!
+//! There is no hashing anywhere on the per-event path.
 
 use tcsm_dag::QueryDag;
-use tcsm_graph::{FxHashMap, QEdgeId, QVertexId, QueryGraph, VertexId};
-
-/// Per-`(u, v)` candidacy state.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub(crate) struct NodeState {
-    /// Per parent slot: number of distinct `v_p` with a supporting DCS edge
-    /// (`mult > 0` and `d1[u_p, v_p]`).
-    pub n1: Box<[u32]>,
-    /// Per child slot: number of distinct `v_c` with `mult > 0` and
-    /// `d2[u_c, v_c]`.
-    pub n2: Box<[u32]>,
-    /// Cached `d1` / `d2` booleans (consistent with the counters).
-    pub d1: bool,
-    pub d2: bool,
-}
-
-impl NodeState {
-    pub(crate) fn n1_sat(&self) -> bool {
-        self.n1.iter().all(|&c| c > 0)
-    }
-
-    pub(crate) fn n2_sat(&self) -> bool {
-        self.n2.iter().all(|&c| c > 0)
-    }
-
-    pub(crate) fn is_zero(&self) -> bool {
-        self.n1.iter().all(|&c| c == 0) && self.n2.iter().all(|&c| c == 0)
-    }
-}
+use tcsm_graph::{DenseBits, PairId, QEdgeId, QVertexId, QueryGraph, VertexId, WindowGraph};
 
 /// The dynamic candidate space.
 pub struct Dcs {
     pub(crate) dag: QueryDag,
-    /// Multiplicity of DCS edges per `(qedge, image of tail, image of head)`:
-    /// the number of alive oriented pairs currently admitted by the filter.
-    pub(crate) mult: FxHashMap<(QEdgeId, VertexId, VertexId), u32>,
-    pub(crate) nodes: FxHashMap<(QVertexId, VertexId), NodeState>,
+    /// Data-vertex count (fixed at construction).
+    pub(crate) n: usize,
+    /// `2 · |E(q)|`: the `mult` stride per pair bucket.
+    pub(crate) m2: usize,
+    /// Parent count per query vertex (`n1` slots; `n2` slots follow).
+    pub(crate) np: Vec<u32>,
+    /// `parents + children` counter row width per query vertex.
+    pub(crate) width: Vec<u32>,
+    /// Prefix sums of `width`: block `u` starts at `cbase[u] * n`.
+    pub(crate) cbase: Vec<u32>,
+    /// The flat counter slab (see module docs).
+    pub(crate) counters: Vec<u32>,
+    /// Per `(u, v)`: number of nonzero counter slots (`0` = default node).
+    pub(crate) nonzero_slots: Vec<u8>,
+    /// Number of `(u, v)` nodes with any nonzero counter.
+    pub(crate) live_nodes: usize,
+    /// `d1`/`d2` candidacy bits per `(u, v)` (index `u·n + v`).
+    pub(crate) d1: DenseBits,
+    pub(crate) d2: DenseBits,
+    /// `label(u) == label(v)` per `(u, v)`, precomputed.
+    pub(crate) label_ok: DenseBits,
     /// Number of nodes with `d2 == true` (the Table V vertex metric).
     pub(crate) d2_count: usize,
     /// Parent/child slot of each edge at its head/tail (cached).
     pub(crate) parent_slot: Vec<usize>,
     pub(crate) child_slot: Vec<usize>,
+    /// Worklist buffer reused across [`Dcs::apply`] calls.
+    pub(crate) work_scratch: Vec<crate::update::Work>,
+    /// Multiplicity of DCS edges per `(pair bucket, qedge, orientation)`.
+    pub(crate) mult: Vec<u32>,
+    /// Number of nonzero `mult` entries (= DCS edge groups).
+    pub(crate) mult_groups: usize,
+    /// Sum of all `mult` entries (= DCS edge multiplicity).
+    pub(crate) mult_total: usize,
 }
 
 impl Dcs {
-    /// Creates an empty DCS over the forward query DAG.
-    pub fn new(dag: QueryDag) -> Dcs {
+    /// Creates an empty DCS over the forward query DAG for the fixed vertex
+    /// set of `g`. All `O(|V(q)|·|V(g)|)`-shaped slabs are allocated here,
+    /// once, and reused for the stream's lifetime.
+    pub fn new(dag: QueryDag, q: &QueryGraph, g: &WindowGraph) -> Dcs {
         let m = dag.num_edges();
+        let nq = dag.num_vertices();
+        let n = g.num_vertices();
         let mut parent_slot = vec![0; m];
         let mut child_slot = vec![0; m];
-        for u in 0..dag.num_vertices() {
+        let mut np = vec![0u32; nq];
+        let mut width = vec![0u32; nq];
+        for u in 0..nq {
             for (i, &(e, _)) in dag.parents(u).iter().enumerate() {
                 parent_slot[e] = i;
             }
             for (i, &(e, _)) in dag.children(u).iter().enumerate() {
                 child_slot[e] = i;
             }
+            np[u] = dag.parents(u).len() as u32;
+            width[u] = (dag.parents(u).len() + dag.children(u).len()) as u32;
+        }
+        let mut cbase = vec![0u32; nq];
+        let mut acc = 0u32;
+        for u in 0..nq {
+            cbase[u] = acc;
+            acc += width[u];
+        }
+        let mut label_ok = DenseBits::new(nq * n);
+        let mut d1 = DenseBits::new(nq * n);
+        let mut d2 = DenseBits::new(nq * n);
+        for u in 0..nq {
+            let lu = q.label(u);
+            let root_u = dag.parents(u).is_empty();
+            let leaf_u = dag.children(u).is_empty();
+            for v in 0..n {
+                if lu == g.label(v as VertexId) {
+                    label_ok.set(u * n + v);
+                    // Counter-free defaults: roots are d1 on label match
+                    // alone; d2 additionally needs zero children.
+                    if root_u {
+                        d1.set(u * n + v);
+                        if leaf_u {
+                            d2.set(u * n + v);
+                        }
+                    }
+                }
+            }
         }
         Dcs {
             dag,
-            mult: FxHashMap::default(),
-            nodes: FxHashMap::default(),
+            n,
+            m2: 2 * m,
+            np,
+            width,
+            cbase,
+            counters: vec![0; acc as usize * n],
+            nonzero_slots: vec![0; nq * n],
+            live_nodes: 0,
+            d1,
+            d2,
+            label_ok,
             d2_count: 0,
             parent_slot,
             child_slot,
+            work_scratch: Vec::new(),
+            mult: Vec::new(),
+            mult_groups: 0,
+            mult_total: 0,
         }
     }
 
@@ -75,44 +142,59 @@ impl Dcs {
         &self.dag
     }
 
+    /// Start of the counter row for `(u, v)`.
+    #[inline]
+    pub(crate) fn row(&self, u: QVertexId, v: VertexId) -> usize {
+        self.cbase[u] as usize * self.n + v as usize * self.width[u] as usize
+    }
+
+    /// `mult` slab index for `(pair, e, orientation)`.
+    #[inline]
+    pub(crate) fn mult_idx(pair: PairId, m2: usize, e: QEdgeId, tail_lt_head: bool) -> usize {
+        pair as usize * m2 + e * 2 + tail_lt_head as usize
+    }
+
+    /// Multiplicity by direct pair-bucket index (the hot-path form).
+    #[inline]
+    pub fn mult_at(&self, pair: PairId, e: QEdgeId, tail_lt_head: bool) -> u32 {
+        self.mult
+            .get(Dcs::mult_idx(pair, self.m2, e, tail_lt_head))
+            .copied()
+            .unwrap_or(0)
+    }
+
     /// Number of alive DCS edges for `(e, v_tail, v_head)` — i.e. how many
     /// parallel data edges between the two images are admitted for `e`.
     #[inline]
-    pub fn mult(&self, e: QEdgeId, v_tail: VertexId, v_head: VertexId) -> u32 {
-        self.mult.get(&(e, v_tail, v_head)).copied().unwrap_or(0)
+    pub fn mult(&self, g: &WindowGraph, e: QEdgeId, v_tail: VertexId, v_head: VertexId) -> u32 {
+        match g.pair_id(v_tail, v_head) {
+            Some(p) => self.mult_at(p, e, v_tail < v_head),
+            None => 0,
+        }
     }
 
     /// `d1[u, v]` (ancestor-side candidacy).
     #[inline]
-    pub fn d1(&self, q: &QueryGraph, g: &tcsm_graph::WindowGraph, u: QVertexId, v: VertexId) -> bool {
-        match self.nodes.get(&(u, v)) {
-            Some(n) => n.d1,
-            None => q.label(u) == g.label(v) && self.dag.parents(u).is_empty(),
-        }
+    pub fn d1(&self, u: QVertexId, v: VertexId) -> bool {
+        self.d1.get(u * self.n + v as usize)
     }
 
     /// `d2[u, v]` (full candidacy; implies `d1`).
     #[inline]
-    pub fn d2(&self, q: &QueryGraph, g: &tcsm_graph::WindowGraph, u: QVertexId, v: VertexId) -> bool {
-        match self.nodes.get(&(u, v)) {
-            Some(n) => n.d2,
-            None => {
-                q.label(u) == g.label(v)
-                    && self.dag.parents(u).is_empty()
-                    && self.dag.children(u).is_empty()
-            }
-        }
+    pub fn d2(&self, u: QVertexId, v: VertexId) -> bool {
+        self.d2.get(u * self.n + v as usize)
     }
 
     /// Number of distinct `(qedge, data pair)` groups with alive DCS edges.
     #[inline]
     pub fn num_edge_groups(&self) -> usize {
-        self.mult.len()
+        self.mult_groups
     }
 
     /// Total DCS edge multiplicity (= number of admitted oriented pairs).
+    #[inline]
     pub fn num_edges(&self) -> usize {
-        self.mult.values().map(|&c| c as usize).sum()
+        self.mult_total
     }
 
     /// Number of `(u, v)` pairs with `d2` — the "vertices remaining in DCS
@@ -126,9 +208,18 @@ impl Dcs {
         self.d2_count
     }
 
-    /// Number of materialized node states (memory diagnostics).
+    /// Number of `(u, v)` nodes holding any nonzero counter (the dense
+    /// analogue of "materialized node states"; memory diagnostics).
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.live_nodes
+    }
+
+    /// Current length of the pair-indexed multiplicity slab, in entries.
+    /// Grows with the peak number of concurrently alive vertex pairs and is
+    /// then stable — the expiration regression test pins this.
+    #[inline]
+    pub fn mult_slab_len(&self) -> usize {
+        self.mult.len()
     }
 }

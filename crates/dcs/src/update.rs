@@ -1,13 +1,13 @@
 //! Incremental DCS maintenance (`DCSInsertion` / `DCSDeletion` of
-//! Algorithm 1, following SymBi's counter scheme).
+//! Algorithm 1, following SymBi's counter scheme) over the dense slabs.
 
-use crate::node::{Dcs, NodeState};
-use tcsm_graph::{QEdgeId, QVertexId, QueryGraph, TemporalEdge, VertexId, WindowGraph};
+use crate::node::Dcs;
 use tcsm_filter::DcsDelta;
+use tcsm_graph::{QEdgeId, QVertexId, QueryGraph, TemporalEdge, VertexId, WindowGraph};
 
 /// A pending counter adjustment.
 #[derive(Clone, Copy, Debug)]
-enum Work {
+pub(crate) enum Work {
     /// `n1[u, v][slot] += delta` (support from a parent-side change).
     N1 {
         u: QVertexId,
@@ -36,7 +36,9 @@ impl Dcs {
         lookup: impl Fn(tcsm_graph::EdgeKey) -> &'a TemporalEdge,
         deltas: &[DcsDelta],
     ) {
-        let mut work: Vec<Work> = Vec::new();
+        // Reused across events: the worklist allocation is engine-lifetime.
+        let mut work = std::mem::take(&mut self.work_scratch);
+        debug_assert!(work.is_empty());
         for d in deltas {
             let e = d.pair.qedge;
             let sigma = lookup(d.pair.key);
@@ -44,34 +46,48 @@ impl Dcs {
             let head = self.dag.head(e);
             let v_tail = d.pair.image_of(q, sigma, tail);
             let v_head = d.pair.image_of(q, sigma, head);
+            // The window keeps an expiring pair's bucket id resolvable until
+            // the next mutation, so removal deltas still index directly.
+            let Some(pid) = g.pair_id(v_tail, v_head) else {
+                debug_assert!(false, "delta for a pair with no bucket");
+                continue;
+            };
+            let idx = Dcs::mult_idx(pid, self.m2, e, v_tail < v_head);
             if d.added {
-                let m = self.mult.entry((e, v_tail, v_head)).or_insert(0);
+                if idx >= self.mult.len() {
+                    // Amortized growth with the pair slab; reused thereafter.
+                    self.mult.resize((pid as usize + 1) * self.m2, 0);
+                }
+                let m = &mut self.mult[idx];
                 *m += 1;
+                self.mult_total += 1;
                 if *m == 1 {
-                    self.pair_edge_transition(q, g, e, v_tail, v_head, 1, &mut work);
+                    self.mult_groups += 1;
+                    self.pair_edge_transition(e, v_tail, v_head, 1, &mut work);
                 }
             } else {
-                let m = self
-                    .mult
-                    .get_mut(&(e, v_tail, v_head))
-                    .expect("removing pair with zero multiplicity");
+                let Some(m) = self.mult.get_mut(idx).filter(|m| **m > 0) else {
+                    // A malformed stream (removal of an untracked pair) must
+                    // degrade, not abort the engine.
+                    debug_assert!(false, "removing pair with zero multiplicity");
+                    continue;
+                };
                 *m -= 1;
+                self.mult_total -= 1;
                 if *m == 0 {
-                    self.mult.remove(&(e, v_tail, v_head));
-                    self.pair_edge_transition(q, g, e, v_tail, v_head, -1, &mut work);
+                    self.mult_groups -= 1;
+                    self.pair_edge_transition(e, v_tail, v_head, -1, &mut work);
                 }
             }
         }
-        self.drain(q, g, work);
+        work = self.drain(g, work);
+        self.work_scratch = work;
     }
 
     /// A DCS edge group `(e, v_tail, v_head)` appeared (`delta = 1`) or
     /// disappeared (`delta = -1`); seed the counter adjustments it implies.
-    #[allow(clippy::too_many_arguments)]
     fn pair_edge_transition(
         &mut self,
-        q: &QueryGraph,
-        g: &WindowGraph,
         e: QEdgeId,
         v_tail: VertexId,
         v_head: VertexId,
@@ -81,7 +97,7 @@ impl Dcs {
         let tail = self.dag.tail(e);
         let head = self.dag.head(e);
         // Parent-side support for the head node.
-        if self.d1(q, g, tail, v_tail) {
+        if self.d1(tail, v_tail) {
             work.push(Work::N1 {
                 u: head,
                 v: v_head,
@@ -90,7 +106,7 @@ impl Dcs {
             });
         }
         // Child-side support for the tail node.
-        if self.d2(q, g, head, v_head) {
+        if self.d2(head, v_head) {
             work.push(Work::N2 {
                 u: tail,
                 v: v_tail,
@@ -100,62 +116,67 @@ impl Dcs {
         }
     }
 
-    fn ensure_node(&mut self, q: &QueryGraph, g: &WindowGraph, u: QVertexId, v: VertexId) {
-        if !self.nodes.contains_key(&(u, v)) {
-            let ns = Dcs::make_node_static(&self.dag, q, g, u, v);
-            self.nodes.insert((u, v), ns);
-        }
-    }
-
-    fn drain(&mut self, q: &QueryGraph, g: &WindowGraph, mut work: Vec<Work>) {
+    /// Drains the worklist; returns the (now empty) buffer for reuse.
+    fn drain(&mut self, g: &WindowGraph, mut work: Vec<Work>) -> Vec<Work> {
         while let Some(w) = work.pop() {
-            let (u, v, crossed_zero) = match w {
-                Work::N1 { u, v, slot, delta } => {
-                    self.ensure_node(q, g, u, v);
-                    let node = self.nodes.get_mut(&(u, v)).expect("just ensured");
-                    let c = &mut node.n1[slot];
-                    let before = *c;
-                    *c = (*c as i64 + delta as i64) as u32;
-                    (u, v, (before == 0) != (*c == 0))
-                }
-                Work::N2 { u, v, slot, delta } => {
-                    self.ensure_node(q, g, u, v);
-                    let node = self.nodes.get_mut(&(u, v)).expect("just ensured");
-                    let c = &mut node.n2[slot];
-                    let before = *c;
-                    *c = (*c as i64 + delta as i64) as u32;
-                    (u, v, (before == 0) != (*c == 0))
-                }
+            let (u, v, slot) = match w {
+                Work::N1 { u, v, slot, .. } => (u, v, slot),
+                Work::N2 { u, v, slot, .. } => (u, v, self.np[u] as usize + slot),
             };
-            if crossed_zero {
-                self.refresh_node(q, g, u, v, &mut work);
-            } else {
-                self.prune_node(u, v);
+            let delta = match w {
+                Work::N1 { delta, .. } | Work::N2 { delta, .. } => delta,
+            };
+            let ci = self.row(u, v) + slot;
+            let before = self.counters[ci];
+            let after = (before as i64 + delta as i64) as u32;
+            self.counters[ci] = after;
+            // Track node occupancy so expiration provably empties the slab.
+            let uv = u * self.n + v as usize;
+            if before == 0 && after > 0 {
+                self.nonzero_slots[uv] += 1;
+                if self.nonzero_slots[uv] == 1 {
+                    self.live_nodes += 1;
+                }
+            } else if before > 0 && after == 0 {
+                self.nonzero_slots[uv] -= 1;
+                if self.nonzero_slots[uv] == 0 {
+                    self.live_nodes -= 1;
+                }
+            }
+            if (before == 0) != (after == 0) {
+                self.refresh_node(g, u, v, &mut work);
             }
         }
+        work
+    }
+
+    /// True when every `n1` counter of `(u, v)` is positive.
+    #[inline]
+    fn n1_sat(&self, u: QVertexId, v: VertexId) -> bool {
+        let row = self.row(u, v);
+        self.counters[row..row + self.np[u] as usize]
+            .iter()
+            .all(|&c| c > 0)
+    }
+
+    /// True when every `n2` counter of `(u, v)` is positive.
+    #[inline]
+    fn n2_sat(&self, u: QVertexId, v: VertexId) -> bool {
+        let row = self.row(u, v);
+        self.counters[row + self.np[u] as usize..row + self.width[u] as usize]
+            .iter()
+            .all(|&c| c > 0)
     }
 
     /// Recomputes `d1`/`d2` of a node from its counters; on flips, seeds the
     /// induced adjustments in neighbours.
-    fn refresh_node(
-        &mut self,
-        q: &QueryGraph,
-        g: &WindowGraph,
-        u: QVertexId,
-        v: VertexId,
-        work: &mut Vec<Work>,
-    ) {
-        let label_ok = q.label(u) == g.label(v);
-        let (old_d1, old_d2, new_d1, new_d2) = {
-            let node = self.nodes.get_mut(&(u, v)).expect("node exists");
-            let old_d1 = node.d1;
-            let old_d2 = node.d2;
-            let new_d1 = label_ok && node.n1_sat();
-            let new_d2 = new_d1 && node.n2_sat();
-            node.d1 = new_d1;
-            node.d2 = new_d2;
-            (old_d1, old_d2, new_d1, new_d2)
-        };
+    fn refresh_node(&mut self, g: &WindowGraph, u: QVertexId, v: VertexId, work: &mut Vec<Work>) {
+        let uv = u * self.n + v as usize;
+        let label_ok = self.label_ok.get(uv);
+        let new_d1 = label_ok && self.n1_sat(u, v);
+        let new_d2 = new_d1 && self.n2_sat(u, v);
+        let old_d1 = self.d1.replace(uv, new_d1);
+        let old_d2 = self.d2.replace(uv, new_d2);
         if new_d2 != old_d2 {
             if new_d2 {
                 self.d2_count += 1;
@@ -167,14 +188,14 @@ impl Dcs {
             // d1[u, v] supports n1 of every child image connected by an
             // alive DCS edge group.
             let delta = if new_d1 { 1 } else { -1 };
-            let children: Vec<(QEdgeId, QVertexId)> = self.dag.children(u).to_vec();
-            for (e, uc) in children {
-                for (vc, _) in g.neighbors(v) {
-                    if self.mult(e, v, vc) > 0 {
+            for &(e, uc) in self.dag.children(u) {
+                let slot = self.parent_slot[e];
+                for (vc, pid, _) in g.neighbors_with_ids(v) {
+                    if self.mult_at(pid, e, v < vc) > 0 {
                         work.push(Work::N1 {
                             u: uc,
                             v: vc,
-                            slot: self.parent_slot[e],
+                            slot,
                             delta,
                         });
                     }
@@ -185,51 +206,19 @@ impl Dcs {
             // d2[u, v] supports n2 of every parent image connected by an
             // alive DCS edge group.
             let delta = if new_d2 { 1 } else { -1 };
-            let parents: Vec<(QEdgeId, QVertexId)> = self.dag.parents(u).to_vec();
-            for (e, up) in parents {
-                for (vp, _) in g.neighbors(v) {
-                    if self.mult(e, vp, v) > 0 {
+            for &(e, up) in self.dag.parents(u) {
+                let slot = self.child_slot[e];
+                for (vp, pid, _) in g.neighbors_with_ids(v) {
+                    if self.mult_at(pid, e, vp < v) > 0 {
                         work.push(Work::N2 {
                             u: up,
                             v: vp,
-                            slot: self.child_slot[e],
+                            slot,
                             delta,
                         });
                     }
                 }
             }
-        }
-        self.prune_node(u, v);
-    }
-
-    /// Drops a node whose state equals the never-touched default.
-    fn prune_node(&mut self, u: QVertexId, v: VertexId) {
-        if let Some(node) = self.nodes.get(&(u, v)) {
-            if node.is_zero() {
-                // A zero-counter node's booleans equal the default's; safe to
-                // drop (d2_count was maintained on the flip).
-                self.nodes.remove(&(u, v));
-            }
-        }
-    }
-
-    fn make_node_static(
-        dag: &tcsm_dag::QueryDag,
-        q: &QueryGraph,
-        g: &WindowGraph,
-        u: QVertexId,
-        v: VertexId,
-    ) -> NodeState {
-        let np = dag.parents(u).len();
-        let nc = dag.children(u).len();
-        let label_ok = q.label(u) == g.label(v);
-        let d1 = label_ok && np == 0;
-        let d2 = d1 && nc == 0;
-        NodeState {
-            n1: vec![0; np].into_boxed_slice(),
-            n2: vec![0; nc].into_boxed_slice(),
-            d1,
-            d2,
         }
     }
 
@@ -247,7 +236,7 @@ impl Dcs {
                     continue;
                 }
                 let ok = self.dag.parents(u).iter().all(|&(e, up)| {
-                    (0..n).any(|vp| self.mult(e, vp, v) > 0 && d1[up][vp as usize])
+                    (0..n).any(|vp| self.mult(g, e, vp, v) > 0 && d1[up][vp as usize])
                 });
                 d1[u][v as usize] = ok;
             }
@@ -259,7 +248,7 @@ impl Dcs {
                     continue;
                 }
                 let ok = self.dag.children(u).iter().all(|&(e, uc)| {
-                    (0..n).any(|vc| self.mult(e, v, vc) > 0 && d2[uc][vc as usize])
+                    (0..n).any(|vc| self.mult(g, e, v, vc) > 0 && d2[uc][vc as usize])
                 });
                 d2[u][v as usize] = ok;
             }
@@ -268,12 +257,12 @@ impl Dcs {
         for u in 0..nq {
             for v in 0..n {
                 assert_eq!(
-                    self.d1(q, g, u, v),
+                    self.d1(u, v),
                     d1[u][v as usize],
                     "d1 mismatch at (u{u}, v{v})"
                 );
                 assert_eq!(
-                    self.d2(q, g, u, v),
+                    self.d2(u, v),
                     d2[u][v as usize],
                     "d2 mismatch at (u{u}, v{v})"
                 );
@@ -320,8 +309,8 @@ mod tests {
         let dag = build_best_dag(&q);
         let g = figure_2a();
         let mut w = WindowGraph::new(g.labels().to_vec(), false);
-        let mut bank = FilterBank::new(&q, &dag, mode);
-        let mut dcs = Dcs::new(dag.clone());
+        let mut bank = FilterBank::new(&q, &dag, mode, &w);
+        let mut dcs = Dcs::new(dag.clone(), &q, &w);
         let mut deltas = Vec::new();
         let mut peak_edges = 0;
         let mut peak_vertices = 0;
@@ -346,7 +335,7 @@ mod tests {
         }
         assert_eq!(dcs.num_edges(), 0);
         assert_eq!(dcs.num_candidate_vertices(), 0);
-        assert_eq!(dcs.num_nodes(), 0, "all node states pruned after drain");
+        assert_eq!(dcs.num_nodes(), 0, "all node states zeroed after drain");
         (peak_edges, peak_vertices)
     }
 
@@ -383,8 +372,8 @@ mod tests {
         let dag = build_best_dag(&q);
         let g = figure_2a();
         let mut w = WindowGraph::new(g.labels().to_vec(), false);
-        let mut bank = FilterBank::new(&q, &dag, FilterMode::LabelOnly);
-        let mut dcs = Dcs::new(dag.clone());
+        let mut bank = FilterBank::new(&q, &dag, FilterMode::LabelOnly, &w);
+        let mut dcs = Dcs::new(dag.clone(), &q, &w);
         let mut deltas = Vec::new();
         for e in g.edges() {
             w.insert(e);
@@ -394,8 +383,39 @@ mod tests {
         }
         let expect = [(0usize, 0u32), (1, 1), (2, 3), (3, 4), (4, 6)];
         for &(u, v) in &expect {
-            assert!(dcs.d2(&q, &w, u, v), "expected d2 at (u{u}, v{v})");
+            assert!(dcs.d2(u, v), "expected d2 at (u{u}, v{v})");
         }
         assert_eq!(dcs.num_candidate_vertices(), expect.len());
+    }
+
+    #[test]
+    fn malformed_removal_is_a_release_noop() {
+        // Satellite regression: deleting a pair that was never tracked must
+        // not abort in release builds (debug builds assert).
+        let q = paper_running_example();
+        let dag = build_best_dag(&q);
+        let g = figure_2a();
+        let mut w = WindowGraph::new(g.labels().to_vec(), false);
+        let mut dcs = Dcs::new(dag.clone(), &q, &w);
+        let sigma = g.edges()[0];
+        w.insert(&sigma);
+        let bogus = [tcsm_filter::DcsDelta {
+            pair: tcsm_filter::CandPair {
+                qedge: 0,
+                key: sigma.key,
+                a_to_src: true,
+            },
+            added: false,
+        }];
+        if cfg!(debug_assertions) {
+            let got = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                dcs.apply(&q, &w, |k| g.edge(k), &bogus);
+            }));
+            assert!(got.is_err(), "debug builds keep the assertion");
+        } else {
+            dcs.apply(&q, &w, |k| g.edge(k), &bogus);
+            assert_eq!(dcs.num_edges(), 0);
+            dcs.check_consistency(&q, &w);
+        }
     }
 }

@@ -1,0 +1,291 @@
+//! Equivalence of the dense slab state with simple hash-map oracles, plus
+//! the expiration regression: sliding windows must zero the slabs and must
+//! not grow them without bound.
+//!
+//! The production structures are deliberately hash-free; these tests keep a
+//! plain `FxHashMap` shadow of the multiplicity index (fed from the same
+//! deltas) and re-derive every `(u, v)` candidacy from it by fixpoint, so a
+//! dense-indexing bug (wrong stride, stale slot, missed zeroing) shows up as
+//! a divergence from an independently maintained model.
+
+use proptest::prelude::*;
+use tcsm_dag::{build_best_dag, Polarity};
+use tcsm_dcs::Dcs;
+use tcsm_filter::{FilterBank, FilterInstance, FilterMode};
+use tcsm_graph::*;
+
+fn arb_stream() -> impl Strategy<Value = (TemporalGraph, QueryGraph, i64)> {
+    (
+        3usize..6,
+        prop::collection::vec((0u32..8, 0u32..8, 1i64..20, 0u32..2), 4..16),
+        2usize..5,
+        any::<u64>(),
+        3i64..12,
+    )
+        .prop_map(|(n, edges, qn, seed, delta)| {
+            let mut b = TemporalGraphBuilder::new();
+            for i in 0..n {
+                b.vertex((seed >> i) as u32 % 2);
+            }
+            for (a, c, t, l) in edges {
+                let (a, c) = (a % n as u32, c % n as u32);
+                if a != c {
+                    b.edge_full(a, c, t, l);
+                }
+            }
+            let g = b.build().unwrap();
+            let mut qb = QueryGraphBuilder::new();
+            for i in 0..qn {
+                qb.vertex((seed >> (i + 8)) as u32 % 2);
+            }
+            for i in 1..qn {
+                qb.edge((seed as usize >> i) % i, i);
+            }
+            (g, qb.build().unwrap(), delta)
+        })
+}
+
+/// Re-derives `d1`/`d2` for every `(u, v)` from a hash-map multiplicity
+/// oracle by the SymBi fixpoint, fully independent of the dense slabs.
+fn oracle_candidacies(
+    q: &QueryGraph,
+    g: &WindowGraph,
+    dag: &tcsm_dag::QueryDag,
+    mult: &FxHashMap<(QEdgeId, VertexId, VertexId), u32>,
+) -> (Vec<Vec<bool>>, Vec<Vec<bool>>) {
+    let n = g.num_vertices() as VertexId;
+    let nq = q.num_vertices();
+    let m = |e: QEdgeId, vt: VertexId, vh: VertexId| mult.get(&(e, vt, vh)).copied().unwrap_or(0);
+    let mut d1 = vec![vec![false; n as usize]; nq];
+    for &u in dag.topo_order() {
+        for v in 0..n {
+            if q.label(u) != g.label(v) {
+                continue;
+            }
+            d1[u][v as usize] = dag
+                .parents(u)
+                .iter()
+                .all(|&(e, up)| (0..n).any(|vp| m(e, vp, v) > 0 && d1[up][vp as usize]));
+        }
+    }
+    let mut d2 = vec![vec![false; n as usize]; nq];
+    for &u in dag.topo_order().iter().rev() {
+        for v in 0..n {
+            if !d1[u][v as usize] {
+                continue;
+            }
+            d2[u][v as usize] = dag
+                .children(u)
+                .iter()
+                .all(|&(e, uc)| (0..n).any(|vc| m(e, v, vc) > 0 && d2[uc][vc as usize]));
+        }
+    }
+    (d1, d2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn dense_dcs_matches_hashmap_oracle((g, q, delta) in arb_stream()) {
+        let dag = build_best_dag(&q);
+        let mut w = WindowGraph::new(g.labels().to_vec(), false);
+        let mut bank = FilterBank::new(&q, &dag, FilterMode::Tc, &w);
+        let mut dcs = Dcs::new(dag.clone(), &q, &w);
+        // The shadow model: a plain hash map fed from the same deltas.
+        let mut mult_oracle: FxHashMap<(QEdgeId, VertexId, VertexId), u32> =
+            FxHashMap::default();
+        let mut deltas = Vec::new();
+        let queue = EventQueue::new(&g, delta).unwrap();
+        for ev in queue.iter() {
+            let edge = *g.edge(ev.edge);
+            deltas.clear();
+            match ev.kind {
+                EventKind::Insert => {
+                    w.insert(&edge);
+                    bank.on_insert(&q, &w, &edge, |k| g.edge(k), &mut deltas);
+                }
+                EventKind::Delete => {
+                    w.remove(&edge);
+                    bank.on_delete(&q, &w, &edge, |k| g.edge(k), &mut deltas);
+                }
+            }
+            dcs.apply(&q, &w, |k| g.edge(k), &deltas);
+            for d in &deltas {
+                let sigma = g.edge(d.pair.key);
+                let e = d.pair.qedge;
+                let key = (
+                    e,
+                    d.pair.image_of(&q, sigma, dag.tail(e)),
+                    d.pair.image_of(&q, sigma, dag.head(e)),
+                );
+                let c = mult_oracle.entry(key).or_insert(0);
+                if d.added {
+                    *c += 1;
+                } else {
+                    prop_assert!(*c > 0, "oracle underflow — delta stream broken");
+                    *c -= 1;
+                    if *c == 0 {
+                        mult_oracle.remove(&key);
+                    }
+                }
+            }
+            // Every (e, v_tail, v_head) multiplicity agrees with the shadow.
+            let n = g.num_vertices() as VertexId;
+            for e in 0..q.num_edges() {
+                for vt in 0..n {
+                    for vh in 0..n {
+                        if vt == vh {
+                            continue;
+                        }
+                        let want = mult_oracle.get(&(e, vt, vh)).copied().unwrap_or(0);
+                        prop_assert_eq!(
+                            dcs.mult(&w, e, vt, vh), want,
+                            "mult diverged at (e{}, v{}, v{})", e, vt, vh
+                        );
+                    }
+                }
+            }
+            prop_assert_eq!(
+                dcs.num_edges(),
+                mult_oracle.values().map(|&c| c as usize).sum::<usize>()
+            );
+            prop_assert_eq!(dcs.num_edge_groups(), mult_oracle.len());
+            // Every (u, v) candidacy agrees with the fixpoint over the shadow.
+            let (d1, d2) = oracle_candidacies(&q, &w, &dag, &mult_oracle);
+            for u in 0..q.num_vertices() {
+                for v in 0..n {
+                    prop_assert_eq!(dcs.d1(u, v), d1[u][v as usize], "d1 (u{}, v{})", u, v);
+                    prop_assert_eq!(dcs.d2(u, v), d2[u][v as usize], "d2 (u{}, v{})", u, v);
+                }
+            }
+        }
+        prop_assert!(mult_oracle.is_empty());
+        prop_assert_eq!(dcs.num_edges(), 0);
+        prop_assert_eq!(dcs.num_nodes(), 0, "counters not zeroed after drain");
+    }
+
+    #[test]
+    fn dense_filter_matches_fresh_replay((g, q, delta) in arb_stream()) {
+        // A long-lived instance that has seen inserts AND expirations must
+        // hold exactly the state of a fresh instance replaying only the
+        // currently-alive edges — i.e. expiration really clears dense slots.
+        let dag = build_best_dag(&q);
+        for pol in Polarity::BOTH {
+            let mut w = WindowGraph::new(g.labels().to_vec(), false);
+            let mut inst = FilterInstance::new(dag.clone(), pol, &q, &w);
+            let mut alive: Vec<TemporalEdge> = Vec::new();
+            let mut flips = Vec::new();
+            let queue = EventQueue::new(&g, delta).unwrap();
+            for ev in queue.iter() {
+                let edge = *g.edge(ev.edge);
+                match ev.kind {
+                    EventKind::Insert => {
+                        w.insert(&edge);
+                        alive.push(edge);
+                        inst.apply(&q, &w, &edge, &mut flips);
+                    }
+                    EventKind::Delete => {
+                        alive.retain(|e| e.key != edge.key);
+                        w.remove(&edge);
+                        inst.apply(&q, &w, &edge, &mut flips);
+                    }
+                }
+                // Fresh replay over the alive set only.
+                let mut w2 = WindowGraph::new(g.labels().to_vec(), false);
+                let mut fresh = FilterInstance::new(dag.clone(), pol, &q, &w2);
+                for e in &alive {
+                    w2.insert(e);
+                    flips.clear();
+                    fresh.apply(&q, &w2, e, &mut flips);
+                }
+                for u in 0..q.num_vertices() {
+                    for v in 0..g.num_vertices() as VertexId {
+                        for e in dag.ancestor_edges(u).iter() {
+                            prop_assert_eq!(
+                                inst.natural_value(u, v, e),
+                                fresh.natural_value(u, v, e),
+                                "stale dense slot at (u{}, v{}, e{}) {:?}", u, v, e, pol
+                            );
+                        }
+                    }
+                }
+                prop_assert_eq!(inst.table_len(), fresh.table_len());
+            }
+            prop_assert_eq!(inst.table_len(), 0);
+        }
+    }
+}
+
+#[test]
+fn sliding_windows_do_not_grow_slabs() {
+    // The same traffic pattern repeated over many windows: every pair-keyed
+    // slab must stabilize after the first window instead of growing with
+    // stream length, and a fully drained stream must leave all slabs zeroed.
+    let q = tcsm_graph::query::paper_running_example();
+    let dag = build_best_dag(&q);
+    let mut b = TemporalGraphBuilder::new();
+    let labels = [0u32, 1, 5, 2, 3, 5, 4];
+    let v: Vec<_> = labels.iter().map(|&l| b.vertex(l)).collect();
+    let pattern = [
+        (0usize, 1usize),
+        (3, 4),
+        (0, 3),
+        (3, 6),
+        (4, 6),
+        (1, 4),
+        (3, 4),
+    ];
+    let rounds = 12;
+    for r in 0..rounds {
+        for (i, &(a, c)) in pattern.iter().enumerate() {
+            b.edge(v[a], v[c], (r * pattern.len() + i) as i64 + 1);
+        }
+    }
+    let g = b.build().unwrap();
+    let delta = pattern.len() as i64; // one round alive at a time
+    let mut w = WindowGraph::new(g.labels().to_vec(), false);
+    let mut bank = FilterBank::new(&q, &dag, FilterMode::Tc, &w);
+    let mut dcs = Dcs::new(dag.clone(), &q, &w);
+    let mut deltas = Vec::new();
+    let mut slab_after_round_2: Option<(usize, usize)> = None;
+    let queue = EventQueue::new(&g, delta).unwrap();
+    for (i, ev) in queue.iter().enumerate() {
+        let edge = *g.edge(ev.edge);
+        deltas.clear();
+        match ev.kind {
+            EventKind::Insert => {
+                w.insert(&edge);
+                bank.on_insert(&q, &w, &edge, |k| g.edge(k), &mut deltas);
+            }
+            EventKind::Delete => {
+                w.remove(&edge);
+                bank.on_delete(&q, &w, &edge, |k| g.edge(k), &mut deltas);
+            }
+        }
+        dcs.apply(&q, &w, |k| g.edge(k), &deltas);
+        // After two full rounds every recurring pair has been seen; the
+        // slabs must not grow past this point.
+        if i + 1 == 4 * pattern.len() {
+            slab_after_round_2 = Some((w.pair_slab_len(), dcs.mult_slab_len()));
+        }
+    }
+    let (pair_slab, mult_slab) = slab_after_round_2.expect("stream long enough");
+    assert_eq!(
+        w.pair_slab_len(),
+        pair_slab,
+        "window pair slab grew across identical sliding windows"
+    );
+    assert_eq!(
+        dcs.mult_slab_len(),
+        mult_slab,
+        "DCS mult slab grew across identical sliding windows"
+    );
+    // Drained stream ⇒ every dense structure is back to its zero state.
+    assert_eq!(w.num_alive_edges(), 0);
+    assert_eq!(bank.num_pairs(), 0);
+    assert_eq!(dcs.num_edges(), 0);
+    assert_eq!(dcs.num_candidate_vertices(), 0);
+    assert_eq!(dcs.num_nodes(), 0, "expiration left nonzero counters");
+    dcs.check_consistency(&q, &w);
+}

@@ -45,8 +45,8 @@ proptest! {
         for mode in [FilterMode::Tc, FilterMode::LabelOnly] {
             let dag = build_best_dag(&q);
             let mut w = WindowGraph::new(g.labels().to_vec(), false);
-            let mut bank = FilterBank::new(&q, &dag, mode);
-            let mut dcs = Dcs::new(dag.clone());
+            let mut bank = FilterBank::new(&q, &dag, mode, &w);
+            let mut dcs = Dcs::new(dag.clone(), &q, &w);
             let mut deltas = Vec::new();
             let queue = EventQueue::new(&g, delta).unwrap();
             for ev in queue.iter() {
@@ -66,11 +66,11 @@ proptest! {
                 let mut d2_count = 0;
                 for u in 0..q.num_vertices() {
                     for v in 0..g.num_vertices() as u32 {
-                        if dcs.d2(&q, &w, u, v) {
+                        if dcs.d2(u, v) {
                             d2_count += 1;
-                            prop_assert!(dcs.d1(&q, &w, u, v), "d2 without d1");
+                            prop_assert!(dcs.d1(u, v), "d2 without d1");
                         }
-                        if dcs.d1(&q, &w, u, v) {
+                        if dcs.d1(u, v) {
                             prop_assert_eq!(q.label(u), g.label(v), "d1 label mismatch");
                         }
                     }
@@ -88,10 +88,10 @@ proptest! {
     fn tc_mode_never_has_more_candidates((g, q, delta) in arb_stream()) {
         let dag = build_best_dag(&q);
         let mut w = WindowGraph::new(g.labels().to_vec(), false);
-        let mut bank_tc = FilterBank::new(&q, &dag, FilterMode::Tc);
-        let mut bank_lo = FilterBank::new(&q, &dag, FilterMode::LabelOnly);
-        let mut dcs_tc = Dcs::new(dag.clone());
-        let mut dcs_lo = Dcs::new(dag.clone());
+        let mut bank_tc = FilterBank::new(&q, &dag, FilterMode::Tc, &w);
+        let mut bank_lo = FilterBank::new(&q, &dag, FilterMode::LabelOnly, &w);
+        let mut dcs_tc = Dcs::new(dag.clone(), &q, &w);
+        let mut dcs_lo = Dcs::new(dag.clone(), &q, &w);
         let mut deltas = Vec::new();
         let queue = EventQueue::new(&g, delta).unwrap();
         for ev in queue.iter() {

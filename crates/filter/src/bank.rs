@@ -7,6 +7,14 @@
 //! pairs of the arriving/expiring edge itself, plus pairs of other alive
 //! edges whose pass status flipped while the tables were updated.
 //!
+//! Membership is a paged bitmap indexed by data-edge key: each key owns
+//! `2·|E(q)|` bits (query edge × orientation), so the backtracking matcher's
+//! inner-loop membership test is one page indirection plus a word index —
+//! no hashing. Keys grow monotonically over an unbounded stream, so the
+//! bitmap is split into fixed pages that are freed when their last member
+//! bit clears: retained memory tracks the *alive* key spread (window size),
+//! not the stream length.
+//!
 //! [`FilterMode::LabelOnly`] disables the temporal filter entirely (pairs
 //! pass on labels/direction alone); this is the `SymBi`-style baseline
 //! configuration used in §VI-B.
@@ -14,7 +22,7 @@
 use crate::instance::FilterInstance;
 use crate::pair::{valid_orientations, CandPair};
 use tcsm_dag::{Polarity, QueryDag};
-use tcsm_graph::{FxHashSet, QueryGraph, TemporalEdge, WindowGraph};
+use tcsm_graph::{QueryGraph, TemporalEdge, WindowGraph};
 
 /// Whether candidate pairs are filtered by TC-matchability or labels only.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,34 +42,141 @@ pub struct DcsDelta {
     pub added: bool,
 }
 
+/// Data-edge keys per membership page (tuning: 1024 keys ⇒ 8–16 KiB pages).
+const PAGE_KEYS: usize = 1024;
+
+/// Paged membership bitmap (see module docs). Pages allocate on first
+/// member and free when their member count returns to zero, so retained
+/// memory is bounded by the alive-key spread instead of the stream length.
+struct MemberPages {
+    /// Words per key (`⌈2·|E(q)| / 64⌉`).
+    wpk: usize,
+    pages: Vec<Option<Box<[u64]>>>,
+    /// Set-bit census per page (drives page reclamation).
+    page_bits: Vec<u32>,
+}
+
+impl MemberPages {
+    fn new(wpk: usize) -> MemberPages {
+        MemberPages {
+            wpk,
+            pages: Vec::new(),
+            page_bits: Vec::new(),
+        }
+    }
+
+    /// `(page, word-in-page, mask)` of a pair's membership bit.
+    #[inline]
+    fn locate(&self, pair: CandPair) -> (usize, usize, u64) {
+        let key = pair.key.0 as usize;
+        let bit = pair.qedge * 2 + pair.a_to_src as usize;
+        (
+            key / PAGE_KEYS,
+            (key % PAGE_KEYS) * self.wpk + (bit >> 6),
+            1u64 << (bit & 63),
+        )
+    }
+
+    #[inline]
+    fn contains(&self, pair: CandPair) -> bool {
+        let (page, word, mask) = self.locate(pair);
+        match self.pages.get(page) {
+            Some(Some(p)) => p[word] & mask != 0,
+            _ => false,
+        }
+    }
+
+    /// Sets a bit; returns true if it was newly set.
+    fn insert(&mut self, pair: CandPair) -> bool {
+        let (page, word, mask) = self.locate(pair);
+        if page >= self.pages.len() {
+            self.pages.resize_with(page + 1, || None);
+            self.page_bits.resize(page + 1, 0);
+        }
+        let p = self.pages[page]
+            .get_or_insert_with(|| vec![0u64; PAGE_KEYS * self.wpk].into_boxed_slice());
+        let fresh = p[word] & mask == 0;
+        if fresh {
+            p[word] |= mask;
+            self.page_bits[page] += 1;
+        }
+        fresh
+    }
+
+    /// Clears a bit; returns true if it was set. Frees the page when its
+    /// last bit clears.
+    fn remove(&mut self, pair: CandPair) -> bool {
+        let (page, word, mask) = self.locate(pair);
+        let Some(Some(p)) = self.pages.get_mut(page) else {
+            return false;
+        };
+        let was = p[word] & mask != 0;
+        if was {
+            p[word] &= !mask;
+            self.page_bits[page] -= 1;
+            if self.page_bits[page] == 0 {
+                self.pages[page] = None;
+            }
+        }
+        was
+    }
+
+    /// Bytes currently retained by allocated pages (diagnostics).
+    fn retained_bytes(&self) -> usize {
+        self.pages.iter().flatten().count() * PAGE_KEYS * self.wpk * 8
+    }
+}
+
 /// Four-instance TC-matchable-edge filter with pair membership tracking.
 pub struct FilterBank {
     mode: FilterMode,
     instances: Vec<FilterInstance>,
-    members: FxHashSet<u64>,
+    members: MemberPages,
+    num_pairs: usize,
     scratch_flips: Vec<CandPair>,
+    /// Valid `(query edge, orientation)` list of the current event, computed
+    /// once and shared by all four instances (reused allocation).
+    scratch_orients: Vec<(tcsm_graph::QEdgeId, bool)>,
 }
 
 impl FilterBank {
-    /// Builds the bank for a query and its forward DAG `ˆq`.
-    pub fn new(q: &QueryGraph, forward: &QueryDag, mode: FilterMode) -> FilterBank {
+    /// Builds the bank for a query and its forward DAG `ˆq` over the fixed
+    /// vertex set of `g` (the instances' dense tables are sized from it).
+    pub fn new(
+        q: &QueryGraph,
+        forward: &QueryDag,
+        mode: FilterMode,
+        g: &WindowGraph,
+    ) -> FilterBank {
         let instances = match mode {
             FilterMode::LabelOnly => Vec::new(),
             FilterMode::Tc => {
                 let rev = forward.reversed(q);
                 vec![
-                    FilterInstance::new(forward.clone(), Polarity::Later),
-                    FilterInstance::new(forward.clone(), Polarity::Earlier),
-                    FilterInstance::new(rev.clone(), Polarity::Later),
-                    FilterInstance::new(rev, Polarity::Earlier),
+                    FilterInstance::new(forward.clone(), Polarity::Later, q, g),
+                    FilterInstance::new(forward.clone(), Polarity::Earlier, q, g),
+                    FilterInstance::new(rev.clone(), Polarity::Later, q, g),
+                    FilterInstance::new(rev, Polarity::Earlier, q, g),
                 ]
             }
         };
         FilterBank {
             mode,
             instances,
-            members: FxHashSet::default(),
+            members: MemberPages::new((2 * q.num_edges()).div_ceil(64).max(1)),
+            num_pairs: 0,
             scratch_flips: Vec::new(),
+            scratch_orients: Vec::new(),
+        }
+    }
+
+    /// Rebuilds the shared orientation list for `sigma`.
+    fn compute_orients(&mut self, q: &QueryGraph, g: &WindowGraph, sigma: &TemporalEdge) {
+        self.scratch_orients.clear();
+        for e in 0..q.num_edges() {
+            for o in valid_orientations(q, g, e, sigma) {
+                self.scratch_orients.push((e, o));
+            }
         }
     }
 
@@ -75,20 +190,47 @@ impl FilterBank {
     /// "edges in DCS" metric).
     #[inline]
     pub fn num_pairs(&self) -> usize {
-        self.members.len()
+        self.num_pairs
     }
 
     /// Is the oriented pair currently in the DCS edge set?
     #[inline]
     pub fn contains(&self, pair: CandPair) -> bool {
-        self.members.contains(&pair.pack())
+        self.members.contains(pair)
+    }
+
+    /// Bytes retained by the membership bitmap's live pages (bounded by the
+    /// alive-key spread; diagnostics and regression tests).
+    #[inline]
+    pub fn member_bytes(&self) -> usize {
+        self.members.retained_bytes()
+    }
+
+    /// Sets a membership bit; returns true if it was newly set.
+    #[inline]
+    fn insert_member(&mut self, pair: CandPair) -> bool {
+        let fresh = self.members.insert(pair);
+        if fresh {
+            self.num_pairs += 1;
+        }
+        fresh
+    }
+
+    /// Clears a membership bit; returns true if it was set.
+    #[inline]
+    fn remove_member(&mut self, pair: CandPair) -> bool {
+        let was = self.members.remove(pair);
+        if was {
+            self.num_pairs -= 1;
+        }
+        was
     }
 
     /// Full pass test against the current tables.
-    fn passes_all(&self, q: &QueryGraph, g: &WindowGraph, pair: CandPair, sigma: &TemporalEdge) -> bool {
+    fn passes_all(&self, q: &QueryGraph, pair: CandPair, sigma: &TemporalEdge) -> bool {
         self.instances
             .iter()
-            .all(|inst| inst.passes(q, g, pair, sigma))
+            .all(|inst| inst.passes(q, pair, sigma))
     }
 
     /// Handles an edge arrival. `g` must already contain `sigma`.
@@ -101,33 +243,34 @@ impl FilterBank {
         lookup: impl Fn(tcsm_graph::EdgeKey) -> &'a TemporalEdge,
         out: &mut Vec<DcsDelta>,
     ) {
+        self.compute_orients(q, g, sigma);
+        let orients = std::mem::take(&mut self.scratch_orients);
         let mut flips = std::mem::take(&mut self.scratch_flips);
         flips.clear();
         for inst in &mut self.instances {
-            inst.apply(q, g, sigma, &mut flips);
+            inst.apply_seeded(q, g, sigma, &orients, &mut flips);
         }
         // Pairs of σ itself: evaluate all four conditions directly.
-        for e in 0..q.num_edges() {
-            for o in valid_orientations(q, g, e, sigma) {
-                let pair = CandPair {
-                    qedge: e,
-                    key: sigma.key,
-                    a_to_src: o,
-                };
-                if self.passes_all(q, g, pair, sigma) && self.members.insert(pair.pack()) {
-                    out.push(DcsDelta { pair, added: true });
-                }
+        for &(e, o) in &orients {
+            let pair = CandPair {
+                qedge: e,
+                key: sigma.key,
+                a_to_src: o,
+            };
+            if self.passes_all(q, pair, sigma) && self.insert_member(pair) {
+                out.push(DcsDelta { pair, added: true });
             }
         }
+        self.scratch_orients = orients;
         // Flipped pairs of other alive edges: insertion only ever raises
         // max-min values, so flips can only add pairs.
         for &pair in flips.iter() {
-            if self.members.contains(&pair.pack()) {
+            if self.contains(pair) {
                 continue;
             }
             let other = lookup(pair.key);
-            if self.passes_all(q, g, pair, other) {
-                self.members.insert(pair.pack());
+            if self.passes_all(q, pair, other) {
+                self.insert_member(pair);
                 out.push(DcsDelta { pair, added: true });
             }
         }
@@ -144,32 +287,33 @@ impl FilterBank {
         out: &mut Vec<DcsDelta>,
     ) {
         // All pairs of σ leave the DCS unconditionally.
-        for e in 0..q.num_edges() {
-            for o in valid_orientations(q, g, e, sigma) {
-                let pair = CandPair {
-                    qedge: e,
-                    key: sigma.key,
-                    a_to_src: o,
-                };
-                if self.members.remove(&pair.pack()) {
-                    out.push(DcsDelta { pair, added: false });
-                }
+        self.compute_orients(q, g, sigma);
+        let orients = std::mem::take(&mut self.scratch_orients);
+        for &(e, o) in &orients {
+            let pair = CandPair {
+                qedge: e,
+                key: sigma.key,
+                a_to_src: o,
+            };
+            if self.remove_member(pair) {
+                out.push(DcsDelta { pair, added: false });
             }
         }
         let mut flips = std::mem::take(&mut self.scratch_flips);
         flips.clear();
         for inst in &mut self.instances {
-            inst.apply(q, g, sigma, &mut flips);
+            inst.apply_seeded(q, g, sigma, &orients, &mut flips);
         }
+        self.scratch_orients = orients;
         // Deletion only ever lowers max-min values, so flipped members fail
         // at least one instance now; re-check to be robust to noisy reports.
         for &pair in flips.iter() {
-            if !self.members.contains(&pair.pack()) {
+            if !self.contains(pair) {
                 continue;
             }
             let other = lookup(pair.key);
-            if !self.passes_all(q, g, pair, other) {
-                self.members.remove(&pair.pack());
+            if !self.passes_all(q, pair, other) {
+                self.remove_member(pair);
                 out.push(DcsDelta { pair, added: false });
             }
         }
@@ -177,7 +321,7 @@ impl FilterBank {
     }
 
     /// From-scratch membership check for tests: recompute which pairs of all
-    /// alive edges should currently pass, and compare with `members`.
+    /// alive edges should currently pass, and compare with the bitmap.
     #[doc(hidden)]
     pub fn check_consistency<'a>(
         &self,
@@ -188,7 +332,7 @@ impl FilterBank {
         for inst in &self.instances {
             inst.check_consistency(q, g);
         }
-        let mut expect: FxHashSet<u64> = FxHashSet::default();
+        let mut expected = 0usize;
         for sigma in alive {
             for e in 0..q.num_edges() {
                 for o in valid_orientations(q, g, e, sigma) {
@@ -197,24 +341,24 @@ impl FilterBank {
                         key: sigma.key,
                         a_to_src: o,
                     };
-                    if self.passes_all(q, g, pair, sigma) {
-                        expect.insert(pair.pack());
+                    if self.passes_all(q, pair, sigma) {
+                        expected += 1;
+                        assert!(
+                            self.contains(pair),
+                            "missing member {pair:?} (from-scratch evaluation passes)"
+                        );
+                    } else {
+                        assert!(
+                            !self.contains(pair),
+                            "stale member {pair:?} (from-scratch evaluation fails)"
+                        );
                     }
                 }
             }
         }
         assert_eq!(
-            {
-                let mut a: Vec<u64> = self.members.iter().copied().collect();
-                a.sort_unstable();
-                a
-            },
-            {
-                let mut b: Vec<u64> = expect.into_iter().collect();
-                b.sort_unstable();
-                b
-            },
-            "bank membership diverged from from-scratch evaluation"
+            self.num_pairs, expected,
+            "bank membership count diverged from from-scratch evaluation"
         );
     }
 }
@@ -224,7 +368,7 @@ mod tests {
     use super::*;
     use tcsm_dag::build_best_dag;
     use tcsm_graph::query::paper_running_example;
-    use tcsm_graph::{EventKind, EventQueue, Ts};
+    use tcsm_graph::{EventKind, EventQueue, FxHashMap, Ts};
 
     use crate::instance::tests::figure_2a;
 
@@ -234,7 +378,7 @@ mod tests {
         let dag = build_best_dag(&q);
         let g = figure_2a();
         let mut w = WindowGraph::new(g.labels().to_vec(), false);
-        let mut bank = FilterBank::new(&q, &dag, FilterMode::Tc);
+        let mut bank = FilterBank::new(&q, &dag, FilterMode::Tc, &w);
         let mut alive: Vec<TemporalEdge> = Vec::new();
         let mut deltas = Vec::new();
         let queue = EventQueue::new(&g, 10).unwrap();
@@ -264,8 +408,8 @@ mod tests {
         let dag = build_best_dag(&q);
         let g = figure_2a();
         let mut w = WindowGraph::new(g.labels().to_vec(), false);
-        let mut tc = FilterBank::new(&q, &dag, FilterMode::Tc);
-        let mut lo = FilterBank::new(&q, &dag, FilterMode::LabelOnly);
+        let mut tc = FilterBank::new(&q, &dag, FilterMode::Tc, &w);
+        let mut lo = FilterBank::new(&q, &dag, FilterMode::LabelOnly, &w);
         let mut deltas = Vec::new();
         for e in g.edges() {
             w.insert(e);
@@ -289,6 +433,53 @@ mod tests {
     }
 
     #[test]
+    fn membership_pages_track_window_not_stream() {
+        // A long stream over a short window: edge keys grow monotonically,
+        // but the membership bitmap must only retain pages for keys that can
+        // still be alive — and none once the stream drains.
+        let mut qb = tcsm_graph::QueryGraphBuilder::new();
+        let a = qb.vertex(0);
+        let b = qb.vertex(0);
+        qb.edge(a, b);
+        let q = qb.build().unwrap();
+        let dag = build_best_dag(&q);
+        let mut gb = tcsm_graph::TemporalGraphBuilder::new();
+        let v = gb.vertices(2, 0);
+        let total = 4 * super::PAGE_KEYS as i64; // spans ≥ 4 pages of keys
+        for t in 1..=total {
+            gb.edge(v, v + 1, t);
+        }
+        let g = gb.build().unwrap();
+        let mut w = WindowGraph::new(g.labels().to_vec(), false);
+        let mut bank = FilterBank::new(&q, &dag, FilterMode::Tc, &w);
+        let mut deltas = Vec::new();
+        let mut peak = 0usize;
+        let queue = EventQueue::new(&g, 8).unwrap();
+        for ev in queue.iter() {
+            let edge = *g.edge(ev.edge);
+            deltas.clear();
+            match ev.kind {
+                EventKind::Insert => {
+                    w.insert(&edge);
+                    bank.on_insert(&q, &w, &edge, |k| g.edge(k), &mut deltas);
+                }
+                EventKind::Delete => {
+                    w.remove(&edge);
+                    bank.on_delete(&q, &w, &edge, |k| g.edge(k), &mut deltas);
+                }
+            }
+            peak = peak.max(bank.member_bytes());
+        }
+        let page_bytes = super::PAGE_KEYS * 8; // wpk = 1 for a 1-edge query
+        assert!(
+            peak <= 2 * page_bytes,
+            "membership retained {peak} bytes (> 2 pages) for an 8-edge window"
+        );
+        assert_eq!(bank.member_bytes(), 0, "pages not reclaimed after drain");
+        assert_eq!(bank.num_pairs(), 0);
+    }
+
+    #[test]
     fn deltas_are_exact_complements() {
         // Every added pair is later removed exactly once when the stream
         // drains.
@@ -296,8 +487,8 @@ mod tests {
         let dag = build_best_dag(&q);
         let g = figure_2a();
         let mut w = WindowGraph::new(g.labels().to_vec(), false);
-        let mut bank = FilterBank::new(&q, &dag, FilterMode::Tc);
-        let mut added = std::collections::HashMap::new();
+        let mut bank = FilterBank::new(&q, &dag, FilterMode::Tc, &w);
+        let mut added: FxHashMap<u64, i64> = FxHashMap::default();
         let mut deltas = Vec::new();
         let queue = EventQueue::new(&g, 8).unwrap();
         for ev in queue.iter() {

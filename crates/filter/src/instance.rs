@@ -5,6 +5,19 @@
 //! ancestor edges `TR(u)` (DESIGN.md §4), plus the weak-embedding existence
 //! bit `W[u, v]` which the paper encodes as `T = −∞`.
 //!
+//! # Dense layout
+//!
+//! Query vertices are ≤ 64 and the data-vertex count `n` is fixed, so the
+//! whole table is one flat `Vec<Ts>` slab allocated at construction: query
+//! vertex `u` owns an `n × |TR(u)|` block, one contiguous row per data
+//! vertex (`O(Σ_u |TR(u)| · n)` entries). Existence, label-compatibility
+//! and is-non-default are parallel bitmaps. *Default* rows (leaf vertices
+//! with matching labels exist with all-`∞` values; everything else doesn't
+//! exist) are materialized once at construction, so the per-event update
+//! never allocates and never hashes — the worklist dedup is a
+//! generation-stamped `u32` per `(u, v)` cell that is "cleared" for the next
+//! event by bumping the generation counter.
+//!
 //! All timestamps live in the *effective* domain: identity for the `Later`
 //! polarity, negation for `Earlier`. In that domain both polarities are the
 //! same max-min computation, and the TC-match condition (Lemma IV.3) is
@@ -20,66 +33,164 @@
 use crate::pair::{valid_orientations, CandPair};
 use tcsm_dag::{Polarity, QueryDag};
 use tcsm_graph::{
-    EdgeConstraint, FxHashMap, FxHashSet, PairEdges, QEdgeId, QVertexId, QueryGraph,
-    TemporalEdge, Ts, VertexId, WindowGraph,
+    DenseBits, EdgeConstraint, PairEdges, QEdgeId, QVertexId, QueryGraph, TemporalEdge, Ts,
+    VertexId, WindowGraph,
 };
 
-/// Stored per `(query vertex, data vertex)` pair.
-#[derive(Clone, PartialEq, Eq, Debug)]
-struct Entry {
-    /// `W[u, v]`: does a weak embedding of `ˆd_u` at `v` exist?
-    exists: bool,
-    /// Max-min values (effective domain) for each edge of `TR(u)`, in
-    /// ascending edge-id order. All `NEG_INF` when `!exists`.
-    vals: Box<[Ts]>,
+/// Scratch buffers for entry recomputation, reused across events (and
+/// passed explicitly so read-only consumers like `check_consistency` can
+/// bring their own).
+#[derive(Default)]
+struct RecomputeScratch {
+    new_vals: Vec<Ts>,
+    best: Vec<Ts>,
+    old_vals: Vec<Ts>,
 }
 
-impl Entry {
-    fn non_existent(len: usize) -> Entry {
-        Entry {
-            exists: false,
-            vals: vec![Ts::NEG_INF; len].into_boxed_slice(),
-        }
-    }
+/// Sentinel in rank tables: the edge is not in `TR(u)`.
+const NO_RANK: u8 = u8::MAX;
 
-    /// Value for relevant-edge rank `i`, or the `∞/−∞` defaults.
-    #[inline]
-    fn value_at(&self, rank: Option<usize>) -> Ts {
-        if !self.exists {
-            return Ts::NEG_INF;
-        }
-        match rank {
-            Some(i) => self.vals[i],
-            None => Ts::INF,
-        }
-    }
+/// Per `(u, child-slot, TR(u) element)`: the element's rank in the child's
+/// value row ([`NO_RANK`] if absent) and whether the polarity relates it to
+/// the child edge. Both are DAG/order constants, precomputed at
+/// construction so the Eq. (1) inner loop reads a contiguous slice.
+#[derive(Clone, Copy)]
+struct ChildMeta {
+    rank: u8,
+    related: bool,
 }
 
 /// One `(DAG, polarity)` filter instance.
 pub struct FilterInstance {
     pol: Polarity,
     dag: QueryDag,
-    /// `TR(u)` per vertex (cached from the DAG).
-    tr: Vec<tcsm_graph::Set64>,
-    table: FxHashMap<(QVertexId, VertexId), Entry>,
-    /// Scratch worklist, kept across events to reuse its allocation.
-    queue: Vec<(QVertexId, VertexId)>,
-    queued: FxHashSet<(QVertexId, VertexId)>,
+    /// Rank lookup table: `rank_tbl[u · 64 + e]` = index of `e` in `TR(u)`'s
+    /// value row, or [`NO_RANK`]. Replaces per-access popcounts.
+    rank_tbl: Vec<u8>,
+    /// [`ChildMeta`] rows, one per `(u, child slot)`, each `width[u]` long.
+    child_meta: Vec<ChildMeta>,
+    /// Start of `u`'s [`ChildMeta`] block in `child_meta`.
+    cmeta_base: Vec<u32>,
+    /// Data-vertex count (row count per block).
+    n: usize,
+    /// `|TR(u)|` per query vertex.
+    width: Vec<u32>,
+    /// Prefix sums of `width`: block `u` starts at `vbase[u] * n`.
+    vbase: Vec<u32>,
+    /// The flat value slab (see module docs).
+    vals: Vec<Ts>,
+    /// `W[u, v]` existence bit per `(u, v)` (index `u·n + v`).
+    exists: DenseBits,
+    /// Default existence per `(u, v)`: leaf vertex with matching label.
+    default_exists: DenseBits,
+    /// `label(u) == label(v)` per `(u, v)`, precomputed.
+    label_ok: DenseBits,
+    /// Per `(u, v)`: does the entry differ from its default?
+    nondefault: DenseBits,
+    nondefault_count: usize,
+    /// Worklist bucketed by query vertex, drained in reverse-topological
+    /// order (children strictly before parents). Propagation only ever runs
+    /// child → parent, so each entry recomputes at most once per event —
+    /// a LIFO stack would recompute a parent once per settling child.
+    by_u: Vec<Vec<VertexId>>,
+    /// Bit per *topo position* with pending work (`nq ≤ 64` ⇒ one word).
+    pending_pos: u64,
+    /// Topo position of each query vertex and its inverse.
+    topo_pos: Vec<u32>,
+    u_at_pos: Vec<u32>,
+    /// Generation-stamped dedup: `queued_gen[uv] == gen` means "in queue".
+    queued_gen: Vec<u32>,
+    gen: u32,
+    scratch: RecomputeScratch,
+    /// Deferred enqueues (reused allocation).
+    pending: Vec<(QVertexId, VertexId)>,
 }
 
 impl FilterInstance {
-    /// Creates an instance for the given DAG orientation and polarity.
-    pub fn new(dag: QueryDag, pol: Polarity) -> FilterInstance {
-        let tr = (0..dag.num_vertices())
-            .map(|u| dag.relevant_ancestors(u, pol))
-            .collect();
+    /// Creates an instance for the given DAG orientation and polarity over
+    /// the fixed vertex set of `g`. The full `O(Σ|TR(u)|·n)` table is
+    /// allocated (and its default rows materialized) here, once.
+    pub fn new(dag: QueryDag, pol: Polarity, q: &QueryGraph, g: &WindowGraph) -> FilterInstance {
+        let nq = dag.num_vertices();
+        let n = g.num_vertices();
+        let tr: Vec<tcsm_graph::Set64> = (0..nq).map(|u| dag.relevant_ancestors(u, pol)).collect();
+        let width: Vec<u32> = tr.iter().map(|s| s.len() as u32).collect();
+        let mut rank_tbl = vec![NO_RANK; nq * 64];
+        for u in 0..nq {
+            for (i, e) in tr[u].iter().enumerate() {
+                rank_tbl[u * 64 + e] = i as u8;
+            }
+        }
+        let mut vbase = vec![0u32; nq];
+        let mut acc = 0u32;
+        for u in 0..nq {
+            vbase[u] = acc;
+            acc += width[u];
+        }
+        let mut vals = vec![Ts::NEG_INF; acc as usize * n];
+        let mut exists = DenseBits::new(nq * n);
+        let mut default_exists = DenseBits::new(nq * n);
+        let mut label_ok = DenseBits::new(nq * n);
+        for u in 0..nq {
+            let leaf = dag.children(u).is_empty();
+            let lu = q.label(u);
+            for v in 0..n {
+                if lu != g.label(v as VertexId) {
+                    continue;
+                }
+                label_ok.set(u * n + v);
+                if leaf {
+                    // Default entry: exists with all-∞ values.
+                    exists.set(u * n + v);
+                    default_exists.set(u * n + v);
+                    let base = vbase[u] as usize * n + v * width[u] as usize;
+                    vals[base..base + width[u] as usize].fill(Ts::INF);
+                }
+            }
+        }
+        let mut topo_pos = vec![0u32; nq];
+        let mut u_at_pos = vec![0u32; nq];
+        for (pos, &u) in dag.topo_order().iter().enumerate() {
+            topo_pos[u] = pos as u32;
+            u_at_pos[pos] = u as u32;
+        }
+        let order = q.order();
+        let mut child_meta = Vec::new();
+        let mut cmeta_base = vec![0u32; nq];
+        for u in 0..nq {
+            cmeta_base[u] = child_meta.len() as u32;
+            for &(echild, uc) in dag.children(u) {
+                for ep in tr[u].iter() {
+                    child_meta.push(ChildMeta {
+                        rank: rank_tbl[uc * 64 + ep],
+                        related: pol.relates(order, ep, echild),
+                    });
+                }
+            }
+        }
         FilterInstance {
             pol,
             dag,
-            tr,
-            table: FxHashMap::default(),
-            queue: Vec::new(),
-            queued: FxHashSet::default(),
+            rank_tbl,
+            child_meta,
+            cmeta_base,
+            n,
+            width,
+            vbase,
+            vals,
+            exists,
+            default_exists,
+            label_ok,
+            nondefault: DenseBits::new(nq * n),
+            nondefault_count: 0,
+            by_u: vec![Vec::new(); nq],
+            pending_pos: 0,
+            topo_pos,
+            u_at_pos,
+            queued_gen: vec![0; nq * n],
+            gen: 0,
+            scratch: RecomputeScratch::default(),
+            pending: Vec::new(),
         }
     }
 
@@ -95,10 +206,16 @@ impl FilterInstance {
         &self.dag
     }
 
-    /// Number of materialized (non-default) table entries.
+    /// Number of non-default table entries.
     #[inline]
     pub fn table_len(&self) -> usize {
-        self.table.len()
+        self.nondefault_count
+    }
+
+    /// Start of the value row for `(u, v)`.
+    #[inline]
+    fn row(&self, u: QVertexId, v: VertexId) -> usize {
+        self.vbase[u] as usize * self.n + v as usize * self.width[u] as usize
     }
 
     #[inline]
@@ -118,75 +235,55 @@ impl FilterInstance {
         }
     }
 
-    /// Rank of `e` within `TR(u)` (its index in the `vals` array).
+    /// Rank of `e` within `TR(u)` (its index in the value row).
     #[inline]
     fn rank(&self, u: QVertexId, e: QEdgeId) -> Option<usize> {
-        let tr = self.tr[u];
-        if tr.contains(e) {
-            let below = tr.bits() & ((1u64 << e) - 1);
-            Some(below.count_ones() as usize)
-        } else {
-            None
+        match self.rank_tbl[u * 64 + e] {
+            NO_RANK => None,
+            i => Some(i as usize),
         }
     }
 
-    /// Default (never-touched) entry for `(u, v)`: with no alive edges the
-    /// weak embedding exists iff `u` is a leaf and labels agree.
-    fn default_entry(&self, q: &QueryGraph, g: &WindowGraph, u: QVertexId, v: VertexId) -> Entry {
-        let len = self.tr[u].len();
-        if self.dag.children(u).is_empty() && q.label(u) == g.label(v) {
-            Entry {
-                exists: true,
-                vals: vec![Ts::INF; len].into_boxed_slice(),
-            }
-        } else {
-            Entry::non_existent(len)
+    /// `T_eff[u, v, e]` straight from the dense slab (defaults are
+    /// materialized, so this is a bit test plus one indexed read).
+    #[inline]
+    fn value(&self, u: QVertexId, v: VertexId, e: QEdgeId) -> Ts {
+        if !self.exists.get(u * self.n + v as usize) {
+            return Ts::NEG_INF;
+        }
+        match self.rank(u, e) {
+            Some(i) => self.vals[self.row(u, v) + i],
+            None => Ts::INF,
         }
     }
 
-    /// `T_eff[u, v, e]` with all defaults applied (allocation-free: absent
-    /// entries are leaves-with-∞ or non-existent).
-    fn value(&self, q: &QueryGraph, g: &WindowGraph, u: QVertexId, v: VertexId, e: QEdgeId) -> Ts {
-        match self.table.get(&(u, v)) {
-            Some(en) => en.value_at(self.rank(u, e)),
-            None => {
-                if self.dag.children(u).is_empty() && q.label(u) == g.label(v) {
-                    Ts::INF
-                } else {
-                    Ts::NEG_INF
-                }
-            }
+    /// Value for relevant-edge rank within an explicit row snapshot.
+    #[inline]
+    fn value_in(&self, row: &[Ts], row_exists: bool, u: QVertexId, e: QEdgeId) -> Ts {
+        if !row_exists {
+            return Ts::NEG_INF;
+        }
+        match self.rank(u, e) {
+            Some(i) => row[i],
+            None => Ts::INF,
         }
     }
 
     /// `T(ˆd)[u, v, e]` in the *natural* time domain (paper's orientation of
     /// the value). Used by tests against the worked examples.
-    pub fn natural_value(
-        &self,
-        q: &QueryGraph,
-        g: &WindowGraph,
-        u: QVertexId,
-        v: VertexId,
-        e: QEdgeId,
-    ) -> Ts {
-        let v = self.value(q, g, u, v, e);
+    pub fn natural_value(&self, u: QVertexId, v: VertexId, e: QEdgeId) -> Ts {
+        let val = self.value(u, v, e);
         match self.pol {
-            Polarity::Later => v,
-            Polarity::Earlier => v.neg(),
+            Polarity::Later => val,
+            Polarity::Earlier => val.neg(),
         }
     }
 
     /// Lemma IV.3 check: does this instance accept the oriented pair?
-    pub fn passes(
-        &self,
-        q: &QueryGraph,
-        g: &WindowGraph,
-        pair: CandPair,
-        sigma: &TemporalEdge,
-    ) -> bool {
+    pub fn passes(&self, q: &QueryGraph, pair: CandPair, sigma: &TemporalEdge) -> bool {
         let head = self.dag.head(pair.qedge);
         let v_head = pair.image_of(q, sigma, head);
-        self.eff(sigma.time) < self.value(q, g, head, v_head, pair.qedge)
+        self.eff(sigma.time) < self.value(head, v_head, pair.qedge)
     }
 
     /// The [`EdgeConstraint`] for matching query edge `e` with data images
@@ -209,77 +306,100 @@ impl FilterInstance {
     }
 
     /// Full Eq. (1) evaluation of the entry at `(u, v)` from current child
-    /// entries and the alive adjacency of `v`.
-    fn recompute(&self, q: &QueryGraph, g: &WindowGraph, u: QVertexId, v: VertexId) -> Entry {
-        let tr = self.tr[u];
-        let len = tr.len();
-        if q.label(u) != g.label(v) {
-            return Entry::non_existent(len);
+    /// entries and the alive adjacency of `v`, written into `sc.new_vals`.
+    /// Returns the existence bit. Allocation-free after warm-up.
+    fn recompute_into(
+        &self,
+        q: &QueryGraph,
+        g: &WindowGraph,
+        u: QVertexId,
+        v: VertexId,
+        sc: &mut RecomputeScratch,
+    ) -> bool {
+        let len = self.width[u] as usize;
+        sc.new_vals.clear();
+        sc.new_vals.resize(len, Ts::NEG_INF);
+        if !self.label_ok.get(u * self.n + v as usize) {
+            return false;
         }
-        let order = q.order();
-        let mut exists = true;
-        let mut vals = vec![Ts::INF; len];
-        let mut best = vec![Ts::NEG_INF; len];
-        for &(echild, uc) in self.dag.children(u) {
-            best.iter_mut().for_each(|b| *b = Ts::NEG_INF);
+        sc.new_vals.fill(Ts::INF);
+        sc.best.clear();
+        sc.best.resize(len, Ts::NEG_INF);
+        for (k, &(echild, uc)) in self.dag.children(u).iter().enumerate() {
+            sc.best.fill(Ts::NEG_INF);
+            // Child-row ranks and polarity relations are DAG constants,
+            // precomputed per (u, child slot) at construction.
+            let mbase = self.cmeta_base[u] as usize + k * len;
+            let meta = &self.child_meta[mbase..mbase + len];
             let mut any = false;
-            // Absent child entries are defaults: leaves exist with all-∞
-            // values, internal vertices don't exist.
-            let child_default_exists = self.dag.children(uc).is_empty();
             for (vc, pe) in g.neighbors(v) {
-                if g.label(vc) != q.label(uc) {
+                let ucvc = uc * self.n + vc as usize;
+                if !self.label_ok.get(ucvc) || !self.exists.get(ucvc) {
                     continue;
                 }
                 let c = self.constraint(q, g, echild, v, vc);
                 let Some(tmax) = self.eff_max(pe, c) else {
                     continue;
                 };
-                let child = self.table.get(&(uc, vc));
-                match child {
-                    Some(en) if !en.exists => continue,
-                    None if !child_default_exists => continue,
-                    _ => {}
-                }
                 any = true;
-                for (i, ep) in tr.iter().enumerate() {
-                    let tstar = match child {
-                        Some(en) => en.value_at(self.rank(uc, ep)),
-                        None => Ts::INF,
+                let crow = self.row(uc, vc);
+                for (m, best) in meta.iter().zip(sc.best.iter_mut()) {
+                    let tstar = match m.rank {
+                        NO_RANK => Ts::INF,
+                        j => self.vals[crow + j as usize],
                     };
-                    let f = if self.pol.relates(order, ep, echild) {
-                        tstar.min(tmax)
-                    } else {
-                        tstar
-                    };
-                    if f > best[i] {
-                        best[i] = f;
+                    let f = if m.related { tstar.min(tmax) } else { tstar };
+                    if f > *best {
+                        *best = f;
                     }
                 }
             }
             if !any {
-                exists = false;
-                break;
+                sc.new_vals.fill(Ts::NEG_INF);
+                return false;
             }
             for i in 0..len {
-                if best[i] < vals[i] {
-                    vals[i] = best[i];
+                if sc.best[i] < sc.new_vals[i] {
+                    sc.new_vals[i] = sc.best[i];
                 }
             }
         }
-        if !exists {
-            Entry::non_existent(len)
-        } else {
-            Entry {
-                exists: true,
-                vals: vals.into_boxed_slice(),
-            }
+        true
+    }
+
+    /// O(1) amortized worklist insertion with generation-stamped dedup.
+    fn enqueue(&mut self, u: QVertexId, v: VertexId) {
+        let uv = u * self.n + v as usize;
+        if self.queued_gen[uv] != self.gen {
+            self.queued_gen[uv] = self.gen;
+            self.by_u[u].push(v);
+            self.pending_pos |= 1u64 << self.topo_pos[u];
         }
     }
 
-    fn enqueue(&mut self, u: QVertexId, v: VertexId) {
-        if self.queued.insert((u, v)) {
-            self.queue.push((u, v));
+    /// Pops the pending entry with the leaf-most query vertex (highest topo
+    /// position), so children settle before any parent recomputes.
+    fn pop_deepest(&mut self) -> Option<(QVertexId, VertexId)> {
+        if self.pending_pos == 0 {
+            return None;
         }
+        let pos = 63 - self.pending_pos.leading_zeros() as usize;
+        let u = self.u_at_pos[pos] as QVertexId;
+        let v = self.by_u[u].pop().expect("pending bit implies work");
+        if self.by_u[u].is_empty() {
+            self.pending_pos &= !(1u64 << pos);
+        }
+        Some((u, v))
+    }
+
+    /// Starts a fresh dedup generation (O(1); the stamp array is only fully
+    /// rewritten on `u32` wrap-around, which takes ~4 billion events).
+    fn next_gen(&mut self) {
+        if self.gen == u32::MAX {
+            self.queued_gen.iter_mut().for_each(|g| *g = 0);
+            self.gen = 0;
+        }
+        self.gen += 1;
     }
 
     /// Algorithm 3 (`TCMInsertion`) / its deletion twin (`TCMDeletion`).
@@ -295,48 +415,75 @@ impl FilterInstance {
         sigma: &TemporalEdge,
         flips: &mut Vec<CandPair>,
     ) {
-        debug_assert!(self.queue.is_empty());
+        let orients: Vec<(QEdgeId, bool)> = (0..q.num_edges())
+            .flat_map(|e| valid_orientations(q, g, e, sigma).map(move |o| (e, o)))
+            .collect();
+        self.apply_seeded(q, g, sigma, &orients, flips);
+    }
+
+    /// [`FilterInstance::apply`] with the event's valid `(query edge,
+    /// orientation)` list precomputed — the bank computes it once and shares
+    /// it across all four instances.
+    pub fn apply_seeded(
+        &mut self,
+        q: &QueryGraph,
+        g: &WindowGraph,
+        sigma: &TemporalEdge,
+        orients: &[(QEdgeId, bool)],
+        flips: &mut Vec<CandPair>,
+    ) {
+        debug_assert!(self.pending_pos == 0);
+        self.next_gen();
         // Phase (i): seed the entries whose child-term gained or lost a
         // parallel edge — the tail image of every orientation σ can take.
-        let mut seeds: Vec<(QVertexId, VertexId)> = Vec::new();
-        for e in 0..q.num_edges() {
-            for o in valid_orientations(q, g, e, sigma) {
-                let pair = CandPair {
-                    qedge: e,
-                    key: sigma.key,
-                    a_to_src: o,
-                };
-                let tail = self.dag.tail(e);
-                seeds.push((tail, pair.image_of(q, sigma, tail)));
-            }
-        }
-        for (u, v) in seeds {
-            self.enqueue(u, v);
+        for &(e, o) in orients {
+            let pair = CandPair {
+                qedge: e,
+                key: sigma.key,
+                a_to_src: o,
+            };
+            let tail = self.dag.tail(e);
+            let v_tail = pair.image_of(q, sigma, tail);
+            self.enqueue(tail, v_tail);
         }
         // Phase (ii): propagate to parents while entries keep changing.
-        let mut to_enqueue: Vec<(QVertexId, VertexId)> = Vec::new();
-        while let Some((u, v)) = self.queue.pop() {
-            self.queued.remove(&(u, v));
-            let old = match self.table.get(&(u, v)) {
-                Some(en) => en.clone(),
-                None => self.default_entry(q, g, u, v),
-            };
-            let new = self.recompute(q, g, u, v);
-            if new == old {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut pending = std::mem::take(&mut self.pending);
+        while let Some((u, v)) = self.pop_deepest() {
+            let uv = u * self.n + v as usize;
+            self.queued_gen[uv] = self.gen.wrapping_sub(1); // allow re-enqueue
+            let w = self.width[u] as usize;
+            let base = self.row(u, v);
+            let old_exists = self.exists.get(uv);
+            scratch.old_vals.clear();
+            scratch
+                .old_vals
+                .extend_from_slice(&self.vals[base..base + w]);
+            let new_exists = self.recompute_into(q, g, u, v, &mut scratch);
+            if new_exists == old_exists && scratch.new_vals[..] == scratch.old_vals[..] {
                 continue;
             }
-            if new == self.default_entry(q, g, u, v) {
-                self.table.remove(&(u, v));
+            // Store the new row and maintain the non-default census.
+            self.vals[base..base + w].copy_from_slice(&scratch.new_vals);
+            self.exists.replace(uv, new_exists);
+            let is_default = if new_exists {
+                self.default_exists.get(uv) && scratch.new_vals.iter().all(|&t| t == Ts::INF)
             } else {
-                self.table.insert((u, v), new.clone());
+                !self.default_exists.get(uv)
+            };
+            let was_nondefault = self.nondefault.replace(uv, !is_default);
+            match (was_nondefault, !is_default) {
+                (false, true) => self.nondefault_count += 1,
+                (true, false) => self.nondefault_count -= 1,
+                _ => {}
             }
-            to_enqueue.clear();
+            pending.clear();
             for &(eparent, up) in self.dag.parents(u) {
-                let old_val = old.value_at(self.rank(u, eparent));
-                let new_val = new.value_at(self.rank(u, eparent));
+                let old_val = self.value_in(&scratch.old_vals, old_exists, u, eparent);
+                let new_val = self.value_in(&scratch.new_vals, new_exists, u, eparent);
                 let report = old_val != new_val;
                 for (vp, pe) in g.neighbors(v) {
-                    if g.label(vp) != q.label(up) {
+                    if !self.label_ok.get(up * self.n + vp as usize) {
                         continue;
                     }
                     let c = self.constraint(q, g, eparent, vp, v);
@@ -360,53 +507,66 @@ impl FilterInstance {
                         }
                     }
                     if matched {
-                        to_enqueue.push((up, vp));
+                        pending.push((up, vp));
                     }
                 }
             }
-            let pending = std::mem::take(&mut to_enqueue);
-            for (up, vp) in &pending {
-                self.enqueue(*up, *vp);
+            // Indexed loop: `pending` must stay owned while `enqueue` takes
+            // `&mut self`.
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..pending.len() {
+                let (up, vp) = pending[i];
+                self.enqueue(up, vp);
             }
-            to_enqueue = pending;
         }
+        self.scratch = scratch;
+        self.pending = pending;
     }
 
-    /// Recomputes every reachable entry from scratch and asserts the table
-    /// matches — the incremental-maintenance invariant, used by tests.
+    /// Recomputes every entry from scratch and asserts the dense table (and
+    /// its non-default census) matches — the incremental-maintenance
+    /// invariant, used by tests.
     #[doc(hidden)]
     pub fn check_consistency(&self, q: &QueryGraph, g: &WindowGraph) {
-        // Every stored entry must equal its recomputation, and no stored
-        // entry may equal the default (those must be removed).
-        for (&(u, v), en) in &self.table {
-            let fresh = self.recompute(q, g, u, v);
-            assert_eq!(
-                en, &fresh,
-                "stale entry at (u{u}, v{v}) pol={:?}",
-                self.pol
-            );
-            assert_ne!(
-                en,
-                &self.default_entry(q, g, u, v),
-                "default entry not pruned at (u{u}, v{v})"
-            );
-        }
-        // Every label-compatible (u, v) pair with alive adjacency must be
-        // consistent with its recomputation (absent ⇒ default).
+        let mut sc = RecomputeScratch::default();
+        let mut nondefault = 0usize;
         for u in 0..q.num_vertices() {
-            for v in 0..g.num_vertices() as VertexId {
-                if self.table.contains_key(&(u, v)) {
-                    continue;
-                }
-                let fresh = self.recompute(q, g, u, v);
+            for v in 0..self.n as VertexId {
+                let uv = u * self.n + v as usize;
+                let fresh_exists = self.recompute_into(q, g, u, v, &mut sc);
                 assert_eq!(
-                    fresh,
-                    self.default_entry(q, g, u, v),
-                    "missing entry at (u{u}, v{v}) pol={:?}",
+                    self.exists.get(uv),
+                    fresh_exists,
+                    "stale existence at (u{u}, v{v}) pol={:?}",
                     self.pol
                 );
+                let base = self.row(u, v);
+                let w = self.width[u] as usize;
+                assert_eq!(
+                    &self.vals[base..base + w],
+                    &sc.new_vals[..],
+                    "stale entry at (u{u}, v{v}) pol={:?}",
+                    self.pol
+                );
+                let is_default = if fresh_exists {
+                    self.default_exists.get(uv) && sc.new_vals.iter().all(|&t| t == Ts::INF)
+                } else {
+                    !self.default_exists.get(uv)
+                };
+                assert_eq!(
+                    self.nondefault.get(uv),
+                    !is_default,
+                    "non-default census wrong at (u{u}, v{v})"
+                );
+                if !is_default {
+                    nondefault += 1;
+                }
             }
         }
+        assert_eq!(
+            self.nondefault_count, nondefault,
+            "table_len census diverged"
+        );
     }
 }
 
@@ -442,22 +602,19 @@ pub(crate) mod tests {
         b.build().unwrap()
     }
 
-    fn window_with(g: &TemporalGraph, upto: i64) -> WindowGraph {
-        let mut w = WindowGraph::new(g.labels().to_vec(), false);
-        for e in g.edges() {
-            if e.time.raw() <= upto {
-                w.insert(e);
-            }
-        }
-        w
-    }
-
-    fn instance_after(upto: i64) -> (tcsm_graph::QueryGraph, TemporalGraph, WindowGraph, FilterInstance) {
+    fn instance_after(
+        upto: i64,
+    ) -> (
+        tcsm_graph::QueryGraph,
+        TemporalGraph,
+        WindowGraph,
+        FilterInstance,
+    ) {
         let q = paper_running_example();
         let dag = build_dag(&q, 0); // Figure 3a
         let g = figure_2a();
         let mut w = WindowGraph::new(g.labels().to_vec(), false);
-        let mut inst = FilterInstance::new(dag, Polarity::Later);
+        let mut inst = FilterInstance::new(dag, Polarity::Later, &q, &w);
         let mut flips = Vec::new();
         for e in g.edges() {
             if e.time.raw() <= upto {
@@ -471,16 +628,16 @@ pub(crate) mod tests {
     #[test]
     fn example_iv3_maxmin_value() {
         // With all 14 edges: T[u3, v4, ε2] = 10 (Example IV.3/IV.4).
-        let (q, _g, w, inst) = instance_after(14);
-        assert_eq!(inst.natural_value(&q, &w, 2, 3, 1), Ts::new(10));
+        let (_q, _g, _w, inst) = instance_after(14);
+        assert_eq!(inst.natural_value(2, 3, 1), Ts::new(10));
         // Before σ14 arrives it is 7 (Example IV.4: "updated from 7 to 10").
-        let (q, _g, w, inst) = instance_after(13);
-        assert_eq!(inst.natural_value(&q, &w, 2, 3, 1), Ts::new(7));
+        let (_q, _g, _w, inst) = instance_after(13);
+        assert_eq!(inst.natural_value(2, 3, 1), Ts::new(7));
     }
 
     #[test]
     fn example_iv1_tc_matchability() {
-        let (q, g, w, inst) = instance_after(14);
+        let (q, g, _w, inst) = instance_after(14);
         // ε2 is TC-matchable with σ8 (t=8 < 10) but not σ12 (t=12 ≥ 10).
         let sigma8 = g.edges().iter().find(|e| e.time == Ts::new(8)).unwrap();
         let sigma12 = g.edges().iter().find(|e| e.time == Ts::new(12)).unwrap();
@@ -495,8 +652,8 @@ pub(crate) mod tests {
             key: sigma12.key,
             a_to_src: true,
         };
-        assert!(inst.passes(&q, &w, p8, sigma8));
-        assert!(!inst.passes(&q, &w, p12, sigma12));
+        assert!(inst.passes(&q, p8, sigma8));
+        assert!(!inst.passes(&q, p12, sigma12));
     }
 
     #[test]
@@ -505,14 +662,14 @@ pub(crate) mod tests {
         // because no path from σ4 satisfies ε2 ≺ ε4 … wait, the intro uses
         // the constraint ε2 ≺ ε4 via the path ε2 → ε4. At t=4 nothing
         // follows σ4 yet, so ε2 cannot TC-match σ4.
-        let (q, g, w, inst) = instance_after(4);
+        let (q, g, _w, inst) = instance_after(4);
         let sigma4 = g.edges().iter().find(|e| e.time == Ts::new(4)).unwrap();
         let p = CandPair {
             qedge: 1,
             key: sigma4.key,
             a_to_src: true,
         };
-        assert!(!inst.passes(&q, &w, p, sigma4));
+        assert!(!inst.passes(&q, p, sigma4));
     }
 
     #[test]
@@ -523,31 +680,22 @@ pub(crate) mod tests {
         let dag = build_dag(&q, 0);
         let g = figure_2a();
         let mut w = WindowGraph::new(g.labels().to_vec(), false);
-        let mut inst = FilterInstance::new(dag, Polarity::Later);
+        let mut inst = FilterInstance::new(dag, Polarity::Later, &q, &w);
         let mut flips = Vec::new();
         for e in g.edges() {
             w.insert(e);
             flips.clear();
             inst.apply(&q, &w, e, &mut flips);
             if e.time == Ts::new(14) {
-                let sigma8_key = g
-                    .edges()
-                    .iter()
-                    .find(|x| x.time == Ts::new(8))
-                    .unwrap()
-                    .key;
+                let sigma8_key = g.edges().iter().find(|x| x.time == Ts::new(8)).unwrap().key;
                 let sigma12_key = g
                     .edges()
                     .iter()
                     .find(|x| x.time == Ts::new(12))
                     .unwrap()
                     .key;
-                assert!(flips
-                    .iter()
-                    .any(|p| p.qedge == 1 && p.key == sigma8_key));
-                assert!(!flips
-                    .iter()
-                    .any(|p| p.qedge == 1 && p.key == sigma12_key));
+                assert!(flips.iter().any(|p| p.qedge == 1 && p.key == sigma8_key));
+                assert!(!flips.iter().any(|p| p.qedge == 1 && p.key == sigma12_key));
             }
         }
     }
@@ -561,7 +709,7 @@ pub(crate) mod tests {
         for pol in Polarity::BOTH {
             let dag = build_dag(&q, 0);
             let mut w = WindowGraph::new(g.labels().to_vec(), false);
-            let mut inst = FilterInstance::new(dag, pol);
+            let mut inst = FilterInstance::new(dag, pol, &q, &w);
             let mut flips = Vec::new();
             let queue = tcsm_graph::EventQueue::new(&g, 6).unwrap();
             for ev in queue.iter() {
@@ -578,7 +726,11 @@ pub(crate) mod tests {
                 }
                 inst.check_consistency(&q, &w);
             }
-            assert_eq!(inst.table_len(), 0, "all entries pruned after drain");
+            assert_eq!(
+                inst.table_len(),
+                0,
+                "all entries back to default after drain"
+            );
         }
     }
 
@@ -589,7 +741,7 @@ pub(crate) mod tests {
         let fwd = build_dag(&q, 0);
         let dag = fwd.reversed(&q);
         let mut w = WindowGraph::new(g.labels().to_vec(), false);
-        let mut inst = FilterInstance::new(dag, Polarity::Earlier);
+        let mut inst = FilterInstance::new(dag, Polarity::Earlier, &q, &w);
         let mut flips = Vec::new();
         for e in g.edges() {
             w.insert(e);

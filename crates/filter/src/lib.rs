@@ -16,6 +16,18 @@
 //! pass-flips into DCS insertion/deletion deltas (`E⁺_DCS` / `E⁻_DCS` of
 //! Algorithm 1). [`oracle`] recomputes max-min timestamps from the
 //! definition (path-tree weak embeddings) for tests.
+//!
+//! # Memory model
+//!
+//! The max-min tables are dense flat slabs of shape `O(Σ_u |TR(u)|·|V(g)|)`
+//! with parallel existence/default bitmaps, allocated once at construction
+//! with all default rows materialized; the bank's pair-membership set is a
+//! flat bitmap indexed by data-edge key. Per-event maintenance is
+//! allocation-free and hash-free: worklist dedup uses a generation-stamped
+//! `u32` per `(u, v)` cell (cleared in O(1) by bumping the generation), the
+//! worklist itself drains in reverse-topological order so each entry
+//! recomputes at most once per event, and recompute scratch buffers are
+//! owned by the instance and reused.
 
 pub mod bank;
 pub mod instance;

@@ -106,19 +106,47 @@ pub fn maxmin_by_definition(
                     // by enumerating it inline.
                     let mut sub_best = Ts::NEG_INF;
                     assign(
-                        q, g, dag, pol, tree, constrained, cnode, vc, m, &mut sub_best,
+                        q,
+                        g,
+                        dag,
+                        pol,
+                        tree,
+                        constrained,
+                        cnode,
+                        vc,
+                        m,
+                        &mut sub_best,
                     );
                     if sub_best > Ts::NEG_INF {
                         per_child(
-                            q, g, dag, pol, tree, constrained, node, img,
-                            child_idx + 1, sub_best, best,
+                            q,
+                            g,
+                            dag,
+                            pol,
+                            tree,
+                            constrained,
+                            node,
+                            img,
+                            child_idx + 1,
+                            sub_best,
+                            best,
                         );
                     }
                 }
             }
         }
         per_child(
-            q, g, dag, pol, tree, constrained, node, img, 0, running_min, best,
+            q,
+            g,
+            dag,
+            pol,
+            tree,
+            constrained,
+            node,
+            img,
+            0,
+            running_min,
+            best,
         );
     }
 
@@ -153,7 +181,7 @@ mod tests {
         for pol in Polarity::BOTH {
             let dag = build_dag(&q, 0);
             let mut w = WindowGraph::new(g.labels().to_vec(), false);
-            let mut inst = FilterInstance::new(dag.clone(), pol);
+            let mut inst = FilterInstance::new(dag.clone(), pol, &q, &w);
             let mut flips = Vec::new();
             for e in g.edges() {
                 w.insert(e);
@@ -165,18 +193,12 @@ mod tests {
                     // A(u) — the only entries Lemma IV.3 ever reads; the
                     // definitional value of other edges is not stored.
                     for e in dag.ancestor_edges(u).iter() {
-                        let oracle =
-                            maxmin_by_definition(&q, &w, &dag, pol, u, v, e, 100_000);
+                        let oracle = maxmin_by_definition(&q, &w, &dag, pol, u, v, e, 100_000);
                         let inc = match pol {
-                            Polarity::Later => inst.natural_value(&q, &w, u, v, e),
-                            Polarity::Earlier => {
-                                inst.natural_value(&q, &w, u, v, e).neg()
-                            }
+                            Polarity::Later => inst.natural_value(u, v, e),
+                            Polarity::Earlier => inst.natural_value(u, v, e).neg(),
                         };
-                        assert_eq!(
-                            inc, oracle,
-                            "mismatch at u{u} v{v} e{e} pol={pol:?}"
-                        );
+                        assert_eq!(inc, oracle, "mismatch at u{u} v{v} e{e} pol={pol:?}");
                     }
                 }
             }

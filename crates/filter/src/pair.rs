@@ -1,8 +1,6 @@
 //! Candidate pairs: an oriented match of a query edge onto a data edge.
 
-use tcsm_graph::{
-    EdgeKey, QEdgeId, QVertexId, QueryGraph, TemporalEdge, VertexId, WindowGraph,
-};
+use tcsm_graph::{EdgeKey, QEdgeId, QVertexId, QueryGraph, TemporalEdge, VertexId, WindowGraph};
 
 /// An oriented candidate `(ε, σ)`: query edge `qedge` mapped onto data edge
 /// `key`, with `a_to_src == true` meaning the query endpoint `a` maps to the

@@ -54,7 +54,7 @@ proptest! {
     fn insert_only_adds_delete_only_removes((g, q, delta) in arb_stream()) {
         let dag = build_best_dag(&q);
         let mut w = WindowGraph::new(g.labels().to_vec(), false);
-        let mut bank = FilterBank::new(&q, &dag, FilterMode::Tc);
+        let mut bank = FilterBank::new(&q, &dag, FilterMode::Tc, &w);
         let mut deltas = Vec::new();
         let queue = EventQueue::new(&g, delta).unwrap();
         for ev in queue.iter() {
@@ -82,8 +82,8 @@ proptest! {
     fn tc_filter_is_a_subset_of_label_filter((g, q, delta) in arb_stream()) {
         let dag = build_best_dag(&q);
         let mut w = WindowGraph::new(g.labels().to_vec(), false);
-        let mut tc = FilterBank::new(&q, &dag, FilterMode::Tc);
-        let mut lo = FilterBank::new(&q, &dag, FilterMode::LabelOnly);
+        let mut tc = FilterBank::new(&q, &dag, FilterMode::Tc, &w);
+        let mut lo = FilterBank::new(&q, &dag, FilterMode::LabelOnly, &w);
         let mut deltas = Vec::new();
         let queue = EventQueue::new(&g, delta).unwrap();
         let mut alive: Vec<TemporalEdge> = Vec::new();

@@ -141,6 +141,83 @@ impl fmt::Debug for Set64 {
     }
 }
 
+/// A fixed-capacity flat bitmap over `0..len` elements.
+///
+/// The dense per-`(query vertex, data vertex)` slabs of the DCS and filter
+/// layers store their boolean columns (`d1`, `d2`, existence, defaults) in
+/// these: one allocation at construction, O(1) word-indexed access, no
+/// hashing and no per-event allocation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DenseBits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl DenseBits {
+    /// All-zero bitmap with capacity for `len` bits.
+    pub fn new(len: usize) -> DenseBits {
+        DenseBits {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Bit capacity.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the capacity is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] & (1u64 << (i & 63)) != 0
+    }
+
+    /// Sets bit `i` to 1.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] |= 1u64 << (i & 63);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] &= !(1u64 << (i & 63));
+    }
+
+    /// Writes bit `i`; returns the previous value.
+    #[inline]
+    pub fn replace(&mut self, i: usize, value: bool) -> bool {
+        let old = self.get(i);
+        if value {
+            self.set(i);
+        } else {
+            self.clear(i);
+        }
+        old
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Clears every bit (keeps the allocation).
+    pub fn clear_all(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,5 +255,25 @@ mod tests {
         let v: Vec<_> = s.iter().collect();
         assert_eq!(v, vec![1, 2, 9, 33]);
         assert_eq!(s.iter().len(), 4);
+    }
+
+    #[test]
+    fn dense_bits_roundtrip() {
+        let mut b = DenseBits::new(130);
+        assert_eq!(b.len(), 130);
+        assert!(!b.get(0) && !b.get(129));
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129) && !b.get(1));
+        assert_eq!(b.count_ones(), 3);
+        assert!(b.replace(64, false));
+        assert!(!b.get(64));
+        assert!(!b.replace(7, true));
+        assert!(b.get(7));
+        b.clear(0);
+        assert!(!b.get(0));
+        b.clear_all();
+        assert_eq!(b.count_ones(), 0);
     }
 }

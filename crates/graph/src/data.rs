@@ -105,8 +105,7 @@ impl TemporalGraph {
     /// Average number of parallel edges between adjacent vertex pairs
     /// (`mavg` in Table III).
     pub fn avg_parallel_edges(&self) -> f64 {
-        use std::collections::HashSet;
-        let mut pairs: HashSet<(VertexId, VertexId)> = HashSet::new();
+        let mut pairs: crate::fx::FxHashSet<(VertexId, VertexId)> = crate::fx::FxHashSet::default();
         for e in &self.edges {
             let k = (e.src.min(e.dst), e.src.max(e.dst));
             pairs.insert(k);

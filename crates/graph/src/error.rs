@@ -32,14 +32,20 @@ impl fmt::Display for GraphError {
             GraphError::UnknownVertex(v) => write!(f, "unknown vertex id {v}"),
             GraphError::SelfLoop(v) => write!(f, "self-loop on vertex {v} is not supported"),
             GraphError::DuplicateQueryEdge(a, b) => {
-                write!(f, "duplicate query edge between {a} and {b} (query graphs are simple)")
+                write!(
+                    f,
+                    "duplicate query edge between {a} and {b} (query graphs are simple)"
+                )
             }
             GraphError::QueryTooLarge(what, n) => {
                 write!(f, "query has {n} {what}; at most 64 are supported")
             }
             GraphError::UnknownEdge(e) => write!(f, "unknown edge index {e} in temporal order"),
             GraphError::NotAStrictOrder(e) => {
-                write!(f, "temporal order closure contains e{e} ≺ e{e}; not a strict partial order")
+                write!(
+                    f,
+                    "temporal order closure contains e{e} ≺ e{e}; not a strict partial order"
+                )
             }
             GraphError::DisconnectedQuery => write!(f, "query graph must be connected"),
             GraphError::Parse(line, msg) => write!(f, "parse error at line {line}: {msg}"),

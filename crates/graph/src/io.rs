@@ -41,7 +41,10 @@ pub fn parse_temporal_graph(text: &str) -> Result<TemporalGraph, GraphError> {
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| parse_err(line, "bad vertex id"))?;
                 if id != expected_vid {
-                    return Err(parse_err(line, format!("vertex ids must be dense, expected {expected_vid}")));
+                    return Err(parse_err(
+                        line,
+                        format!("vertex ids must be dense, expected {expected_vid}"),
+                    ));
                 }
                 let label: u32 = it
                     .next()
@@ -106,7 +109,10 @@ pub fn parse_query_graph(text: &str) -> Result<QueryGraph, GraphError> {
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| parse_err(line, "bad vertex id"))?;
                 if id != expected_vid {
-                    return Err(parse_err(line, format!("vertex ids must be dense, expected {expected_vid}")));
+                    return Err(parse_err(
+                        line,
+                        format!("vertex ids must be dense, expected {expected_vid}"),
+                    ));
                 }
                 let label: u32 = it
                     .next()

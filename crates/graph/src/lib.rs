@@ -26,7 +26,7 @@ pub mod stream;
 pub mod time;
 pub mod window;
 
-pub use bitset::Set64;
+pub use bitset::{DenseBits, Set64};
 pub use data::{EdgeKey, TemporalEdge, TemporalGraph, TemporalGraphBuilder, VertexId};
 pub use error::GraphError;
 pub use fx::{FxHashMap, FxHashSet};
@@ -34,7 +34,7 @@ pub use order::TemporalOrder;
 pub use query::{Direction, QEdgeId, QVertexId, QueryEdge, QueryGraph, QueryGraphBuilder};
 pub use stream::{Event, EventKind, EventQueue};
 pub use time::Ts;
-pub use window::{EdgeConstraint, PairEdges, WindowGraph};
+pub use window::{EdgeConstraint, PairEdges, PairId, WindowGraph};
 
 /// A vertex label. Label `0` is a valid label; unlabeled graphs use a single
 /// label for every vertex.

@@ -86,7 +86,7 @@ impl QueryGraph {
         if order.num_edges() != edges.len() {
             return Err(GraphError::UnknownEdge(order.num_edges()));
         }
-        let mut seen_pairs = std::collections::HashSet::new();
+        let mut seen_pairs = crate::fx::FxHashSet::default();
         for e in &edges {
             if e.a >= n {
                 return Err(GraphError::UnknownVertex(e.a as u32));
@@ -197,10 +197,7 @@ impl QueryGraph {
 
     /// Edge id between `a` and `b` if one exists (in either endpoint order).
     pub fn edge_between(&self, a: QVertexId, b: QVertexId) -> Option<QEdgeId> {
-        self.adj[a]
-            .iter()
-            .find(|&&(_, w)| w == b)
-            .map(|&(e, _)| e)
+        self.adj[a].iter().find(|&&(_, w)| w == b).map(|&(e, _)| e)
     }
 }
 

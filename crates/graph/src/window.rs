@@ -3,16 +3,37 @@
 //! Edges arrive in chronological order and expire in the same order, so each
 //! vertex-pair bucket is a queue: arrivals push at the back, expirations pop
 //! from the front (the paper's "removing the edge from the front of the
-//! adjacency list"). Adjacency is a per-vertex hash map from neighbour to a
-//! shared pair bucket, so parallel edges between the same endpoints are
-//! iterated without rescanning the whole neighbourhood.
+//! adjacency list").
+//!
+//! # Layout
+//!
+//! Adjacency is *flat and index-addressed*, not hash-keyed: every alive
+//! vertex pair owns one [`PairEdges`] bucket in a slab, identified by a
+//! stable [`PairId`] that survives for the bucket's whole lifetime. Each
+//! vertex keeps its neighbours as a **sorted** `(neighbour, PairId)` array,
+//! so `pair(v, w)` is a binary search, neighbourhood scans are contiguous
+//! slice walks, and downstream structures (the DCS multiplicity index, the
+//! filter tables) can use the `PairId` as a direct array index instead of
+//! hashing `(v, w)` tuples.
+//!
+//! # Deferred bucket reclamation
+//!
+//! When the last edge of a bucket expires, the bucket becomes *dying*: it is
+//! hidden from every iteration/accessor (`pair`, `neighbors`, `buckets`,
+//! `num_neighbors`) but its `PairId` remains resolvable via [`WindowGraph::pair_id`]
+//! until the **next** mutation, which recycles it. This gives the filter and
+//! DCS layers — which process an expiration *after* the window was updated —
+//! a stable id to index their removal deltas with, without any hash lookups
+//! and without dangling ids.
 
 use crate::data::{EdgeKey, TemporalEdge, VertexId};
-use crate::fx::FxHashMap;
 use crate::query::Direction;
 use crate::time::Ts;
 use crate::{EdgeLabel, Label, EDGE_LABEL_ANY};
 use std::collections::VecDeque;
+
+/// Stable index of an alive (or currently dying) pair bucket.
+pub type PairId = u32;
 
 /// Constraint a data edge must satisfy to match a given (oriented) query
 /// edge: label compatibility plus an optional direction requirement.
@@ -81,21 +102,25 @@ impl PairEdges {
 
     /// Alive edges matching `c`, in arrival order.
     #[inline]
-    pub fn iter_matching(
-        &self,
-        c: EdgeConstraint,
-    ) -> impl Iterator<Item = &EdgeRecord> + Clone {
+    pub fn iter_matching(&self, c: EdgeConstraint) -> impl Iterator<Item = &EdgeRecord> + Clone {
         self.edges.iter().filter(move |r| c.matches(r))
     }
 
-    /// Largest alive timestamp among edges matching `c`.
+    /// Largest alive timestamp among edges matching `c`. Records are kept
+    /// in arrival order (= non-decreasing time), so the scan runs from the
+    /// back and stops at the first match.
     pub fn max_time(&self, c: EdgeConstraint) -> Option<Ts> {
-        self.iter_matching(c).map(|r| r.time).max()
+        self.edges
+            .iter()
+            .rev()
+            .find(|r| c.matches(r))
+            .map(|r| r.time)
     }
 
-    /// Smallest alive timestamp among edges matching `c`.
+    /// Smallest alive timestamp among edges matching `c` (first match from
+    /// the front, by the same ordering argument).
     pub fn min_time(&self, c: EdgeConstraint) -> Option<Ts> {
-        self.iter_matching(c).map(|r| r.time).min()
+        self.edges.iter().find(|r| c.matches(r)).map(|r| r.time)
     }
 
     /// Number of alive parallel edges.
@@ -104,7 +129,7 @@ impl PairEdges {
         self.edges.len()
     }
 
-    /// True when no edge is alive (the bucket is then dropped).
+    /// True when no edge is alive (the bucket is then hidden and recycled).
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.edges.is_empty()
@@ -115,8 +140,16 @@ impl PairEdges {
 #[derive(Clone, Debug)]
 pub struct WindowGraph {
     labels: Vec<Label>,
-    /// `adj[v][w]` = bucket of alive edges between `v` and `w`.
-    adj: Vec<FxHashMap<VertexId, PairEdges>>,
+    /// Sorted `(neighbour, bucket id)` array per vertex. Entries of dying
+    /// buckets linger until the next mutation.
+    adj: Vec<Vec<(VertexId, PairId)>>,
+    /// The pair-bucket slab; `free` holds recycled slots.
+    buckets: Vec<PairEdges>,
+    free: Vec<PairId>,
+    /// Bucket emptied by the current event, still resolvable by id.
+    dying: Option<PairId>,
+    /// Non-empty bucket count per vertex (`num_neighbors` in O(1)).
+    live_deg: Vec<u32>,
     alive_edges: usize,
     directed: bool,
 }
@@ -127,7 +160,11 @@ impl WindowGraph {
         let n = labels.len();
         WindowGraph {
             labels,
-            adj: (0..n).map(|_| FxHashMap::default()).collect(),
+            adj: vec![Vec::new(); n],
+            buckets: Vec::new(),
+            free: Vec::new(),
+            dying: None,
+            live_deg: vec![0; n],
             alive_edges: 0,
             directed,
         }
@@ -159,12 +196,47 @@ impl WindowGraph {
 
     /// Number of alive edges incident to `v` (counting parallels).
     pub fn alive_degree(&self, v: VertexId) -> usize {
-        self.adj[v as usize].values().map(|p| p.len()).sum()
+        self.adj[v as usize]
+            .iter()
+            .map(|&(_, id)| self.buckets[id as usize].len())
+            .sum()
+    }
+
+    /// Size of the bucket slab (upper bound on every live [`PairId`] + 1).
+    /// Downstream pair-indexed tables size themselves with this.
+    #[inline]
+    pub fn pair_slab_len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Position of `w` in `adj[v]`, if present (dying entries included).
+    #[inline]
+    fn adj_pos(&self, v: VertexId, w: VertexId) -> Result<usize, usize> {
+        self.adj[v as usize].binary_search_by_key(&w, |&(x, _)| x)
+    }
+
+    /// Recycles the bucket emptied by the previous event, if any.
+    fn flush_dying(&mut self) {
+        if let Some(id) = self.dying.take() {
+            let (a, b) = {
+                let p = &self.buckets[id as usize];
+                debug_assert!(p.is_empty(), "dying bucket refilled");
+                (p.a, p.b)
+            };
+            for &(v, w) in &[(a, b), (b, a)] {
+                let pos = self
+                    .adj_pos(v, w)
+                    .expect("dying bucket has adjacency entries");
+                self.adj[v as usize].remove(pos);
+            }
+            self.free.push(id);
+        }
     }
 
     /// Inserts an arriving edge. Panics if it is older than an already-alive
     /// edge between the same endpoints (arrival order violated).
     pub fn insert(&mut self, e: &TemporalEdge) {
+        self.flush_dying();
         let (a, b) = (e.src.min(e.dst), e.src.max(e.dst));
         let rec = EdgeRecord {
             key: e.key,
@@ -172,17 +244,40 @@ impl WindowGraph {
             label: e.label,
             src_is_a: e.src == a,
         };
-        for &(v, w) in &[(a, b), (b, a)] {
-            let bucket = self.adj[v as usize].entry(w).or_insert_with(|| PairEdges {
-                a,
-                b,
-                edges: VecDeque::new(),
-            });
-            if let Some(last) = bucket.edges.back() {
-                debug_assert!(last.time <= rec.time, "out-of-order arrival");
+        let id = match self.adj_pos(a, b) {
+            Ok(pos) => self.adj[a as usize][pos].1,
+            Err(pos_a) => {
+                let id = match self.free.pop() {
+                    Some(id) => {
+                        let p = &mut self.buckets[id as usize];
+                        p.a = a;
+                        p.b = b;
+                        id
+                    }
+                    None => {
+                        self.buckets.push(PairEdges {
+                            a,
+                            b,
+                            edges: VecDeque::new(),
+                        });
+                        (self.buckets.len() - 1) as PairId
+                    }
+                };
+                self.adj[a as usize].insert(pos_a, (b, id));
+                if a != b {
+                    let pos_b = self.adj_pos(b, a).expect_err("asymmetric adjacency");
+                    self.adj[b as usize].insert(pos_b, (a, id));
+                }
+                self.live_deg[a as usize] += 1;
+                self.live_deg[b as usize] += 1;
+                id
             }
-            bucket.edges.push_back(rec);
+        };
+        let bucket = &mut self.buckets[id as usize];
+        if let Some(last) = bucket.edges.back() {
+            debug_assert!(last.time <= rec.time, "out-of-order arrival");
         }
+        bucket.edges.push_back(rec);
         self.alive_edges += 1;
     }
 
@@ -192,15 +287,20 @@ impl WindowGraph {
     /// # Panics
     /// Panics if the edge is not alive or not the oldest of its bucket.
     pub fn remove(&mut self, e: &TemporalEdge) {
+        self.flush_dying();
         let (a, b) = (e.src.min(e.dst), e.src.max(e.dst));
-        for &(v, w) in &[(a, b), (b, a)] {
-            let m = &mut self.adj[v as usize];
-            let bucket = m.get_mut(&w).expect("expiring edge has no bucket");
-            let front = bucket.edges.pop_front().expect("bucket empty");
-            assert_eq!(front.key, e.key, "expiry order violated");
-            if bucket.edges.is_empty() {
-                m.remove(&w);
-            }
+        let pos = self
+            .adj_pos(a, b)
+            .unwrap_or_else(|_| panic!("expiring edge has no bucket"));
+        let id = self.adj[a as usize][pos].1;
+        let bucket = &mut self.buckets[id as usize];
+        let front = bucket.edges.pop_front().expect("bucket empty");
+        assert_eq!(front.key, e.key, "expiry order violated");
+        if bucket.edges.is_empty() {
+            // Keep the id resolvable for the rest of this event's processing.
+            self.dying = Some(id);
+            self.live_deg[a as usize] -= 1;
+            self.live_deg[b as usize] -= 1;
         }
         self.alive_edges -= 1;
     }
@@ -208,30 +308,64 @@ impl WindowGraph {
     /// The bucket of alive edges between `v` and `w`, if any.
     #[inline]
     pub fn pair(&self, v: VertexId, w: VertexId) -> Option<&PairEdges> {
-        self.adj[v as usize].get(&w)
+        match self.adj_pos(v, w) {
+            Ok(pos) => {
+                let p = &self.buckets[self.adj[v as usize][pos].1 as usize];
+                (!p.is_empty()).then_some(p)
+            }
+            Err(_) => None,
+        }
     }
 
-    /// Iterates `(neighbour, bucket)` over all alive neighbours of `v`.
+    /// Stable bucket id for the pair `(v, w)`. Unlike [`WindowGraph::pair`]
+    /// this also resolves the bucket emptied by the current event, so
+    /// removal deltas can still be index-addressed downstream.
+    #[inline]
+    pub fn pair_id(&self, v: VertexId, w: VertexId) -> Option<PairId> {
+        match self.adj_pos(v, w) {
+            Ok(pos) => Some(self.adj[v as usize][pos].1),
+            Err(_) => None,
+        }
+    }
+
+    /// Bucket by stable id (dying buckets read as empty).
+    #[inline]
+    pub fn pair_by_id(&self, id: PairId) -> &PairEdges {
+        &self.buckets[id as usize]
+    }
+
+    /// Iterates `(neighbour, bucket)` over all alive neighbours of `v`, in
+    /// ascending neighbour order.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, &PairEdges)> {
-        self.adj[v as usize].iter().map(|(&w, p)| (w, p))
+        self.adj[v as usize].iter().filter_map(move |&(w, id)| {
+            let p = &self.buckets[id as usize];
+            (!p.is_empty()).then_some((w, p))
+        })
     }
 
-    /// Number of distinct alive neighbours of `v`.
+    /// Like [`WindowGraph::neighbors`] but also yields the stable bucket id,
+    /// for index-addressed lookups in downstream pair tables.
+    #[inline]
+    pub fn neighbors_with_ids(
+        &self,
+        v: VertexId,
+    ) -> impl Iterator<Item = (VertexId, PairId, &PairEdges)> {
+        self.adj[v as usize].iter().filter_map(move |&(w, id)| {
+            let p = &self.buckets[id as usize];
+            (!p.is_empty()).then_some((w, id, p))
+        })
+    }
+
+    /// Number of distinct alive neighbours of `v` (O(1)).
     #[inline]
     pub fn num_neighbors(&self, v: VertexId) -> usize {
-        self.adj[v as usize].len()
+        self.live_deg[v as usize] as usize
     }
 
     /// Iterates every alive pair bucket exactly once.
     pub fn buckets(&self) -> impl Iterator<Item = &PairEdges> {
-        self.adj
-            .iter()
-            .enumerate()
-            .flat_map(|(v, m)| {
-                m.values()
-                    .filter(move |p| p.a as usize == v)
-            })
+        self.buckets.iter().filter(|p| !p.is_empty())
     }
 
     /// Builds the [`EdgeConstraint`] for matching a query edge onto the pair
@@ -245,7 +379,11 @@ impl WindowGraph {
         required_dir: Direction,
         label: EdgeLabel,
     ) -> EdgeConstraint {
-        let direction = if self.directed { required_dir } else { Direction::Undirected };
+        let direction = if self.directed {
+            required_dir
+        } else {
+            Direction::Undirected
+        };
         EdgeConstraint {
             label,
             direction,
@@ -351,5 +489,65 @@ mod tests {
         let c = w.constraint_for(1, 0, Direction::AToB, EDGE_LABEL_ANY);
         assert_eq!(c.direction, Direction::Undirected);
         assert_eq!(w.pair(0, 1).unwrap().iter_matching(c).count(), 2);
+    }
+
+    #[test]
+    fn pair_ids_stay_resolvable_until_next_mutation() {
+        let (mut w, es) = setup();
+        for e in &es {
+            w.insert(e);
+        }
+        let id01 = w.pair_id(0, 1).unwrap();
+        assert_eq!(w.pair_id(1, 0), Some(id01));
+        // Drain the (0,1) bucket: id keeps resolving, accessors hide it.
+        w.remove(&es[0]);
+        w.remove(&es[1]);
+        assert!(w.pair(0, 1).is_none());
+        assert_eq!(w.pair_id(0, 1), Some(id01));
+        assert!(w.pair_by_id(id01).is_empty());
+        assert_eq!(w.num_neighbors(0), 0);
+        assert_eq!(w.neighbors(1).count(), 1);
+        // Next mutation recycles the id.
+        w.remove(&es[2]);
+        assert_eq!(w.pair_id(0, 1), None);
+    }
+
+    #[test]
+    fn bucket_slab_is_recycled() {
+        let (mut w, es) = setup();
+        for _ in 0..50 {
+            for e in &es {
+                w.insert(e);
+            }
+            for e in &[es[0], es[1], es[2]] {
+                w.remove(e);
+            }
+        }
+        // Two distinct pairs ever alive at once → slab stays tiny despite
+        // 150 inserts.
+        assert!(w.pair_slab_len() <= 3, "slab grew to {}", w.pair_slab_len());
+        assert_eq!(w.num_alive_edges(), 0);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let mut b = TemporalGraphBuilder::new();
+        let vs: Vec<_> = (0..5).map(|_| b.vertex(0)).collect();
+        b.edge(vs[2], vs[4], 1);
+        b.edge(vs[2], vs[0], 2);
+        b.edge(vs[2], vs[3], 3);
+        b.edge(vs[2], vs[1], 4);
+        let g = b.build().unwrap();
+        let mut w = WindowGraph::new(g.labels().to_vec(), false);
+        for e in g.edges() {
+            w.insert(e);
+        }
+        let order: Vec<VertexId> = w.neighbors(2).map(|(v, _)| v).collect();
+        assert_eq!(order, vec![0, 1, 3, 4]);
+        let ids: Vec<PairId> = w.neighbors_with_ids(2).map(|(_, id, _)| id).collect();
+        assert_eq!(ids.len(), 4);
+        for (v, id) in order.iter().zip(&ids) {
+            assert_eq!(w.pair_id(2, *v), Some(*id));
+        }
     }
 }

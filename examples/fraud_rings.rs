@@ -19,12 +19,7 @@ fn ring_query(k: usize) -> QueryGraph {
     let vs: Vec<_> = (0..k).map(|_| qb.vertex(0)).collect();
     let mut prev: Option<usize> = None;
     for i in 0..k {
-        let e = qb.edge_full(
-            vs[i],
-            vs[(i + 1) % k],
-            Direction::AToB,
-            EDGE_LABEL_ANY,
-        );
+        let e = qb.edge_full(vs[i], vs[(i + 1) % k], Direction::AToB, EDGE_LABEL_ANY);
         if let Some(p) = prev {
             qb.precede(p, e);
         }
@@ -47,14 +42,14 @@ fn main() {
         gb.edge(e.src, e.dst, e.time.raw() * 10);
     }
     let mut injected = 0;
-    for (start, accounts) in [(2000i64, [3u32, 17, 8, 25]), (9000, [40, 2, 31, 7]), (16000, [5, 12, 19, 33])] {
+    for (start, accounts) in [
+        (2000i64, [3u32, 17, 8, 25]),
+        (9000, [40, 2, 31, 7]),
+        (16000, [5, 12, 19, 33]),
+    ] {
         if accounts.iter().all(|&a| a < n) {
             for i in 0..4 {
-                gb.edge(
-                    accounts[i],
-                    accounts[(i + 1) % 4],
-                    start + 3 * i as i64,
-                );
+                gb.edge(accounts[i], accounts[(i + 1) % 4], start + 3 * i as i64);
             }
             injected += 1;
         }

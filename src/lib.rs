@@ -54,8 +54,8 @@ pub use tcsm_graph as graph;
 /// The most common imports in one place.
 pub mod prelude {
     pub use tcsm_core::{
-        AlgorithmPreset, Embedding, EngineConfig, EngineStats, MatchEvent, MatchKind,
-        SearchBudget, TcmEngine,
+        AlgorithmPreset, Embedding, EngineConfig, EngineStats, MatchEvent, MatchKind, SearchBudget,
+        TcmEngine,
     };
     pub use tcsm_dag::{build_best_dag, Polarity, QueryDag};
     pub use tcsm_graph::{

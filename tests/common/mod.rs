@@ -15,8 +15,8 @@ pub fn arb_graph() -> impl Strategy<Value = TemporalGraph> {
     )
         .prop_map(|(n, edges, labels)| {
             let mut b = TemporalGraphBuilder::new();
-            for i in 0..n {
-                b.vertex(labels[i]);
+            for &l in labels.iter().take(n) {
+                b.vertex(l);
             }
             for (a, c, t, l) in edges {
                 let a = a % n as u32;
@@ -43,8 +43,8 @@ pub fn arb_query() -> impl Strategy<Value = QueryGraph> {
     )
         .prop_map(|(n, labels, order_pairs, extra_seed, add_extra)| {
             let mut qb = QueryGraphBuilder::new();
-            for i in 0..n {
-                qb.vertex(labels[i]);
+            for &l in labels.iter().take(n) {
+                qb.vertex(l);
             }
             // Random tree: vertex i links to some j < i.
             let mut num_edges = 0usize;
@@ -86,10 +86,8 @@ pub fn arb_query() -> impl Strategy<Value = QueryGraph> {
 /// Normalizes match events for set comparison.
 #[allow(dead_code)]
 pub fn normalize(mut evs: Vec<MatchEvent>) -> Vec<(MatchKind, Ts, Embedding)> {
-    let mut v: Vec<(MatchKind, Ts, Embedding)> = evs
-        .drain(..)
-        .map(|m| (m.kind, m.at, m.embedding))
-        .collect();
+    let mut v: Vec<(MatchKind, Ts, Embedding)> =
+        evs.drain(..).map(|m| (m.kind, m.at, m.embedding)).collect();
     v.sort();
     v
 }

@@ -6,9 +6,9 @@ mod common;
 
 use common::{arb_graph, arb_query, normalize};
 use proptest::prelude::*;
+use tcsm::core::PruningFlags;
 use tcsm::datasets::{profiles::YAHOO, QueryGen};
 use tcsm::prelude::*;
-use tcsm::core::PruningFlags;
 
 fn run_with_flags(
     flags: PruningFlags,
@@ -60,8 +60,12 @@ fn pruning_reduces_search_nodes() {
         let Some(q) = qg.generate(7, 0.75, delta * 3 / 4, seed) else {
             continue;
         };
-        with += run_with_flags(PruningFlags::ALL, &q, &g, delta).1.search_nodes;
-        without += run_with_flags(PruningFlags::NONE, &q, &g, delta).1.search_nodes;
+        with += run_with_flags(PruningFlags::ALL, &q, &g, delta)
+            .1
+            .search_nodes;
+        without += run_with_flags(PruningFlags::NONE, &q, &g, delta)
+            .1
+            .search_nodes;
     }
     assert!(
         with < without,

@@ -50,20 +50,14 @@ fn example_iv_1_and_iv_4_filtering() {
     let dag = build_dag(&q, 0);
     let g = figure_2a();
     let mut w = WindowGraph::new(g.labels().to_vec(), false);
-    let mut bank = FilterBank::new(&q, &dag, FilterMode::Tc);
+    let mut bank = FilterBank::new(&q, &dag, FilterMode::Tc, &w);
     let mut deltas = Vec::new();
     for e in g.edges() {
         w.insert(e);
         deltas.clear();
         bank.on_insert(&q, &w, e, |k| g.edge(k), &mut deltas);
     }
-    let key_of = |t: i64| {
-        g.edges()
-            .iter()
-            .find(|e| e.time == Ts::new(t))
-            .unwrap()
-            .key
-    };
+    let key_of = |t: i64| g.edges().iter().find(|e| e.time == Ts::new(t)).unwrap().key;
     let pair8 = CandPair {
         qedge: 1,
         key: key_of(8),

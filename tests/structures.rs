@@ -26,8 +26,8 @@ proptest! {
     ) {
         let dag = build_best_dag(&q);
         let mut w = WindowGraph::new(g.labels().to_vec(), directed);
-        let mut bank = FilterBank::new(&q, &dag, FilterMode::Tc);
-        let mut dcs = Dcs::new(dag.clone());
+        let mut bank = FilterBank::new(&q, &dag, FilterMode::Tc, &w);
+        let mut dcs = Dcs::new(dag.clone(), &q, &w);
         let mut alive: Vec<tcsm::graph::TemporalEdge> = Vec::new();
         let mut deltas = Vec::new();
         let queue = EventQueue::new(&g, delta).unwrap();
@@ -67,7 +67,7 @@ proptest! {
         let dag = build_best_dag(&q);
         for pol in Polarity::BOTH {
             let mut w = WindowGraph::new(g.labels().to_vec(), false);
-            let mut inst = FilterInstance::new(dag.clone(), pol);
+            let mut inst = FilterInstance::new(dag.clone(), pol, &q, &w);
             let mut flips = Vec::new();
             let queue = EventQueue::new(&g, delta).unwrap();
             // Check a prefix of the stream (the oracle is exponential).
@@ -84,8 +84,8 @@ proptest! {
                     for e in dag.ancestor_edges(u).iter() {
                         let oracle = maxmin_by_definition(&q, &w, &dag, pol, u, v, e, 200_000);
                         let inc = match pol {
-                            Polarity::Later => inst.natural_value(&q, &w, u, v, e),
-                            Polarity::Earlier => inst.natural_value(&q, &w, u, v, e).neg(),
+                            Polarity::Later => inst.natural_value(u, v, e),
+                            Polarity::Earlier => inst.natural_value(u, v, e).neg(),
                         };
                         prop_assert_eq!(inc, oracle, "u{} v{} e{} {:?}", u, v, e, pol);
                     }

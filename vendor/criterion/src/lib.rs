@@ -1,0 +1,251 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Implements the group/bench/iter surface the workspace benches use and
+//! actually measures: each benchmark runs a calibrated number of iterations
+//! per sample, collects `sample_size` samples, and reports the **median
+//! ns/iter**. Results are printed and appended as JSON to
+//! `target/criterion-stub/<group>.json` (override the directory with
+//! `CRITERION_STUB_DIR`) so perf trajectories can be committed.
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Identifier `group/function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Bare id from a string.
+    pub fn from_str_id(id: impl Into<String>) -> BenchmarkId {
+        BenchmarkId { id: id.into() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId::from_str_id(s)
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId::from_str_id(s)
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    /// Iterations per sample (calibrated by the harness).
+    iters: u64,
+    /// Elapsed nanoseconds of the last `iter` call.
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+/// Re-export of the standard black box.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    pub id: String,
+    pub median_ns_per_iter: f64,
+    pub min_ns_per_iter: f64,
+    pub samples: usize,
+}
+
+/// Top-level harness state.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, Vec<Measurement>)>,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            sample_size: 10,
+            measurements: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, group: String, measurements: Vec<Measurement>) {
+        let out_dir = std::env::var("CRITERION_STUB_DIR")
+            .unwrap_or_else(|_| "target/criterion-stub".to_string());
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"group\": \"{}\",", group);
+        json.push_str("  \"benches\": {\n");
+        for (i, m) in measurements.iter().enumerate() {
+            let comma = if i + 1 == measurements.len() { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "    \"{}\": {{ \"median_ns_per_iter\": {:.1}, \"min_ns_per_iter\": {:.1}, \"samples\": {} }}{}",
+                m.id, m.median_ns_per_iter, m.min_ns_per_iter, m.samples, comma
+            );
+        }
+        json.push_str("  }\n}\n");
+        if std::fs::create_dir_all(&out_dir).is_ok() {
+            let path = format!("{}/{}.json", out_dir, group.replace('/', "_"));
+            let _ = std::fs::write(&path, &json);
+            eprintln!("(criterion-stub wrote {path})");
+        }
+        self.results.push((group, measurements));
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurements: Vec<Measurement>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `routine` with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let m = run_bench(&self.name, &id.id, self.sample_size, |b| routine(b, input));
+        self.measurements.push(m);
+        self
+    }
+
+    /// Benchmarks a closure without input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let m = run_bench(&self.name, &id.id, self.sample_size, |b| routine(b));
+        self.measurements.push(m);
+        self
+    }
+
+    /// Finishes the group, printing and persisting its results.
+    pub fn finish(self) {
+        let BenchmarkGroup {
+            c,
+            name,
+            measurements,
+            ..
+        } = self;
+        c.record(name, measurements);
+    }
+}
+
+fn run_bench(
+    group: &str,
+    id: &str,
+    sample_size: usize,
+    mut routine: impl FnMut(&mut Bencher),
+) -> Measurement {
+    // Calibration: find an iteration count that takes ≥ ~10ms per sample
+    // (or accept 1 iteration for slow routines).
+    let mut b = Bencher {
+        iters: 1,
+        elapsed_ns: 0,
+    };
+    routine(&mut b); // warm-up + first timing
+    let mut iters = 1u64;
+    while b.elapsed_ns < 10_000_000 && iters < 1 << 20 {
+        iters *= 2;
+        b.iters = iters;
+        routine(&mut b);
+    }
+    let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        b.iters = iters;
+        routine(&mut b);
+        per_iter.push(b.elapsed_ns as f64 / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    println!(
+        "{group}/{id}: median {median:.1} min {min:.1} ns/iter ({sample_size} samples × {iters} iters)"
+    );
+    Measurement {
+        id: id.to_string(),
+        median_ns_per_iter: median,
+        min_ns_per_iter: min,
+        samples: sample_size,
+    }
+}
+
+/// Declares the group-runner functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub_selftest");
+        g.sample_size(3);
+        g.bench_function(BenchmarkId::new("sum", 100), |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        let group = g;
+        group.finish();
+        let (_, ms) = &c.results[0];
+        assert_eq!(ms.len(), 1);
+        assert!(ms[0].median_ns_per_iter > 0.0);
+    }
+}

@@ -1,0 +1,416 @@
+//! Offline stand-in for `proptest` (see `vendor/README.md`).
+//!
+//! Provides the subset of the proptest API the workspace's property tests
+//! use: the [`proptest!`] macro, [`Strategy`] with `prop_map`, range and
+//! tuple strategies, `prop::collection::vec`, [`any`], [`ProptestConfig`],
+//! and the `prop_assert*` macros.
+//!
+//! Each test runs `config.cases` random cases from a seed derived from the
+//! test's name (deterministic run-to-run). There is **no shrinking** — a
+//! failure reports the case index so it can be replayed under a debugger by
+//! re-running the same binary.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic SplitMix64 source used to drive all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary byte string (we use the test name).
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Runner configuration (struct-update compatible with upstream usage).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+    /// Accepted for upstream compatibility; the stub never shrinks.
+    pub max_shrink_iters: u32,
+    /// Accepted for upstream compatibility; the stub never forks.
+    pub fork: bool,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+            fork: false,
+        }
+    }
+}
+
+/// A generator of random values.
+pub trait Strategy {
+    type Value;
+
+    /// Produces one random value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A constant strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Types with a canonical full-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+/// Full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Output of [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `prop::` module tree mirrored from upstream.
+pub mod prop {
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Size specification for [`vec`]: a fixed size or a range.
+        #[derive(Clone, Debug)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize, // exclusive
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> SizeRange {
+                SizeRange { lo: n, hi: n + 1 }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> SizeRange {
+                assert!(r.start < r.end, "empty vec size range");
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end,
+                }
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with a random length.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// `prop::collection::vec(element, size)`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.hi - self.size.lo) as u64;
+                let len = self.size.lo + (rng.next_u64() % span.max(1)) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Soft assertion: fails the current case without aborting the process.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}", ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} — {}",
+                ::std::stringify!($cond),
+                ::std::format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Soft equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                ::std::stringify!($a), ::std::stringify!($b), a, b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {} — {}\n  left: {:?}\n right: {:?}",
+                ::std::stringify!($a), ::std::stringify!($b),
+                ::std::format!($($fmt)+), a, b
+            ));
+        }
+    }};
+}
+
+/// Soft inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                ::std::stringify!($a),
+                ::std::stringify!($b),
+                a
+            ));
+        }
+    }};
+}
+
+/// The test-defining macro. Mirrors upstream syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+///     #[test]
+///     fn my_law(x in 0usize..10, (a, b) in my_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr); $(
+        #[test]
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(msg) = outcome {
+                    panic!(
+                        "proptest case {}/{} of `{}` failed:\n{}",
+                        case + 1, config.cases, stringify!($name), msg
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples((a, b) in (0usize..5, 10u32..12), v in prop::collection::vec(0i64..4, 2..6)) {
+            prop_assert!(a < 5);
+            prop_assert!(b == 10 || b == 11);
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 7, ..ProptestConfig::default() })]
+        #[test]
+        fn config_and_map(x in (0u32..3).prop_map(|x| x * 10), flag in any::<bool>()) {
+            prop_assert!(x == 0 || x == 10 || x == 20, "x = {}", x);
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::TestRng::from_name("x");
+        let mut b = crate::TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn prop_assert_returns_err() {
+        fn body(x: usize) -> Result<(), String> {
+            prop_assert!(x > 100, "x was {}", x);
+            Ok(())
+        }
+        assert!(body(3).is_err());
+        assert!(body(101).is_ok());
+    }
+}

@@ -1,0 +1,13 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! Exposes the two marker traits plus the derive macros. The derives are
+//! no-ops, so deriving the traits does not implement them — which is fine
+//! because nothing in the workspace bounds on them yet.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,17 @@
+//! No-op `Serialize` / `Deserialize` derives (see `vendor/README.md`).
+//!
+//! The workspace derives the serde traits on its value types to keep the
+//! public API future-proof, but nothing serializes through serde in this
+//! offline build, so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
