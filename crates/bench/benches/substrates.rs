@@ -1,6 +1,9 @@
 //! Substrate microbenches: greedy DAG construction, max-min timestamp
 //! maintenance (Algorithm 3), DCS maintenance throughput, and the
-//! end-to-end `TcmEngine::run` on a Table III-style profile.
+//! end-to-end `TcmEngine::run` on a Table III-style profile — in both the
+//! serial and the batched (`engine_run_batched*`) regimes, on the uniform
+//! one-edge-per-tick stream and on a bursty re-timing of the same stream
+//! (several arrivals per tick, where delta batches amortize).
 //!
 //! These are the numbers tracked in the repo-root `BENCH_*.json` perf
 //! trajectory — run with `cargo bench -p tcsm-bench --bench substrates`
@@ -99,6 +102,51 @@ fn bench(c: &mut Criterion) {
                 engine.run_counting().occurred
             })
         });
+        // Batched path on the same uniform stream (size-one batches): pins
+        // that batching support costs nothing when bursts don't exist.
+        group.bench_with_input(BenchmarkId::new("engine_run_batched", size), &q, |b, q| {
+            b.iter(|| {
+                let cfg = EngineConfig {
+                    collect_matches: false,
+                    directed: true,
+                    batching: true,
+                    ..Default::default()
+                };
+                let mut engine = TcmEngine::new(q, &g, delta, cfg).unwrap();
+                engine.run_counting().occurred
+            })
+        });
+    }
+
+    // Same-timestamp-dense regime: the identical stream re-timed so BURST
+    // arrivals share each tick (window scaled to keep the same number of
+    // alive edges). This is where one worklist drain + one sweep per batch
+    // pays off.
+    const BURST: usize = 8;
+    let g_bursty = SUPERUSER.generate_bursty(11, scale, BURST);
+    let delta_bursty = (delta / BURST as i64).max(2);
+    let qgb = QueryGen::new(&g_bursty);
+    for size in [5usize, 11] {
+        let Some(q) = qgb.generate(size, 0.5, (delta_bursty / 2).max(2), 99) else {
+            continue;
+        };
+        for (name, batching) in [
+            ("engine_run_bursty", false),
+            ("engine_run_batched_bursty", true),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, size), &q, |b, q| {
+                b.iter(|| {
+                    let cfg = EngineConfig {
+                        collect_matches: false,
+                        directed: true,
+                        batching,
+                        ..Default::default()
+                    };
+                    let mut engine = TcmEngine::new(q, &g_bursty, delta_bursty, cfg).unwrap();
+                    engine.run_counting().occurred
+                })
+            });
+        }
     }
     group.finish();
 }

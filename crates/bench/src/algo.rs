@@ -50,6 +50,9 @@ pub struct RunConfig {
     pub max_partials: usize,
     /// Treat graphs as directed.
     pub directed: bool,
+    /// Drive the engine through the batched delta path (`TcmEngine` only;
+    /// the baselines have no batched mode).
+    pub batching: bool,
 }
 
 impl Default for RunConfig {
@@ -58,6 +61,7 @@ impl Default for RunConfig {
             max_total_nodes: 3_000_000,
             max_partials: 1_500_000,
             directed: true,
+            batching: false,
         }
     }
 }
@@ -110,6 +114,7 @@ pub fn run_one(
                 budget,
                 directed: rc.directed,
                 collect_matches: false,
+                batching: rc.batching,
             };
             let mut e = TcmEngine::new(q, g, delta, cfg).expect("valid run inputs");
             let s = *e.run_counting();

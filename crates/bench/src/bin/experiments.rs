@@ -9,6 +9,7 @@
 //!        --budget N       node budget per run (default 3_000_000)
 //!        --dataset NAME   restrict to one dataset (repeatable)
 //!        --undirected     treat graphs as undirected
+//!        --batched        drive TcmEngine through the batched delta path
 //!        --seed N         base seed
 //!        --out DIR        CSV output dir (default results/)
 //! ```
@@ -54,6 +55,7 @@ fn main() {
                 picked_datasets.push(args[i].to_lowercase());
             }
             "--undirected" => suite.run_cfg.directed = false,
+            "--batched" => suite.run_cfg.batching = true,
             other => cmds.push(other.to_string()),
         }
         i += 1;

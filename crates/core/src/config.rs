@@ -114,6 +114,13 @@ pub struct EngineConfig {
     pub directed: bool,
     /// Keep reported embeddings in memory (disable for counting-only runs).
     pub collect_matches: bool,
+    /// Process the stream in same-timestamp delta batches (one filter/DCS
+    /// worklist drain and one `FindMatches` sweep per batch) instead of one
+    /// edge per event. The reported match multiset is identical in both
+    /// modes; only throughput (and the granularity of per-event search
+    /// budgets, which become per-batch) differs. Defaults to `false`, the
+    /// paper's serial Algorithm 1.
+    pub batching: bool,
 }
 
 impl Default for EngineConfig {
@@ -124,6 +131,7 @@ impl Default for EngineConfig {
             budget: SearchBudget::default(),
             directed: false,
             collect_matches: true,
+            batching: false,
         }
     }
 }

@@ -1,4 +1,27 @@
-//! The continuous-matching driver (Algorithm 1).
+//! The continuous-matching driver (Algorithm 1), in two regimes:
+//!
+//! * **serial** ([`TcmEngine::step`]): one edge per event, exactly the
+//!   paper's loop;
+//! * **batched** ([`TcmEngine::step_batch`]): one same-`(timestamp, kind)`
+//!   delta batch per step — the window is mutated for the whole batch, the
+//!   filter bank and DCS each drain one combined worklist, and a single
+//!   `FindMatches` sweep (seeded by every batch edge, with the per-seed
+//!   same-timestamp exclusion of the matcher) reports the same match
+//!   multiset the serial order would.
+//!
+//! # Batch staging & reclamation
+//!
+//! Each batch stages state strictly between `begin_batch` boundaries: the
+//! window parks every bucket the batch drains on a *dying* list (ids stay
+//! resolvable so the bank/DCS removal deltas remain index-addressed) and
+//! reclaims them when the next batch opens; the filter instances run one
+//! generation-stamped worklist per batch; the DCS applies the batch's
+//! deltas in one monotone pass. Nothing is freed mid-batch, so no layer
+//! ever observes a half-applied delta (the bank debug-asserts this).
+//!
+//! Expired embeddings are enumerated *before* the batch's removals (the
+//! structures still admit every expiring edge — see DESIGN.md), occurred
+//! embeddings after the batch's insertions.
 
 use crate::config::EngineConfig;
 use crate::embedding::{MatchEvent, MatchKind};
@@ -7,7 +30,9 @@ use crate::stats::EngineStats;
 use tcsm_dag::{build_best_dag, QueryDag};
 use tcsm_dcs::Dcs;
 use tcsm_filter::FilterBank;
-use tcsm_graph::{EventKind, EventQueue, GraphError, QueryGraph, TemporalGraph, WindowGraph};
+use tcsm_graph::{
+    EventKind, EventQueue, GraphError, QueryGraph, TemporalEdge, TemporalGraph, WindowGraph,
+};
 
 /// Time-constrained continuous subgraph matching over one stream.
 ///
@@ -26,8 +51,18 @@ pub struct TcmEngine<'g> {
     cfg: EngineConfig,
     stats: EngineStats,
     deltas_scratch: Vec<tcsm_filter::DcsDelta>,
+    /// Materialized edges of the current delta batch (reused allocation).
+    batch_scratch: Vec<TemporalEdge>,
     /// Search-state buffers reused by every `FindMatches` call.
     matcher_scratch: MatcherScratch,
+}
+
+/// What a `FindMatches` sweep is seeded by.
+enum Sweep<'e> {
+    /// One updated edge (the serial regime).
+    Edge(&'e TemporalEdge),
+    /// A whole delta batch, with the arrival/expiration exclusion flag.
+    Batch(&'e [TemporalEdge], bool),
 }
 
 impl<'g> TcmEngine<'g> {
@@ -56,6 +91,7 @@ impl<'g> TcmEngine<'g> {
             cfg,
             stats: EngineStats::default(),
             deltas_scratch: Vec::new(),
+            batch_scratch: Vec::new(),
             matcher_scratch: MatcherScratch::default(),
         })
     }
@@ -146,6 +182,17 @@ impl<'g> TcmEngine<'g> {
         kind: MatchKind,
         out: &mut Vec<MatchEvent>,
     ) {
+        self.find_matches_sweep(Sweep::Edge(edge), kind, out);
+    }
+
+    fn find_matches_sweep(&mut self, sweep: Sweep<'_>, kind: MatchKind, out: &mut Vec<MatchEvent>) {
+        let arrival = match &sweep {
+            Sweep::Edge(e) => e.time,
+            Sweep::Batch(edges, _) => match edges.first() {
+                Some(e) => e.time,
+                None => return,
+            },
+        };
         let mut scratch = std::mem::take(&mut self.matcher_scratch);
         let (s, found_count) = {
             let mut m = Matcher::new(
@@ -157,7 +204,14 @@ impl<'g> TcmEngine<'g> {
                 self.stats.search_nodes,
                 &mut scratch,
             );
-            m.run(edge);
+            match sweep {
+                Sweep::Edge(edge) => {
+                    m.run(edge);
+                }
+                Sweep::Batch(edges, exclude_later) => {
+                    m.run_batch(edges, exclude_later);
+                }
+            }
             (m.stats, m.found_count)
         };
         // Merge matcher counters into the engine stats.
@@ -174,8 +228,8 @@ impl<'g> TcmEngine<'g> {
         }
         if self.cfg.collect_matches {
             let at = match kind {
-                MatchKind::Occurred => edge.time,
-                MatchKind::Expired => edge.time.plus(self.queue.delta()),
+                MatchKind::Occurred => arrival,
+                MatchKind::Expired => arrival.plus(self.queue.delta()),
             };
             out.extend(scratch.found.drain(..).map(|embedding| MatchEvent {
                 kind,
@@ -188,20 +242,170 @@ impl<'g> TcmEngine<'g> {
         self.matcher_scratch = scratch;
     }
 
-    /// Processes the whole stream and returns every match event.
+    /// Processes one same-`(timestamp, kind)` delta batch, appending any
+    /// match events to `out`. Returns `false` when the stream is exhausted
+    /// or a total budget was hit.
+    ///
+    /// Reports exactly the match multiset the serial [`TcmEngine::step`]
+    /// order would (the differential suite pins this), while paying one
+    /// filter/DCS worklist drain and one sweep per batch instead of one per
+    /// edge. Per-event search budgets apply per *batch* in this regime, so
+    /// budget-limited runs may abort at different points than serial ones.
+    /// Interleaving with [`TcmEngine::step`] is safe: a call that lands
+    /// mid-batch completes that batch serially (one event per call) before
+    /// batching resumes.
+    pub fn step_batch(&mut self, out: &mut Vec<MatchEvent>) -> bool {
+        if self.stats.budget_exhausted {
+            return false;
+        }
+        // Mixing step() and step_batch() can leave the cursor mid-batch;
+        // the batch handlers' completeness invariant (every same-timestamp
+        // edge is in the batch) would then be violated, so finish the
+        // partial batch serially and resume batching at the next boundary.
+        if !self.at_batch_boundary() {
+            return self.step(out);
+        }
+        let Some(batch) = self.queue.batch_at(self.next_event) else {
+            return false;
+        };
+        let (kind, n) = (batch.kind, batch.len());
+        let mut edges = std::mem::take(&mut self.batch_scratch);
+        edges.clear();
+        edges.extend(batch.events.iter().map(|ev| *self.full.edge(ev.edge)));
+        self.next_event += n;
+        self.stats.events += n as u64;
+        self.stats.batches += 1;
+        match kind {
+            EventKind::Insert => {
+                // Window first (whole batch), then one filter/DCS delta,
+                // then one combined sweep.
+                self.window.begin_batch();
+                for e in &edges {
+                    self.window.insert_deferred(e);
+                }
+                let mut deltas = std::mem::take(&mut self.deltas_scratch);
+                deltas.clear();
+                let (full, q, w) = (&self.full, &self.q, &self.window);
+                // A singleton batch is semantically identical under the
+                // serial handler (batch completeness: no other alive edge
+                // shares its timestamp) and skips the batch bookkeeping, so
+                // uniform streams pay nothing for batching support.
+                if let [e] = edges[..] {
+                    self.bank.on_insert(q, w, &e, |k| full.edge(k), &mut deltas);
+                } else {
+                    self.bank
+                        .on_insert_batch(q, w, &edges, |k| full.edge(k), &mut deltas);
+                }
+                self.dcs.apply(q, w, |k| full.edge(k), &deltas);
+                self.deltas_scratch = deltas;
+                let sweep = match &edges[..] {
+                    [e] => Sweep::Edge(e),
+                    _ => Sweep::Batch(&edges, true),
+                };
+                self.find_matches_sweep(sweep, MatchKind::Occurred, out);
+            }
+            EventKind::Delete => {
+                // Expired embeddings are enumerated before any removal (the
+                // structures still admit every expiring edge); the per-seed
+                // exclusion reproduces the serial progressive removals.
+                let sweep = match &edges[..] {
+                    [e] => Sweep::Edge(e),
+                    _ => Sweep::Batch(&edges, false),
+                };
+                self.find_matches_sweep(sweep, MatchKind::Expired, out);
+                self.window.begin_batch();
+                for e in &edges {
+                    self.window.remove_deferred(e);
+                }
+                let mut deltas = std::mem::take(&mut self.deltas_scratch);
+                deltas.clear();
+                let (full, q, w) = (&self.full, &self.q, &self.window);
+                if let [e] = edges[..] {
+                    self.bank.on_delete(q, w, &e, |k| full.edge(k), &mut deltas);
+                } else {
+                    self.bank
+                        .on_delete_batch(q, w, &edges, |k| full.edge(k), &mut deltas);
+                }
+                self.dcs.apply(q, w, |k| full.edge(k), &deltas);
+                self.deltas_scratch = deltas;
+            }
+        }
+        self.batch_scratch = edges;
+        // DCS size stats are sampled once per batch at the post-batch state
+        // and weighted by the batch length, so averages stay comparable to
+        // the serial per-event sampling on uniform streams.
+        let de = self.bank.num_pairs() as u64;
+        let dv = self.dcs.num_candidate_vertices() as u64;
+        self.stats.peak_dcs_edges = self.stats.peak_dcs_edges.max(de);
+        self.stats.sum_dcs_edges += de * n as u64;
+        self.stats.peak_dcs_vertices = self.stats.peak_dcs_vertices.max(dv);
+        self.stats.sum_dcs_vertices += dv * n as u64;
+        true
+    }
+
+    /// Is the event cursor at a delta-batch boundary (start of stream or a
+    /// `(time, kind)` change)? Serial stepping can park it mid-batch.
+    fn at_batch_boundary(&self) -> bool {
+        let events = self.queue.events();
+        let Some(next) = events.get(self.next_event) else {
+            return true;
+        };
+        match self.next_event.checked_sub(1).and_then(|i| events.get(i)) {
+            Some(prev) => (prev.at, prev.kind) != (next.at, next.kind),
+            None => true,
+        }
+    }
+
+    /// One step in the mode [`EngineConfig::batching`] selects.
+    #[inline]
+    fn step_dispatch(&mut self, out: &mut Vec<MatchEvent>) -> bool {
+        if self.cfg.batching {
+            self.step_batch(out)
+        } else {
+            self.step(out)
+        }
+    }
+
+    /// Processes the whole stream and returns every match event, honouring
+    /// [`EngineConfig::batching`].
     pub fn run(&mut self) -> Vec<MatchEvent> {
         let mut out = Vec::new();
-        while self.step(&mut out) {}
+        while self.step_dispatch(&mut out) {}
+        out
+    }
+
+    /// Processes the whole stream in delta batches regardless of the
+    /// configured mode.
+    pub fn run_batched(&mut self) -> Vec<MatchEvent> {
+        let mut out = Vec::new();
+        while self.step_batch(&mut out) {}
         out
     }
 
     /// Processes the whole stream counting matches without materializing
-    /// them (used by the benchmark harness).
+    /// them (used by the benchmark harness), honouring
+    /// [`EngineConfig::batching`].
     pub fn run_counting(&mut self) -> &EngineStats {
         let mut out = Vec::new();
-        while self.step(&mut out) {
+        while self.step_dispatch(&mut out) {
             out.clear();
         }
         &self.stats
+    }
+
+    /// From-scratch consistency audit of every incremental structure
+    /// (filter tables, bank membership, DCS candidacies) against the
+    /// current window — the invariant the differential suite checks after
+    /// every batch.
+    #[doc(hidden)]
+    pub fn check_consistency(&self) {
+        let alive: Vec<&tcsm_graph::TemporalEdge> = self
+            .window
+            .buckets()
+            .flat_map(|b| b.iter().map(|r| self.full.edge(r.key)))
+            .collect();
+        self.bank
+            .check_consistency(&self.q, &self.window, alive.into_iter());
+        self.dcs.check_consistency(&self.q, &self.window);
     }
 }

@@ -14,6 +14,23 @@
 //! 4. the backtracking matcher `FindMatches` (Algorithm 4) with the three
 //!    time-constrained pruning techniques of §V ([`matcher`]).
 //!
+//! # Batched delta application
+//!
+//! Real temporal streams are bursty: many edges share one timestamp, and
+//! the serial Algorithm 1 pays a full filter/DCS propagation plus a
+//! `FindMatches` sweep per edge. With [`config::EngineConfig::batching`]
+//! (or [`engine::TcmEngine::step_batch`] directly) the engine applies each
+//! same-`(timestamp, kind)` group as *one* delta: the window is mutated for
+//! the whole group (drained pair buckets stay id-resolvable until the next
+//! group), each filter instance drains a single combined worklist, the DCS
+//! applies one monotone delta, and one combined sweep — seeded by every
+//! group edge under a per-seed same-timestamp exclusion — reports exactly
+//! the serial match multiset (pinned by `tests/batch_equivalence.rs` at the
+//! workspace root). Nothing is staged across group boundaries: all batch
+//! scratch (edge list, seed ranges, worklists) is engine-owned and reused,
+//! and slab reclamation happens when the next group opens. See
+//! [`engine`]'s module docs for the staging timeline.
+//!
 //! ```
 //! use tcsm_core::{TcmEngine, EngineConfig, MatchKind};
 //! use tcsm_graph::{QueryGraphBuilder, TemporalGraphBuilder};

@@ -51,6 +51,40 @@ enum Last {
     Vertex,
 }
 
+/// Same-timestamp exclusion context for batched sweeps.
+///
+/// A delta batch applies every same-timestamp edge to the structures before
+/// a single combined sweep runs, so the window already (still) contains
+/// batch edges that — under the serial event order — would not be visible
+/// to a given seed's `FindMatches` call. Per seed, the sweep excludes:
+///
+/// * **arrival batches**: batch records with key *greater* than the seed's
+///   (serial inserts them after the seed's sweep), so each new embedding is
+///   reported exactly once, at its greatest batch edge;
+/// * **expiration batches**: batch records with key *smaller* than the
+///   seed's (serial removed them before the seed's sweep), so each dying
+///   embedding is reported exactly once, at its smallest batch edge.
+///
+/// Batches are complete per arrival timestamp, so "is a batch record" is an
+/// arrival-time comparison.
+#[derive(Clone, Copy)]
+struct BatchCtx {
+    /// Arrival timestamp shared by every edge of the batch.
+    time: Ts,
+    /// The seed edge currently swept (never excluded itself).
+    seed: EdgeKey,
+    /// `true` for arrival batches, `false` for expiration batches.
+    exclude_later: bool,
+}
+
+impl BatchCtx {
+    /// Must the record be hidden from this seed's sweep?
+    #[inline]
+    fn excludes(self, key: EdgeKey, time: Ts) -> bool {
+        time == self.time && key != self.seed && ((key > self.seed) == self.exclude_later)
+    }
+}
+
 /// Search-state buffers that persist across `FindMatches` invocations.
 ///
 /// One stream event spawns one [`Matcher`]; the engine owns this scratch and
@@ -95,6 +129,8 @@ pub(crate) struct Matcher<'a> {
     cfg: &'a EngineConfig,
     /// Partial mapping state + pools, reused across events.
     s: &'a mut MatcherScratch,
+    /// Batched-sweep exclusion (None in serial mode).
+    batch: Option<BatchCtx>,
     mapped_edges: Set64,
     mapped_vertices: Set64,
     /// Output.
@@ -122,6 +158,7 @@ impl<'a> Matcher<'a> {
             bank,
             cfg,
             s: scratch,
+            batch: None,
             mapped_edges: Set64::EMPTY,
             mapped_vertices: Set64::EMPTY,
             found_count: 0,
@@ -167,6 +204,39 @@ impl<'a> Matcher<'a> {
                 if out == Outcome::Aborted {
                     return false;
                 }
+            }
+        }
+        true
+    }
+
+    /// One combined sweep over a delta batch: every batch edge seeds the
+    /// pinned search in event (= key) order, under the per-seed exclusion
+    /// of [`BatchCtx`]. Reproduces exactly the multiset of embeddings the
+    /// serial per-event sweeps report. `exclude_later` is `true` for
+    /// arrival batches, `false` for expiration batches (where the window
+    /// still holds every batch edge). Returns `false` on budget exhaustion.
+    pub(crate) fn run_batch(&mut self, seeds: &[TemporalEdge], exclude_later: bool) -> bool {
+        debug_assert!(
+            seeds.windows(2).all(|w| w[0].key < w[1].key),
+            "batch seeds must be in serial (key) order"
+        );
+        debug_assert!(
+            seeds.windows(2).all(|w| w[0].time == w[1].time),
+            "batch seeds must share one arrival timestamp"
+        );
+        // A size-one batch needs no exclusion: batches are complete per
+        // arrival timestamp, so no *other* record can share the seed's time
+        // — skipping the context keeps uniform streams on the exact serial
+        // candidate path.
+        let singleton = seeds.len() == 1;
+        for sigma in seeds {
+            self.batch = (!singleton).then_some(BatchCtx {
+                time: sigma.time,
+                seed: sigma.key,
+                exclude_later,
+            });
+            if !self.run(sigma) {
+                return false;
             }
         }
         true
@@ -311,6 +381,11 @@ impl<'a> Matcher<'a> {
         }
         for rec in bucket.iter() {
             if !(lo < rec.time && rec.time < hi) {
+                continue;
+            }
+            // Batched sweeps hide same-timestamp records the serial event
+            // order would not have made visible to this seed.
+            if self.batch.is_some_and(|b| b.excludes(rec.key, rec.time)) {
                 continue;
             }
             // DCS membership of the oriented pair.
@@ -528,49 +603,93 @@ impl<'a> Matcher<'a> {
         out
     }
 
+    /// DCS edge support of candidate `v` for query edge `e` towards the
+    /// mapped image `img_w`, read straight off the bucket id (`tail(e) ≠ u`
+    /// means the mapped endpoint is the DAG tail).
+    #[inline]
+    fn edge_supported(
+        &self,
+        e: QEdgeId,
+        u: QVertexId,
+        img_w: VertexId,
+        v: VertexId,
+        pid: tcsm_graph::PairId,
+    ) -> bool {
+        let tail_lt_head = if self.dcs.dag().tail(e) == u {
+            v < img_w
+        } else {
+            img_w < v
+        };
+        self.dcs.mult_at(pid, e, tail_lt_head) > 0
+    }
+
     /// `C_M(u)`: structural candidates of `u` (label, `d2`, injectivity, and
     /// DCS edge support towards every mapped neighbour), written into a
     /// pooled buffer. Temporal checks are deferred to the edge nodes so
     /// failing sets stay sound.
+    ///
+    /// The window hands out stable pair-bucket ids, and every vertex's
+    /// `(neighbour, id)` array is sorted, so support checks are pure array
+    /// walks: the pivot's array seeds the candidates (checking the pivot
+    /// edge's DCS row by id), and each further mapped neighbour prunes them
+    /// with one two-pointer merge — no per-candidate `(v, w) → PairId`
+    /// binary searches. A drained (dying) bucket's multiplicities are all
+    /// zero, so stale adjacency entries reject themselves.
     fn fill_vertex_candidates(&self, u: QVertexId, out: &mut Vec<VertexId>) {
         // Pivot: the mapped neighbour with the smallest alive neighbourhood.
-        let mut pivot: Option<(VertexId, usize)> = None;
-        for &(_, w) in self.q.incident_edges(u) {
+        let mut pivot: Option<(QEdgeId, VertexId, usize)> = None;
+        for &(e, w) in self.q.incident_edges(u) {
             if let Some(img) = self
                 .mapped_vertices
                 .contains(w)
                 .then(|| self.s.vmap[w].unwrap())
             {
                 let n = self.g.num_neighbors(img);
-                if pivot.is_none_or(|(_, pn)| n < pn) {
-                    pivot = Some((img, n));
+                if pivot.is_none_or(|(_, _, pn)| n < pn) {
+                    pivot = Some((e, img, n));
                 }
             }
         }
-        let (pivot_img, _) = pivot.expect("extendable vertex has a mapped neighbour");
-        let dag = self.dcs.dag();
-        'cand: for (v, _) in self.g.neighbors(pivot_img) {
+        let (pivot_e, pivot_img, _) = pivot.expect("extendable vertex has a mapped neighbour");
+        for &(v, pid) in self.g.neighbor_entries(pivot_img) {
             if self.g.label(v) != self.q.label(u) || self.vertex_used(v) {
                 continue;
             }
             if !self.dcs.d2(u, v) {
                 continue;
             }
-            for &(e, w) in self.q.incident_edges(u) {
-                if !self.mapped_vertices.contains(w) {
-                    continue;
+            if self.edge_supported(pivot_e, u, pivot_img, v, pid) {
+                out.push(v);
+            }
+        }
+        // Intersect with the DCS rows of every other mapped neighbour:
+        // `out` and the neighbour arrays are both ascending, so each pass
+        // is one linear merge.
+        for &(e, w) in self.q.incident_edges(u) {
+            if e == pivot_e || !self.mapped_vertices.contains(w) {
+                continue;
+            }
+            if out.is_empty() {
+                return;
+            }
+            let img_w = self.s.vmap[w].unwrap();
+            let entries = self.g.neighbor_entries(img_w);
+            let mut cursor = 0usize;
+            let mut keep = 0usize;
+            for idx in 0..out.len() {
+                let v = out[idx];
+                while cursor < entries.len() && entries[cursor].0 < v {
+                    cursor += 1;
                 }
-                let img_w = self.s.vmap[w].unwrap();
-                let supported = if dag.tail(e) == w {
-                    self.dcs.mult(self.g, e, img_w, v) > 0
-                } else {
-                    self.dcs.mult(self.g, e, v, img_w) > 0
-                };
-                if !supported {
-                    continue 'cand;
+                if cursor < entries.len()
+                    && entries[cursor].0 == v
+                    && self.edge_supported(e, u, img_w, v, entries[cursor].1)
+                {
+                    out[keep] = v;
+                    keep += 1;
                 }
             }
-            out.push(v);
+            out.truncate(keep);
         }
     }
 }

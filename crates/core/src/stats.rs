@@ -7,6 +7,9 @@ use serde::{Deserialize, Serialize};
 pub struct EngineStats {
     /// Stream events processed.
     pub events: u64,
+    /// Delta batches processed (0 in serial mode; ≤ `events` in batched
+    /// mode — the gap measures how bursty the stream's timestamps are).
+    pub batches: u64,
     /// Backtracking nodes visited (recursive `FindMatches` entries).
     pub search_nodes: u64,
     /// Complete time-constrained embeddings reported (occurred).

@@ -146,6 +146,165 @@ fn directed_mode_restricts_matches() {
     assert_eq!(occ_directed, 1);
 }
 
+/// A bursty stream: several arrivals per timestamp, so delta batches are
+/// non-trivial and expirations collide with same-instant arrivals.
+fn bursty_workload() -> (tcsm_graph::QueryGraph, tcsm_graph::TemporalGraph, i64) {
+    let (q, g0, _) = workload();
+    let mut b = TemporalGraphBuilder::new();
+    for &l in g0.labels() {
+        b.vertex(l);
+    }
+    // Re-time the stream onto a coarse grid: 3 edges share each tick.
+    for (i, e) in g0.edges().iter().enumerate() {
+        b.edge_full(e.src, e.dst, 1 + (i as i64 / 3), e.label);
+    }
+    let g = b.build().unwrap();
+    (q, g, 12)
+}
+
+#[test]
+fn batched_equals_serial_on_bursty_stream() {
+    let (q, g, delta) = bursty_workload();
+    for preset in [
+        AlgorithmPreset::Tcm,
+        AlgorithmPreset::TcmNoPruning,
+        AlgorithmPreset::TcmNoFilter,
+        AlgorithmPreset::SymBiPostCheck,
+    ] {
+        let cfg = EngineConfig {
+            preset,
+            ..Default::default()
+        };
+        let mut serial = TcmEngine::new(&q, &g, delta, cfg).unwrap();
+        let mut expect = serial.run();
+        let mut batched = TcmEngine::new(&q, &g, delta, cfg).unwrap();
+        let mut got = batched.run_batched();
+        assert_eq!(
+            serial.stats().occurred,
+            batched.stats().occurred,
+            "occurred diverged ({preset:?})"
+        );
+        assert_eq!(serial.stats().expired, batched.stats().expired);
+        let key = |m: &MatchEvent| (m.kind, m.at, m.embedding.clone());
+        expect.sort_by_key(key);
+        got.sort_by_key(key);
+        assert_eq!(expect, got, "match multiset diverged ({preset:?})");
+        assert!(batched.stats().batches > 0);
+        assert!(batched.stats().batches < batched.stats().events);
+    }
+}
+
+#[test]
+fn batching_config_flag_routes_run() {
+    let (q, g, delta) = bursty_workload();
+    let cfg = EngineConfig {
+        batching: true,
+        ..Default::default()
+    };
+    let mut e = TcmEngine::new(&q, &g, delta, cfg).unwrap();
+    let _ = e.run();
+    assert!(e.stats().batches > 0, "run() must take the batched path");
+    let mut e = TcmEngine::new(&q, &g, delta, EngineConfig::default()).unwrap();
+    let _ = e.run();
+    assert_eq!(e.stats().batches, 0, "default run() stays serial");
+}
+
+#[test]
+fn batched_step_consistency_after_every_batch() {
+    let (q, g, delta) = bursty_workload();
+    let mut e = TcmEngine::new(&q, &g, delta, Default::default()).unwrap();
+    let mut out = Vec::new();
+    while e.step_batch(&mut out) {
+        e.check_consistency();
+    }
+    assert_eq!(e.remaining_events(), 0);
+    assert_eq!(e.dcs_edges(), 0);
+    assert_eq!(e.dcs_vertices(), 0);
+}
+
+#[test]
+fn same_pair_expire_and_insert_in_one_instant() {
+    // Regression (half-applied-batch hazard): at t = 4 the only (v0, v1)
+    // edge expires — its bucket dies — and two new (v0, v1) edges arrive in
+    // the same instant's arrival batch, immediately after the delete batch
+    // recycled nothing yet. The filter/DCS must never observe the removal
+    // and insertions interleaved.
+    let mut qb = QueryGraphBuilder::new();
+    let a = qb.vertex(0);
+    let b = qb.vertex(1);
+    let c = qb.vertex(0);
+    let e0 = qb.edge(a, b);
+    let e1 = qb.edge(b, c);
+    qb.precede(e0, e1);
+    let q = qb.build().unwrap();
+    let mut gb = TemporalGraphBuilder::new();
+    let v0 = gb.vertex(0);
+    let v1 = gb.vertex(1);
+    let v2 = gb.vertex(0);
+    gb.edge(v0, v1, 1); // expires at 4 (δ = 3)
+    gb.edge(v0, v1, 4); // same pair, arrives the same instant
+    gb.edge(v0, v1, 4);
+    gb.edge(v1, v2, 5);
+    gb.edge(v1, v2, 2);
+    let g = gb.build().unwrap();
+    let delta = 3;
+    let mut serial = TcmEngine::new(&q, &g, delta, Default::default()).unwrap();
+    let mut expect = serial.run();
+    let mut batched = TcmEngine::new(&q, &g, delta, Default::default()).unwrap();
+    let mut out = Vec::new();
+    while batched.step_batch(&mut out) {
+        batched.check_consistency();
+    }
+    let key = |m: &MatchEvent| (m.kind, m.at, m.embedding.clone());
+    expect.sort_by_key(key);
+    out.sort_by_key(key);
+    assert_eq!(expect, out);
+    assert!(serial.stats().occurred > 0, "workload must produce matches");
+}
+
+#[test]
+fn interleaving_step_and_step_batch_is_exact() {
+    // Regression: a step_batch() call landing mid-batch (after serial
+    // step() calls cut into a same-timestamp group) must not process a
+    // *partial* group as if it were complete — it finishes the group
+    // serially, so any interleaving reproduces the pure-serial stream.
+    let (q, g, delta) = bursty_workload();
+    let mut serial = TcmEngine::new(&q, &g, delta, Default::default()).unwrap();
+    let expect = serial.run();
+    for serial_prefix in [1usize, 2, 3, 5, 7] {
+        let mut e = TcmEngine::new(&q, &g, delta, Default::default()).unwrap();
+        let mut got = Vec::new();
+        for _ in 0..serial_prefix {
+            assert!(e.step(&mut got));
+        }
+        while e.step_batch(&mut got) {}
+        assert_eq!(
+            expect, got,
+            "interleaved run diverged (serial prefix {serial_prefix})"
+        );
+    }
+}
+
+#[test]
+fn batched_counting_matches_serial_counting() {
+    let (q, g, delta) = bursty_workload();
+    let serial_cfg = EngineConfig {
+        collect_matches: false,
+        ..Default::default()
+    };
+    let batched_cfg = EngineConfig {
+        batching: true,
+        ..serial_cfg
+    };
+    let mut s = TcmEngine::new(&q, &g, delta, serial_cfg).unwrap();
+    let s = *s.run_counting();
+    let mut b = TcmEngine::new(&q, &g, delta, batched_cfg).unwrap();
+    let b = *b.run_counting();
+    assert_eq!(s.occurred, b.occurred);
+    assert_eq!(s.expired, b.expired);
+    assert_eq!(s.events, b.events);
+}
+
 #[test]
 fn dcs_stats_are_tracked() {
     let (q, g, delta) = workload();

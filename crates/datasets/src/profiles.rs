@@ -176,6 +176,30 @@ impl DatasetProfile {
         b.build().expect("generator produces valid graphs")
     }
 
+    /// [`DatasetProfile::generate`] with bursty timestamps: `burst` edges
+    /// share each tick instead of one, so same-timestamp delta batches are
+    /// non-trivial (`burst = 1` reproduces `generate` exactly). Edge counts,
+    /// endpoints and labels are identical to `generate` for the same seed —
+    /// only the time axis is compressed — which makes uniform-vs-bursty
+    /// comparisons (the batched-engine benchmark) apples-to-apples.
+    pub fn generate_bursty(&self, seed: u64, scale: f64, burst: usize) -> TemporalGraph {
+        assert!(burst >= 1, "burst length must be positive");
+        let uniform = self.generate(seed, scale);
+        if burst == 1 {
+            return uniform;
+        }
+        let mut b = TemporalGraphBuilder::new();
+        for &l in uniform.labels() {
+            b.vertex(l);
+        }
+        // `edges()` is in arrival order; compress each run of `burst`
+        // consecutive arrivals onto one tick.
+        for (i, e) in uniform.edges().iter().enumerate() {
+            b.edge_full(e.src, e.dst, 1 + (i / burst) as i64, e.label);
+        }
+        b.build().expect("re-timing preserves validity")
+    }
+
     /// The named window sizes of Table IV (`10k … 50k`), mapped onto the
     /// scaled stream: the paper's windows hold 10k–50k edges of a stream of
     /// millions; here window *i* holds `i/16` of the stream so the live
@@ -231,6 +255,28 @@ mod tests {
         times.sort_unstable();
         times.dedup();
         assert_eq!(times.len(), g.num_edges());
+    }
+
+    #[test]
+    fn bursty_generation_compresses_the_time_axis_only() {
+        let uniform = SUPERUSER.generate(5, 0.3);
+        let bursty = SUPERUSER.generate_bursty(5, 0.3, 4);
+        assert_eq!(uniform.num_edges(), bursty.num_edges());
+        assert_eq!(uniform.labels(), bursty.labels());
+        // Endpoints and labels match arrival-position-wise.
+        for (u, b) in uniform.edges().iter().zip(bursty.edges()) {
+            assert_eq!((u.src, u.dst, u.label), (b.src, b.dst, b.label));
+        }
+        // Exactly ⌈m/4⌉ distinct ticks.
+        let mut times: Vec<i64> = bursty.edges().iter().map(|e| e.time.raw()).collect();
+        times.sort_unstable();
+        times.dedup();
+        assert_eq!(times.len(), uniform.num_edges().div_ceil(4));
+        // burst = 1 is the identity.
+        assert_eq!(
+            SUPERUSER.generate_bursty(5, 0.3, 1).edges(),
+            uniform.edges()
+        );
     }
 
     #[test]

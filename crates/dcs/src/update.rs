@@ -25,10 +25,13 @@ pub(crate) enum Work {
 }
 
 impl Dcs {
-    /// Applies one event's DCS edge deltas (all additions or all removals).
+    /// Applies one event's or one delta batch's DCS edge deltas (all
+    /// additions or all removals — homogeneous, because arrival events/
+    /// batches only add pairs and expiration ones only remove them).
     ///
-    /// `g` is the window graph *after* the event; `lookup` resolves pair
-    /// keys to edge records (needed to place each pair's endpoint images).
+    /// `g` is the window graph *after* the whole event/batch (never
+    /// half-applied); `lookup` resolves pair keys to edge records (needed
+    /// to place each pair's endpoint images).
     pub fn apply<'a>(
         &mut self,
         q: &QueryGraph,
@@ -36,6 +39,10 @@ impl Dcs {
         lookup: impl Fn(tcsm_graph::EdgeKey) -> &'a TemporalEdge,
         deltas: &[DcsDelta],
     ) {
+        debug_assert!(
+            deltas.windows(2).all(|w| w[0].added == w[1].added),
+            "mixed add/remove deltas in one apply (half-applied batch?)"
+        );
         // Reused across events: the worklist allocation is engine-lifetime.
         let mut work = std::mem::take(&mut self.work_scratch);
         debug_assert!(work.is_empty());

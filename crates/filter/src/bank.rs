@@ -20,7 +20,7 @@
 //! configuration used in §VI-B.
 
 use crate::instance::FilterInstance;
-use crate::pair::{valid_orientations, CandPair};
+use crate::pair::{valid_orientations, CandPair, DirectPairs};
 use tcsm_dag::{Polarity, QueryDag};
 use tcsm_graph::{QueryGraph, TemporalEdge, WindowGraph};
 
@@ -134,9 +134,13 @@ pub struct FilterBank {
     members: MemberPages,
     num_pairs: usize,
     scratch_flips: Vec<CandPair>,
-    /// Valid `(query edge, orientation)` list of the current event, computed
-    /// once and shared by all four instances (reused allocation).
+    /// Valid `(query edge, orientation)` list of the current event/batch,
+    /// computed once and shared by all four instances (reused allocation).
+    /// In batched mode the lists of all batch edges are flattened here.
     scratch_orients: Vec<(tcsm_graph::QEdgeId, bool)>,
+    /// Per-batch-edge `(edge, orientation sub-range)` seeds (reused
+    /// allocation).
+    scratch_seeds: Vec<(TemporalEdge, (u32, u32))>,
 }
 
 impl FilterBank {
@@ -167,6 +171,7 @@ impl FilterBank {
             num_pairs: 0,
             scratch_flips: Vec::new(),
             scratch_orients: Vec::new(),
+            scratch_seeds: Vec::new(),
         }
     }
 
@@ -178,6 +183,39 @@ impl FilterBank {
                 self.scratch_orients.push((e, o));
             }
         }
+    }
+
+    /// Rebuilds the flattened orientation list and per-edge seed ranges for
+    /// a whole batch.
+    fn compute_orients_batch(&mut self, q: &QueryGraph, g: &WindowGraph, edges: &[TemporalEdge]) {
+        self.scratch_orients.clear();
+        self.scratch_seeds.clear();
+        for &sigma in edges {
+            let lo = self.scratch_orients.len() as u32;
+            for e in 0..q.num_edges() {
+                for o in valid_orientations(q, g, e, &sigma) {
+                    self.scratch_orients.push((e, o));
+                }
+            }
+            let hi = self.scratch_orients.len() as u32;
+            self.scratch_seeds.push((sigma, (lo, hi)));
+        }
+    }
+
+    /// Debug check that `sigma`'s window presence matches `expect_alive` —
+    /// the "no half-applied batches" guard: batch handlers run only once
+    /// the window reflects the *entire* batch.
+    fn debug_window_state(
+        &self,
+        g: &WindowGraph,
+        sigma: &TemporalEdge,
+        expect_alive: bool,
+    ) -> bool {
+        let alive = g
+            .pair(sigma.src, sigma.dst)
+            .map(|p| p.iter().any(|r| r.key == sigma.key))
+            .unwrap_or(false);
+        alive == expect_alive
     }
 
     /// The bank's filter mode.
@@ -307,6 +345,142 @@ impl FilterBank {
         self.scratch_orients = orients;
         // Deletion only ever lowers max-min values, so flipped members fail
         // at least one instance now; re-check to be robust to noisy reports.
+        for &pair in flips.iter() {
+            if !self.contains(pair) {
+                continue;
+            }
+            let other = lookup(pair.key);
+            if !self.passes_all(q, pair, other) {
+                self.remove_member(pair);
+                out.push(DcsDelta { pair, added: false });
+            }
+        }
+        self.scratch_flips = flips;
+    }
+
+    /// Handles a whole same-timestamp arrival batch with one table drain
+    /// per instance. `g` must already contain **every** batch edge (the
+    /// batch is applied to the window first, then filtered as one delta —
+    /// never half-applied), and the batch must be complete: every stream
+    /// edge with this arrival timestamp is in `edges`.
+    pub fn on_insert_batch<'a>(
+        &mut self,
+        q: &QueryGraph,
+        g: &WindowGraph,
+        edges: &[TemporalEdge],
+        lookup: impl Fn(tcsm_graph::EdgeKey) -> &'a TemporalEdge,
+        out: &mut Vec<DcsDelta>,
+    ) {
+        let Some(first) = edges.first() else { return };
+        let t = first.time;
+        debug_assert!(
+            edges.iter().all(|e| e.time == t),
+            "insert batch mixes timestamps"
+        );
+        debug_assert!(
+            edges.iter().all(|e| self.debug_window_state(g, e, true)),
+            "on_insert_batch observed a half-applied batch (edge missing from window)"
+        );
+        self.compute_orients_batch(q, g, edges);
+        let orients = std::mem::take(&mut self.scratch_orients);
+        let seeds = std::mem::take(&mut self.scratch_seeds);
+        let mut flips = std::mem::take(&mut self.scratch_flips);
+        flips.clear();
+        for inst in &mut self.instances {
+            inst.apply_batch(
+                q,
+                g,
+                &seeds,
+                &orients,
+                DirectPairs::ArrivedAt(t),
+                &mut flips,
+            );
+        }
+        // Pairs of the batch edges themselves: evaluate all four conditions
+        // directly against the post-batch tables.
+        for &(ref sigma, (lo, hi)) in &seeds {
+            for &(e, o) in &orients[lo as usize..hi as usize] {
+                let pair = CandPair {
+                    qedge: e,
+                    key: sigma.key,
+                    a_to_src: o,
+                };
+                if self.passes_all(q, pair, sigma) && self.insert_member(pair) {
+                    out.push(DcsDelta { pair, added: true });
+                }
+            }
+        }
+        self.scratch_orients = orients;
+        self.scratch_seeds = seeds;
+        // Flipped pairs of other alive edges (batch edges are excluded by
+        // `DirectPairs::ArrivedAt`): arrivals only raise max-min values, so
+        // flips can only add pairs.
+        for &pair in flips.iter() {
+            if self.contains(pair) {
+                continue;
+            }
+            let other = lookup(pair.key);
+            debug_assert!(other.time != t, "flip reported for a batch edge");
+            if self.passes_all(q, pair, other) {
+                self.insert_member(pair);
+                out.push(DcsDelta { pair, added: true });
+            }
+        }
+        self.scratch_flips = flips;
+    }
+
+    /// Handles a whole same-timestamp expiration batch with one table drain
+    /// per instance. `g` must no longer contain **any** batch edge.
+    pub fn on_delete_batch<'a>(
+        &mut self,
+        q: &QueryGraph,
+        g: &WindowGraph,
+        edges: &[TemporalEdge],
+        lookup: impl Fn(tcsm_graph::EdgeKey) -> &'a TemporalEdge,
+        out: &mut Vec<DcsDelta>,
+    ) {
+        let Some(first) = edges.first() else { return };
+        let t = first.time;
+        debug_assert!(
+            edges.iter().all(|e| e.time == t),
+            "delete batch mixes arrival timestamps"
+        );
+        debug_assert!(
+            edges.iter().all(|e| self.debug_window_state(g, e, false)),
+            "on_delete_batch observed a half-applied batch (edge still in window)"
+        );
+        self.compute_orients_batch(q, g, edges);
+        let orients = std::mem::take(&mut self.scratch_orients);
+        let seeds = std::mem::take(&mut self.scratch_seeds);
+        // All pairs of the batch edges leave the DCS unconditionally.
+        for &(ref sigma, (lo, hi)) in &seeds {
+            for &(e, o) in &orients[lo as usize..hi as usize] {
+                let pair = CandPair {
+                    qedge: e,
+                    key: sigma.key,
+                    a_to_src: o,
+                };
+                if self.remove_member(pair) {
+                    out.push(DcsDelta { pair, added: false });
+                }
+            }
+        }
+        let mut flips = std::mem::take(&mut self.scratch_flips);
+        flips.clear();
+        for inst in &mut self.instances {
+            inst.apply_batch(
+                q,
+                g,
+                &seeds,
+                &orients,
+                DirectPairs::ArrivedAt(t),
+                &mut flips,
+            );
+        }
+        self.scratch_orients = orients;
+        self.scratch_seeds = seeds;
+        // Expirations only lower max-min values, so flipped members fail at
+        // least one instance now; re-check to be robust to noisy reports.
         for &pair in flips.iter() {
             if !self.contains(pair) {
                 continue;

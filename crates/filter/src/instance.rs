@@ -30,7 +30,7 @@
 //! on delete, in the effective domain), so the worklist converges and each
 //! candidate pair flips its per-instance status at most once per event.
 
-use crate::pair::{valid_orientations, CandPair};
+use crate::pair::{valid_orientations, CandPair, DirectPairs};
 use tcsm_dag::{Polarity, QueryDag};
 use tcsm_graph::{
     DenseBits, EdgeConstraint, PairEdges, QEdgeId, QVertexId, QueryGraph, TemporalEdge, Ts,
@@ -432,10 +432,47 @@ impl FilterInstance {
         orients: &[(QEdgeId, bool)],
         flips: &mut Vec<CandPair>,
     ) {
+        self.begin_update();
+        self.seed_update(q, sigma, orients);
+        self.propagate(q, g, DirectPairs::Edge(sigma.key), flips);
+    }
+
+    /// Applies a whole same-timestamp delta batch with **one** worklist
+    /// drain: every `(edge, orientation range)` seed enqueues its tail
+    /// entries, then propagation runs once. All batch edges move the tables
+    /// in the same direction (arrivals raise, expirations lower — in the
+    /// effective domain), so monotonicity and the ≤-once-per-entry
+    /// recompute bound hold per batch exactly as they do per event.
+    ///
+    /// `orients` is the flattened orientation list shared by all four
+    /// instances; each seed carries its sub-range. `direct` names the pairs
+    /// the bank evaluates directly (all batch-edge pairs), which are
+    /// excluded from flip reports.
+    pub fn apply_batch(
+        &mut self,
+        q: &QueryGraph,
+        g: &WindowGraph,
+        seeds: &[(TemporalEdge, (u32, u32))],
+        orients: &[(QEdgeId, bool)],
+        direct: DirectPairs,
+        flips: &mut Vec<CandPair>,
+    ) {
+        self.begin_update();
+        for &(ref sigma, (lo, hi)) in seeds {
+            self.seed_update(q, sigma, &orients[lo as usize..hi as usize]);
+        }
+        self.propagate(q, g, direct, flips);
+    }
+
+    /// Opens one update (event or batch): fresh dedup generation.
+    fn begin_update(&mut self) {
         debug_assert!(self.pending_pos == 0);
         self.next_gen();
-        // Phase (i): seed the entries whose child-term gained or lost a
-        // parallel edge — the tail image of every orientation σ can take.
+    }
+
+    /// Phase (i): seed the entries whose child-term gained or lost a
+    /// parallel edge — the tail image of every orientation σ can take.
+    fn seed_update(&mut self, q: &QueryGraph, sigma: &TemporalEdge, orients: &[(QEdgeId, bool)]) {
         for &(e, o) in orients {
             let pair = CandPair {
                 qedge: e,
@@ -446,7 +483,17 @@ impl FilterInstance {
             let v_tail = pair.image_of(q, sigma, tail);
             self.enqueue(tail, v_tail);
         }
-        // Phase (ii): propagate to parents while entries keep changing.
+    }
+
+    /// Phase (ii): propagate to parents while entries keep changing,
+    /// flip-reporting pairs of alive edges outside `direct`.
+    fn propagate(
+        &mut self,
+        q: &QueryGraph,
+        g: &WindowGraph,
+        direct: DirectPairs,
+        flips: &mut Vec<CandPair>,
+    ) {
         let mut scratch = std::mem::take(&mut self.scratch);
         let mut pending = std::mem::take(&mut self.pending);
         while let Some((u, v)) = self.pop_deepest() {
@@ -492,7 +539,9 @@ impl FilterInstance {
                         matched = true;
                         if report {
                             let teff = self.eff(rec.time);
-                            if (teff < old_val) != (teff < new_val) && rec.key != sigma.key {
+                            if (teff < old_val) != (teff < new_val)
+                                && !direct.contains(rec.key, rec.time)
+                            {
                                 // Orientation: which endpoint of the stored
                                 // record is the image of the query edge's a?
                                 let qe = q.edge(eparent);

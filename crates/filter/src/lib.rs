@@ -28,6 +28,18 @@
 //! worklist itself drains in reverse-topological order so each entry
 //! recomputes at most once per event, and recompute scratch buffers are
 //! owned by the instance and reused.
+//!
+//! # Batched updates
+//!
+//! A same-timestamp delta batch (all arrivals, or all expirations — see
+//! `tcsm_graph::stream`) moves every table value in one direction, so the
+//! whole batch is applied with a *single* worklist drain per instance:
+//! every batch edge seeds the worklist, then propagation runs once, and
+//! each `(u, v)` entry recomputes at most once per **batch** instead of
+//! once per edge. [`bank::FilterBank::on_insert_batch`] /
+//! [`bank::FilterBank::on_delete_batch`] wrap this and emit the combined
+//! DCS delta; [`pair::DirectPairs`] tells the instances which pairs the
+//! bank evaluates directly (and must therefore not be flip-reported).
 
 pub mod bank;
 pub mod instance;
@@ -36,4 +48,4 @@ pub mod pair;
 
 pub use bank::{DcsDelta, FilterBank, FilterMode};
 pub use instance::FilterInstance;
-pub use pair::CandPair;
+pub use pair::{CandPair, DirectPairs};

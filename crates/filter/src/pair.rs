@@ -1,6 +1,36 @@
 //! Candidate pairs: an oriented match of a query edge onto a data edge.
 
-use tcsm_graph::{EdgeKey, QEdgeId, QVertexId, QueryGraph, TemporalEdge, VertexId, WindowGraph};
+use tcsm_graph::{
+    EdgeKey, QEdgeId, QVertexId, QueryGraph, TemporalEdge, Ts, VertexId, WindowGraph,
+};
+
+/// The data edges whose candidate pairs the bank evaluates *directly*
+/// during one update (and which the instances must therefore exclude from
+/// flip reports).
+///
+/// Serial per-event updates evaluate exactly the event's edge; batched
+/// updates evaluate every batch edge, and because a delta batch is
+/// *complete* per arrival timestamp (see `tcsm_graph::stream`), "is a batch
+/// edge" reduces to an arrival-timestamp comparison — no set lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirectPairs {
+    /// One edge, by key (the serial regime).
+    Edge(EdgeKey),
+    /// Every edge whose arrival timestamp equals the given instant (the
+    /// batched regime).
+    ArrivedAt(Ts),
+}
+
+impl DirectPairs {
+    /// Is the alive edge `(key, arrival time)` directly evaluated?
+    #[inline]
+    pub fn contains(self, key: EdgeKey, time: Ts) -> bool {
+        match self {
+            DirectPairs::Edge(k) => key == k,
+            DirectPairs::ArrivedAt(t) => time == t,
+        }
+    }
+}
 
 /// An oriented candidate `(ε, σ)`: query edge `qedge` mapped onto data edge
 /// `key`, with `a_to_src == true` meaning the query endpoint `a` maps to the

@@ -1,0 +1,164 @@
+//! Batched bank application equals serial per-event application.
+//!
+//! For every same-`(timestamp, kind)` group of a bursty stream, applying
+//! the group with `on_insert_batch`/`on_delete_batch` must leave the bank
+//! in exactly the state the serial per-edge calls produce, and must emit
+//! the same DCS delta multiset (serial deltas concatenated over the group).
+
+use tcsm_dag::build_best_dag;
+use tcsm_filter::{FilterBank, FilterMode};
+use tcsm_graph::query::paper_running_example;
+use tcsm_graph::{
+    EventKind, EventQueue, FxHashMap, TemporalEdge, TemporalGraph, TemporalGraphBuilder,
+    WindowGraph,
+};
+
+/// Figure 2a re-timed onto a coarse grid: σ arrivals collide in threes, so
+/// delta batches are non-trivial and expirations meet same-instant arrivals.
+fn bursty_figure_2a() -> TemporalGraph {
+    let mut b = TemporalGraphBuilder::new();
+    let labels = [0u32, 1, 5, 2, 3, 5, 4];
+    let v: Vec<_> = labels.iter().map(|&l| b.vertex(l)).collect();
+    let edges = [
+        (0, 1),
+        (3, 4),
+        (3, 4),
+        (0, 3),
+        (3, 6),
+        (0, 1),
+        (3, 6),
+        (0, 3),
+        (4, 6),
+        (4, 6),
+        (1, 4),
+        (0, 3),
+        (3, 4),
+        (3, 6),
+    ];
+    for (i, (a, c)) in edges.iter().enumerate() {
+        b.edge(v[*a], v[*c], 1 + (i as i64 / 3));
+    }
+    b.build().unwrap()
+}
+
+fn delta_counts(deltas: &[tcsm_filter::DcsDelta]) -> FxHashMap<u64, i64> {
+    let mut m = FxHashMap::default();
+    for d in deltas {
+        *m.entry(d.pair.pack()).or_insert(0) += if d.added { 1 } else { -1 };
+    }
+    m.retain(|_, v| *v != 0);
+    m
+}
+
+#[test]
+fn batch_bank_equals_serial_bank_per_group() {
+    for mode in [FilterMode::Tc, FilterMode::LabelOnly] {
+        for delta in [1i64, 2, 3] {
+            let q = paper_running_example();
+            let dag = build_best_dag(&q);
+            let g = bursty_figure_2a();
+            let mut ws = WindowGraph::new(g.labels().to_vec(), false);
+            let mut wb = WindowGraph::new(g.labels().to_vec(), false);
+            let mut serial = FilterBank::new(&q, &dag, mode, &ws);
+            let mut batched = FilterBank::new(&q, &dag, mode, &wb);
+            let queue = EventQueue::new(&g, delta).unwrap();
+            let mut sd = Vec::new();
+            let mut bd = Vec::new();
+            for batch in queue.batches() {
+                let edges: Vec<TemporalEdge> = batch.edges().map(|k| *g.edge(k)).collect();
+                sd.clear();
+                bd.clear();
+                match batch.kind {
+                    EventKind::Insert => {
+                        for e in &edges {
+                            ws.insert(e);
+                            serial.on_insert(&q, &ws, e, |k| g.edge(k), &mut sd);
+                        }
+                        wb.begin_batch();
+                        for e in &edges {
+                            wb.insert_deferred(e);
+                        }
+                        batched.on_insert_batch(&q, &wb, &edges, |k| g.edge(k), &mut bd);
+                    }
+                    EventKind::Delete => {
+                        for e in &edges {
+                            ws.remove(e);
+                            serial.on_delete(&q, &ws, e, |k| g.edge(k), &mut sd);
+                        }
+                        wb.begin_batch();
+                        for e in &edges {
+                            wb.remove_deferred(e);
+                        }
+                        batched.on_delete_batch(&q, &wb, &edges, |k| g.edge(k), &mut bd);
+                    }
+                }
+                assert_eq!(
+                    serial.num_pairs(),
+                    batched.num_pairs(),
+                    "membership count diverged after batch at {:?} ({mode:?}, δ={delta})",
+                    batch.at
+                );
+                assert_eq!(
+                    delta_counts(&sd),
+                    delta_counts(&bd),
+                    "delta multiset diverged after batch at {:?} ({mode:?}, δ={delta})",
+                    batch.at
+                );
+                let alive: Vec<TemporalEdge> = wb
+                    .buckets()
+                    .flat_map(|b| b.iter().map(|r| *g.edge(r.key)))
+                    .collect();
+                batched.check_consistency(&q, &wb, alive.iter());
+            }
+            assert_eq!(batched.num_pairs(), 0, "drained stream leaves members");
+        }
+    }
+}
+
+#[test]
+fn degenerate_single_batch_stream() {
+    // Every edge at one timestamp: one arrival batch inserts everything,
+    // one expiration batch drains everything.
+    let q = paper_running_example();
+    let dag = build_best_dag(&q);
+    let mut b = TemporalGraphBuilder::new();
+    let labels = [0u32, 1, 2, 3, 4];
+    let v: Vec<_> = labels.iter().map(|&l| b.vertex(l)).collect();
+    b.edge(v[0], v[1], 7);
+    b.edge(v[0], v[3], 7);
+    b.edge(v[1], v[3], 7);
+    b.edge(v[3], v[4], 7);
+    b.edge(v[2], v[3], 7);
+    let g = b.build().unwrap();
+    let mut w = WindowGraph::new(g.labels().to_vec(), false);
+    let mut bank = FilterBank::new(&q, &dag, FilterMode::Tc, &w);
+    let queue = EventQueue::new(&g, 5).unwrap();
+    let mut deltas = Vec::new();
+    let batches: Vec<_> = queue.batches().collect();
+    assert_eq!(batches.len(), 2);
+    for batch in batches {
+        let edges: Vec<TemporalEdge> = batch.edges().map(|k| *g.edge(k)).collect();
+        deltas.clear();
+        w.begin_batch();
+        match batch.kind {
+            EventKind::Insert => {
+                for e in &edges {
+                    w.insert_deferred(e);
+                }
+                bank.on_insert_batch(&q, &w, &edges, |k| g.edge(k), &mut deltas);
+            }
+            EventKind::Delete => {
+                for e in &edges {
+                    w.remove_deferred(e);
+                }
+                bank.on_delete_batch(&q, &w, &edges, |k| g.edge(k), &mut deltas);
+            }
+        }
+        let alive: Vec<TemporalEdge> = w
+            .buckets()
+            .flat_map(|b| b.iter().map(|r| *g.edge(r.key)))
+            .collect();
+        bank.check_consistency(&q, &w, alive.iter());
+    }
+    assert_eq!(bank.num_pairs(), 0);
+}

@@ -14,6 +14,20 @@
 //! A *temporal query graph* `q = (V, E, L_q, ≺)` additionally carries a
 //! strict partial order `≺` on its edge set (`order` module); an embedding
 //! must respect both the topology and `≺` (Definition II.3).
+//!
+//! # Batch memory model
+//!
+//! Bursty streams are processed in same-`(timestamp, kind)` *delta batches*
+//! ([`EventQueue::batches`]): every event of one instant-and-kind group is
+//! staged against the structures before any downstream consumer runs. The
+//! staging contract in this crate is the window's deferred reclamation —
+//! [`WindowGraph::begin_batch`] reclaims the pair buckets the *previous*
+//! batch drained, and [`WindowGraph::remove_deferred`] parks newly drained
+//! buckets on a dying list whose [`PairId`]s stay resolvable (reading as
+//! empty) until the next batch opens. Downstream pair-indexed slabs (DCS
+//! multiplicities, filter rows) therefore keep index-addressing removal
+//! deltas for a whole batch, and slab memory is reclaimed exactly one batch
+//! late — bounded by the alive-pair spread, never by stream length.
 
 pub mod bitset;
 pub mod data;

@@ -25,6 +25,19 @@
 //! DCS layers — which process an expiration *after* the window was updated —
 //! a stable id to index their removal deltas with, without any hash lookups
 //! and without dangling ids.
+//!
+//! # Batched mutation
+//!
+//! A same-timestamp delta batch removes (or inserts) several edges before
+//! the filter/DCS layers run once over the combined delta, so *several*
+//! buckets may be dying at once and all of their ids must stay resolvable
+//! until that batch's downstream processing completes. The batch protocol
+//! is: call [`WindowGraph::begin_batch`] (which reclaims every bucket left
+//! dying by the previous event or batch), then apply the batch's mutations
+//! with [`WindowGraph::insert_deferred`] / [`WindowGraph::remove_deferred`]
+//! — which never reclaim. The serial [`WindowGraph::insert`] /
+//! [`WindowGraph::remove`] are exactly `begin_batch` + the deferred form,
+//! i.e. a batch of size one, so the two regimes share every invariant.
 
 use crate::data::{EdgeKey, TemporalEdge, VertexId};
 use crate::query::Direction;
@@ -146,8 +159,9 @@ pub struct WindowGraph {
     /// The pair-bucket slab; `free` holds recycled slots.
     buckets: Vec<PairEdges>,
     free: Vec<PairId>,
-    /// Bucket emptied by the current event, still resolvable by id.
-    dying: Option<PairId>,
+    /// Buckets emptied by the current event/batch, still resolvable by id
+    /// (at most one in serial mode; one per drained pair in a delta batch).
+    dying: Vec<PairId>,
     /// Non-empty bucket count per vertex (`num_neighbors` in O(1)).
     live_deg: Vec<u32>,
     alive_edges: usize,
@@ -163,7 +177,7 @@ impl WindowGraph {
             adj: vec![Vec::new(); n],
             buckets: Vec::new(),
             free: Vec::new(),
-            dying: None,
+            dying: Vec::new(),
             live_deg: vec![0; n],
             alive_edges: 0,
             directed,
@@ -215,9 +229,9 @@ impl WindowGraph {
         self.adj[v as usize].binary_search_by_key(&w, |&(x, _)| x)
     }
 
-    /// Recycles the bucket emptied by the previous event, if any.
+    /// Recycles every bucket emptied by the previous event/batch, if any.
     fn flush_dying(&mut self) {
-        if let Some(id) = self.dying.take() {
+        while let Some(id) = self.dying.pop() {
             let (a, b) = {
                 let p = &self.buckets[id as usize];
                 debug_assert!(p.is_empty(), "dying bucket refilled");
@@ -233,10 +247,26 @@ impl WindowGraph {
         }
     }
 
+    /// Opens a delta batch: reclaims the buckets left dying by the previous
+    /// event or batch, so their [`PairId`]s are recycled and every id handed
+    /// out during the new batch stays resolvable until the *next* batch.
+    /// Serial [`WindowGraph::insert`]/[`WindowGraph::remove`] do this
+    /// implicitly per event.
+    #[inline]
+    pub fn begin_batch(&mut self) {
+        self.flush_dying();
+    }
+
     /// Inserts an arriving edge. Panics if it is older than an already-alive
     /// edge between the same endpoints (arrival order violated).
     pub fn insert(&mut self, e: &TemporalEdge) {
         self.flush_dying();
+        self.insert_deferred(e);
+    }
+
+    /// [`WindowGraph::insert`] without the implicit reclamation — one
+    /// mutation inside an open batch (see the module docs).
+    pub fn insert_deferred(&mut self, e: &TemporalEdge) {
         let (a, b) = (e.src.min(e.dst), e.src.max(e.dst));
         let rec = EdgeRecord {
             key: e.key,
@@ -245,7 +275,16 @@ impl WindowGraph {
             src_is_a: e.src == a,
         };
         let id = match self.adj_pos(a, b) {
-            Ok(pos) => self.adj[a as usize][pos].1,
+            Ok(pos) => {
+                let id = self.adj[a as usize][pos].1;
+                // Kind-homogeneous batches can't revive a bucket drained
+                // earlier in the same batch; a hit here must be alive.
+                debug_assert!(
+                    !self.buckets[id as usize].is_empty(),
+                    "insert into a dying bucket (half-applied batch?)"
+                );
+                id
+            }
             Err(pos_a) => {
                 let id = match self.free.pop() {
                     Some(id) => {
@@ -288,6 +327,14 @@ impl WindowGraph {
     /// Panics if the edge is not alive or not the oldest of its bucket.
     pub fn remove(&mut self, e: &TemporalEdge) {
         self.flush_dying();
+        self.remove_deferred(e);
+    }
+
+    /// [`WindowGraph::remove`] without the implicit reclamation — one
+    /// mutation inside an open batch. Every bucket the batch drains joins
+    /// the dying set and stays id-resolvable until the next
+    /// [`WindowGraph::begin_batch`] (or serial mutation).
+    pub fn remove_deferred(&mut self, e: &TemporalEdge) {
         let (a, b) = (e.src.min(e.dst), e.src.max(e.dst));
         let pos = self
             .adj_pos(a, b)
@@ -297,8 +344,8 @@ impl WindowGraph {
         let front = bucket.edges.pop_front().expect("bucket empty");
         assert_eq!(front.key, e.key, "expiry order violated");
         if bucket.edges.is_empty() {
-            // Keep the id resolvable for the rest of this event's processing.
-            self.dying = Some(id);
+            // Keep the id resolvable for the rest of this batch's processing.
+            self.dying.push(id);
             self.live_deg[a as usize] -= 1;
             self.live_deg[b as usize] -= 1;
         }
@@ -361,6 +408,17 @@ impl WindowGraph {
     #[inline]
     pub fn num_neighbors(&self, v: VertexId) -> usize {
         self.live_deg[v as usize] as usize
+    }
+
+    /// The raw sorted `(neighbour, bucket id)` array of `v` — the substrate
+    /// for merge-style intersections against pair-indexed tables. Unlike
+    /// [`WindowGraph::neighbors`] this may include entries of currently
+    /// dying (empty) buckets; callers must gate on bucket emptiness or on a
+    /// pair-indexed quantity that is zero for drained buckets (e.g. DCS
+    /// multiplicities).
+    #[inline]
+    pub fn neighbor_entries(&self, v: VertexId) -> &[(VertexId, PairId)] {
+        &self.adj[v as usize]
     }
 
     /// Iterates every alive pair bucket exactly once.
@@ -510,6 +568,60 @@ mod tests {
         // Next mutation recycles the id.
         w.remove(&es[2]);
         assert_eq!(w.pair_id(0, 1), None);
+    }
+
+    #[test]
+    fn batch_keeps_every_dying_bucket_resolvable() {
+        // Two buckets drain inside one delta batch: both ids must resolve
+        // until the next batch opens, then both get reclaimed.
+        let mut b = TemporalGraphBuilder::new();
+        let v0 = b.vertex(0);
+        let v1 = b.vertex(0);
+        let v2 = b.vertex(0);
+        b.edge(v0, v1, 1);
+        b.edge(v1, v2, 1);
+        let g = b.build().unwrap();
+        let es = g.edges().to_vec();
+        let mut w = WindowGraph::new(g.labels().to_vec(), false);
+        w.begin_batch();
+        for e in &es {
+            w.insert_deferred(e);
+        }
+        let id01 = w.pair_id(0, 1).unwrap();
+        let id12 = w.pair_id(1, 2).unwrap();
+        w.begin_batch();
+        for e in &es {
+            w.remove_deferred(e);
+        }
+        assert_eq!(w.num_alive_edges(), 0);
+        assert_eq!(w.pair_id(0, 1), Some(id01));
+        assert_eq!(w.pair_id(1, 2), Some(id12));
+        assert!(w.pair_by_id(id01).is_empty() && w.pair_by_id(id12).is_empty());
+        assert!(w.pair(0, 1).is_none() && w.pair(1, 2).is_none());
+        assert_eq!(w.neighbors(1).count(), 0);
+        // Raw entries still expose the dying buckets (callers gate on them).
+        assert_eq!(w.neighbor_entries(1).len(), 2);
+        w.begin_batch();
+        assert_eq!(w.pair_id(0, 1), None);
+        assert_eq!(w.pair_id(1, 2), None);
+        assert!(w.neighbor_entries(1).is_empty());
+    }
+
+    #[test]
+    fn serial_mutations_are_size_one_batches() {
+        // remove() = begin_batch() + remove_deferred(): the dying id from a
+        // serial removal is reclaimed by the next serial mutation.
+        let (mut w, es) = setup();
+        for e in &es {
+            w.insert(e);
+        }
+        w.remove(&es[0]);
+        w.remove(&es[1]);
+        let id01 = w.pair_id(0, 1).unwrap();
+        assert!(w.pair_by_id(id01).is_empty());
+        w.insert(&es[0]); // next serial mutation reclaims the dying bucket
+        assert_ne!(w.pair_id(0, 1), None);
+        assert_eq!(w.pair(0, 1).unwrap().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Differential suite for batched delta application: on random bursty
+//! streams — adversarial small multigraphs and Table-III-profile synthetic
+//! streams alike — the batched engine must report exactly the serial
+//! engine's match multiset for every algorithm preset, and every
+//! incremental structure must pass its from-scratch consistency audit after
+//! every delta batch.
+//!
+//! CI runs this suite in `--release` with `PROPTEST_CASES` raised; the
+//! defaults below keep plain `cargo test` debug runs quick.
+
+mod common;
+
+use common::{arb_bursty_graph, arb_query, normalize};
+use proptest::prelude::*;
+use tcsm::datasets::{QueryGen, ALL_PROFILES};
+use tcsm::prelude::*;
+
+const PRESETS: [AlgorithmPreset; 4] = [
+    AlgorithmPreset::Tcm,
+    AlgorithmPreset::TcmNoPruning,
+    AlgorithmPreset::TcmNoFilter,
+    AlgorithmPreset::SymBiPostCheck,
+];
+
+fn run_serial(
+    preset: AlgorithmPreset,
+    q: &QueryGraph,
+    g: &TemporalGraph,
+    delta: i64,
+    directed: bool,
+) -> Vec<MatchEvent> {
+    let cfg = EngineConfig {
+        preset,
+        directed,
+        ..Default::default()
+    };
+    let mut e = TcmEngine::new(q, g, delta, cfg).expect("engine builds");
+    e.run()
+}
+
+/// Runs the batched engine step by step, auditing every structure against
+/// its from-scratch recomputation after each batch.
+fn run_batched_audited(
+    preset: AlgorithmPreset,
+    q: &QueryGraph,
+    g: &TemporalGraph,
+    delta: i64,
+    directed: bool,
+    audit: bool,
+) -> (Vec<MatchEvent>, EngineStats) {
+    let cfg = EngineConfig {
+        preset,
+        directed,
+        batching: true,
+        ..Default::default()
+    };
+    let mut e = TcmEngine::new(q, g, delta, cfg).expect("engine builds");
+    let mut out = Vec::new();
+    while e.step_batch(&mut out) {
+        if audit {
+            e.check_consistency();
+        }
+    }
+    let stats = *e.stats();
+    (out, stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 32,
+        max_shrink_iters: 400,
+        ..ProptestConfig::default()
+    })]
+
+    /// Adversarial tiny multigraphs: duplicate timestamps, parallel edges,
+    /// same-pair expiry+arrival collisions. Full per-batch audit.
+    #[test]
+    fn batched_equals_serial_on_bursty_multigraphs(
+        g in arb_bursty_graph(),
+        q in arb_query(),
+        delta in 1i64..8,
+        directed in any::<bool>(),
+    ) {
+        for preset in PRESETS {
+            let expected = normalize(run_serial(preset, &q, &g, delta, directed));
+            let (got, stats) = run_batched_audited(preset, &q, &g, delta, directed, true);
+            prop_assert_eq!(&expected, &normalize(got), "preset {:?} diverged", preset);
+            prop_assert_eq!(stats.events, 2 * g.num_edges() as u64);
+            prop_assert!(stats.batches <= stats.events);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        max_shrink_iters: 100,
+        ..ProptestConfig::default()
+    })]
+
+    /// Table-III-profile streams, re-timed bursty, with generated queries.
+    /// The audit runs on the Tcm preset (the others share the structures).
+    #[test]
+    fn batched_equals_serial_on_profile_streams(
+        profile_idx in 0usize..ALL_PROFILES.len(),
+        burst in 2usize..6,
+        qseed in any::<u64>(),
+        size in 4usize..7,
+    ) {
+        let p = ALL_PROFILES[profile_idx];
+        let scale = 0.02;
+        let g = p.generate_bursty(qseed ^ 0x5eed, scale, burst);
+        let delta = (g.num_edges() as i64 / (4 * burst as i64)).max(2);
+        let qg = QueryGen::new(&g);
+        let Some(q) = qg.generate(size, 0.5, delta.max(4), qseed) else {
+            // Sparse scaled profiles sometimes can't host a query this big.
+            return Ok(());
+        };
+        for preset in PRESETS {
+            let expected = normalize(run_serial(preset, &q, &g, delta, false));
+            let (got, _) = run_batched_audited(
+                preset, &q, &g, delta, false,
+                preset == AlgorithmPreset::Tcm,
+            );
+            prop_assert_eq!(&expected, &normalize(got), "{}: preset {:?} diverged", p.name, preset);
+        }
+    }
+}
+
+#[test]
+fn serial_step_path_is_unchanged_by_batching_support() {
+    // Satellite pin: with `batching: false` the engine must walk the exact
+    // pre-batch per-event path — same events count, zero batches, and the
+    // same match stream in the same order as explicit `step()` calls.
+    let g = ALL_PROFILES[2].generate(21, 0.3);
+    let delta = ALL_PROFILES[2].window_sizes(0.3)[2];
+    let qg = QueryGen::new(&g);
+    let q = qg.generate(6, 0.5, delta / 2, 77).expect("query");
+    let mut via_run = TcmEngine::new(&q, &g, delta, EngineConfig::default()).unwrap();
+    let all = via_run.run();
+    let mut via_step = TcmEngine::new(&q, &g, delta, EngineConfig::default()).unwrap();
+    let mut stepped = Vec::new();
+    while via_step.step(&mut stepped) {}
+    assert_eq!(all, stepped);
+    assert_eq!(via_run.stats().batches, 0);
+    assert_eq!(via_run.stats(), via_step.stats());
+}

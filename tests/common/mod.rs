@@ -83,6 +83,32 @@ pub fn arb_query() -> impl Strategy<Value = QueryGraph> {
         })
 }
 
+/// Like [`arb_graph`], but with timestamps drawn from a tiny range so most
+/// instants carry several arrivals *and* several expirations — the
+/// worst-case regime for batched delta application.
+#[allow(dead_code)]
+pub fn arb_bursty_graph() -> impl Strategy<Value = TemporalGraph> {
+    (
+        3usize..7,
+        prop::collection::vec((0u32..8, 0u32..8, 1i64..6, 0u32..2), 6..22),
+        prop::collection::vec(0u32..2, 7),
+    )
+        .prop_map(|(n, edges, labels)| {
+            let mut b = TemporalGraphBuilder::new();
+            for &l in labels.iter().take(n) {
+                b.vertex(l);
+            }
+            for (a, c, t, l) in edges {
+                let a = a % n as u32;
+                let c = c % n as u32;
+                if a != c {
+                    b.edge_full(a, c, t, l);
+                }
+            }
+            b.build().expect("valid random graph")
+        })
+}
+
 /// Normalizes match events for set comparison.
 #[allow(dead_code)]
 pub fn normalize(mut evs: Vec<MatchEvent>) -> Vec<(MatchKind, Ts, Embedding)> {

@@ -59,6 +59,23 @@ impl Default for ProptestConfig {
     }
 }
 
+impl ProptestConfig {
+    /// Applies the `PROPTEST_CASES` environment override (same contract as
+    /// upstream proptest): when set to a positive integer it replaces the
+    /// per-test `cases` value, so CI can deepen the whole suite without
+    /// editing sources. Invalid values are ignored.
+    pub fn with_env_overrides(mut self) -> ProptestConfig {
+        if let Ok(v) = std::env::var("PROPTEST_CASES") {
+            if let Ok(n) = v.trim().parse::<u32>() {
+                if n > 0 {
+                    self.cases = n;
+                }
+            }
+        }
+        self
+    }
+}
+
 /// A generator of random values.
 pub trait Strategy {
     type Value;
@@ -349,13 +366,19 @@ macro_rules! proptest {
 #[doc(hidden)]
 #[macro_export]
 macro_rules! __proptest_tests {
+    // Doc comments (which expand to `#[doc = ...]`) may precede each entry,
+    // but the `#[test]` attribute itself stays a *required* literal so a
+    // forgotten one is still a compile error, never a silently-skipped test.
     (($cfg:expr); $(
+        $(#[doc = $doc:expr])*
         #[test]
         fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
     )*) => {$(
+        $(#[doc = $doc])*
         #[test]
         fn $name() {
-            let config: $crate::ProptestConfig = $cfg;
+            let config: $crate::ProptestConfig =
+                $crate::ProptestConfig::with_env_overrides($cfg);
             let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
             for case in 0..config.cases {
                 let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
