@@ -10,11 +10,12 @@
 //! and copy `target/criterion-stub/substrates.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tcsm_core::{EngineConfig, TcmEngine};
+use std::sync::Arc;
+use tcsm_core::{EngineConfig, TcmEngine, WorkerPool};
 use tcsm_dag::build_best_dag;
 use tcsm_datasets::{profiles::SUPERUSER, QueryGen};
 use tcsm_dcs::Dcs;
-use tcsm_filter::{FilterBank, FilterMode};
+use tcsm_filter::{Exec, FilterBank, FilterMode};
 use tcsm_graph::{EventKind, EventQueue, WindowGraph};
 
 fn bench(c: &mut Criterion) {
@@ -90,6 +91,42 @@ fn bench(c: &mut Criterion) {
                 })
             },
         );
+        // Thread sweep of the same filter+DCS maintenance loop: the four
+        // instance updates fan out over a shared worker pool per event.
+        for threads in [2usize, 4] {
+            let pool = Arc::new(WorkerPool::new(threads));
+            group.bench_with_input(
+                BenchmarkId::new(format!("maxmin_and_dcs_update_t{threads}"), size),
+                &q,
+                |b, q| {
+                    b.iter(|| {
+                        let dag = build_best_dag(q);
+                        let mut w = WindowGraph::new(g.labels().to_vec(), true);
+                        let mut bank = FilterBank::new(q, &dag, FilterMode::Tc, &w);
+                        bank.set_exec(Some(Arc::clone(&pool) as Arc<dyn Exec>));
+                        let mut dcs = Dcs::new(dag.clone(), q, &w);
+                        let queue = EventQueue::new(&g, delta).unwrap();
+                        let mut deltas = Vec::new();
+                        for ev in queue.iter() {
+                            let edge = *g.edge(ev.edge);
+                            deltas.clear();
+                            match ev.kind {
+                                EventKind::Insert => {
+                                    w.insert(&edge);
+                                    bank.on_insert(q, &w, &edge, |k| g.edge(k), &mut deltas);
+                                }
+                                EventKind::Delete => {
+                                    w.remove(&edge);
+                                    bank.on_delete(q, &w, &edge, |k| g.edge(k), &mut deltas);
+                                }
+                            }
+                            dcs.apply(q, &w, |k| g.edge(k), &deltas);
+                        }
+                        dcs.num_edges()
+                    })
+                },
+            );
+        }
         // End to end: the full Algorithm 1 pipeline including FindMatches.
         group.bench_with_input(BenchmarkId::new("engine_run", size), &q, |b, q| {
             b.iter(|| {
@@ -146,6 +183,38 @@ fn bench(c: &mut Criterion) {
                     engine.run_counting().occurred
                 })
             });
+        }
+        // Thread sweep of the batched bursty run: filter instances and the
+        // per-seed sweeps of every delta batch fan out over a shared pool.
+        // t1 runs a width-1 pool, whose dispatches inline on the caller:
+        // it prices the fan-out plumbing (per-seed matcher setup, shard and
+        // slot merges) without the publish/claim coordination, which only
+        // t2/t4 pay.
+        for threads in [1usize, 2, 4] {
+            let pool = Arc::new(WorkerPool::new(threads));
+            group.bench_with_input(
+                BenchmarkId::new(format!("engine_run_batched_bursty_t{threads}"), size),
+                &q,
+                |b, q| {
+                    b.iter(|| {
+                        let cfg = EngineConfig {
+                            collect_matches: false,
+                            directed: true,
+                            batching: true,
+                            ..Default::default()
+                        };
+                        let mut engine = TcmEngine::with_pool(
+                            q,
+                            &g_bursty,
+                            delta_bursty,
+                            cfg,
+                            Arc::clone(&pool),
+                        )
+                        .unwrap();
+                        engine.run_counting().occurred
+                    })
+                },
+            );
         }
     }
     group.finish();

@@ -115,6 +115,8 @@ pub fn run_one(
                 directed: rc.directed,
                 collect_matches: false,
                 batching: rc.batching,
+                // Honour the TCSM_THREADS-aware default for the pool width.
+                ..EngineConfig::default()
             };
             let mut e = TcmEngine::new(q, g, delta, cfg).expect("valid run inputs");
             let s = *e.run_counting();

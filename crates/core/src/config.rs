@@ -121,6 +121,38 @@ pub struct EngineConfig {
     /// budgets, which become per-batch) differs. Defaults to `false`, the
     /// paper's serial Algorithm 1.
     pub batching: bool,
+    /// Width of the intra-query worker pool (caller included): the four
+    /// filter-instance updates of every event/batch and the per-seed
+    /// searches of every delta-batch sweep fan out across this many lanes.
+    ///
+    /// * `0` — **serial** (the default): no pool is created and every phase
+    ///   runs on the caller, exactly the pre-parallel engine.
+    /// * `1` — the pool machinery with only the caller lane: useful for
+    ///   exercising the parallel code paths deterministically.
+    /// * `n > 1` — the caller plus `n − 1` parked worker threads.
+    ///
+    /// The reported match stream is byte-identical at every width (the
+    /// differential suite pins this); only thread placement changes. Runs
+    /// with any [`SearchBudget`] limit set keep their sweeps serial so
+    /// budget semantics stay exact.
+    ///
+    /// `Default::default()` reads the `TCSM_THREADS` environment variable
+    /// (once per process) so CI can route the whole test suite through the
+    /// parallel paths without touching sources; explicit field values
+    /// override it.
+    pub threads: usize,
+}
+
+/// The `TCSM_THREADS` override consulted by `EngineConfig::default()`
+/// (invalid or unset ⇒ 0, the serial engine).
+fn env_default_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("TCSM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0)
+    })
 }
 
 impl Default for EngineConfig {
@@ -132,6 +164,7 @@ impl Default for EngineConfig {
             directed: false,
             collect_matches: true,
             batching: false,
+            threads: env_default_threads(),
         }
     }
 }
@@ -144,6 +177,15 @@ impl EngineConfig {
             None if self.preset.pruning() => PruningFlags::ALL,
             _ => PruningFlags::NONE,
         }
+    }
+
+    /// Is any search budget configured? Budgeted runs keep their sweeps
+    /// serial (one cursor over the whole batch) so exhaustion points stay
+    /// exact; unbudgeted ones may fan seeds out across the pool.
+    pub fn budget_limited(&self) -> bool {
+        self.budget.max_nodes_per_event != 0
+            || self.budget.max_matches_per_event != 0
+            || self.budget.max_total_nodes != 0
     }
 }
 

@@ -68,6 +68,81 @@ impl Embedding {
     }
 }
 
+/// A flat bump arena of complete embeddings: all vertex images in one
+/// vector, all edge images in another, `nv`/`ne`-strided.
+///
+/// The matcher reports embeddings here instead of boxing two arrays per
+/// [`Embedding`], so the steady-state search path performs **zero**
+/// allocations (amortized) even in collect mode; real `Embedding`s are
+/// materialized only at the engine's API boundary, where match events leave
+/// the per-event scratch. Arenas are owned per worker lane under the
+/// parallel runtime and reset per event/batch, so capacity tracks the
+/// busiest single event, not the stream.
+#[derive(Debug, Default)]
+pub struct EmbeddingArena {
+    verts: Vec<VertexId>,
+    edges: Vec<EdgeKey>,
+    /// Strides: query vertex/edge counts (set by [`EmbeddingArena::reset`]).
+    nv: usize,
+    ne: usize,
+}
+
+impl EmbeddingArena {
+    /// Empties the arena and fixes the strides for the next event's query.
+    pub fn reset(&mut self, nv: usize, ne: usize) {
+        debug_assert!(nv > 0 && ne > 0, "queries have at least one edge");
+        self.verts.clear();
+        self.edges.clear();
+        self.nv = nv;
+        self.ne = ne;
+    }
+
+    /// Number of embeddings currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.verts.len().checked_div(self.nv).unwrap_or(0)
+    }
+
+    /// Is the arena empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.verts.is_empty()
+    }
+
+    /// Appends one embedding from the matcher's (complete) mapping rows.
+    pub(crate) fn push_mapping(&mut self, vmap: &[Option<VertexId>], emap: &[Option<EdgeKey>]) {
+        debug_assert_eq!((vmap.len(), emap.len()), (self.nv, self.ne));
+        self.verts.extend(vmap.iter().map(|v| v.unwrap()));
+        self.edges.extend(emap.iter().map(|e| e.unwrap()));
+    }
+
+    /// Appends a copy of embedding `i` with query edge `e` remapped to `k` —
+    /// the Case-1 candidate-swap clone, two `memcpy`s and one store.
+    pub(crate) fn push_clone_with_edge(&mut self, i: usize, e: usize, k: EdgeKey) {
+        let vs = i * self.nv..(i + 1) * self.nv;
+        let es = i * self.ne..(i + 1) * self.ne;
+        self.verts.extend_from_within(vs);
+        self.edges.extend_from_within(es);
+        let last = self.edges.len() - self.ne + e;
+        self.edges[last] = k;
+    }
+
+    /// Materializes embedding `i` as an owned [`Embedding`] (the only place
+    /// per-embedding boxes are allocated).
+    pub fn materialize(&self, i: usize) -> Embedding {
+        Embedding {
+            vertices: self.verts[i * self.nv..(i + 1) * self.nv].to_vec(),
+            edges: self.edges[i * self.ne..(i + 1) * self.ne].to_vec(),
+        }
+    }
+
+    /// Empties the arena without touching strides or capacity.
+    pub fn clear(&mut self) {
+        self.verts.clear();
+        self.edges.clear();
+    }
+}
+
 /// Whether a match appeared or disappeared.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MatchKind {

@@ -24,9 +24,11 @@
 //! embeddings after the batch's insertions.
 
 use crate::config::EngineConfig;
-use crate::embedding::{MatchEvent, MatchKind};
+use crate::embedding::{EmbeddingArena, MatchEvent, MatchKind};
 use crate::matcher::{Matcher, MatcherScratch};
+use crate::pool::WorkerPool;
 use crate::stats::EngineStats;
+use std::sync::Arc;
 use tcsm_dag::{build_best_dag, QueryDag};
 use tcsm_dcs::Dcs;
 use tcsm_filter::FilterBank;
@@ -55,6 +57,26 @@ pub struct TcmEngine<'g> {
     batch_scratch: Vec<TemporalEdge>,
     /// Search-state buffers reused by every `FindMatches` call.
     matcher_scratch: MatcherScratch,
+    /// The intra-query worker pool (`None` = fully serial engine). Shared
+    /// with the filter bank (instance updates) and the batched sweeps.
+    pool: Option<Arc<WorkerPool>>,
+    /// One matcher scratch per pool lane for fanned-out sweeps (lane 0 is
+    /// the caller); pooled and reused across events.
+    lane_scratch: Vec<MatcherScratch>,
+    /// Per-seed result slots of fanned-out sweeps (reused across batches);
+    /// merged in seed order so the match stream stays byte-identical.
+    seed_slots: Vec<SeedSlot>,
+}
+
+/// Where one fanned-out sweep seed parks its results until the seed-order
+/// merge on lane 0.
+#[derive(Default)]
+struct SeedSlot {
+    /// The seed's embeddings (arena swapped out of the lane scratch).
+    found: EmbeddingArena,
+    /// The seed's matcher counters.
+    stats: EngineStats,
+    found_count: u64,
 }
 
 /// What a `FindMatches` sweep is seeded by.
@@ -67,17 +89,52 @@ enum Sweep<'e> {
 
 impl<'g> TcmEngine<'g> {
     /// Builds an engine for query `q` over the stream of `g` with window
-    /// `delta` (Algorithm 1, lines 1–8).
+    /// `delta` (Algorithm 1, lines 1–8). With [`EngineConfig::threads`]
+    /// non-zero the engine owns a private [`WorkerPool`] of that width; use
+    /// [`TcmEngine::with_pool`] to share one pool across engines instead.
     pub fn new(
         q: &QueryGraph,
         g: &'g TemporalGraph,
         delta: i64,
         cfg: EngineConfig,
     ) -> Result<TcmEngine<'g>, GraphError> {
+        let pool = match cfg.threads {
+            0 => None,
+            n => Some(Arc::new(WorkerPool::new(n))),
+        };
+        TcmEngine::build(q, g, delta, cfg, pool)
+    }
+
+    /// Builds an engine that runs its parallel phases on an existing pool
+    /// (the pool outlives the engine; several engines may share it as long
+    /// as they are driven from different threads only via
+    /// [`crate::parallel::run_queries_on`]-style outer fan-outs, never
+    /// concurrently through one pool). [`EngineConfig::threads`] is ignored
+    /// for pool sizing.
+    pub fn with_pool(
+        q: &QueryGraph,
+        g: &'g TemporalGraph,
+        delta: i64,
+        cfg: EngineConfig,
+        pool: Arc<WorkerPool>,
+    ) -> Result<TcmEngine<'g>, GraphError> {
+        TcmEngine::build(q, g, delta, cfg, Some(pool))
+    }
+
+    fn build(
+        q: &QueryGraph,
+        g: &'g TemporalGraph,
+        delta: i64,
+        cfg: EngineConfig,
+        pool: Option<Arc<WorkerPool>>,
+    ) -> Result<TcmEngine<'g>, GraphError> {
         let queue = EventQueue::new(g, delta)?;
         let dag = build_best_dag(q);
         let window = WindowGraph::new(g.labels().to_vec(), cfg.directed);
-        let bank = FilterBank::new(q, &dag, cfg.preset.filter_mode(), &window);
+        let mut bank = FilterBank::new(q, &dag, cfg.preset.filter_mode(), &window);
+        if let Some(pool) = &pool {
+            bank.set_exec(Some(Arc::clone(pool) as Arc<dyn tcsm_filter::Exec>));
+        }
         let dcs = Dcs::new(dag.clone(), q, &window);
         Ok(TcmEngine {
             q: q.clone(),
@@ -93,6 +150,9 @@ impl<'g> TcmEngine<'g> {
             deltas_scratch: Vec::new(),
             batch_scratch: Vec::new(),
             matcher_scratch: MatcherScratch::default(),
+            pool,
+            lane_scratch: Vec::new(),
+            seed_slots: Vec::new(),
         })
     }
 
@@ -173,6 +233,7 @@ impl<'g> TcmEngine<'g> {
         self.stats.sum_dcs_edges += de;
         self.stats.peak_dcs_vertices = self.stats.peak_dcs_vertices.max(dv);
         self.stats.sum_dcs_vertices += dv;
+        self.stats.parallel_filter_rounds = self.bank.parallel_rounds();
         true
     }
 
@@ -193,6 +254,17 @@ impl<'g> TcmEngine<'g> {
                 None => return,
             },
         };
+        // A multi-seed sweep fans out across the pool when budgets permit
+        // (budgeted runs keep one serial cursor so exhaustion points are
+        // exact — see `EngineConfig::budget_limited`).
+        if let Sweep::Batch(edges, exclude_later) = sweep {
+            if edges.len() > 1 && !self.cfg.budget_limited() {
+                if let Some(pool) = self.pool.clone() {
+                    self.sweep_parallel(&pool, edges, exclude_later, kind, arrival, out);
+                    return;
+                }
+            }
+        }
         let mut scratch = std::mem::take(&mut self.matcher_scratch);
         let (s, found_count) = {
             let mut m = Matcher::new(
@@ -214,7 +286,56 @@ impl<'g> TcmEngine<'g> {
             }
             (m.stats, m.found_count)
         };
-        // Merge matcher counters into the engine stats.
+        self.merge_matcher_stats(&s, found_count, kind);
+        self.drain_found(&mut scratch.found, kind, arrival, out);
+        self.matcher_scratch = scratch;
+    }
+
+    /// Fans the per-seed searches of one delta batch out across the pool:
+    /// every seed runs on some lane with that lane's private scratch, parks
+    /// its results in its own [`SeedSlot`], and lane 0 merges the slots in
+    /// seed (= key = serial event) order afterwards — so the reported match
+    /// stream is byte-identical to the serial sweep at any pool width.
+    fn sweep_parallel(
+        &mut self,
+        pool: &WorkerPool,
+        seeds: &[TemporalEdge],
+        exclude_later: bool,
+        kind: MatchKind,
+        arrival: tcsm_graph::Ts,
+        out: &mut Vec<MatchEvent>,
+    ) {
+        let width = pool.width();
+        let mut lanes = std::mem::take(&mut self.lane_scratch);
+        lanes.resize_with(width, MatcherScratch::default);
+        let mut slots = std::mem::take(&mut self.seed_slots);
+        if slots.len() < seeds.len() {
+            slots.resize_with(seeds.len(), SeedSlot::default);
+        }
+        let (q, w, dcs, bank, cfg) = (&self.q, &self.window, &self.dcs, &self.bank, &self.cfg);
+        pool.for_each_with(&mut slots[..seeds.len()], &mut lanes, |i, slot, scratch| {
+            let mut m = Matcher::new(q, w, dcs, bank, cfg, 0, scratch);
+            m.run_seed(&seeds[i], exclude_later);
+            slot.stats = m.stats;
+            slot.found_count = m.found_count;
+            // Park the seed's embeddings in its slot; the lane keeps the
+            // slot's previous (cleared) arena for its next seed.
+            slot.found.clear();
+            std::mem::swap(&mut slot.found, &mut scratch.found);
+        });
+        self.lane_scratch = lanes;
+        for slot in &mut slots[..seeds.len()] {
+            let s = slot.stats;
+            self.merge_matcher_stats(&s, slot.found_count, kind);
+            self.drain_found(&mut slot.found, kind, arrival, out);
+        }
+        self.seed_slots = slots;
+        self.stats.parallel_sweeps += 1;
+        self.stats.parallel_sweep_seeds += seeds.len() as u64;
+    }
+
+    /// Merges one matcher run's counters into the engine stats.
+    fn merge_matcher_stats(&mut self, s: &EngineStats, found_count: u64, kind: MatchKind) {
         self.stats.search_nodes += s.search_nodes;
         self.stats.pruned_case1 += s.pruned_case1;
         self.stats.pruned_case2 += s.pruned_case2;
@@ -226,20 +347,33 @@ impl<'g> TcmEngine<'g> {
             MatchKind::Occurred => self.stats.occurred += found_count,
             MatchKind::Expired => self.stats.expired += found_count,
         }
-        if self.cfg.collect_matches {
+    }
+
+    /// Materializes an arena's embeddings as match events (collect mode)
+    /// and empties it. The per-embedding boxes are allocated here, at the
+    /// API boundary, and nowhere on the search path.
+    fn drain_found(
+        &self,
+        found: &mut EmbeddingArena,
+        kind: MatchKind,
+        arrival: tcsm_graph::Ts,
+        out: &mut Vec<MatchEvent>,
+    ) {
+        if self.cfg.collect_matches && !found.is_empty() {
             let at = match kind {
                 MatchKind::Occurred => arrival,
                 MatchKind::Expired => arrival.plus(self.queue.delta()),
             };
-            out.extend(scratch.found.drain(..).map(|embedding| MatchEvent {
-                kind,
-                at,
-                embedding,
-            }));
-        } else {
-            scratch.found.clear();
+            out.reserve(found.len());
+            for i in 0..found.len() {
+                out.push(MatchEvent {
+                    kind,
+                    at,
+                    embedding: found.materialize(i),
+                });
+            }
         }
-        self.matcher_scratch = scratch;
+        found.clear();
     }
 
     /// Processes one same-`(timestamp, kind)` delta batch, appending any
@@ -340,6 +474,7 @@ impl<'g> TcmEngine<'g> {
         self.stats.sum_dcs_edges += de * n as u64;
         self.stats.peak_dcs_vertices = self.stats.peak_dcs_vertices.max(dv);
         self.stats.sum_dcs_vertices += dv * n as u64;
+        self.stats.parallel_filter_rounds = self.bank.parallel_rounds();
         true
     }
 

@@ -31,6 +31,51 @@
 //! and slab reclamation happens when the next group opens. See
 //! [`engine`]'s module docs for the staging timeline.
 //!
+//! # Threading model
+//!
+//! The engine is serial by default ([`EngineConfig::threads`]` == 0`) and
+//! exactly reproduces the paper's Algorithm 1. With `threads = n` it owns a
+//! persistent [`pool::WorkerPool`] — the caller plus `n − 1` parked worker
+//! threads — and routes its two independent hot phases through it:
+//!
+//! * **Filter propagation**: the four `(DAG, polarity)`
+//!   [`tcsm_filter::FilterInstance`] updates of every event/batch are
+//!   mutually independent (each owns its max-min table; all read only the
+//!   immutable query and the already-mutated window). They fan out via the
+//!   [`tcsm_filter::Exec`] trait, each writing pass-flips into a private
+//!   shard; the bank merges shards **in instance order**, so the DCS sees
+//!   the exact serial delta sequence. The DCS apply itself and the bank's
+//!   membership updates stay on the caller.
+//! * **Batched sweeps**: the per-seed `FindMatches` searches of one delta
+//!   batch are independent (each has its own same-timestamp exclusion
+//!   window and reads only the settled window/DCS/bank). Seeds fan out via
+//!   [`pool::WorkerPool::for_each_with`], each lane using its own private
+//!   [`matcher`] scratch and embedding arena (both engine-owned, pooled,
+//!   and reused across events); per-seed results park in pre-assigned
+//!   slots, and the caller splices them back **in seed (= key = serial
+//!   event) order**.
+//!
+//! **Determinism**: because both merges happen in the serial order on the
+//! caller, the reported match stream — and every algorithmic counter in
+//! [`EngineStats`] (see [`EngineStats::semantic`]) — is byte-identical at
+//! every pool width, including `0`; `tests/parallel_equivalence.rs` at the
+//! workspace root pins this across all Table III profiles. Two carve-outs
+//! keep semantics exact rather than approximate: runs with any
+//! [`SearchBudget`] limit keep their sweeps serial (budget exhaustion
+//! points depend on the cursor order), and single-seed batches skip the
+//! fan-out entirely.
+//!
+//! **Ownership**: workers never own state across dispatches — every
+//! dispatch borrows engine-owned slabs (lane scratches, seed slots, flip
+//! shards) and returns them settled; the pool only schedules. Inter-query
+//! parallelism ([`parallel::run_queries_parallel`]) runs whole serial
+//! engines on the same pool type, one query per lane — the two fan-out
+//! levels are alternatives over one pool, never nested.
+//!
+//! The `TCSM_THREADS` environment variable seeds
+//! [`EngineConfig::default`]'s `threads` so whole test suites can be routed
+//! through the parallel paths (CI gates `TCSM_THREADS=8`).
+//!
 //! ```
 //! use tcsm_core::{TcmEngine, EngineConfig, MatchKind};
 //! use tcsm_graph::{QueryGraphBuilder, TemporalGraphBuilder};
@@ -61,10 +106,12 @@ pub mod embedding;
 pub mod engine;
 pub mod matcher;
 pub mod parallel;
+pub mod pool;
 pub mod stats;
 
 pub use config::{AlgorithmPreset, EngineConfig, PruningFlags, SearchBudget};
-pub use embedding::{Embedding, MatchEvent, MatchKind};
+pub use embedding::{Embedding, EmbeddingArena, MatchEvent, MatchKind};
 pub use engine::TcmEngine;
-pub use parallel::run_queries_parallel;
+pub use parallel::{run_queries_on, run_queries_parallel};
+pub use pool::WorkerPool;
 pub use stats::EngineStats;

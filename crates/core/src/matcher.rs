@@ -25,7 +25,7 @@
 //!    candidate fails identically and is pruned.
 
 use crate::config::EngineConfig;
-use crate::embedding::Embedding;
+use crate::embedding::EmbeddingArena;
 use crate::stats::EngineStats;
 use tcsm_dcs::Dcs;
 use tcsm_filter::{CandPair, FilterBank};
@@ -90,15 +90,18 @@ impl BatchCtx {
 /// One stream event spawns one [`Matcher`]; the engine owns this scratch and
 /// lends it out, so the per-event cost is a handful of `fill`s instead of
 /// five allocations plus a fresh candidate `Vec` per search-tree node. The
-/// pools hold candidate buffers recycled across recursion depths.
+/// pools hold candidate buffers recycled across recursion depths. Under the
+/// parallel runtime each worker lane owns one `MatcherScratch`, so fanned-
+/// out seeds never share mutable state.
 #[derive(Default)]
 pub(crate) struct MatcherScratch {
     vmap: Vec<Option<VertexId>>,
     emap: Vec<Option<EdgeKey>>,
     etime: Vec<Ts>,
     used_vertices: Vec<VertexId>,
-    /// Collected embeddings (drained by the engine after each event).
-    pub(crate) found: Vec<Embedding>,
+    /// Collected embeddings, flat in a bump arena (drained/materialized by
+    /// the engine after each event — the search path never allocates).
+    pub(crate) found: EmbeddingArena,
     /// Recycled edge-candidate buffers, one in flight per recursion depth.
     cand_pool: Vec<Vec<(EdgeKey, Ts)>>,
     /// Recycled vertex-candidate buffers.
@@ -117,6 +120,7 @@ impl MatcherScratch {
         self.etime.resize(ne, Ts::ZERO);
         self.used_vertices.clear();
         debug_assert!(self.found.is_empty(), "engine drains found between events");
+        self.found.reset(nv, ne);
     }
 }
 
@@ -230,16 +234,30 @@ impl<'a> Matcher<'a> {
         // candidate path.
         let singleton = seeds.len() == 1;
         for sigma in seeds {
-            self.batch = (!singleton).then_some(BatchCtx {
-                time: sigma.time,
-                seed: sigma.key,
-                exclude_later,
-            });
-            if !self.run(sigma) {
+            let go = if singleton {
+                self.batch = None;
+                self.run(sigma)
+            } else {
+                self.run_seed(sigma, exclude_later)
+            };
+            if !go {
                 return false;
             }
         }
         true
+    }
+
+    /// One seed of a (non-singleton) batched sweep: pins the batch-context
+    /// exclusion for `sigma` and runs its searches. This is the unit the
+    /// parallel runtime fans out — one call per seed, each on its own
+    /// [`MatcherScratch`] lane. Returns `false` on budget exhaustion.
+    pub(crate) fn run_seed(&mut self, sigma: &TemporalEdge, exclude_later: bool) -> bool {
+        self.batch = Some(BatchCtx {
+            time: sigma.time,
+            seed: sigma.key,
+            exclude_later,
+        });
+        self.run(sigma)
     }
 
     #[inline]
@@ -351,10 +369,7 @@ impl<'a> Matcher<'a> {
         }
         self.found_count += 1;
         if self.cfg.collect_matches {
-            self.s.found.push(Embedding {
-                vertices: self.s.vmap.iter().map(|v| v.unwrap()).collect(),
-                edges: self.s.emap.iter().map(|e| e.unwrap()).collect(),
-            });
+            self.s.found.push_mapping(&self.s.vmap, &self.s.emap);
         }
     }
 
@@ -485,12 +500,10 @@ impl<'a> Matcher<'a> {
                 self.found_count += clones;
                 self.stats.cloned_case1 += clones;
                 if self.cfg.collect_matches {
-                    let produced_range = sink_start..self.s.found.len();
+                    let sink_end = self.s.found.len();
                     for &(k, _) in &ec[1..] {
-                        for i in produced_range.clone() {
-                            let mut m = self.s.found[i].clone();
-                            m.edges[e] = k;
-                            self.s.found.push(m);
+                        for i in sink_start..sink_end {
+                            self.s.found.push_clone_with_edge(i, e, k);
                         }
                     }
                 }
@@ -699,7 +712,7 @@ mod tests {
     use super::*;
     use crate::config::AlgorithmPreset;
     use crate::engine::TcmEngine;
-    use crate::MatchKind;
+    use crate::{Embedding, MatchKind};
     use tcsm_graph::query::paper_running_example;
     use tcsm_graph::{QueryGraphBuilder, TemporalGraph, TemporalGraphBuilder};
 

@@ -3,16 +3,28 @@
 //!
 //! Continuous-matching deployments register many patterns against one
 //! stream; each [`crate::TcmEngine`] is independent, so queries parallelize
-//! embarrassingly. [`run_queries_parallel`] fans a query set out over
-//! scoped threads and returns per-query statistics in input order.
+//! embarrassingly. [`run_queries_parallel`] fans a query set out over the
+//! same [`WorkerPool`] runtime the engine's intra-query phases use — each
+//! query writes into its own pre-assigned result slot (no mutexes, no
+//! channels) and the slots come back in input order. [`run_queries_on`]
+//! does the same on a caller-owned pool, so one pool can serve repeated
+//! sweeps without respawning threads.
+//!
+//! Inner engines run **serially** (`threads: 0`): with one query per lane
+//! there is no idle parallelism left to exploit, and a nested dispatch on
+//! the same pool from a worker lane would deadlock. Intra-query and
+//! inter-query parallelism are therefore alternatives over the same pool,
+//! chosen by which fan-out owns it.
 
 use crate::config::EngineConfig;
 use crate::engine::TcmEngine;
+use crate::pool::WorkerPool;
 use crate::stats::EngineStats;
 use tcsm_graph::{GraphError, QueryGraph, TemporalGraph};
 
-/// Runs one engine per query over the same stream, `threads`-wide
-/// (0 = one thread per available CPU). Matches are counted, not collected.
+/// Runs one engine per query over the same stream, `threads` lanes wide
+/// (0 = one lane per available CPU), on a pool private to this call.
+/// Matches are counted, not collected.
 pub fn run_queries_parallel(
     queries: &[QueryGraph],
     g: &TemporalGraph,
@@ -20,42 +32,38 @@ pub fn run_queries_parallel(
     cfg: EngineConfig,
     threads: usize,
 ) -> Result<Vec<EngineStats>, GraphError> {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        threads
-    };
+    let width = WorkerPool::resolve_width(threads).min(queries.len().max(1));
+    run_queries_on(&WorkerPool::new(width), queries, g, delta, cfg)
+}
+
+/// [`run_queries_parallel`] on a caller-owned pool: one slot per query,
+/// claimed and filled by the pool's lanes, returned in input order.
+///
+/// Must not be called from inside a dispatch of the same pool (worker
+/// lanes cannot nest dispatches).
+pub fn run_queries_on(
+    pool: &WorkerPool,
+    queries: &[QueryGraph],
+    g: &TemporalGraph,
+    delta: i64,
+    cfg: EngineConfig,
+) -> Result<Vec<EngineStats>, GraphError> {
     let cfg = EngineConfig {
         collect_matches: false,
+        threads: 0,
         ..cfg
     };
-    let n = queries.len();
-    let mut results: Vec<Option<Result<EngineStats, GraphError>>> = (0..n).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_cell: Vec<std::sync::Mutex<Option<Result<EngineStats, GraphError>>>> =
-        results.drain(..).map(std::sync::Mutex::new).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(n.max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = TcmEngine::new(&queries[i], g, delta, cfg).map(|mut e| {
-                    let _ = e.run_counting();
-                    *e.stats()
-                });
-                *results_cell[i].lock().unwrap() = Some(out);
-            });
-        }
+    let mut slots: Vec<Option<Result<EngineStats, GraphError>>> = Vec::new();
+    slots.resize_with(queries.len(), || None);
+    pool.for_each_mut(&mut slots, |i, slot| {
+        *slot = Some(TcmEngine::new(&queries[i], g, delta, cfg).map(|mut e| {
+            let _ = e.run_counting();
+            *e.stats()
+        }));
     });
-
-    results_cell
+    slots
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("every query processed"))
+        .map(|slot| slot.expect("every query slot filled"))
         .collect()
 }
 
@@ -89,10 +97,19 @@ mod tests {
         (queries, g)
     }
 
+    fn serial_cfg() -> EngineConfig {
+        // Pin the comparison engines serial regardless of any TCSM_THREADS
+        // env override, matching what run_queries_on forces internally.
+        EngineConfig {
+            threads: 0,
+            ..EngineConfig::default()
+        }
+    }
+
     #[test]
     fn parallel_equals_sequential() {
         let (queries, g) = workload();
-        let cfg = EngineConfig::default();
+        let cfg = serial_cfg();
         let par = run_queries_parallel(&queries, &g, 10, cfg, 3).unwrap();
         for (i, q) in queries.iter().enumerate() {
             let mut e = TcmEngine::new(
@@ -113,8 +130,18 @@ mod tests {
     #[test]
     fn zero_threads_means_all_cpus() {
         let (queries, g) = workload();
-        let out = run_queries_parallel(&queries, &g, 10, EngineConfig::default(), 0).unwrap();
+        let out = run_queries_parallel(&queries, &g, 10, serial_cfg(), 0).unwrap();
         assert_eq!(out.len(), queries.len());
         assert!(out.iter().any(|s| s.occurred > 0));
+    }
+
+    #[test]
+    fn shared_pool_serves_repeated_sweeps() {
+        let (queries, g) = workload();
+        let pool = WorkerPool::new(2);
+        let first = run_queries_on(&pool, &queries, &g, 10, serial_cfg()).unwrap();
+        let second = run_queries_on(&pool, &queries, &g, 10, serial_cfg()).unwrap();
+        assert_eq!(first, second);
+        assert!(first.iter().any(|s| s.occurred > 0));
     }
 }

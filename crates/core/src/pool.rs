@@ -1,0 +1,498 @@
+//! The intra-query worker-pool runtime: long-lived parked workers that the
+//! engine's hot phases fan out over.
+//!
+//! A [`WorkerPool`] owns `width − 1` OS threads that park on a condvar
+//! between dispatches; the dispatching (caller) thread is always lane `0`
+//! and participates in every dispatch. `WorkerPool::new(1)` spawns nothing
+//! and runs dispatches inline on the caller (exercising the callers'
+//! shard/slot plumbing but not the publish/claim machinery below, which
+//! needs a second lane). Dispatches are
+//! *synchronous*: the call returns only when every index has finished, so
+//! borrowed (non-`'static`) data can cross into workers safely — the pool
+//! is a scoped executor with persistent threads instead of per-event
+//! `thread::scope` spawns.
+//!
+//! # Claim protocol
+//!
+//! Work indices are claimed lock-free from one **monotone 64-bit ticket
+//! counter** that is never reset: a dispatch of `n` indices owns the
+//! ticket range `[base, base + n)` where `base` is the counter value at
+//! publish time, and a lane claims index `ticket − base` by
+//! compare-exchanging the counter forward within that range. A straggler
+//! still holding the previous job sees every current ticket at or beyond
+//! its own range end and simply stops — because tickets never rewind,
+//! there is no ABA window in which it could claim (let alone execute) an
+//! index of a newer job through its stale closure pointer; soundness would
+//! require wrapping the full 64-bit counter. Completion is a separate
+//! atomic countdown of *finished* (not merely claimed) indices; the
+//! dispatcher blocks on it, which is what makes the borrow-crossing sound.
+//!
+//! Dispatches are one-at-a-time by contract: the engine drives its pool
+//! from one thread, and nesting (a job dispatching on its own pool) or
+//! concurrent dispatchers would orphan the outer range. A guard turns such
+//! misuse into an immediate panic instead of a silent deadlock.
+//!
+//! # Determinism
+//!
+//! The pool schedules indices in an arbitrary order onto arbitrary lanes;
+//! determinism is the *callers'* job and is achieved everywhere the engine
+//! uses the pool by writing results into pre-assigned slots (per filter
+//! instance, per sweep seed, per query) and merging them in slot order on
+//! lane 0 afterwards. See the crate docs' threading-model section.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A pending dispatch: the type-erased job, its index count, and its
+/// half-open ticket range start (see the module docs).
+#[derive(Clone, Copy)]
+struct Job {
+    /// Borrowed closure, lifetime-erased. Sound because `dispatch` does not
+    /// return until `remaining` hits zero and the monotone ticket counter
+    /// lets no stale lane claim into a newer range.
+    f: *const (dyn Fn(usize, usize) + Sync + 'static),
+    n: u32,
+    /// First ticket of this dispatch; index `i` is ticket `base + i`.
+    base: u64,
+}
+
+// SAFETY: the pointee is `Sync` (shared calls from many threads are fine)
+// and the claim protocol bounds its use to the dispatch that published it.
+unsafe impl Send for Job {}
+
+/// State guarded by the control mutex.
+struct Ctrl {
+    job: Option<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    ctrl: Mutex<Ctrl>,
+    /// Workers park here between dispatches.
+    work_cv: Condvar,
+    /// The dispatcher parks here while stragglers finish.
+    done_cv: Condvar,
+    /// The monotone ticket counter (never reset — see the module docs).
+    claim: AtomicU64,
+    /// Indices of the current dispatch not yet *finished*.
+    remaining: AtomicU64,
+    /// Single-dispatcher guard: set for the duration of one `dispatch`.
+    dispatching: std::sync::atomic::AtomicBool,
+    /// First panic payload out of any worker, re-thrown on the dispatcher.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Shared {
+    /// Claims the next index of `job`, or `None` when its ticket range is
+    /// exhausted. Monotonicity makes this immune to job turnover: a stale
+    /// job's range lies entirely at or below the current counter.
+    fn claim_index(&self, job: &Job) -> Option<usize> {
+        let end = job.base + job.n as u64;
+        let mut cur = self.claim.load(Ordering::Acquire);
+        loop {
+            if cur >= end {
+                return None;
+            }
+            debug_assert!(cur >= job.base, "ticket counter rewound");
+            match self.claim.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((cur - job.base) as usize),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Takes the recorded panic payload, tolerating a poisoned slot (the
+    /// slot only ever holds a payload box; poisoning carries no invariant).
+    fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        match self.panic.lock() {
+            Ok(mut slot) => slot.take(),
+            Err(poisoned) => poisoned.into_inner().take(),
+        }
+    }
+
+    /// Runs one claimed index, records panics, and counts completion.
+    ///
+    /// # Safety
+    /// `job.f` must point at the closure of the still-running dispatch that
+    /// owns `job`'s ticket range (guaranteed by [`Shared::claim_index`]'s
+    /// monotone range check).
+    unsafe fn run_one(&self, job: Job, idx: usize, lane: usize) {
+        let f = &*job.f;
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(idx, lane))) {
+            let mut slot = match self.panic.lock() {
+                Ok(slot) => slot,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+            drop(slot);
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last index done: wake the dispatcher. Locking the control
+            // mutex orders this notify against the dispatcher's re-check,
+            // so the wakeup cannot be lost.
+            let _guard = self.ctrl.lock().unwrap();
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// A persistent pool of parked worker threads (see the module docs).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    width: usize,
+}
+
+impl WorkerPool {
+    /// Builds a pool with `width` lanes: the caller plus `width − 1`
+    /// spawned workers. `width == 0` resolves to the available parallelism
+    /// ([`WorkerPool::resolve_width`]); `width == 1` spawns nothing and
+    /// runs every dispatch inline on the caller.
+    pub fn new(width: usize) -> WorkerPool {
+        let width = if width == 0 {
+            WorkerPool::resolve_width(0)
+        } else {
+            width
+        };
+        let shared = Arc::new(Shared {
+            ctrl: Mutex::new(Ctrl {
+                job: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            claim: AtomicU64::new(0),
+            remaining: AtomicU64::new(0),
+            dispatching: std::sync::atomic::AtomicBool::new(false),
+            panic: Mutex::new(None),
+        });
+        let handles = (1..width)
+            .map(|lane| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tcsm-pool-{lane}"))
+                    .spawn(move || worker_loop(&shared, lane))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            width,
+        }
+    }
+
+    /// `0 → available_parallelism()` (min 1), anything else unchanged — the
+    /// shared convention for `threads`-style knobs.
+    pub fn resolve_width(requested: usize) -> usize {
+        if requested == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            requested
+        }
+    }
+
+    /// Number of lanes (caller + workers). Per-lane state slices passed to
+    /// [`WorkerPool::for_each_with`] must have exactly this length.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Core dispatch: calls `f(index, lane)` exactly once for every
+    /// `index < n`, across all lanes, returning when every call finished.
+    /// Panics in `f` are re-thrown here after the dispatch completes.
+    pub fn dispatch(&self, n: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        // `Job.n` is u32; a wider n would orphan `remaining` and hang.
+        assert!(n <= u32::MAX as usize, "dispatch index count exceeds u32");
+        if self.width == 1 || n == 1 {
+            // Inline fast path: nothing to coordinate.
+            for i in 0..n {
+                f(i, 0);
+            }
+            return;
+        }
+        let shared = &*self.shared;
+        // One dispatcher at a time: nesting (a job dispatching on its own
+        // pool) or racing dispatchers would orphan the running range and
+        // hang silently — fail loudly instead.
+        assert!(
+            !shared.dispatching.swap(true, Ordering::Acquire),
+            "nested or concurrent dispatch on one WorkerPool \
+             (a pool job must not dispatch on its own pool)"
+        );
+        // SAFETY (lifetime erasure): `dispatch` blocks below until every
+        // index finished, and the monotone ticket counter lets no stale
+        // lane claim into a newer range, so the borrow never escapes this
+        // call.
+        let f_static: *const (dyn Fn(usize, usize) + Sync + 'static) =
+            unsafe { std::mem::transmute(f) };
+        let job = {
+            let mut ctrl = shared.ctrl.lock().unwrap();
+            // The previous dispatch fully settled (remaining hit 0 and its
+            // range was exhausted), so the counter now reads this range's
+            // base.
+            let base = shared.claim.load(Ordering::Acquire);
+            let job = Job {
+                f: f_static,
+                n: n as u32,
+                base,
+            };
+            shared.remaining.store(n as u64, Ordering::Release);
+            ctrl.job = Some(job);
+            shared.work_cv.notify_all();
+            job
+        };
+        // The caller is lane 0 and works like everyone else.
+        while let Some(idx) = shared.claim_index(&job) {
+            // SAFETY: the ticket was claimed inside this job's range.
+            unsafe { shared.run_one(job, idx, 0) };
+        }
+        // Wait for stragglers, then retire the job.
+        {
+            let mut ctrl = shared.ctrl.lock().unwrap();
+            while shared.remaining.load(Ordering::Acquire) != 0 {
+                ctrl = shared.done_cv.wait(ctrl).unwrap();
+            }
+            ctrl.job = None;
+        }
+        shared.dispatching.store(false, Ordering::Release);
+        // Take the payload *before* re-throwing so no guard is held while
+        // unwinding (a held guard would poison the slot for later
+        // dispatches).
+        let payload = shared.take_panic();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Parallel-for over a mutable slice: `f(i, &mut items[i])` exactly once
+    /// per item, on any lane.
+    pub fn for_each_mut<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let base = SyncPtr(items.as_mut_ptr());
+        self.dispatch(items.len(), &move |i, _lane| {
+            // SAFETY: `dispatch` hands out each index exactly once, so no
+            // two lanes alias the same element.
+            let item = unsafe { &mut *base.at(i) };
+            f(i, item);
+        });
+    }
+
+    /// Parallel-for over `items` with exclusive per-lane state: `f(i, &mut
+    /// items[i], &mut lanes[lane])`. `lanes.len()` must equal
+    /// [`WorkerPool::width`]; a lane's slot is touched by that lane only.
+    pub fn for_each_with<T, L, F>(&self, items: &mut [T], lanes: &mut [L], f: F)
+    where
+        T: Send,
+        L: Send,
+        F: Fn(usize, &mut T, &mut L) + Sync,
+    {
+        assert_eq!(
+            lanes.len(),
+            self.width,
+            "per-lane state must have one slot per pool lane"
+        );
+        let items_base = SyncPtr(items.as_mut_ptr());
+        let lanes_base = SyncPtr(lanes.as_mut_ptr());
+        self.dispatch(items.len(), &move |i, lane| {
+            // SAFETY: indices are handed out exactly once (no item
+            // aliasing) and a lane id is held by exactly one thread for the
+            // whole dispatch (no lane aliasing).
+            let item = unsafe { &mut *items_base.at(i) };
+            let lane_state = unsafe { &mut *lanes_base.at(lane) };
+            f(i, item, lane_state);
+        });
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut ctrl = self.shared.ctrl.lock().unwrap();
+            ctrl.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The four independent filter-instance updates of one event/batch are the
+/// first hot phase routed through the pool (the second, the per-seed sweep
+/// fan-out, uses [`WorkerPool::for_each_with`] directly).
+impl tcsm_filter::Exec for WorkerPool {
+    fn run_jobs(&self, jobs: &mut [&mut (dyn FnMut() + Send)]) {
+        self.for_each_mut(jobs, |_i, job| job());
+    }
+}
+
+/// Raw-pointer wrapper that asserts cross-thread shareability; every use
+/// site documents why the aliasing discipline holds. (Accessed only through
+/// [`SyncPtr::at`] so edition-2021 closures capture the wrapper, not the
+/// bare field, keeping the `Send`/`Sync` assertions in force.)
+struct SyncPtr<T>(*mut T);
+unsafe impl<T> Send for SyncPtr<T> {}
+unsafe impl<T> Sync for SyncPtr<T> {}
+
+impl<T> SyncPtr<T> {
+    /// The `i`-th element pointer of the wrapped base.
+    #[inline]
+    fn at(&self, i: usize) -> *mut T {
+        // SAFETY: callers index within the slice the base was taken from.
+        unsafe { self.0.add(i) }
+    }
+}
+
+fn worker_loop(shared: &Shared, lane: usize) {
+    // Ticket base of the job this lane last worked on; bases strictly
+    // increase across dispatches, so it doubles as the "new job?" signal.
+    let mut seen_base: Option<u64> = None;
+    loop {
+        let job = {
+            let mut ctrl = shared.ctrl.lock().unwrap();
+            loop {
+                if ctrl.shutdown {
+                    return;
+                }
+                match ctrl.job {
+                    Some(job) if seen_base != Some(job.base) => {
+                        seen_base = Some(job.base);
+                        break job;
+                    }
+                    _ => {}
+                }
+                ctrl = shared.work_cv.wait(ctrl).unwrap();
+            }
+        };
+        while let Some(idx) = shared.claim_index(&job) {
+            // SAFETY: the ticket was claimed inside this job's range, so
+            // `job.f` is the closure of the still-running dispatch.
+            unsafe { shared.run_one(job, idx, lane) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        for width in [1usize, 2, 4] {
+            let pool = WorkerPool::new(width);
+            for n in [0usize, 1, 3, 64, 257] {
+                let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                pool.dispatch(n, &|i, _lane| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "width {width}, n {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_mut_gives_exclusive_items() {
+        let pool = WorkerPool::new(3);
+        let mut items: Vec<u64> = (0..100).collect();
+        pool.for_each_mut(&mut items, |i, x| *x += i as u64);
+        assert!(items.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn for_each_with_keeps_lane_state_exclusive() {
+        let pool = WorkerPool::new(4);
+        let mut items = vec![0usize; 500];
+        let mut lanes = vec![0usize; pool.width()];
+        pool.for_each_with(&mut items, &mut lanes, |_i, item, lane_count| {
+            *lane_count += 1;
+            *item = 1;
+        });
+        // Every item ran once, and the per-lane tallies account for all of
+        // them (each lane slot was only ever incremented by its own lane).
+        assert_eq!(items.iter().sum::<usize>(), 500);
+        assert_eq!(lanes.iter().sum::<usize>(), 500);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_dispatches() {
+        // Back-to-back dispatches through the same parked workers — the
+        // stale-epoch guard must keep every round's indices in that round.
+        let pool = WorkerPool::new(3);
+        let total = AtomicUsize::new(0);
+        for round in 0..200usize {
+            pool.dispatch(round % 5 + 1, &|_i, _lane| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let expect: usize = (0..200).map(|r| r % 5 + 1).sum();
+        assert_eq!(total.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_dispatcher() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.dispatch(8, &|i, _lane| {
+                if i == 5 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must cross back to the dispatcher");
+        // The pool survives a panicked dispatch.
+        let ok = AtomicUsize::new(0);
+        pool.dispatch(4, &|_i, _lane| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_dispatch_panics_instead_of_deadlocking() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.dispatch(4, &|_i, _lane| {
+                // n ≥ 2 so the inner call takes the full (guarded) path.
+                pool.dispatch(2, &|_i, _lane| {});
+            });
+        }));
+        assert!(result.is_err(), "nested dispatch must fail loudly");
+        // The pool recovers once the offending dispatch unwound.
+        let ok = AtomicUsize::new(0);
+        pool.dispatch(4, &|_i, _lane| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn zero_width_resolves_to_available_parallelism() {
+        let pool = WorkerPool::new(0);
+        assert!(pool.width() >= 1);
+        let mut items = vec![1u32; 10];
+        pool.for_each_mut(&mut items, |_, x| *x += 1);
+        assert!(items.iter().all(|&x| x == 2));
+    }
+}

@@ -34,6 +34,13 @@ pub struct EngineStats {
     pub peak_dcs_vertices: u64,
     /// Sum over events of `d2` candidate vertices — Table V.
     pub sum_dcs_vertices: u64,
+    /// Filter-phase instance-update rounds that ran on the worker pool
+    /// (0 for serial engines).
+    pub parallel_filter_rounds: u64,
+    /// Delta-batch `FindMatches` sweeps fanned out across the pool.
+    pub parallel_sweeps: u64,
+    /// Seeds searched under those fanned-out sweeps.
+    pub parallel_sweep_seeds: u64,
     /// True when a budget was exhausted (query counts as unsolved).
     pub budget_exhausted: bool,
 }
@@ -54,6 +61,19 @@ impl EngineStats {
             0.0
         } else {
             self.sum_dcs_vertices as f64 / self.events as f64
+        }
+    }
+
+    /// The algorithmic counters alone: a copy with the thread-placement
+    /// counters (`parallel_*`) zeroed. Two runs of the same stream differing
+    /// only in [`crate::EngineConfig::threads`] must agree on this (the
+    /// differential suite compares it across pool widths).
+    pub fn semantic(&self) -> EngineStats {
+        EngineStats {
+            parallel_filter_rounds: 0,
+            parallel_sweeps: 0,
+            parallel_sweep_seeds: 0,
+            ..*self
         }
     }
 }

@@ -19,8 +19,10 @@
 //! pass on labels/direction alone); this is the `SymBi`-style baseline
 //! configuration used in §VI-B.
 
+use crate::exec::Exec;
 use crate::instance::FilterInstance;
 use crate::pair::{valid_orientations, CandPair, DirectPairs};
+use std::sync::Arc;
 use tcsm_dag::{Polarity, QueryDag};
 use tcsm_graph::{QueryGraph, TemporalEdge, WindowGraph};
 
@@ -141,6 +143,14 @@ pub struct FilterBank {
     /// Per-batch-edge `(edge, orientation sub-range)` seeds (reused
     /// allocation).
     scratch_seeds: Vec<(TemporalEdge, (u32, u32))>,
+    /// Executor for the four independent instance updates (`None` = run
+    /// them serially on the caller, the historical behaviour).
+    exec: Option<Arc<dyn Exec>>,
+    /// Per-instance flip shards for executor rounds (reused allocations),
+    /// merged into the caller's flip list in instance order.
+    shards: Vec<Vec<CandPair>>,
+    /// Instance-update rounds routed through the executor.
+    par_rounds: u64,
 }
 
 impl FilterBank {
@@ -172,6 +182,84 @@ impl FilterBank {
             scratch_flips: Vec::new(),
             scratch_orients: Vec::new(),
             scratch_seeds: Vec::new(),
+            exec: None,
+            shards: Vec::new(),
+            par_rounds: 0,
+        }
+    }
+
+    /// Installs (or clears) the executor the four instance updates run
+    /// through. With `None` — the default — updates run serially on the
+    /// caller. The emitted delta sequence is identical either way; only
+    /// thread placement changes.
+    pub fn set_exec(&mut self, exec: Option<Arc<dyn Exec>>) {
+        self.exec = exec;
+    }
+
+    /// Number of instance-update rounds that ran through the executor
+    /// (0 when no executor is installed — diagnostics/stats).
+    #[inline]
+    pub fn parallel_rounds(&self) -> u64 {
+        self.par_rounds
+    }
+
+    /// Runs `f` exactly once per filter instance. With an executor
+    /// installed the calls fan out, each instance pushing its pass-flips
+    /// into a private shard; the shards are merged into `flips` in
+    /// instance order, so the flip sequence is byte-identical to the
+    /// serial path (which appends to `flips` directly, also in instance
+    /// order — instances never read the flip list).
+    fn update_instances<F>(&mut self, flips: &mut Vec<CandPair>, f: F)
+    where
+        F: Fn(&mut FilterInstance, &mut Vec<CandPair>) + Send + Sync,
+    {
+        let exec = match &self.exec {
+            Some(exec) if self.instances.len() > 1 => Arc::clone(exec),
+            _ => {
+                for inst in &mut self.instances {
+                    f(inst, flips);
+                }
+                return;
+            }
+        };
+        let num_instances = self.instances.len();
+        self.shards.resize_with(num_instances, Vec::new);
+        let f = &f;
+        let mut jobs_iter =
+            self.instances
+                .iter_mut()
+                .zip(self.shards.iter_mut())
+                .map(|(inst, shard)| {
+                    shard.clear();
+                    move || f(inst, shard)
+                });
+        // The TC bank runs exactly four instances; adapt the jobs to trait
+        // objects on the stack so the per-event hot path stays
+        // allocation-free (heap fallback only for hypothetical other
+        // counts).
+        if num_instances == 4 {
+            let (Some(mut j0), Some(mut j1), Some(mut j2), Some(mut j3)) = (
+                jobs_iter.next(),
+                jobs_iter.next(),
+                jobs_iter.next(),
+                jobs_iter.next(),
+            ) else {
+                unreachable!("zip over four instances yields four jobs");
+            };
+            drop(jobs_iter);
+            let mut jobs: [&mut (dyn FnMut() + Send); 4] = [&mut j0, &mut j1, &mut j2, &mut j3];
+            exec.run_jobs(&mut jobs);
+        } else {
+            let mut jobs_store: Vec<_> = jobs_iter.collect();
+            let mut jobs: Vec<&mut (dyn FnMut() + Send)> = jobs_store
+                .iter_mut()
+                .map(|job| job as &mut (dyn FnMut() + Send))
+                .collect();
+            exec.run_jobs(&mut jobs);
+        }
+        self.par_rounds += 1;
+        for shard in &mut self.shards {
+            flips.append(shard);
         }
     }
 
@@ -285,9 +373,9 @@ impl FilterBank {
         let orients = std::mem::take(&mut self.scratch_orients);
         let mut flips = std::mem::take(&mut self.scratch_flips);
         flips.clear();
-        for inst in &mut self.instances {
-            inst.apply_seeded(q, g, sigma, &orients, &mut flips);
-        }
+        self.update_instances(&mut flips, |inst, out| {
+            inst.apply_seeded(q, g, sigma, &orients, out)
+        });
         // Pairs of σ itself: evaluate all four conditions directly.
         for &(e, o) in &orients {
             let pair = CandPair {
@@ -339,9 +427,9 @@ impl FilterBank {
         }
         let mut flips = std::mem::take(&mut self.scratch_flips);
         flips.clear();
-        for inst in &mut self.instances {
-            inst.apply_seeded(q, g, sigma, &orients, &mut flips);
-        }
+        self.update_instances(&mut flips, |inst, out| {
+            inst.apply_seeded(q, g, sigma, &orients, out)
+        });
         self.scratch_orients = orients;
         // Deletion only ever lowers max-min values, so flipped members fail
         // at least one instance now; re-check to be robust to noisy reports.
@@ -386,16 +474,9 @@ impl FilterBank {
         let seeds = std::mem::take(&mut self.scratch_seeds);
         let mut flips = std::mem::take(&mut self.scratch_flips);
         flips.clear();
-        for inst in &mut self.instances {
-            inst.apply_batch(
-                q,
-                g,
-                &seeds,
-                &orients,
-                DirectPairs::ArrivedAt(t),
-                &mut flips,
-            );
-        }
+        self.update_instances(&mut flips, |inst, out| {
+            inst.apply_batch(q, g, &seeds, &orients, DirectPairs::ArrivedAt(t), out)
+        });
         // Pairs of the batch edges themselves: evaluate all four conditions
         // directly against the post-batch tables.
         for &(ref sigma, (lo, hi)) in &seeds {
@@ -467,16 +548,9 @@ impl FilterBank {
         }
         let mut flips = std::mem::take(&mut self.scratch_flips);
         flips.clear();
-        for inst in &mut self.instances {
-            inst.apply_batch(
-                q,
-                g,
-                &seeds,
-                &orients,
-                DirectPairs::ArrivedAt(t),
-                &mut flips,
-            );
-        }
+        self.update_instances(&mut flips, |inst, out| {
+            inst.apply_batch(q, g, &seeds, &orients, DirectPairs::ArrivedAt(t), out)
+        });
         self.scratch_orients = orients;
         self.scratch_seeds = seeds;
         // Expirations only lower max-min values, so flipped members fail at

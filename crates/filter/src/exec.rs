@@ -1,0 +1,55 @@
+//! Executor abstraction for the four independent `(DAG, polarity)` instance
+//! updates.
+//!
+//! `tcsm-filter` sits below the engine crate, so it cannot name the worker
+//! pool directly; instead the bank runs its per-event/per-batch instance
+//! updates through this one-method trait. [`SerialExec`] (and a bank with
+//! no executor installed) runs them in slice order on the caller —
+//! byte-identical to the pre-parallel code path. `tcsm-core` implements
+//! [`Exec`] for its `WorkerPool`, which fans the jobs out over parked
+//! worker threads.
+//!
+//! The contract is deliberately narrow: jobs are mutually independent
+//! (each owns disjoint `&mut` state), every job runs **exactly once**, and
+//! `run_jobs` returns only after all of them finished. Implementations may
+//! schedule jobs on any threads in any order; *result* determinism is the
+//! caller's job (the bank gives each instance its own flip shard and
+//! merges shards in instance order afterwards).
+
+/// Runs a set of mutually independent jobs to completion (see the module
+/// docs for the exact contract).
+pub trait Exec: Send + Sync {
+    /// Calls every job in `jobs` exactly once and returns when all have
+    /// finished. Ordering and thread placement are unspecified.
+    fn run_jobs(&self, jobs: &mut [&mut (dyn FnMut() + Send)]);
+}
+
+/// The trivial executor: runs jobs in slice order on the calling thread.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SerialExec;
+
+impl Exec for SerialExec {
+    fn run_jobs(&self, jobs: &mut [&mut (dyn FnMut() + Send)]) {
+        for job in jobs {
+            job();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_exec_runs_every_job_once_in_order() {
+        let log = std::sync::Mutex::new(Vec::new());
+        let mut a = || log.lock().unwrap().push(0);
+        let mut b = || log.lock().unwrap().push(1);
+        let mut c = || log.lock().unwrap().push(2);
+        {
+            let mut jobs: Vec<&mut (dyn FnMut() + Send)> = vec![&mut a, &mut b, &mut c];
+            SerialExec.run_jobs(&mut jobs);
+        }
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2]);
+    }
+}

@@ -40,12 +40,24 @@
 //! [`bank::FilterBank::on_delete_batch`] wrap this and emit the combined
 //! DCS delta; [`pair::DirectPairs`] tells the instances which pairs the
 //! bank evaluates directly (and must therefore not be flip-reported).
+//!
+//! # Parallel instance updates
+//!
+//! The four instances are mutually independent: each owns its table and
+//! reads only the immutable query/window. With an [`exec::Exec`] installed
+//! ([`bank::FilterBank::set_exec`]) every event/batch update fans the four
+//! `apply_seeded`/`apply_batch` calls out through it, each instance writing
+//! pass-flips into its own shard; the bank merges the shards **in instance
+//! order**, so the emitted DCS delta sequence is byte-identical to the
+//! serial one no matter how the executor schedules the jobs.
 
 pub mod bank;
+pub mod exec;
 pub mod instance;
 pub mod oracle;
 pub mod pair;
 
 pub use bank::{DcsDelta, FilterBank, FilterMode};
+pub use exec::{Exec, SerialExec};
 pub use instance::FilterInstance;
 pub use pair::{CandPair, DirectPairs};

@@ -1,0 +1,227 @@
+//! Differential suite for the intra-query parallel runtime: at every worker
+//! pool width the engine must report a match stream **byte-identical** to
+//! the serial engine's — same events, same order, same embeddings — because
+//! the runtime merges per-instance filter shards in instance order and
+//! per-seed sweep results in seed order. Algorithmic counters
+//! (`EngineStats::semantic`) must agree too, and every incremental
+//! structure must pass its from-scratch audit after every batch while the
+//! pool is running.
+//!
+//! Widths: 0 (no pool — the historical serial path), 1 (pool machinery,
+//! caller lane only), 2 and 8 (real parked workers). CI additionally runs
+//! the *whole* workspace suite under `TCSM_THREADS=8` and this suite in
+//! release at `TCSM_THREADS=2`; explicit `threads` fields below make the
+//! comparisons self-contained either way.
+
+mod common;
+
+use common::{arb_bursty_graph, arb_query};
+use proptest::prelude::*;
+use tcsm::datasets::{QueryGen, ALL_PROFILES};
+use tcsm::prelude::*;
+
+const PRESETS: [AlgorithmPreset; 4] = [
+    AlgorithmPreset::Tcm,
+    AlgorithmPreset::TcmNoPruning,
+    AlgorithmPreset::TcmNoFilter,
+    AlgorithmPreset::SymBiPostCheck,
+];
+
+/// Pool widths the differential comparisons sweep.
+const WIDTHS: [usize; 3] = [1, 2, 8];
+
+#[allow(clippy::too_many_arguments)]
+fn run_stream(
+    preset: AlgorithmPreset,
+    q: &QueryGraph,
+    g: &TemporalGraph,
+    delta: i64,
+    directed: bool,
+    batching: bool,
+    threads: usize,
+    audit: bool,
+) -> (Vec<MatchEvent>, EngineStats) {
+    let cfg = EngineConfig {
+        preset,
+        directed,
+        batching,
+        threads,
+        ..Default::default()
+    };
+    let mut e = TcmEngine::new(q, g, delta, cfg).expect("engine builds");
+    let mut out = Vec::new();
+    if batching {
+        while e.step_batch(&mut out) {
+            if audit {
+                e.check_consistency();
+            }
+        }
+    } else {
+        while e.step(&mut out) {
+            if audit {
+                e.check_consistency();
+            }
+        }
+    }
+    (out, *e.stats())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        max_shrink_iters: 200,
+        ..ProptestConfig::default()
+    })]
+
+    /// Adversarial bursty multigraphs, all presets: the batched stream at
+    /// every pool width is byte-identical to width 0, with the full
+    /// per-batch consistency audit running under the widest pool.
+    #[test]
+    fn parallel_batched_equals_serial_on_bursty_multigraphs(
+        g in arb_bursty_graph(),
+        q in arb_query(),
+        delta in 1i64..8,
+        directed in any::<bool>(),
+    ) {
+        for preset in PRESETS {
+            let (expect, base) =
+                run_stream(preset, &q, &g, delta, directed, true, 0, false);
+            for threads in WIDTHS {
+                let audit = threads == 8;
+                let (got, stats) =
+                    run_stream(preset, &q, &g, delta, directed, true, threads, audit);
+                prop_assert_eq!(
+                    &expect, &got,
+                    "stream diverged (preset {:?}, threads {})", preset, threads
+                );
+                prop_assert_eq!(
+                    base.semantic(), stats.semantic(),
+                    "semantic stats diverged (preset {:?}, threads {})", preset, threads
+                );
+                // Label-only presets have no filter instances to fan out.
+                let has_filter = matches!(
+                    preset,
+                    AlgorithmPreset::Tcm | AlgorithmPreset::TcmNoPruning
+                );
+                if has_filter {
+                    prop_assert!(
+                        stats.parallel_filter_rounds > 0 || g.num_edges() == 0,
+                        "pool engines must route filter updates through the executor"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The *serial-event* regime under a pool: only the four filter-instance
+    /// updates fan out (sweeps are single-edge), and the stream must still
+    /// be byte-identical to the no-pool engine.
+    #[test]
+    fn parallel_filter_preserves_serial_event_stream(
+        g in arb_bursty_graph(),
+        q in arb_query(),
+        delta in 1i64..8,
+    ) {
+        let (expect, base) =
+            run_stream(AlgorithmPreset::Tcm, &q, &g, delta, false, false, 0, false);
+        for threads in WIDTHS {
+            let (got, stats) =
+                run_stream(AlgorithmPreset::Tcm, &q, &g, delta, false, false, threads, false);
+            prop_assert_eq!(&expect, &got, "stream diverged (threads {})", threads);
+            prop_assert_eq!(base.semantic(), stats.semantic());
+            prop_assert_eq!(stats.parallel_sweeps, 0, "serial events must not fan out");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        max_shrink_iters: 100,
+        ..ProptestConfig::default()
+    })]
+
+    /// Table-III-profile streams, re-timed bursty so batches are wide
+    /// enough to fan out: byte-identical streams and semantic stats across
+    /// pool widths, with the per-batch audit at width 8 on the Tcm preset.
+    #[test]
+    fn parallel_equals_serial_on_profile_streams(
+        profile_idx in 0usize..ALL_PROFILES.len(),
+        burst in 2usize..6,
+        qseed in any::<u64>(),
+        size in 4usize..7,
+    ) {
+        let p = ALL_PROFILES[profile_idx];
+        let scale = 0.02;
+        let g = p.generate_bursty(qseed ^ 0x9a11e1, scale, burst);
+        let delta = (g.num_edges() as i64 / (4 * burst as i64)).max(2);
+        let qg = QueryGen::new(&g);
+        let Some(q) = qg.generate(size, 0.5, delta.max(4), qseed) else {
+            // Sparse scaled profiles sometimes can't host a query this big.
+            return Ok(());
+        };
+        for preset in PRESETS {
+            let (expect, base) = run_stream(preset, &q, &g, delta, false, true, 0, false);
+            for threads in WIDTHS {
+                let audit = threads == 8 && preset == AlgorithmPreset::Tcm;
+                let (got, stats) =
+                    run_stream(preset, &q, &g, delta, false, true, threads, audit);
+                prop_assert_eq!(
+                    &expect, &got,
+                    "{}: stream diverged (preset {:?}, threads {})", p.name, preset, threads
+                );
+                prop_assert_eq!(base.semantic(), stats.semantic());
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_sweeps_actually_fan_out() {
+    // A bursty profile stream wide enough that multi-seed arrival batches
+    // exist: the pool engine must report fanned-out sweeps (the serial
+    // engine must not), while the streams stay equal.
+    let p = ALL_PROFILES[0];
+    let g = p.generate_bursty(7, 0.03, 5);
+    let delta = (g.num_edges() as i64 / 20).max(2);
+    let qg = QueryGen::new(&g);
+    let q = qg.generate(5, 0.5, delta.max(4), 13).expect("query");
+    let (expect, base) = run_stream(AlgorithmPreset::Tcm, &q, &g, delta, false, true, 0, false);
+    let (got, stats) = run_stream(AlgorithmPreset::Tcm, &q, &g, delta, false, true, 8, false);
+    assert_eq!(expect, got);
+    assert_eq!(base.parallel_sweeps, 0);
+    assert!(
+        stats.parallel_sweeps > 0,
+        "bursty stream must produce multi-seed fanned-out sweeps \
+         (batches {}, events {})",
+        stats.batches,
+        stats.events
+    );
+    assert!(stats.parallel_sweep_seeds >= 2 * stats.parallel_sweeps);
+    assert!(stats.parallel_filter_rounds > 0);
+}
+
+#[test]
+fn budgeted_runs_stay_serial_in_the_sweep_phase() {
+    // Budget semantics depend on one serial cursor over the batch; the
+    // engine must refuse to fan out when any budget limit is set.
+    let p = ALL_PROFILES[0];
+    let g = p.generate_bursty(7, 0.03, 5);
+    let delta = (g.num_edges() as i64 / 20).max(2);
+    let qg = QueryGen::new(&g);
+    let q = qg.generate(5, 0.5, delta.max(4), 13).expect("query");
+    let cfg = EngineConfig {
+        batching: true,
+        threads: 8,
+        budget: SearchBudget {
+            max_total_nodes: u64::MAX / 2,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut e = TcmEngine::new(&q, &g, delta, cfg).unwrap();
+    let _ = e.run();
+    assert_eq!(e.stats().parallel_sweeps, 0);
+    // The filter phase has no budget interaction and still fans out.
+    assert!(e.stats().parallel_filter_rounds > 0);
+}
