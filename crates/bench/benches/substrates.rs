@@ -217,6 +217,43 @@ fn bench(c: &mut Criterion) {
             );
         }
     }
+
+    // Real SNAP-shaped stream: ingest throughput on the checked-in fixture
+    // (sparse-id densification + label synthesis + epoch rescale + sort),
+    // and the end-to-end replay BENCH can now track on a real stream shape
+    // (bursts, duplicate triples, hub-skewed multigraph).
+    let snap_text = include_str!("../../datasets/fixtures/mini-snap.txt");
+    let snap_opts = tcsm_graph::SnapOptions::default();
+    group.bench_function("snap_ingest", |b| {
+        b.iter(|| {
+            tcsm_graph::io::parse_snap(snap_text, &snap_opts)
+                .unwrap()
+                .num_edges()
+        })
+    });
+    let g_snap = tcsm_graph::io::parse_snap(snap_text, &snap_opts).unwrap();
+    // Same derivation as the experiments CLI: window index 2, size-5 walk.
+    let delta_snap = tcsm_datasets::ingest::windows_for_stream(&g_snap)[2];
+    let qg_snap = QueryGen::new(&g_snap);
+    if let Some(q) = qg_snap.generate(5, 0.5, (delta_snap * 3 / 4).max(4), 42) {
+        for (name, batching) in [
+            ("engine_run_snap", false),
+            ("engine_run_snap_batched", true),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, 5usize), &q, |b, q| {
+                b.iter(|| {
+                    let cfg = EngineConfig {
+                        collect_matches: false,
+                        directed: true,
+                        batching,
+                        ..Default::default()
+                    };
+                    let mut engine = TcmEngine::new(q, &g_snap, delta_snap, cfg).unwrap();
+                    engine.run_counting().occurred
+                })
+            });
+        }
+    }
     group.finish();
 }
 

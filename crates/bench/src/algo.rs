@@ -78,7 +78,10 @@ pub struct RunResult {
     pub expired: u64,
     /// Backtracking nodes (or join attempts).
     pub search_nodes: u64,
-    /// Peak heap bytes during the run (0 without the counting allocator).
+    /// Peak heap growth above the pre-run baseline (0 without the counting
+    /// allocator). Baseline-relative so bytes resident before the run —
+    /// e.g. other cached datasets — don't leak into the measurement; add
+    /// the dataset's own size for a whole-working-set figure.
     pub peak_mem: usize,
     /// Average DCS edge pairs per event (TCM/SymBi presets only).
     pub avg_dcs_edges: f64,
@@ -94,6 +97,7 @@ pub fn run_one(
     delta: i64,
     rc: &RunConfig,
 ) -> RunResult {
+    let base = crate::mem::live_bytes();
     crate::mem::reset_peak();
     let start = Instant::now();
     let budget = SearchBudget {
@@ -165,7 +169,7 @@ pub fn run_one(
         occurred,
         expired,
         search_nodes: nodes,
-        peak_mem: crate::mem::peak_bytes(),
+        peak_mem: crate::mem::peak_bytes().saturating_sub(base),
         avg_dcs_edges: de,
         avg_dcs_vertices: dv,
     }

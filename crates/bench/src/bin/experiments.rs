@@ -7,16 +7,33 @@
 //! flags: --scale F        dataset scale (default 0.25; 1.0 = 1:1000 paper)
 //!        --queries N      queries per set (default 3; paper uses 100)
 //!        --budget N       node budget per run (default 3_000_000)
-//!        --dataset NAME   restrict to one dataset (repeatable)
+//!        --dataset NAME   restrict to one synthetic dataset (repeatable)
+//!        --input FILE     run on a real dump instead of the profiles
+//!                         (repeatable; see --format)
+//!        --format F       format of subsequent --input files:
+//!                         snap (src dst unixtime lines) | native (v/e text)
+//!        --labels N       SNAP ingest: vertex-label alphabet size (default 4)
+//!        --labeling P     SNAP ingest: uniform | degree | hash (default degree)
+//!        --max-edges N    SNAP ingest: keep only the first N edge records
+//!                         (like --format, the SNAP knobs configure the
+//!                         --input files that follow them; with a single
+//!                         --input, flag order doesn't matter)
 //!        --undirected     treat graphs as undirected
 //!        --batched        drive TcmEngine through the batched delta path
 //!        --seed N         base seed
 //!        --out DIR        CSV output dir (default results/)
 //! ```
+//!
+//! `--input` replaces the synthetic profile list with the given file(s);
+//! everything downstream (query generation, window derivation, every
+//! figure/table driver) is source-agnostic. The SNAP format contract —
+//! sparse-id densification, epoch rescaling, label synthesis — is
+//! documented on `tcsm_graph::io`.
 
 use tcsm_bench::experiments::Suite;
 use tcsm_bench::mem::CountingAlloc;
-use tcsm_datasets::ALL_PROFILES;
+use tcsm_datasets::{FileFormat, FileSource, SourceSpec, ALL_PROFILES};
+use tcsm_graph::io::{SnapLabeling, SnapOptions};
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
@@ -27,6 +44,9 @@ fn main() {
     let mut cmds: Vec<String> = Vec::new();
     let mut suite = Suite::default();
     let mut picked_datasets: Vec<String> = Vec::new();
+    let mut inputs: Vec<FileSource> = Vec::new();
+    let mut format = FileFormat::Snap;
+    let mut snap = SnapOptions::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -54,14 +74,62 @@ fn main() {
                 i += 1;
                 picked_datasets.push(args[i].to_lowercase());
             }
+            "--format" => {
+                i += 1;
+                format =
+                    FileFormat::from_name(&args[i]).expect("--format takes 'snap' or 'native'");
+            }
+            "--labels" => {
+                i += 1;
+                snap.vertex_labels = args[i].parse().expect("--labels takes an int ≥ 1");
+                assert!(snap.vertex_labels >= 1, "--labels takes an int ≥ 1");
+            }
+            "--labeling" => {
+                i += 1;
+                snap.labeling = match args[i].as_str() {
+                    "uniform" => SnapLabeling::Uniform,
+                    "degree" => SnapLabeling::DegreeBucket,
+                    "hash" => SnapLabeling::IdHash,
+                    other => panic!("--labeling: unknown policy '{other}'"),
+                };
+            }
+            "--max-edges" => {
+                i += 1;
+                snap.max_edges = Some(args[i].parse().expect("--max-edges takes an int"));
+            }
+            "--input" => {
+                i += 1;
+                inputs.push(FileSource {
+                    path: args[i].clone().into(),
+                    format,
+                    snap,
+                    directed: true,
+                });
+            }
             "--undirected" => suite.run_cfg.directed = false,
             "--batched" => suite.run_cfg.batching = true,
             other => cmds.push(other.to_string()),
         }
         i += 1;
     }
-    if !picked_datasets.is_empty() {
-        suite.datasets = ALL_PROFILES
+    if !inputs.is_empty() {
+        assert!(
+            picked_datasets.is_empty(),
+            "--input and --dataset are mutually exclusive"
+        );
+        // With a single --input, --format and the SNAP knobs parsed after
+        // it still apply (flag order shouldn't matter for the common
+        // invocation). With several, each input keeps what was in force
+        // when it appeared — the flags configure *subsequent* files.
+        if let [only] = &mut inputs[..] {
+            only.format = format;
+            if only.format == FileFormat::Snap {
+                only.snap = snap;
+            }
+        }
+        suite.sources = inputs.into_iter().map(SourceSpec::File).collect();
+    } else if !picked_datasets.is_empty() {
+        suite.sources = ALL_PROFILES
             .iter()
             .filter(|p| {
                 picked_datasets
@@ -69,8 +137,9 @@ fn main() {
                     .any(|n| p.name.to_lowercase().contains(n))
             })
             .copied()
+            .map(SourceSpec::Profile)
             .collect();
-        assert!(!suite.datasets.is_empty(), "no dataset matched");
+        assert!(!suite.sources.is_empty(), "no dataset matched");
     }
     if cmds.is_empty() {
         eprintln!("usage: experiments <table3|settings|fig7|fig8|fig9|fig10|fig11|table5|ablation|all> [flags]");

@@ -7,25 +7,32 @@
 
 use crate::algo::{run_one, Algo, RunConfig, RunResult};
 use crate::report::{fmt_mb, fmt_ms, Table};
+use std::cell::OnceCell;
 use std::path::PathBuf;
-use tcsm_datasets::{DatasetProfile, QueryGen, ALL_PROFILES};
-use tcsm_graph::QueryGraph;
+use tcsm_datasets::{DatasetSource, QueryGen, SourceSpec, ALL_PROFILES};
+use tcsm_graph::{QueryGraph, TemporalGraph};
 
 /// Experiment-wide parameters (Table IV, plus laptop-scale knobs).
 #[derive(Clone, Debug)]
 pub struct Suite {
-    /// Dataset scale relative to the 1:1000 profiles.
+    /// Dataset scale relative to the 1:1000 profiles (synthetic sources
+    /// only; file-backed sources are used as-is).
     pub scale: f64,
     /// Queries per (dataset, size, density) set — the paper uses 100.
     pub queries_per_set: usize,
-    /// Datasets to include.
-    pub datasets: Vec<DatasetProfile>,
+    /// Dataset sources to include: synthetic Table III profiles and/or
+    /// file-backed dumps (`--input FILE --format snap`).
+    pub sources: Vec<SourceSpec>,
     /// Budgets standing in for the paper's 1 h timeout.
     pub run_cfg: RunConfig,
     /// Where CSVs are written.
     pub results_dir: PathBuf,
     /// Base RNG seed.
     pub seed: u64,
+    /// Ingested-once cache of `sources` (a multi-gigabyte dump must not be
+    /// re-read per command). Configure `sources`/`seed`/`scale` *before*
+    /// the first command; later mutations don't re-ingest.
+    loaded: OnceCell<Vec<Loaded>>,
 }
 
 impl Default for Suite {
@@ -33,12 +40,31 @@ impl Default for Suite {
         Suite {
             scale: 0.25,
             queries_per_set: 3,
-            datasets: ALL_PROFILES.to_vec(),
+            sources: ALL_PROFILES
+                .iter()
+                .copied()
+                .map(SourceSpec::Profile)
+                .collect(),
             run_cfg: RunConfig::default(),
             results_dir: PathBuf::from("results"),
             seed: 0xC0FFEE,
+            loaded: OnceCell::new(),
         }
     }
+}
+
+/// One ingested dataset: the graph plus the per-dataset experiment
+/// parameters every driver loops over.
+#[derive(Clone, Debug)]
+struct Loaded {
+    name: String,
+    directed: bool,
+    g: TemporalGraph,
+    windows: [i64; 5],
+    /// Resident heap bytes of `g` (live-byte delta around the load), so
+    /// memory drivers can report graph + run working sets without the
+    /// other cached datasets bleeding into the figure.
+    graph_live: usize,
 }
 
 /// The paper's parameter grids (Table IV); defaults in the middle.
@@ -53,16 +79,37 @@ pub const DEFAULT_WINDOW_IDX: usize = 2; // "30k"
 pub const WINDOW_NAMES: [&str; 5] = ["10k", "20k", "30k", "40k", "50k"];
 
 impl Suite {
-    fn queries(
-        &self,
-        profile: &DatasetProfile,
-        g: &tcsm_graph::TemporalGraph,
-        size: usize,
-        density: f64,
-        delta: i64,
-    ) -> Vec<QueryGraph> {
+    /// Ingests every source once per `Suite` (cached across commands, so
+    /// `all` on a file-backed dump reads it a single time). Synthetic
+    /// sources honour `seed`/`scale`; file-backed ones read their dump.
+    /// Ingest failures are fatal here — every driver needs every dataset.
+    fn materialize(&self) -> &[Loaded] {
+        self.loaded.get_or_init(|| {
+            self.sources
+                .iter()
+                .map(|s| {
+                    let before = crate::mem::live_bytes();
+                    let g = s
+                        .load(self.seed, self.scale)
+                        .unwrap_or_else(|e| panic!("dataset ingest failed: {e}"));
+                    let graph_live = crate::mem::live_bytes().saturating_sub(before);
+                    let windows = s.window_sizes(&g, self.scale);
+                    Loaded {
+                        name: s.name(),
+                        directed: s.directed(),
+                        g,
+                        windows,
+                        graph_live,
+                    }
+                })
+                .collect()
+        })
+    }
+
+    fn queries(&self, d: &Loaded, size: usize, density: f64, delta: i64) -> Vec<QueryGraph> {
+        let g = &d.g;
         let mut qg = QueryGen::new(g);
-        qg.directed = self.run_cfg.directed && profile.directed;
+        qg.directed = self.run_cfg.directed && d.directed;
         let mut out = Vec::new();
         for i in 0..self.queries_per_set {
             let seed = self
@@ -120,10 +167,10 @@ impl Suite {
             format!("Table III — dataset characteristics (scale {})", self.scale),
             &["dataset", "|V|", "|E|", "|ΣV|", "|ΣE|", "davg", "mavg"],
         );
-        for p in &self.datasets {
-            let g = p.generate(self.seed, self.scale);
+        for d in self.materialize() {
+            let g = &d.g;
             t.row(vec![
-                p.name.to_string(),
+                d.name.clone(),
                 g.num_vertices().to_string(),
                 g.num_edges().to_string(),
                 g.num_vertex_labels().to_string(),
@@ -143,9 +190,9 @@ impl Suite {
         );
         t.row(vec![
             "datasets".into(),
-            self.datasets
+            self.sources
                 .iter()
-                .map(|p| p.name)
+                .map(|s| s.name())
                 .collect::<Vec<_>>()
                 .join(", "),
         ]);
@@ -188,13 +235,12 @@ impl Suite {
             ),
             &headers,
         );
-        for p in &self.datasets {
-            let g = p.generate(self.seed, self.scale);
-            let delta = p.window_sizes(self.scale)[DEFAULT_WINDOW_IDX];
+        for d in self.materialize() {
+            let delta = d.windows[DEFAULT_WINDOW_IDX];
             for &size in &QUERY_SIZES {
-                let queries = self.queries(p, &g, size, DEFAULT_DENSITY, delta);
-                let res = self.run_set(algos, &queries, &g, delta);
-                let mut ra = vec![p.name.to_string(), size.to_string()];
+                let queries = self.queries(d, size, DEFAULT_DENSITY, delta);
+                let res = self.run_set(algos, &queries, &d.g, delta);
+                let mut ra = vec![d.name.clone(), size.to_string()];
                 let mut rb = ra.clone();
                 for (ms, solved, _, _) in &res {
                     ra.push(fmt_ms(*ms));
@@ -202,7 +248,7 @@ impl Suite {
                 }
                 ta.row(ra);
                 tb.row(rb);
-                eprintln!("[{stem}] {} size {size} done", p.name);
+                eprintln!("[{stem}] {} size {size} done", d.name);
             }
         }
         ta.emit(&self.results_dir, &format!("{stem}a"));
@@ -223,13 +269,12 @@ impl Suite {
             format!("Figure 8(b) — solved queries (of {})", self.queries_per_set),
             &headers,
         );
-        for p in &self.datasets {
-            let g = p.generate(self.seed, self.scale);
-            let delta = p.window_sizes(self.scale)[DEFAULT_WINDOW_IDX];
+        for ds in self.materialize() {
+            let delta = ds.windows[DEFAULT_WINDOW_IDX];
             for &d in &DENSITIES {
-                let queries = self.queries(p, &g, DEFAULT_SIZE, d, delta);
-                let res = self.run_set(&algos, &queries, &g, delta);
-                let mut ra = vec![p.name.to_string(), format!("{d:.2}")];
+                let queries = self.queries(ds, DEFAULT_SIZE, d, delta);
+                let res = self.run_set(&algos, &queries, &ds.g, delta);
+                let mut ra = vec![ds.name.clone(), format!("{d:.2}")];
                 let mut rb = ra.clone();
                 for (ms, solved, _, _) in &res {
                     ra.push(fmt_ms(*ms));
@@ -237,7 +282,7 @@ impl Suite {
                 }
                 ta.row(ra);
                 tb.row(rb);
-                eprintln!("[fig8] {} density {d} done", p.name);
+                eprintln!("[fig8] {} density {d} done", ds.name);
             }
         }
         ta.emit(&self.results_dir, "fig8a");
@@ -258,13 +303,11 @@ impl Suite {
             format!("Figure 9(b) — solved queries (of {})", self.queries_per_set),
             &headers,
         );
-        for p in &self.datasets {
-            let g = p.generate(self.seed, self.scale);
-            let windows = p.window_sizes(self.scale);
-            for (wi, &delta) in windows.iter().enumerate() {
-                let queries = self.queries(p, &g, DEFAULT_SIZE, DEFAULT_DENSITY, delta);
-                let res = self.run_set(&algos, &queries, &g, delta);
-                let mut ra = vec![p.name.to_string(), WINDOW_NAMES[wi].to_string()];
+        for d in self.materialize() {
+            for (wi, &delta) in d.windows.iter().enumerate() {
+                let queries = self.queries(d, DEFAULT_SIZE, DEFAULT_DENSITY, delta);
+                let res = self.run_set(&algos, &queries, &d.g, delta);
+                let mut ra = vec![d.name.clone(), WINDOW_NAMES[wi].to_string()];
                 let mut rb = ra.clone();
                 for (ms, solved, _, _) in &res {
                     ra.push(fmt_ms(*ms));
@@ -272,7 +315,7 @@ impl Suite {
                 }
                 ta.row(ra);
                 tb.row(rb);
-                eprintln!("[fig9] {} window {} done", p.name, WINDOW_NAMES[wi]);
+                eprintln!("[fig9] {} window {} done", d.name, WINDOW_NAMES[wi]);
             }
         }
         ta.emit(&self.results_dir, "fig9a");
@@ -295,18 +338,20 @@ impl Suite {
             "Figure 10 — avg peak memory MB (density 0.5, window 30k)",
             &headers,
         );
-        for p in &self.datasets {
-            let g = p.generate(self.seed, self.scale);
-            let delta = p.window_sizes(self.scale)[DEFAULT_WINDOW_IDX];
+        for d in self.materialize() {
+            let delta = d.windows[DEFAULT_WINDOW_IDX];
             for &size in &QUERY_SIZES {
-                let queries = self.queries(p, &g, size, DEFAULT_DENSITY, delta);
-                let res = self.run_set(&algos, &queries, &g, delta);
-                let mut row = vec![p.name.to_string(), size.to_string()];
+                let queries = self.queries(d, size, DEFAULT_DENSITY, delta);
+                let res = self.run_set(&algos, &queries, &d.g, delta);
+                let mut row = vec![d.name.clone(), size.to_string()];
                 for (_, _, peak, _) in &res {
-                    row.push(fmt_mb(*peak));
+                    // Working set of one run = the dataset graph plus the
+                    // run's heap growth; `peak` is baseline-relative so
+                    // the other cached datasets stay out of the figure.
+                    row.push(fmt_mb(peak + d.graph_live));
                 }
                 t.row(row);
-                eprintln!("[fig10] {} size {size} done", p.name);
+                eprintln!("[fig10] {} size {size} done", d.name);
             }
         }
         t.emit(&self.results_dir, "fig10");
@@ -319,18 +364,18 @@ impl Suite {
             "Table V — filtering power (TCM / SymBi ratios; smaller = more filtering)",
             &["dataset", "size", "edge ratio", "vertex ratio"],
         );
-        for p in &self.datasets {
-            let g = p.generate(self.seed, self.scale);
-            let delta = p.window_sizes(self.scale)[DEFAULT_WINDOW_IDX];
+        for d in self.materialize() {
+            let g = &d.g;
+            let delta = d.windows[DEFAULT_WINDOW_IDX];
             for &size in &QUERY_SIZES {
-                let queries = self.queries(p, &g, size, DEFAULT_DENSITY, delta);
+                let queries = self.queries(d, size, DEFAULT_DENSITY, delta);
                 if queries.is_empty() {
                     continue;
                 }
                 let (mut er, mut vr, mut n) = (0.0, 0.0, 0);
                 for q in &queries {
-                    let tcm = run_one(Algo::Tcm, q, &g, delta, &self.run_cfg);
-                    let sym = run_one(Algo::SymBi, q, &g, delta, &self.run_cfg);
+                    let tcm = run_one(Algo::Tcm, q, g, delta, &self.run_cfg);
+                    let sym = run_one(Algo::SymBi, q, g, delta, &self.run_cfg);
                     // Unsolved runs processed different event prefixes, so
                     // their per-event averages are not comparable.
                     if !(tcm.solved && sym.solved) {
@@ -348,13 +393,13 @@ impl Suite {
                 }
                 if n > 0 {
                     t.row(vec![
-                        p.name.to_string(),
+                        d.name.clone(),
                         size.to_string(),
                         format!("{:.3}", er / n as f64),
                         format!("{:.3}", vr / n as f64),
                     ]);
                 }
-                eprintln!("[table5] {} size {size} done", p.name);
+                eprintln!("[table5] {} size {size} done", d.name);
             }
         }
         t.emit(&self.results_dir, "table5");
@@ -375,14 +420,14 @@ impl Suite {
             "Ablation — §V pruning techniques in isolation (search nodes | ms)",
             &["dataset", "none", "case1", "case2", "case3", "all"],
         );
-        for p in &self.datasets {
-            let g = p.generate(self.seed, self.scale);
-            let delta = p.window_sizes(self.scale)[DEFAULT_WINDOW_IDX];
-            let queries = self.queries(p, &g, DEFAULT_SIZE, DEFAULT_DENSITY, delta);
+        for d in self.materialize() {
+            let g = &d.g;
+            let delta = d.windows[DEFAULT_WINDOW_IDX];
+            let queries = self.queries(d, DEFAULT_SIZE, DEFAULT_DENSITY, delta);
             if queries.is_empty() {
                 continue;
             }
-            let mut row = vec![p.name.to_string()];
+            let mut row = vec![d.name.clone()];
             for (_, flags) in variants {
                 let (mut nodes, mut ms) = (0u64, 0.0f64);
                 for q in &queries {
@@ -397,7 +442,7 @@ impl Suite {
                         ..Default::default()
                     };
                     let start = std::time::Instant::now();
-                    let mut e = TcmEngine::new(q, &g, delta, cfg).expect("valid");
+                    let mut e = TcmEngine::new(q, g, delta, cfg).expect("valid");
                     let s = e.run_counting();
                     nodes += s.search_nodes;
                     ms += start.elapsed().as_secs_f64() * 1e3;
@@ -405,7 +450,7 @@ impl Suite {
                 row.push(format!("{nodes} | {}", fmt_ms(ms / queries.len() as f64)));
             }
             t.row(row);
-            eprintln!("[ablation] {} done", p.name);
+            eprintln!("[ablation] {} done", d.name);
         }
         t.emit(&self.results_dir, "ablation");
     }

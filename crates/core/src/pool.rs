@@ -42,7 +42,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 /// A pending dispatch: the type-erased job, its index count, and its
 /// half-open ticket range start (see the module docs).
@@ -84,6 +84,21 @@ struct Shared {
 }
 
 impl Shared {
+    /// Locks the control mutex, shrugging off poisoning: `Ctrl` holds no
+    /// invariant a mid-panic unwinder could break (its fields are plain
+    /// flags/options written atomically under the guard), and dying on a
+    /// `PoisonError` here would replace the *original* worker panic with an
+    /// opaque secondary one on every later waiter.
+    fn lock_ctrl(&self) -> MutexGuard<'_, Ctrl> {
+        self.ctrl.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// [`Condvar::wait`] with the same poison recovery as
+    /// [`Shared::lock_ctrl`].
+    fn wait_ctrl<'a>(&self, cv: &Condvar, guard: MutexGuard<'a, Ctrl>) -> MutexGuard<'a, Ctrl> {
+        cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Claims the next index of `job`, or `None` when its ticket range is
     /// exhausted. Monotonicity makes this immune to job turnover: a stale
     /// job's range lies entirely at or below the current counter.
@@ -138,7 +153,7 @@ impl Shared {
             // Last index done: wake the dispatcher. Locking the control
             // mutex orders this notify against the dispatcher's re-check,
             // so the wakeup cannot be lost.
-            let _guard = self.ctrl.lock().unwrap();
+            let _guard = self.lock_ctrl();
             self.done_cv.notify_all();
         }
     }
@@ -241,7 +256,7 @@ impl WorkerPool {
         let f_static: *const (dyn Fn(usize, usize) + Sync + 'static) =
             unsafe { std::mem::transmute(f) };
         let job = {
-            let mut ctrl = shared.ctrl.lock().unwrap();
+            let mut ctrl = shared.lock_ctrl();
             // The previous dispatch fully settled (remaining hit 0 and its
             // range was exhausted), so the counter now reads this range's
             // base.
@@ -263,9 +278,9 @@ impl WorkerPool {
         }
         // Wait for stragglers, then retire the job.
         {
-            let mut ctrl = shared.ctrl.lock().unwrap();
+            let mut ctrl = shared.lock_ctrl();
             while shared.remaining.load(Ordering::Acquire) != 0 {
-                ctrl = shared.done_cv.wait(ctrl).unwrap();
+                ctrl = shared.wait_ctrl(&shared.done_cv, ctrl);
             }
             ctrl.job = None;
         }
@@ -325,7 +340,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut ctrl = self.shared.ctrl.lock().unwrap();
+            let mut ctrl = self.shared.lock_ctrl();
             ctrl.shutdown = true;
             self.shared.work_cv.notify_all();
         }
@@ -367,7 +382,7 @@ fn worker_loop(shared: &Shared, lane: usize) {
     let mut seen_base: Option<u64> = None;
     loop {
         let job = {
-            let mut ctrl = shared.ctrl.lock().unwrap();
+            let mut ctrl = shared.lock_ctrl();
             loop {
                 if ctrl.shutdown {
                     return;
@@ -379,7 +394,7 @@ fn worker_loop(shared: &Shared, lane: usize) {
                     }
                     _ => {}
                 }
-                ctrl = shared.work_cv.wait(ctrl).unwrap();
+                ctrl = shared.wait_ctrl(&shared.work_cv, ctrl);
             }
         };
         while let Some(idx) = shared.claim_index(&job) {
@@ -467,6 +482,51 @@ mod tests {
             ok.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ok.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn poisoned_control_mutex_does_not_mask_the_worker_panic() {
+        // Poison the control mutex the hard way: a thread panics while
+        // holding it. Every later lock site must recover (`into_inner`)
+        // instead of dying on an opaque `PoisonError`, and the *original*
+        // panic of a failing job must still be the one the dispatcher sees.
+        let pool = WorkerPool::new(2);
+        let shared = Arc::clone(&pool.shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = shared.ctrl.lock().unwrap();
+            panic!("poisoner");
+        })
+        .join();
+        assert!(pool.shared.ctrl.lock().is_err(), "mutex must be poisoned");
+
+        // Dispatches still run to completion over the poisoned mutex.
+        let ok = AtomicUsize::new(0);
+        pool.dispatch(8, &|_i, _lane| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 8);
+
+        // A failing job's own message propagates, not a PoisonError.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.dispatch(4, &|i, _lane| {
+                if i == 2 {
+                    panic!("the real panic");
+                }
+            });
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("payload is the worker's own message");
+        assert_eq!(msg, "the real panic");
+
+        // And the pool keeps working afterwards (drop joins workers too).
+        let again = AtomicUsize::new(0);
+        pool.dispatch(3, &|_i, _lane| {
+            again.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(again.load(Ordering::Relaxed), 3);
     }
 
     #[test]

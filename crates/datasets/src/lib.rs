@@ -1,15 +1,28 @@
 //! # tcsm-datasets
 //!
-//! Workload generation for the TCM evaluation (§VI).
+//! Workload provisioning for the TCM evaluation (§VI): synthetic Table III
+//! profiles, real-dump ingest, and the query generator.
 //!
 //! The paper evaluates on six datasets (Table III): Netflow, Wiki-talk,
-//! Superuser, StackOverflow, Yahoo and LSBench. None of these dumps is
-//! available offline, so [`profiles`] provides parameterized synthetic
-//! generators matched to each dataset's published statistics — vertex/edge
-//! counts (scaled 1:1000 by default), label alphabet sizes, degree skew and
-//! the average parallel-edge multiplicity `mavg` that drives the paper's
-//! multigraph arguments. See DESIGN.md §5 for why this substitution
-//! preserves the experiment shapes.
+//! Superuser, StackOverflow, Yahoo and LSBench. [`profiles`] provides
+//! parameterized synthetic generators matched to each dataset's published
+//! statistics — vertex/edge counts (scaled 1:1000 by default), label
+//! alphabet sizes, degree skew and the average parallel-edge multiplicity
+//! `mavg` that drives the paper's multigraph arguments. See DESIGN.md §5
+//! for why this substitution preserves the experiment shapes.
+//!
+//! [`ingest`] opens the same experiment surface to *real* temporal streams:
+//! a [`DatasetSource`] trait unifies the synthetic profiles with
+//! file-backed [`FileSource`]s, so the `experiments` CLI's
+//! `--input FILE --format snap` and `QueryGen` random walks run on either.
+//! SNAP dumps (`src dst unixtime` lines, as in `wiki-talk-temporal` /
+//! `sx-superuser` / `sx-stackoverflow`) go through `tcsm_graph::io`'s SNAP
+//! parser, which densifies sparse ids, rescales epoch timestamps so the
+//! earliest arrival is instant 0, synthesizes vertex labels
+//! (uniform / degree-bucket / id-hash over a configurable alphabet) and
+//! optionally down-samples to a record-prefix — the full contract is
+//! documented on `tcsm_graph::io`. A miniature checked-in dump
+//! (`fixtures/mini-snap.txt`) keeps the whole path exercised offline.
 //!
 //! [`querygen`] reimplements the paper's query generation protocol: random
 //! walks over the data graph (restricted to a time span so at least one
@@ -17,8 +30,10 @@
 //! random permutation filtered by actual timestamps, with densities
 //! {0, 0.25, 0.5, 0.75, 1} (§VI "Queries").
 
+pub mod ingest;
 pub mod profiles;
 pub mod querygen;
 
+pub use ingest::{DatasetSource, FileFormat, FileSource, IngestError, SourceSpec};
 pub use profiles::{DatasetProfile, ALL_PROFILES};
 pub use querygen::QueryGen;

@@ -24,6 +24,17 @@ pub enum GraphError {
     Parse(usize, String),
     /// Window length must be positive.
     NonPositiveWindow(i64),
+    /// An edge's expiration instant `t + δ` left the finite timestamp
+    /// domain, which would collapse distinct expiries onto one instant and
+    /// break the complete-batch invariant of [`crate::stream`]. Carries
+    /// `(t, δ)`.
+    ExpiryOverflow(i64, i64),
+    /// A loader's timestamp span `[min, max]` is too wide to rescale into
+    /// the finite timestamp domain. Carries `(min, max)`.
+    EpochSpanOverflow(i64, i64),
+    /// An I/O failure while reading a stream-backed loader input (message
+    /// only, so the error stays `Clone`/`Eq`).
+    Io(String),
 }
 
 impl fmt::Display for GraphError {
@@ -50,6 +61,18 @@ impl fmt::Display for GraphError {
             GraphError::DisconnectedQuery => write!(f, "query graph must be connected"),
             GraphError::Parse(line, msg) => write!(f, "parse error at line {line}: {msg}"),
             GraphError::NonPositiveWindow(d) => write!(f, "window must be positive, got {d}"),
+            GraphError::ExpiryOverflow(t, d) => write!(
+                f,
+                "expiry time {t} + {d} overflows the timestamp domain; \
+                 rescale the epoch (e.g. io::SnapOptions::rescale_epoch) or \
+                 shrink the window"
+            ),
+            GraphError::EpochSpanOverflow(lo, hi) => write!(
+                f,
+                "timestamp span [{lo}, {hi}] exceeds the representable range; \
+                 cannot rescale the epoch"
+            ),
+            GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }

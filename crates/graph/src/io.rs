@@ -11,16 +11,61 @@
 //! e <a> <b> [-> | --] [edge-label]
 //! o <edge-index> <edge-index>     # left ≺ right
 //! ```
-//! Vertex ids must be dense (`0..n`) in both formats.
+//! Vertex ids must be dense (`0..n`) in both formats. Records with
+//! unconsumed trailing tokens are parse errors, never silently truncated.
+//!
+//! # SNAP temporal edge lists
+//!
+//! [`parse_snap`] / [`parse_snap_reader`] ingest the format the SNAP
+//! temporal dumps (`wiki-talk-temporal`, `sx-superuser`,
+//! `sx-stackoverflow`, …) ship in: one `src dst unixtime` triple per line,
+//! whitespace separated, `#`/`%` comment lines allowed, and **exactly**
+//! three tokens per record. Real dumps violate every convenience the native
+//! format guarantees, and the parser normalizes each one:
+//!
+//! * **sparse vertex ids** — raw (up to 64-bit) ids are densified to
+//!   `0..n` in first-appearance order, so the density contract of the rest
+//!   of the crate holds;
+//! * **epoch timestamps** — with [`SnapOptions::rescale_epoch`] (the
+//!   default) times are shifted so the earliest arrival is instant `0`,
+//!   keeping `t + δ` far from the [`crate::time::Ts`] domain ends (see
+//!   [`GraphError::ExpiryOverflow`]);
+//! * **no labels** — a [`SnapLabeling`] policy synthesizes vertex labels
+//!   (uniform, log-degree buckets, or a hash of the raw id) over an
+//!   alphabet of [`SnapOptions::vertex_labels`]; edges get label `0`;
+//! * **self-loops** — the paper's model forbids them; they are counted and
+//!   skipped ([`SnapStats::self_loops_skipped`]);
+//! * **duplicate `(src, dst, t)` triples** — kept as distinct parallel
+//!   edges (the model's multigraph semantics) and tallied in
+//!   [`SnapStats::duplicate_triples`];
+//! * **unsorted input** — edges are sorted by timestamp with input order
+//!   breaking ties, so replay order is deterministic.
+//!
+//! [`SnapOptions::max_edges`] optionally down-samples to the first `N`
+//! edge records in file order, which keeps multi-gigabyte dumps usable for
+//! laptop-scale experiments. [`write_snap`] emits the same format (in
+//! original record order, dense ids), and `parse → write → parse` is an
+//! identity for id-independent labelings — see the round-trip tests.
 
 use crate::data::{TemporalGraph, TemporalGraphBuilder};
 use crate::error::GraphError;
 use crate::query::{Direction, QueryGraph, QueryGraphBuilder};
 use crate::EDGE_LABEL_ANY;
 use std::fmt::Write as _;
+use std::io::BufRead;
 
 fn parse_err(line: usize, msg: impl Into<String>) -> GraphError {
     GraphError::Parse(line, msg.into())
+}
+
+/// Fails when a record's token iterator has unconsumed tokens left —
+/// `e 0 1 5 7 extra` must be a parse error at its line, not a silently
+/// truncated record.
+fn reject_trailing(line: usize, it: &mut std::str::SplitWhitespace<'_>) -> Result<(), GraphError> {
+    match it.next() {
+        Some(tok) => Err(parse_err(line, format!("trailing token '{tok}'"))),
+        None => Ok(()),
+    }
 }
 
 /// Parses a temporal data graph from the text format above.
@@ -50,6 +95,7 @@ pub fn parse_temporal_graph(text: &str) -> Result<TemporalGraph, GraphError> {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| parse_err(line, "bad vertex label"))?;
+                reject_trailing(line, &mut it)?;
                 b.vertex(label);
                 expected_vid += 1;
             }
@@ -70,6 +116,7 @@ pub fn parse_temporal_graph(text: &str) -> Result<TemporalGraph, GraphError> {
                     Some(s) => s.parse().map_err(|_| parse_err(line, "bad edge label"))?,
                     None => 0,
                 };
+                reject_trailing(line, &mut it)?;
                 b.edge_full(src, dst, t, label);
             }
             Some(tok) => return Err(parse_err(line, format!("unknown record '{tok}'"))),
@@ -118,6 +165,7 @@ pub fn parse_query_graph(text: &str) -> Result<QueryGraph, GraphError> {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| parse_err(line, "bad vertex label"))?;
+                reject_trailing(line, &mut it)?;
                 b.vertex(label);
                 expected_vid += 1;
             }
@@ -130,20 +178,40 @@ pub fn parse_query_graph(text: &str) -> Result<QueryGraph, GraphError> {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| parse_err(line, "bad edge endpoint"))?;
-                let mut dir = Direction::Undirected;
-                let mut label = EDGE_LABEL_ANY;
+                // Direction and label each appear at most once; a repeat is
+                // unconsumed garbage, not a silent overwrite.
+                let mut dir: Option<Direction> = None;
+                let mut label: Option<u32> = None;
                 for tok in it {
                     match tok {
-                        "->" => dir = Direction::AToB,
-                        "--" => dir = Direction::Undirected,
+                        "->" | "--" => {
+                            if dir.is_some() {
+                                return Err(parse_err(line, format!("trailing token '{tok}'")));
+                            }
+                            dir = Some(if tok == "->" {
+                                Direction::AToB
+                            } else {
+                                Direction::Undirected
+                            });
+                        }
                         other => {
-                            label = other
-                                .parse()
-                                .map_err(|_| parse_err(line, "bad edge label"))?;
+                            if label.is_some() {
+                                return Err(parse_err(line, format!("trailing token '{other}'")));
+                            }
+                            label = Some(
+                                other
+                                    .parse()
+                                    .map_err(|_| parse_err(line, "bad edge label"))?,
+                            );
                         }
                     }
                 }
-                b.edge_full(a, bb, dir, label);
+                b.edge_full(
+                    a,
+                    bb,
+                    dir.unwrap_or(Direction::Undirected),
+                    label.unwrap_or(EDGE_LABEL_ANY),
+                );
             }
             Some("o") => {
                 let x: usize = it
@@ -154,6 +222,7 @@ pub fn parse_query_graph(text: &str) -> Result<QueryGraph, GraphError> {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| parse_err(line, "bad order pair"))?;
+                reject_trailing(line, &mut it)?;
                 b.precede(x, y);
             }
             Some(tok) => return Err(parse_err(line, format!("unknown record '{tok}'"))),
@@ -182,6 +251,254 @@ pub fn write_query_graph(q: &QueryGraph) -> String {
     }
     for (a, b) in q.order().pairs() {
         let _ = writeln!(s, "o {a} {b}");
+    }
+    s
+}
+
+// ---- SNAP temporal edge lists ------------------------------------------
+
+/// Vertex-label synthesis policy for unlabelled SNAP dumps (see the module
+/// docs for the format contract).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapLabeling {
+    /// Every vertex gets label `0` (the unlabelled-graph convention).
+    Uniform,
+    /// Label = `⌊log2(degree)⌋` clamped to the alphabet — buckets hubs and
+    /// leaves apart, deterministic in the *structure* (survives id
+    /// renumbering, so `parse → write → parse` round-trips exactly).
+    DegreeBucket,
+    /// Label = splitmix64 hash of the **raw** id, modulo the alphabet —
+    /// uniform label frequencies independent of topology. Not id-stable
+    /// across a densifying round-trip; prefer `DegreeBucket` when that
+    /// matters.
+    IdHash,
+}
+
+/// Knobs of the SNAP ingest pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct SnapOptions {
+    /// How vertex labels are synthesized.
+    pub labeling: SnapLabeling,
+    /// Vertex-label alphabet size (`≥ 1`; ignored by `Uniform`).
+    pub vertex_labels: u32,
+    /// Keep only the first `N` edge records (file order) when set. Records
+    /// past the cap are still grammar-checked (a corrupt tail stays a
+    /// parse error), just not kept.
+    pub max_edges: Option<usize>,
+    /// Shift timestamps so the earliest arrival is instant `0`. Leave on
+    /// for epoch-stamped dumps: it keeps expiry arithmetic
+    /// (`t + δ`) far from the `Ts` domain ends.
+    pub rescale_epoch: bool,
+}
+
+impl Default for SnapOptions {
+    fn default() -> SnapOptions {
+        SnapOptions {
+            labeling: SnapLabeling::DegreeBucket,
+            vertex_labels: 4,
+            max_edges: None,
+            rescale_epoch: true,
+        }
+    }
+}
+
+/// What the ingest saw and did — the numbers a loader caller wants to log.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapStats {
+    /// Total lines read (records, comments and blanks).
+    pub lines: usize,
+    /// Edge records kept (after self-loop skipping and down-sampling).
+    pub edges: usize,
+    /// Distinct vertices among kept edges (the densified id range).
+    pub vertices: usize,
+    /// Self-loop records skipped (the model forbids them).
+    pub self_loops_skipped: usize,
+    /// Edge records dropped by [`SnapOptions::max_edges`].
+    pub downsampled: usize,
+    /// Kept records whose `(src, dst, t)` triple duplicated an earlier one
+    /// (retained as parallel edges).
+    pub duplicate_triples: usize,
+    /// Largest raw vertex id seen (sparsity witness).
+    pub raw_id_max: u64,
+    /// Raw timestamp range `[min, max]` before any rescaling.
+    pub epoch_min: i64,
+    /// See [`SnapStats::epoch_min`].
+    pub epoch_max: i64,
+}
+
+/// The raw-deterministic splitmix64 mix used by [`SnapLabeling::IdHash`].
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Parses a SNAP-style temporal edge list from a string. Convenience
+/// wrapper over [`parse_snap_reader`].
+pub fn parse_snap(text: &str, opts: &SnapOptions) -> Result<TemporalGraph, GraphError> {
+    parse_snap_reader(text.as_bytes(), opts).map(|(g, _)| g)
+}
+
+/// Like [`parse_snap`], returning the ingest statistics too.
+pub fn parse_snap_with_stats(
+    text: &str,
+    opts: &SnapOptions,
+) -> Result<(TemporalGraph, SnapStats), GraphError> {
+    parse_snap_reader(text.as_bytes(), opts)
+}
+
+/// Streaming SNAP ingest: reads `src dst unixtime` records line by line
+/// from any [`BufRead`] (so multi-gigabyte dumps never need one contiguous
+/// string), then densifies ids, synthesizes labels, rescales the epoch and
+/// freezes the graph per the module-docs contract.
+pub fn parse_snap_reader<R: BufRead>(
+    mut r: R,
+    opts: &SnapOptions,
+) -> Result<(TemporalGraph, SnapStats), GraphError> {
+    assert!(opts.vertex_labels >= 1, "label alphabet must be non-empty");
+    let mut stats = SnapStats::default();
+    // Raw id → dense id, in first-appearance order.
+    let mut dense: crate::fx::FxHashMap<u64, u32> = crate::fx::FxHashMap::default();
+    // Kept records as (dense src, dense dst, raw t); labels come later.
+    let mut records: Vec<(u32, u32, i64)> = Vec::new();
+    let mut raw_ids: Vec<u64> = Vec::new(); // dense id → raw id
+    let mut line_buf = String::new();
+    let mut line_no = 0usize;
+    loop {
+        line_buf.clear();
+        let n = r
+            .read_line(&mut line_buf)
+            .map_err(|e| GraphError::Io(format!("line {}: {e}", line_no + 1)))?;
+        if n == 0 {
+            break;
+        }
+        line_no += 1;
+        stats.lines += 1;
+        let l = line_buf.trim();
+        if l.is_empty() || l.starts_with('#') || l.starts_with('%') {
+            continue;
+        }
+        let mut it = l.split_whitespace();
+        let src: u64 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(line_no, "bad snap src id"))?;
+        let dst: u64 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(line_no, "bad snap dst id"))?;
+        let t: i64 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .filter(|&t| t != i64::MIN && t != i64::MAX)
+            .ok_or_else(|| parse_err(line_no, "bad snap timestamp"))?;
+        reject_trailing(line_no, &mut it)?;
+        if src == dst {
+            stats.self_loops_skipped += 1;
+            continue;
+        }
+        // The cap gates *keeping*, not validating: records past it are
+        // still held to the three-token grammar, so a corrupt tail of a
+        // down-sampled dump cannot ingest silently.
+        if opts
+            .max_edges
+            .is_some_and(|cap| records.len() + stats.self_loops_skipped >= cap)
+        {
+            stats.downsampled += 1;
+            continue;
+        }
+        stats.raw_id_max = stats.raw_id_max.max(src).max(dst);
+        if records.is_empty() {
+            (stats.epoch_min, stats.epoch_max) = (t, t);
+        } else {
+            stats.epoch_min = stats.epoch_min.min(t);
+            stats.epoch_max = stats.epoch_max.max(t);
+        }
+        let mut densify = |raw: u64| -> u32 {
+            *dense.entry(raw).or_insert_with(|| {
+                raw_ids.push(raw);
+                (raw_ids.len() - 1) as u32
+            })
+        };
+        let (s, d) = (densify(src), densify(dst));
+        records.push((s, d, t));
+    }
+    stats.edges = records.len();
+    stats.vertices = raw_ids.len();
+
+    // Duplicate-triple tally = kept records minus distinct triples, via a
+    // transient sorted copy: densification is injective, so dense triples
+    // collide exactly when raw ones do, and the copy dies here instead of
+    // a dedup set living through the whole ingest of a multi-GB dump.
+    {
+        let mut sorted = records.clone();
+        sorted.sort_unstable();
+        stats.duplicate_triples = sorted.windows(2).filter(|w| w[0] == w[1]).count();
+    }
+
+    // Label synthesis over the kept records.
+    let labels: Vec<crate::Label> = match opts.labeling {
+        SnapLabeling::Uniform => vec![0; raw_ids.len()],
+        SnapLabeling::DegreeBucket => {
+            let mut deg = vec![0u64; raw_ids.len()];
+            for &(s, d, _) in &records {
+                deg[s as usize] += 1;
+                deg[d as usize] += 1;
+            }
+            deg.iter()
+                .map(|&d| (63 - d.max(1).leading_zeros()).min(opts.vertex_labels - 1))
+                .collect()
+        }
+        SnapLabeling::IdHash => raw_ids
+            .iter()
+            .map(|&raw| (splitmix64(raw) % opts.vertex_labels as u64) as u32)
+            .collect(),
+    };
+
+    // Epoch rescale: earliest arrival becomes instant 0. A span wider than
+    // the finite `Ts` domain cannot be rescaled into it — refuse up front
+    // so the per-edge `t - shift` below is provably overflow-free.
+    let shift = if opts.rescale_epoch && !records.is_empty() {
+        if stats
+            .epoch_max
+            .checked_sub(stats.epoch_min)
+            .filter(|&span| span < i64::MAX)
+            .is_none()
+        {
+            return Err(GraphError::EpochSpanOverflow(
+                stats.epoch_min,
+                stats.epoch_max,
+            ));
+        }
+        stats.epoch_min
+    } else {
+        0
+    };
+
+    let mut b = TemporalGraphBuilder::new();
+    for &l in &labels {
+        b.vertex(l);
+    }
+    for &(s, d, t) in &records {
+        // Overflow-free: when rescaling, shift ≤ t and the full span was
+        // checked above; unshifted sentinel-colliding inputs were rejected
+        // at parse time.
+        b.edge(s, d, t - shift);
+    }
+    let g = b.build()?;
+    Ok((g, stats))
+}
+
+/// Serializes a temporal graph to the SNAP three-token format, in original
+/// record order (edge-key order) with the graph's dense ids as the raw
+/// ids. Vertex labels are *not* representable in this format; re-ingesting
+/// reconstructs them via the [`SnapLabeling`] policy.
+pub fn write_snap(g: &TemporalGraph) -> String {
+    let mut s = String::new();
+    for key in 0..g.num_edges() {
+        let e = g.edge(crate::data::EdgeKey(key as u32));
+        let _ = writeln!(s, "{} {} {}", e.src, e.dst, e.time.raw());
     }
     s
 }
@@ -223,5 +540,187 @@ mod tests {
         assert!(matches!(err, GraphError::Parse(1, _)));
         let err = parse_query_graph("v 0 1\ne 0 zz\n").unwrap_err();
         assert!(matches!(err, GraphError::Parse(2, _)));
+    }
+
+    #[test]
+    fn trailing_tokens_are_rejected_with_the_line() {
+        // Data format: v and e records with unconsumed tokens.
+        for (text, bad_line) in [
+            ("v 0 1 junk\n", 1),
+            ("v 0 1\nv 1 2\ne 0 1 5 7 extra\n", 3),
+            ("v 0 1\nv 1 2\ne 0 1 5 7\ne 0 1 6 2 9\n", 4),
+        ] {
+            match parse_temporal_graph(text).unwrap_err() {
+                GraphError::Parse(line, msg) => {
+                    assert_eq!(line, bad_line, "{text:?}");
+                    assert!(msg.contains("trailing token"), "{msg}");
+                }
+                other => panic!("expected Parse, got {other:?}"),
+            }
+        }
+        // Query format: v/o trailing tokens, plus duplicated direction or
+        // label tokens on e records (previously a silent overwrite).
+        for (text, bad_line) in [
+            ("v 0 1 junk\n", 1),
+            ("v 0 1\nv 1 1\ne 0 1\no 0 0 0\n", 4),
+            ("v 0 1\nv 1 1\ne 0 1 -> -- 3\n", 3),
+            ("v 0 1\nv 1 1\ne 0 1 3 4\n", 3),
+        ] {
+            match parse_query_graph(text).unwrap_err() {
+                GraphError::Parse(line, msg) => {
+                    assert_eq!(line, bad_line, "{text:?}");
+                    assert!(msg.contains("trailing token"), "{msg}");
+                }
+                other => panic!("expected Parse, got {other:?}"),
+            }
+        }
+        // The maximal well-formed records still parse.
+        assert!(parse_temporal_graph("v 0 1\nv 1 2\ne 0 1 5 7\n").is_ok());
+        assert!(parse_query_graph("v 0 1\nv 1 1\ne 0 1 -> 3\n").is_ok());
+    }
+
+    // ---- SNAP ingest ----------------------------------------------------
+
+    const SNAP_SAMPLE: &str = "\
+# SNAP-style comment
+% gnuplot-style comment too
+1004 57 1217567877
+57 1004 1217567877
+1004 888888888 1217567890
+
+888888888 57 1217567890
+1004 1004 1217567900
+57 888888888 1217567999
+";
+
+    #[test]
+    fn snap_densifies_sparse_ids_and_rescales_the_epoch() {
+        let (g, stats) = parse_snap_with_stats(SNAP_SAMPLE, &SnapOptions::default()).unwrap();
+        // Three distinct raw ids → dense 0..3 in first-appearance order.
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(stats.vertices, 3);
+        assert_eq!(stats.raw_id_max, 888_888_888);
+        // The self-loop is skipped, all other records kept.
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(stats.self_loops_skipped, 1);
+        assert_eq!(stats.duplicate_triples, 0);
+        assert_eq!(stats.lines, 9);
+        // Epoch rescale: earliest arrival is instant 0, spread preserved.
+        assert_eq!((stats.epoch_min, stats.epoch_max), (1217567877, 1217567999));
+        let times: Vec<i64> = g.edges().iter().map(|e| e.time.raw()).collect();
+        assert_eq!(times, vec![0, 0, 13, 13, 122]);
+        // The stream machinery accepts the compact epochs directly.
+        assert!(crate::stream::EventQueue::new(&g, 10).is_ok());
+    }
+
+    #[test]
+    fn snap_duplicate_triples_become_parallel_edges() {
+        let text = "7 9 100\n7 9 100\n7 9 100\n9 7 100\n";
+        let (g, stats) = parse_snap_with_stats(text, &SnapOptions::default()).unwrap();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(stats.duplicate_triples, 2);
+        assert!((g.avg_parallel_edges() - 4.0).abs() < 1e-12);
+        // Parallel same-timestamp edges keep distinct keys in input order.
+        let keys: Vec<u32> = g.edges().iter().map(|e| e.key.0).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn snap_label_policies_respect_the_alphabet() {
+        for labeling in [
+            SnapLabeling::Uniform,
+            SnapLabeling::DegreeBucket,
+            SnapLabeling::IdHash,
+        ] {
+            let opts = SnapOptions {
+                labeling,
+                vertex_labels: 3,
+                ..SnapOptions::default()
+            };
+            let g = parse_snap(SNAP_SAMPLE, &opts).unwrap();
+            assert!(g.labels().iter().all(|&l| l < 3), "{labeling:?}");
+            if labeling == SnapLabeling::Uniform {
+                assert!(g.labels().iter().all(|&l| l == 0));
+            }
+        }
+        // DegreeBucket is structural: the hub out-buckets a leaf.
+        let text = "1 2 10\n1 3 11\n1 4 12\n1 5 13\n1 6 14\n6 5 15\n";
+        let opts = SnapOptions {
+            labeling: SnapLabeling::DegreeBucket,
+            vertex_labels: 4,
+            ..SnapOptions::default()
+        };
+        let g = parse_snap(text, &opts).unwrap();
+        // Vertex 0 (raw 1) has degree 5 → bucket 2; raw 2 has degree 1 → 0.
+        assert_eq!(g.label(0), 2);
+        assert_eq!(g.label(1), 0);
+    }
+
+    #[test]
+    fn snap_down_sampling_keeps_the_file_prefix() {
+        let opts = SnapOptions {
+            max_edges: Some(3),
+            ..SnapOptions::default()
+        };
+        let (g, stats) = parse_snap_with_stats(SNAP_SAMPLE, &opts).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert!(stats.downsampled > 0);
+        // The prefix is by record order, not timestamp order.
+        let times: Vec<i64> = g.edges().iter().map(|e| e.time.raw()).collect();
+        assert_eq!(times, vec![0, 0, 13]);
+        // Down-sampling never waives the grammar: garbage past the cap is
+        // still a parse error, not silently-counted dropped records.
+        let tight = SnapOptions {
+            max_edges: Some(1),
+            ..SnapOptions::default()
+        };
+        let err = parse_snap("1 2 10\n3 4 11\n?? binary garbage\n", &tight).unwrap_err();
+        match err {
+            GraphError::Parse(line, _) => assert_eq!(line, 3),
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snap_rejects_malformed_records_with_line_numbers() {
+        for (text, bad_line, needle) in [
+            ("1 2 10\nx 2 11\n", 2, "bad snap src"),
+            ("1 2 10\n2 zz 11\n", 2, "bad snap dst"),
+            ("1 2 10\n2 3\n", 2, "bad snap timestamp"),
+            ("1 2 10\n2 3 nope\n", 2, "bad snap timestamp"),
+            ("1 2 10\n2 3 11 junk\n", 2, "trailing token"),
+            ("# c\n1 2 9223372036854775807\n", 2, "bad snap timestamp"),
+        ] {
+            match parse_snap(text, &SnapOptions::default()).unwrap_err() {
+                GraphError::Parse(line, msg) => {
+                    assert_eq!(line, bad_line, "{text:?}");
+                    assert!(msg.contains(needle), "{msg:?} vs {needle:?}");
+                }
+                other => panic!("expected Parse, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn snap_empty_input_is_an_empty_graph() {
+        let (g, stats) = parse_snap_with_stats("# nothing\n", &SnapOptions::default()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(stats.edges, 0);
+    }
+
+    #[test]
+    fn snap_write_then_parse_is_identity_for_structural_labelings() {
+        for labeling in [SnapLabeling::Uniform, SnapLabeling::DegreeBucket] {
+            let opts = SnapOptions {
+                labeling,
+                ..SnapOptions::default()
+            };
+            let (g1, _) = parse_snap_with_stats(SNAP_SAMPLE, &opts).unwrap();
+            let text = write_snap(&g1);
+            let (g2, _) = parse_snap_with_stats(&text, &opts).unwrap();
+            assert_eq!(g1.labels(), g2.labels(), "{labeling:?}");
+            assert_eq!(g1.edges(), g2.edges(), "{labeling:?}");
+        }
     }
 }

@@ -44,6 +44,7 @@ pub use bitset::{DenseBits, Set64};
 pub use data::{EdgeKey, TemporalEdge, TemporalGraph, TemporalGraphBuilder, VertexId};
 pub use error::GraphError;
 pub use fx::{FxHashMap, FxHashSet};
+pub use io::{SnapLabeling, SnapOptions, SnapStats};
 pub use order::TemporalOrder;
 pub use query::{Direction, QEdgeId, QVertexId, QueryEdge, QueryGraph, QueryGraphBuilder};
 pub use stream::{Event, EventKind, EventQueue};

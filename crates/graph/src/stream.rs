@@ -94,19 +94,30 @@ pub struct EventQueue {
 
 impl EventQueue {
     /// Builds the event list `L` of Algorithm 1 for window length `delta`.
+    ///
+    /// Returns [`GraphError::ExpiryOverflow`] when any `t + δ` leaves the
+    /// finite timestamp domain: a saturated expiry would land several
+    /// arrival instants on *one* expiration instant, silently merging
+    /// expiry batches and voiding the complete-batch invariant above.
+    /// Callers with epoch-sized timestamps (e.g. raw SNAP dumps) should
+    /// rescale them first (`io::SnapOptions::rescale_epoch` does).
     pub fn new(g: &TemporalGraph, delta: i64) -> Result<EventQueue, GraphError> {
         if delta <= 0 {
             return Err(GraphError::NonPositiveWindow(delta));
         }
         let mut events = Vec::with_capacity(g.num_edges() * 2);
         for e in g.edges() {
+            let expiry = e
+                .time
+                .checked_plus(delta)
+                .ok_or(GraphError::ExpiryOverflow(e.time.raw(), delta))?;
             events.push(Event {
                 at: e.time,
                 kind: EventKind::Insert,
                 edge: e.key,
             });
             events.push(Event {
-                at: e.time.plus(delta),
+                at: expiry,
                 kind: EventKind::Delete,
                 edge: e.key,
             });
@@ -228,6 +239,35 @@ mod tests {
             EventQueue::new(&g, 0).unwrap_err(),
             GraphError::NonPositiveWindow(0)
         ));
+    }
+
+    #[test]
+    fn rejects_expiry_overflow_instead_of_merging_batches() {
+        // Two distinct arrivals near Ts::MAX whose saturated expiries would
+        // collapse onto one instant — construction must fail, not merge.
+        let hi = i64::MAX - 3;
+        let mut b = TemporalGraphBuilder::new();
+        let v = b.vertices(3, 0);
+        b.edge(v, v + 1, hi);
+        b.edge(v + 1, v + 2, hi + 1);
+        let g = b.build().unwrap();
+        match EventQueue::new(&g, 100).unwrap_err() {
+            GraphError::ExpiryOverflow(t, d) => {
+                assert_eq!(t, hi);
+                assert_eq!(d, 100);
+            }
+            other => panic!("expected ExpiryOverflow, got {other:?}"),
+        }
+        // The largest window that still fits both expiries is accepted, and
+        // the expiries stay distinct.
+        let q = EventQueue::new(&g, 1).unwrap();
+        let dels: Vec<Ts> = q
+            .iter()
+            .filter(|e| e.kind == EventKind::Delete)
+            .map(|e| e.at)
+            .collect();
+        assert_eq!(dels.len(), 2);
+        assert_ne!(dels[0], dels[1], "expiry instants must stay distinct");
     }
 
     #[test]

@@ -62,6 +62,11 @@ impl Ts {
     }
 
     /// Timestamp shifted by a window length; saturates at the sentinels.
+    ///
+    /// Saturation collapses distinct instants near the domain ends onto one
+    /// value, which merges expiry batches — code deriving *expiration
+    /// times* must use [`Ts::checked_plus`] and surface the overflow
+    /// instead (see [`crate::stream::EventQueue::new`]).
     #[inline]
     pub fn plus(self, delta: i64) -> Ts {
         if !self.is_finite() {
@@ -69,6 +74,21 @@ impl Ts {
         }
         let v = self.0.saturating_add(delta);
         Ts(v.clamp(i64::MIN + 1, i64::MAX - 1))
+    }
+
+    /// Timestamp shifted by a window length, or `None` when the finite
+    /// result would leave the representable open interval
+    /// `(i64::MIN, i64::MAX)` — unlike [`Ts::plus`], distinct inputs never
+    /// collapse onto one output. Sentinels are absorbing, as in `plus`.
+    #[inline]
+    pub fn checked_plus(self, delta: i64) -> Option<Ts> {
+        if !self.is_finite() {
+            return Some(self);
+        }
+        self.0
+            .checked_add(delta)
+            .filter(|&v| v > i64::MIN && v < i64::MAX)
+            .map(Ts)
     }
 }
 
@@ -130,5 +150,21 @@ mod tests {
         assert_eq!(Ts::NEG_INF.plus(10), Ts::NEG_INF);
         assert_eq!(Ts::new(5).plus(10), Ts::new(15));
         assert!(Ts::new(i64::MAX - 2).plus(100).is_finite());
+    }
+
+    #[test]
+    fn checked_plus_refuses_to_collapse_distinct_instants() {
+        assert_eq!(Ts::new(5).checked_plus(10), Some(Ts::new(15)));
+        assert_eq!(Ts::INF.checked_plus(10), Some(Ts::INF));
+        assert_eq!(Ts::NEG_INF.checked_plus(-10), Some(Ts::NEG_INF));
+        // The saturating collapse cases all report overflow instead.
+        assert_eq!(Ts::new(i64::MAX - 2).checked_plus(100), None);
+        assert_eq!(Ts::new(i64::MAX - 1).checked_plus(1), None);
+        assert_eq!(Ts::new(i64::MIN + 1).checked_plus(-1), None);
+        // The largest shift that still fits is accepted.
+        assert_eq!(
+            Ts::new(i64::MAX - 2).checked_plus(1),
+            Some(Ts::new(i64::MAX - 1))
+        );
     }
 }

@@ -1,0 +1,209 @@
+//! Property suite for the SNAP ingest path: round-trip identity,
+//! sparse-id densification, duplicate-triple handling, and the
+//! malformed-input corpus covering the loader/stream edge-case fixes
+//! (trailing-token rejection, expiry-overflow refusal).
+
+use proptest::prelude::*;
+use tcsm_graph::io::{
+    parse_snap, parse_snap_with_stats, parse_temporal_graph, write_snap, SnapLabeling, SnapOptions,
+};
+use tcsm_graph::{EventQueue, GraphError};
+
+/// A random SNAP file: sparse raw ids drawn from a tiny pool (forcing
+/// collisions → parallel edges and duplicates), epoch-ish timestamps with
+/// heavy ties, self-loops allowed, comments and blank lines sprinkled in.
+fn arb_snap_text() -> impl Strategy<Value = String> {
+    (
+        prop::collection::vec((0usize..12, 0usize..12, 0i64..20, 0u8..100), 1..40),
+        1_000_000_000i64..1_000_000_100,
+    )
+        .prop_map(|(recs, base)| {
+            // Sparse id pool: deliberately non-dense and non-contiguous.
+            let pool: [u64; 12] = [
+                3,
+                57,
+                1004,
+                90_210,
+                13,
+                777_777,
+                42,
+                65_536,
+                999_999_937,
+                8,
+                123_456,
+                2,
+            ];
+            let mut s = String::from("# generated corpus\n\n% second comment style\n");
+            for (a, b, dt, dup) in recs {
+                let line = format!("{} {} {}\n", pool[a], pool[b], base + dt);
+                s.push_str(&line);
+                if dup < 15 {
+                    s.push_str(&line); // exact duplicate (src, dst, t)
+                }
+            }
+            s
+        })
+}
+
+proptest! {
+    /// parse → write → parse is an identity (labels included) for the
+    /// structural labelings, with or without epoch rescaling.
+    #[test]
+    fn snap_roundtrip_is_identity(text in arb_snap_text(), rescale in any::<bool>()) {
+        for labeling in [SnapLabeling::Uniform, SnapLabeling::DegreeBucket] {
+            let opts = SnapOptions { labeling, rescale_epoch: rescale, ..SnapOptions::default() };
+            let (g1, s1) = parse_snap_with_stats(&text, &opts).unwrap();
+            let (g2, s2) = parse_snap_with_stats(&write_snap(&g1), &opts).unwrap();
+            prop_assert_eq!(g1.labels(), g2.labels());
+            prop_assert_eq!(g1.edges(), g2.edges());
+            // Second pass sees no self-loops or sparsity left to fix.
+            prop_assert_eq!(s2.self_loops_skipped, 0);
+            prop_assert_eq!(s2.edges, s1.edges);
+            prop_assert_eq!(s2.duplicate_triples, s1.duplicate_triples);
+            if s2.edges > 0 {
+                prop_assert!(s2.raw_id_max < s2.vertices as u64);
+            }
+        }
+    }
+
+    /// Densification invariants: ids form `0..n` with every vertex used,
+    /// edge count excludes exactly the self-loops, and rescaled epochs
+    /// start at zero.
+    #[test]
+    fn snap_densifies_and_rescales(text in arb_snap_text()) {
+        let (g, stats) = parse_snap_with_stats(&text, &SnapOptions::default()).unwrap();
+        prop_assert_eq!(stats.edges, g.num_edges());
+        prop_assert_eq!(stats.vertices, g.num_vertices());
+        // Every dense id is an endpoint of some edge (first-appearance
+        // densification admits no isolated vertices).
+        let mut used = vec![false; g.num_vertices()];
+        for e in g.edges() {
+            used[e.src as usize] = true;
+            used[e.dst as usize] = true;
+        }
+        prop_assert!(used.iter().all(|&u| u));
+        if g.num_edges() > 0 {
+            // Rescale: earliest instant is 0, spread preserved.
+            prop_assert_eq!(g.edges()[0].time.raw(), 0);
+            let span = stats.epoch_max - stats.epoch_min;
+            prop_assert_eq!(g.edges().last().unwrap().time.raw(), span);
+            // The rescaled stream always builds an event queue.
+            prop_assert!(EventQueue::new(&g, 5).is_ok());
+        }
+    }
+
+    /// Duplicate `(src, dst, t)` triples survive as distinct parallel
+    /// edges: the duplicate count plus distinct triples equals the edge
+    /// count.
+    #[test]
+    fn snap_duplicates_are_parallel_edges(text in arb_snap_text()) {
+        let (g, stats) = parse_snap_with_stats(&text, &SnapOptions::default()).unwrap();
+        let mut triples: Vec<(u32, u32, i64)> = g
+            .edges()
+            .iter()
+            .map(|e| (e.src, e.dst, e.time.raw()))
+            .collect();
+        triples.sort_unstable();
+        let total = triples.len();
+        triples.dedup();
+        prop_assert_eq!(total - triples.len(), stats.duplicate_triples);
+    }
+
+    /// Down-sampling caps the kept records and never changes what the kept
+    /// prefix parses to.
+    #[test]
+    fn snap_downsampling_is_a_prefix(text in arb_snap_text(), cap in 1usize..20) {
+        let full = parse_snap_with_stats(&text, &SnapOptions::default()).unwrap().1;
+        let opts = SnapOptions { max_edges: Some(cap), ..SnapOptions::default() };
+        let (_g, stats) = parse_snap_with_stats(&text, &opts).unwrap();
+        prop_assert!(stats.edges + stats.self_loops_skipped <= cap);
+        if full.edges + full.self_loops_skipped <= cap {
+            prop_assert_eq!(stats.edges, full.edges);
+            prop_assert_eq!(stats.downsampled, 0);
+        }
+    }
+}
+
+/// The malformed-input corpus: every bad shape is rejected with the right
+/// line number, covering the trailing-garbage fixes in both text formats
+/// and the SNAP record grammar.
+#[test]
+fn malformed_corpus_is_rejected_with_line_numbers() {
+    let snap_cases: &[(&str, usize)] = &[
+        // Wrong arity.
+        ("1 2\n", 1),
+        ("1\n", 1),
+        ("1 2 3 4\n", 1),
+        ("# ok\n1 2 10\n1 2 10 trailing\n", 3),
+        // Bad tokens.
+        ("a 2 10\n", 1),
+        ("1 b 10\n", 1),
+        ("1 2 ten\n", 1),
+        ("1 2 10.5\n", 1),
+        ("-1 2 10\n", 1),
+        // Sentinel-colliding timestamps.
+        ("1 2 9223372036854775807\n", 1),
+        ("1 2 -9223372036854775808\n", 1),
+    ];
+    for &(text, line) in snap_cases {
+        match parse_snap(text, &SnapOptions::default()).unwrap_err() {
+            GraphError::Parse(l, _) => assert_eq!(l, line, "{text:?}"),
+            other => panic!("{text:?}: expected Parse, got {other:?}"),
+        }
+    }
+
+    let native_cases: &[(&str, usize)] =
+        &[("v 0 1 junk\n", 1), ("v 0 1\nv 1 2\ne 0 1 5 7 extra\n", 3)];
+    for &(text, line) in native_cases {
+        match parse_temporal_graph(text).unwrap_err() {
+            GraphError::Parse(l, msg) => {
+                assert_eq!(l, line, "{text:?}");
+                assert!(msg.contains("trailing token"), "{msg}");
+            }
+            other => panic!("{text:?}: expected Parse, got {other:?}"),
+        }
+    }
+}
+
+/// A timestamp span wider than the finite `Ts` domain cannot be shifted
+/// into it: rescaling must refuse instead of wrapping `t - shift`.
+#[test]
+fn epoch_span_wider_than_the_domain_is_refused() {
+    let lo = i64::MIN + 2; // passes the per-token sentinel filter
+    let hi = i64::MAX - 2;
+    let text = format!("1 2 {lo}\n2 3 {hi}\n");
+    match parse_snap(&text, &SnapOptions::default()).unwrap_err() {
+        GraphError::EpochSpanOverflow(min, max) => {
+            assert_eq!((min, max), (lo, hi));
+        }
+        other => panic!("expected EpochSpanOverflow, got {other:?}"),
+    }
+    // Without rescaling the same records parse (and overflow is then the
+    // EventQueue's problem, below).
+    let opts = SnapOptions {
+        rescale_epoch: false,
+        ..SnapOptions::default()
+    };
+    assert!(parse_snap(&text, &opts).is_ok());
+}
+
+/// Near-`Ts::MAX` arrivals: ingest without rescaling hands the overflow to
+/// `EventQueue::new`, which must refuse instead of merging expiry batches;
+/// the default rescaling path sails through.
+#[test]
+fn unrescaled_epochs_near_the_domain_end_are_refused_downstream() {
+    let hi = i64::MAX - 5;
+    let text = format!("1 2 {hi}\n2 3 {}\n", hi + 1);
+    let opts = SnapOptions {
+        rescale_epoch: false,
+        ..SnapOptions::default()
+    };
+    let g = parse_snap(&text, &opts).unwrap();
+    assert!(matches!(
+        EventQueue::new(&g, 100).unwrap_err(),
+        GraphError::ExpiryOverflow(_, _)
+    ));
+    // With the default rescale the same stream is fine.
+    let g = parse_snap(&text, &SnapOptions::default()).unwrap();
+    assert!(EventQueue::new(&g, 100).is_ok());
+}

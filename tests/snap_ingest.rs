@@ -1,0 +1,135 @@
+//! End-to-end ingest differential suite over the checked-in miniature SNAP
+//! fixture: the *real-stream* shape (sparse ids, epoch timestamps, bursts,
+//! duplicate `(src,dst,t)` triples, self-loops, slightly unsorted records)
+//! must flow through ingest → query generation → `TcmEngine` with the
+//! serial, batched and threaded paths in agreement.
+//!
+//! Agreement is pinned at the strength each regime pair guarantees:
+//!
+//! * same regime, different pool widths → **byte-identical** streams
+//!   (the worker pool merges shards/seeds in deterministic order);
+//! * per-event vs per-batch regime → identical **ordered
+//!   (kind, instant, embedding) sets** (a combined batch sweep may
+//!   interleave same-instant emissions differently than per-event sweeps).
+//!
+//! CI replays this suite at `TCSM_THREADS=2` (the ingest smoke job), so a
+//! divergence on the real-stream shape fails the build.
+
+mod common;
+
+use common::normalize;
+use tcsm::datasets::ingest::{DatasetSource, FileSource};
+use tcsm::datasets::QueryGen;
+use tcsm::graph::io::{parse_snap_with_stats, SnapOptions};
+use tcsm::prelude::*;
+
+fn fixture_text() -> String {
+    std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/crates/datasets/fixtures/mini-snap.txt"
+    ))
+    .expect("fixture is checked in")
+}
+
+fn fixture_graph() -> TemporalGraph {
+    parse_snap_with_stats(&fixture_text(), &SnapOptions::default())
+        .expect("fixture parses")
+        .0
+}
+
+fn run_stream(
+    q: &QueryGraph,
+    g: &TemporalGraph,
+    delta: i64,
+    batching: bool,
+    threads: usize,
+) -> (Vec<MatchEvent>, EngineStats) {
+    let cfg = EngineConfig {
+        directed: true,
+        batching,
+        threads,
+        ..Default::default()
+    };
+    let mut e = TcmEngine::new(q, g, delta, cfg).expect("engine builds");
+    let mut out = Vec::new();
+    if batching {
+        while e.step_batch(&mut out) {}
+    } else {
+        while e.step(&mut out) {}
+    }
+    (out, *e.stats())
+}
+
+#[test]
+fn fixture_ingest_normalizes_the_real_stream_shape() {
+    let (g, stats) = parse_snap_with_stats(&fixture_text(), &SnapOptions::default()).unwrap();
+    // Sparse ids densified to 0..n.
+    assert!(stats.raw_id_max > g.num_vertices() as u64 * 1000);
+    assert_eq!(stats.vertices, g.num_vertices());
+    // Epochs rescaled: replay starts at instant 0.
+    assert_eq!(g.edges()[0].time.raw(), 0);
+    assert!(
+        stats.epoch_min > 1_000_000_000,
+        "fixture uses epoch seconds"
+    );
+    // The nasty parts are actually present in the fixture.
+    assert!(stats.self_loops_skipped > 0, "fixture carries self-loops");
+    assert!(stats.duplicate_triples > 0, "fixture carries dup triples");
+    assert!(g.avg_parallel_edges() > 1.0, "fixture is a multigraph");
+    // Bursts: strictly fewer distinct instants than edges.
+    let mut times: Vec<i64> = g.edges().iter().map(|e| e.time.raw()).collect();
+    times.sort_unstable();
+    times.dedup();
+    assert!(times.len() < g.num_edges(), "fixture is bursty");
+}
+
+#[test]
+fn fixture_querygen_walks_succeed_on_the_file_backed_source() {
+    let g = fixture_graph();
+    let qg = QueryGen::new(&g);
+    let source = FileSource::snap("crates/datasets/fixtures/mini-snap.txt");
+    let delta = source.window_sizes(&g, 1.0)[2];
+    for (i, &size) in [3usize, 4, 5].iter().enumerate() {
+        let q = qg
+            .generate(size, 0.5, (delta * 3 / 4).max(4), 7 + i as u64)
+            .expect("fixture supports random-walk queries");
+        assert_eq!(q.num_edges(), size);
+    }
+}
+
+/// The acceptance differential: identical (per the regime contracts above)
+/// match streams on serial, batched, and threads=2 paths.
+#[test]
+fn fixture_streams_agree_on_serial_batched_and_threaded_paths() {
+    let g = fixture_graph();
+    let qg = QueryGen::new(&g);
+    // Small window keeps the full cross-product affordable in debug CI.
+    let source = FileSource::snap("crates/datasets/fixtures/mini-snap.txt");
+    let delta = source.window_sizes(&g, 1.0)[0];
+    for (seed, size, density) in [(1u64, 3usize, 0.0), (2, 4, 0.5), (3, 5, 1.0)] {
+        let Some(q) = qg.generate(size, density, (delta * 3 / 4).max(4), seed) else {
+            continue;
+        };
+        let (serial0, stats_s0) = run_stream(&q, &g, delta, false, 0);
+        let (serial2, stats_s2) = run_stream(&q, &g, delta, false, 2);
+        let (batched0, stats_b0) = run_stream(&q, &g, delta, true, 0);
+        let (batched2, stats_b2) = run_stream(&q, &g, delta, true, 2);
+
+        // Same regime, different widths: byte-identical.
+        assert_eq!(serial0, serial2, "serial stream diverged at threads=2");
+        assert_eq!(batched0, batched2, "batched stream diverged at threads=2");
+        assert_eq!(stats_s0.semantic(), stats_s2.semantic());
+        assert_eq!(stats_b0.semantic(), stats_b2.semantic());
+
+        assert!(
+            !serial0.is_empty(),
+            "walked queries must match their own witness"
+        );
+        // Across regimes: identical ordered (kind, instant, embedding) sets.
+        assert_eq!(
+            normalize(serial0),
+            normalize(batched0),
+            "batched regime diverged from serial (size {size}, density {density})"
+        );
+    }
+}
