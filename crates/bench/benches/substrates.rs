@@ -254,6 +254,64 @@ fn bench(c: &mut Criterion) {
             });
         }
     }
+    // Multi-query serving: N standing queries over one stream through the
+    // sharded service (one shared WindowGraph per shard) vs the
+    // run-N-independent-engines baseline it replaces (one window copy and
+    // one full maintenance pipeline per query). Serial drive on this
+    // single-CPU container — the entry measures the shared-window work
+    // dedup, not thread scaling.
+    {
+        use tcsm_service::{CountingSink, MatchService, ServiceConfig, ShardPolicy};
+        const N_QUERIES: usize = 8;
+        let qg = QueryGen::new(&g);
+        let queries: Vec<_> = (0..(4 * N_QUERIES) as u64)
+            .filter_map(|seed| qg.generate(5 + (seed % 3) as usize * 2, 0.5, delta / 2, 7 + seed))
+            .take(N_QUERIES)
+            .collect();
+        assert_eq!(queries.len(), N_QUERIES, "profile hosts the bench queries");
+        let cfg = EngineConfig {
+            collect_matches: false,
+            directed: true,
+            threads: 0,
+            ..Default::default()
+        };
+        group.bench_function(BenchmarkId::new("service_multi_query", "engines8"), |b| {
+            b.iter(|| {
+                #[allow(deprecated)]
+                let stats = tcsm_core::run_queries_parallel(&queries, &g, delta, cfg, 1).unwrap();
+                stats.iter().map(|s| s.occurred).sum::<u64>()
+            })
+        });
+        for shards in [1usize, 4] {
+            group.bench_function(
+                BenchmarkId::new("service_multi_query", format!("service8_s{shards}")),
+                |b| {
+                    b.iter(|| {
+                        let mut svc = MatchService::new(
+                            &g,
+                            delta,
+                            ServiceConfig {
+                                shards,
+                                policy: ShardPolicy::LabelLocality,
+                                threads: 0,
+                                batching: false,
+                                directed: true,
+                            },
+                        )
+                        .unwrap();
+                        let ids: Vec<_> = queries
+                            .iter()
+                            .map(|q| svc.add_query(q, cfg, Box::new(CountingSink::new().0)))
+                            .collect();
+                        svc.run();
+                        ids.iter()
+                            .map(|&id| svc.query_stats(id).unwrap().occurred)
+                            .sum::<u64>()
+                    })
+                },
+            );
+        }
+    }
     group.finish();
 }
 

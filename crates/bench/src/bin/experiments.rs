@@ -3,9 +3,16 @@
 //! ```text
 //! cargo run --release -p tcsm-bench --bin experiments -- <cmd> [flags]
 //!
-//! cmds:  table3 | settings | fig7 | fig8 | fig9 | fig10 | fig11 | table5 | all
+//! cmds:  table3 | settings | fig7 | fig8 | fig9 | fig10 | fig11 | table5 |
+//!        service | all
 //! flags: --scale F        dataset scale (default 0.25; 1.0 = 1:1000 paper)
 //!        --queries N      queries per set (default 3; paper uses 100)
+//!        --service        run the multi-query service driver (alias for
+//!                         the `service` command): N standing queries
+//!                         through tcsm-service's shared-window shards vs
+//!                         the run-N-engines baseline
+//!        --shards N       shard count for --service (default
+//!                         min(4, queries))
 //!        --budget N       node budget per run (default 3_000_000)
 //!        --dataset NAME   restrict to one synthetic dataset (repeatable)
 //!        --input FILE     run on a real dump instead of the profiles
@@ -108,6 +115,12 @@ fn main() {
             }
             "--undirected" => suite.run_cfg.directed = false,
             "--batched" => suite.run_cfg.batching = true,
+            "--service" => cmds.push("service".to_string()),
+            "--shards" => {
+                i += 1;
+                suite.service_shards = args[i].parse().expect("--shards takes an int ≥ 1");
+                assert!(suite.service_shards >= 1, "--shards takes an int ≥ 1");
+            }
             other => cmds.push(other.to_string()),
         }
         i += 1;
@@ -142,7 +155,7 @@ fn main() {
         assert!(!suite.sources.is_empty(), "no dataset matched");
     }
     if cmds.is_empty() {
-        eprintln!("usage: experiments <table3|settings|fig7|fig8|fig9|fig10|fig11|table5|ablation|all> [flags]");
+        eprintln!("usage: experiments <table3|settings|fig7|fig8|fig9|fig10|fig11|table5|ablation|service|all> [flags]");
         std::process::exit(2);
     }
     for cmd in &cmds {
@@ -156,6 +169,7 @@ fn main() {
             "fig11" => suite.fig11(),
             "table5" => suite.table5(),
             "ablation" => suite.ablation(),
+            "service" => suite.service(),
             "all" => suite.all(),
             other => {
                 eprintln!("unknown command {other}");

@@ -29,6 +29,9 @@ pub struct Suite {
     pub results_dir: PathBuf,
     /// Base RNG seed.
     pub seed: u64,
+    /// Shards for the multi-query `service` driver (0 = auto:
+    /// `min(4, queries)`).
+    pub service_shards: usize,
     /// Ingested-once cache of `sources` (a multi-gigabyte dump must not be
     /// re-read per command). Configure `sources`/`seed`/`scale` *before*
     /// the first command; later mutations don't re-ingest.
@@ -48,6 +51,7 @@ impl Default for Suite {
             run_cfg: RunConfig::default(),
             results_dir: PathBuf::from("results"),
             seed: 0xC0FFEE,
+            service_shards: 0,
             loaded: OnceCell::new(),
         }
     }
@@ -453,6 +457,102 @@ impl Suite {
             eprintln!("[ablation] {} done", d.name);
         }
         t.emit(&self.results_dir, "ablation");
+    }
+
+    /// Multi-query throughput (beyond the paper): the `tcsm-service`
+    /// sharded service — one shared window per shard — against the
+    /// run-N-independent-engines baseline it replaces (one full window
+    /// copy per query). Same queries, same stream, matches counted on
+    /// both sides and asserted equal.
+    pub fn service(&self) {
+        use tcsm_core::{EngineConfig, WorkerPool};
+        use tcsm_service::{CountingSink, MatchService, ServiceConfig, ShardPolicy};
+        // Resolve the width up front: the two sides interpret 0 differently
+        // (baseline: one lane per CPU; service: no pool at all), and a fair
+        // comparison needs both running the same number of lanes.
+        let threads = WorkerPool::resolve_width(EngineConfig::default().threads);
+        let mut t = Table::new(
+            format!(
+                "Service — N-query throughput, shared-window shards vs \
+                 one engine per query (threads {threads})"
+            ),
+            &[
+                "dataset",
+                "queries",
+                "shards",
+                "engines ms",
+                "service ms",
+                "speedup",
+                "matches",
+            ],
+        );
+        for d in self.materialize() {
+            let g = &d.g;
+            let delta = d.windows[DEFAULT_WINDOW_IDX];
+            let queries = self.queries(d, DEFAULT_SIZE, DEFAULT_DENSITY, delta);
+            if queries.is_empty() {
+                continue;
+            }
+            let shards = match self.service_shards {
+                0 => queries.len().min(4),
+                n => n.min(queries.len()),
+            };
+            let cfg = EngineConfig {
+                directed: self.run_cfg.directed,
+                batching: self.run_cfg.batching,
+                collect_matches: false,
+                ..Default::default()
+            };
+            // Baseline: the deprecated one-engine-per-query fan-out this
+            // service replaces (kept callable exactly for this comparison).
+            let start = std::time::Instant::now();
+            #[allow(deprecated)]
+            let engine_stats = tcsm_core::run_queries_parallel(&queries, g, delta, cfg, threads)
+                .expect("baseline runs");
+            let engines_ms = start.elapsed().as_secs_f64() * 1e3;
+            let engines_matches: u64 = engine_stats.iter().map(|s| s.occurred).sum();
+
+            let start = std::time::Instant::now();
+            let mut svc = MatchService::new(
+                g,
+                delta,
+                ServiceConfig {
+                    shards,
+                    policy: ShardPolicy::LabelLocality,
+                    threads,
+                    batching: self.run_cfg.batching,
+                    directed: self.run_cfg.directed,
+                },
+            )
+            .expect("service builds");
+            let ids: Vec<_> = queries
+                .iter()
+                .map(|q| svc.add_query(q, cfg, Box::new(CountingSink::new().0)))
+                .collect();
+            svc.run();
+            let service_ms = start.elapsed().as_secs_f64() * 1e3;
+            let service_matches: u64 = ids
+                .iter()
+                .map(|&id| svc.query_stats(id).expect("resident").occurred)
+                .sum();
+            assert_eq!(
+                service_matches, engines_matches,
+                "service diverged from the engine baseline on {}",
+                d.name
+            );
+            assert_eq!(svc.stats().windows_allocated, shards as u64);
+            t.row(vec![
+                d.name.clone(),
+                queries.len().to_string(),
+                shards.to_string(),
+                fmt_ms(engines_ms),
+                fmt_ms(service_ms),
+                format!("{:.2}x", engines_ms / service_ms.max(1e-9)),
+                service_matches.to_string(),
+            ]);
+            eprintln!("[service] {} done", d.name);
+        }
+        t.emit(&self.results_dir, "service");
     }
 
     /// Runs everything in figure order.

@@ -9,6 +9,16 @@
 //!   same-timestamp exclusion of the matcher) reports the same match
 //!   multiset the serial order would.
 //!
+//! # Ownership split
+//!
+//! The engine owns the *stream state* — the event queue, its cursor, and
+//! the live [`WindowGraph`] — and delegates all per-query work to one
+//! [`QueryRuntime`], which borrows the window per call. That split is what
+//! the multi-query service builds on: `tcsm-service` owns one window per
+//! shard and drives many runtimes over it, while this engine remains the
+//! one-query configuration of the very same pipeline (the service
+//! differential suite pins that they stay byte-identical).
+//!
 //! # Batch staging & reclamation
 //!
 //! Each batch stages state strictly between `begin_batch` boundaries: the
@@ -24,67 +34,30 @@
 //! embeddings after the batch's insertions.
 
 use crate::config::EngineConfig;
-use crate::embedding::{EmbeddingArena, MatchEvent, MatchKind};
-use crate::matcher::{Matcher, MatcherScratch};
+use crate::embedding::MatchEvent;
 use crate::pool::WorkerPool;
+use crate::runtime::QueryRuntime;
 use crate::stats::EngineStats;
 use std::sync::Arc;
-use tcsm_dag::{build_best_dag, QueryDag};
-use tcsm_dcs::Dcs;
-use tcsm_filter::FilterBank;
+use tcsm_dag::QueryDag;
 use tcsm_graph::{
     EventKind, EventQueue, GraphError, QueryGraph, TemporalEdge, TemporalGraph, WindowGraph,
 };
 
 /// Time-constrained continuous subgraph matching over one stream.
 ///
-/// Owns the full pipeline: window graph, max-min timestamp filter bank, DCS,
-/// and the backtracking matcher. Process the stream with [`TcmEngine::run`]
-/// (whole stream) or [`TcmEngine::step`] (one event at a time).
+/// Owns the stream state (event queue + window graph) and one
+/// [`QueryRuntime`] (filter bank, DCS, matcher). Process the stream with
+/// [`TcmEngine::run`] (whole stream) or [`TcmEngine::step`] (one event at
+/// a time).
 pub struct TcmEngine<'g> {
-    q: QueryGraph,
     full: &'g TemporalGraph,
-    dag: QueryDag,
     window: WindowGraph,
-    bank: FilterBank,
-    dcs: Dcs,
     queue: EventQueue,
     next_event: usize,
-    cfg: EngineConfig,
-    stats: EngineStats,
-    deltas_scratch: Vec<tcsm_filter::DcsDelta>,
+    rt: QueryRuntime,
     /// Materialized edges of the current delta batch (reused allocation).
     batch_scratch: Vec<TemporalEdge>,
-    /// Search-state buffers reused by every `FindMatches` call.
-    matcher_scratch: MatcherScratch,
-    /// The intra-query worker pool (`None` = fully serial engine). Shared
-    /// with the filter bank (instance updates) and the batched sweeps.
-    pool: Option<Arc<WorkerPool>>,
-    /// One matcher scratch per pool lane for fanned-out sweeps (lane 0 is
-    /// the caller); pooled and reused across events.
-    lane_scratch: Vec<MatcherScratch>,
-    /// Per-seed result slots of fanned-out sweeps (reused across batches);
-    /// merged in seed order so the match stream stays byte-identical.
-    seed_slots: Vec<SeedSlot>,
-}
-
-/// Where one fanned-out sweep seed parks its results until the seed-order
-/// merge on lane 0.
-#[derive(Default)]
-struct SeedSlot {
-    /// The seed's embeddings (arena swapped out of the lane scratch).
-    found: EmbeddingArena,
-    /// The seed's matcher counters.
-    stats: EngineStats,
-    found_count: u64,
-}
-
-/// What a `FindMatches` sweep is seeded by.
-enum Sweep<'e> {
-    /// One updated edge (the serial regime).
-    Edge(&'e TemporalEdge),
-    /// A whole delta batch, with the arrival/expiration exclusion flag.
-    Batch(&'e [TemporalEdge], bool),
 }
 
 impl<'g> TcmEngine<'g> {
@@ -107,10 +80,9 @@ impl<'g> TcmEngine<'g> {
 
     /// Builds an engine that runs its parallel phases on an existing pool
     /// (the pool outlives the engine; several engines may share it as long
-    /// as they are driven from different threads only via
-    /// [`crate::parallel::run_queries_on`]-style outer fan-outs, never
-    /// concurrently through one pool). [`EngineConfig::threads`] is ignored
-    /// for pool sizing.
+    /// as they are driven from different threads only via outer fan-outs,
+    /// never concurrently through one pool). [`EngineConfig::threads`] is
+    /// ignored for pool sizing.
     pub fn with_pool(
         q: &QueryGraph,
         g: &'g TemporalGraph,
@@ -129,43 +101,28 @@ impl<'g> TcmEngine<'g> {
         pool: Option<Arc<WorkerPool>>,
     ) -> Result<TcmEngine<'g>, GraphError> {
         let queue = EventQueue::new(g, delta)?;
-        let dag = build_best_dag(q);
         let window = WindowGraph::new(g.labels().to_vec(), cfg.directed);
-        let mut bank = FilterBank::new(q, &dag, cfg.preset.filter_mode(), &window);
-        if let Some(pool) = &pool {
-            bank.set_exec(Some(Arc::clone(pool) as Arc<dyn tcsm_filter::Exec>));
-        }
-        let dcs = Dcs::new(dag.clone(), q, &window);
+        let rt = QueryRuntime::new(q, &window, delta, cfg, pool);
         Ok(TcmEngine {
-            q: q.clone(),
             full: g,
             window,
-            bank,
-            dcs,
-            dag,
             queue,
             next_event: 0,
-            cfg,
-            stats: EngineStats::default(),
-            deltas_scratch: Vec::new(),
+            rt,
             batch_scratch: Vec::new(),
-            matcher_scratch: MatcherScratch::default(),
-            pool,
-            lane_scratch: Vec::new(),
-            seed_slots: Vec::new(),
         })
     }
 
     /// The query DAG chosen by the greedy builder.
     #[inline]
     pub fn dag(&self) -> &QueryDag {
-        &self.dag
+        self.rt.dag()
     }
 
     /// Statistics accumulated so far.
     #[inline]
     pub fn stats(&self) -> &EngineStats {
-        &self.stats
+        self.rt.stats()
     }
 
     /// The live window graph.
@@ -177,13 +134,13 @@ impl<'g> TcmEngine<'g> {
     /// Current number of DCS edge pairs (Table V's "edges in DCS").
     #[inline]
     pub fn dcs_edges(&self) -> usize {
-        self.bank.num_pairs()
+        self.rt.dcs_edges()
     }
 
     /// Current number of `d2` candidate vertices (Table V's second metric).
     #[inline]
     pub fn dcs_vertices(&self) -> usize {
-        self.dcs.num_candidate_vertices()
+        self.rt.dcs_vertices()
     }
 
     /// Remaining events in the stream.
@@ -195,185 +152,30 @@ impl<'g> TcmEngine<'g> {
     /// Returns `false` when the stream is exhausted or a total budget was
     /// hit (check [`EngineStats::budget_exhausted`]).
     pub fn step(&mut self, out: &mut Vec<MatchEvent>) -> bool {
-        if self.stats.budget_exhausted {
+        if self.rt.done() {
             return false;
         }
         let Some(ev) = self.queue.events().get(self.next_event).copied() else {
             return false;
         };
         self.next_event += 1;
-        self.stats.events += 1;
-        let edge = *self.full.edge(ev.edge);
-        let mut deltas = std::mem::take(&mut self.deltas_scratch);
-        deltas.clear();
+        let full = self.full;
+        let edge = *full.edge(ev.edge);
         match ev.kind {
             EventKind::Insert => {
                 self.window.insert(&edge);
-                let (full, q, w) = (&self.full, &self.q, &self.window);
-                self.bank
-                    .on_insert(q, w, &edge, |k| full.edge(k), &mut deltas);
-                self.dcs.apply(q, w, |k| full.edge(k), &deltas);
-                self.find_matches(&edge, MatchKind::Occurred, out);
+                self.rt
+                    .apply_insert(&self.window, &edge, |k| full.edge(k), out);
             }
             EventKind::Delete => {
                 // Expired embeddings are enumerated before the removal (the
                 // structures still admit the expiring edge) — see DESIGN.md.
-                self.find_matches(&edge, MatchKind::Expired, out);
+                self.rt.sweep_expiring(&self.window, &edge, out);
                 self.window.remove(&edge);
-                let (full, q, w) = (&self.full, &self.q, &self.window);
-                self.bank
-                    .on_delete(q, w, &edge, |k| full.edge(k), &mut deltas);
-                self.dcs.apply(q, w, |k| full.edge(k), &deltas);
+                self.rt.apply_delete(&self.window, &edge, |k| full.edge(k));
             }
         }
-        self.deltas_scratch = deltas;
-        let de = self.bank.num_pairs() as u64;
-        let dv = self.dcs.num_candidate_vertices() as u64;
-        self.stats.peak_dcs_edges = self.stats.peak_dcs_edges.max(de);
-        self.stats.sum_dcs_edges += de;
-        self.stats.peak_dcs_vertices = self.stats.peak_dcs_vertices.max(dv);
-        self.stats.sum_dcs_vertices += dv;
-        self.stats.parallel_filter_rounds = self.bank.parallel_rounds();
         true
-    }
-
-    fn find_matches(
-        &mut self,
-        edge: &tcsm_graph::TemporalEdge,
-        kind: MatchKind,
-        out: &mut Vec<MatchEvent>,
-    ) {
-        self.find_matches_sweep(Sweep::Edge(edge), kind, out);
-    }
-
-    fn find_matches_sweep(&mut self, sweep: Sweep<'_>, kind: MatchKind, out: &mut Vec<MatchEvent>) {
-        let arrival = match &sweep {
-            Sweep::Edge(e) => e.time,
-            Sweep::Batch(edges, _) => match edges.first() {
-                Some(e) => e.time,
-                None => return,
-            },
-        };
-        // A multi-seed sweep fans out across the pool when budgets permit
-        // (budgeted runs keep one serial cursor so exhaustion points are
-        // exact — see `EngineConfig::budget_limited`).
-        if let Sweep::Batch(edges, exclude_later) = sweep {
-            if edges.len() > 1 && !self.cfg.budget_limited() {
-                if let Some(pool) = self.pool.clone() {
-                    self.sweep_parallel(&pool, edges, exclude_later, kind, arrival, out);
-                    return;
-                }
-            }
-        }
-        let mut scratch = std::mem::take(&mut self.matcher_scratch);
-        let (s, found_count) = {
-            let mut m = Matcher::new(
-                &self.q,
-                &self.window,
-                &self.dcs,
-                &self.bank,
-                &self.cfg,
-                self.stats.search_nodes,
-                &mut scratch,
-            );
-            match sweep {
-                Sweep::Edge(edge) => {
-                    m.run(edge);
-                }
-                Sweep::Batch(edges, exclude_later) => {
-                    m.run_batch(edges, exclude_later);
-                }
-            }
-            (m.stats, m.found_count)
-        };
-        self.merge_matcher_stats(&s, found_count, kind);
-        self.drain_found(&mut scratch.found, kind, arrival, out);
-        self.matcher_scratch = scratch;
-    }
-
-    /// Fans the per-seed searches of one delta batch out across the pool:
-    /// every seed runs on some lane with that lane's private scratch, parks
-    /// its results in its own [`SeedSlot`], and lane 0 merges the slots in
-    /// seed (= key = serial event) order afterwards — so the reported match
-    /// stream is byte-identical to the serial sweep at any pool width.
-    fn sweep_parallel(
-        &mut self,
-        pool: &WorkerPool,
-        seeds: &[TemporalEdge],
-        exclude_later: bool,
-        kind: MatchKind,
-        arrival: tcsm_graph::Ts,
-        out: &mut Vec<MatchEvent>,
-    ) {
-        let width = pool.width();
-        let mut lanes = std::mem::take(&mut self.lane_scratch);
-        lanes.resize_with(width, MatcherScratch::default);
-        let mut slots = std::mem::take(&mut self.seed_slots);
-        if slots.len() < seeds.len() {
-            slots.resize_with(seeds.len(), SeedSlot::default);
-        }
-        let (q, w, dcs, bank, cfg) = (&self.q, &self.window, &self.dcs, &self.bank, &self.cfg);
-        pool.for_each_with(&mut slots[..seeds.len()], &mut lanes, |i, slot, scratch| {
-            let mut m = Matcher::new(q, w, dcs, bank, cfg, 0, scratch);
-            m.run_seed(&seeds[i], exclude_later);
-            slot.stats = m.stats;
-            slot.found_count = m.found_count;
-            // Park the seed's embeddings in its slot; the lane keeps the
-            // slot's previous (cleared) arena for its next seed.
-            slot.found.clear();
-            std::mem::swap(&mut slot.found, &mut scratch.found);
-        });
-        self.lane_scratch = lanes;
-        for slot in &mut slots[..seeds.len()] {
-            let s = slot.stats;
-            self.merge_matcher_stats(&s, slot.found_count, kind);
-            self.drain_found(&mut slot.found, kind, arrival, out);
-        }
-        self.seed_slots = slots;
-        self.stats.parallel_sweeps += 1;
-        self.stats.parallel_sweep_seeds += seeds.len() as u64;
-    }
-
-    /// Merges one matcher run's counters into the engine stats.
-    fn merge_matcher_stats(&mut self, s: &EngineStats, found_count: u64, kind: MatchKind) {
-        self.stats.search_nodes += s.search_nodes;
-        self.stats.pruned_case1 += s.pruned_case1;
-        self.stats.pruned_case2 += s.pruned_case2;
-        self.stats.pruned_case3 += s.pruned_case3;
-        self.stats.cloned_case1 += s.cloned_case1;
-        self.stats.post_check_rejections += s.post_check_rejections;
-        self.stats.budget_exhausted |= s.budget_exhausted;
-        match kind {
-            MatchKind::Occurred => self.stats.occurred += found_count,
-            MatchKind::Expired => self.stats.expired += found_count,
-        }
-    }
-
-    /// Materializes an arena's embeddings as match events (collect mode)
-    /// and empties it. The per-embedding boxes are allocated here, at the
-    /// API boundary, and nowhere on the search path.
-    fn drain_found(
-        &self,
-        found: &mut EmbeddingArena,
-        kind: MatchKind,
-        arrival: tcsm_graph::Ts,
-        out: &mut Vec<MatchEvent>,
-    ) {
-        if self.cfg.collect_matches && !found.is_empty() {
-            let at = match kind {
-                MatchKind::Occurred => arrival,
-                MatchKind::Expired => arrival.plus(self.queue.delta()),
-            };
-            out.reserve(found.len());
-            for i in 0..found.len() {
-                out.push(MatchEvent {
-                    kind,
-                    at,
-                    embedding: found.materialize(i),
-                });
-            }
-        }
-        found.clear();
     }
 
     /// Processes one same-`(timestamp, kind)` delta batch, appending any
@@ -389,7 +191,7 @@ impl<'g> TcmEngine<'g> {
     /// mid-batch completes that batch serially (one event per call) before
     /// batching resumes.
     pub fn step_batch(&mut self, out: &mut Vec<MatchEvent>) -> bool {
-        if self.stats.budget_exhausted {
+        if self.rt.done() {
             return false;
         }
         // Mixing step() and step_batch() can leave the cursor mid-batch;
@@ -402,13 +204,12 @@ impl<'g> TcmEngine<'g> {
         let Some(batch) = self.queue.batch_at(self.next_event) else {
             return false;
         };
-        let (kind, n) = (batch.kind, batch.len());
+        let kind = batch.kind;
+        let full = self.full;
         let mut edges = std::mem::take(&mut self.batch_scratch);
         edges.clear();
-        edges.extend(batch.events.iter().map(|ev| *self.full.edge(ev.edge)));
-        self.next_event += n;
-        self.stats.events += n as u64;
-        self.stats.batches += 1;
+        edges.extend(batch.events.iter().map(|ev| *full.edge(ev.edge)));
+        self.next_event += edges.len();
         match kind {
             EventKind::Insert => {
                 // Window first (whole batch), then one filter/DCS delta,
@@ -417,64 +218,23 @@ impl<'g> TcmEngine<'g> {
                 for e in &edges {
                     self.window.insert_deferred(e);
                 }
-                let mut deltas = std::mem::take(&mut self.deltas_scratch);
-                deltas.clear();
-                let (full, q, w) = (&self.full, &self.q, &self.window);
-                // A singleton batch is semantically identical under the
-                // serial handler (batch completeness: no other alive edge
-                // shares its timestamp) and skips the batch bookkeeping, so
-                // uniform streams pay nothing for batching support.
-                if let [e] = edges[..] {
-                    self.bank.on_insert(q, w, &e, |k| full.edge(k), &mut deltas);
-                } else {
-                    self.bank
-                        .on_insert_batch(q, w, &edges, |k| full.edge(k), &mut deltas);
-                }
-                self.dcs.apply(q, w, |k| full.edge(k), &deltas);
-                self.deltas_scratch = deltas;
-                let sweep = match &edges[..] {
-                    [e] => Sweep::Edge(e),
-                    _ => Sweep::Batch(&edges, true),
-                };
-                self.find_matches_sweep(sweep, MatchKind::Occurred, out);
+                self.rt
+                    .apply_insert_batch(&self.window, &edges, |k| full.edge(k), out);
             }
             EventKind::Delete => {
                 // Expired embeddings are enumerated before any removal (the
                 // structures still admit every expiring edge); the per-seed
                 // exclusion reproduces the serial progressive removals.
-                let sweep = match &edges[..] {
-                    [e] => Sweep::Edge(e),
-                    _ => Sweep::Batch(&edges, false),
-                };
-                self.find_matches_sweep(sweep, MatchKind::Expired, out);
+                self.rt.sweep_expiring_batch(&self.window, &edges, out);
                 self.window.begin_batch();
                 for e in &edges {
                     self.window.remove_deferred(e);
                 }
-                let mut deltas = std::mem::take(&mut self.deltas_scratch);
-                deltas.clear();
-                let (full, q, w) = (&self.full, &self.q, &self.window);
-                if let [e] = edges[..] {
-                    self.bank.on_delete(q, w, &e, |k| full.edge(k), &mut deltas);
-                } else {
-                    self.bank
-                        .on_delete_batch(q, w, &edges, |k| full.edge(k), &mut deltas);
-                }
-                self.dcs.apply(q, w, |k| full.edge(k), &deltas);
-                self.deltas_scratch = deltas;
+                self.rt
+                    .apply_delete_batch(&self.window, &edges, |k| full.edge(k));
             }
         }
         self.batch_scratch = edges;
-        // DCS size stats are sampled once per batch at the post-batch state
-        // and weighted by the batch length, so averages stay comparable to
-        // the serial per-event sampling on uniform streams.
-        let de = self.bank.num_pairs() as u64;
-        let dv = self.dcs.num_candidate_vertices() as u64;
-        self.stats.peak_dcs_edges = self.stats.peak_dcs_edges.max(de);
-        self.stats.sum_dcs_edges += de * n as u64;
-        self.stats.peak_dcs_vertices = self.stats.peak_dcs_vertices.max(dv);
-        self.stats.sum_dcs_vertices += dv * n as u64;
-        self.stats.parallel_filter_rounds = self.bank.parallel_rounds();
         true
     }
 
@@ -494,7 +254,7 @@ impl<'g> TcmEngine<'g> {
     /// One step in the mode [`EngineConfig::batching`] selects.
     #[inline]
     fn step_dispatch(&mut self, out: &mut Vec<MatchEvent>) -> bool {
-        if self.cfg.batching {
+        if self.rt.config().batching {
             self.step_batch(out)
         } else {
             self.step(out)
@@ -525,7 +285,7 @@ impl<'g> TcmEngine<'g> {
         while self.step_dispatch(&mut out) {
             out.clear();
         }
-        &self.stats
+        self.rt.stats()
     }
 
     /// From-scratch consistency audit of every incremental structure
@@ -534,13 +294,7 @@ impl<'g> TcmEngine<'g> {
     /// every batch.
     #[doc(hidden)]
     pub fn check_consistency(&self) {
-        let alive: Vec<&tcsm_graph::TemporalEdge> = self
-            .window
-            .buckets()
-            .flat_map(|b| b.iter().map(|r| self.full.edge(r.key)))
-            .collect();
-        self.bank
-            .check_consistency(&self.q, &self.window, alive.into_iter());
-        self.dcs.check_consistency(&self.q, &self.window);
+        let full = self.full;
+        self.rt.check_consistency(&self.window, |k| full.edge(k));
     }
 }

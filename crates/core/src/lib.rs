@@ -68,9 +68,24 @@
 //! **Ownership**: workers never own state across dispatches — every
 //! dispatch borrows engine-owned slabs (lane scratches, seed slots, flip
 //! shards) and returns them settled; the pool only schedules. Inter-query
-//! parallelism ([`parallel::run_queries_parallel`]) runs whole serial
-//! engines on the same pool type, one query per lane — the two fan-out
-//! levels are alternatives over one pool, never nested.
+//! parallelism runs whole serial runtimes on the same pool type — the two
+//! fan-out levels are alternatives over one pool, never nested. (The
+//! deprecated [`parallel::run_queries_parallel`] drives one engine per
+//! query; its successor, `tcsm_service::MatchService`, shards queries over
+//! shared windows.)
+//!
+//! # Window ownership split
+//!
+//! [`TcmEngine`] owns the *stream state* — event queue, cursor, and the
+//! live window — while everything per-query (filter bank, DCS, matcher
+//! scratch, stats) lives in [`runtime::QueryRuntime`], which **borrows**
+//! the window on every call. One runtime under one engine is the paper's
+//! single-query configuration; many runtimes reading one shared window is
+//! the multi-query service (`tcsm-service`), which owns one window per
+//! shard and fans stream deltas out to all resident runtimes. See
+//! [`runtime`]'s module docs for the exact aliasing rules (who mutates
+//! when, and why deferred bucket reclamation makes multi-reader sharing
+//! sound).
 //!
 //! The `TCSM_THREADS` environment variable seeds
 //! [`EngineConfig::default`]'s `threads` so whole test suites can be routed
@@ -107,11 +122,14 @@ pub mod engine;
 pub mod matcher;
 pub mod parallel;
 pub mod pool;
+pub mod runtime;
 pub mod stats;
 
 pub use config::{AlgorithmPreset, EngineConfig, PruningFlags, SearchBudget};
 pub use embedding::{Embedding, EmbeddingArena, MatchEvent, MatchKind};
 pub use engine::TcmEngine;
+#[allow(deprecated)]
 pub use parallel::{run_queries_on, run_queries_parallel};
 pub use pool::WorkerPool;
+pub use runtime::QueryRuntime;
 pub use stats::EngineStats;

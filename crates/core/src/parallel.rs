@@ -1,10 +1,19 @@
 //! Multi-query parallel driving — the paper's "parallelizing our approach"
 //! future-work direction, realized at the inter-query level.
 //!
-//! Continuous-matching deployments register many patterns against one
-//! stream; each [`crate::TcmEngine`] is independent, so queries parallelize
-//! embarrassingly. [`run_queries_parallel`] fans a query set out over the
-//! same [`WorkerPool`] runtime the engine's intra-query phases use — each
+//! **Deprecated in favour of `tcsm_service::MatchService`.** These helpers
+//! spin up one whole engine — and hence one full `WindowGraph` copy — per
+//! query; the service shards queries across pools by label locality with
+//! *one shared window per shard* and additionally supports live query
+//! admission/retirement and pluggable result sinks.
+//! `tcsm_service::run_queries_parallel`/`run_queries_on` are drop-in
+//! service-backed versions of these functions (one shard per query, same
+//! semantics — the service differential suite pins the equivalence); this
+//! module remains as a compatibility shim because `tcsm-core` sits below
+//! the service crate and cannot route through it.
+//!
+//! [`run_queries_parallel`] fans a query set out over the same
+//! [`WorkerPool`] runtime the engine's intra-query phases use — each
 //! query writes into its own pre-assigned result slot (no mutexes, no
 //! channels) and the slots come back in input order. [`run_queries_on`]
 //! does the same on a caller-owned pool, so one pool can serve repeated
@@ -25,6 +34,7 @@ use tcsm_graph::{GraphError, QueryGraph, TemporalGraph};
 /// Runs one engine per query over the same stream, `threads` lanes wide
 /// (0 = one lane per available CPU), on a pool private to this call.
 /// Matches are counted, not collected.
+#[deprecated(note = "use tcsm_service::MatchService")]
 pub fn run_queries_parallel(
     queries: &[QueryGraph],
     g: &TemporalGraph,
@@ -33,6 +43,7 @@ pub fn run_queries_parallel(
     threads: usize,
 ) -> Result<Vec<EngineStats>, GraphError> {
     let width = WorkerPool::resolve_width(threads).min(queries.len().max(1));
+    #[allow(deprecated)]
     run_queries_on(&WorkerPool::new(width), queries, g, delta, cfg)
 }
 
@@ -41,6 +52,7 @@ pub fn run_queries_parallel(
 ///
 /// Must not be called from inside a dispatch of the same pool (worker
 /// lanes cannot nest dispatches).
+#[deprecated(note = "use tcsm_service::MatchService")]
 pub fn run_queries_on(
     pool: &WorkerPool,
     queries: &[QueryGraph],
@@ -68,6 +80,7 @@ pub fn run_queries_on(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use tcsm_graph::{QueryGraphBuilder, TemporalGraphBuilder};

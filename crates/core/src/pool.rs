@@ -14,18 +14,23 @@
 //!
 //! # Claim protocol
 //!
-//! Work indices are claimed lock-free from one **monotone 64-bit ticket
-//! counter** that is never reset: a dispatch of `n` indices owns the
-//! ticket range `[base, base + n)` where `base` is the counter value at
-//! publish time, and a lane claims index `ticket − base` by
-//! compare-exchanging the counter forward within that range. A straggler
-//! still holding the previous job sees every current ticket at or beyond
-//! its own range end and simply stops — because tickets never rewind,
-//! there is no ABA window in which it could claim (let alone execute) an
-//! index of a newer job through its stale closure pointer; soundness would
-//! require wrapping the full 64-bit counter. Completion is a separate
-//! atomic countdown of *finished* (not merely claimed) indices; the
-//! dispatcher blocks on it, which is what makes the borrow-crossing sound.
+//! Work is claimed lock-free from one **monotone 64-bit ticket counter**
+//! that is never reset: a dispatch of `t` tickets owns the ticket range
+//! `[base, base + t)` where `base` is the counter value at publish time,
+//! and a lane claims ticket `k − base` by compare-exchanging the counter
+//! forward within that range. Each ticket covers a contiguous **chunk** of
+//! work indices (`chunk == 1` for plain [`WorkerPool::dispatch`]:
+//! ticket = index); [`WorkerPool::for_each_with`] claims small index
+//! chunks per ticket so skewed fan-outs — a batched sweep whose first seed
+//! owns almost all the search work — stop paying one CAS per item while
+//! cold items still rebalance across lanes. A straggler still holding the
+//! previous job sees every current ticket at or beyond its own range end
+//! and simply stops — because tickets never rewind, there is no ABA window
+//! in which it could claim (let alone execute) a ticket of a newer job
+//! through its stale closure pointer; soundness would require wrapping the
+//! full 64-bit counter. Completion is a separate atomic countdown of
+//! *finished* (not merely claimed) tickets; the dispatcher blocks on it,
+//! which is what makes the borrow-crossing sound.
 //!
 //! Dispatches are one-at-a-time by contract: the engine drives its pool
 //! from one thread, and nesting (a job dispatching on its own pool) or
@@ -44,16 +49,22 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
-/// A pending dispatch: the type-erased job, its index count, and its
-/// half-open ticket range start (see the module docs).
+/// A pending dispatch: the type-erased job, its index/ticket geometry, and
+/// its half-open ticket range start (see the module docs).
 #[derive(Clone, Copy)]
 struct Job {
     /// Borrowed closure, lifetime-erased. Sound because `dispatch` does not
     /// return until `remaining` hits zero and the monotone ticket counter
     /// lets no stale lane claim into a newer range.
     f: *const (dyn Fn(usize, usize) + Sync + 'static),
+    /// Total work indices.
     n: u32,
-    /// First ticket of this dispatch; index `i` is ticket `base + i`.
+    /// Indices per ticket (≥ 1); ticket `k` covers
+    /// `[k·chunk, min(n, (k+1)·chunk))`.
+    chunk: u32,
+    /// Number of tickets (`⌈n / chunk⌉`).
+    tickets: u32,
+    /// First ticket of this dispatch; local ticket `k` is `base + k`.
     base: u64,
 }
 
@@ -99,11 +110,11 @@ impl Shared {
         cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Claims the next index of `job`, or `None` when its ticket range is
+    /// Claims the next ticket of `job`, or `None` when its ticket range is
     /// exhausted. Monotonicity makes this immune to job turnover: a stale
     /// job's range lies entirely at or below the current counter.
-    fn claim_index(&self, job: &Job) -> Option<usize> {
-        let end = job.base + job.n as u64;
+    fn claim_ticket(&self, job: &Job) -> Option<usize> {
+        let end = job.base + job.tickets as u64;
         let mut cur = self.claim.load(Ordering::Acquire);
         loop {
             if cur >= end {
@@ -131,15 +142,24 @@ impl Shared {
         }
     }
 
-    /// Runs one claimed index, records panics, and counts completion.
+    /// Runs one claimed ticket's chunk of indices, records panics, and
+    /// counts completion (one countdown per ticket; a panic abandons the
+    /// rest of the chunk but still retires the ticket, so the dispatcher
+    /// never hangs).
     ///
     /// # Safety
     /// `job.f` must point at the closure of the still-running dispatch that
-    /// owns `job`'s ticket range (guaranteed by [`Shared::claim_index`]'s
+    /// owns `job`'s ticket range (guaranteed by [`Shared::claim_ticket`]'s
     /// monotone range check).
-    unsafe fn run_one(&self, job: Job, idx: usize, lane: usize) {
+    unsafe fn run_one(&self, job: Job, ticket: usize, lane: usize) {
         let f = &*job.f;
-        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(idx, lane))) {
+        let lo = ticket * job.chunk as usize;
+        let hi = (lo + job.chunk as usize).min(job.n as usize);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+            for idx in lo..hi {
+                f(idx, lane);
+            }
+        })) {
             let mut slot = match self.panic.lock() {
                 Ok(slot) => slot,
                 Err(poisoned) => poisoned.into_inner(),
@@ -228,12 +248,22 @@ impl WorkerPool {
     /// `index < n`, across all lanes, returning when every call finished.
     /// Panics in `f` are re-thrown here after the dispatch completes.
     pub fn dispatch(&self, n: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+        self.dispatch_chunked(n, 1, f);
+    }
+
+    /// [`WorkerPool::dispatch`] with `chunk` indices claimed per ticket:
+    /// lanes CAS once per chunk instead of once per index, trading claim
+    /// traffic against rebalancing granularity (see the module docs'
+    /// claim-protocol section). `chunk == 1` is exactly `dispatch`.
+    pub fn dispatch_chunked(&self, n: usize, chunk: usize, f: &(dyn Fn(usize, usize) + Sync)) {
         if n == 0 {
             return;
         }
+        assert!(chunk >= 1, "chunk must be at least 1");
         // `Job.n` is u32; a wider n would orphan `remaining` and hang.
         assert!(n <= u32::MAX as usize, "dispatch index count exceeds u32");
-        if self.width == 1 || n == 1 {
+        let tickets = n.div_ceil(chunk);
+        if self.width == 1 || tickets == 1 {
             // Inline fast path: nothing to coordinate.
             for i in 0..n {
                 f(i, 0);
@@ -264,17 +294,19 @@ impl WorkerPool {
             let job = Job {
                 f: f_static,
                 n: n as u32,
+                chunk: chunk as u32,
+                tickets: tickets as u32,
                 base,
             };
-            shared.remaining.store(n as u64, Ordering::Release);
+            shared.remaining.store(tickets as u64, Ordering::Release);
             ctrl.job = Some(job);
             shared.work_cv.notify_all();
             job
         };
         // The caller is lane 0 and works like everyone else.
-        while let Some(idx) = shared.claim_index(&job) {
+        while let Some(ticket) = shared.claim_ticket(&job) {
             // SAFETY: the ticket was claimed inside this job's range.
-            unsafe { shared.run_one(job, idx, 0) };
+            unsafe { shared.run_one(job, ticket, 0) };
         }
         // Wait for stragglers, then retire the job.
         {
@@ -295,7 +327,10 @@ impl WorkerPool {
     }
 
     /// Parallel-for over a mutable slice: `f(i, &mut items[i])` exactly once
-    /// per item, on any lane.
+    /// per item, on any lane. One item per ticket — callers hand this whole
+    /// engines/shards per item, where rebalancing granularity beats claim
+    /// amortization (chunked claiming lives in
+    /// [`WorkerPool::for_each_with`]).
     pub fn for_each_mut<T, F>(&self, items: &mut [T], f: F)
     where
         T: Send,
@@ -310,9 +345,27 @@ impl WorkerPool {
         });
     }
 
+    /// Tickets-per-lane target of [`WorkerPool::auto_chunk`]: enough
+    /// tickets that a skewed item distribution still rebalances, few
+    /// enough that claim CAS traffic stays amortized.
+    const TICKETS_PER_LANE: usize = 8;
+
+    /// Chunk size for an `n`-item fan-out: one item per ticket until there
+    /// are ~[`WorkerPool::TICKETS_PER_LANE`] tickets per lane, then grow
+    /// (capped so a single claim never walks off with an unbounded slice).
+    #[inline]
+    fn auto_chunk(&self, n: usize) -> usize {
+        (n / (self.width * WorkerPool::TICKETS_PER_LANE)).clamp(1, 64)
+    }
+
     /// Parallel-for over `items` with exclusive per-lane state: `f(i, &mut
     /// items[i], &mut lanes[lane])`. `lanes.len()` must equal
     /// [`WorkerPool::width`]; a lane's slot is touched by that lane only.
+    ///
+    /// Items are claimed in small index *chunks* (one ticket CAS per
+    /// chunk, not per item — [`WorkerPool::auto_chunk`]): per-seed sweep
+    /// fan-outs hand out hundreds of mostly-tiny work items, and paying a
+    /// claim per item serializes skewed batches behind the claim traffic.
     pub fn for_each_with<T, L, F>(&self, items: &mut [T], lanes: &mut [L], f: F)
     where
         T: Send,
@@ -326,7 +379,8 @@ impl WorkerPool {
         );
         let items_base = SyncPtr(items.as_mut_ptr());
         let lanes_base = SyncPtr(lanes.as_mut_ptr());
-        self.dispatch(items.len(), &move |i, lane| {
+        let chunk = self.auto_chunk(items.len());
+        self.dispatch_chunked(items.len(), chunk, &move |i, lane| {
             // SAFETY: indices are handed out exactly once (no item
             // aliasing) and a lane id is held by exactly one thread for the
             // whole dispatch (no lane aliasing).
@@ -397,10 +451,10 @@ fn worker_loop(shared: &Shared, lane: usize) {
                 ctrl = shared.wait_ctrl(&shared.work_cv, ctrl);
             }
         };
-        while let Some(idx) = shared.claim_index(&job) {
+        while let Some(ticket) = shared.claim_ticket(&job) {
             // SAFETY: the ticket was claimed inside this job's range, so
             // `job.f` is the closure of the still-running dispatch.
-            unsafe { shared.run_one(job, idx, lane) };
+            unsafe { shared.run_one(job, ticket, lane) };
         }
     }
 }
@@ -425,6 +479,62 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn chunked_dispatch_runs_every_index_exactly_once() {
+        // Chunk sizes that don't divide n, exceed n, or equal 1 must all
+        // cover every index exactly once at every width.
+        for width in [1usize, 2, 4] {
+            let pool = WorkerPool::new(width);
+            for n in [1usize, 3, 64, 257] {
+                for chunk in [1usize, 2, 7, 64, 1000] {
+                    let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                    pool.dispatch_chunked(n, chunk, &|i, _lane| {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    });
+                    assert!(
+                        hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                        "width {width}, n {n}, chunk {chunk}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_panic_still_retires_every_ticket() {
+        // A panic mid-chunk abandons the chunk's tail but must not hang the
+        // dispatcher or mask the payload.
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.dispatch_chunked(64, 8, &|i, _lane| {
+                if i == 19 {
+                    panic!("chunk boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must cross back");
+        let ok = AtomicUsize::new(0);
+        pool.dispatch_chunked(16, 4, &|_i, _lane| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn for_each_with_chunks_keep_items_and_lanes_exclusive() {
+        // Enough items that auto_chunk > 1 kicks in (500 / (4·8) = 15).
+        let pool = WorkerPool::new(4);
+        assert!(pool.auto_chunk(500) > 1, "test must exercise real chunks");
+        let mut items = vec![0usize; 500];
+        let mut lanes = vec![0usize; pool.width()];
+        pool.for_each_with(&mut items, &mut lanes, |i, item, lane_count| {
+            *lane_count += 1;
+            *item += i;
+        });
+        assert!(items.iter().enumerate().all(|(i, &x)| x == i));
+        assert_eq!(lanes.iter().sum::<usize>(), 500);
     }
 
     #[test]

@@ -1,0 +1,493 @@
+//! The per-query matching runtime over a **borrowed** window.
+//!
+//! [`QueryRuntime`] is everything of one standing query's pipeline that is
+//! *not* the stream state: the query and its DAG, the max-min filter bank,
+//! the DCS, the backtracking matcher's scratch, and the per-query
+//! [`EngineStats`]. It never owns a [`WindowGraph`] — every method borrows
+//! the window of whoever drives it, so several runtimes can observe the
+//! same insert/expire deltas of **one shared window**:
+//!
+//! * [`crate::TcmEngine`] owns one window, one event queue, and one
+//!   runtime — the classic single-query engine, now a thin shell;
+//! * `tcsm-service`'s `MatchService` owns one window *per shard* and fans
+//!   each stream delta out to all runtimes resident on that shard.
+//!
+//! # Aliasing rules (what sharing a window requires)
+//!
+//! The runtime reads the window but never mutates it; the owner applies
+//! each stream delta to the window exactly once and then lets every
+//! runtime process it. The required interleaving mirrors the serial
+//! Algorithm 1:
+//!
+//! * **arrivals**: mutate the window first, then call
+//!   [`QueryRuntime::apply_insert`] (or the batch form) on each runtime —
+//!   the filter/DCS update and the `FindMatches` sweep both expect the
+//!   window to already contain the batch;
+//! * **expirations**: call [`QueryRuntime::sweep_expiring`] (or the batch
+//!   form) on each runtime *before* mutating the window (expiring
+//!   embeddings are enumerated while the structures still admit every
+//!   expiring edge), then mutate, then call
+//!   [`QueryRuntime::apply_delete`]/`..._batch` on each runtime.
+//!
+//! The window's deferred bucket reclamation makes this sound for any
+//! number of readers: ids of buckets drained by the current event/batch
+//! stay resolvable until the owner opens the *next* one, so every
+//! runtime's removal deltas stay index-addressed no matter how late in the
+//! fan-out it runs.
+//!
+//! # Mid-stream admission
+//!
+//! [`QueryRuntime::sync_to_window`] re-derives the filter tables, the pair
+//! membership, and the DCS from a window that is already populated (one
+//! from-scratch rebuild, never on the per-event path). After it, the
+//! runtime is byte-for-byte indistinguishable — match stream and semantic
+//! stats alike — from one that observed every alive edge's arrival, which
+//! is what lets `MatchService` admit queries while the stream runs.
+
+use crate::config::EngineConfig;
+use crate::embedding::{EmbeddingArena, MatchEvent, MatchKind};
+use crate::matcher::{Matcher, MatcherScratch};
+use crate::pool::WorkerPool;
+use crate::stats::EngineStats;
+use std::sync::Arc;
+use tcsm_dag::{build_best_dag, QueryDag};
+use tcsm_dcs::Dcs;
+use tcsm_filter::FilterBank;
+use tcsm_graph::{EdgeKey, QueryGraph, TemporalEdge, Ts, WindowGraph};
+
+/// Where one fanned-out sweep seed parks its results until the seed-order
+/// merge on lane 0.
+#[derive(Default)]
+struct SeedSlot {
+    /// The seed's embeddings (arena swapped out of the lane scratch).
+    found: EmbeddingArena,
+    /// The seed's matcher counters.
+    stats: EngineStats,
+    found_count: u64,
+}
+
+/// What a `FindMatches` sweep is seeded by.
+enum Sweep<'e> {
+    /// One updated edge (the serial regime).
+    Edge(&'e TemporalEdge),
+    /// A whole delta batch, with the arrival/expiration exclusion flag.
+    Batch(&'e [TemporalEdge], bool),
+}
+
+/// One standing query's full matching pipeline over a borrowed window
+/// (see the module docs for the sharing contract).
+pub struct QueryRuntime {
+    q: QueryGraph,
+    dag: QueryDag,
+    bank: FilterBank,
+    dcs: Dcs,
+    /// Window length δ (fixes each expired embedding's report instant).
+    delta: i64,
+    cfg: EngineConfig,
+    stats: EngineStats,
+    deltas_scratch: Vec<tcsm_filter::DcsDelta>,
+    /// Search-state buffers reused by every `FindMatches` call.
+    matcher_scratch: MatcherScratch,
+    /// The intra-query worker pool (`None` = fully serial runtime). Shared
+    /// with the filter bank (instance updates) and the batched sweeps.
+    pool: Option<Arc<WorkerPool>>,
+    /// One matcher scratch per pool lane for fanned-out sweeps (lane 0 is
+    /// the caller); pooled and reused across events.
+    lane_scratch: Vec<MatcherScratch>,
+    /// Per-seed result slots of fanned-out sweeps (reused across batches);
+    /// merged in seed order so the match stream stays byte-identical.
+    seed_slots: Vec<SeedSlot>,
+}
+
+impl QueryRuntime {
+    /// Builds the runtime for `q` against `window`'s fixed vertex set with
+    /// window length `delta`. The window may belong to anyone; if it is
+    /// already populated, follow up with [`QueryRuntime::sync_to_window`].
+    /// With `pool` set, the filter fan-out and batched sweeps run on it
+    /// (the pool must be driven from this runtime's thread only).
+    pub fn new(
+        q: &QueryGraph,
+        window: &WindowGraph,
+        delta: i64,
+        cfg: EngineConfig,
+        pool: Option<Arc<WorkerPool>>,
+    ) -> QueryRuntime {
+        let dag = build_best_dag(q);
+        let mut bank = FilterBank::new(q, &dag, cfg.preset.filter_mode(), window);
+        if let Some(pool) = &pool {
+            bank.set_exec(Some(Arc::clone(pool) as Arc<dyn tcsm_filter::Exec>));
+        }
+        let dcs = Dcs::new(dag.clone(), q, window);
+        QueryRuntime {
+            q: q.clone(),
+            dag,
+            bank,
+            dcs,
+            delta,
+            cfg,
+            stats: EngineStats::default(),
+            deltas_scratch: Vec::new(),
+            matcher_scratch: MatcherScratch::default(),
+            pool,
+            lane_scratch: Vec::new(),
+            seed_slots: Vec::new(),
+        }
+    }
+
+    /// Re-derives the bank and DCS from a window that already holds alive
+    /// edges — mid-stream admission. One from-scratch rebuild; after it the
+    /// runtime behaves exactly as if it had processed every prior arrival
+    /// (stats stay zeroed: the query was not resident for those events).
+    pub fn sync_to_window<'a>(
+        &mut self,
+        window: &WindowGraph,
+        lookup: impl Fn(EdgeKey) -> &'a TemporalEdge + Copy,
+    ) {
+        let mut deltas = std::mem::take(&mut self.deltas_scratch);
+        deltas.clear();
+        self.bank.rebuild_from_window(
+            &self.q,
+            window,
+            window
+                .buckets()
+                .flat_map(|b| b.iter().map(|r| lookup(r.key))),
+            &mut deltas,
+        );
+        self.dcs = Dcs::new(self.dag.clone(), &self.q, window);
+        self.dcs.apply(&self.q, window, lookup, &deltas);
+        self.deltas_scratch = deltas;
+    }
+
+    /// The query this runtime matches.
+    #[inline]
+    pub fn query(&self) -> &QueryGraph {
+        &self.q
+    }
+
+    /// The query DAG chosen by the greedy builder.
+    #[inline]
+    pub fn dag(&self) -> &QueryDag {
+        &self.dag
+    }
+
+    /// The effective engine configuration.
+    #[inline]
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Statistics accumulated so far.
+    #[inline]
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Current number of DCS edge pairs (Table V's "edges in DCS").
+    #[inline]
+    pub fn dcs_edges(&self) -> usize {
+        self.bank.num_pairs()
+    }
+
+    /// Current number of `d2` candidate vertices (Table V's second metric).
+    #[inline]
+    pub fn dcs_vertices(&self) -> usize {
+        self.dcs.num_candidate_vertices()
+    }
+
+    /// Has a total search budget been exhausted? Once true the owner must
+    /// stop feeding this runtime (the standalone engine stops stepping; the
+    /// service skips the query), matching the paper's "unsolved" outcome.
+    #[inline]
+    pub fn done(&self) -> bool {
+        self.stats.budget_exhausted
+    }
+
+    /// One edge arrival. `window` must already contain `edge`.
+    pub fn apply_insert<'a>(
+        &mut self,
+        window: &WindowGraph,
+        edge: &TemporalEdge,
+        lookup: impl Fn(EdgeKey) -> &'a TemporalEdge,
+        out: &mut Vec<MatchEvent>,
+    ) {
+        self.stats.events += 1;
+        let mut deltas = std::mem::take(&mut self.deltas_scratch);
+        deltas.clear();
+        self.bank
+            .on_insert(&self.q, window, edge, &lookup, &mut deltas);
+        self.dcs.apply(&self.q, window, &lookup, &deltas);
+        self.deltas_scratch = deltas;
+        self.find_matches_sweep(window, Sweep::Edge(edge), MatchKind::Occurred, out);
+        self.sample_dcs(1);
+    }
+
+    /// The expiring-embedding sweep of one edge expiration. Must run while
+    /// `window` still contains `edge` (before the owner removes it).
+    pub fn sweep_expiring(
+        &mut self,
+        window: &WindowGraph,
+        edge: &TemporalEdge,
+        out: &mut Vec<MatchEvent>,
+    ) {
+        self.find_matches_sweep(window, Sweep::Edge(edge), MatchKind::Expired, out);
+    }
+
+    /// The structure update of one edge expiration. `window` must no longer
+    /// contain `edge` (but its pair id must still resolve — the window's
+    /// deferred reclamation guarantees this until the next mutation).
+    pub fn apply_delete<'a>(
+        &mut self,
+        window: &WindowGraph,
+        edge: &TemporalEdge,
+        lookup: impl Fn(EdgeKey) -> &'a TemporalEdge,
+    ) {
+        self.stats.events += 1;
+        let mut deltas = std::mem::take(&mut self.deltas_scratch);
+        deltas.clear();
+        self.bank
+            .on_delete(&self.q, window, edge, &lookup, &mut deltas);
+        self.dcs.apply(&self.q, window, &lookup, &deltas);
+        self.deltas_scratch = deltas;
+        self.sample_dcs(1);
+    }
+
+    /// One same-timestamp arrival batch. `window` must already contain
+    /// every batch edge; `edges` must be the complete batch in key order.
+    /// Singleton batches dispatch to the serial handlers (identical
+    /// semantics, none of the batch bookkeeping).
+    pub fn apply_insert_batch<'a>(
+        &mut self,
+        window: &WindowGraph,
+        edges: &[TemporalEdge],
+        lookup: impl Fn(EdgeKey) -> &'a TemporalEdge,
+        out: &mut Vec<MatchEvent>,
+    ) {
+        self.stats.events += edges.len() as u64;
+        self.stats.batches += 1;
+        let mut deltas = std::mem::take(&mut self.deltas_scratch);
+        deltas.clear();
+        if let [e] = edges[..] {
+            self.bank
+                .on_insert(&self.q, window, &e, &lookup, &mut deltas);
+        } else {
+            self.bank
+                .on_insert_batch(&self.q, window, edges, &lookup, &mut deltas);
+        }
+        self.dcs.apply(&self.q, window, &lookup, &deltas);
+        self.deltas_scratch = deltas;
+        let sweep = match edges {
+            [e] => Sweep::Edge(e),
+            _ => Sweep::Batch(edges, true),
+        };
+        self.find_matches_sweep(window, sweep, MatchKind::Occurred, out);
+        self.sample_dcs(edges.len() as u64);
+    }
+
+    /// The expiring-embedding sweep of one expiration batch; must run while
+    /// `window` still contains every batch edge.
+    pub fn sweep_expiring_batch(
+        &mut self,
+        window: &WindowGraph,
+        edges: &[TemporalEdge],
+        out: &mut Vec<MatchEvent>,
+    ) {
+        let sweep = match edges {
+            [e] => Sweep::Edge(e),
+            _ => Sweep::Batch(edges, false),
+        };
+        self.find_matches_sweep(window, sweep, MatchKind::Expired, out);
+    }
+
+    /// The structure update of one expiration batch. `window` must no
+    /// longer contain any batch edge (ids still resolvable, as above).
+    pub fn apply_delete_batch<'a>(
+        &mut self,
+        window: &WindowGraph,
+        edges: &[TemporalEdge],
+        lookup: impl Fn(EdgeKey) -> &'a TemporalEdge,
+    ) {
+        self.stats.events += edges.len() as u64;
+        self.stats.batches += 1;
+        let mut deltas = std::mem::take(&mut self.deltas_scratch);
+        deltas.clear();
+        if let [e] = edges[..] {
+            self.bank
+                .on_delete(&self.q, window, &e, &lookup, &mut deltas);
+        } else {
+            self.bank
+                .on_delete_batch(&self.q, window, edges, &lookup, &mut deltas);
+        }
+        self.dcs.apply(&self.q, window, &lookup, &deltas);
+        self.deltas_scratch = deltas;
+        self.sample_dcs(edges.len() as u64);
+    }
+
+    /// Samples the post-event DCS sizes, weighted by the number of events
+    /// the unit covered (1 serially; the batch length in batched mode, so
+    /// averages stay comparable to per-event sampling on uniform streams).
+    fn sample_dcs(&mut self, weight: u64) {
+        let de = self.bank.num_pairs() as u64;
+        let dv = self.dcs.num_candidate_vertices() as u64;
+        self.stats.peak_dcs_edges = self.stats.peak_dcs_edges.max(de);
+        self.stats.sum_dcs_edges += de * weight;
+        self.stats.peak_dcs_vertices = self.stats.peak_dcs_vertices.max(dv);
+        self.stats.sum_dcs_vertices += dv * weight;
+        self.stats.parallel_filter_rounds = self.bank.parallel_rounds();
+    }
+
+    fn find_matches_sweep(
+        &mut self,
+        window: &WindowGraph,
+        sweep: Sweep<'_>,
+        kind: MatchKind,
+        out: &mut Vec<MatchEvent>,
+    ) {
+        let arrival = match &sweep {
+            Sweep::Edge(e) => e.time,
+            Sweep::Batch(edges, _) => match edges.first() {
+                Some(e) => e.time,
+                None => return,
+            },
+        };
+        // A multi-seed sweep fans out across the pool when budgets permit
+        // (budgeted runs keep one serial cursor so exhaustion points are
+        // exact — see `EngineConfig::budget_limited`).
+        if let Sweep::Batch(edges, exclude_later) = sweep {
+            if edges.len() > 1 && !self.cfg.budget_limited() {
+                if let Some(pool) = self.pool.clone() {
+                    self.sweep_parallel(window, &pool, edges, exclude_later, kind, arrival, out);
+                    return;
+                }
+            }
+        }
+        let mut scratch = std::mem::take(&mut self.matcher_scratch);
+        let (s, found_count) = {
+            let mut m = Matcher::new(
+                &self.q,
+                window,
+                &self.dcs,
+                &self.bank,
+                &self.cfg,
+                self.stats.search_nodes,
+                &mut scratch,
+            );
+            match sweep {
+                Sweep::Edge(edge) => {
+                    m.run(edge);
+                }
+                Sweep::Batch(edges, exclude_later) => {
+                    m.run_batch(edges, exclude_later);
+                }
+            }
+            (m.stats, m.found_count)
+        };
+        self.merge_matcher_stats(&s, found_count, kind);
+        self.drain_found(&mut scratch.found, kind, arrival, out);
+        self.matcher_scratch = scratch;
+    }
+
+    /// Fans the per-seed searches of one delta batch out across the pool:
+    /// every seed runs on some lane with that lane's private scratch, parks
+    /// its results in its own [`SeedSlot`], and lane 0 merges the slots in
+    /// seed (= key = serial event) order afterwards — so the reported match
+    /// stream is byte-identical to the serial sweep at any pool width.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_parallel(
+        &mut self,
+        window: &WindowGraph,
+        pool: &WorkerPool,
+        seeds: &[TemporalEdge],
+        exclude_later: bool,
+        kind: MatchKind,
+        arrival: Ts,
+        out: &mut Vec<MatchEvent>,
+    ) {
+        let width = pool.width();
+        let mut lanes = std::mem::take(&mut self.lane_scratch);
+        lanes.resize_with(width, MatcherScratch::default);
+        let mut slots = std::mem::take(&mut self.seed_slots);
+        if slots.len() < seeds.len() {
+            slots.resize_with(seeds.len(), SeedSlot::default);
+        }
+        let (q, dcs, bank, cfg) = (&self.q, &self.dcs, &self.bank, &self.cfg);
+        pool.for_each_with(&mut slots[..seeds.len()], &mut lanes, |i, slot, scratch| {
+            let mut m = Matcher::new(q, window, dcs, bank, cfg, 0, scratch);
+            m.run_seed(&seeds[i], exclude_later);
+            slot.stats = m.stats;
+            slot.found_count = m.found_count;
+            // Park the seed's embeddings in its slot; the lane keeps the
+            // slot's previous (cleared) arena for its next seed.
+            slot.found.clear();
+            std::mem::swap(&mut slot.found, &mut scratch.found);
+        });
+        self.lane_scratch = lanes;
+        for slot in &mut slots[..seeds.len()] {
+            let s = slot.stats;
+            self.merge_matcher_stats(&s, slot.found_count, kind);
+            self.drain_found(&mut slot.found, kind, arrival, out);
+        }
+        self.seed_slots = slots;
+        self.stats.parallel_sweeps += 1;
+        self.stats.parallel_sweep_seeds += seeds.len() as u64;
+    }
+
+    /// Merges one matcher run's counters into the runtime stats.
+    fn merge_matcher_stats(&mut self, s: &EngineStats, found_count: u64, kind: MatchKind) {
+        self.stats.search_nodes += s.search_nodes;
+        self.stats.pruned_case1 += s.pruned_case1;
+        self.stats.pruned_case2 += s.pruned_case2;
+        self.stats.pruned_case3 += s.pruned_case3;
+        self.stats.cloned_case1 += s.cloned_case1;
+        self.stats.post_check_rejections += s.post_check_rejections;
+        self.stats.budget_exhausted |= s.budget_exhausted;
+        match kind {
+            MatchKind::Occurred => self.stats.occurred += found_count,
+            MatchKind::Expired => self.stats.expired += found_count,
+        }
+    }
+
+    /// Materializes an arena's embeddings as match events (collect mode)
+    /// and empties it. The per-embedding boxes are allocated here, at the
+    /// API boundary, and nowhere on the search path.
+    fn drain_found(
+        &self,
+        found: &mut EmbeddingArena,
+        kind: MatchKind,
+        arrival: Ts,
+        out: &mut Vec<MatchEvent>,
+    ) {
+        if self.cfg.collect_matches && !found.is_empty() {
+            let at = match kind {
+                MatchKind::Occurred => arrival,
+                MatchKind::Expired => arrival.plus(self.delta),
+            };
+            out.reserve(found.len());
+            for i in 0..found.len() {
+                out.push(MatchEvent {
+                    kind,
+                    at,
+                    embedding: found.materialize(i),
+                });
+            }
+        }
+        found.clear();
+    }
+
+    /// From-scratch consistency audit of every incremental structure
+    /// (filter tables, bank membership, DCS candidacies) against the
+    /// current window — the invariant the differential suites check.
+    #[doc(hidden)]
+    pub fn check_consistency<'a>(
+        &self,
+        window: &WindowGraph,
+        lookup: impl Fn(EdgeKey) -> &'a TemporalEdge,
+    ) {
+        let alive: Vec<&TemporalEdge> = window
+            .buckets()
+            .flat_map(|b| b.iter().map(|r| lookup(r.key)))
+            .collect();
+        self.bank
+            .check_consistency(&self.q, window, alive.into_iter());
+        self.dcs.check_consistency(&self.q, window);
+    }
+}

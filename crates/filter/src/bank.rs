@@ -568,6 +568,45 @@ impl FilterBank {
         self.scratch_flips = flips;
     }
 
+    /// Re-derives the whole bank from the *current* window: rebuilds every
+    /// instance table from scratch ([`FilterInstance::rebuild`]) and
+    /// recomputes the membership bitmap over the alive edges, emitting one
+    /// `added` [`DcsDelta`] per member so the caller can seed a fresh DCS
+    /// with the same delta pipeline the incremental path uses.
+    ///
+    /// This is the mid-stream admission substrate for `tcsm-service`: a
+    /// query joining a shard whose shared window is already populated calls
+    /// this once and is from then on indistinguishable from a bank that
+    /// observed every arrival incrementally (the service differential suite
+    /// pins this). Never called on the per-event path.
+    pub fn rebuild_from_window<'a>(
+        &mut self,
+        q: &QueryGraph,
+        g: &WindowGraph,
+        alive: impl Iterator<Item = &'a TemporalEdge>,
+        out: &mut Vec<DcsDelta>,
+    ) {
+        for inst in &mut self.instances {
+            inst.rebuild(q, g);
+        }
+        self.members = MemberPages::new(self.members.wpk);
+        self.num_pairs = 0;
+        for sigma in alive {
+            for e in 0..q.num_edges() {
+                for o in valid_orientations(q, g, e, sigma) {
+                    let pair = CandPair {
+                        qedge: e,
+                        key: sigma.key,
+                        a_to_src: o,
+                    };
+                    if self.passes_all(q, pair, sigma) && self.insert_member(pair) {
+                        out.push(DcsDelta { pair, added: true });
+                    }
+                }
+            }
+        }
+    }
+
     /// From-scratch membership check for tests: recompute which pairs of all
     /// alive edges should currently pass, and compare with the bitmap.
     #[doc(hidden)]
@@ -648,6 +687,64 @@ mod tests {
             bank.check_consistency(&q, &w, alive.iter());
         }
         assert_eq!(bank.num_pairs(), 0);
+    }
+
+    #[test]
+    fn rebuild_from_window_matches_incremental_state() {
+        // Drive an incremental bank over every stream prefix; at each one,
+        // build a *fresh* bank and re-derive it from the window alone. The
+        // rebuilt bank must agree with the incremental one on membership,
+        // pair count, and the from-scratch audit, and its emitted deltas
+        // must enumerate exactly the member set — the mid-stream admission
+        // substrate of tcsm-service.
+        for mode in [FilterMode::Tc, FilterMode::LabelOnly] {
+            let q = paper_running_example();
+            let dag = build_best_dag(&q);
+            let g = figure_2a();
+            let mut w = WindowGraph::new(g.labels().to_vec(), false);
+            let mut inc = FilterBank::new(&q, &dag, mode, &w);
+            let mut alive: Vec<TemporalEdge> = Vec::new();
+            let mut deltas = Vec::new();
+            let queue = EventQueue::new(&g, 6).unwrap();
+            for ev in queue.iter() {
+                let edge = *g.edge(ev.edge);
+                deltas.clear();
+                match ev.kind {
+                    EventKind::Insert => {
+                        w.insert(&edge);
+                        alive.push(edge);
+                        inc.on_insert(&q, &w, &edge, |k| g.edge(k), &mut deltas);
+                    }
+                    EventKind::Delete => {
+                        alive.retain(|e| e.key != edge.key);
+                        w.remove(&edge);
+                        inc.on_delete(&q, &w, &edge, |k| g.edge(k), &mut deltas);
+                    }
+                }
+                let mut fresh = FilterBank::new(&q, &dag, mode, &w);
+                let mut emitted = Vec::new();
+                fresh.rebuild_from_window(&q, &w, alive.iter(), &mut emitted);
+                assert_eq!(fresh.num_pairs(), inc.num_pairs());
+                assert_eq!(emitted.len(), fresh.num_pairs());
+                for d in &emitted {
+                    assert!(d.added, "rebuild emits additions only");
+                    assert!(inc.contains(d.pair), "rebuilt member unknown");
+                }
+                for sigma in &alive {
+                    for e in 0..q.num_edges() {
+                        for o in valid_orientations(&q, &w, e, sigma) {
+                            let pair = CandPair {
+                                qedge: e,
+                                key: sigma.key,
+                                a_to_src: o,
+                            };
+                            assert_eq!(fresh.contains(pair), inc.contains(pair));
+                        }
+                    }
+                }
+                fresh.check_consistency(&q, &w, alive.iter());
+            }
+        }
     }
 
     #[test]

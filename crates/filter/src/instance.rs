@@ -572,6 +572,46 @@ impl FilterInstance {
         self.pending = pending;
     }
 
+    /// Recomputes the whole table from scratch against the *current* window
+    /// `g`, in child-first topological order so every entry reads settled
+    /// child rows. After this call the instance is in exactly the state the
+    /// incremental path would have reached had it observed every alive
+    /// edge's arrival — the substrate for admitting a query against a
+    /// window that is already mid-stream (`tcsm-service` live admission).
+    ///
+    /// Cost is one `recompute_into` per `(u, v)` entry — the same order of
+    /// work as constructing the instance, paid once per admission, never on
+    /// the per-event path.
+    pub fn rebuild(&mut self, q: &QueryGraph, g: &WindowGraph) {
+        debug_assert!(self.pending_pos == 0, "rebuild during an open update");
+        let mut scratch = std::mem::take(&mut self.scratch);
+        // Children sit at *higher* topo positions (see `pop_deepest`), so a
+        // descending-position sweep settles them before any parent reads.
+        for pos in (0..self.u_at_pos.len()).rev() {
+            let u = self.u_at_pos[pos] as QVertexId;
+            let w = self.width[u] as usize;
+            for v in 0..self.n as VertexId {
+                let uv = u * self.n + v as usize;
+                let new_exists = self.recompute_into(q, g, u, v, &mut scratch);
+                let base = self.row(u, v);
+                self.vals[base..base + w].copy_from_slice(&scratch.new_vals);
+                self.exists.replace(uv, new_exists);
+                let is_default = if new_exists {
+                    self.default_exists.get(uv) && scratch.new_vals.iter().all(|&t| t == Ts::INF)
+                } else {
+                    !self.default_exists.get(uv)
+                };
+                let was_nondefault = self.nondefault.replace(uv, !is_default);
+                match (was_nondefault, !is_default) {
+                    (false, true) => self.nondefault_count += 1,
+                    (true, false) => self.nondefault_count -= 1,
+                    _ => {}
+                }
+            }
+        }
+        self.scratch = scratch;
+    }
+
     /// Recomputes every entry from scratch and asserts the dense table (and
     /// its non-default census) matches — the incremental-maintenance
     /// invariant, used by tests.

@@ -1,0 +1,168 @@
+//! # tcsm-service — a sharded multi-query continuous-matching service
+//!
+//! The paper evaluates one query against one stream; a deployment answers
+//! **many standing queries over shared traffic**. [`MatchService`] owns the
+//! stream, admits and retires standing queries *while the stream runs*, and
+//! groups resident queries into **shards by query label locality** — with
+//! exactly **one live [`WindowGraph`] per shard** that every resident
+//! query's filter bank and matcher read, instead of one window per engine
+//! (the pre-service `run_queries_on` cost model).
+//!
+//! # Sharding model
+//!
+//! A shard is one window plus the queries resident on it. Every shard
+//! observes the *whole* stream (windows are identical across shards — the
+//! sharing win is memory and locality, one window per shard instead of one
+//! per query), and shards are mutually independent, so each stream delta
+//! fans out across shards over a [`WorkerPool`] when
+//! [`ServiceConfig::threads`]` > 0`. Within a shard, resident queries run
+//! serially in admission order; their runtimes are read-only towards the
+//! shared window, so per-query match streams are independent of shard
+//! assignment, shard count, and pool width (the service differential suite
+//! pins byte-identical streams across all of them).
+//!
+//! New queries are placed on the shard whose resident queries share the
+//! most distinct vertex labels (ties: fewest resident queries, then lowest
+//! shard index) — queries over the same label universe tend to read the
+//! same window regions, so co-locating them keeps a shard's working set
+//! coherent.
+//!
+//! # Shared-window aliasing rules
+//!
+//! One window, many readers, one writer — the service upholds the contract
+//! [`tcsm_core::runtime`] documents:
+//!
+//! 1. the service alone mutates a shard's window, exactly once per stream
+//!    delta (serial event or same-`(timestamp, kind)` delta batch,
+//!    per [`ServiceConfig::batching`]);
+//! 2. arrivals are applied to the window *before* any runtime processes
+//!    them; expirations *after* every runtime enumerated its expiring
+//!    embeddings;
+//! 3. buckets drained by one delta stay id-resolvable until the next delta
+//!    opens (the window's deferred reclamation), so every runtime's removal
+//!    deltas stay index-addressed no matter how late in the fan-out it
+//!    runs;
+//! 4. direction semantics are a *window* property, so
+//!    [`ServiceConfig::directed`] is service-wide and overrides the
+//!    per-query [`EngineConfig::directed`] flag (as do
+//!    [`EngineConfig::batching`]/[`EngineConfig::threads`], which describe
+//!    stream regime and thread placement — both owned by the service).
+//!
+//! A query admitted mid-stream is synchronized to its shard's live window
+//! with one from-scratch rebuild
+//! ([`tcsm_core::QueryRuntime::sync_to_window`]); from then on it is
+//! byte-for-byte indistinguishable from a query that was resident from the
+//! first event, and its match stream is exactly the suffix a standalone
+//! engine would have reported from that point on.
+//!
+//! # Sink contract
+//!
+//! Every query delivers through its own [`ResultSink`], handed over at
+//! [`MatchService::add_query`]:
+//!
+//! * [`ResultSink::deliver`] is called at most once per processed stream
+//!   delta, only when the query reported something, with the materialized
+//!   match events (empty when [`ResultSink::collect_matches`] is `false`)
+//!   plus the occurred/expired counts of the delta;
+//! * deliveries for one query arrive in stream order; with
+//!   [`ServiceConfig::threads`]` > 0` they may run on worker threads
+//!   (hence `ResultSink: Send`), but never concurrently for one query —
+//!   a sink needs interior thread-safety only if *shared across* queries
+//!   (both bundled sinks use handles, so either way is safe);
+//! * [`CollectingSink`] materializes events for consumers/tests,
+//!   [`CountingSink`] only counts (benches; the engine then skips
+//!   embedding materialization entirely).
+//!
+//! ```
+//! use tcsm_core::EngineConfig;
+//! use tcsm_graph::{QueryGraphBuilder, TemporalGraphBuilder};
+//! use tcsm_service::{CollectingSink, MatchService, ServiceConfig};
+//!
+//! // Two standing queries over one stream, one shared window (1 shard).
+//! let mut qb = QueryGraphBuilder::new();
+//! let (a, b) = (qb.vertex(0), qb.vertex(0));
+//! qb.edge(a, b);
+//! let q1 = qb.build().unwrap();
+//! let mut qb = QueryGraphBuilder::new();
+//! let (a, b, c) = (qb.vertex(0), qb.vertex(0), qb.vertex(0));
+//! let (e0, e1) = (qb.edge(a, b), qb.edge(b, c));
+//! qb.precede(e0, e1);
+//! let q2 = qb.build().unwrap();
+//!
+//! let mut gb = TemporalGraphBuilder::new();
+//! let v = gb.vertices(3, 0);
+//! gb.edge(v, v + 1, 1);
+//! gb.edge(v + 1, v + 2, 2);
+//! let g = gb.build().unwrap();
+//!
+//! let mut svc = MatchService::new(&g, 10, ServiceConfig::default()).unwrap();
+//! let (sink1, got1) = CollectingSink::new();
+//! let (sink2, got2) = CollectingSink::new();
+//! let id1 = svc.add_query(&q1, EngineConfig::default(), Box::new(sink1));
+//! let id2 = svc.add_query(&q2, EngineConfig::default(), Box::new(sink2));
+//! svc.run();
+//! // Each edge alone, in both orientations (the endpoints share a label).
+//! assert_eq!(svc.query_stats(id1).unwrap().occurred, 4);
+//! assert_eq!(svc.query_stats(id2).unwrap().occurred, 1); // the ordered path
+//! assert_eq!(got1.take().len(), 8); // 4 occurred + 4 expired
+//! assert!(!got2.take().is_empty());
+//! ```
+
+mod service;
+mod sink;
+
+pub use service::{MatchService, QueryId, ServiceConfig, ServiceStats, ShardPolicy};
+pub use sink::{CollectedMatches, CollectingSink, CountingSink, MatchCounts, ResultSink};
+
+use std::sync::Arc;
+use tcsm_core::{EngineConfig, EngineStats, WorkerPool};
+use tcsm_graph::{GraphError, QueryGraph, TemporalGraph};
+
+/// Service-backed replacement for the deprecated
+/// `tcsm_core::run_queries_parallel`: one engine-equivalent per query,
+/// `threads` lanes wide (0 = one lane per available CPU). Routing through
+/// [`MatchService`] with **one shard per query** reproduces the old
+/// run-N-independent-engines behavior exactly (each query gets a private
+/// window); matches are counted, not collected.
+pub fn run_queries_parallel(
+    queries: &[QueryGraph],
+    g: &TemporalGraph,
+    delta: i64,
+    cfg: EngineConfig,
+    threads: usize,
+) -> Result<Vec<EngineStats>, GraphError> {
+    let width = WorkerPool::resolve_width(threads).min(queries.len().max(1));
+    run_queries_on(&Arc::new(WorkerPool::new(width)), queries, g, delta, cfg)
+}
+
+/// [`run_queries_parallel`] on a caller-owned pool (shared across repeated
+/// sweeps without respawning threads). Service-backed replacement for the
+/// deprecated `tcsm_core::run_queries_on`; takes the pool by `Arc` because
+/// the service shares it with its shard fan-out.
+pub fn run_queries_on(
+    pool: &Arc<WorkerPool>,
+    queries: &[QueryGraph],
+    g: &TemporalGraph,
+    delta: i64,
+    cfg: EngineConfig,
+) -> Result<Vec<EngineStats>, GraphError> {
+    let svc_cfg = ServiceConfig {
+        shards: queries.len().max(1),
+        // Spread + one shard per query = the old one-window-per-engine
+        // layout, reproduced exactly.
+        policy: ShardPolicy::Spread,
+        threads: pool.width(),
+        batching: cfg.batching,
+        directed: cfg.directed,
+    };
+    let mut svc = MatchService::with_pool(g, delta, svc_cfg, Arc::clone(pool))?;
+    let ids: Vec<QueryId> = queries
+        .iter()
+        .map(|q| svc.add_query(q, cfg, Box::new(CountingSink::new().0)))
+        .collect();
+    svc.run();
+    Ok(ids
+        .into_iter()
+        .map(|id| *svc.query_stats(id).expect("resident query has stats"))
+        .collect())
+}

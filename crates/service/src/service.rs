@@ -1,0 +1,754 @@
+//! [`MatchService`]: shards, query slots, and the per-delta drive loop.
+
+use crate::sink::ResultSink;
+use std::sync::Arc;
+use tcsm_core::{EngineConfig, EngineStats, MatchEvent, QueryRuntime, WorkerPool};
+use tcsm_graph::{
+    EventKind, EventQueue, FxHashMap, GraphError, Label, QueryGraph, TemporalEdge, TemporalGraph,
+    WindowGraph,
+};
+
+/// Handle of one standing query, valid for the service's lifetime (also
+/// after retirement, for [`MatchService::query_stats`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(u32);
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// How new queries are placed onto shards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// Most shared distinct vertex labels wins (ties: fewest resident
+    /// queries, then lowest shard index) — co-locate queries that read the
+    /// same window regions. The default.
+    #[default]
+    LabelLocality,
+    /// Fewest resident queries wins (ties: lowest shard index) — with as
+    /// many shards as queries this reproduces the one-window-per-query
+    /// layout of the pre-service `run_queries_on`.
+    Spread,
+}
+
+/// Service-wide configuration. Stream regime (`batching`), thread
+/// placement (`threads`), and direction semantics (`directed`) are window
+/// properties and therefore service-owned; the same-named fields of a
+/// query's [`EngineConfig`] are overridden at admission (see the crate
+/// docs' aliasing rules).
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Number of shards (≥ 1; clamped). One [`WindowGraph`] is allocated
+    /// per shard, ever — [`ServiceStats::windows_allocated`] asserts it.
+    pub shards: usize,
+    /// Shard placement policy for [`MatchService::add_query`].
+    pub policy: ShardPolicy,
+    /// Width of the shard fan-out pool (0 = serial: every shard is driven
+    /// on the caller). Query runtimes inside shards always run serially —
+    /// shard-level and intra-query parallelism are alternatives over one
+    /// pool, and the service owns the shard level.
+    pub threads: usize,
+    /// Process the stream in same-`(timestamp, kind)` delta batches (the
+    /// batched engine regime) instead of one event at a time. Applies to
+    /// every resident query.
+    pub batching: bool,
+    /// Direction semantics of every shard window (and hence every query).
+    pub directed: bool,
+}
+
+impl Default for ServiceConfig {
+    /// One shard, label-locality placement, serial shard drive (seeded by
+    /// `TCSM_THREADS` like [`EngineConfig::default`]), per-event regime,
+    /// undirected.
+    fn default() -> ServiceConfig {
+        let engine = EngineConfig::default();
+        ServiceConfig {
+            shards: 1,
+            policy: ShardPolicy::LabelLocality,
+            threads: engine.threads,
+            batching: engine.batching,
+            directed: engine.directed,
+        }
+    }
+}
+
+/// Aggregate service counters (per-query counters live in each query's
+/// [`EngineStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Number of shards.
+    pub shards: usize,
+    /// Live [`WindowGraph`]s ever allocated — the shared-window guarantee:
+    /// always exactly one per shard, never one per query.
+    pub windows_allocated: u64,
+    /// Queries currently resident.
+    pub resident_queries: usize,
+    /// Queries ever admitted.
+    pub admitted: u64,
+    /// Queries retired via [`MatchService::remove_query`].
+    pub retired: u64,
+    /// Stream events processed (arrivals + expirations).
+    pub events: u64,
+    /// Delta batches processed (0 in the per-event regime).
+    pub batches: u64,
+}
+
+/// One resident query: its runtime, sink, and per-delta delivery state.
+struct Slot {
+    id: u32,
+    rt: QueryRuntime,
+    sink: Box<dyn ResultSink>,
+    /// Per-delta event buffer (reused allocation).
+    out: Vec<MatchEvent>,
+    /// Was the query live (budget not exhausted) when the current delta
+    /// opened? Snapshot so a budget exhausting mid-delta still completes
+    /// the delta, exactly like the standalone engine.
+    active: bool,
+    /// Occurred/expired totals already delivered, for per-delta counts.
+    delivered_occurred: u64,
+    delivered_expired: u64,
+}
+
+/// One shard: the shared window plus its resident queries.
+struct Shard {
+    window: WindowGraph,
+    slots: Vec<Slot>,
+    /// Distinct-label census of resident queries (placement scoring).
+    label_counts: FxHashMap<Label, usize>,
+}
+
+impl Shard {
+    /// Applies one stream delta: mutate the shared window once, drive every
+    /// live resident runtime over it, deliver. `edges` is the complete
+    /// delta in key order (a single event in the per-event regime).
+    fn apply_unit(
+        &mut self,
+        full: &TemporalGraph,
+        kind: EventKind,
+        edges: &[TemporalEdge],
+        batching: bool,
+    ) {
+        for slot in &mut self.slots {
+            slot.active = !slot.rt.done();
+        }
+        match (kind, batching) {
+            (EventKind::Insert, false) => {
+                for e in edges {
+                    self.window.insert(e);
+                    for slot in self.slots.iter_mut().filter(|s| s.active) {
+                        slot.rt
+                            .apply_insert(&self.window, e, |k| full.edge(k), &mut slot.out);
+                    }
+                }
+            }
+            (EventKind::Insert, true) => {
+                self.window.begin_batch();
+                for e in edges {
+                    self.window.insert_deferred(e);
+                }
+                for slot in self.slots.iter_mut().filter(|s| s.active) {
+                    slot.rt.apply_insert_batch(
+                        &self.window,
+                        edges,
+                        |k| full.edge(k),
+                        &mut slot.out,
+                    );
+                }
+            }
+            (EventKind::Delete, false) => {
+                for e in edges {
+                    // Every runtime enumerates its expiring embeddings
+                    // while the window still holds the edge; then one
+                    // removal; then every structure update (ids stay
+                    // resolvable until the next mutation).
+                    for slot in self.slots.iter_mut().filter(|s| s.active) {
+                        slot.rt.sweep_expiring(&self.window, e, &mut slot.out);
+                    }
+                    self.window.remove(e);
+                    for slot in self.slots.iter_mut().filter(|s| s.active) {
+                        slot.rt.apply_delete(&self.window, e, |k| full.edge(k));
+                    }
+                }
+            }
+            (EventKind::Delete, true) => {
+                for slot in self.slots.iter_mut().filter(|s| s.active) {
+                    slot.rt
+                        .sweep_expiring_batch(&self.window, edges, &mut slot.out);
+                }
+                self.window.begin_batch();
+                for e in edges {
+                    self.window.remove_deferred(e);
+                }
+                for slot in self.slots.iter_mut().filter(|s| s.active) {
+                    slot.rt
+                        .apply_delete_batch(&self.window, edges, |k| full.edge(k));
+                }
+            }
+        }
+        for slot in self.slots.iter_mut().filter(|s| s.active) {
+            let stats = slot.rt.stats();
+            let occ = stats.occurred - slot.delivered_occurred;
+            let exp = stats.expired - slot.delivered_expired;
+            if occ > 0 || exp > 0 || !slot.out.is_empty() {
+                slot.delivered_occurred = stats.occurred;
+                slot.delivered_expired = stats.expired;
+                slot.sink.deliver(QueryId(slot.id), &mut slot.out, occ, exp);
+                slot.out.clear();
+            }
+        }
+    }
+
+    /// Distinct-label overlap between `labels` (sorted, deduped) and the
+    /// resident queries.
+    fn label_overlap(&self, labels: &[Label]) -> usize {
+        labels
+            .iter()
+            .filter(|l| self.label_counts.contains_key(l))
+            .count()
+    }
+}
+
+/// The sharded multi-query matching service (see the crate docs).
+pub struct MatchService<'g> {
+    full: &'g TemporalGraph,
+    queue: EventQueue,
+    next_event: usize,
+    cfg: ServiceConfig,
+    pool: Option<Arc<WorkerPool>>,
+    shards: Vec<Shard>,
+    /// Resident `QueryId` → (shard, slot) positions.
+    index: FxHashMap<u32, (usize, usize)>,
+    /// Final stats of retired queries.
+    retired: FxHashMap<u32, EngineStats>,
+    next_id: u32,
+    stats: ServiceStats,
+    /// Materialized edges of the current delta (reused allocation).
+    unit_scratch: Vec<TemporalEdge>,
+}
+
+impl<'g> MatchService<'g> {
+    /// Builds a service over the stream of `g` with window length `delta`.
+    /// With [`ServiceConfig::threads`]` > 0` the service owns a private
+    /// [`WorkerPool`] of that width for the shard fan-out.
+    pub fn new(
+        g: &'g TemporalGraph,
+        delta: i64,
+        cfg: ServiceConfig,
+    ) -> Result<MatchService<'g>, GraphError> {
+        let pool = match cfg.threads {
+            0 => None,
+            n => Some(Arc::new(WorkerPool::new(n))),
+        };
+        MatchService::build(g, delta, cfg, pool)
+    }
+
+    /// [`MatchService::new`] on an existing pool (shared with other
+    /// sweeps; must only be driven from this service's thread while a
+    /// step runs). [`ServiceConfig::threads`] is ignored for pool sizing.
+    pub fn with_pool(
+        g: &'g TemporalGraph,
+        delta: i64,
+        cfg: ServiceConfig,
+        pool: Arc<WorkerPool>,
+    ) -> Result<MatchService<'g>, GraphError> {
+        MatchService::build(g, delta, cfg, Some(pool))
+    }
+
+    /// The only way this crate constructs a [`WindowGraph`] — every
+    /// allocation bumps [`ServiceStats::windows_allocated`], which is what
+    /// makes the one-window-per-shard assertions in the differential suite
+    /// meaningful. Do not call `WindowGraph::new` anywhere else in
+    /// `tcsm-service`.
+    fn alloc_window(stats: &mut ServiceStats, g: &TemporalGraph, directed: bool) -> WindowGraph {
+        stats.windows_allocated += 1;
+        WindowGraph::new(g.labels().to_vec(), directed)
+    }
+
+    fn build(
+        g: &'g TemporalGraph,
+        delta: i64,
+        cfg: ServiceConfig,
+        pool: Option<Arc<WorkerPool>>,
+    ) -> Result<MatchService<'g>, GraphError> {
+        let queue = EventQueue::new(g, delta)?;
+        let num_shards = cfg.shards.max(1);
+        let mut stats = ServiceStats {
+            shards: num_shards,
+            ..ServiceStats::default()
+        };
+        let shards: Vec<Shard> = (0..num_shards)
+            .map(|_| Shard {
+                // The one window of this shard.
+                window: MatchService::alloc_window(&mut stats, g, cfg.directed),
+                slots: Vec::new(),
+                label_counts: FxHashMap::default(),
+            })
+            .collect();
+        Ok(MatchService {
+            full: g,
+            queue,
+            next_event: 0,
+            cfg,
+            pool,
+            shards,
+            index: FxHashMap::default(),
+            retired: FxHashMap::default(),
+            next_id: 0,
+            stats,
+            unit_scratch: Vec::new(),
+        })
+    }
+
+    /// The window length δ.
+    #[inline]
+    pub fn delta(&self) -> i64 {
+        self.queue.delta()
+    }
+
+    /// Stream events processed so far (the admission point of a query
+    /// added now).
+    #[inline]
+    pub fn events_processed(&self) -> usize {
+        self.next_event
+    }
+
+    /// Remaining events in the stream.
+    #[inline]
+    pub fn remaining_events(&self) -> usize {
+        self.queue.len() - self.next_event
+    }
+
+    /// Aggregate service counters (resident count refreshed here).
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            resident_queries: self.index.len(),
+            ..self.stats
+        }
+    }
+
+    /// The shard a resident query lives on.
+    pub fn shard_of(&self, id: QueryId) -> Option<usize> {
+        self.index.get(&id.0).map(|&(shard, _)| shard)
+    }
+
+    /// A resident or retired query's counters.
+    pub fn query_stats(&self, id: QueryId) -> Option<&EngineStats> {
+        match self.index.get(&id.0) {
+            Some(&(shard, slot)) => Some(self.shards[shard].slots[slot].rt.stats()),
+            None => self.retired.get(&id.0),
+        }
+    }
+
+    /// Shard placement for a query's label set (see [`ShardPolicy`]).
+    fn pick_shard(&self, q: &QueryGraph) -> usize {
+        let mut labels: Vec<Label> = (0..q.num_vertices()).map(|u| q.label(u)).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        (0..self.shards.len())
+            .max_by_key(|&i| {
+                let s = &self.shards[i];
+                let overlap = match self.cfg.policy {
+                    ShardPolicy::LabelLocality => s.label_overlap(&labels),
+                    ShardPolicy::Spread => 0,
+                };
+                (
+                    overlap,
+                    std::cmp::Reverse(s.slots.len()),
+                    std::cmp::Reverse(i),
+                )
+            })
+            .expect("service always has ≥ 1 shard")
+    }
+
+    /// Admits a standing query, mid-stream or before the first event. The
+    /// query is placed by [`ServiceConfig::policy`], synchronized to its
+    /// shard's live window (one from-scratch rebuild when the window is
+    /// non-empty), and from the next [`MatchService::step`] on reports
+    /// exactly the stream a standalone engine would from this point (the
+    /// differential suite pins this). `collect_matches`, `batching`,
+    /// `threads`, and `directed` of `cfg` are service-owned and overridden
+    /// (see the crate docs).
+    pub fn add_query(
+        &mut self,
+        q: &QueryGraph,
+        cfg: EngineConfig,
+        sink: Box<dyn ResultSink>,
+    ) -> QueryId {
+        let cfg = EngineConfig {
+            collect_matches: sink.collect_matches(),
+            batching: self.cfg.batching,
+            directed: self.cfg.directed,
+            // Runtimes never own intra-query pools inside the service; the
+            // shard fan-out owns the thread budget.
+            threads: 0,
+            ..cfg
+        };
+        let shard_idx = self.pick_shard(q);
+        let shard = &mut self.shards[shard_idx];
+        let mut rt = QueryRuntime::new(q, &shard.window, self.queue.delta(), cfg, None);
+        if shard.window.num_alive_edges() > 0 {
+            let full = self.full;
+            rt.sync_to_window(&shard.window, |k| full.edge(k));
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.stats.admitted += 1;
+        for l in (0..q.num_vertices()).map(|u| q.label(u)) {
+            *shard.label_counts.entry(l).or_insert(0) += 1;
+        }
+        self.index.insert(id, (shard_idx, shard.slots.len()));
+        shard.slots.push(Slot {
+            id,
+            rt,
+            sink,
+            out: Vec::new(),
+            active: false,
+            delivered_occurred: 0,
+            delivered_expired: 0,
+        });
+        QueryId(id)
+    }
+
+    /// Retires a standing query (mid-stream or after), returning its final
+    /// counters. Other queries' streams are untouched — the shard's window
+    /// keeps running either way. Returns `None` for unknown/already
+    /// retired ids.
+    pub fn remove_query(&mut self, id: QueryId) -> Option<EngineStats> {
+        let (shard_idx, slot_idx) = self.index.remove(&id.0)?;
+        let shard = &mut self.shards[shard_idx];
+        let slot = shard.slots.swap_remove(slot_idx);
+        // The swap moved the former tail (if any) into `slot_idx`.
+        if let Some(moved) = shard.slots.get(slot_idx) {
+            self.index.insert(moved.id, (shard_idx, slot_idx));
+        }
+        for l in (0..slot.rt.query().num_vertices()).map(|u| slot.rt.query().label(u)) {
+            if let Some(c) = shard.label_counts.get_mut(&l) {
+                *c -= 1;
+                if *c == 0 {
+                    shard.label_counts.remove(&l);
+                }
+            }
+        }
+        let stats = *slot.rt.stats();
+        self.retired.insert(id.0, stats);
+        self.stats.retired += 1;
+        Some(stats)
+    }
+
+    /// Processes one stream delta — a single event in the per-event
+    /// regime, a whole same-`(timestamp, kind)` batch with
+    /// [`ServiceConfig::batching`] — across every shard. Returns `false`
+    /// when the stream is exhausted. Shards with no resident queries still
+    /// advance their windows, so later admissions stay cheap and exact.
+    pub fn step(&mut self) -> bool {
+        let (kind, n) = if self.cfg.batching {
+            match self.queue.batch_at(self.next_event) {
+                Some(b) => (b.kind, b.len()),
+                None => return false,
+            }
+        } else {
+            match self.queue.events().get(self.next_event) {
+                Some(ev) => (ev.kind, 1),
+                None => return false,
+            }
+        };
+        let full = self.full;
+        let mut edges = std::mem::take(&mut self.unit_scratch);
+        edges.clear();
+        edges.extend(
+            self.queue.events()[self.next_event..self.next_event + n]
+                .iter()
+                .map(|ev| *full.edge(ev.edge)),
+        );
+        self.next_event += n;
+        self.stats.events += n as u64;
+        if self.cfg.batching {
+            self.stats.batches += 1;
+        }
+        let batching = self.cfg.batching;
+        match &self.pool {
+            Some(pool) if self.shards.len() > 1 => {
+                let edges = &edges[..];
+                pool.for_each_mut(&mut self.shards, |_i, shard| {
+                    shard.apply_unit(full, kind, edges, batching);
+                });
+            }
+            _ => {
+                for shard in &mut self.shards {
+                    shard.apply_unit(full, kind, &edges, batching);
+                }
+            }
+        }
+        self.unit_scratch = edges;
+        true
+    }
+
+    /// Drains the rest of the stream.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// From-scratch consistency audit of every resident runtime against
+    /// its shard's window (differential-suite hook).
+    #[doc(hidden)]
+    pub fn check_consistency(&self) {
+        let full = self.full;
+        for shard in &self.shards {
+            for slot in &shard.slots {
+                if !slot.rt.done() {
+                    slot.rt.check_consistency(&shard.window, |k| full.edge(k));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{CollectingSink, CountingSink};
+    use tcsm_core::TcmEngine;
+    use tcsm_graph::{QueryGraphBuilder, TemporalGraphBuilder};
+
+    fn workload() -> (Vec<QueryGraph>, TemporalGraph) {
+        let mut gb = TemporalGraphBuilder::new();
+        let v = gb.vertices(5, 0);
+        for t in 1..=30i64 {
+            gb.edge(v + (t % 5) as u32, v + ((t + 1) % 5) as u32, t);
+        }
+        let g = gb.build().unwrap();
+        let queries = (2..=4usize)
+            .map(|k| {
+                let mut qb = QueryGraphBuilder::new();
+                let vs: Vec<_> = (0..=k).map(|_| qb.vertex(0)).collect();
+                let mut prev = None;
+                for i in 0..k {
+                    let e = qb.edge(vs[i], vs[i + 1]);
+                    if let Some(p) = prev {
+                        qb.precede(p, e);
+                    }
+                    prev = Some(e);
+                }
+                qb.build().unwrap()
+            })
+            .collect();
+        (queries, g)
+    }
+
+    fn serial_cfg() -> EngineConfig {
+        EngineConfig {
+            threads: 0,
+            ..EngineConfig::default()
+        }
+    }
+
+    fn standalone(q: &QueryGraph, g: &TemporalGraph, delta: i64) -> (Vec<MatchEvent>, EngineStats) {
+        let mut e = TcmEngine::new(q, g, delta, serial_cfg()).unwrap();
+        let out = e.run();
+        (out, *e.stats())
+    }
+
+    #[test]
+    fn shared_window_service_matches_standalone_engines() {
+        let (queries, g) = workload();
+        for shards in [1usize, 2, 3] {
+            let cfg = ServiceConfig {
+                shards,
+                threads: 0,
+                batching: false,
+                directed: false,
+                policy: ShardPolicy::LabelLocality,
+            };
+            let mut svc = MatchService::new(&g, 10, cfg).unwrap();
+            let handles: Vec<_> = queries
+                .iter()
+                .map(|q| {
+                    let (sink, got) = CollectingSink::new();
+                    (svc.add_query(q, serial_cfg(), Box::new(sink)), got)
+                })
+                .collect();
+            svc.run();
+            assert_eq!(svc.stats().windows_allocated, shards as u64);
+            for (q, (id, got)) in queries.iter().zip(&handles) {
+                let (expect, stats) = standalone(q, &g, 10);
+                assert_eq!(got.take(), expect, "stream diverged ({shards} shards)");
+                assert_eq!(
+                    svc.query_stats(*id).unwrap().semantic(),
+                    stats.semantic(),
+                    "stats diverged ({shards} shards)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn label_locality_groups_same_label_queries() {
+        let mut gb = TemporalGraphBuilder::new();
+        gb.vertex(0);
+        gb.vertex(0);
+        gb.vertex(1);
+        gb.vertex(1);
+        let g = gb.build().unwrap();
+        let q_of = |label: u32| {
+            let mut qb = QueryGraphBuilder::new();
+            let (a, b) = (qb.vertex(label), qb.vertex(label));
+            qb.edge(a, b);
+            qb.build().unwrap()
+        };
+        let mut svc = MatchService::new(
+            &g,
+            10,
+            ServiceConfig {
+                shards: 2,
+                threads: 0,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let a1 = svc.add_query(&q_of(0), serial_cfg(), Box::new(CountingSink::new().0));
+        let b1 = svc.add_query(&q_of(1), serial_cfg(), Box::new(CountingSink::new().0));
+        let a2 = svc.add_query(&q_of(0), serial_cfg(), Box::new(CountingSink::new().0));
+        let b2 = svc.add_query(&q_of(1), serial_cfg(), Box::new(CountingSink::new().0));
+        assert_eq!(
+            svc.shard_of(a1),
+            svc.shard_of(a2),
+            "label-0 queries co-locate"
+        );
+        assert_eq!(
+            svc.shard_of(b1),
+            svc.shard_of(b2),
+            "label-1 queries co-locate"
+        );
+        assert_ne!(
+            svc.shard_of(a1),
+            svc.shard_of(b1),
+            "labels split across shards"
+        );
+    }
+
+    #[test]
+    fn spread_policy_gives_one_query_per_shard() {
+        let (queries, g) = workload();
+        let mut svc = MatchService::new(
+            &g,
+            10,
+            ServiceConfig {
+                shards: queries.len(),
+                policy: ShardPolicy::Spread,
+                threads: 0,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let ids: Vec<_> = queries
+            .iter()
+            .map(|q| svc.add_query(q, serial_cfg(), Box::new(CountingSink::new().0)))
+            .collect();
+        let mut shards: Vec<_> = ids.iter().map(|&id| svc.shard_of(id).unwrap()).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        assert_eq!(shards.len(), queries.len(), "one shard per query");
+    }
+
+    #[test]
+    fn mid_stream_admission_reports_the_standalone_suffix() {
+        let (queries, g) = workload();
+        let q = &queries[1];
+        // Standalone engine, recording the stream per event.
+        let mut engine = TcmEngine::new(q, &g, 10, serial_cfg()).unwrap();
+        let mut per_event: Vec<Vec<MatchEvent>> = Vec::new();
+        let mut buf = Vec::new();
+        while engine.step(&mut buf) {
+            per_event.push(std::mem::take(&mut buf));
+        }
+        let total_events = per_event.len();
+        for admit_at in [0usize, 1, total_events / 3, total_events / 2] {
+            let mut svc = MatchService::new(&g, 10, ServiceConfig::default()).unwrap();
+            for _ in 0..admit_at {
+                assert!(svc.step());
+            }
+            let (sink, got) = CollectingSink::new();
+            let id = svc.add_query(q, serial_cfg(), Box::new(sink));
+            svc.run();
+            let expect: Vec<MatchEvent> = per_event[admit_at..]
+                .iter()
+                .flat_map(|v| v.iter().cloned())
+                .collect();
+            assert_eq!(
+                got.take(),
+                expect,
+                "admission at event {admit_at} must report the standalone suffix"
+            );
+            assert_eq!(
+                svc.query_stats(id).unwrap().events,
+                (total_events - admit_at) as u64
+            );
+        }
+    }
+
+    #[test]
+    fn removal_mid_stream_leaves_other_queries_untouched() {
+        let (queries, g) = workload();
+        let mut svc = MatchService::new(
+            &g,
+            10,
+            ServiceConfig {
+                shards: 2,
+                threads: 0,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let handles: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                let (sink, got) = CollectingSink::new();
+                (svc.add_query(q, serial_cfg(), Box::new(sink)), got)
+            })
+            .collect();
+        for _ in 0..svc.remaining_events() / 2 {
+            svc.step();
+        }
+        let removed = svc.remove_query(handles[0].0).expect("resident");
+        assert!(removed.events > 0);
+        assert!(svc.remove_query(handles[0].0).is_none(), "retired is gone");
+        assert_eq!(
+            svc.query_stats(handles[0].0).map(|s| s.events),
+            Some(removed.events),
+            "retired stats stay queryable"
+        );
+        svc.run();
+        for (q, (id, got)) in queries.iter().zip(&handles).skip(1) {
+            let (expect, stats) = standalone(q, &g, 10);
+            assert_eq!(got.take(), expect, "survivor stream disturbed by removal");
+            assert_eq!(svc.query_stats(*id).unwrap().semantic(), stats.semantic());
+        }
+    }
+
+    #[test]
+    fn counting_sink_counts_without_materializing() {
+        let (queries, g) = workload();
+        let mut svc = MatchService::new(&g, 10, ServiceConfig::default()).unwrap();
+        let (sink, counts) = CountingSink::new();
+        let id = svc.add_query(&queries[0], serial_cfg(), Box::new(sink));
+        svc.run();
+        let stats = svc.query_stats(id).unwrap();
+        assert!(stats.occurred > 0);
+        assert_eq!(counts.occurred(), stats.occurred);
+        assert_eq!(counts.expired(), stats.expired);
+    }
+
+    #[test]
+    fn service_wrappers_match_core_run_queries() {
+        let (queries, g) = workload();
+        let ours = crate::run_queries_parallel(&queries, &g, 10, serial_cfg(), 2).unwrap();
+        #[allow(deprecated)]
+        let theirs = tcsm_core::run_queries_parallel(&queries, &g, 10, serial_cfg(), 2).unwrap();
+        assert_eq!(ours.len(), theirs.len());
+        for (a, b) in ours.iter().zip(&theirs) {
+            assert_eq!(a.semantic(), b.semantic());
+        }
+    }
+}

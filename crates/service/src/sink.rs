@@ -1,0 +1,133 @@
+//! Per-query result delivery (see the crate docs' sink contract).
+
+use crate::service::QueryId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use tcsm_core::MatchEvent;
+
+/// Receives one standing query's match stream from the service.
+///
+/// `deliver` runs at most once per processed stream delta and only when
+/// the query reported something; deliveries for one query arrive in
+/// stream order, possibly from worker threads (never two at once for one
+/// query). Implementations drain `events` (the service clears it after
+/// the call either way).
+pub trait ResultSink: Send {
+    /// Should the service materialize embeddings for this query? `false`
+    /// keeps the whole search path allocation-free (`deliver` then sees an
+    /// empty `events` but live counts) — the benching configuration.
+    fn collect_matches(&self) -> bool {
+        true
+    }
+
+    /// One stream delta's worth of results for query `qid`: the
+    /// materialized events (empty when [`ResultSink::collect_matches`] is
+    /// `false`) and the delta's occurred/expired counts.
+    fn deliver(&mut self, qid: QueryId, events: &mut Vec<MatchEvent>, occurred: u64, expired: u64);
+}
+
+/// A sink that materializes and stores every match event; read the stream
+/// back through the [`CollectedMatches`] handle. The consumer/test
+/// configuration.
+pub struct CollectingSink {
+    buf: Arc<Mutex<Vec<MatchEvent>>>,
+}
+
+/// Reader handle of a [`CollectingSink`].
+#[derive(Clone)]
+pub struct CollectedMatches {
+    buf: Arc<Mutex<Vec<MatchEvent>>>,
+}
+
+impl CollectingSink {
+    /// A fresh sink plus its reader handle.
+    pub fn new() -> (CollectingSink, CollectedMatches) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        (
+            CollectingSink {
+                buf: Arc::clone(&buf),
+            },
+            CollectedMatches { buf },
+        )
+    }
+}
+
+impl ResultSink for CollectingSink {
+    fn deliver(&mut self, _qid: QueryId, events: &mut Vec<MatchEvent>, _occ: u64, _exp: u64) {
+        self.buf
+            .lock()
+            .expect("collector mutex poisoned")
+            .append(events);
+    }
+}
+
+impl CollectedMatches {
+    /// Takes everything collected so far (stream order), leaving the
+    /// buffer empty.
+    pub fn take(&self) -> Vec<MatchEvent> {
+        std::mem::take(&mut *self.buf.lock().expect("collector mutex poisoned"))
+    }
+
+    /// Number of events collected so far.
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("collector mutex poisoned").len()
+    }
+
+    /// True when nothing was collected (yet).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A sink that only counts — embeddings are never materialized
+/// (`collect_matches` is `false`), so the query's whole search path stays
+/// allocation-free. The bench configuration.
+pub struct CountingSink {
+    occurred: Arc<AtomicU64>,
+    expired: Arc<AtomicU64>,
+}
+
+/// Reader handle of a [`CountingSink`].
+#[derive(Clone)]
+pub struct MatchCounts {
+    occurred: Arc<AtomicU64>,
+    expired: Arc<AtomicU64>,
+}
+
+impl CountingSink {
+    /// A fresh sink plus its counter handle.
+    pub fn new() -> (CountingSink, MatchCounts) {
+        let occurred = Arc::new(AtomicU64::new(0));
+        let expired = Arc::new(AtomicU64::new(0));
+        (
+            CountingSink {
+                occurred: Arc::clone(&occurred),
+                expired: Arc::clone(&expired),
+            },
+            MatchCounts { occurred, expired },
+        )
+    }
+}
+
+impl ResultSink for CountingSink {
+    fn collect_matches(&self) -> bool {
+        false
+    }
+
+    fn deliver(&mut self, _qid: QueryId, _events: &mut Vec<MatchEvent>, occ: u64, exp: u64) {
+        self.occurred.fetch_add(occ, Ordering::Relaxed);
+        self.expired.fetch_add(exp, Ordering::Relaxed);
+    }
+}
+
+impl MatchCounts {
+    /// Occurred embeddings counted so far.
+    pub fn occurred(&self) -> u64 {
+        self.occurred.load(Ordering::Relaxed)
+    }
+
+    /// Expired embeddings counted so far.
+    pub fn expired(&self) -> u64 {
+        self.expired.load(Ordering::Relaxed)
+    }
+}

@@ -74,4 +74,42 @@ fn main() {
         "pruning: case1 {} case2 {} case3 {} (clones {})",
         s.pruned_case1, s.pruned_case2, s.pruned_case3, s.cloned_case1
     );
+
+    // ----- Many standing queries over one stream ---------------------------
+    //
+    // A deployment rarely runs one query: `MatchService` (tcsm-service)
+    // serves many standing queries over the same stream, sharing one live
+    // window per *shard* instead of one per engine. Queries are admitted
+    // (and retired) at runtime — even mid-stream, where the new query is
+    // synchronized to the live window and then reports exactly what a
+    // from-the-start engine would from that point on. Each query delivers
+    // through its own sink; per-query streams are byte-identical to the
+    // standalone engine above (see tests/service_equivalence.rs and
+    // examples/service_demo.rs for the full tour).
+    let mut service = MatchService::new(&stream, 10, ServiceConfig::default()).unwrap();
+    let (sink, collected) = CollectingSink::new();
+    let id = service.add_query(&query, EngineConfig::default(), Box::new(sink));
+    // A second standing query — a single forward hop — rides the same
+    // shared window at no extra window cost.
+    let mut qb = tcsm::graph::QueryGraphBuilder::new();
+    let (a, b) = (qb.vertex(0), qb.vertex(2));
+    qb.edge(a, b);
+    let hop = qb.build().unwrap();
+    let (hop_sink, hop_collected) = CollectingSink::new();
+    let hop_id = service.add_query(&hop, EngineConfig::default(), Box::new(hop_sink));
+    service.run();
+    println!(
+        "\nservice: {} queries over {} shard(s), {} window(s) allocated",
+        service.stats().resident_queries,
+        service.stats().shards,
+        service.stats().windows_allocated
+    );
+    println!(
+        "  {id}: {} events delivered (same stream as the engine above)",
+        collected.len()
+    );
+    println!(
+        "  {hop_id}: {} events for the one-hop query",
+        hop_collected.len()
+    );
 }

@@ -1,0 +1,180 @@
+//! The sharded multi-query service on a real-format stream: 8 concurrent
+//! standing queries over the mini-SNAP fixture, **one shared window per
+//! shard** instead of one per engine, with a query retired and a fresh one
+//! admitted *while the stream runs*.
+//!
+//! The demo double-checks itself: every per-query stream is compared
+//! byte-for-byte against a standalone `TcmEngine` run of that query (the
+//! mid-stream admission against the standalone suffix), and the service
+//! stats must show exactly one `WindowGraph` allocation per shard.
+//!
+//! ```sh
+//! cargo run --release --example service_demo
+//! ```
+
+use tcsm::datasets::ingest::{DatasetSource, FileSource};
+use tcsm::datasets::QueryGen;
+use tcsm::graph::io::{parse_snap_with_stats, SnapOptions};
+use tcsm::prelude::*;
+
+fn engine_cfg() -> EngineConfig {
+    EngineConfig {
+        directed: true,
+        ..Default::default()
+    }
+}
+
+/// Standalone engine run recorded per event, so mid-stream admission and
+/// removal points align with service steps.
+fn standalone_per_event(q: &QueryGraph, g: &TemporalGraph, delta: i64) -> Vec<Vec<MatchEvent>> {
+    let mut e = TcmEngine::new(q, g, delta, engine_cfg()).expect("engine builds");
+    let mut steps = Vec::new();
+    let mut buf = Vec::new();
+    while e.step(&mut buf) {
+        steps.push(std::mem::take(&mut buf));
+    }
+    steps
+}
+
+fn main() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/crates/datasets/fixtures/mini-snap.txt"
+    );
+    let text = std::fs::read_to_string(path).expect("fixture is checked in");
+    let (g, stats) = parse_snap_with_stats(&text, &SnapOptions::default()).expect("parses");
+    println!(
+        "stream: {} edges over {} vertices ({} events)",
+        stats.edges,
+        stats.vertices,
+        2 * stats.edges
+    );
+
+    let source = FileSource::snap(path);
+    let delta = source.window_sizes(&g, 1.0)[0];
+    let mut qg = QueryGen::new(&g);
+    qg.directed = true;
+    let queries: Vec<QueryGraph> = (0..16u64)
+        .filter_map(|seed| {
+            let size = 3 + (seed % 3) as usize;
+            let density = [0.0, 0.5, 1.0][(seed % 3) as usize];
+            qg.generate(size, density, (delta * 3 / 4).max(4), 101 + seed)
+        })
+        .take(8)
+        .collect();
+    assert_eq!(queries.len(), 8, "fixture hosts 8 generated queries");
+    // A ninth query admitted mid-stream once a slot frees up.
+    let late_query = qg
+        .generate(4, 0.5, (delta * 3 / 4).max(4), 999)
+        .expect("late query generates");
+
+    // threads from TCSM_THREADS (0 = drive all shards on the caller).
+    // `Spread` placement so every shard hosts residents: the default
+    // `LabelLocality` policy co-locates queries sharing vertex labels, and
+    // this fixture's walk queries all read the same few degree-bucket
+    // labels, so locality would (by design) pack them onto one shared
+    // window.
+    let service_cfg = ServiceConfig {
+        shards: 4,
+        policy: ShardPolicy::Spread,
+        directed: true,
+        ..ServiceConfig::default()
+    };
+    println!(
+        "service: {} shards (one shared WindowGraph each), threads {}, window {delta}\n",
+        service_cfg.shards, service_cfg.threads
+    );
+    let mut svc = MatchService::new(&g, delta, service_cfg).expect("service builds");
+    let mut handles: Vec<(QueryId, tcsm::service::CollectedMatches)> = queries
+        .iter()
+        .map(|q| {
+            let (sink, got) = CollectingSink::new();
+            (svc.add_query(q, engine_cfg(), Box::new(sink)), got)
+        })
+        .collect();
+    for (i, (id, _)) in handles.iter().enumerate() {
+        println!(
+            "  admitted query {i} ({} edges) as {id} on shard {}",
+            queries[i].num_edges(),
+            svc.shard_of(*id).expect("resident")
+        );
+    }
+
+    // Drive the stream; at 1/2 retire query 0 and admit the late query.
+    let total = svc.remaining_events();
+    let (remove_at, admit_at) = (total / 2, total / 2);
+    let mut late: Option<(QueryId, tcsm::service::CollectedMatches, usize)> = None;
+    let mut removed_stats = None;
+    for step in 0..total {
+        if step == remove_at {
+            let stats = svc.remove_query(handles[0].0).expect("query 0 resident");
+            println!(
+                "\n  t½: retired {} after {} events ({} occurred, {} expired)",
+                handles[0].0, stats.events, stats.occurred, stats.expired
+            );
+            removed_stats = Some(stats);
+        }
+        if step == admit_at {
+            let (sink, got) = CollectingSink::new();
+            let id = svc.add_query(&late_query, engine_cfg(), Box::new(sink));
+            println!(
+                "  t½: admitted late query as {id} on shard {} (synced to the live window)\n",
+                svc.shard_of(id).expect("resident")
+            );
+            late = Some((id, got, step));
+        }
+        assert!(svc.step(), "stream ends exactly at the recorded length");
+    }
+    assert!(!svc.step(), "stream exhausted");
+
+    // Self-check 1: one window per shard, the whole run.
+    let s = svc.stats();
+    assert_eq!(s.windows_allocated, s.shards as u64);
+    println!(
+        "service stats: {} events in {} shards, {} windows allocated, \
+         {} admitted / {} retired",
+        s.events, s.shards, s.windows_allocated, s.admitted, s.retired
+    );
+
+    // Self-check 2: every stream byte-identical to its standalone engine.
+    let removed = handles.remove(0);
+    for (i, (id, got)) in handles.iter().enumerate() {
+        let expect: Vec<MatchEvent> = standalone_per_event(&queries[i + 1], &g, delta)
+            .into_iter()
+            .flatten()
+            .collect();
+        let stream = got.take();
+        assert_eq!(stream, expect, "query {id} diverged from standalone");
+        let st = svc.query_stats(*id).expect("resident");
+        println!(
+            "  {id}: {} occurred, {} expired, {} search nodes — matches standalone",
+            st.occurred, st.expired, st.search_nodes
+        );
+    }
+    // The retired query delivered exactly the standalone prefix…
+    let prefix: Vec<MatchEvent> = standalone_per_event(&queries[0], &g, delta)[..remove_at]
+        .iter()
+        .flatten()
+        .cloned()
+        .collect();
+    assert_eq!(removed.1.take(), prefix, "retired query's prefix diverged");
+    println!(
+        "  {}: retired mid-stream with the exact standalone prefix ({} events delivered)",
+        removed.0,
+        removed_stats.expect("recorded").events
+    );
+    // …and the late admission exactly the standalone suffix.
+    let (late_id, late_got, admitted_at) = late.expect("late query admitted");
+    let suffix: Vec<MatchEvent> = standalone_per_event(&late_query, &g, delta)[admitted_at..]
+        .iter()
+        .flatten()
+        .cloned()
+        .collect();
+    assert_eq!(late_got.take(), suffix, "late admission suffix diverged");
+    println!(
+        "  {late_id}: admitted mid-stream, reports the exact standalone suffix \
+         ({} occurred)",
+        svc.query_stats(late_id).expect("resident").occurred
+    );
+    println!("\nall per-query streams byte-identical to standalone engines ✓");
+}

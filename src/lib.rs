@@ -15,6 +15,7 @@
 //! | [`filter`] | `tcsm-filter` | max-min timestamps, TC-matchable-edge filter (§IV) |
 //! | [`dcs`] | `tcsm-dcs` | SymBi's dynamic candidate space, TC-restricted |
 //! | [`core`] | `tcsm-core` | the `TcmEngine` + `FindMatches` with §V pruning |
+//! | [`service`] | `tcsm-service` | sharded multi-query service, shared per-shard windows |
 //! | [`baselines`] | `tcsm-baselines` | oracle, RapidFlow-lite, Timing-join |
 //! | [`datasets`] | `tcsm-datasets` | Table III profiles + query generator |
 //!
@@ -50,6 +51,7 @@ pub use tcsm_datasets as datasets;
 pub use tcsm_dcs as dcs;
 pub use tcsm_filter as filter;
 pub use tcsm_graph as graph;
+pub use tcsm_service as service;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -61,5 +63,8 @@ pub mod prelude {
     pub use tcsm_graph::{
         Direction, EventKind, EventQueue, QueryGraph, QueryGraphBuilder, TemporalGraph,
         TemporalGraphBuilder, TemporalOrder, Ts, WindowGraph, EDGE_LABEL_ANY,
+    };
+    pub use tcsm_service::{
+        CollectingSink, CountingSink, MatchService, QueryId, ResultSink, ServiceConfig, ShardPolicy,
     };
 }

@@ -1,0 +1,317 @@
+//! Differential suite for the sharded multi-query service: every resident
+//! query's match stream out of `MatchService` must be **byte-identical**
+//! to a standalone `TcmEngine` run of that query — across shard counts
+//! ({1, 2, one-per-query}), shard-pool widths ({0, 2}), both stream
+//! regimes (per-event and delta-batched), every Table III profile, and
+//! the checked-in mini-SNAP fixture.
+//!
+//! Also pinned here, per the PR-5 acceptance criteria:
+//!
+//! * the service allocates exactly **one `WindowGraph` per shard** (via
+//!   `ServiceStats::windows_allocated`) while 8 queries are resident;
+//! * live admission mid-stream reports exactly the standalone *suffix*
+//!   from the admission point, and live removal leaves every other
+//!   query's stream untouched.
+//!
+//! CI runs this suite in release at `TCSM_THREADS={0,2}` (the
+//! service-smoke job).
+
+use tcsm::datasets::ingest::DatasetSource;
+use tcsm::datasets::{FileSource, QueryGen, ALL_PROFILES};
+use tcsm::graph::io::{parse_snap_with_stats, SnapOptions};
+use tcsm::prelude::*;
+
+fn fixture_graph() -> TemporalGraph {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/crates/datasets/fixtures/mini-snap.txt"
+    ))
+    .expect("fixture is checked in");
+    parse_snap_with_stats(&text, &SnapOptions::default())
+        .expect("fixture parses")
+        .0
+}
+
+fn engine_cfg(directed: bool, batching: bool) -> EngineConfig {
+    EngineConfig {
+        directed,
+        batching,
+        ..Default::default()
+    }
+}
+
+/// Standalone engine run (threads from `TCSM_THREADS`, so the CI matrix
+/// also gates the engine's own pool paths — streams are width-invariant).
+fn standalone(
+    q: &QueryGraph,
+    g: &TemporalGraph,
+    delta: i64,
+    directed: bool,
+    batching: bool,
+) -> (Vec<MatchEvent>, EngineStats) {
+    let mut e = TcmEngine::new(q, g, delta, engine_cfg(directed, batching)).expect("engine");
+    let out = e.run();
+    (out, *e.stats())
+}
+
+/// Full-stream service run: all queries resident from the first event.
+fn service_streams(
+    queries: &[QueryGraph],
+    g: &TemporalGraph,
+    delta: i64,
+    shards: usize,
+    threads: usize,
+    directed: bool,
+    batching: bool,
+) -> (
+    Vec<(Vec<MatchEvent>, EngineStats)>,
+    tcsm::service::ServiceStats,
+) {
+    let cfg = ServiceConfig {
+        shards,
+        threads,
+        batching,
+        directed,
+        policy: ShardPolicy::LabelLocality,
+    };
+    let mut svc = MatchService::new(g, delta, cfg).expect("service");
+    let handles: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            let (sink, got) = CollectingSink::new();
+            (
+                svc.add_query(q, engine_cfg(directed, batching), Box::new(sink)),
+                got,
+            )
+        })
+        .collect();
+    svc.run();
+    let stats = svc.stats();
+    let out = handles
+        .into_iter()
+        .map(|(id, got)| (got.take(), *svc.query_stats(id).expect("resident")))
+        .collect();
+    (out, stats)
+}
+
+fn assert_service_matches_standalone(
+    queries: &[QueryGraph],
+    g: &TemporalGraph,
+    delta: i64,
+    directed: bool,
+    label: &str,
+) {
+    for batching in [false, true] {
+        let expect: Vec<_> = queries
+            .iter()
+            .map(|q| standalone(q, g, delta, directed, batching))
+            .collect();
+        for shards in [1usize, 2, queries.len().max(1)] {
+            for threads in [0usize, 2] {
+                let (got, svc_stats) =
+                    service_streams(queries, g, delta, shards, threads, directed, batching);
+                assert_eq!(
+                    svc_stats.windows_allocated, shards as u64,
+                    "{label}: exactly one window per shard"
+                );
+                for (i, ((gs, gstats), (es, estats))) in got.iter().zip(&expect).enumerate() {
+                    assert_eq!(
+                        gs, es,
+                        "{label}: query {i} stream diverged \
+                         (shards {shards}, threads {threads}, batching {batching})"
+                    );
+                    assert_eq!(
+                        gstats.semantic(),
+                        estats.semantic(),
+                        "{label}: query {i} stats diverged \
+                         (shards {shards}, threads {threads}, batching {batching})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Every Table III profile: service streams are byte-identical to
+/// standalone engines at every shard count / pool width / regime.
+#[test]
+fn profile_streams_byte_identical_to_standalone_engines() {
+    for (pi, p) in ALL_PROFILES.iter().enumerate() {
+        let scale = 0.02;
+        let g = p.generate_bursty(0x5eed ^ pi as u64, scale, 4);
+        let delta = p.window_sizes(scale)[2].max(4);
+        let mut qg = QueryGen::new(&g);
+        qg.directed = p.directed;
+        let queries: Vec<QueryGraph> = [(3usize, 0.0), (4, 0.5), (5, 1.0)]
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &(size, density))| {
+                qg.generate(size, density, (delta * 3 / 4).max(4), 31 + i as u64)
+            })
+            .collect();
+        if queries.is_empty() {
+            continue;
+        }
+        assert_service_matches_standalone(&queries, &g, delta, p.directed, p.name);
+    }
+}
+
+/// The mini-SNAP fixture with 8 resident queries — the PR-5 acceptance
+/// configuration: ≥ 2 shards, one window per shard, byte-identical
+/// per-query streams against 8 standalone engines.
+#[test]
+fn mini_snap_eight_queries_acceptance() {
+    let g = fixture_graph();
+    let source = FileSource::snap("crates/datasets/fixtures/mini-snap.txt");
+    let delta = source.window_sizes(&g, 1.0)[0];
+    let mut qg = QueryGen::new(&g);
+    qg.directed = true;
+    let queries: Vec<QueryGraph> = (0..16u64)
+        .filter_map(|seed| {
+            let size = 3 + (seed % 3) as usize;
+            let density = [0.0, 0.5, 1.0][(seed % 3) as usize];
+            qg.generate(size, density, (delta * 3 / 4).max(4), 101 + seed)
+        })
+        .take(8)
+        .collect();
+    assert_eq!(queries.len(), 8, "fixture must host 8 generated queries");
+    for batching in [false, true] {
+        let expect: Vec<_> = queries
+            .iter()
+            .map(|q| standalone(q, &g, delta, true, batching))
+            .collect();
+        assert!(
+            expect.iter().any(|(s, _)| !s.is_empty()),
+            "acceptance workload must produce matches"
+        );
+        for shards in [2usize, 4, 8] {
+            for threads in [0usize, 2] {
+                let (got, svc_stats) =
+                    service_streams(&queries, &g, delta, shards, threads, true, batching);
+                assert_eq!(svc_stats.shards, shards);
+                assert_eq!(
+                    svc_stats.windows_allocated, shards as u64,
+                    "exactly one WindowGraph per shard with 8 resident queries"
+                );
+                assert_eq!(svc_stats.admitted, 8);
+                for (i, ((gs, gstats), (es, estats))) in got.iter().zip(&expect).enumerate() {
+                    assert_eq!(
+                        gs, es,
+                        "query {i} diverged (shards {shards}, threads {threads}, \
+                         batching {batching})"
+                    );
+                    assert_eq!(gstats.semantic(), estats.semantic());
+                }
+            }
+        }
+    }
+}
+
+/// Live admission and retirement mid-stream: an admitted query reports
+/// exactly the standalone suffix from its admission point; a removed
+/// query's retirement leaves every survivor's stream byte-identical.
+#[test]
+fn live_add_remove_mid_stream_on_the_fixture() {
+    let g = fixture_graph();
+    let source = FileSource::snap("crates/datasets/fixtures/mini-snap.txt");
+    let delta = source.window_sizes(&g, 1.0)[0];
+    let mut qg = QueryGen::new(&g);
+    qg.directed = true;
+    let qa = qg
+        .generate(3, 0.0, (delta * 3 / 4).max(4), 7)
+        .expect("query A");
+    let qb = qg
+        .generate(4, 0.5, (delta * 3 / 4).max(4), 8)
+        .expect("query B");
+    let qc = qg
+        .generate(3, 1.0, (delta * 3 / 4).max(4), 9)
+        .expect("query C");
+    for batching in [false, true] {
+        // Record each standalone stream *per service step* so admission /
+        // removal points align exactly with service deltas.
+        let per_step = |q: &QueryGraph| -> Vec<Vec<MatchEvent>> {
+            let mut e = TcmEngine::new(q, &g, delta, engine_cfg(true, batching)).expect("engine");
+            let mut steps = Vec::new();
+            let mut buf = Vec::new();
+            loop {
+                let more = if batching {
+                    e.step_batch(&mut buf)
+                } else {
+                    e.step(&mut buf)
+                };
+                if !more {
+                    break;
+                }
+                steps.push(std::mem::take(&mut buf));
+            }
+            steps
+        };
+        let sa = per_step(&qa);
+        let sb = per_step(&qb);
+        let sc = per_step(&qc);
+        let total = sa.len();
+        assert_eq!(total, sb.len());
+        let (admit_b, remove_a, admit_c) = (total / 3, total / 2, 2 * total / 3);
+
+        let mut svc = MatchService::new(
+            &g,
+            delta,
+            ServiceConfig {
+                shards: 2,
+                threads: 0,
+                batching,
+                directed: true,
+                policy: ShardPolicy::LabelLocality,
+            },
+        )
+        .expect("service");
+        let (sink_a, got_a) = CollectingSink::new();
+        let ida = svc.add_query(&qa, engine_cfg(true, batching), Box::new(sink_a));
+        let mut handles = Vec::new();
+        for step in 0..total {
+            if step == admit_b {
+                let (sink, got) = CollectingSink::new();
+                handles.push((
+                    svc.add_query(&qb, engine_cfg(true, batching), Box::new(sink)),
+                    got,
+                    &sb,
+                    admit_b,
+                ));
+            }
+            if step == remove_a {
+                let stats = svc.remove_query(ida).expect("A resident");
+                let expect_a: Vec<MatchEvent> = sa[..remove_a].iter().flatten().cloned().collect();
+                assert_eq!(
+                    got_a.take(),
+                    expect_a,
+                    "removed query's delivered prefix (batching {batching})"
+                );
+                assert!(stats.events > 0);
+            }
+            if step == admit_c {
+                let (sink, got) = CollectingSink::new();
+                handles.push((
+                    svc.add_query(&qc, engine_cfg(true, batching), Box::new(sink)),
+                    got,
+                    &sc,
+                    admit_c,
+                ));
+            }
+            assert!(svc.step(), "stream ends exactly at the recorded length");
+        }
+        assert!(!svc.step(), "stream exhausted");
+        for (id, got, steps, admitted_at) in handles {
+            let expect: Vec<MatchEvent> = steps[admitted_at..].iter().flatten().cloned().collect();
+            assert_eq!(
+                got.take(),
+                expect,
+                "admitted query must report the standalone suffix \
+                 (batching {batching}, admitted at {admitted_at})"
+            );
+            assert!(svc.query_stats(id).is_some());
+        }
+        // A late audit: every surviving runtime still passes its
+        // from-scratch consistency check against the shared windows.
+        svc.check_consistency();
+    }
+}
