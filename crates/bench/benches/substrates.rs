@@ -312,6 +312,74 @@ fn bench(c: &mut Criterion) {
             );
         }
     }
+    // Crash-safe serving: snapshot write + restore against the cold
+    // rebuild they replace. `snapshot_restore` decodes and overlays every
+    // per-query slab from the shard frames; `snapshot_cold_rebuild`
+    // restores the same checkpoint with the shard files deleted, so every
+    // shard takes the Rebuild path — serial stream replay plus a
+    // from-scratch `sync_to_window` per query. The gap between the two is
+    // what the snapshot format buys at recovery time.
+    {
+        use tcsm_service::{
+            CountingSink, MatchService, RecoveryPolicy, ServiceConfig, ShardPolicy,
+        };
+        let queries: Vec<_> = (0..16u64)
+            .filter_map(|seed| qg.generate(5 + (seed % 3) as usize * 2, 0.5, delta / 2, 7 + seed))
+            .take(4)
+            .collect();
+        let svc_cfg = ServiceConfig {
+            shards: 2,
+            policy: ShardPolicy::LabelLocality,
+            threads: 0,
+            batching: false,
+            directed: true,
+        };
+        let cfg = EngineConfig {
+            collect_matches: false,
+            directed: true,
+            threads: 0,
+            ..Default::default()
+        };
+        let mut svc = MatchService::new(&g, delta, svc_cfg).unwrap();
+        for q in &queries {
+            svc.add_query(q, cfg, Box::new(CountingSink::new().0));
+        }
+        let half = g.num_edges(); // half of the 2·|E| event stream
+        for _ in 0..half {
+            svc.step();
+        }
+        let dir = std::env::temp_dir().join(format!("tcsm-bench-snap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        group.bench_function("snapshot_write", |b| {
+            b.iter(|| svc.checkpoint(&dir).unwrap())
+        });
+        svc.checkpoint(&dir).unwrap();
+        group.bench_function("snapshot_restore", |b| {
+            b.iter(|| {
+                let svc = MatchService::restore(&g, &dir, RecoveryPolicy::Strict, |_| {
+                    Box::new(CountingSink::new().0)
+                })
+                .unwrap();
+                svc.stats().events
+            })
+        });
+        // Delete the shard frames: every shard now rebuilds from the
+        // stream prefix — the cold path a snapshot-less service would
+        // always pay.
+        for i in 0..2 {
+            std::fs::remove_file(dir.join(format!("shard-{i}.tcsm"))).unwrap();
+        }
+        group.bench_function("snapshot_cold_rebuild", |b| {
+            b.iter(|| {
+                let svc = MatchService::restore(&g, &dir, RecoveryPolicy::Rebuild, |_| {
+                    Box::new(CountingSink::new().0)
+                })
+                .unwrap();
+                svc.stats().events
+            })
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
     group.finish();
 }
 

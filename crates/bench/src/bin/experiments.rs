@@ -45,6 +45,21 @@ use tcsm_graph::io::{SnapLabeling, SnapOptions};
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
 
+/// Reports a usage error and exits with status 2 (bad invocation), the
+/// sibling of the unknown-command path below.
+fn usage_err(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Parses a flag's value, mapping a malformed one to a usage error
+/// instead of a panic.
+fn parse_flag<T: std::str::FromStr>(value: &str, what: &str) -> T {
+    value
+        .parse()
+        .unwrap_or_else(|_| usage_err(&format!("{what} (got '{value}')")))
+}
+
 fn main() {
     CountingAlloc::mark_installed();
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,19 +74,19 @@ fn main() {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                suite.scale = args[i].parse().expect("--scale takes a float");
+                suite.scale = parse_flag(&args[i], "--scale takes a float");
             }
             "--queries" => {
                 i += 1;
-                suite.queries_per_set = args[i].parse().expect("--queries takes an int");
+                suite.queries_per_set = parse_flag(&args[i], "--queries takes an int");
             }
             "--budget" => {
                 i += 1;
-                suite.run_cfg.max_total_nodes = args[i].parse().expect("--budget takes an int");
+                suite.run_cfg.max_total_nodes = parse_flag(&args[i], "--budget takes an int");
             }
             "--seed" => {
                 i += 1;
-                suite.seed = args[i].parse().expect("--seed takes an int");
+                suite.seed = parse_flag(&args[i], "--seed takes an int");
             }
             "--out" => {
                 i += 1;
@@ -83,13 +98,15 @@ fn main() {
             }
             "--format" => {
                 i += 1;
-                format =
-                    FileFormat::from_name(&args[i]).expect("--format takes 'snap' or 'native'");
+                format = FileFormat::from_name(&args[i])
+                    .unwrap_or_else(|| usage_err("--format takes 'snap' or 'native'"));
             }
             "--labels" => {
                 i += 1;
-                snap.vertex_labels = args[i].parse().expect("--labels takes an int ≥ 1");
-                assert!(snap.vertex_labels >= 1, "--labels takes an int ≥ 1");
+                snap.vertex_labels = parse_flag(&args[i], "--labels takes an int ≥ 1");
+                if snap.vertex_labels < 1 {
+                    usage_err("--labels takes an int ≥ 1");
+                }
             }
             "--labeling" => {
                 i += 1;
@@ -97,12 +114,12 @@ fn main() {
                     "uniform" => SnapLabeling::Uniform,
                     "degree" => SnapLabeling::DegreeBucket,
                     "hash" => SnapLabeling::IdHash,
-                    other => panic!("--labeling: unknown policy '{other}'"),
+                    other => usage_err(&format!("--labeling: unknown policy '{other}'")),
                 };
             }
             "--max-edges" => {
                 i += 1;
-                snap.max_edges = Some(args[i].parse().expect("--max-edges takes an int"));
+                snap.max_edges = Some(parse_flag(&args[i], "--max-edges takes an int"));
             }
             "--input" => {
                 i += 1;
@@ -118,18 +135,19 @@ fn main() {
             "--service" => cmds.push("service".to_string()),
             "--shards" => {
                 i += 1;
-                suite.service_shards = args[i].parse().expect("--shards takes an int ≥ 1");
-                assert!(suite.service_shards >= 1, "--shards takes an int ≥ 1");
+                suite.service_shards = parse_flag(&args[i], "--shards takes an int ≥ 1");
+                if suite.service_shards < 1 {
+                    usage_err("--shards takes an int ≥ 1");
+                }
             }
             other => cmds.push(other.to_string()),
         }
         i += 1;
     }
     if !inputs.is_empty() {
-        assert!(
-            picked_datasets.is_empty(),
-            "--input and --dataset are mutually exclusive"
-        );
+        if !picked_datasets.is_empty() {
+            usage_err("--input and --dataset are mutually exclusive");
+        }
         // With a single --input, --format and the SNAP knobs parsed after
         // it still apply (flag order shouldn't matter for the common
         // invocation). With several, each input keeps what was in force
@@ -152,14 +170,16 @@ fn main() {
             .copied()
             .map(SourceSpec::Profile)
             .collect();
-        assert!(!suite.sources.is_empty(), "no dataset matched");
+        if suite.sources.is_empty() {
+            usage_err("no dataset matched");
+        }
     }
     if cmds.is_empty() {
         eprintln!("usage: experiments <table3|settings|fig7|fig8|fig9|fig10|fig11|table5|ablation|service|all> [flags]");
         std::process::exit(2);
     }
     for cmd in &cmds {
-        match cmd.as_str() {
+        let outcome = match cmd.as_str() {
             "table3" => suite.table3(),
             "settings" => suite.settings(),
             "fig7" => suite.fig7(),
@@ -175,6 +195,10 @@ fn main() {
                 eprintln!("unknown command {other}");
                 std::process::exit(2);
             }
+        };
+        if let Err(e) = outcome {
+            eprintln!("error: {e}");
+            std::process::exit(1);
         }
     }
 }

@@ -8,9 +8,55 @@
 use crate::algo::{run_one, Algo, RunConfig, RunResult};
 use crate::report::{fmt_mb, fmt_ms, Table};
 use std::cell::OnceCell;
+use std::fmt;
 use std::path::PathBuf;
-use tcsm_datasets::{DatasetSource, QueryGen, SourceSpec, ALL_PROFILES};
-use tcsm_graph::{QueryGraph, TemporalGraph};
+use tcsm_datasets::{DatasetSource, IngestError, QueryGen, SourceSpec, ALL_PROFILES};
+use tcsm_graph::{GraphError, QueryGraph, TemporalGraph};
+
+/// A driver failure: dataset ingest, engine construction, or report
+/// output. Every variant reaches the CLI as a message plus a nonzero exit
+/// code — the drivers themselves never panic on bad input or a full disk.
+#[derive(Debug)]
+pub enum SuiteError {
+    /// A dataset source failed to load or validate.
+    Ingest(IngestError),
+    /// An engine or service rejected its inputs.
+    Graph(GraphError),
+    /// A results CSV could not be written.
+    Report(PathBuf, std::io::Error),
+}
+
+impl fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuiteError::Ingest(e) => write!(f, "dataset ingest failed: {e}"),
+            SuiteError::Graph(e) => write!(f, "run failed: {e}"),
+            SuiteError::Report(p, e) => write!(f, "could not write {}: {e}", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SuiteError::Ingest(e) => Some(e),
+            SuiteError::Graph(e) => Some(e),
+            SuiteError::Report(_, e) => Some(e),
+        }
+    }
+}
+
+impl From<IngestError> for SuiteError {
+    fn from(e: IngestError) -> SuiteError {
+        SuiteError::Ingest(e)
+    }
+}
+
+impl From<GraphError> for SuiteError {
+    fn from(e: GraphError) -> SuiteError {
+        SuiteError::Graph(e)
+    }
+}
 
 /// Experiment-wide parameters (Table IV, plus laptop-scale knobs).
 #[derive(Clone, Debug)]
@@ -86,28 +132,37 @@ impl Suite {
     /// Ingests every source once per `Suite` (cached across commands, so
     /// `all` on a file-backed dump reads it a single time). Synthetic
     /// sources honour `seed`/`scale`; file-backed ones read their dump.
-    /// Ingest failures are fatal here — every driver needs every dataset.
-    fn materialize(&self) -> &[Loaded] {
-        self.loaded.get_or_init(|| {
-            self.sources
+    /// Ingest failures are fatal here — every driver needs every dataset —
+    /// but they surface as a [`SuiteError`] for the CLI to report, not a
+    /// panic.
+    fn materialize(&self) -> Result<&[Loaded], SuiteError> {
+        if self.loaded.get().is_none() {
+            let loaded = self
+                .sources
                 .iter()
                 .map(|s| {
                     let before = crate::mem::live_bytes();
-                    let g = s
-                        .load(self.seed, self.scale)
-                        .unwrap_or_else(|e| panic!("dataset ingest failed: {e}"));
+                    let g = s.load(self.seed, self.scale)?;
                     let graph_live = crate::mem::live_bytes().saturating_sub(before);
                     let windows = s.window_sizes(&g, self.scale);
-                    Loaded {
+                    Ok(Loaded {
                         name: s.name(),
                         directed: s.directed(),
                         g,
                         windows,
                         graph_live,
-                    }
+                    })
                 })
-                .collect()
-        })
+                .collect::<Result<Vec<Loaded>, IngestError>>()?;
+            let _ = self.loaded.set(loaded);
+        }
+        Ok(self.loaded.get().expect("just initialized"))
+    }
+
+    /// Emits a table, mapping a failed CSV write to a [`SuiteError`].
+    fn emit(&self, t: &Table, stem: &str) -> Result<(), SuiteError> {
+        t.emit(&self.results_dir, stem)
+            .map_err(|e| SuiteError::Report(self.results_dir.join(format!("{stem}.csv")), e))
     }
 
     fn queries(&self, d: &Loaded, size: usize, density: f64, delta: i64) -> Vec<QueryGraph> {
@@ -166,12 +221,12 @@ impl Suite {
     }
 
     /// Table III: characteristics of the (synthetic, scaled) datasets.
-    pub fn table3(&self) {
+    pub fn table3(&self) -> Result<(), SuiteError> {
         let mut t = Table::new(
             format!("Table III — dataset characteristics (scale {})", self.scale),
             &["dataset", "|V|", "|E|", "|ΣV|", "|ΣE|", "davg", "mavg"],
         );
-        for d in self.materialize() {
+        for d in self.materialize()? {
             let g = &d.g;
             t.row(vec![
                 d.name.clone(),
@@ -183,11 +238,11 @@ impl Suite {
                 format!("{:.2}", g.avg_parallel_edges()),
             ]);
         }
-        t.emit(&self.results_dir, "table3");
+        self.emit(&t, "table3")
     }
 
     /// Table IV: the experiment settings in effect.
-    pub fn settings(&self) {
+    pub fn settings(&self) -> Result<(), SuiteError> {
         let mut t = Table::new(
             "Table IV — experiment settings",
             &["parameter", "values (bold = default)"],
@@ -211,20 +266,20 @@ impl Suite {
             "node budget".into(),
             self.run_cfg.max_total_nodes.to_string(),
         ]);
-        t.emit(&self.results_dir, "table4");
+        self.emit(&t, "table4")
     }
 
     /// Figure 7: elapsed time and solved counts vs query size.
-    pub fn fig7(&self) {
-        self.size_sweep("fig7", &Algo::MAIN, "Figure 7");
+    pub fn fig7(&self) -> Result<(), SuiteError> {
+        self.size_sweep("fig7", &Algo::MAIN, "Figure 7")
     }
 
     /// Figure 11: the §VI-B ablation (SymBi vs TCM-Pruning vs TCM).
-    pub fn fig11(&self) {
-        self.size_sweep("fig11", &Algo::ABLATION, "Figure 11");
+    pub fn fig11(&self) -> Result<(), SuiteError> {
+        self.size_sweep("fig11", &Algo::ABLATION, "Figure 11")
     }
 
-    fn size_sweep(&self, stem: &str, algos: &[Algo], caption: &str) {
+    fn size_sweep(&self, stem: &str, algos: &[Algo], caption: &str) -> Result<(), SuiteError> {
         let names: Vec<&str> = algos.iter().map(|a| a.name()).collect();
         let mut headers = vec!["dataset", "size"];
         headers.extend(names.iter());
@@ -239,7 +294,7 @@ impl Suite {
             ),
             &headers,
         );
-        for d in self.materialize() {
+        for d in self.materialize()? {
             let delta = d.windows[DEFAULT_WINDOW_IDX];
             for &size in &QUERY_SIZES {
                 let queries = self.queries(d, size, DEFAULT_DENSITY, delta);
@@ -255,12 +310,12 @@ impl Suite {
                 eprintln!("[{stem}] {} size {size} done", d.name);
             }
         }
-        ta.emit(&self.results_dir, &format!("{stem}a"));
-        tb.emit(&self.results_dir, &format!("{stem}b"));
+        self.emit(&ta, &format!("{stem}a"))?;
+        self.emit(&tb, &format!("{stem}b"))
     }
 
     /// Figure 8: elapsed time and solved counts vs temporal-order density.
-    pub fn fig8(&self) {
+    pub fn fig8(&self) -> Result<(), SuiteError> {
         let algos = Algo::MAIN;
         let names: Vec<&str> = algos.iter().map(|a| a.name()).collect();
         let mut headers = vec!["dataset", "density"];
@@ -273,7 +328,7 @@ impl Suite {
             format!("Figure 8(b) — solved queries (of {})", self.queries_per_set),
             &headers,
         );
-        for ds in self.materialize() {
+        for ds in self.materialize()? {
             let delta = ds.windows[DEFAULT_WINDOW_IDX];
             for &d in &DENSITIES {
                 let queries = self.queries(ds, DEFAULT_SIZE, d, delta);
@@ -289,12 +344,12 @@ impl Suite {
                 eprintln!("[fig8] {} density {d} done", ds.name);
             }
         }
-        ta.emit(&self.results_dir, "fig8a");
-        tb.emit(&self.results_dir, "fig8b");
+        self.emit(&ta, "fig8a")?;
+        self.emit(&tb, "fig8b")
     }
 
     /// Figure 9: elapsed time and solved counts vs window size.
-    pub fn fig9(&self) {
+    pub fn fig9(&self) -> Result<(), SuiteError> {
         let algos = Algo::MAIN;
         let names: Vec<&str> = algos.iter().map(|a| a.name()).collect();
         let mut headers = vec!["dataset", "window"];
@@ -307,7 +362,7 @@ impl Suite {
             format!("Figure 9(b) — solved queries (of {})", self.queries_per_set),
             &headers,
         );
-        for d in self.materialize() {
+        for d in self.materialize()? {
             for (wi, &delta) in d.windows.iter().enumerate() {
                 let queries = self.queries(d, DEFAULT_SIZE, DEFAULT_DENSITY, delta);
                 let res = self.run_set(&algos, &queries, &d.g, delta);
@@ -322,12 +377,12 @@ impl Suite {
                 eprintln!("[fig9] {} window {} done", d.name, WINDOW_NAMES[wi]);
             }
         }
-        ta.emit(&self.results_dir, "fig9a");
-        tb.emit(&self.results_dir, "fig9b");
+        self.emit(&ta, "fig9a")?;
+        self.emit(&tb, "fig9b")
     }
 
     /// Figure 10: average peak memory vs query size.
-    pub fn fig10(&self) {
+    pub fn fig10(&self) -> Result<(), SuiteError> {
         if !crate::mem::installed() {
             eprintln!(
                 "[fig10] counting allocator not installed — run via the \
@@ -342,7 +397,7 @@ impl Suite {
             "Figure 10 — avg peak memory MB (density 0.5, window 30k)",
             &headers,
         );
-        for d in self.materialize() {
+        for d in self.materialize()? {
             let delta = d.windows[DEFAULT_WINDOW_IDX];
             for &size in &QUERY_SIZES {
                 let queries = self.queries(d, size, DEFAULT_DENSITY, delta);
@@ -358,17 +413,17 @@ impl Suite {
                 eprintln!("[fig10] {} size {size} done", d.name);
             }
         }
-        t.emit(&self.results_dir, "fig10");
+        self.emit(&t, "fig10")
     }
 
     /// Table V: filtering power of the TC-matchable edge — the ratio of DCS
     /// edges and surviving DCS vertices with vs without the filter.
-    pub fn table5(&self) {
+    pub fn table5(&self) -> Result<(), SuiteError> {
         let mut t = Table::new(
             "Table V — filtering power (TCM / SymBi ratios; smaller = more filtering)",
             &["dataset", "size", "edge ratio", "vertex ratio"],
         );
-        for d in self.materialize() {
+        for d in self.materialize()? {
             let g = &d.g;
             let delta = d.windows[DEFAULT_WINDOW_IDX];
             for &size in &QUERY_SIZES {
@@ -406,12 +461,12 @@ impl Suite {
                 eprintln!("[table5] {} size {size} done", d.name);
             }
         }
-        t.emit(&self.results_dir, "table5");
+        self.emit(&t, "table5")
     }
 
     /// Extra ablation (beyond the paper): each §V pruning technique
     /// enabled in isolation, measured by search nodes and elapsed time.
-    pub fn ablation(&self) {
+    pub fn ablation(&self) -> Result<(), SuiteError> {
         use tcsm_core::{EngineConfig, PruningFlags, SearchBudget, TcmEngine};
         let variants: [(&str, PruningFlags); 5] = [
             ("none", PruningFlags::NONE),
@@ -424,7 +479,7 @@ impl Suite {
             "Ablation — §V pruning techniques in isolation (search nodes | ms)",
             &["dataset", "none", "case1", "case2", "case3", "all"],
         );
-        for d in self.materialize() {
+        for d in self.materialize()? {
             let g = &d.g;
             let delta = d.windows[DEFAULT_WINDOW_IDX];
             let queries = self.queries(d, DEFAULT_SIZE, DEFAULT_DENSITY, delta);
@@ -446,7 +501,7 @@ impl Suite {
                         ..Default::default()
                     };
                     let start = std::time::Instant::now();
-                    let mut e = TcmEngine::new(q, g, delta, cfg).expect("valid");
+                    let mut e = TcmEngine::new(q, g, delta, cfg)?;
                     let s = e.run_counting();
                     nodes += s.search_nodes;
                     ms += start.elapsed().as_secs_f64() * 1e3;
@@ -456,7 +511,7 @@ impl Suite {
             t.row(row);
             eprintln!("[ablation] {} done", d.name);
         }
-        t.emit(&self.results_dir, "ablation");
+        self.emit(&t, "ablation")
     }
 
     /// Multi-query throughput (beyond the paper): the `tcsm-service`
@@ -464,7 +519,7 @@ impl Suite {
     /// run-N-independent-engines baseline it replaces (one full window
     /// copy per query). Same queries, same stream, matches counted on
     /// both sides and asserted equal.
-    pub fn service(&self) {
+    pub fn service(&self) -> Result<(), SuiteError> {
         use tcsm_core::{EngineConfig, WorkerPool};
         use tcsm_service::{CountingSink, MatchService, ServiceConfig, ShardPolicy};
         // Resolve the width up front: the two sides interpret 0 differently
@@ -486,7 +541,7 @@ impl Suite {
                 "matches",
             ],
         );
-        for d in self.materialize() {
+        for d in self.materialize()? {
             let g = &d.g;
             let delta = d.windows[DEFAULT_WINDOW_IDX];
             let queries = self.queries(d, DEFAULT_SIZE, DEFAULT_DENSITY, delta);
@@ -507,8 +562,7 @@ impl Suite {
             // service replaces (kept callable exactly for this comparison).
             let start = std::time::Instant::now();
             #[allow(deprecated)]
-            let engine_stats = tcsm_core::run_queries_parallel(&queries, g, delta, cfg, threads)
-                .expect("baseline runs");
+            let engine_stats = tcsm_core::run_queries_parallel(&queries, g, delta, cfg, threads)?;
             let engines_ms = start.elapsed().as_secs_f64() * 1e3;
             let engines_matches: u64 = engine_stats.iter().map(|s| s.occurred).sum();
 
@@ -523,8 +577,7 @@ impl Suite {
                     batching: self.run_cfg.batching,
                     directed: self.run_cfg.directed,
                 },
-            )
-            .expect("service builds");
+            )?;
             let ids: Vec<_> = queries
                 .iter()
                 .map(|q| svc.add_query(q, cfg, Box::new(CountingSink::new().0)))
@@ -552,19 +605,19 @@ impl Suite {
             ]);
             eprintln!("[service] {} done", d.name);
         }
-        t.emit(&self.results_dir, "service");
+        self.emit(&t, "service")
     }
 
     /// Runs everything in figure order.
-    pub fn all(&self) {
-        self.table3();
-        self.settings();
-        self.fig7();
-        self.fig8();
-        self.fig9();
-        self.fig10();
-        self.fig11();
-        self.table5();
-        self.ablation();
+    pub fn all(&self) -> Result<(), SuiteError> {
+        self.table3()?;
+        self.settings()?;
+        self.fig7()?;
+        self.fig8()?;
+        self.fig9()?;
+        self.fig10()?;
+        self.fig11()?;
+        self.table5()?;
+        self.ablation()
     }
 }

@@ -83,13 +83,12 @@ impl Table {
     }
 
     /// Writes the CSV next to the results dir and prints the text table.
-    pub fn emit(&self, results_dir: &Path, file_stem: &str) {
+    /// A failed write (missing permissions, full disk) is the caller's to
+    /// report — the text table has already been printed by then.
+    pub fn emit(&self, results_dir: &Path, file_stem: &str) -> std::io::Result<()> {
         println!("{}", self.to_text());
-        if let Err(e) = fs::create_dir_all(results_dir)
+        fs::create_dir_all(results_dir)
             .and_then(|_| fs::write(results_dir.join(format!("{file_stem}.csv")), self.to_csv()))
-        {
-            eprintln!("(could not write CSV: {e})");
-        }
     }
 }
 

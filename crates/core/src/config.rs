@@ -1,6 +1,7 @@
 //! Engine configuration: algorithm variants and search budgets.
 
 use tcsm_filter::FilterMode;
+use tcsm_graph::codec::{CodecError, Decoder, Encoder};
 
 /// Which parts of the TCM algorithm are enabled — the §VI-B ablation axes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -186,6 +187,69 @@ impl EngineConfig {
         self.budget.max_nodes_per_event != 0
             || self.budget.max_matches_per_event != 0
             || self.budget.max_total_nodes != 0
+    }
+
+    /// Serializes the configuration (snapshot manifest format).
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(match self.preset {
+            AlgorithmPreset::Tcm => 0,
+            AlgorithmPreset::TcmNoPruning => 1,
+            AlgorithmPreset::TcmNoFilter => 2,
+            AlgorithmPreset::SymBiPostCheck => 3,
+        });
+        match self.pruning_override {
+            None => enc.put_u8(0),
+            Some(f) => {
+                enc.put_u8(1);
+                enc.put_bool(f.case1);
+                enc.put_bool(f.case2);
+                enc.put_bool(f.case3);
+            }
+        }
+        enc.put_u64(self.budget.max_nodes_per_event);
+        enc.put_u64(self.budget.max_matches_per_event);
+        enc.put_u64(self.budget.max_total_nodes);
+        enc.put_bool(self.directed);
+        enc.put_bool(self.collect_matches);
+        enc.put_bool(self.batching);
+        enc.put_usize(self.threads);
+    }
+
+    /// Inverse of [`EngineConfig::encode`].
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<EngineConfig, CodecError> {
+        let preset = match dec.get_u8()? {
+            0 => AlgorithmPreset::Tcm,
+            1 => AlgorithmPreset::TcmNoPruning,
+            2 => AlgorithmPreset::TcmNoFilter,
+            3 => AlgorithmPreset::SymBiPostCheck,
+            other => {
+                return Err(CodecError::Invalid(format!("bad preset tag {other}")));
+            }
+        };
+        let pruning_override = match dec.get_u8()? {
+            0 => None,
+            1 => Some(PruningFlags {
+                case1: dec.get_bool()?,
+                case2: dec.get_bool()?,
+                case3: dec.get_bool()?,
+            }),
+            other => {
+                return Err(CodecError::Invalid(format!("bad override tag {other}")));
+            }
+        };
+        Ok(EngineConfig {
+            preset,
+            pruning_override,
+            budget: SearchBudget {
+                max_nodes_per_event: dec.get_u64()?,
+                max_matches_per_event: dec.get_u64()?,
+                max_total_nodes: dec.get_u64()?,
+            },
+            directed: dec.get_bool()?,
+            collect_matches: dec.get_bool()?,
+            batching: dec.get_bool()?,
+            threads: dec.get_usize()?,
+        })
     }
 }
 

@@ -53,6 +53,7 @@ use std::sync::Arc;
 use tcsm_dag::{build_best_dag, QueryDag};
 use tcsm_dcs::Dcs;
 use tcsm_filter::FilterBank;
+use tcsm_graph::codec::{CodecError, Decoder, Encoder};
 use tcsm_graph::{EdgeKey, QueryGraph, TemporalEdge, Ts, WindowGraph};
 
 /// Where one fanned-out sweep seed parks its results until the seed-order
@@ -489,5 +490,45 @@ impl QueryRuntime {
         self.bank
             .check_consistency(&self.q, window, alive.into_iter());
         self.dcs.check_consistency(&self.q, window);
+    }
+
+    /// Serializes the runtime's dynamic state: window length, accumulated
+    /// stats, the filter bank tables and the DCS slabs. The query, DAG and
+    /// configuration are *not* included — a snapshot manifest records them
+    /// and restore reconstructs the runtime through [`QueryRuntime::new`]
+    /// before overlaying this state.
+    ///
+    /// Must only be called at an event boundary (between
+    /// insert/sweep/delete calls), where every scratch transient is dead.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_i64(self.delta);
+        enc.section(|e| self.stats.encode(e));
+        enc.section(|e| self.bank.encode_state(e));
+        enc.section(|e| self.dcs.encode_state(e));
+    }
+
+    /// Overlays serialized state onto a freshly constructed runtime of the
+    /// same query, window shape and configuration. The stored window length
+    /// must match this runtime's — a snapshot taken under a different δ
+    /// describes a different stream and is refused as corrupt.
+    pub fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CodecError> {
+        let delta = dec.get_i64()?;
+        if delta != self.delta {
+            return Err(CodecError::Invalid(format!(
+                "window length {delta} (expected {})",
+                self.delta
+            )));
+        }
+        let mut sec = dec.section()?;
+        let stats = EngineStats::decode(&mut sec)?;
+        sec.finish()?;
+        let mut sec = dec.section()?;
+        self.bank.restore_state(&mut sec)?;
+        sec.finish()?;
+        let mut sec = dec.section()?;
+        self.dcs.restore_state(&mut sec)?;
+        sec.finish()?;
+        self.stats = stats;
+        Ok(())
     }
 }

@@ -1,6 +1,7 @@
 //! Engine statistics, including the measurements Table V and Figure 10 use.
 
 use serde::{Deserialize, Serialize};
+use tcsm_graph::codec::{CodecError, Decoder, Encoder};
 
 /// Counters accumulated over a run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -75,6 +76,56 @@ impl EngineStats {
             parallel_sweep_seeds: 0,
             ..*self
         }
+    }
+
+    /// Serializes every counter in declaration order (snapshot format).
+    pub fn encode(&self, enc: &mut Encoder) {
+        for v in [
+            self.events,
+            self.batches,
+            self.search_nodes,
+            self.occurred,
+            self.expired,
+            self.pruned_case1,
+            self.pruned_case2,
+            self.pruned_case3,
+            self.cloned_case1,
+            self.post_check_rejections,
+            self.peak_dcs_edges,
+            self.sum_dcs_edges,
+            self.peak_dcs_vertices,
+            self.sum_dcs_vertices,
+            self.parallel_filter_rounds,
+            self.parallel_sweeps,
+            self.parallel_sweep_seeds,
+        ] {
+            enc.put_u64(v);
+        }
+        enc.put_bool(self.budget_exhausted);
+    }
+
+    /// Inverse of [`EngineStats::encode`].
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<EngineStats, CodecError> {
+        Ok(EngineStats {
+            events: dec.get_u64()?,
+            batches: dec.get_u64()?,
+            search_nodes: dec.get_u64()?,
+            occurred: dec.get_u64()?,
+            expired: dec.get_u64()?,
+            pruned_case1: dec.get_u64()?,
+            pruned_case2: dec.get_u64()?,
+            pruned_case3: dec.get_u64()?,
+            cloned_case1: dec.get_u64()?,
+            post_check_rejections: dec.get_u64()?,
+            peak_dcs_edges: dec.get_u64()?,
+            sum_dcs_edges: dec.get_u64()?,
+            peak_dcs_vertices: dec.get_u64()?,
+            sum_dcs_vertices: dec.get_u64()?,
+            parallel_filter_rounds: dec.get_u64()?,
+            parallel_sweeps: dec.get_u64()?,
+            parallel_sweep_seeds: dec.get_u64()?,
+            budget_exhausted: dec.get_bool()?,
+        })
     }
 }
 

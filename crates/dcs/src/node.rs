@@ -23,6 +23,7 @@
 //! There is no hashing anywhere on the per-event path.
 
 use tcsm_dag::QueryDag;
+use tcsm_graph::codec::{CodecError, Decoder, Encoder};
 use tcsm_graph::{DenseBits, PairId, QEdgeId, QVertexId, QueryGraph, VertexId, WindowGraph};
 
 /// The dynamic candidate space.
@@ -221,5 +222,109 @@ impl Dcs {
     #[inline]
     pub fn mult_slab_len(&self) -> usize {
         self.mult.len()
+    }
+
+    /// Serializes the dynamic state: counter slab, nonzero-slot censuses,
+    /// candidacy bitmaps and the pair-indexed multiplicity slab. Everything
+    /// else (DAG shape, slot tables, label bitmap) is a construction-time
+    /// constant rebuilt by [`Dcs::new`].
+    ///
+    /// Must only be called at an event boundary (empty worklist).
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_usize(self.counters.len());
+        for &c in &self.counters {
+            enc.put_u32(c);
+        }
+        enc.put_usize(self.nonzero_slots.len());
+        for &s in &self.nonzero_slots {
+            enc.put_u8(s);
+        }
+        enc.put_usize(self.live_nodes);
+        enc.put_bits(&self.d1);
+        enc.put_bits(&self.d2);
+        enc.put_usize(self.d2_count);
+        enc.put_usize(self.mult.len());
+        for &m in &self.mult {
+            enc.put_u32(m);
+        }
+        enc.put_usize(self.mult_groups);
+        enc.put_usize(self.mult_total);
+    }
+
+    /// Overlays serialized state onto a freshly constructed DCS of the same
+    /// query and window shape. Slab lengths must match the construction
+    /// shape (`mult` additionally must be a whole number of pair strides),
+    /// and every stored census must agree with the slab it summarizes —
+    /// anything else is corruption.
+    pub fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CodecError> {
+        let nc = dec.get_count(4)?;
+        if nc != self.counters.len() {
+            return Err(CodecError::Invalid(format!(
+                "counter slab has {nc} entries (expected {})",
+                self.counters.len()
+            )));
+        }
+        let mut counters = Vec::with_capacity(nc);
+        for _ in 0..nc {
+            counters.push(dec.get_u32()?);
+        }
+        let ns = dec.get_count(1)?;
+        if ns != self.nonzero_slots.len() {
+            return Err(CodecError::Invalid(format!(
+                "nonzero-slot slab has {ns} entries (expected {})",
+                self.nonzero_slots.len()
+            )));
+        }
+        let mut nonzero_slots = Vec::with_capacity(ns);
+        for _ in 0..ns {
+            nonzero_slots.push(dec.get_u8()?);
+        }
+        let live_nodes = dec.get_usize()?;
+        let live_census = nonzero_slots.iter().filter(|&&s| s != 0).count();
+        if live_nodes != live_census {
+            return Err(CodecError::Invalid(format!(
+                "live-node count {live_nodes} disagrees with slot census {live_census}"
+            )));
+        }
+        let d1 = dec.get_bits(self.d1.len())?;
+        let d2 = dec.get_bits(self.d2.len())?;
+        let d2_count = dec.get_usize()?;
+        if d2_count != d2.count_ones() {
+            return Err(CodecError::Invalid(format!(
+                "d2 census {d2_count} disagrees with bitmap ({})",
+                d2.count_ones()
+            )));
+        }
+        let nm = dec.get_count(4)?;
+        if self.m2 != 0 && !nm.is_multiple_of(self.m2) {
+            return Err(CodecError::Invalid(format!(
+                "mult slab length {nm} is not a multiple of the pair stride {}",
+                self.m2
+            )));
+        }
+        let mut mult = Vec::with_capacity(nm);
+        for _ in 0..nm {
+            mult.push(dec.get_u32()?);
+        }
+        let mult_groups = dec.get_usize()?;
+        let mult_total = dec.get_usize()?;
+        let groups_census = mult.iter().filter(|&&m| m != 0).count();
+        let total_census: usize = mult.iter().map(|&m| m as usize).sum();
+        if mult_groups != groups_census || mult_total != total_census {
+            return Err(CodecError::Invalid(format!(
+                "mult censuses ({mult_groups}, {mult_total}) disagree with slab \
+                 ({groups_census}, {total_census})"
+            )));
+        }
+        self.counters = counters;
+        self.nonzero_slots = nonzero_slots;
+        self.live_nodes = live_nodes;
+        self.d1 = d1;
+        self.d2 = d2;
+        self.d2_count = d2_count;
+        self.mult = mult;
+        self.mult_groups = mult_groups;
+        self.mult_total = mult_total;
+        Ok(())
     }
 }

@@ -24,6 +24,7 @@ use crate::instance::FilterInstance;
 use crate::pair::{valid_orientations, CandPair, DirectPairs};
 use std::sync::Arc;
 use tcsm_dag::{Polarity, QueryDag};
+use tcsm_graph::codec::{CodecError, Decoder, Encoder};
 use tcsm_graph::{QueryGraph, TemporalEdge, WindowGraph};
 
 /// Whether candidate pairs are filtered by TC-matchability or labels only.
@@ -126,6 +127,84 @@ impl MemberPages {
     /// Bytes currently retained by allocated pages (diagnostics).
     fn retained_bytes(&self) -> usize {
         self.pages.iter().flatten().count() * PAGE_KEYS * self.wpk * 8
+    }
+
+    /// Serializes the bitmap sparsely: the page-table length, then one
+    /// `(index, census, words)` record per *allocated* page. Freed pages
+    /// (`None` slots) are implicit.
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.wpk);
+        enc.put_usize(self.pages.len());
+        enc.put_usize(self.pages.iter().flatten().count());
+        for (i, page) in self.pages.iter().enumerate() {
+            let Some(page) = page else { continue };
+            enc.put_usize(i);
+            enc.put_u32(self.page_bits[i]);
+            for &w in page.iter() {
+                enc.put_u64(w);
+            }
+        }
+    }
+
+    /// Inverse of [`MemberPages::encode`]. Validates the words-per-key
+    /// against this bank's query shape, every page index against the
+    /// declared table length, and every stored census against the page's
+    /// actual popcount (a page with census 0 would have been freed, so
+    /// zero censuses are refused too). Returns the total member count.
+    fn restore(&mut self, dec: &mut Decoder<'_>) -> Result<usize, CodecError> {
+        let wpk = dec.get_usize()?;
+        if wpk != self.wpk {
+            return Err(CodecError::Invalid(format!(
+                "membership words-per-key {wpk} (expected {})",
+                self.wpk
+            )));
+        }
+        let table_len = dec.get_usize()?;
+        let num_alloc = dec.get_count(8)?;
+        if num_alloc > table_len {
+            return Err(CodecError::Invalid(format!(
+                "{num_alloc} allocated pages exceed table length {table_len}"
+            )));
+        }
+        let mut pages: Vec<Option<Box<[u64]>>> = Vec::new();
+        pages.resize_with(table_len, || None);
+        let mut page_bits = vec![0u32; table_len];
+        let mut total = 0usize;
+        let mut prev: Option<usize> = None;
+        for _ in 0..num_alloc {
+            let i = dec.get_usize()?;
+            if i >= table_len {
+                return Err(CodecError::Invalid(format!(
+                    "page index {i} out of range (table length {table_len})"
+                )));
+            }
+            if prev.is_some_and(|p| i <= p) {
+                return Err(CodecError::Invalid(format!(
+                    "page indexes not strictly increasing at {i}"
+                )));
+            }
+            prev = Some(i);
+            let census = dec.get_u32()?;
+            let nwords = PAGE_KEYS * self.wpk;
+            let mut words = Vec::with_capacity(nwords.min(dec.remaining() / 8 + 1));
+            let mut ones = 0u32;
+            for _ in 0..nwords {
+                let w = dec.get_u64()?;
+                ones += w.count_ones();
+                words.push(w);
+            }
+            if census != ones || census == 0 {
+                return Err(CodecError::Invalid(format!(
+                    "page {i} census {census} vs popcount {ones} (empty pages are freed)"
+                )));
+            }
+            pages[i] = Some(words.into_boxed_slice());
+            page_bits[i] = census;
+            total += census as usize;
+        }
+        self.pages = pages;
+        self.page_bits = page_bits;
+        Ok(total)
     }
 }
 
@@ -647,6 +726,68 @@ impl FilterBank {
             self.num_pairs, expected,
             "bank membership count diverged from from-scratch evaluation"
         );
+    }
+
+    /// Serializes the bank's dynamic state: mode tag, per-instance tables,
+    /// the sparse membership bitmap, and the pair count. Scratch buffers and
+    /// the executor are transients, empty/reinstalled at restore time.
+    ///
+    /// Must only be called at an event boundary.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_u8(match self.mode {
+            FilterMode::Tc => 0,
+            FilterMode::LabelOnly => 1,
+        });
+        enc.put_usize(self.instances.len());
+        for inst in &self.instances {
+            enc.section(|e| inst.encode_state(e));
+        }
+        enc.section(|e| self.members.encode(e));
+        enc.put_usize(self.num_pairs);
+        enc.put_u64(self.par_rounds);
+    }
+
+    /// Overlays serialized state onto a freshly constructed bank of the
+    /// same query and mode. The mode tag, instance count, membership shape
+    /// and pair census must all agree — anything else is corruption.
+    pub fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CodecError> {
+        let mode = match dec.get_u8()? {
+            0 => FilterMode::Tc,
+            1 => FilterMode::LabelOnly,
+            other => {
+                return Err(CodecError::Invalid(format!("bad filter mode tag {other}")));
+            }
+        };
+        if mode != self.mode {
+            return Err(CodecError::Invalid(format!(
+                "filter mode {mode:?} (expected {:?})",
+                self.mode
+            )));
+        }
+        let ninst = dec.get_usize()?;
+        if ninst != self.instances.len() {
+            return Err(CodecError::Invalid(format!(
+                "{ninst} filter instances (expected {})",
+                self.instances.len()
+            )));
+        }
+        for inst in &mut self.instances {
+            let mut sec = dec.section()?;
+            inst.restore_state(&mut sec)?;
+            sec.finish()?;
+        }
+        let mut sec = dec.section()?;
+        let total = self.members.restore(&mut sec)?;
+        sec.finish()?;
+        let num_pairs = dec.get_usize()?;
+        if num_pairs != total {
+            return Err(CodecError::Invalid(format!(
+                "pair count {num_pairs} disagrees with membership census {total}"
+            )));
+        }
+        self.num_pairs = num_pairs;
+        self.par_rounds = dec.get_u64()?;
+        Ok(())
     }
 }
 

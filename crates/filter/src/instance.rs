@@ -32,6 +32,7 @@
 
 use crate::pair::{valid_orientations, CandPair, DirectPairs};
 use tcsm_dag::{Polarity, QueryDag};
+use tcsm_graph::codec::{CodecError, Decoder, Encoder};
 use tcsm_graph::{
     DenseBits, EdgeConstraint, PairEdges, QEdgeId, QVertexId, QueryGraph, TemporalEdge, Ts,
     VertexId, WindowGraph,
@@ -656,6 +657,55 @@ impl FilterInstance {
             self.nondefault_count, nondefault,
             "table_len census diverged"
         );
+    }
+
+    /// Serializes the dynamic state (value slab, existence and non-default
+    /// bitmaps). Everything else — rank tables, defaults, topo orders — is
+    /// a construction-time constant rebuilt by [`FilterInstance::new`].
+    ///
+    /// Must only be called at an event boundary (no open update), where the
+    /// worklist transients are provably empty.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        debug_assert!(self.pending_pos == 0, "snapshot during an open update");
+        enc.put_usize(self.vals.len());
+        for &t in &self.vals {
+            enc.put_ts(t);
+        }
+        enc.put_bits(&self.exists);
+        enc.put_bits(&self.nondefault);
+        enc.put_usize(self.nondefault_count);
+    }
+
+    /// Overlays serialized dynamic state onto a freshly constructed
+    /// instance. The slab length and bitmap capacities must match this
+    /// instance's construction-time shape, and the stored non-default
+    /// census must agree with the bitmap — anything else is corruption.
+    pub fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CodecError> {
+        let nvals = dec.get_count(8)?;
+        if nvals != self.vals.len() {
+            return Err(CodecError::Invalid(format!(
+                "filter value slab has {nvals} entries (expected {})",
+                self.vals.len()
+            )));
+        }
+        let mut vals = Vec::with_capacity(nvals);
+        for _ in 0..nvals {
+            vals.push(dec.get_ts()?);
+        }
+        let exists = dec.get_bits(self.exists.len())?;
+        let nondefault = dec.get_bits(self.nondefault.len())?;
+        let nondefault_count = dec.get_usize()?;
+        if nondefault_count != nondefault.count_ones() {
+            return Err(CodecError::Invalid(format!(
+                "non-default census {nondefault_count} disagrees with bitmap ({})",
+                nondefault.count_ones()
+            )));
+        }
+        self.vals = vals;
+        self.exists = exists;
+        self.nondefault = nondefault;
+        self.nondefault_count = nondefault_count;
+        Ok(())
     }
 }
 

@@ -216,6 +216,30 @@ impl DenseBits {
     pub fn clear_all(&mut self) {
         self.words.iter_mut().for_each(|w| *w = 0);
     }
+
+    /// The backing words, for serialization.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a bitmap from backing words. Returns `None` when the word
+    /// count does not match the capacity or any bit past the capacity is
+    /// set — both would silently corrupt censuses like
+    /// [`DenseBits::count_ones`], so deserializers must refuse them.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Option<DenseBits> {
+        if words.len() != len.div_ceil(64) {
+            return None;
+        }
+        if !len.is_multiple_of(64) {
+            if let Some(&last) = words.last() {
+                if last >> (len % 64) != 0 {
+                    return None;
+                }
+            }
+        }
+        Some(DenseBits { words, len })
+    }
 }
 
 #[cfg(test)]

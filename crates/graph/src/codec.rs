@@ -1,0 +1,577 @@
+//! Hand-rolled length-prefixed binary codec for durable snapshots.
+//!
+//! The registry is unreachable in this environment, so — like the text
+//! parsers in [`crate::io`] — everything here is written by hand against
+//! `std` alone. The format is deliberately simple and paranoid:
+//!
+//! * every file is a **frame**: a 4-byte magic (`TCSM`), a `u32` format
+//!   version, a `u8` frame kind, the payload, and a trailing 64-bit
+//!   FNV-1a checksum over everything before it;
+//! * multi-byte integers are little-endian;
+//! * variable-length data is length-prefixed (`u64` counts), and payload
+//!   regions that downstream readers skip over are wrapped in
+//!   length-prefixed **sections** so a reader can bound-check a declared
+//!   length against the bytes that actually exist;
+//! * every read is bounds-checked. A truncated file, a flipped byte, a
+//!   wrong version, or a lying section length surfaces as a typed
+//!   [`CodecError`] — never a panic, never silently wrong data.
+//!
+//! The snapshot consumers layered on top (window state in
+//! [`crate::window`], runtime state in `tcsm-core`, the service checkpoint
+//! files in `tcsm-service`) additionally cross-validate decoded state
+//! against construction-time invariants (slab lengths, bit censuses,
+//! sorted adjacency), so even a corruption that forges a valid checksum
+//! cannot smuggle in inconsistent state.
+
+use crate::bitset::DenseBits;
+use crate::time::Ts;
+use std::fmt;
+
+/// Leading magic of every snapshot frame.
+pub const MAGIC: [u8; 4] = *b"TCSM";
+
+/// Current snapshot format version. Bump on any layout change; decoders
+/// refuse other versions with [`CodecError::UnsupportedVersion`].
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Size of the fixed frame header (magic + version + kind).
+const HEADER_LEN: usize = 4 + 4 + 1;
+
+/// Size of the trailing checksum.
+const CHECKSUM_LEN: usize = 8;
+
+/// Typed decoding failure. Every corruption mode of the snapshot corpus
+/// maps to one of these; decoding never panics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes remain than a read needs (truncation).
+    Truncated {
+        /// Bytes the read needed.
+        need: usize,
+        /// Bytes actually remaining.
+        have: usize,
+    },
+    /// The frame does not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The frame's format version is not [`FORMAT_VERSION`].
+    UnsupportedVersion(u32),
+    /// The frame kind byte is not the one the reader expected.
+    BadKind {
+        /// Kind the reader expected.
+        expected: u8,
+        /// Kind found in the frame.
+        found: u8,
+    },
+    /// The trailing checksum does not match the frame contents.
+    Checksum {
+        /// Checksum stored in the frame.
+        stored: u64,
+        /// Checksum recomputed over the frame contents.
+        computed: u64,
+    },
+    /// A section declares more bytes than remain (a section-length lie).
+    SectionLength {
+        /// Length the section header declared.
+        declared: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
+    /// A reader finished with bytes left over.
+    TrailingBytes(usize),
+    /// Decoded state violates a structural invariant of its consumer.
+    Invalid(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { need, have } => {
+                write!(f, "truncated frame: need {need} bytes, have {have}")
+            }
+            CodecError::BadMagic(m) => write!(f, "bad magic {m:?} (expected {MAGIC:?})"),
+            CodecError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported format version {v} (expected {FORMAT_VERSION})"
+                )
+            }
+            CodecError::BadKind { expected, found } => {
+                write!(f, "wrong frame kind {found} (expected {expected})")
+            }
+            CodecError::Checksum { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            CodecError::SectionLength {
+                declared,
+                available,
+            } => write!(
+                f,
+                "section declares {declared} bytes but only {available} remain"
+            ),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+            CodecError::Invalid(msg) => write!(f, "invalid snapshot state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// 64-bit FNV-1a over a byte slice — the frame checksum.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Append-only snapshot writer. Build one with [`Encoder::new`] (bare
+/// payload, for composing) or via [`encode_frame`] (full framed file).
+#[derive(Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// New empty encoder.
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// Bytes written so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    #[inline]
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    #[inline]
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// A `usize` as `u64` (the format is 64-bit regardless of host width).
+    #[inline]
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// A timestamp, as its raw `i64` (sentinels included).
+    #[inline]
+    pub fn put_ts(&mut self, t: Ts) {
+        self.put_i64(t.raw());
+    }
+
+    /// Raw bytes with a `u64` length prefix.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_usize(bytes.len());
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// A UTF-8 string with a `u64` length prefix.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// A dense bitmap: bit capacity, then the backing words.
+    pub fn put_bits(&mut self, bits: &DenseBits) {
+        self.put_usize(bits.len());
+        for &w in bits.words() {
+            self.put_u64(w);
+        }
+    }
+
+    /// Writes a length-prefixed section: an 8-byte length slot, the bytes
+    /// `f` produces, then the slot patched with the actual byte count.
+    /// Readers recover the region with [`Decoder::section`], which
+    /// bound-checks the declared length against the remaining bytes.
+    pub fn section(&mut self, f: impl FnOnce(&mut Encoder)) {
+        let at = self.buf.len();
+        self.buf.extend_from_slice(&[0u8; 8]);
+        f(self);
+        let len = (self.buf.len() - at - 8) as u64;
+        self.buf[at..at + 8].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// The raw payload bytes (no framing).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Encodes one complete framed file: header, the payload `f` writes, and
+/// the trailing checksum.
+pub fn encode_frame(kind: u8, f: impl FnOnce(&mut Encoder)) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.buf.extend_from_slice(&MAGIC);
+    enc.put_u32(FORMAT_VERSION);
+    enc.put_u8(kind);
+    f(&mut enc);
+    let sum = fnv1a(&enc.buf);
+    enc.put_u64(sum);
+    enc.buf
+}
+
+/// Bounds-checked snapshot reader over a byte region.
+#[derive(Clone)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Reader over a bare payload region (no framing). For framed files
+    /// use [`open_frame`].
+    pub fn new(buf: &'a [u8]) -> Decoder<'a> {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes the next `n` bytes, or reports truncation.
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                need: n,
+                have: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError::Invalid(format!("bad bool byte {other}"))),
+        }
+    }
+
+    /// A `u64` that must fit the host `usize`.
+    pub fn get_usize(&mut self) -> Result<usize, CodecError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| CodecError::Invalid(format!("count {v} exceeds usize")))
+    }
+
+    /// A length prefix that is about to gate reading `width`-byte items:
+    /// bounds-checked against the remaining bytes *before* any allocation,
+    /// so a lying count cannot trigger a huge reserve.
+    pub fn get_count(&mut self, width: usize) -> Result<usize, CodecError> {
+        let n = self.get_usize()?;
+        let need = n
+            .checked_mul(width)
+            .ok_or_else(|| CodecError::Invalid(format!("count {n} overflows at width {width}")))?;
+        if need > self.remaining() {
+            return Err(CodecError::Truncated {
+                need,
+                have: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    /// A timestamp, by total mapping: the sentinel raws decode to the
+    /// sentinel constants, everything else through `Ts::new` — so no raw
+    /// byte pattern can panic the constructor.
+    pub fn get_ts(&mut self) -> Result<Ts, CodecError> {
+        let raw = self.get_i64()?;
+        Ok(match raw {
+            i64::MIN => Ts::NEG_INF,
+            i64::MAX => Ts::INF,
+            v => Ts::new(v),
+        })
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.get_count(1)?;
+        self.take(n)
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<&'a str, CodecError> {
+        let bytes = self.get_bytes()?;
+        std::str::from_utf8(bytes).map_err(|e| CodecError::Invalid(format!("bad utf-8: {e}")))
+    }
+
+    /// A dense bitmap whose capacity must equal `expected_len`, with any
+    /// bits past the capacity required to be zero (so censuses like
+    /// `count_ones` stay truthful).
+    pub fn get_bits(&mut self, expected_len: usize) -> Result<DenseBits, CodecError> {
+        let len = self.get_usize()?;
+        if len != expected_len {
+            return Err(CodecError::Invalid(format!(
+                "bitmap capacity {len} (expected {expected_len})"
+            )));
+        }
+        let nwords = len.div_ceil(64);
+        let mut words = Vec::with_capacity(nwords.min(self.remaining() / 8 + 1));
+        for _ in 0..nwords {
+            words.push(self.get_u64()?);
+        }
+        DenseBits::from_words(words, len)
+            .ok_or_else(|| CodecError::Invalid("bitmap has bits past its capacity".into()))
+    }
+
+    /// Opens a length-prefixed section written by [`Encoder::section`]:
+    /// returns a sub-reader over exactly the declared bytes and advances
+    /// this reader past them. A declared length exceeding the remaining
+    /// bytes is a [`CodecError::SectionLength`].
+    pub fn section(&mut self) -> Result<Decoder<'a>, CodecError> {
+        let len = self.get_u64()?;
+        let avail = self.remaining() as u64;
+        if len > avail {
+            return Err(CodecError::SectionLength {
+                declared: len,
+                available: avail,
+            });
+        }
+        let len = len as usize;
+        let sub = Decoder {
+            buf: &self.buf[self.pos..self.pos + len],
+            pos: 0,
+        };
+        self.pos += len;
+        Ok(sub)
+    }
+
+    /// Asserts that every byte was consumed.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.remaining() != 0 {
+            return Err(CodecError::TrailingBytes(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+/// Verifies a framed file (magic, version, kind, trailing checksum) and
+/// returns a reader over its payload.
+pub fn open_frame(bytes: &[u8], expected_kind: u8) -> Result<Decoder<'_>, CodecError> {
+    if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
+        return Err(CodecError::Truncated {
+            need: HEADER_LEN + CHECKSUM_LEN,
+            have: bytes.len(),
+        });
+    }
+    let magic: [u8; 4] = bytes[..4].try_into().unwrap();
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic(magic));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let kind = bytes[8];
+    if kind != expected_kind {
+        return Err(CodecError::BadKind {
+            expected: expected_kind,
+            found: kind,
+        });
+    }
+    let body_end = bytes.len() - CHECKSUM_LEN;
+    let stored = u64::from_le_bytes(bytes[body_end..].try_into().unwrap());
+    let computed = fnv1a(&bytes[..body_end]);
+    if stored != computed {
+        return Err(CodecError::Checksum { stored, computed });
+    }
+    Ok(Decoder::new(&bytes[HEADER_LEN..body_end]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut enc = Encoder::new();
+        enc.put_u8(7);
+        enc.put_u32(0xdead_beef);
+        enc.put_u64(u64::MAX);
+        enc.put_i64(-42);
+        enc.put_bool(true);
+        enc.put_str("snapshot");
+        enc.put_ts(Ts::new(99));
+        enc.put_ts(Ts::NEG_INF);
+        enc.put_ts(Ts::INF);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_u8().unwrap(), 7);
+        assert_eq!(dec.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(dec.get_u64().unwrap(), u64::MAX);
+        assert_eq!(dec.get_i64().unwrap(), -42);
+        assert!(dec.get_bool().unwrap());
+        assert_eq!(dec.get_str().unwrap(), "snapshot");
+        assert_eq!(dec.get_ts().unwrap(), Ts::new(99));
+        assert_eq!(dec.get_ts().unwrap(), Ts::NEG_INF);
+        assert_eq!(dec.get_ts().unwrap(), Ts::INF);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn frame_roundtrip_and_header_checks() {
+        let frame = encode_frame(3, |e| e.put_u32(12345));
+        let mut dec = open_frame(&frame, 3).unwrap();
+        assert_eq!(dec.get_u32().unwrap(), 12345);
+        dec.finish().unwrap();
+
+        assert!(matches!(
+            open_frame(&frame, 4),
+            Err(CodecError::BadKind {
+                expected: 4,
+                found: 3
+            })
+        ));
+        let mut bad = frame.clone();
+        bad[0] = b'X';
+        assert!(matches!(open_frame(&bad, 3), Err(CodecError::BadMagic(_))));
+        let mut bad = frame.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            open_frame(&bad, 3),
+            Err(CodecError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let frame = encode_frame(1, |e| {
+            e.put_str("payload");
+            e.put_u64(7);
+        });
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x40;
+            assert!(open_frame(&bad, 1).is_err(), "flip at byte {i} undetected");
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let frame = encode_frame(1, |e| e.put_bytes(&[1, 2, 3, 4, 5]));
+        for keep in 0..frame.len() {
+            assert!(
+                open_frame(&frame[..keep], 1).is_err(),
+                "prefix {keep} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn section_length_lie_is_bounded() {
+        // A section claiming more bytes than the frame holds must be a
+        // typed error even when the checksum is made to agree.
+        let mut enc = Encoder::new();
+        enc.buf.extend_from_slice(&MAGIC);
+        enc.put_u32(FORMAT_VERSION);
+        enc.put_u8(1);
+        enc.put_u64(1 << 40); // section length lie
+        let sum = fnv1a(&enc.buf);
+        enc.put_u64(sum);
+        let bytes = enc.into_bytes();
+        let mut dec = open_frame(&bytes, 1).unwrap();
+        assert!(matches!(
+            dec.section(),
+            Err(CodecError::SectionLength { .. })
+        ));
+    }
+
+    #[test]
+    fn lying_count_cannot_overallocate() {
+        let mut enc = Encoder::new();
+        enc.put_u64(u64::MAX); // count lie
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(dec.get_count(4).is_err());
+        let mut dec = Decoder::new(&bytes);
+        assert!(dec.get_bytes().is_err());
+    }
+
+    #[test]
+    fn sections_nest_and_skip() {
+        let mut enc = Encoder::new();
+        enc.section(|e| {
+            e.put_u32(1);
+            e.section(|e| e.put_str("inner"));
+        });
+        enc.put_u32(2);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        {
+            let mut s = dec.section().unwrap();
+            assert_eq!(s.get_u32().unwrap(), 1);
+            let mut inner = s.section().unwrap();
+            assert_eq!(inner.get_str().unwrap(), "inner");
+            inner.finish().unwrap();
+            s.finish().unwrap();
+        }
+        assert_eq!(dec.get_u32().unwrap(), 2);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn bits_roundtrip_rejects_phantom_bits() {
+        let mut b = DenseBits::new(70);
+        b.set(0);
+        b.set(69);
+        let mut enc = Encoder::new();
+        enc.put_bits(&b);
+        let bytes = enc.into_bytes();
+        let got = Decoder::new(&bytes).get_bits(70).unwrap();
+        assert_eq!(got, b);
+        assert!(Decoder::new(&bytes).get_bits(71).is_err());
+        // Forge a bit past the capacity: the decode must refuse it.
+        let mut forged = bytes.clone();
+        let last = forged.len() - 1;
+        forged[last] |= 0x80; // bit 127 of a 70-bit map
+        assert!(Decoder::new(&forged).get_bits(70).is_err());
+    }
+}

@@ -394,18 +394,20 @@ pub fn parse_snap_reader<R: BufRead>(
             .filter(|&t| t != i64::MIN && t != i64::MAX)
             .ok_or_else(|| parse_err(line_no, "bad snap timestamp"))?;
         reject_trailing(line_no, &mut it)?;
-        if src == dst {
-            stats.self_loops_skipped += 1;
-            continue;
-        }
         // The cap gates *keeping*, not validating: records past it are
         // still held to the three-token grammar, so a corrupt tail of a
-        // down-sampled dump cannot ingest silently.
+        // down-sampled dump cannot ingest silently. It must run before the
+        // self-loop skip so every record past the cap — loop or not —
+        // counts as down-sampled and the kept tallies stay a file prefix.
         if opts
             .max_edges
             .is_some_and(|cap| records.len() + stats.self_loops_skipped >= cap)
         {
             stats.downsampled += 1;
+            continue;
+        }
+        if src == dst {
+            stats.self_loops_skipped += 1;
             continue;
         }
         stats.raw_id_max = stats.raw_id_max.max(src).max(dst);

@@ -30,6 +30,7 @@
 //! late — bounded by the alive-pair spread, never by stream length.
 
 pub mod bitset;
+pub mod codec;
 pub mod data;
 pub mod error;
 pub mod fx;
@@ -41,6 +42,7 @@ pub mod time;
 pub mod window;
 
 pub use bitset::{DenseBits, Set64};
+pub use codec::{CodecError, Decoder, Encoder};
 pub use data::{EdgeKey, TemporalEdge, TemporalGraph, TemporalGraphBuilder, VertexId};
 pub use error::GraphError;
 pub use fx::{FxHashMap, FxHashSet};

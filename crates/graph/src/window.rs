@@ -39,6 +39,7 @@
 //! [`WindowGraph::remove`] are exactly `begin_batch` + the deferred form,
 //! i.e. a batch of size one, so the two regimes share every invariant.
 
+use crate::codec::{CodecError, Decoder, Encoder};
 use crate::data::{EdgeKey, TemporalEdge, VertexId};
 use crate::query::Direction;
 use crate::time::Ts;
@@ -424,6 +425,161 @@ impl WindowGraph {
     /// Iterates every alive pair bucket exactly once.
     pub fn buckets(&self) -> impl Iterator<Item = &PairEdges> {
         self.buckets.iter().filter(|p| !p.is_empty())
+    }
+
+    /// Serializes the complete window state — pair-bucket slab (free and
+    /// dying lists included), sorted adjacency, degree census — so a
+    /// restored window is **byte-identical**, not merely content-equal:
+    /// future [`PairId`] allocation and recycling proceed exactly as in the
+    /// uninterrupted run, which downstream pair-indexed slabs (DCS
+    /// multiplicities) rely on.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_bool(self.directed);
+        enc.put_usize(self.labels.len());
+        enc.put_usize(self.alive_edges);
+        enc.put_usize(self.buckets.len());
+        for p in &self.buckets {
+            enc.put_u32(p.a);
+            enc.put_u32(p.b);
+            enc.put_usize(p.edges.len());
+            for r in &p.edges {
+                enc.put_u32(r.key.0);
+                enc.put_ts(r.time);
+                enc.put_u32(r.label);
+                enc.put_bool(r.src_is_a);
+            }
+        }
+        enc.put_usize(self.free.len());
+        for &id in &self.free {
+            enc.put_u32(id);
+        }
+        enc.put_usize(self.dying.len());
+        for &id in &self.dying {
+            enc.put_u32(id);
+        }
+        for row in &self.adj {
+            enc.put_usize(row.len());
+            for &(w, id) in row {
+                enc.put_u32(w);
+                enc.put_u32(id);
+            }
+        }
+    }
+
+    /// Overlays serialized state onto a freshly constructed window (same
+    /// vertex set, same direction mode). Every index is bounds-checked and
+    /// the structural invariants (sorted adjacency, degree census, alive
+    /// count, empty free/dying buckets) are re-validated, so corrupt input
+    /// surfaces as a typed [`CodecError`] instead of a later panic.
+    pub fn restore(&mut self, dec: &mut Decoder<'_>) -> Result<(), CodecError> {
+        let invalid = |msg: &str| CodecError::Invalid(format!("window: {msg}"));
+        let n = self.labels.len();
+        if dec.get_bool()? != self.directed {
+            return Err(invalid("direction mode mismatch"));
+        }
+        if dec.get_usize()? != n {
+            return Err(invalid("vertex count mismatch"));
+        }
+        let alive_edges = dec.get_usize()?;
+        let num_buckets = dec.get_count(10)?;
+        let mut buckets = Vec::with_capacity(num_buckets);
+        let mut edge_total = 0usize;
+        for _ in 0..num_buckets {
+            let a = dec.get_u32()?;
+            let b = dec.get_u32()?;
+            if a as usize >= n || b as usize >= n {
+                return Err(invalid("bucket endpoint out of range"));
+            }
+            let len = dec.get_count(14)?;
+            let mut edges = VecDeque::with_capacity(len);
+            let mut prev: Option<Ts> = None;
+            for _ in 0..len {
+                let rec = EdgeRecord {
+                    key: EdgeKey(dec.get_u32()?),
+                    time: dec.get_ts()?,
+                    label: dec.get_u32()?,
+                    src_is_a: dec.get_bool()?,
+                };
+                if prev.is_some_and(|p| p > rec.time) {
+                    return Err(invalid("bucket edges out of arrival order"));
+                }
+                prev = Some(rec.time);
+                edges.push_back(rec);
+            }
+            edge_total += len;
+            buckets.push(PairEdges { a, b, edges });
+        }
+        if edge_total != alive_edges {
+            return Err(invalid("alive-edge count disagrees with buckets"));
+        }
+        let get_ids =
+            |dec: &mut Decoder<'_>, must_be_empty: &str| -> Result<Vec<PairId>, CodecError> {
+                let len = dec.get_count(4)?;
+                let mut ids = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let id = dec.get_u32()?;
+                    let Some(bucket) = buckets.get(id as usize) else {
+                        return Err(CodecError::Invalid(format!(
+                            "window: {must_be_empty} id {id} out of range"
+                        )));
+                    };
+                    if !bucket.edges.is_empty() {
+                        return Err(CodecError::Invalid(format!(
+                            "window: {must_be_empty} bucket {id} is not empty"
+                        )));
+                    }
+                    ids.push(id);
+                }
+                Ok(ids)
+            };
+        let free = get_ids(dec, "free")?;
+        let dying = get_ids(dec, "dying")?;
+        let mut adj: Vec<Vec<(VertexId, PairId)>> = Vec::with_capacity(n);
+        let mut live_deg = vec![0u32; n];
+        let mut adj_entries = 0usize;
+        for v in 0..n {
+            let len = dec.get_count(8)?;
+            let mut row = Vec::with_capacity(len);
+            let mut prev: Option<VertexId> = None;
+            for _ in 0..len {
+                let w = dec.get_u32()?;
+                let id = dec.get_u32()?;
+                if w as usize >= n {
+                    return Err(invalid("adjacency neighbour out of range"));
+                }
+                let Some(bucket) = buckets.get(id as usize) else {
+                    return Err(invalid("adjacency bucket id out of range"));
+                };
+                if prev.is_some_and(|p| p >= w) {
+                    return Err(invalid("adjacency row not strictly sorted"));
+                }
+                // The entry must name its own bucket's endpoints.
+                let (a, b) = (v as VertexId, w);
+                if (bucket.a, bucket.b) != (a.min(b), a.max(b)) {
+                    return Err(invalid("adjacency entry names a foreign bucket"));
+                }
+                if !bucket.edges.is_empty() && v as VertexId == bucket.a {
+                    live_deg[bucket.a as usize] += 1;
+                    live_deg[bucket.b as usize] += 1;
+                }
+                prev = Some(w);
+                row.push((w, id));
+            }
+            adj_entries += len;
+            adj.push(row);
+        }
+        // Every non-empty or dying bucket must be reachable from exactly
+        // two adjacency rows; free buckets from none.
+        if adj_entries != (num_buckets - free.len()) * 2 {
+            return Err(invalid("adjacency entry count disagrees with buckets"));
+        }
+        self.buckets = buckets;
+        self.free = free;
+        self.dying = dying;
+        self.adj = adj;
+        self.live_deg = live_deg;
+        self.alive_edges = alive_edges;
+        Ok(())
     }
 
     /// Builds the [`EdgeConstraint`] for matching a query edge onto the pair

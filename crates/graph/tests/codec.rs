@@ -1,0 +1,335 @@
+//! Codec round-trip laws on random windows, plus a table-driven
+//! corrupt-frame corpus.
+//!
+//! The round-trip property is stronger than content equality: a restored
+//! window must **re-encode to the same bytes**, which pins the full
+//! internal state (bucket slab order, free/dying lists, adjacency layout)
+//! that downstream pair-indexed slabs depend on. The corpus pins that
+//! every corruption — random flips, truncations, and semantically forged
+//! payloads with *valid checksums* — surfaces as a typed [`CodecError`],
+//! never a panic or a silently wrong window.
+
+use proptest::prelude::*;
+use tcsm_graph::codec::{encode_frame, fnv1a, open_frame, FORMAT_VERSION, MAGIC};
+use tcsm_graph::{CodecError, Encoder, TemporalGraph, TemporalGraphBuilder, WindowGraph};
+
+const KIND: u8 = 7; // arbitrary frame kind for this suite
+
+/// A random temporal graph plus how many of its oldest edges to expire —
+/// windows mid-stream, post-expiry-sweep, and empty all fall out of the
+/// `(n, edges, expired)` space. Expiry must drain each bucket oldest-first
+/// (the window's contract), which a time-ordered prefix sweep satisfies.
+fn arb_window_state() -> impl Strategy<Value = (TemporalGraph, usize, bool)> {
+    (
+        1usize..8,
+        prop::collection::vec((0u32..8, 0u32..8, -3i64..20), 0..24),
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(|(n, raw_edges, expiry_seed, directed)| {
+            let mut gb = TemporalGraphBuilder::new();
+            for i in 0..n {
+                gb.vertex((i % 3) as u32);
+            }
+            let mut kept = 0usize;
+            for &(a, b, t) in &raw_edges {
+                let (a, b) = (a as usize % n, b as usize % n);
+                if a != b {
+                    gb.edge(a as u32, b as u32, t);
+                    kept += 1;
+                }
+            }
+            let g = gb.build().expect("valid random graph");
+            let expired = if kept == 0 {
+                0
+            } else {
+                expiry_seed as usize % (kept + 1)
+            };
+            (g, expired, directed)
+        })
+}
+
+fn build_window(g: &TemporalGraph, expired: usize, directed: bool) -> WindowGraph {
+    let mut w = WindowGraph::new(g.labels().to_vec(), directed);
+    for e in g.edges() {
+        w.insert(e);
+    }
+    for e in &g.edges()[..expired] {
+        w.remove(e);
+    }
+    w
+}
+
+fn encode_window(w: &WindowGraph) -> Vec<u8> {
+    encode_frame(KIND, |e| w.encode(e))
+}
+
+proptest! {
+    /// encode → restore → re-encode is the identity on bytes, for windows
+    /// in any reachable state (growing, post-sweep, empty).
+    #[test]
+    fn window_round_trip_is_byte_identity((g, expired, directed) in arb_window_state()) {
+        let w = build_window(&g, expired, directed);
+        let bytes = encode_window(&w);
+        let mut restored = WindowGraph::new(g.labels().to_vec(), directed);
+        let mut dec = open_frame(&bytes, KIND).expect("self-encoded frame opens");
+        restored.restore(&mut dec).expect("self-encoded state restores");
+        dec.finish().expect("no trailing payload");
+        prop_assert_eq!(encode_window(&restored), bytes);
+        prop_assert_eq!(restored.num_alive_edges(), w.num_alive_edges());
+    }
+
+    /// Any single-byte flip anywhere in a frame is detected — restore
+    /// returns a typed error (almost always `Checksum`), never panics,
+    /// never yields a window that re-encodes differently from a clean one.
+    #[test]
+    fn window_any_byte_flip_is_detected(
+        (g, expired, directed) in arb_window_state(),
+        at in any::<u64>(),
+        mask in 1u8..=255,
+    ) {
+        let w = build_window(&g, expired, directed);
+        let mut bytes = encode_window(&w);
+        let at = (at % bytes.len() as u64) as usize;
+        bytes[at] ^= mask;
+        let mut restored = WindowGraph::new(g.labels().to_vec(), directed);
+        let outcome = open_frame(&bytes, KIND).and_then(|mut dec| {
+            restored.restore(&mut dec)?;
+            dec.finish()
+        });
+        prop_assert!(outcome.is_err(), "flip at {} went undetected", at);
+    }
+
+    /// Every prefix truncation is detected.
+    #[test]
+    fn window_any_truncation_is_detected(
+        (g, expired, directed) in arb_window_state(),
+        keep in any::<u64>(),
+    ) {
+        let w = build_window(&g, expired, directed);
+        let bytes = encode_window(&w);
+        let keep = (keep % bytes.len() as u64) as usize; // strictly shorter
+        let mut restored = WindowGraph::new(g.labels().to_vec(), directed);
+        let outcome = open_frame(&bytes[..keep], KIND).and_then(|mut dec| {
+            restored.restore(&mut dec)?;
+            dec.finish()
+        });
+        prop_assert!(outcome.is_err(), "truncation to {} went undetected", keep);
+    }
+}
+
+// ---- table-driven corrupt corpus ---------------------------------------
+
+/// Builds a frame whose payload is written by `f`, with a **valid**
+/// checksum — these corruptions model an attacker (or bug) that rewrites
+/// the file wholesale, so only semantic validation can catch them.
+fn forged_frame(f: impl FnOnce(&mut Encoder)) -> Vec<u8> {
+    encode_frame(KIND, f)
+}
+
+/// Corrupts a well-formed frame's raw bytes and recomputes the trailing
+/// checksum so the tamper survives the integrity check.
+fn reforge(mut bytes: Vec<u8>, patch: impl FnOnce(&mut [u8])) -> Vec<u8> {
+    let body_end = bytes.len() - 8;
+    patch(&mut bytes[..body_end]);
+    let sum = fnv1a(&bytes[..body_end]);
+    bytes[body_end..].copy_from_slice(&sum.to_le_bytes());
+    bytes
+}
+
+#[test]
+fn corrupt_corpus_header_and_integrity() {
+    let mut gb = TemporalGraphBuilder::new();
+    gb.vertices(2, 0);
+    gb.edge(0, 1, 1);
+    let g = gb.build().unwrap();
+    let w = build_window(&g, 0, false);
+    let good = encode_window(&w);
+
+    // (name, corrupted bytes, matcher)
+    type Case<'a> = (&'a str, Vec<u8>, fn(&CodecError) -> bool);
+    let cases: Vec<Case> = vec![
+        ("empty file", Vec::new(), |e| {
+            matches!(e, CodecError::Truncated { .. })
+        }),
+        ("header only", good[..9].to_vec(), |e| {
+            matches!(e, CodecError::Truncated { .. })
+        }),
+        (
+            "bad magic",
+            {
+                let mut b = good.clone();
+                b[..4].copy_from_slice(b"NOPE");
+                b
+            },
+            |e| matches!(e, CodecError::BadMagic(m) if m == b"NOPE"),
+        ),
+        (
+            "future version",
+            reforge(good.clone(), |b| {
+                b[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes())
+            }),
+            |e| matches!(e, CodecError::UnsupportedVersion(v) if *v == FORMAT_VERSION + 1),
+        ),
+        (
+            "wrong frame kind",
+            reforge(good.clone(), |b| b[8] = KIND + 1),
+            |e| {
+                matches!(e, CodecError::BadKind { expected, found }
+                    if *expected == KIND && *found == KIND + 1)
+            },
+        ),
+        (
+            "flipped payload byte",
+            {
+                let mut b = good.clone();
+                let mid = b.len() / 2;
+                b[mid] ^= 0x01;
+                b
+            },
+            |e| matches!(e, CodecError::Checksum { .. }),
+        ),
+        (
+            "flipped checksum byte",
+            {
+                let mut b = good.clone();
+                let last = b.len() - 1;
+                b[last] ^= 0x80;
+                b
+            },
+            |e| matches!(e, CodecError::Checksum { .. }),
+        ),
+    ];
+    for (name, bytes, matcher) in cases {
+        match open_frame(&bytes, KIND) {
+            Ok(_) => panic!("{name}: frame opened"),
+            Err(e) => assert!(matcher(&e), "{name}: unexpected error {e}"),
+        }
+    }
+    // Sanity: the clean frame still opens.
+    assert_eq!(good[..4], MAGIC);
+    open_frame(&good, KIND).unwrap();
+}
+
+#[test]
+fn corrupt_corpus_forged_semantic_lies() {
+    // A 2-vertex restore target; each forged payload carries a *valid*
+    // checksum, so only the window's structural validation stands between
+    // the lie and a corrupted in-memory state.
+    let labels = vec![0u32, 0u32];
+    let empty = |e: &mut Encoder| {
+        e.put_bool(false); // directed
+        e.put_usize(2); // vertices
+        e.put_usize(0); // alive edges
+        e.put_usize(0); // buckets
+        e.put_usize(0); // free
+        e.put_usize(0); // dying
+        e.put_usize(0); // adj row 0
+        e.put_usize(0); // adj row 1
+    };
+    let cases: Vec<(&str, Vec<u8>)> = vec![
+        (
+            "direction mode lie",
+            forged_frame(|e| {
+                e.put_bool(true);
+                e.put_usize(2);
+            }),
+        ),
+        (
+            "vertex count lie",
+            forged_frame(|e| {
+                e.put_bool(false);
+                e.put_usize(64);
+            }),
+        ),
+        (
+            "alive-edge census lie",
+            forged_frame(|e| {
+                e.put_bool(false);
+                e.put_usize(2);
+                e.put_usize(9); // claims 9 alive edges
+                e.put_usize(0); // ...but zero buckets
+                e.put_usize(0);
+                e.put_usize(0);
+                e.put_usize(0);
+                e.put_usize(0);
+            }),
+        ),
+        (
+            "bucket endpoint out of range",
+            forged_frame(|e| {
+                e.put_bool(false);
+                e.put_usize(2);
+                e.put_usize(0);
+                e.put_usize(1);
+                e.put_u32(0);
+                e.put_u32(7); // vertex 7 of 2
+            }),
+        ),
+        (
+            "bucket edges out of arrival order",
+            forged_frame(|e| {
+                e.put_bool(false);
+                e.put_usize(2);
+                e.put_usize(2);
+                e.put_usize(1);
+                e.put_u32(0);
+                e.put_u32(1);
+                e.put_usize(2);
+                e.put_u32(0);
+                e.put_ts(tcsm_graph::Ts::new(5));
+                e.put_u32(0);
+                e.put_bool(true);
+                e.put_u32(1);
+                e.put_ts(tcsm_graph::Ts::new(3)); // earlier than its predecessor
+                e.put_u32(0);
+                e.put_bool(true);
+            }),
+        ),
+        (
+            "free id out of range",
+            forged_frame(|e| {
+                e.put_bool(false);
+                e.put_usize(2);
+                e.put_usize(0);
+                e.put_usize(0); // no buckets
+                e.put_usize(1); // ...yet one free id
+                e.put_u32(3);
+            }),
+        ),
+        (
+            "preposterous bucket count",
+            forged_frame(|e| {
+                e.put_bool(false);
+                e.put_usize(2);
+                e.put_usize(0);
+                e.put_usize(u64::MAX as usize); // would pre-allocate the moon
+            }),
+        ),
+        ("adjacency entries for no buckets", {
+            // Well-formed empty window, then reforge one adjacency row
+            // length from 0 to 1 with a fresh checksum: the trailing-bytes
+            // / truncation accounting must object.
+            let clean = forged_frame(empty);
+            reforge(clean, |b| {
+                let last8 = b.len() - 8;
+                b[last8..].copy_from_slice(&1u64.to_le_bytes());
+            })
+        }),
+    ];
+    for (name, bytes) in cases {
+        let mut w = WindowGraph::new(labels.clone(), false);
+        let outcome = open_frame(&bytes, KIND).and_then(|mut dec| {
+            w.restore(&mut dec)?;
+            dec.finish()
+        });
+        assert!(outcome.is_err(), "{name}: forged frame accepted");
+    }
+    // And the honest empty payload restores fine.
+    let mut w = WindowGraph::new(labels, false);
+    let clean = forged_frame(empty);
+    let mut dec = open_frame(&clean, KIND).unwrap();
+    w.restore(&mut dec).unwrap();
+    dec.finish().unwrap();
+    assert_eq!(w.num_alive_edges(), 0);
+}

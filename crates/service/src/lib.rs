@@ -55,6 +55,52 @@
 //! first event, and its match stream is exactly the suffix a standalone
 //! engine would have reported from that point on.
 //!
+//! # Checkpoint & recovery
+//!
+//! [`MatchService::checkpoint`] snapshots the complete dynamic state —
+//! every shard's window (bucket slab, free/dying lists, adjacency), every
+//! resident query's filter/DCS slabs and stats, the stream cursor, and the
+//! admission bookkeeping — into one directory;
+//! [`MatchService::restore`] rebuilds a service that delivers the **exact
+//! byte-identical match-stream suffix** of a run that was never
+//! interrupted (pinned by the `recovery` differential suite across shard
+//! counts, thread widths, and both stream regimes).
+//!
+//! *Format.* Files are hand-rolled length-prefixed binary frames
+//! ([`tcsm_graph::codec`]): a `TCSM` magic + format-version + frame-kind
+//! header, little-endian fields with 64-bit length-prefixed sections, and
+//! a trailing FNV-1a checksum over everything before it. `manifest.tcsm`
+//! holds the stream fingerprint, cursor, service config, and every query's
+//! definition; `shard-N.tcsm` holds shard *N*'s window and per-query
+//! runtime slabs, stamped with the manifest's fingerprint + cursor so a
+//! frame from an older checkpoint generation is detected as corruption.
+//!
+//! *Atomicity.* Every file is written to a `.tmp` sibling, synced, then
+//! renamed — a crash mid-checkpoint never leaves a torn file visible. The
+//! manifest is written **last**, so a directory with a readable manifest
+//! always refers to shard files that were durable first; a crash between
+//! shard writes leaves the *previous* checkpoint's manifest in place, and
+//! the old generation restores intact.
+//!
+//! *Recovery policy.* Corruption (truncation, bit rot, length lies, mixed
+//! generations, missing files) is always detected — decode is
+//! bounds-checked and cross-validated, never a panic. What happens next is
+//! the caller's [`RecoveryPolicy`]:
+//!
+//! * [`RecoveryPolicy::Strict`] — any damage is a typed
+//!   [`SnapshotError`]; nothing is silently repaired.
+//! * [`RecoveryPolicy::Rebuild`] — a damaged **shard** frame falls back to
+//!   replaying the stream prefix up to the checkpoint cursor and
+//!   re-synchronizing each resident query
+//!   ([`tcsm_core::QueryRuntime::sync_to_window`]); the match-stream
+//!   suffix is unaffected (rebuilt queries restart their *stats* from
+//!   zero). A damaged **manifest** is fatal under both policies — query
+//!   definitions cannot be rebuilt from the stream.
+//!
+//! Restoring against a different stream (or the same stream with a
+//! different window length) is refused up front via a fingerprint over the
+//! stream's edges and labels.
+//!
 //! # Sink contract
 //!
 //! Every query delivers through its own [`ResultSink`], handed over at
@@ -111,7 +157,9 @@
 mod service;
 mod sink;
 
-pub use service::{MatchService, QueryId, ServiceConfig, ServiceStats, ShardPolicy};
+pub use service::{
+    MatchService, QueryId, RecoveryPolicy, ServiceConfig, ServiceStats, ShardPolicy, SnapshotError,
+};
 pub use sink::{CollectedMatches, CollectingSink, CountingSink, MatchCounts, ResultSink};
 
 use std::sync::Arc;

@@ -1,5 +1,9 @@
 //! [`MatchService`]: shards, query slots, and the per-delta drive loop.
 
+mod snapshot;
+
+pub use snapshot::{RecoveryPolicy, SnapshotError};
+
 use crate::sink::ResultSink;
 use std::sync::Arc;
 use tcsm_core::{EngineConfig, EngineStats, MatchEvent, QueryRuntime, WorkerPool};

@@ -112,4 +112,34 @@ fn main() {
         "  {hop_id}: {} events for the one-hop query",
         hop_collected.len()
     );
+
+    // ----- Checkpoint & recovery -------------------------------------------
+    //
+    // The service is crash-safe: `checkpoint(dir)` snapshots every shard's
+    // window and every query's runtime state into versioned, checksummed
+    // files (written atomically — temp file, sync, rename), and `restore`
+    // resumes with the exact match-stream suffix of an uninterrupted run.
+    // `RecoveryPolicy` decides what a corrupt shard file means: `Strict`
+    // surfaces a typed `SnapshotError`, `Rebuild` replays the stream prefix
+    // instead. See examples/checkpoint_resume.rs for the full tour,
+    // including the corrupt-snapshot corpus.
+    let mut service = MatchService::new(&stream, 10, ServiceConfig::default()).unwrap();
+    let (sink, _collected) = CollectingSink::new();
+    service.add_query(&query, EngineConfig::default(), Box::new(sink));
+    for _ in 0..14 {
+        service.step(); // half of the 28-event stream
+    }
+    let dir = std::env::temp_dir().join(format!("tcsm-quickstart-{}", std::process::id()));
+    service.checkpoint(&dir).unwrap();
+    drop(service); // the "crash"
+    let mut resumed = MatchService::restore(&stream, &dir, RecoveryPolicy::Strict, |_| {
+        Box::new(CollectingSink::new().0)
+    })
+    .unwrap();
+    resumed.run();
+    println!(
+        "\nrestored from checkpoint at event 14, resumed to event {}",
+        resumed.stats().events
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -65,6 +65,7 @@ pub mod prelude {
         TemporalGraphBuilder, TemporalOrder, Ts, WindowGraph, EDGE_LABEL_ANY,
     };
     pub use tcsm_service::{
-        CollectingSink, CountingSink, MatchService, QueryId, ResultSink, ServiceConfig, ShardPolicy,
+        CollectedMatches, CollectingSink, CountingSink, MatchService, QueryId, RecoveryPolicy,
+        ResultSink, ServiceConfig, ShardPolicy, SnapshotError,
     };
 }
