@@ -89,7 +89,7 @@ impl PruningFlags {
 
 /// Limits for one `FindMatches` invocation (the problem is NP-hard; the
 /// paper uses a 1-hour wall-clock limit per query, scaled down here).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SearchBudget {
     /// Maximum backtracking nodes visited per event (0 = unlimited).
     pub max_nodes_per_event: u64,
@@ -101,7 +101,7 @@ pub struct SearchBudget {
 }
 
 /// Full engine configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Algorithm variant.
     pub preset: AlgorithmPreset,

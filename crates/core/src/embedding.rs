@@ -1,6 +1,7 @@
 //! Reported embeddings and match events.
 
 use serde::{Deserialize, Serialize};
+use tcsm_graph::codec::{CodecError, Decoder, Encoder};
 use tcsm_graph::{EdgeKey, QueryGraph, TemporalGraph, Ts, VertexId};
 
 /// A complete time-constrained embedding: one data vertex per query vertex
@@ -65,6 +66,29 @@ impl Embedding {
     /// The timestamps of the images of all query edges, by query edge id.
     pub fn edge_times(&self, g: &TemporalGraph) -> Vec<Ts> {
         self.edges.iter().map(|&k| g.edge(k).time).collect()
+    }
+
+    /// Serializes the embedding (snapshot/wire format).
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.vertices.len());
+        for &v in &self.vertices {
+            enc.put_u32(v);
+        }
+        enc.put_usize(self.edges.len());
+        for &k in &self.edges {
+            enc.put_u32(k.0);
+        }
+    }
+
+    /// Inverse of [`Embedding::encode`].
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Embedding, CodecError> {
+        let nv = dec.get_count(4)?;
+        let vertices = (0..nv).map(|_| dec.get_u32()).collect::<Result<_, _>>()?;
+        let ne = dec.get_count(4)?;
+        let edges = (0..ne)
+            .map(|_| dec.get_u32().map(EdgeKey))
+            .collect::<Result<_, _>>()?;
+        Ok(Embedding { vertices, edges })
     }
 }
 
@@ -163,6 +187,34 @@ pub struct MatchEvent {
     pub embedding: Embedding,
 }
 
+impl MatchEvent {
+    /// Serializes the event (wire delivery format).
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(match self.kind {
+            MatchKind::Occurred => 0,
+            MatchKind::Expired => 1,
+        });
+        enc.put_ts(self.at);
+        self.embedding.encode(enc);
+    }
+
+    /// Inverse of [`MatchEvent::encode`].
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<MatchEvent, CodecError> {
+        let kind = match dec.get_u8()? {
+            0 => MatchKind::Occurred,
+            1 => MatchKind::Expired,
+            other => {
+                return Err(CodecError::Invalid(format!("bad match kind tag {other}")));
+            }
+        };
+        Ok(MatchEvent {
+            kind,
+            at: dec.get_ts()?,
+            embedding: Embedding::decode(dec)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +237,32 @@ mod tests {
         gb.edge(v1, v2, 5);
         let g = gb.build().unwrap();
         (q, g)
+    }
+
+    #[test]
+    fn match_event_roundtrips_and_rejects_bad_tags() {
+        let ev = MatchEvent {
+            kind: MatchKind::Expired,
+            at: Ts::new(42),
+            embedding: Embedding {
+                vertices: vec![3, 1, 4],
+                edges: vec![EdgeKey(1), EdgeKey(5)],
+            },
+        };
+        let mut enc = Encoder::new();
+        ev.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(MatchEvent::decode(&mut dec).unwrap(), ev);
+        dec.finish().unwrap();
+        // A forged kind tag is a typed error, not a panic.
+        let mut bad = bytes.clone();
+        bad[0] = 9;
+        assert!(MatchEvent::decode(&mut Decoder::new(&bad)).is_err());
+        // Truncations are typed errors.
+        for keep in 0..bytes.len() {
+            assert!(MatchEvent::decode(&mut Decoder::new(&bytes[..keep])).is_err());
+        }
     }
 
     #[test]

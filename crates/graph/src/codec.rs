@@ -30,9 +30,11 @@ use std::fmt;
 /// Leading magic of every snapshot frame.
 pub const MAGIC: [u8; 4] = *b"TCSM";
 
-/// Current snapshot format version. Bump on any layout change; decoders
-/// refuse other versions with [`CodecError::UnsupportedVersion`].
-pub const FORMAT_VERSION: u32 = 1;
+/// Current snapshot/wire format version. Bump on any layout change;
+/// decoders refuse other versions with [`CodecError::UnsupportedVersion`].
+/// (v2: the service manifest carries the disconnect counter and retirement
+/// order; v1 frames are refused.)
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Size of the fixed frame header (magic + version + kind).
 const HEADER_LEN: usize = 4 + 4 + 1;
@@ -426,6 +428,122 @@ pub fn open_frame(bytes: &[u8], expected_kind: u8) -> Result<Decoder<'_>, CodecE
     Ok(Decoder::new(&bytes[HEADER_LEN..body_end]))
 }
 
+/// Reads the kind byte of a framed region after checking magic, version,
+/// and minimum length — the dispatch step for readers that accept several
+/// frame kinds. The checksum is **not** verified here; follow up with
+/// [`open_frame`] once the expected kind is known.
+pub fn frame_kind(bytes: &[u8]) -> Result<u8, CodecError> {
+    if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
+        return Err(CodecError::Truncated {
+            need: HEADER_LEN + CHECKSUM_LEN,
+            have: bytes.len(),
+        });
+    }
+    let magic: [u8; 4] = bytes[..4].try_into().unwrap();
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic(magic));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    Ok(bytes[8])
+}
+
+// ---- wire framing -------------------------------------------------------
+//
+// Snapshot frames are whole files; on a byte *stream* (a TCP connection)
+// each frame is preceded by a `u32` little-endian length so the reader
+// knows where it ends before validating it. The length is transport
+// plumbing only — everything inside it is a regular checksummed frame.
+
+/// Failure while reading a length-prefixed frame off a byte stream.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying transport failed (includes truncation mid-frame,
+    /// surfaced as `UnexpectedEof`).
+    Io(std::io::Error),
+    /// The length prefix declares more bytes than the reader's cap. The
+    /// stream cannot be resynchronized after this — close the connection.
+    Oversized {
+        /// Length the prefix declared.
+        declared: u64,
+        /// The reader's cap.
+        max: u64,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire I/O: {e}"),
+            WireError::Oversized { declared, max } => {
+                write!(f, "wire frame declares {declared} bytes (cap {max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            WireError::Oversized { .. } => None,
+        }
+    }
+}
+
+/// Writes one frame to a byte stream: `u32` little-endian length, then the
+/// frame bytes (as produced by [`encode_frame`]). The two writes happen
+/// under the caller's exclusivity — interleave-free framing on a shared
+/// connection needs external locking.
+pub fn write_wire_frame(w: &mut impl std::io::Write, frame: &[u8]) -> std::io::Result<()> {
+    debug_assert!(u32::try_from(frame.len()).is_ok(), "frame exceeds u32");
+    w.write_all(&(frame.len() as u32).to_le_bytes())?;
+    w.write_all(frame)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame from a byte stream. Returns `Ok(None)`
+/// on a clean end-of-stream (the peer closed between frames); truncation
+/// *inside* a frame is `WireError::Io(UnexpectedEof)`. A length prefix
+/// above `max_len` is [`WireError::Oversized`] and the bytes are **not**
+/// consumed — the stream is unsynchronizable and must be closed.
+///
+/// The returned bytes are an unvalidated frame: dispatch on
+/// [`frame_kind`], then validate with [`open_frame`].
+pub fn read_wire_frame(
+    r: &mut impl std::io::Read,
+    max_len: usize,
+) -> Result<Option<Vec<u8>>, WireError> {
+    let mut len_bytes = [0u8; 4];
+    // Hand-rolled read_exact for the prefix so a clean EOF before the
+    // first byte is distinguishable from one mid-prefix.
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_bytes[got..]).map_err(WireError::Io)? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(WireError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame length prefix",
+                )))
+            }
+            n => got += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > max_len {
+        return Err(WireError::Oversized {
+            declared: len as u64,
+            max: max_len as u64,
+        });
+    }
+    let mut frame = vec![0u8; len];
+    r.read_exact(&mut frame).map_err(WireError::Io)?;
+    Ok(Some(frame))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -555,6 +673,70 @@ mod tests {
         }
         assert_eq!(dec.get_u32().unwrap(), 2);
         dec.finish().unwrap();
+    }
+
+    #[test]
+    fn wire_frames_roundtrip_and_detect_eof() {
+        let f1 = encode_frame(7, |e| e.put_str("first"));
+        let f2 = encode_frame(8, |e| e.put_u64(2));
+        let mut buf = Vec::new();
+        write_wire_frame(&mut buf, &f1).unwrap();
+        write_wire_frame(&mut buf, &f2).unwrap();
+        let mut r = &buf[..];
+        let got1 = read_wire_frame(&mut r, 1 << 20).unwrap().unwrap();
+        assert_eq!(frame_kind(&got1).unwrap(), 7);
+        assert_eq!(got1, f1);
+        let got2 = read_wire_frame(&mut r, 1 << 20).unwrap().unwrap();
+        assert_eq!(got2, f2);
+        assert!(read_wire_frame(&mut r, 1 << 20).unwrap().is_none());
+
+        // Truncation inside a prefix or inside a body is an Io error (not
+        // a clean end-of-stream) once the reader drains up to the cut.
+        for cut in [1usize, 3, 5, buf.len() - 1] {
+            let mut r = &buf[..cut];
+            let outcome = loop {
+                match read_wire_frame(&mut r, 1 << 20) {
+                    Ok(Some(_)) => continue,
+                    other => break other,
+                }
+            };
+            assert!(
+                matches!(outcome, Err(WireError::Io(_))),
+                "cut at {cut} not detected: {outcome:?}"
+            );
+        }
+        // An oversized declaration is refused before any allocation.
+        let mut lying = Vec::new();
+        lying.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = &lying[..];
+        assert!(matches!(
+            read_wire_frame(&mut r, 1 << 20),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn frame_kind_checks_header_only() {
+        let frame = encode_frame(9, |e| e.put_u8(1));
+        assert_eq!(frame_kind(&frame).unwrap(), 9);
+        let mut bad = frame.clone();
+        bad[0] = b'Y';
+        assert!(matches!(frame_kind(&bad), Err(CodecError::BadMagic(_))));
+        let mut bad = frame.clone();
+        bad[4] = 77;
+        assert!(matches!(
+            frame_kind(&bad),
+            Err(CodecError::UnsupportedVersion(77))
+        ));
+        // A checksum flip passes frame_kind (dispatch) but not open_frame.
+        let mut bad = frame.clone();
+        let at = bad.len() - 1;
+        bad[at] ^= 1;
+        assert_eq!(frame_kind(&bad).unwrap(), 9);
+        assert!(matches!(
+            open_frame(&bad, 9),
+            Err(CodecError::Checksum { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! The matching-service daemon.
+//!
+//! ```text
+//! cargo run --release -p tcsm-server --bin tcsm-serviced -- [flags]
+//!
+//! flags: --input FILE     temporal-graph dump to serve (required)
+//!        --format F       snap (src dst unixtime lines) | native (v/e
+//!                         text); default snap
+//!        --delta N        window length δ (default: the middle of the
+//!                         stream-derived window ladder)
+//!        --listen ADDR    bind address (default 127.0.0.1:7878)
+//!        --shards N       service shards (default 1)
+//!        --threads N      shard fan-out pool width (default 0 = serial)
+//!        --batched        batched delta regime instead of per-event
+//!        --undirected     undirected window semantics
+//!        --checkpoint DIR enable checkpoint/restore under DIR
+//!        --restore        restore from --checkpoint DIR instead of
+//!                         starting fresh (queries park on discarding
+//!                         sinks until clients re-subscribe)
+//!        --rebuild        tolerate shard-file corruption on --restore by
+//!                         replaying the stream prefix (default: strict)
+//!        --autorun        drive the stream whenever no request is
+//!                         pending (default: clients step explicitly)
+//! ```
+//!
+//! The wire protocol is documented on the `tcsm_server` crate root.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+
+use tcsm_datasets::ingest::DatasetSource;
+use tcsm_datasets::{FileFormat, FileSource};
+use tcsm_server::server::{restore_service, serve, ServerConfig};
+use tcsm_service::{MatchService, RecoveryPolicy, ServiceConfig};
+
+fn usage_err(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_flag<T: std::str::FromStr>(value: &str, what: &str) -> T {
+    value
+        .parse()
+        .unwrap_or_else(|_| usage_err(&format!("{what} (got '{value}')")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<PathBuf> = None;
+    let mut format = FileFormat::Snap;
+    let mut delta: Option<i64> = None;
+    let mut listen = String::from("127.0.0.1:7878");
+    let mut svc_cfg = ServiceConfig {
+        shards: 1,
+        threads: 0,
+        batching: false,
+        directed: true,
+        ..ServiceConfig::default()
+    };
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut restore = false;
+    let mut policy = RecoveryPolicy::Strict;
+    let mut autorun = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: &mut usize| -> &str {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| usage_err(&format!("{} takes a value", args[*i - 1])))
+        };
+        match args[i].as_str() {
+            "--input" => input = Some(PathBuf::from(need(&mut i))),
+            "--format" => {
+                let name = need(&mut i);
+                format = FileFormat::from_name(name)
+                    .unwrap_or_else(|| usage_err("--format takes snap | native"));
+            }
+            "--delta" => delta = Some(parse_flag(need(&mut i), "--delta takes an integer")),
+            "--listen" => listen = need(&mut i).to_string(),
+            "--shards" => svc_cfg.shards = parse_flag(need(&mut i), "--shards takes an integer"),
+            "--threads" => svc_cfg.threads = parse_flag(need(&mut i), "--threads takes an integer"),
+            "--batched" => svc_cfg.batching = true,
+            "--undirected" => svc_cfg.directed = false,
+            "--checkpoint" => checkpoint_dir = Some(PathBuf::from(need(&mut i))),
+            "--restore" => restore = true,
+            "--rebuild" => policy = RecoveryPolicy::Rebuild,
+            "--autorun" => autorun = true,
+            other => usage_err(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    let Some(path) = input else {
+        usage_err("--input FILE is required");
+    };
+    if restore && checkpoint_dir.is_none() {
+        usage_err("--restore requires --checkpoint DIR");
+    }
+
+    let mut source = match format {
+        FileFormat::Snap => FileSource::snap(&path),
+        FileFormat::Native => FileSource::native(&path),
+    };
+    source.directed = svc_cfg.directed;
+    let g = source
+        .load(0, 1.0)
+        .unwrap_or_else(|e| usage_err(&format!("cannot load {}: {e}", path.display())));
+    let delta = delta.unwrap_or_else(|| source.window_sizes(&g, 1.0)[2]);
+    eprintln!(
+        "tcsm-serviced: {} edges, delta {delta}, {} shard(s), {} thread(s)",
+        g.num_edges(),
+        svc_cfg.shards,
+        svc_cfg.threads,
+    );
+
+    let server_cfg = ServerConfig {
+        checkpoint_dir: checkpoint_dir.clone(),
+        autorun,
+    };
+    let mut svc = if restore {
+        let dir = checkpoint_dir.as_deref().expect("checked above");
+        let svc = restore_service(&g, dir, policy)
+            .unwrap_or_else(|e| usage_err(&format!("restore failed: {e}")));
+        eprintln!(
+            "tcsm-serviced: restored {} resident query(ies) at event {}",
+            svc.stats().resident_queries,
+            svc.events_processed(),
+        );
+        svc
+    } else {
+        MatchService::new(&g, delta, svc_cfg)
+            .unwrap_or_else(|e| usage_err(&format!("cannot build service: {e}")))
+    };
+
+    let listener = TcpListener::bind(&listen)
+        .unwrap_or_else(|e| usage_err(&format!("cannot bind {listen}: {e}")));
+    eprintln!(
+        "tcsm-serviced: listening on {}",
+        listener
+            .local_addr()
+            .map_or(listen.clone(), |a| a.to_string())
+    );
+    match serve(listener, &mut svc, &server_cfg) {
+        Ok(stats) => eprintln!(
+            "tcsm-serviced: shut down after {} events, {} admitted, {} retired ({} disconnected)",
+            stats.events, stats.admitted, stats.retired, stats.disconnected,
+        ),
+        Err(e) => {
+            eprintln!("tcsm-serviced: server error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! A blocking client for the daemon — the loopback side of the
+//! differential tests, and a minimal library for embedding subscribers.
+
+use std::collections::HashMap;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use tcsm_core::{EngineConfig, EngineStats, MatchEvent};
+use tcsm_graph::codec::{frame_kind, read_wire_frame, write_wire_frame, CodecError, WireError};
+use tcsm_graph::io::write_query_graph;
+use tcsm_graph::QueryGraph;
+use tcsm_service::ServiceStats;
+
+use crate::wire::{
+    Delivery, Request, Response, WireFault, KIND_DELIVERY, KIND_ERROR, KIND_RESPONSE,
+    MAX_STREAM_FRAME,
+};
+
+/// Anything a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (including mid-frame EOF and oversized frames).
+    Wire(WireError),
+    /// The server closed the connection cleanly where a response was due.
+    Closed,
+    /// A frame arrived but does not decode.
+    Codec(CodecError),
+    /// The server refused the request with a typed error frame.
+    Server(WireFault),
+    /// The server answered with a frame the protocol does not allow here
+    /// (wrong kind, wrong `seq`, or a response variant not matching the
+    /// request).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "transport: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::Codec(e) => write!(f, "bad frame: {e}"),
+            ClientError::Server(fault) => write!(f, "server refused: {fault}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<CodecError> for ClientError {
+    fn from(e: CodecError) -> ClientError {
+        ClientError::Codec(e)
+    }
+}
+
+/// One frame from the server, already classified.
+#[derive(Debug)]
+pub enum ServerMsg {
+    /// A response to the request with this `seq`.
+    Response(u64, Response),
+    /// A typed refusal.
+    Error(WireFault),
+    /// A match-stream delivery.
+    Delivery(Delivery),
+}
+
+/// Accumulated deliveries of one query, as decoded off the wire.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueryStream {
+    /// Every delivered match event, in stream order.
+    pub events: Vec<MatchEvent>,
+    /// Sum of delivered occurred counts.
+    pub occurred: u64,
+    /// Sum of delivered expired counts.
+    pub expired: u64,
+}
+
+/// A synchronous daemon client. Deliveries interleave with responses on
+/// the wire; the client buffers them per query while waiting for a
+/// response, so after any successful call every delivery produced by it
+/// is available via [`Client::take_stream`] / [`Client::stream_counts`]
+/// (the server writes a step's deliveries before the step's response, and
+/// TCP preserves that order).
+pub struct Client {
+    stream: TcpStream,
+    seq: u64,
+    streams: HashMap<u32, QueryStream>,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            seq: 0,
+            streams: HashMap::new(),
+        })
+    }
+
+    /// Sends a pre-encoded frame without waiting for anything — the
+    /// malformed-input tests use this to put arbitrary bytes on the wire.
+    pub fn send_raw_frame(&mut self, frame: &[u8]) -> std::io::Result<()> {
+        write_wire_frame(&mut self.stream, frame)
+    }
+
+    /// Writes raw bytes with no framing at all — for forging broken wire
+    /// prefixes in the robustness tests.
+    pub fn send_raw_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        use std::io::Write;
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Reads and classifies the next server frame, buffering nothing —
+    /// deliveries are returned to the caller like everything else.
+    pub fn read_msg(&mut self) -> Result<ServerMsg, ClientError> {
+        let bytes =
+            read_wire_frame(&mut self.stream, MAX_STREAM_FRAME)?.ok_or(ClientError::Closed)?;
+        match frame_kind(&bytes)? {
+            KIND_RESPONSE => {
+                let (seq, resp) = Response::decode(&bytes)?;
+                Ok(ServerMsg::Response(seq, resp))
+            }
+            KIND_ERROR => Ok(ServerMsg::Error(WireFault::decode(&bytes)?)),
+            KIND_DELIVERY => Ok(ServerMsg::Delivery(Delivery::decode(&bytes)?)),
+            other => Err(ClientError::Protocol(format!(
+                "server sent frame kind {other}"
+            ))),
+        }
+    }
+
+    /// Sends `req` and pumps frames until its response (or refusal)
+    /// arrives; deliveries seen on the way are buffered per query.
+    pub fn call(&mut self, req: Request) -> Result<Response, ClientError> {
+        self.seq += 1;
+        let seq = self.seq;
+        self.send_raw_frame(&req.encode(seq))
+            .map_err(|e| ClientError::Wire(WireError::Io(e)))?;
+        loop {
+            match self.read_msg()? {
+                ServerMsg::Delivery(d) => self.buffer(d),
+                ServerMsg::Response(got, resp) if got == seq => return Ok(resp),
+                ServerMsg::Error(fault) if fault.seq == seq || fault.seq == 0 => {
+                    return Err(ClientError::Server(fault))
+                }
+                ServerMsg::Response(got, _) => {
+                    return Err(ClientError::Protocol(format!(
+                        "response for seq {got}, expected {seq}"
+                    )))
+                }
+                ServerMsg::Error(fault) => {
+                    return Err(ClientError::Protocol(format!(
+                        "error for seq {}, expected {seq}: {fault}",
+                        fault.seq
+                    )))
+                }
+            }
+        }
+    }
+
+    fn buffer(&mut self, d: Delivery) {
+        let s = self.streams.entry(d.qid).or_default();
+        s.events.extend(d.events);
+        s.occurred += d.occurred;
+        s.expired += d.expired;
+    }
+
+    /// Admits a standing query; deliveries stream to this connection.
+    pub fn admit(&mut self, q: &QueryGraph, cfg: EngineConfig) -> Result<u32, ClientError> {
+        self.admit_text(&write_query_graph(q), cfg)
+    }
+
+    /// [`Client::admit`] from raw query text (which the server may refuse
+    /// with [`ErrorCode::BadQuery`](crate::wire::ErrorCode::BadQuery)).
+    pub fn admit_text(&mut self, query: &str, cfg: EngineConfig) -> Result<u32, ClientError> {
+        match self.call(Request::Admit {
+            query: query.to_string(),
+            cfg,
+        })? {
+            Response::Admitted { qid } => Ok(qid),
+            other => Err(unexpected("Admitted", &other)),
+        }
+    }
+
+    /// Retires a query, returning its final counters.
+    pub fn retire(&mut self, qid: u32) -> Result<EngineStats, ClientError> {
+        match self.call(Request::Retire { qid })? {
+            Response::Retired { stats } => Ok(stats),
+            other => Err(unexpected("Retired", &other)),
+        }
+    }
+
+    /// A query's counters plus whether it is still resident.
+    pub fn query_stats(&mut self, qid: u32) -> Result<(bool, EngineStats), ClientError> {
+        match self.call(Request::QueryStats { qid })? {
+            Response::QueryStats { resident, stats } => Ok((resident, stats)),
+            other => Err(unexpected("QueryStats", &other)),
+        }
+    }
+
+    /// Aggregate service counters plus `(processed, remaining)` stream
+    /// cursor.
+    pub fn service_stats(&mut self) -> Result<(ServiceStats, u64, u64), ClientError> {
+        match self.call(Request::ServiceStats)? {
+            Response::ServiceStats {
+                stats,
+                processed,
+                remaining,
+            } => Ok((stats, processed, remaining)),
+            other => Err(unexpected("ServiceStats", &other)),
+        }
+    }
+
+    /// Processes up to `n` stream deltas (`0` = drain); returns `(taken,
+    /// done)`. All deliveries those deltas produced are buffered when
+    /// this returns.
+    pub fn step(&mut self, n: u64) -> Result<(u64, bool), ClientError> {
+        match self.call(Request::Step { n })? {
+            Response::Stepped { taken, done } => Ok((taken, done)),
+            other => Err(unexpected("Stepped", &other)),
+        }
+    }
+
+    /// Re-attaches this connection to a resident query's match stream
+    /// (after a daemon restart from a checkpoint).
+    pub fn resubscribe(&mut self, qid: u32) -> Result<(), ClientError> {
+        match self.call(Request::Resubscribe { qid })? {
+            Response::Resubscribed => Ok(()),
+            other => Err(unexpected("Resubscribed", &other)),
+        }
+    }
+
+    /// Checkpoints the service into the server's configured directory.
+    pub fn checkpoint(&mut self) -> Result<(), ClientError> {
+        match self.call(Request::Checkpoint)? {
+            Response::Checkpointed => Ok(()),
+            other => Err(unexpected("Checkpointed", &other)),
+        }
+    }
+
+    /// Stops the server, optionally checkpointing first.
+    pub fn shutdown(&mut self, checkpoint: bool) -> Result<(), ClientError> {
+        match self.call(Request::Shutdown { checkpoint })? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+
+    /// Takes everything delivered for `qid` so far (events in stream
+    /// order plus summed counts), resetting its buffer.
+    pub fn take_stream(&mut self, qid: u32) -> QueryStream {
+        self.streams.remove(&qid).unwrap_or_default()
+    }
+
+    /// Summed delivered `(occurred, expired)` counts of `qid` so far,
+    /// without consuming the buffer.
+    pub fn stream_counts(&self, qid: u32) -> (u64, u64) {
+        self.streams
+            .get(&qid)
+            .map(|s| (s.occurred, s.expired))
+            .unwrap_or((0, 0))
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted}, got {got:?}"))
+}

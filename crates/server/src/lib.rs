@@ -1,0 +1,68 @@
+//! # tcsm-server — the network daemon of the matching service
+//!
+//! `tcsm-serviced` puts a [`MatchService`](tcsm_service::MatchService) on
+//! a TCP socket: remote clients admit and retire standing queries, drive
+//! (or watch) the stream, and receive their queries' match streams as
+//! framed deliveries, with a checkpointing shutdown for crash-safe
+//! restarts. No async runtime and no serialization framework — blocking
+//! std networking, one reader thread per connection feeding a single
+//! service thread, and the same hand-rolled [`tcsm_graph::codec`] frames
+//! the checkpoint files use.
+//!
+//! # Wire protocol
+//!
+//! Every message is one codec frame (`TCSM` magic, format version, kind
+//! byte, payload, FNV-1a checksum) preceded by a `u32` little-endian byte
+//! length. Grammar, with `[x]` a codec frame of kind `x`:
+//!
+//! ```text
+//! connection   := client-bytes ∥ server-bytes          (full duplex)
+//! client-bytes := [REQUEST]*
+//! server-bytes := ([RESPONSE] | [ERROR] | [DELIVERY])*
+//! REQUEST      := seq:u64 op:u8 payload                (kind 16)
+//! RESPONSE     := seq:u64 op:u8 payload                (kind 17)
+//! ERROR        := seq:u64 code:u8 message:str          (kind 18)
+//! DELIVERY     := qid:u32 occurred:u64 expired:u64
+//!                 count:u64 MatchEvent*                (kind 19)
+//! ```
+//!
+//! Ops (request/response pairs share the tag): `1` admit, `2` retire,
+//! `3` query stats, `4` service stats, `5` step, `6` resubscribe,
+//! `7` checkpoint, `8` shutdown. Each request is answered by exactly one
+//! `RESPONSE` (echoing `seq` and op) or one `ERROR`; `DELIVERY` frames
+//! are unsolicited and interleave, but always *precede* the response of
+//! the step that produced them on that connection. See [`wire`] for the
+//! payload layouts and [`wire::ErrorCode`] for the refusal classes.
+//!
+//! Malformed input never kills the daemon and never panics: a frame that
+//! fails validation is answered with a typed `ERROR` (with `seq = 0` when
+//! the frame was too broken to attribute) and the connection continues.
+//! The single exception is a wire length prefix beyond
+//! [`wire::MAX_REQUEST_FRAME`]: after a lying prefix the byte stream
+//! cannot be re-synchronized, so the server sends
+//! [`ErrorCode::Oversized`](wire::ErrorCode::Oversized) and closes the
+//! connection.
+//!
+//! # Lifecycle
+//!
+//! A client that disappears (EOF, reset, failed delivery write) has its
+//! queries auto-retired as *disconnected* — other subscribers never
+//! notice. Shutdown (`op 8`) optionally checkpoints the full service
+//! state into the server's configured directory first; a later daemon
+//! invocation restores it ([`restore_service`]) with every query parked
+//! on a discarding sink until its subscriber re-attaches (`op 6`), and
+//! from re-attachment on the delivered stream is byte-identical to the
+//! suffix an uninterrupted run would have produced (pinned by this
+//! crate's loopback differential tests).
+//!
+//! The stream is driven by `step` requests by default, so tests and
+//! deterministic replays control exactly where admissions land; a daemon
+//! started with `--autorun` instead consumes the stream whenever no
+//! request is pending.
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError, QueryStream, ServerMsg};
+pub use server::{restore_service, serve, ServerConfig};

@@ -1,0 +1,412 @@
+//! The daemon event loop: connections, request dispatch, delivery sinks.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Sender, TryRecvError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+use tcsm_core::MatchEvent;
+use tcsm_graph::codec::{read_wire_frame, write_wire_frame, WireError};
+use tcsm_graph::io::parse_query_graph;
+use tcsm_graph::TemporalGraph;
+use tcsm_service::{
+    DiscardSink, MatchService, QueryId, RecoveryPolicy, ResultSink, ServiceStats, SinkClosed,
+    SnapshotError,
+};
+
+use crate::wire::{Delivery, ErrorCode, Request, Response, WireFault, MAX_REQUEST_FRAME};
+
+/// Server-side knobs of [`serve`]; the service itself (stream, shards,
+/// threads) is configured on the [`MatchService`] the caller passes in.
+#[derive(Clone, Debug, Default)]
+pub struct ServerConfig {
+    /// Where [`Request::Checkpoint`] and a checkpointing
+    /// [`Request::Shutdown`] write; `None` refuses both with
+    /// [`ErrorCode::Unsupported`].
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Drive the stream from the server loop whenever no request is
+    /// pending, instead of only on explicit [`Request::Step`]s. Clients
+    /// that need exact admission points (the differential tests) leave
+    /// this off.
+    pub autorun: bool,
+}
+
+/// A sink that frames one query's match stream onto its subscriber's
+/// connection. Deliveries may run on pool worker threads during the shard
+/// fan-out, so the writer is shared behind a mutex with the response path
+/// (which only writes between steps). A write failure is the dead-peer
+/// signal: the service auto-retires the query, other subscribers are
+/// untouched.
+struct SocketSink {
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+impl ResultSink for SocketSink {
+    fn deliver(
+        &mut self,
+        qid: QueryId,
+        events: &mut Vec<MatchEvent>,
+        occurred: u64,
+        expired: u64,
+    ) -> Result<(), SinkClosed> {
+        let frame = Delivery::encode_parts(qid.raw(), occurred, expired, events);
+        let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        write_wire_frame(&mut *w, &frame).map_err(|_| SinkClosed)
+    }
+}
+
+/// What reader threads and the acceptor feed the service loop.
+enum Event {
+    /// A new connection was accepted.
+    Conn(TcpStream),
+    /// A complete wire frame arrived on connection `conn`.
+    Request { conn: u64, bytes: Vec<u8> },
+    /// Connection `conn` declared a frame beyond [`MAX_REQUEST_FRAME`];
+    /// the stream cannot be re-synchronized.
+    Oversized { conn: u64, declared: u64 },
+    /// Connection `conn` hit EOF or an i/o error.
+    Gone { conn: u64 },
+}
+
+/// Per-connection server state.
+struct Conn {
+    writer: Arc<Mutex<TcpStream>>,
+    /// Raw ids of the queries streaming to this connection (admitted or
+    /// re-subscribed here) — retired as disconnected when the peer goes.
+    queries: Vec<u32>,
+    reader: Option<JoinHandle<()>>,
+}
+
+/// Restores a checkpointed service for [`serve`], parking every resident
+/// query on a collecting [`DiscardSink`] until its subscriber re-attaches
+/// with [`Request::Resubscribe`]. Deliveries produced before re-attachment
+/// are dropped (the events still count in the query's stats) — a daemon
+/// normally restores, serves, and lets clients re-subscribe before any
+/// step request arrives.
+pub fn restore_service<'g>(
+    g: &'g TemporalGraph,
+    dir: &std::path::Path,
+    policy: RecoveryPolicy,
+) -> Result<MatchService<'g>, SnapshotError> {
+    MatchService::restore(g, dir, policy, |_| Box::new(DiscardSink::new(true)))
+}
+
+/// Runs the daemon loop on `listener` until a client requests shutdown.
+/// Accepts any number of concurrent connections; one reader thread per
+/// connection feeds a single service thread (this one), so all service
+/// mutations are serialized. Returns the final service counters.
+///
+/// Failure handling, per connection:
+/// * malformed frames (bad magic/version/checksum, unknown op, broken
+///   payload) are answered with a typed [`KIND_ERROR`] frame and the
+///   connection lives on;
+/// * an oversized length declaration is answered with
+///   [`ErrorCode::Oversized`] and the connection is closed — the byte
+///   stream cannot be trusted past a lying prefix;
+/// * EOF or an i/o error retires the connection's queries as
+///   disconnected ([`ServiceStats::disconnected`]) without touching other
+///   subscribers.
+///
+/// [`KIND_ERROR`]: crate::wire::KIND_ERROR
+pub fn serve(
+    listener: TcpListener,
+    svc: &mut MatchService<'_>,
+    cfg: &ServerConfig,
+) -> std::io::Result<ServiceStats> {
+    let (tx, rx) = std::sync::mpsc::channel::<Event>();
+    let stop = Arc::new(AtomicBool::new(false));
+    let acceptor = spawn_acceptor(listener, tx.clone(), Arc::clone(&stop))?;
+
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_conn: u64 = 0;
+    'serve: loop {
+        let ev = if cfg.autorun && svc.remaining_events() > 0 {
+            match rx.try_recv() {
+                Ok(ev) => ev,
+                Err(TryRecvError::Empty) => {
+                    svc.step();
+                    sweep(svc, &mut conns);
+                    continue;
+                }
+                Err(TryRecvError::Disconnected) => break,
+            }
+        } else {
+            match rx.recv() {
+                Ok(ev) => ev,
+                Err(_) => break,
+            }
+        };
+        match ev {
+            Event::Conn(stream) => {
+                let id = next_conn;
+                next_conn += 1;
+                let reader = match stream.try_clone() {
+                    Ok(r) => r,
+                    Err(_) => continue, // peer already unusable
+                };
+                let handle = spawn_reader(id, reader, tx.clone());
+                conns.insert(
+                    id,
+                    Conn {
+                        writer: Arc::new(Mutex::new(stream)),
+                        queries: Vec::new(),
+                        reader: Some(handle),
+                    },
+                );
+            }
+            Event::Request { conn, bytes } => {
+                let shutdown = dispatch(svc, cfg, &mut conns, conn, &bytes);
+                sweep(svc, &mut conns);
+                if shutdown {
+                    break 'serve;
+                }
+            }
+            Event::Oversized { conn, declared } => {
+                if let Some(c) = conns.get(&conn) {
+                    let fault = WireFault {
+                        seq: 0,
+                        code: ErrorCode::Oversized,
+                        message: format!(
+                            "frame of {declared} bytes exceeds the {MAX_REQUEST_FRAME}-byte limit"
+                        ),
+                    };
+                    // Best effort: the peer may already be gone.
+                    let _ = send(&c.writer, &fault.encode());
+                }
+                drop_conn(svc, &mut conns, conn);
+            }
+            Event::Gone { conn } => drop_conn(svc, &mut conns, conn),
+        }
+    }
+
+    stop.store(true, Ordering::Release);
+    for (_, conn) in conns.drain() {
+        close_conn(conn);
+    }
+    let _ = acceptor.join();
+    Ok(svc.stats())
+}
+
+/// The accept loop: nonblocking so it can observe the stop flag.
+fn spawn_acceptor(
+    listener: TcpListener,
+    tx: Sender<Event>,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<JoinHandle<()>> {
+    listener.set_nonblocking(true)?;
+    Ok(std::thread::spawn(move || loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                if tx.send(Event::Conn(stream)).is_err() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            Err(_) => return,
+        }
+    }))
+}
+
+/// One blocking reader per connection: frames in, events out. Exits on
+/// EOF, i/o error, an oversized declaration, or the service loop closing
+/// the socket underneath it.
+fn spawn_reader(conn: u64, mut stream: TcpStream, tx: Sender<Event>) -> JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        match read_wire_frame(&mut stream, MAX_REQUEST_FRAME) {
+            Ok(Some(bytes)) => {
+                if tx.send(Event::Request { conn, bytes }).is_err() {
+                    return;
+                }
+            }
+            Ok(None) | Err(WireError::Io(_)) => {
+                let _ = tx.send(Event::Gone { conn });
+                return;
+            }
+            Err(WireError::Oversized { declared, .. }) => {
+                let _ = tx.send(Event::Oversized { conn, declared });
+                return;
+            }
+        }
+    })
+}
+
+fn send(writer: &Arc<Mutex<TcpStream>>, frame: &[u8]) -> std::io::Result<()> {
+    let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+    write_wire_frame(&mut *w, frame)?;
+    w.flush()
+}
+
+/// Retires the queries the disconnect sweep caught (their sinks failed
+/// mid-delivery) from every connection's subscription list.
+fn sweep(svc: &mut MatchService<'_>, conns: &mut HashMap<u64, Conn>) {
+    for qid in svc.drain_disconnected() {
+        for conn in conns.values_mut() {
+            conn.queries.retain(|&q| q != qid.raw());
+        }
+    }
+}
+
+/// Connection death: retire its queries as disconnected, close the
+/// socket (which also unblocks the reader thread), reap the reader.
+fn drop_conn(svc: &mut MatchService<'_>, conns: &mut HashMap<u64, Conn>, id: u64) {
+    if let Some(conn) = conns.remove(&id) {
+        for &qid in &conn.queries {
+            svc.retire_disconnected(QueryId::from_raw(qid));
+        }
+        svc.drain_disconnected();
+        close_conn(conn);
+    }
+}
+
+fn close_conn(mut conn: Conn) {
+    let w = conn.writer.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = w.shutdown(Shutdown::Both);
+    drop(w);
+    if let Some(handle) = conn.reader.take() {
+        let _ = handle.join();
+    }
+}
+
+/// Handles one request frame on connection `conn_id`. Returns `true` when
+/// the server must shut down.
+fn dispatch(
+    svc: &mut MatchService<'_>,
+    cfg: &ServerConfig,
+    conns: &mut HashMap<u64, Conn>,
+    conn_id: u64,
+    bytes: &[u8],
+) -> bool {
+    let Some(conn) = conns.get(&conn_id) else {
+        return false; // raced with Gone
+    };
+    let writer = Arc::clone(&conn.writer);
+    let (seq, req) = match Request::decode(bytes) {
+        Ok(ok) => ok,
+        Err(fault) => {
+            if send(&writer, &fault.encode()).is_err() {
+                drop_conn(svc, conns, conn_id);
+            }
+            return false;
+        }
+    };
+    let mut shutdown = false;
+    let reply: Result<Response, WireFault> = match req {
+        Request::Admit { query, cfg } => match parse_query_graph(&query) {
+            Ok(q) => {
+                let sink = SocketSink {
+                    writer: Arc::clone(&writer),
+                };
+                let qid = svc.add_query(&q, cfg, Box::new(sink));
+                if let Some(c) = conns.get_mut(&conn_id) {
+                    c.queries.push(qid.raw());
+                }
+                Ok(Response::Admitted { qid: qid.raw() })
+            }
+            Err(e) => Err(WireFault {
+                seq,
+                code: ErrorCode::BadQuery,
+                message: format!("query rejected: {e}"),
+            }),
+        },
+        Request::Retire { qid } => match svc.remove_query(QueryId::from_raw(qid)) {
+            Some(stats) => {
+                for c in conns.values_mut() {
+                    c.queries.retain(|&q| q != qid);
+                }
+                Ok(Response::Retired { stats })
+            }
+            None => Err(unknown_query(seq, qid)),
+        },
+        Request::QueryStats { qid } => {
+            let id = QueryId::from_raw(qid);
+            match svc.query_stats(id) {
+                Some(stats) => Ok(Response::QueryStats {
+                    resident: svc.shard_of(id).is_some(),
+                    stats: *stats,
+                }),
+                None => Err(unknown_query(seq, qid)),
+            }
+        }
+        Request::ServiceStats => Ok(Response::ServiceStats {
+            stats: svc.stats(),
+            processed: svc.events_processed() as u64,
+            remaining: svc.remaining_events() as u64,
+        }),
+        Request::Step { n } => {
+            let mut taken = 0u64;
+            while (n == 0 || taken < n) && svc.step() {
+                taken += 1;
+            }
+            Ok(Response::Stepped {
+                taken,
+                done: svc.remaining_events() == 0,
+            })
+        }
+        Request::Resubscribe { qid } => {
+            let sink = SocketSink {
+                writer: Arc::clone(&writer),
+            };
+            if svc.set_sink(QueryId::from_raw(qid), Box::new(sink)) {
+                if let Some(c) = conns.get_mut(&conn_id) {
+                    c.queries.push(qid);
+                }
+                Ok(Response::Resubscribed)
+            } else {
+                Err(unknown_query(seq, qid))
+            }
+        }
+        Request::Checkpoint => checkpoint(svc, cfg, seq).map(|()| Response::Checkpointed),
+        Request::Shutdown { checkpoint: cp } => {
+            let outcome = if cp {
+                checkpoint(svc, cfg, seq).map(|()| Response::ShuttingDown)
+            } else {
+                Ok(Response::ShuttingDown)
+            };
+            shutdown = outcome.is_ok();
+            outcome
+        }
+    };
+    let frame = match &reply {
+        Ok(resp) => resp.encode(seq),
+        Err(fault) => fault.encode(),
+    };
+    if send(&writer, &frame).is_err() {
+        drop_conn(svc, conns, conn_id);
+        return false; // the shutdown requester died: keep serving
+    }
+    shutdown
+}
+
+fn unknown_query(seq: u64, qid: u32) -> WireFault {
+    WireFault {
+        seq,
+        code: ErrorCode::UnknownQuery,
+        message: format!("no resident or retired query {qid}"),
+    }
+}
+
+fn checkpoint(svc: &MatchService<'_>, cfg: &ServerConfig, seq: u64) -> Result<(), WireFault> {
+    let Some(dir) = &cfg.checkpoint_dir else {
+        return Err(WireFault {
+            seq,
+            code: ErrorCode::Unsupported,
+            message: "server runs without a checkpoint directory".into(),
+        });
+    };
+    svc.checkpoint(dir).map_err(|e| WireFault {
+        seq,
+        code: ErrorCode::Unsupported,
+        message: format!("checkpoint failed: {e}"),
+    })
+}

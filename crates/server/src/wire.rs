@@ -1,0 +1,649 @@
+//! The daemon's wire protocol: message types and their frame codecs.
+//!
+//! Every message is one [`tcsm_graph::codec`] frame (`TCSM` magic, format
+//! version, kind byte, little-endian payload, trailing FNV-1a checksum)
+//! carried over the stream transport of
+//! [`write_wire_frame`](tcsm_graph::codec::write_wire_frame) /
+//! [`read_wire_frame`](tcsm_graph::codec::read_wire_frame): a `u32`
+//! little-endian byte length, then the frame. Four frame kinds exist on a
+//! daemon connection:
+//!
+//! | kind | constant | direction | payload |
+//! |------|----------|-----------|---------|
+//! | 16 | [`KIND_REQUEST`] | client → server | `seq: u64`, `op: u8`, op payload |
+//! | 17 | [`KIND_RESPONSE`] | server → client | `seq: u64`, `op: u8`, op payload |
+//! | 18 | [`KIND_ERROR`] | server → client | `seq: u64`, `code: u8`, `message: str` |
+//! | 19 | [`KIND_DELIVERY`] | server → client | `qid: u32`, `occurred: u64`, `expired: u64`, match events |
+//!
+//! A response echoes its request's `seq` and op tag; deliveries are
+//! unsolicited (they carry a query id instead of a `seq`) and are written
+//! to the connection that admitted — or re-subscribed to — the query,
+//! strictly before the response of the step that produced them. An error
+//! frame with `seq = 0` could not be attributed to a request (the frame
+//! failed checksum or header validation before its `seq` was readable).
+//!
+//! Decoding never panics: every malformed input is a typed error, and the
+//! transport refuses oversized length declarations before allocating.
+
+use tcsm_core::{EngineConfig, EngineStats, MatchEvent};
+use tcsm_graph::codec::{encode_frame, open_frame, CodecError, Decoder, Encoder};
+use tcsm_service::ServiceStats;
+
+/// Frame kind of client requests.
+pub const KIND_REQUEST: u8 = 16;
+/// Frame kind of server responses (one per request, echoing its `seq`).
+pub const KIND_RESPONSE: u8 = 17;
+/// Frame kind of server error reports.
+pub const KIND_ERROR: u8 = 18;
+/// Frame kind of streamed match deliveries.
+pub const KIND_DELIVERY: u8 = 19;
+
+/// Largest wire frame a server accepts from a client. Requests are small
+/// (a query text plus a config); anything larger is a corrupt or hostile
+/// length declaration, refused before allocation.
+pub const MAX_REQUEST_FRAME: usize = 1 << 20;
+/// Largest wire frame a client accepts from a server (a delivery carries
+/// every match event of one stream delta).
+pub const MAX_STREAM_FRAME: usize = 1 << 26;
+
+const OP_ADMIT: u8 = 1;
+const OP_RETIRE: u8 = 2;
+const OP_QUERY_STATS: u8 = 3;
+const OP_SERVICE_STATS: u8 = 4;
+const OP_STEP: u8 = 5;
+const OP_RESUBSCRIBE: u8 = 6;
+const OP_CHECKPOINT: u8 = 7;
+const OP_SHUTDOWN: u8 = 8;
+
+/// Why a request was refused (the `code` byte of a [`KIND_ERROR`] frame).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The frame failed header, checksum, or payload validation.
+    Malformed = 1,
+    /// The frame decoded but its op tag is unknown.
+    BadOp = 2,
+    /// The request names a query id that is neither resident nor retired.
+    UnknownQuery = 3,
+    /// The admitted query text does not parse or validate.
+    BadQuery = 4,
+    /// The operation is not available on this server (e.g. checkpointing
+    /// without a configured checkpoint directory).
+    Unsupported = 5,
+    /// The wire length prefix declared a frame beyond
+    /// [`MAX_REQUEST_FRAME`]; the connection cannot be re-synchronized
+    /// and is closed after this error.
+    Oversized = 6,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::BadOp,
+            3 => ErrorCode::UnknownQuery,
+            4 => ErrorCode::BadQuery,
+            5 => ErrorCode::Unsupported,
+            6 => ErrorCode::Oversized,
+            _ => return None,
+        })
+    }
+}
+
+/// A client request. Query text travels in the same line format the
+/// checkpoint manifest uses ([`tcsm_graph::io::parse_query_graph`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Admit a standing query; its match stream is delivered to this
+    /// connection from the next processed delta on.
+    Admit {
+        /// Query in the native text format.
+        query: String,
+        /// Per-query engine configuration (stream regime, thread placement
+        /// and direction semantics are service-owned and overridden).
+        cfg: EngineConfig,
+    },
+    /// Retire a standing query, returning its final counters.
+    Retire {
+        /// Wire id as returned by [`Response::Admitted`].
+        qid: u32,
+    },
+    /// Peek a resident or retired query's counters.
+    QueryStats {
+        /// Wire id of the query.
+        qid: u32,
+    },
+    /// Aggregate service counters plus the stream cursor.
+    ServiceStats,
+    /// Process up to `n` stream deltas (`0` = drain to the end of the
+    /// stream). Deliveries produced by these deltas are written before
+    /// the response.
+    Step {
+        /// Maximum number of deltas to process; `0` drains.
+        n: u64,
+    },
+    /// Re-attach this connection to a resident query's match stream — how
+    /// a subscriber finds its queries again after a daemon restarted from
+    /// a checkpoint.
+    Resubscribe {
+        /// Wire id of the resident query.
+        qid: u32,
+    },
+    /// Write a checkpoint into the server's configured directory.
+    Checkpoint,
+    /// Stop the server (optionally checkpointing first); the response is
+    /// the last frame on every connection.
+    Shutdown {
+        /// Checkpoint into the configured directory before stopping.
+        checkpoint: bool,
+    },
+}
+
+impl Request {
+    fn op(&self) -> u8 {
+        match self {
+            Request::Admit { .. } => OP_ADMIT,
+            Request::Retire { .. } => OP_RETIRE,
+            Request::QueryStats { .. } => OP_QUERY_STATS,
+            Request::ServiceStats => OP_SERVICE_STATS,
+            Request::Step { .. } => OP_STEP,
+            Request::Resubscribe { .. } => OP_RESUBSCRIBE,
+            Request::Checkpoint => OP_CHECKPOINT,
+            Request::Shutdown { .. } => OP_SHUTDOWN,
+        }
+    }
+
+    /// Encodes the request as a [`KIND_REQUEST`] frame tagged `seq`.
+    pub fn encode(&self, seq: u64) -> Vec<u8> {
+        encode_frame(KIND_REQUEST, |e| {
+            e.put_u64(seq);
+            e.put_u8(self.op());
+            match self {
+                Request::Admit { query, cfg } => {
+                    e.put_str(query);
+                    e.section(|e| cfg.encode(e));
+                }
+                Request::Retire { qid }
+                | Request::QueryStats { qid }
+                | Request::Resubscribe { qid } => e.put_u32(*qid),
+                Request::ServiceStats | Request::Checkpoint => {}
+                Request::Step { n } => e.put_u64(*n),
+                Request::Shutdown { checkpoint } => e.put_bool(*checkpoint),
+            }
+        })
+    }
+
+    /// Decodes a [`KIND_REQUEST`] frame into `(seq, request)`. Every
+    /// failure maps to the error frame the server must answer with: a
+    /// frame whose header or checksum is broken gets `seq = 0` (its `seq`
+    /// cannot be trusted), a decoded frame with an unknown op tag gets
+    /// [`ErrorCode::BadOp`], and a payload that is truncated, trailing, or
+    /// invalid gets [`ErrorCode::Malformed`] with the `seq` echoed.
+    pub fn decode(frame: &[u8]) -> Result<(u64, Request), WireFault> {
+        let mut dec = open_frame(frame, KIND_REQUEST).map_err(|e| WireFault {
+            seq: 0,
+            code: ErrorCode::Malformed,
+            message: format!("bad request frame: {e}"),
+        })?;
+        let seq = dec.get_u64().map_err(|e| WireFault {
+            seq: 0,
+            code: ErrorCode::Malformed,
+            message: format!("bad request frame: {e}"),
+        })?;
+        let fault = |code: ErrorCode, e: CodecError| WireFault {
+            seq,
+            code,
+            message: format!("bad request payload: {e}"),
+        };
+        let op = dec.get_u8().map_err(|e| fault(ErrorCode::Malformed, e))?;
+        let req = (|| -> Result<Request, WireFaultOrCodec> {
+            Ok(match op {
+                OP_ADMIT => Request::Admit {
+                    query: dec.get_str()?.to_string(),
+                    cfg: {
+                        let mut s = dec.section()?;
+                        let cfg = EngineConfig::decode(&mut s)?;
+                        s.finish()?;
+                        cfg
+                    },
+                },
+                OP_RETIRE => Request::Retire {
+                    qid: dec.get_u32()?,
+                },
+                OP_QUERY_STATS => Request::QueryStats {
+                    qid: dec.get_u32()?,
+                },
+                OP_SERVICE_STATS => Request::ServiceStats,
+                OP_STEP => Request::Step { n: dec.get_u64()? },
+                OP_RESUBSCRIBE => Request::Resubscribe {
+                    qid: dec.get_u32()?,
+                },
+                OP_CHECKPOINT => Request::Checkpoint,
+                OP_SHUTDOWN => Request::Shutdown {
+                    checkpoint: dec.get_bool()?,
+                },
+                other => {
+                    return Err(WireFault {
+                        seq,
+                        code: ErrorCode::BadOp,
+                        message: format!("unknown request op {other}"),
+                    }
+                    .into())
+                }
+            })
+        })()
+        .map_err(|e: WireFaultOrCodec| match e {
+            WireFaultOrCodec::Fault(f) => f,
+            WireFaultOrCodec::Codec(c) => fault(ErrorCode::Malformed, c),
+        })?;
+        dec.finish().map_err(|e| fault(ErrorCode::Malformed, e))?;
+        Ok((seq, req))
+    }
+}
+
+/// Internal: lets the decode closure bubble both typed faults (bad op)
+/// and raw codec errors (malformed payload) through one `?`.
+enum WireFaultOrCodec {
+    Fault(WireFault),
+    Codec(CodecError),
+}
+
+impl From<WireFault> for WireFaultOrCodec {
+    fn from(f: WireFault) -> WireFaultOrCodec {
+        WireFaultOrCodec::Fault(f)
+    }
+}
+
+impl From<CodecError> for WireFaultOrCodec {
+    fn from(c: CodecError) -> WireFaultOrCodec {
+        WireFaultOrCodec::Codec(c)
+    }
+}
+
+/// What a server answers a broken or refused request with — the typed
+/// content of a [`KIND_ERROR`] frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireFault {
+    /// `seq` of the offending request, `0` when unattributable.
+    pub seq: u64,
+    /// Refusal class.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireFault {
+    /// Encodes the fault as a [`KIND_ERROR`] frame.
+    pub fn encode(&self) -> Vec<u8> {
+        encode_frame(KIND_ERROR, |e| {
+            e.put_u64(self.seq);
+            e.put_u8(self.code as u8);
+            e.put_str(&self.message);
+        })
+    }
+
+    /// Decodes a [`KIND_ERROR`] frame.
+    pub fn decode(frame: &[u8]) -> Result<WireFault, CodecError> {
+        let mut dec = open_frame(frame, KIND_ERROR)?;
+        let seq = dec.get_u64()?;
+        let raw = dec.get_u8()?;
+        let code = ErrorCode::from_u8(raw)
+            .ok_or_else(|| CodecError::Invalid(format!("unknown error code {raw}")))?;
+        let message = dec.get_str()?.to_string();
+        dec.finish()?;
+        Ok(WireFault { seq, code, message })
+    }
+}
+
+impl std::fmt::Display for WireFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?} (seq {}): {}", self.code, self.seq, self.message)
+    }
+}
+
+impl std::error::Error for WireFault {}
+
+/// A server response; its variant mirrors the request op.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The admitted query's wire id.
+    Admitted {
+        /// Pass this id to retire/stats/resubscribe requests.
+        qid: u32,
+    },
+    /// Final counters of the retired query.
+    Retired {
+        /// The query's counters at retirement.
+        stats: EngineStats,
+    },
+    /// A query's counters.
+    QueryStats {
+        /// Still resident (false: retired, counters are final).
+        resident: bool,
+        /// The counters.
+        stats: EngineStats,
+    },
+    /// Aggregate service counters plus the stream cursor.
+    ServiceStats {
+        /// Aggregate counters.
+        stats: ServiceStats,
+        /// Stream events processed so far.
+        processed: u64,
+        /// Stream events not yet processed.
+        remaining: u64,
+    },
+    /// How far a step request got.
+    Stepped {
+        /// Deltas actually processed (≤ requested, less only at stream
+        /// end).
+        taken: u64,
+        /// The stream is exhausted.
+        done: bool,
+    },
+    /// The connection now receives the query's match stream.
+    Resubscribed,
+    /// The checkpoint is durable.
+    Checkpointed,
+    /// The server stops; this is the connection's last frame.
+    ShuttingDown,
+}
+
+impl Response {
+    fn op(&self) -> u8 {
+        match self {
+            Response::Admitted { .. } => OP_ADMIT,
+            Response::Retired { .. } => OP_RETIRE,
+            Response::QueryStats { .. } => OP_QUERY_STATS,
+            Response::ServiceStats { .. } => OP_SERVICE_STATS,
+            Response::Stepped { .. } => OP_STEP,
+            Response::Resubscribed => OP_RESUBSCRIBE,
+            Response::Checkpointed => OP_CHECKPOINT,
+            Response::ShuttingDown => OP_SHUTDOWN,
+        }
+    }
+
+    /// Encodes the response as a [`KIND_RESPONSE`] frame tagged `seq`.
+    pub fn encode(&self, seq: u64) -> Vec<u8> {
+        encode_frame(KIND_RESPONSE, |e| {
+            e.put_u64(seq);
+            e.put_u8(self.op());
+            match self {
+                Response::Admitted { qid } => e.put_u32(*qid),
+                Response::Retired { stats } => e.section(|e| stats.encode(e)),
+                Response::QueryStats { resident, stats } => {
+                    e.put_bool(*resident);
+                    e.section(|e| stats.encode(e));
+                }
+                Response::ServiceStats {
+                    stats,
+                    processed,
+                    remaining,
+                } => {
+                    encode_service_stats(e, stats);
+                    e.put_u64(*processed);
+                    e.put_u64(*remaining);
+                }
+                Response::Stepped { taken, done } => {
+                    e.put_u64(*taken);
+                    e.put_bool(*done);
+                }
+                Response::Resubscribed | Response::Checkpointed | Response::ShuttingDown => {}
+            }
+        })
+    }
+
+    /// Decodes a [`KIND_RESPONSE`] frame into `(seq, response)`.
+    pub fn decode(frame: &[u8]) -> Result<(u64, Response), CodecError> {
+        let mut dec = open_frame(frame, KIND_RESPONSE)?;
+        let seq = dec.get_u64()?;
+        let resp = match dec.get_u8()? {
+            OP_ADMIT => Response::Admitted {
+                qid: dec.get_u32()?,
+            },
+            OP_RETIRE => Response::Retired {
+                stats: decode_stats_section(&mut dec)?,
+            },
+            OP_QUERY_STATS => Response::QueryStats {
+                resident: dec.get_bool()?,
+                stats: decode_stats_section(&mut dec)?,
+            },
+            OP_SERVICE_STATS => Response::ServiceStats {
+                stats: decode_service_stats(&mut dec)?,
+                processed: dec.get_u64()?,
+                remaining: dec.get_u64()?,
+            },
+            OP_STEP => Response::Stepped {
+                taken: dec.get_u64()?,
+                done: dec.get_bool()?,
+            },
+            OP_RESUBSCRIBE => Response::Resubscribed,
+            OP_CHECKPOINT => Response::Checkpointed,
+            OP_SHUTDOWN => Response::ShuttingDown,
+            other => return Err(CodecError::Invalid(format!("unknown response op {other}"))),
+        };
+        dec.finish()?;
+        Ok((seq, resp))
+    }
+}
+
+fn decode_stats_section(dec: &mut Decoder<'_>) -> Result<EngineStats, CodecError> {
+    let mut s = dec.section()?;
+    let stats = EngineStats::decode(&mut s)?;
+    s.finish()?;
+    Ok(stats)
+}
+
+fn encode_service_stats(e: &mut Encoder, s: &ServiceStats) {
+    e.put_usize(s.shards);
+    e.put_u64(s.windows_allocated);
+    e.put_usize(s.resident_queries);
+    e.put_u64(s.admitted);
+    e.put_u64(s.retired);
+    e.put_u64(s.disconnected);
+    e.put_u64(s.events);
+    e.put_u64(s.batches);
+}
+
+fn decode_service_stats(dec: &mut Decoder<'_>) -> Result<ServiceStats, CodecError> {
+    Ok(ServiceStats {
+        shards: dec.get_usize()?,
+        windows_allocated: dec.get_u64()?,
+        resident_queries: dec.get_usize()?,
+        admitted: dec.get_u64()?,
+        retired: dec.get_u64()?,
+        disconnected: dec.get_u64()?,
+        events: dec.get_u64()?,
+        batches: dec.get_u64()?,
+    })
+}
+
+/// One stream delta's worth of match events for one query — the payload
+/// of a [`KIND_DELIVERY`] frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Delivery {
+    /// Wire id of the query the events belong to.
+    pub qid: u32,
+    /// Embeddings that occurred in this delta (counted even when events
+    /// are not materialized).
+    pub occurred: u64,
+    /// Embeddings that expired in this delta.
+    pub expired: u64,
+    /// The materialized match events, in stream order.
+    pub events: Vec<MatchEvent>,
+}
+
+impl Delivery {
+    /// Encodes a delivery frame straight from the sink's borrowed event
+    /// buffer (no intermediate `Delivery` allocation on the hot path).
+    pub fn encode_parts(qid: u32, occurred: u64, expired: u64, events: &[MatchEvent]) -> Vec<u8> {
+        encode_frame(KIND_DELIVERY, |e| {
+            e.put_u32(qid);
+            e.put_u64(occurred);
+            e.put_u64(expired);
+            e.put_usize(events.len());
+            for ev in events {
+                ev.encode(e);
+            }
+        })
+    }
+
+    /// Decodes a [`KIND_DELIVERY`] frame.
+    pub fn decode(frame: &[u8]) -> Result<Delivery, CodecError> {
+        let mut dec = open_frame(frame, KIND_DELIVERY)?;
+        let qid = dec.get_u32()?;
+        let occurred = dec.get_u64()?;
+        let expired = dec.get_u64()?;
+        let n = dec.get_count(2)?;
+        let events = (0..n)
+            .map(|_| MatchEvent::decode(&mut dec))
+            .collect::<Result<_, _>>()?;
+        dec.finish()?;
+        Ok(Delivery {
+            qid,
+            occurred,
+            expired,
+            events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsm_core::{Embedding, MatchKind};
+    use tcsm_graph::codec::frame_kind;
+    use tcsm_graph::{EdgeKey, Ts};
+
+    fn every_request() -> Vec<Request> {
+        vec![
+            Request::Admit {
+                query: "v 0 1\nv 1 1\ne 0 1\n".into(),
+                cfg: EngineConfig::default(),
+            },
+            Request::Retire { qid: 7 },
+            Request::QueryStats { qid: u32::MAX },
+            Request::ServiceStats,
+            Request::Step { n: 0 },
+            Request::Step { n: 123 },
+            Request::Resubscribe { qid: 1 },
+            Request::Checkpoint,
+            Request::Shutdown { checkpoint: true },
+            Request::Shutdown { checkpoint: false },
+        ]
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for (i, req) in every_request().into_iter().enumerate() {
+            let seq = i as u64 + 1;
+            let frame = req.encode(seq);
+            assert_eq!(frame_kind(&frame).unwrap(), KIND_REQUEST);
+            assert_eq!(Request::decode(&frame).unwrap(), (seq, req));
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let stats = EngineStats {
+            events: 9,
+            occurred: 4,
+            ..EngineStats::default()
+        };
+        let all = vec![
+            Response::Admitted { qid: 3 },
+            Response::Retired { stats },
+            Response::QueryStats {
+                resident: true,
+                stats,
+            },
+            Response::ServiceStats {
+                stats: ServiceStats {
+                    shards: 3,
+                    admitted: 5,
+                    disconnected: 1,
+                    ..ServiceStats::default()
+                },
+                processed: 10,
+                remaining: 32,
+            },
+            Response::Stepped {
+                taken: 10,
+                done: false,
+            },
+            Response::Resubscribed,
+            Response::Checkpointed,
+            Response::ShuttingDown,
+        ];
+        for (i, resp) in all.into_iter().enumerate() {
+            let seq = i as u64 + 100;
+            let frame = resp.encode(seq);
+            assert_eq!(frame_kind(&frame).unwrap(), KIND_RESPONSE);
+            assert_eq!(Response::decode(&frame).unwrap(), (seq, resp));
+        }
+    }
+
+    #[test]
+    fn faults_and_deliveries_roundtrip() {
+        let fault = WireFault {
+            seq: 42,
+            code: ErrorCode::BadQuery,
+            message: "no such vertex".into(),
+        };
+        assert_eq!(WireFault::decode(&fault.encode()).unwrap(), fault);
+
+        let events = vec![MatchEvent {
+            kind: MatchKind::Occurred,
+            at: Ts::new(5),
+            embedding: Embedding {
+                vertices: vec![1, 2],
+                edges: vec![EdgeKey(9)],
+            },
+        }];
+        let frame = Delivery::encode_parts(8, 1, 0, &events);
+        let d = Delivery::decode(&frame).unwrap();
+        assert_eq!((d.qid, d.occurred, d.expired), (8, 1, 0));
+        assert_eq!(d.events, events);
+    }
+
+    #[test]
+    fn request_decode_maps_every_failure_to_a_typed_fault() {
+        // Wrong kind: unattributable, Malformed, seq 0.
+        let resp = Response::Resubscribed.encode(5);
+        let f = Request::decode(&resp).unwrap_err();
+        assert_eq!((f.seq, f.code), (0, ErrorCode::Malformed));
+
+        // Checksum flip: unattributable.
+        let mut bad = Request::ServiceStats.encode(9);
+        let at = bad.len() - 1;
+        bad[at] ^= 0x10;
+        let f = Request::decode(&bad).unwrap_err();
+        assert_eq!((f.seq, f.code), (0, ErrorCode::Malformed));
+
+        // Unknown op: seq attributable.
+        let frame = encode_frame(KIND_REQUEST, |e| {
+            e.put_u64(77);
+            e.put_u8(99);
+        });
+        let f = Request::decode(&frame).unwrap_err();
+        assert_eq!((f.seq, f.code), (77, ErrorCode::BadOp));
+
+        // Truncated payload (admit with no config section): Malformed,
+        // seq attributable.
+        let frame = encode_frame(KIND_REQUEST, |e| {
+            e.put_u64(78);
+            e.put_u8(1);
+            e.put_str("v 0 1\n");
+        });
+        let f = Request::decode(&frame).unwrap_err();
+        assert_eq!((f.seq, f.code), (78, ErrorCode::Malformed));
+
+        // Trailing garbage after a valid payload: Malformed.
+        let frame = encode_frame(KIND_REQUEST, |e| {
+            e.put_u64(79);
+            e.put_u8(OP_SERVICE_STATS);
+            e.put_u32(0xdead);
+        });
+        let f = Request::decode(&frame).unwrap_err();
+        assert_eq!((f.seq, f.code), (79, ErrorCode::Malformed));
+    }
+}

@@ -1,0 +1,328 @@
+//! Loopback differential suite: the daemon's delivered streams must be
+//! byte-identical to an in-process service over the same stream and the
+//! same admission schedule — across shard counts, thread widths, both
+//! stream regimes, and a kill-and-restart-from-checkpoint mid-stream.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+
+use tcsm_core::{EngineConfig, EngineStats, MatchEvent};
+use tcsm_datasets::QueryGen;
+use tcsm_graph::io::{parse_snap, SnapOptions};
+use tcsm_graph::{QueryGraph, TemporalGraph};
+use tcsm_server::server::{restore_service, serve, ServerConfig};
+use tcsm_server::Client;
+use tcsm_service::{
+    CollectedMatches, CollectingSink, MatchService, QueryId, RecoveryPolicy, ServiceConfig,
+    ShardPolicy,
+};
+
+const MINI_SNAP: &str = include_str!("../../datasets/fixtures/mini-snap.txt");
+
+fn fixture() -> (TemporalGraph, i64) {
+    let g = parse_snap(MINI_SNAP, &SnapOptions::default()).expect("fixture parses");
+    let delta = tcsm_datasets::ingest::windows_for_stream(&g)[2];
+    (g, delta)
+}
+
+fn queries(g: &TemporalGraph, delta: i64, n: usize) -> Vec<QueryGraph> {
+    let mut qg = QueryGen::new(g);
+    qg.directed = true;
+    let qs: Vec<QueryGraph> = (0..32u64)
+        .filter_map(|seed| {
+            let size = 3 + (seed % 2) as usize;
+            qg.generate(size, 0.5, (delta * 3 / 4).max(4), 11 + seed)
+        })
+        .take(n)
+        .collect();
+    assert_eq!(qs.len(), n, "fixture hosts {n} generated queries");
+    qs
+}
+
+fn engine_cfg() -> EngineConfig {
+    EngineConfig {
+        directed: true,
+        ..EngineConfig::default()
+    }
+}
+
+fn svc_cfg(shards: usize, threads: usize, batching: bool) -> ServiceConfig {
+    ServiceConfig {
+        shards,
+        policy: ShardPolicy::Spread,
+        threads,
+        batching,
+        directed: true,
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tcsm-server-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// The reference: the same admission schedule run in-process with
+/// collecting sinks. Admit `early` queries, step `split` deltas, admit
+/// `late` queries, drain. Returns each query's full event stream and
+/// final stats, in admission order.
+fn in_process(
+    g: &TemporalGraph,
+    delta: i64,
+    cfg: ServiceConfig,
+    early: &[QueryGraph],
+    split: usize,
+    late: &[QueryGraph],
+) -> Vec<(Vec<MatchEvent>, EngineStats)> {
+    let mut svc = MatchService::new(g, delta, cfg).expect("service builds");
+    let mut handles: Vec<(QueryId, CollectedMatches)> = Vec::new();
+    let mut admit = |svc: &mut MatchService, q: &QueryGraph| {
+        let (sink, got) = CollectingSink::new();
+        let id = svc.add_query(q, engine_cfg(), Box::new(sink));
+        handles.push((id, got));
+    };
+    for q in early {
+        admit(&mut svc, q);
+    }
+    for _ in 0..split {
+        assert!(svc.step(), "split lies within the stream");
+    }
+    for q in late {
+        admit(&mut svc, q);
+    }
+    svc.run();
+    handles
+        .into_iter()
+        .map(|(id, got)| (got.take(), *svc.query_stats(id).expect("stats live")))
+        .collect()
+}
+
+/// Number of deltas the full stream takes under `cfg`.
+fn total_deltas(g: &TemporalGraph, delta: i64, cfg: ServiceConfig) -> usize {
+    let mut svc = MatchService::new(g, delta, cfg).expect("service builds");
+    let mut n = 0;
+    while svc.step() {
+        n += 1;
+    }
+    n
+}
+
+#[test]
+fn loopback_streams_match_in_process_across_configs() {
+    let (g, delta) = fixture();
+    let qs = queries(&g, delta, 4);
+    let (early, late) = qs.split_at(3);
+    for (shards, threads, batching) in [(1, 0, false), (3, 2, false), (2, 0, true), (3, 2, true)] {
+        let cfg = svc_cfg(shards, threads, batching);
+        let split = total_deltas(&g, delta, cfg) / 2;
+        let expected = in_process(&g, delta, cfg, early, split, late);
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::scope(|s| {
+            let server = s.spawn(|| {
+                let mut svc = MatchService::new(&g, delta, cfg).expect("service builds");
+                serve(listener, &mut svc, &ServerConfig::default()).expect("serve")
+            });
+            let mut client = Client::connect(addr).expect("connect");
+            let mut qids: Vec<u32> = early
+                .iter()
+                .map(|q| client.admit(q, engine_cfg()).expect("admit"))
+                .collect();
+            let (taken, done) = client.step(split as u64).expect("step");
+            assert_eq!((taken, done), (split as u64, false));
+            for q in late {
+                qids.push(client.admit(q, engine_cfg()).expect("admit late"));
+            }
+            let (_, done) = client.step(0).expect("drain");
+            assert!(done, "stream drained");
+
+            for (qid, (events, stats)) in qids.iter().zip(&expected) {
+                let stream = client.take_stream(*qid);
+                assert_eq!(
+                    &stream.events, events,
+                    "delivered stream differs (shards {shards}, threads {threads}, \
+                     batching {batching}, qid {qid})"
+                );
+                assert_eq!(
+                    (stream.occurred, stream.expired),
+                    (stats.occurred, stats.expired),
+                    "delivered counts differ (qid {qid})"
+                );
+                let (resident, remote_stats) = client.query_stats(*qid).expect("stats");
+                assert!(resident);
+                assert_eq!(remote_stats.semantic(), stats.semantic());
+            }
+            let (sstats, _, remaining) = client.service_stats().expect("service stats");
+            assert_eq!(remaining, 0);
+            assert_eq!(sstats.windows_allocated, shards as u64);
+            assert_eq!(sstats.disconnected, 0);
+            client.shutdown(false).expect("shutdown");
+            let final_stats = server.join().expect("server thread");
+            assert_eq!(final_stats.admitted, qs.len() as u64);
+        });
+    }
+}
+
+#[test]
+fn retire_over_the_wire_returns_final_stats_and_frees_the_slot() {
+    let (g, delta) = fixture();
+    let qs = queries(&g, delta, 2);
+    let cfg = svc_cfg(1, 0, false);
+    let expected = in_process(&g, delta, cfg, &qs, 0, &[]);
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut svc = MatchService::new(&g, delta, cfg).expect("service builds");
+            serve(listener, &mut svc, &ServerConfig::default()).expect("serve")
+        });
+        let mut client = Client::connect(addr).expect("connect");
+        let a = client.admit(&qs[0], engine_cfg()).expect("admit");
+        let b = client.admit(&qs[1], engine_cfg()).expect("admit");
+        client.step(0).expect("drain");
+        let stats = client.retire(a).expect("retire");
+        assert_eq!(stats.semantic(), expected[0].1.semantic());
+        // Retired stats stay peekable, marked non-resident.
+        let (resident, peeked) = client.query_stats(a).expect("peek");
+        assert!(!resident);
+        assert_eq!(peeked.semantic(), stats.semantic());
+        let (resident, _) = client.query_stats(b).expect("peek b");
+        assert!(resident);
+        let (sstats, ..) = client.service_stats().expect("service stats");
+        assert_eq!(sstats.resident_queries, 1);
+        assert_eq!(sstats.retired, 1);
+        client.shutdown(false).expect("shutdown");
+    });
+}
+
+/// The tentpole gate: kill the daemon mid-stream (checkpoint, then
+/// shut down *without* checkpointing again, so the state on disk is
+/// exactly the mid-stream cut), restart from the checkpoint, re-subscribe,
+/// and drain. Prefix + suffix must equal the uninterrupted run's stream,
+/// byte for byte, per query.
+#[test]
+fn kill_and_restart_from_checkpoint_resumes_byte_identically() {
+    let (g, delta) = fixture();
+    let qs = queries(&g, delta, 3);
+    for (shards, threads, batching) in [(2, 0, false), (3, 2, true)] {
+        let cfg = svc_cfg(shards, threads, batching);
+        let split = total_deltas(&g, delta, cfg) / 2;
+        let expected = in_process(&g, delta, cfg, &qs, 0, &[]);
+        let dir = scratch(&format!("kill-{shards}-{threads}-{batching}"));
+
+        // Phase 1: serve, admit, step halfway, checkpoint, die.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server_cfg = ServerConfig {
+            checkpoint_dir: Some(dir.clone()),
+            autorun: false,
+        };
+        let (qids, prefixes) = std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut svc = MatchService::new(&g, delta, cfg).expect("service builds");
+                serve(listener, &mut svc, &server_cfg).expect("serve")
+            });
+            let mut client = Client::connect(addr).expect("connect");
+            let qids: Vec<u32> = qs
+                .iter()
+                .map(|q| client.admit(q, engine_cfg()).expect("admit"))
+                .collect();
+            client.step(split as u64).expect("step");
+            client.checkpoint().expect("checkpoint");
+            // "Kill": no second checkpoint — disk state stays the cut.
+            client.shutdown(false).expect("shutdown");
+            let prefixes: Vec<_> = qids.iter().map(|&q| client.take_stream(q)).collect();
+            (qids, prefixes)
+        });
+
+        // Phase 2: restore, re-subscribe, drain.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut svc = restore_service(&g, &dir, RecoveryPolicy::Strict).expect("restore");
+                serve(listener, &mut svc, &ServerConfig::default()).expect("serve")
+            });
+            let mut client = Client::connect(addr).expect("connect");
+            let (sstats, processed, _) = client.service_stats().expect("service stats");
+            assert_eq!(sstats.resident_queries, qs.len());
+            assert!(processed > 0, "restored mid-stream");
+            for &qid in &qids {
+                client.resubscribe(qid).expect("resubscribe");
+            }
+            let (_, done) = client.step(0).expect("drain");
+            assert!(done);
+            for ((&qid, prefix), (events, stats)) in qids.iter().zip(&prefixes).zip(&expected) {
+                let suffix = client.take_stream(qid);
+                let mut whole = prefix.events.clone();
+                whole.extend(suffix.events.iter().cloned());
+                assert_eq!(
+                    &whole, events,
+                    "prefix+suffix differs from uninterrupted (shards {shards}, \
+                     threads {threads}, batching {batching}, qid {qid})"
+                );
+                assert_eq!(
+                    (
+                        prefix.occurred + suffix.occurred,
+                        prefix.expired + suffix.expired
+                    ),
+                    (stats.occurred, stats.expired)
+                );
+            }
+            client.shutdown(false).expect("shutdown");
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Autorun mode consumes the stream without step requests; deliveries
+/// still arrive complete and ordered per query.
+#[test]
+fn autorun_daemon_streams_to_a_passive_subscriber() {
+    let (g, delta) = fixture();
+    let qs = queries(&g, delta, 2);
+    let cfg = svc_cfg(1, 0, false);
+    let expected = in_process(&g, delta, cfg, &qs, 0, &[]);
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server_cfg = ServerConfig {
+        checkpoint_dir: None,
+        autorun: true,
+    };
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut svc = MatchService::new(&g, delta, cfg).expect("service builds");
+            serve(listener, &mut svc, &server_cfg).expect("serve")
+        });
+        let mut client = Client::connect(addr).expect("connect");
+        // Admissions race the autorun cursor, so streams are suffixes of
+        // the reference, not the whole — admit before polling and wait
+        // for the drain.
+        let qids: Vec<u32> = qs
+            .iter()
+            .map(|q| client.admit(q, engine_cfg()).expect("admit"))
+            .collect();
+        loop {
+            let (_, _, remaining) = client.service_stats().expect("service stats");
+            if remaining == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        for (&qid, (events, _)) in qids.iter().zip(&expected) {
+            let stream = client.take_stream(qid);
+            assert!(
+                events.ends_with(&stream.events),
+                "autorun stream of qid {qid} is not a suffix of the reference \
+                 ({} delivered, {} reference)",
+                stream.events.len(),
+                events.len()
+            );
+        }
+        client.shutdown(false).expect("shutdown");
+    });
+}

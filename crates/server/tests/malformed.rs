@@ -1,0 +1,293 @@
+//! Wire-robustness suite: malformed, truncated, and oversized request
+//! frames must surface as typed error frames (never a panic, never a
+//! wedged daemon), dead subscribers must be auto-retired without
+//! disturbing survivors, and a slow consumer must only slow itself down.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use tcsm_core::EngineConfig;
+use tcsm_datasets::QueryGen;
+use tcsm_graph::codec::encode_frame;
+use tcsm_graph::io::{parse_snap, SnapOptions};
+use tcsm_graph::{QueryGraph, TemporalGraph};
+use tcsm_server::server::{serve, ServerConfig};
+use tcsm_server::wire::{ErrorCode, Request, KIND_DELIVERY, KIND_REQUEST};
+use tcsm_server::{Client, ClientError, ServerMsg};
+use tcsm_service::{CollectingSink, MatchService, ServiceConfig, ShardPolicy};
+
+const MINI_SNAP: &str = include_str!("../../datasets/fixtures/mini-snap.txt");
+
+fn fixture() -> (TemporalGraph, i64) {
+    let g = parse_snap(MINI_SNAP, &SnapOptions::default()).expect("fixture parses");
+    let delta = tcsm_datasets::ingest::windows_for_stream(&g)[2];
+    (g, delta)
+}
+
+fn one_query(g: &TemporalGraph, delta: i64, seed: u64) -> QueryGraph {
+    let mut qg = QueryGen::new(g);
+    qg.directed = true;
+    (0..32u64)
+        .filter_map(|s| qg.generate(3, 0.5, (delta * 3 / 4).max(4), seed + s))
+        .next()
+        .expect("fixture hosts a generated query")
+}
+
+fn svc_cfg() -> ServiceConfig {
+    ServiceConfig {
+        shards: 2,
+        policy: ShardPolicy::Spread,
+        threads: 0,
+        batching: false,
+        directed: true,
+    }
+}
+
+fn engine_cfg() -> EngineConfig {
+    EngineConfig {
+        directed: true,
+        ..EngineConfig::default()
+    }
+}
+
+/// Runs `body` against a served fixture stream and tears the server down.
+fn with_server(body: impl FnOnce(std::net::SocketAddr)) {
+    let (g, delta) = fixture();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut svc = MatchService::new(&g, delta, svc_cfg()).expect("service builds");
+            serve(listener, &mut svc, &ServerConfig::default()).expect("serve")
+        });
+        body(addr);
+    });
+}
+
+fn expect_error(client: &mut Client, req_seq: u64, code: ErrorCode) {
+    match client.read_msg().expect("server answers") {
+        ServerMsg::Error(fault) => {
+            assert_eq!(fault.code, code, "wrong error class: {fault}");
+            assert_eq!(fault.seq, req_seq, "wrong seq attribution: {fault}");
+        }
+        other => panic!("expected a {code:?} error frame, got {other:?}"),
+    }
+}
+
+/// The whole malformed-frame corpus against one connection; after every
+/// refusal the connection must still serve a valid request.
+#[test]
+fn malformed_request_corpus_yields_typed_errors_and_survives() {
+    with_server(|addr| {
+        let mut client = Client::connect(addr).expect("connect");
+
+        // 1. Random bytes in a valid wire envelope: bad magic.
+        client
+            .send_raw_frame(&[0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03])
+            .expect("send");
+        expect_error(&mut client, 0, ErrorCode::Malformed);
+
+        // 2. A structurally valid frame of the wrong kind.
+        let wrong_kind = encode_frame(KIND_DELIVERY, |e| e.put_u32(1));
+        client.send_raw_frame(&wrong_kind).expect("send");
+        expect_error(&mut client, 0, ErrorCode::Malformed);
+
+        // 3. A request frame with a flipped checksum byte.
+        let mut bad = Request::ServiceStats.encode(5);
+        let at = bad.len() - 1;
+        bad[at] ^= 0x20;
+        client.send_raw_frame(&bad).expect("send");
+        expect_error(&mut client, 0, ErrorCode::Malformed);
+
+        // 4. Unknown op tag: refused with the seq echoed.
+        let bad_op = encode_frame(KIND_REQUEST, |e| {
+            e.put_u64(6);
+            e.put_u8(250);
+        });
+        client.send_raw_frame(&bad_op).expect("send");
+        expect_error(&mut client, 6, ErrorCode::BadOp);
+
+        // 5. Truncated payload: an admit with no config section.
+        let truncated = encode_frame(KIND_REQUEST, |e| {
+            e.put_u64(7);
+            e.put_u8(1);
+            e.put_str("v 0 1\n");
+        });
+        client.send_raw_frame(&truncated).expect("send");
+        expect_error(&mut client, 7, ErrorCode::Malformed);
+
+        // 6. Unparseable query text.
+        let err = client
+            .admit_text("v 0 1\ne 0 zz\n", engine_cfg())
+            .expect_err("bad query text refused");
+        match err {
+            ClientError::Server(fault) => assert_eq!(fault.code, ErrorCode::BadQuery),
+            other => panic!("expected a server refusal, got {other}"),
+        }
+
+        // 7. Unknown query ids on every op that takes one.
+        for req in [
+            Request::Retire { qid: 9999 },
+            Request::QueryStats { qid: 9999 },
+            Request::Resubscribe { qid: 9999 },
+        ] {
+            match client.call(req).expect_err("unknown qid refused") {
+                ClientError::Server(fault) => {
+                    assert_eq!(fault.code, ErrorCode::UnknownQuery)
+                }
+                other => panic!("expected a server refusal, got {other}"),
+            }
+        }
+
+        // 8. Checkpoint without a configured directory.
+        match client.checkpoint().expect_err("no checkpoint dir") {
+            ClientError::Server(fault) => assert_eq!(fault.code, ErrorCode::Unsupported),
+            other => panic!("expected a server refusal, got {other}"),
+        }
+
+        // After all of that, the connection still works end to end.
+        let (stats, processed, remaining) = client.service_stats().expect("still serving");
+        assert_eq!(processed, 0);
+        assert!(remaining > 0);
+        assert_eq!(stats.disconnected, 0);
+        client.shutdown(false).expect("shutdown");
+    });
+}
+
+/// An oversized length declaration is refused before allocation and the
+/// connection is closed; the daemon itself — and other clients — live on.
+#[test]
+fn oversized_frame_closes_only_the_offending_connection() {
+    with_server(|addr| {
+        let mut liar = Client::connect(addr).expect("connect");
+        let mut bystander = Client::connect(addr).expect("connect");
+
+        // A raw lying prefix: u32::MAX bytes declared, none sent.
+        let mut raw = TcpStream::connect(addr).expect("connect raw");
+        raw.write_all(&u32::MAX.to_le_bytes()).expect("send prefix");
+        raw.flush().expect("flush");
+        drop(raw);
+
+        // The liar declares 2 MiB (over the 1 MiB request cap) and sends
+        // no body — the server refuses on the prefix alone, then closes.
+        liar.send_raw_bytes(&(2u32 * 1024 * 1024).to_le_bytes())
+            .expect("send lying prefix");
+        match liar.read_msg().expect("error frame arrives") {
+            ServerMsg::Error(fault) => assert_eq!(fault.code, ErrorCode::Oversized),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        match liar.read_msg() {
+            Err(ClientError::Closed) | Err(ClientError::Wire(_)) => {}
+            other => panic!("expected a closed connection, got {other:?}"),
+        }
+
+        // The bystander is unaffected.
+        let (_, processed, _) = bystander.service_stats().expect("bystander serving");
+        assert_eq!(processed, 0);
+        bystander.shutdown(false).expect("shutdown");
+    });
+}
+
+/// A subscriber that vanishes mid-stream is auto-retired; the surviving
+/// subscriber's stream is byte-identical to an undisturbed run.
+#[test]
+fn mid_stream_disconnect_retires_only_the_dead_subscriber() {
+    let (g, delta) = fixture();
+    let q_dead = one_query(&g, delta, 100);
+    let q_live = one_query(&g, delta, 200);
+
+    // Reference: the surviving query alone, uninterrupted, in-process.
+    let mut svc = MatchService::new(&g, delta, svc_cfg()).expect("service builds");
+    let (sink, got) = CollectingSink::new();
+    let dead_ref = svc.add_query(&q_dead, engine_cfg(), Box::new(CollectingSink::new().0));
+    let live_ref = svc.add_query(&q_live, engine_cfg(), Box::new(sink));
+    let _ = dead_ref;
+    svc.run();
+    let expected = got.take();
+    let expected_stats = *svc.query_stats(live_ref).expect("stats");
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut svc = MatchService::new(&g, delta, svc_cfg()).expect("service builds");
+            serve(listener, &mut svc, &ServerConfig::default()).expect("serve")
+        });
+        let mut doomed = Client::connect(addr).expect("connect");
+        let mut survivor = Client::connect(addr).expect("connect");
+        let qid_dead = doomed.admit(&q_dead, engine_cfg()).expect("admit");
+        let qid_live = survivor.admit(&q_live, engine_cfg()).expect("admit");
+        survivor.step(5).expect("first steps");
+        drop(doomed);
+        // Give the reader thread a moment to report the dead peer.
+        std::thread::sleep(Duration::from_millis(50));
+        let (_, done) = survivor.step(0).expect("drain");
+        assert!(done);
+
+        let stream = survivor.take_stream(qid_live);
+        assert_eq!(stream.events, expected, "survivor stream disturbed");
+        assert_eq!(
+            (stream.occurred, stream.expired),
+            (expected_stats.occurred, expected_stats.expired)
+        );
+        let (sstats, ..) = survivor.service_stats().expect("service stats");
+        assert_eq!(sstats.disconnected, 1, "dead subscriber counted");
+        assert_eq!(sstats.resident_queries, 1);
+        // The dead query's final stats are still peekable, non-resident.
+        let (resident, _) = survivor.query_stats(qid_dead).expect("peek dead");
+        assert!(!resident);
+        survivor.shutdown(false).expect("shutdown");
+    });
+}
+
+/// A consumer that stops reading only backpressures itself: the daemon
+/// keeps the delivered stream complete once the consumer catches up.
+#[test]
+fn slow_consumer_still_receives_a_complete_stream() {
+    let (g, delta) = fixture();
+    let q = one_query(&g, delta, 300);
+
+    let mut svc = MatchService::new(&g, delta, svc_cfg()).expect("service builds");
+    let (sink, got) = CollectingSink::new();
+    svc.add_query(&q, engine_cfg(), Box::new(sink));
+    svc.run();
+    let expected = got.take();
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut svc = MatchService::new(&g, delta, svc_cfg()).expect("service builds");
+            serve(listener, &mut svc, &ServerConfig::default()).expect("serve")
+        });
+        let mut client = Client::connect(addr).expect("connect");
+        let qid = client.admit(&q, engine_cfg()).expect("admit");
+        // Fire the drain request, then sulk instead of reading while the
+        // server produces every delivery.
+        client
+            .send_raw_frame(&Request::Step { n: 0 }.encode(1_000))
+            .expect("send step");
+        std::thread::sleep(Duration::from_millis(300));
+        // Catch up: deliveries first, then the step response.
+        let mut delivered = Vec::new();
+        loop {
+            match client.read_msg().expect("read") {
+                ServerMsg::Delivery(d) => {
+                    assert_eq!(d.qid, qid);
+                    delivered.extend(d.events);
+                }
+                ServerMsg::Response(seq, _) => {
+                    assert_eq!(seq, 1_000);
+                    break;
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert_eq!(delivered, expected, "slow consumer's stream incomplete");
+        let (sstats, _, remaining) = client.service_stats().expect("stats");
+        assert_eq!(remaining, 0);
+        assert_eq!(sstats.disconnected, 0, "slow consumer must not be retired");
+        client.shutdown(false).expect("shutdown");
+    });
+}

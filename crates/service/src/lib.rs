@@ -115,9 +115,23 @@
 //!   (hence `ResultSink: Send`), but never concurrently for one query —
 //!   a sink needs interior thread-safety only if *shared across* queries
 //!   (both bundled sinks use handles, so either way is safe);
+//! * delivery is **fallible**: a sink backed by a remote subscriber
+//!   returns [`SinkClosed`] when the peer is dead, and the service
+//!   auto-retires the query after the current delta
+//!   ([`ServiceStats::disconnected`] counts these,
+//!   [`MatchService::drain_disconnected`] reports them) without touching
+//!   any other query's stream;
+//! * retired queries' final stats stay peekable via
+//!   [`MatchService::query_stats`] in a table bounded by
+//!   [`RETIRED_STATS_CAPACITY`] (oldest retirement evicted first); a
+//!   long-running frontend takes them out with
+//!   [`MatchService::take_retired_stats`] instead of leaking an entry per
+//!   retirement;
 //! * [`CollectingSink`] materializes events for consumers/tests,
 //!   [`CountingSink`] only counts (benches; the engine then skips
-//!   embedding materialization entirely).
+//!   embedding materialization entirely), [`DiscardSink`] drops everything
+//!   (the placeholder while a restored daemon waits for subscribers to
+//!   re-attach via [`MatchService::set_sink`]).
 //!
 //! ```
 //! use tcsm_core::EngineConfig;
@@ -159,8 +173,12 @@ mod sink;
 
 pub use service::{
     MatchService, QueryId, RecoveryPolicy, ServiceConfig, ServiceStats, ShardPolicy, SnapshotError,
+    RETIRED_STATS_CAPACITY,
 };
-pub use sink::{CollectedMatches, CollectingSink, CountingSink, MatchCounts, ResultSink};
+pub use sink::{
+    CollectedMatches, CollectingSink, CountingSink, DiscardSink, MatchCounts, ResultSink,
+    SinkClosed,
+};
 
 use std::sync::Arc;
 use tcsm_core::{EngineConfig, EngineStats, WorkerPool};

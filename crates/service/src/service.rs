@@ -5,6 +5,7 @@ mod snapshot;
 pub use snapshot::{RecoveryPolicy, SnapshotError};
 
 use crate::sink::ResultSink;
+use std::collections::VecDeque;
 use std::sync::Arc;
 use tcsm_core::{EngineConfig, EngineStats, MatchEvent, QueryRuntime, WorkerPool};
 use tcsm_graph::{
@@ -16,6 +17,23 @@ use tcsm_graph::{
 /// after retirement, for [`MatchService::query_stats`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct QueryId(u32);
+
+impl QueryId {
+    /// The raw wire representation. Round-trips through
+    /// [`QueryId::from_raw`] — the escape hatch a network frontend needs to
+    /// put query handles on the wire.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// A handle from its wire representation. A forged or stale id is
+    /// harmless: every service API treats an unknown id as `None`.
+    #[inline]
+    pub fn from_raw(raw: u32) -> QueryId {
+        QueryId(raw)
+    }
+}
 
 impl std::fmt::Display for QueryId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -93,6 +111,9 @@ pub struct ServiceStats {
     pub admitted: u64,
     /// Queries retired via [`MatchService::remove_query`].
     pub retired: u64,
+    /// Queries auto-retired because their sink reported
+    /// [`SinkClosed`](crate::SinkClosed) (also counted in `retired`).
+    pub disconnected: u64,
     /// Stream events processed (arrivals + expirations).
     pub events: u64,
     /// Delta batches processed (0 in the per-event regime).
@@ -110,6 +131,9 @@ struct Slot {
     /// opened? Snapshot so a budget exhausting mid-delta still completes
     /// the delta, exactly like the standalone engine.
     active: bool,
+    /// The sink reported [`SinkClosed`](crate::SinkClosed); the service
+    /// auto-retires the slot after the current delta.
+    dead: bool,
     /// Occurred/expired totals already delivered, for per-delta counts.
     delivered_occurred: u64,
     delivered_expired: u64,
@@ -198,7 +222,16 @@ impl Shard {
             if occ > 0 || exp > 0 || !slot.out.is_empty() {
                 slot.delivered_occurred = stats.occurred;
                 slot.delivered_expired = stats.expired;
-                slot.sink.deliver(QueryId(slot.id), &mut slot.out, occ, exp);
+                if !slot.dead
+                    && slot
+                        .sink
+                        .deliver(QueryId(slot.id), &mut slot.out, occ, exp)
+                        .is_err()
+                {
+                    // Dead peer: stop delivering and let the post-delta
+                    // sweep retire the slot. Survivors are untouched.
+                    slot.dead = true;
+                }
                 slot.out.clear();
             }
         }
@@ -214,6 +247,14 @@ impl Shard {
     }
 }
 
+/// Retired-stats table bound: the final [`EngineStats`] of at most this
+/// many retired queries are kept (oldest retirement evicted first). A
+/// standing daemon admits and retires queries indefinitely; an unbounded
+/// table is a per-retirement leak. Consumers that must not lose stats take
+/// them at retirement ([`MatchService::remove_query`] returns them) or via
+/// [`MatchService::take_retired_stats`].
+pub const RETIRED_STATS_CAPACITY: usize = 1024;
+
 /// The sharded multi-query matching service (see the crate docs).
 pub struct MatchService<'g> {
     full: &'g TemporalGraph,
@@ -224,8 +265,16 @@ pub struct MatchService<'g> {
     shards: Vec<Shard>,
     /// Resident `QueryId` → (shard, slot) positions.
     index: FxHashMap<u32, (usize, usize)>,
-    /// Final stats of retired queries.
+    /// Final stats of retired queries, bounded by
+    /// [`RETIRED_STATS_CAPACITY`].
     retired: FxHashMap<u32, EngineStats>,
+    /// Retirement order of the ids in `retired` (front = oldest, evicted
+    /// first). May carry ids already taken out of the map; eviction and
+    /// compaction skip those.
+    retired_order: VecDeque<u32>,
+    /// Queries auto-retired by the disconnect sweep since the last
+    /// [`MatchService::drain_disconnected`].
+    disconnected: Vec<QueryId>,
     next_id: u32,
     stats: ServiceStats,
     /// Materialized edges of the current delta (reused allocation).
@@ -299,6 +348,8 @@ impl<'g> MatchService<'g> {
             shards,
             index: FxHashMap::default(),
             retired: FxHashMap::default(),
+            retired_order: VecDeque::new(),
+            disconnected: Vec::new(),
             next_id: 0,
             stats,
             unit_scratch: Vec::new(),
@@ -390,14 +441,13 @@ impl<'g> MatchService<'g> {
             ..cfg
         };
         let shard_idx = self.pick_shard(q);
+        let id = self.alloc_query_id();
         let shard = &mut self.shards[shard_idx];
         let mut rt = QueryRuntime::new(q, &shard.window, self.queue.delta(), cfg, None);
         if shard.window.num_alive_edges() > 0 {
             let full = self.full;
             rt.sync_to_window(&shard.window, |k| full.edge(k));
         }
-        let id = self.next_id;
-        self.next_id += 1;
         self.stats.admitted += 1;
         for l in (0..q.num_vertices()).map(|u| q.label(u)) {
             *shard.label_counts.entry(l).or_insert(0) += 1;
@@ -409,10 +459,49 @@ impl<'g> MatchService<'g> {
             sink,
             out: Vec::new(),
             active: false,
+            dead: false,
             delivered_occurred: 0,
             delivered_expired: 0,
         });
         QueryId(id)
+    }
+
+    /// The next free query id. `next_id` is a u32 that a daemon admitting
+    /// and retiring queries for long enough will wrap; a wrapped candidate
+    /// must never alias a key still referenced by the resident index or the
+    /// retired-stats table, so candidates are probed against both. The
+    /// probe terminates: `retired` is bounded by [`RETIRED_STATS_CAPACITY`]
+    /// and the resident count is nowhere near 2³².
+    fn alloc_query_id(&mut self) -> u32 {
+        debug_assert!(
+            (self.index.len() as u64) + (self.retired.len() as u64) < u32::MAX as u64,
+            "query id space exhausted"
+        );
+        loop {
+            let id = self.next_id;
+            self.next_id = self.next_id.wrapping_add(1);
+            if !self.index.contains_key(&id) && !self.retired.contains_key(&id) {
+                return id;
+            }
+        }
+    }
+
+    /// Replaces a resident query's sink (and clears any pending disconnect
+    /// mark), leaving runtime state untouched — how a daemon re-attaches a
+    /// subscriber to a query restored from a checkpoint. The new sink's
+    /// [`ResultSink::collect_matches`] is **not** consulted: whether the
+    /// runtime materializes embeddings was fixed at admission (or restore).
+    /// Returns `false` for unknown/retired ids.
+    pub fn set_sink(&mut self, id: QueryId, sink: Box<dyn ResultSink>) -> bool {
+        match self.index.get(&id.0) {
+            Some(&(shard, slot)) => {
+                let s = &mut self.shards[shard].slots[slot];
+                s.sink = sink;
+                s.dead = false;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Retires a standing query (mid-stream or after), returning its final
@@ -436,9 +525,77 @@ impl<'g> MatchService<'g> {
             }
         }
         let stats = *slot.rt.stats();
-        self.retired.insert(id.0, stats);
+        self.note_retired(id.0, stats);
         self.stats.retired += 1;
         Some(stats)
+    }
+
+    /// Records a retired query's final stats, evicting the oldest
+    /// retirement once [`RETIRED_STATS_CAPACITY`] is reached — the table
+    /// must not grow forever in a daemon that retires queries for days.
+    fn note_retired(&mut self, id: u32, stats: EngineStats) {
+        while self.retired.len() >= RETIRED_STATS_CAPACITY {
+            match self.retired_order.pop_front() {
+                // Skip ids already taken out via `take_retired_stats`.
+                Some(old) if self.retired.remove(&old).is_some() => break,
+                Some(_) => continue,
+                None => break,
+            }
+        }
+        // `take_retired_stats` leaves stale ids in the order queue; compact
+        // once they dominate so the queue stays O(capacity).
+        if self.retired_order.len() >= 2 * RETIRED_STATS_CAPACITY {
+            let retired = &self.retired;
+            self.retired_order.retain(|i| retired.contains_key(i));
+        }
+        self.retired.insert(id, stats);
+        self.retired_order.push_back(id);
+    }
+
+    /// Takes a retired query's final counters **out** of the bounded
+    /// retired-stats table (they were also returned by
+    /// [`MatchService::remove_query`] at retirement). Returns `None` for
+    /// unknown, still-resident, or already-taken ids. Long-running
+    /// frontends should prefer this over [`MatchService::query_stats`]
+    /// peeks so the table stays empty instead of riding its eviction bound.
+    pub fn take_retired_stats(&mut self, id: QueryId) -> Option<EngineStats> {
+        self.retired.remove(&id.0)
+    }
+
+    /// Queries auto-retired by the disconnect sweep (their sink returned
+    /// [`SinkClosed`](crate::SinkClosed)) since the last drain, in
+    /// retirement order. Final stats are in the retired table until taken.
+    pub fn drain_disconnected(&mut self) -> Vec<QueryId> {
+        std::mem::take(&mut self.disconnected)
+    }
+
+    /// Retires a query because its consumer is gone (a read-side EOF a
+    /// frontend noticed, or the sweep below): [`MatchService::remove_query`]
+    /// plus the disconnect accounting. Returns the final stats like any
+    /// retirement.
+    pub fn retire_disconnected(&mut self, id: QueryId) -> Option<EngineStats> {
+        let stats = self.remove_query(id)?;
+        self.stats.disconnected += 1;
+        self.disconnected.push(id);
+        Some(stats)
+    }
+
+    /// Post-delta sweep: auto-retire every slot whose sink reported
+    /// [`SinkClosed`](crate::SinkClosed) during the delta. Runs on the
+    /// service thread after the shard fan-out, so survivors' streams are
+    /// never perturbed mid-delta.
+    fn sweep_disconnected(&mut self) {
+        let mut dead: Vec<u32> = Vec::new();
+        for shard in &self.shards {
+            for slot in &shard.slots {
+                if slot.dead {
+                    dead.push(slot.id);
+                }
+            }
+        }
+        for id in dead {
+            self.retire_disconnected(QueryId(id));
+        }
     }
 
     /// Processes one stream delta — a single event in the per-event
@@ -486,6 +643,7 @@ impl<'g> MatchService<'g> {
             }
         }
         self.unit_scratch = edges;
+        self.sweep_disconnected();
         true
     }
 
@@ -742,6 +900,157 @@ mod tests {
         assert!(stats.occurred > 0);
         assert_eq!(counts.occurred(), stats.occurred);
         assert_eq!(counts.expired(), stats.expired);
+    }
+
+    /// A sink whose consumer dies after `fail_after` deliveries.
+    struct FlakySink {
+        inner: CollectingSink,
+        deliveries: usize,
+        fail_after: usize,
+    }
+
+    impl ResultSink for FlakySink {
+        fn deliver(
+            &mut self,
+            qid: QueryId,
+            events: &mut Vec<MatchEvent>,
+            occ: u64,
+            exp: u64,
+        ) -> Result<(), crate::SinkClosed> {
+            if self.deliveries >= self.fail_after {
+                return Err(crate::SinkClosed);
+            }
+            self.deliveries += 1;
+            self.inner.deliver(qid, events, occ, exp)
+        }
+    }
+
+    #[test]
+    fn disconnected_sink_is_auto_retired_without_touching_survivors() {
+        let (queries, g) = workload();
+        let mut svc = MatchService::new(
+            &g,
+            10,
+            ServiceConfig {
+                shards: 2,
+                threads: 0,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let (flaky_got_sink, flaky_got) = CollectingSink::new();
+        let flaky_id = svc.add_query(
+            &queries[0],
+            serial_cfg(),
+            Box::new(FlakySink {
+                inner: flaky_got_sink,
+                deliveries: 0,
+                fail_after: 3,
+            }),
+        );
+        let survivors: Vec<_> = queries[1..]
+            .iter()
+            .map(|q| {
+                let (sink, got) = CollectingSink::new();
+                (svc.add_query(q, serial_cfg(), Box::new(sink)), got)
+            })
+            .collect();
+        svc.run();
+        // The flaky query was auto-retired at its fourth delivery…
+        assert!(svc.shard_of(flaky_id).is_none(), "dead query not resident");
+        assert_eq!(svc.stats().disconnected, 1);
+        assert_eq!(svc.stats().retired, 1);
+        assert_eq!(svc.drain_disconnected(), vec![flaky_id]);
+        assert!(svc.drain_disconnected().is_empty(), "drain is take-once");
+        // …its delivered prefix is exactly the standalone prefix…
+        let (full, _) = standalone(&queries[0], &g, 10);
+        let delivered = flaky_got.take();
+        assert_eq!(delivered[..], full[..delivered.len()]);
+        // …its final stats are peekable and takeable…
+        assert!(svc.query_stats(flaky_id).is_some());
+        assert!(svc.take_retired_stats(flaky_id).is_some());
+        assert!(svc.take_retired_stats(flaky_id).is_none(), "take-once");
+        // …and every survivor's stream is byte-identical to standalone.
+        for (q, (id, got)) in queries[1..].iter().zip(&survivors) {
+            let (expect, _) = standalone(q, &g, 10);
+            assert_eq!(got.take(), expect, "survivor {id} disturbed");
+        }
+    }
+
+    #[test]
+    fn retired_stats_table_is_bounded() {
+        let (queries, g) = workload();
+        let mut svc = MatchService::new(&g, 10, ServiceConfig::default()).unwrap();
+        let n = crate::RETIRED_STATS_CAPACITY + 8;
+        let mut ids = Vec::new();
+        for _ in 0..n {
+            let id = svc.add_query(&queries[0], serial_cfg(), Box::new(CountingSink::new().0));
+            ids.push(id);
+            svc.remove_query(id).expect("resident");
+        }
+        assert_eq!(svc.stats().retired, n as u64);
+        // Oldest retirements evicted, newest kept, table at capacity.
+        assert!(svc.query_stats(ids[0]).is_none(), "oldest evicted");
+        assert!(svc.query_stats(ids[7]).is_none(), "8 over capacity");
+        assert!(svc.query_stats(ids[8]).is_some(), "within bound kept");
+        assert!(svc.query_stats(*ids.last().unwrap()).is_some());
+    }
+
+    #[test]
+    fn query_id_wraparound_never_aliases_a_live_id() {
+        let (queries, g) = workload();
+        let mut svc = MatchService::new(&g, 10, ServiceConfig::default()).unwrap();
+        let first = svc.add_query(&queries[0], serial_cfg(), Box::new(CountingSink::new().0));
+        assert_eq!(first.raw(), 0);
+        // Fast-forward the id cursor to the edge of the u32 space.
+        svc.next_id = u32::MAX;
+        let high = svc.add_query(&queries[1], serial_cfg(), Box::new(CountingSink::new().0));
+        assert_eq!(high.raw(), u32::MAX);
+        // The wrapped candidate 0 aliases the live `first`: it must be
+        // skipped, not handed out twice.
+        let wrapped = svc.add_query(&queries[2], serial_cfg(), Box::new(CountingSink::new().0));
+        assert_eq!(wrapped.raw(), 1, "live id 0 skipped after wrap");
+        assert_eq!(svc.stats().resident_queries, 3);
+        // All three remain individually addressable.
+        for id in [first, high, wrapped] {
+            assert!(svc.shard_of(id).is_some(), "{id} resident after wrap");
+        }
+        // And a retired id is skipped too while its stats are held.
+        svc.remove_query(high).unwrap();
+        svc.next_id = u32::MAX;
+        let again = svc.add_query(&queries[1], serial_cfg(), Box::new(CountingSink::new().0));
+        assert_eq!(again.raw(), 2, "retired id not re-issued while held");
+    }
+
+    #[test]
+    fn set_sink_reattaches_a_subscriber() {
+        let (queries, g) = workload();
+        let mut svc = MatchService::new(&g, 10, ServiceConfig::default()).unwrap();
+        let id = svc.add_query(&queries[0], serial_cfg(), Box::new(CollectingSink::new().0));
+        for _ in 0..svc.remaining_events() / 2 {
+            svc.step();
+        }
+        let (sink, got) = CollectingSink::new();
+        assert!(svc.set_sink(id, Box::new(sink)));
+        let before = svc.query_stats(id).unwrap().events;
+        svc.run();
+        // The replacement sink sees exactly the suffix.
+        let mut engine = TcmEngine::new(&queries[0], &g, 10, serial_cfg()).expect("engine builds");
+        let mut per_event = Vec::new();
+        let mut buf = Vec::new();
+        while engine.step(&mut buf) {
+            per_event.push(std::mem::take(&mut buf));
+        }
+        let expect: Vec<MatchEvent> = per_event[before as usize..]
+            .iter()
+            .flatten()
+            .cloned()
+            .collect();
+        assert_eq!(got.take(), expect);
+        assert!(
+            !svc.set_sink(QueryId::from_raw(999), Box::new(CollectingSink::new().0)),
+            "unknown id refused"
+        );
     }
 
     #[test]

@@ -186,7 +186,9 @@ struct Manifest {
     cfg: ServiceConfig,
     next_id: u32,
     stats: ServiceStats,
-    retired: FxHashMap<u32, EngineStats>,
+    /// Retired stats in retirement order (oldest first), so the restored
+    /// service evicts in the same order the checkpointed one would have.
+    retired: Vec<(u32, EngineStats)>,
     /// Per shard, in slot order.
     slots: Vec<Vec<SlotDef>>,
 }
@@ -223,24 +225,25 @@ fn decode_manifest(bytes: &[u8]) -> Result<Manifest, SnapshotError> {
             resident_queries: 0,
             admitted: dec.get_u64()?,
             retired: dec.get_u64()?,
+            disconnected: dec.get_u64()?,
             events: dec.get_u64()?,
             batches: dec.get_u64()?,
         };
         let nretired = dec.get_count(4)?;
-        let mut retired = FxHashMap::default();
+        let mut retired = Vec::with_capacity(nretired);
+        let mut retired_seen = std::collections::HashSet::new();
         for _ in 0..nretired {
+            // No `id < next_id` check: ids are a wrapping u32 space, so a
+            // long-lived service legitimately holds ids at or above the
+            // wrapped cursor. Duplicates are still refused.
             let id = dec.get_u32()?;
-            if id >= next_id {
-                return Err(CodecError::Invalid(format!(
-                    "retired id {id} not below next id {next_id}"
-                )));
-            }
             let mut sec = dec.section()?;
             let st = EngineStats::decode(&mut sec)?;
             sec.finish()?;
-            if retired.insert(id, st).is_some() {
+            if !retired_seen.insert(id) {
                 return Err(CodecError::Invalid(format!("duplicate retired id {id}")));
             }
+            retired.push((id, st));
         }
         let mut slots = Vec::with_capacity(num_shards);
         let mut seen = std::collections::HashSet::new();
@@ -249,10 +252,8 @@ fn decode_manifest(bytes: &[u8]) -> Result<Manifest, SnapshotError> {
             let mut defs = Vec::with_capacity(nslots);
             for _ in 0..nslots {
                 let id = dec.get_u32()?;
-                if id >= next_id || !seen.insert(id) {
-                    return Err(CodecError::Invalid(format!(
-                        "query id {id} duplicated or not below next id {next_id}"
-                    )));
+                if !seen.insert(id) {
+                    return Err(CodecError::Invalid(format!("duplicate query id {id}")));
                 }
                 let text = dec.get_str()?;
                 let q = parse_query_graph(text)
@@ -325,11 +326,16 @@ impl<'g> MatchService<'g> {
             e.put_u64(self.stats.windows_allocated);
             e.put_u64(self.stats.admitted);
             e.put_u64(self.stats.retired);
+            e.put_u64(self.stats.disconnected);
             e.put_u64(self.stats.events);
             e.put_u64(self.stats.batches);
-            let mut retired: Vec<(u32, &EngineStats)> =
-                self.retired.iter().map(|(&id, st)| (id, st)).collect();
-            retired.sort_by_key(|&(id, _)| id);
+            // Retirement order (skipping taken-out ids), so the restored
+            // service evicts oldest-first exactly like this one would.
+            let retired: Vec<(u32, &EngineStats)> = self
+                .retired_order
+                .iter()
+                .filter_map(|id| self.retired.get(id).map(|st| (*id, st)))
+                .collect();
             e.put_usize(retired.len());
             for (id, st) in retired {
                 e.put_u32(id);
@@ -379,7 +385,8 @@ impl<'g> MatchService<'g> {
         }
         svc.next_event = m.cursor;
         svc.next_id = m.next_id;
-        svc.retired = m.retired;
+        svc.retired_order = m.retired.iter().map(|&(id, _)| id).collect();
+        svc.retired = m.retired.into_iter().collect();
         svc.stats = ServiceStats {
             // `build` allocated this run's shard windows; the manifest's
             // figure described the checkpointed run's own allocations.
@@ -408,6 +415,7 @@ impl<'g> MatchService<'g> {
                     sink,
                     out: Vec::new(),
                     active: false,
+                    dead: false,
                     delivered_occurred: 0,
                     delivered_expired: 0,
                 });

@@ -2,8 +2,24 @@
 
 use crate::service::QueryId;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use tcsm_core::MatchEvent;
+
+/// Delivery failed because the consumer is gone — a closed socket, a dead
+/// channel, a dropped subscriber. The service reacts by auto-retiring the
+/// query (its final stats land in the retired table, tagged in
+/// [`ServiceStats::disconnected`](crate::ServiceStats::disconnected));
+/// other queries' streams are untouched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SinkClosed;
+
+impl std::fmt::Display for SinkClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "result sink disconnected")
+    }
+}
+
+impl std::error::Error for SinkClosed {}
 
 /// Receives one standing query's match stream from the service.
 ///
@@ -12,6 +28,11 @@ use tcsm_core::MatchEvent;
 /// stream order, possibly from worker threads (never two at once for one
 /// query). Implementations drain `events` (the service clears it after
 /// the call either way).
+///
+/// Delivery is **fallible**: a sink backed by a remote peer returns
+/// [`SinkClosed`] when the peer is gone, and the service auto-retires the
+/// query after the current delta instead of panicking or wedging the
+/// shard sweep. In-process sinks that cannot fail just return `Ok(())`.
 pub trait ResultSink: Send {
     /// Should the service materialize embeddings for this query? `false`
     /// keeps the whole search path allocation-free (`deliver` then sees an
@@ -22,8 +43,15 @@ pub trait ResultSink: Send {
 
     /// One stream delta's worth of results for query `qid`: the
     /// materialized events (empty when [`ResultSink::collect_matches`] is
-    /// `false`) and the delta's occurred/expired counts.
-    fn deliver(&mut self, qid: QueryId, events: &mut Vec<MatchEvent>, occurred: u64, expired: u64);
+    /// `false`) and the delta's occurred/expired counts. `Err(SinkClosed)`
+    /// reports a dead consumer and triggers auto-retirement.
+    fn deliver(
+        &mut self,
+        qid: QueryId,
+        events: &mut Vec<MatchEvent>,
+        occurred: u64,
+        expired: u64,
+    ) -> Result<(), SinkClosed>;
 }
 
 /// A sink that materializes and stores every match event; read the stream
@@ -53,11 +81,23 @@ impl CollectingSink {
 }
 
 impl ResultSink for CollectingSink {
-    fn deliver(&mut self, _qid: QueryId, events: &mut Vec<MatchEvent>, _occ: u64, _exp: u64) {
+    fn deliver(
+        &mut self,
+        _qid: QueryId,
+        events: &mut Vec<MatchEvent>,
+        _occ: u64,
+        _exp: u64,
+    ) -> Result<(), SinkClosed> {
+        // A consumer that panicked while holding the lock poisons it; the
+        // buffer itself is still coherent (Vec mutations don't unwind
+        // mid-write), so recover the guard instead of propagating the
+        // poison to every later delivery — the same discipline WorkerPool
+        // uses for its control mutex.
         self.buf
             .lock()
-            .expect("collector mutex poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .append(events);
+        Ok(())
     }
 }
 
@@ -65,12 +105,15 @@ impl CollectedMatches {
     /// Takes everything collected so far (stream order), leaving the
     /// buffer empty.
     pub fn take(&self) -> Vec<MatchEvent> {
-        std::mem::take(&mut *self.buf.lock().expect("collector mutex poisoned"))
+        std::mem::take(&mut *self.buf.lock().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// Number of events collected so far.
     pub fn len(&self) -> usize {
-        self.buf.lock().expect("collector mutex poisoned").len()
+        self.buf
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// True when nothing was collected (yet).
@@ -114,9 +157,16 @@ impl ResultSink for CountingSink {
         false
     }
 
-    fn deliver(&mut self, _qid: QueryId, _events: &mut Vec<MatchEvent>, occ: u64, exp: u64) {
+    fn deliver(
+        &mut self,
+        _qid: QueryId,
+        _events: &mut Vec<MatchEvent>,
+        occ: u64,
+        exp: u64,
+    ) -> Result<(), SinkClosed> {
         self.occurred.fetch_add(occ, Ordering::Relaxed);
         self.expired.fetch_add(exp, Ordering::Relaxed);
+        Ok(())
     }
 }
 
@@ -129,5 +179,94 @@ impl MatchCounts {
     /// Expired embeddings counted so far.
     pub fn expired(&self) -> u64 {
         self.expired.load(Ordering::Relaxed)
+    }
+}
+
+/// A sink that drops everything. Placeholder for a resident query whose
+/// subscriber is not attached yet — a daemon restoring a checkpoint
+/// installs one per query until the remote peer re-subscribes
+/// ([`MatchService::set_sink`](crate::MatchService::set_sink)).
+/// `collect_matches` is configurable so the runtime keeps materializing
+/// embeddings for the subscriber to come.
+pub struct DiscardSink {
+    collect: bool,
+}
+
+impl DiscardSink {
+    /// A discarding sink; `collect` fixes what
+    /// [`ResultSink::collect_matches`] reports.
+    pub fn new(collect: bool) -> DiscardSink {
+        DiscardSink { collect }
+    }
+}
+
+impl ResultSink for DiscardSink {
+    fn collect_matches(&self) -> bool {
+        self.collect
+    }
+
+    fn deliver(
+        &mut self,
+        _qid: QueryId,
+        _events: &mut Vec<MatchEvent>,
+        _occ: u64,
+        _exp: u64,
+    ) -> Result<(), SinkClosed> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcsm_core::{Embedding, MatchKind};
+    use tcsm_graph::Ts;
+
+    fn some_event(t: i64) -> MatchEvent {
+        MatchEvent {
+            kind: MatchKind::Occurred,
+            at: Ts::new(t),
+            embedding: Embedding {
+                vertices: vec![0, 1],
+                edges: vec![tcsm_graph::EdgeKey(0)],
+            },
+        }
+    }
+
+    /// Regression: a consumer that panics while holding the collector lock
+    /// used to poison every later delivery (and `take`/`len`); all three
+    /// must recover the guard instead.
+    #[test]
+    fn collector_survives_a_poisoned_mutex() {
+        let (mut sink, got) = CollectingSink::new();
+        let mut first = vec![some_event(1)];
+        sink.deliver(QueryId::from_raw(0), &mut first, 1, 0)
+            .unwrap();
+
+        // Poison the mutex: panic in another thread while holding it.
+        let buf = Arc::clone(&sink.buf);
+        let _ = std::thread::spawn(move || {
+            let _guard = buf.lock().unwrap();
+            panic!("consumer panicked mid-read");
+        })
+        .join();
+        assert!(sink.buf.is_poisoned(), "test precondition: lock poisoned");
+
+        let mut second = vec![some_event(2)];
+        sink.deliver(QueryId::from_raw(0), &mut second, 1, 0)
+            .expect("delivery after poison succeeds");
+        assert_eq!(got.len(), 2, "len recovers the poisoned guard");
+        let events = got.take();
+        assert_eq!(events, vec![some_event(1), some_event(2)]);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn discard_sink_reports_its_collect_flag() {
+        assert!(DiscardSink::new(true).collect_matches());
+        assert!(!DiscardSink::new(false).collect_matches());
+        let mut s = DiscardSink::new(true);
+        let mut ev = vec![some_event(3)];
+        s.deliver(QueryId::from_raw(7), &mut ev, 1, 0).unwrap();
     }
 }

@@ -1,0 +1,200 @@
+//! The `tcsm-serviced` daemon end-to-end, in one process: a server thread
+//! runs the wire loop over the mini-SNAP fixture while a loopback
+//! [`Client`] admits standing queries, streams their matches, checkpoints,
+//! and then *kills* the daemon mid-stream. A second daemon restores from
+//! the checkpoint, the client resubscribes, and the drained suffix must
+//! stitch onto the pre-kill prefix byte-for-byte.
+//!
+//! The demo double-checks itself against an in-process reference service
+//! with [`CollectingSink`]s: every query's `prefix + suffix` delivered
+//! over the wire must equal the uninterrupted stream, and the final stats
+//! fetched over the wire must agree with the reference.
+//!
+//! ```sh
+//! cargo run --release --example daemon_demo
+//! ```
+
+use std::net::TcpListener;
+
+use tcsm::datasets::ingest::windows_for_stream;
+use tcsm::datasets::QueryGen;
+use tcsm::graph::io::{parse_snap, SnapOptions};
+use tcsm::prelude::*;
+use tcsm::server::{restore_service, serve, Client, ServerConfig};
+
+fn engine_cfg() -> EngineConfig {
+    EngineConfig {
+        directed: true,
+        ..EngineConfig::default()
+    }
+}
+
+fn main() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/crates/datasets/fixtures/mini-snap.txt"
+    ))
+    .expect("fixture is checked in");
+    let g = parse_snap(&text, &SnapOptions::default()).expect("fixture parses");
+    let delta = windows_for_stream(&g)[2];
+
+    let mut qg = QueryGen::new(&g);
+    qg.directed = true;
+    let queries: Vec<QueryGraph> = (0..32u64)
+        .filter_map(|seed| {
+            qg.generate(
+                3 + (seed % 2) as usize,
+                0.5,
+                (delta * 3 / 4).max(4),
+                11 + seed,
+            )
+        })
+        .take(3)
+        .collect();
+    assert_eq!(queries.len(), 3, "fixture hosts 3 generated queries");
+
+    let svc_cfg = ServiceConfig {
+        shards: 2,
+        policy: ShardPolicy::Spread,
+        directed: true,
+        ..ServiceConfig::default()
+    };
+
+    // The uninterrupted reference: same admissions, in-process sinks.
+    let reference: Vec<(Vec<MatchEvent>, EngineStats)> = {
+        let mut svc = MatchService::new(&g, delta, svc_cfg).expect("service builds");
+        let handles: Vec<(QueryId, tcsm::service::CollectedMatches)> = queries
+            .iter()
+            .map(|q| {
+                let (sink, got) = CollectingSink::new();
+                (svc.add_query(q, engine_cfg(), Box::new(sink)), got)
+            })
+            .collect();
+        svc.run();
+        handles
+            .into_iter()
+            .map(|(id, got)| (got.take(), *svc.query_stats(id).expect("resident")))
+            .collect()
+    };
+
+    let dir = std::env::temp_dir().join(format!("tcsm-daemon-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+    let server_cfg = ServerConfig {
+        checkpoint_dir: Some(dir.clone()),
+        autorun: false,
+    };
+
+    // ---- Phase 1: fresh daemon, admit, stream half, checkpoint, kill.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    println!(
+        "daemon 1 listening on {addr} (checkpoints in {})",
+        dir.display()
+    );
+
+    let (qids, prefixes) = std::thread::scope(|s| {
+        let server = s.spawn(|| {
+            let mut svc = MatchService::new(&g, delta, svc_cfg).expect("service builds");
+            serve(listener, &mut svc, &server_cfg).expect("daemon 1 serves")
+        });
+
+        let mut client = Client::connect(addr).expect("connect");
+        let qids: Vec<u32> = queries
+            .iter()
+            .map(|q| client.admit(q, engine_cfg()).expect("admit"))
+            .collect();
+        for (i, qid) in qids.iter().enumerate() {
+            println!("  admitted query {i} as qid {qid}");
+        }
+
+        let (_, _, remaining) = client.service_stats().expect("stats");
+        let half = remaining / 2;
+        let (taken, done) = client.step(half).expect("step");
+        assert_eq!(taken, half, "half the stream lies ahead");
+        assert!(!done, "the kill happens mid-stream");
+        client.checkpoint().expect("checkpoint");
+        println!("  streamed {taken}/{remaining} deltas, checkpointed, killing daemon 1");
+        // shutdown(false): disk state stays at the explicit checkpoint,
+        // exactly as if the process had died right after writing it.
+        client.shutdown(false).expect("shutdown");
+        server.join().expect("daemon 1 thread");
+
+        let prefixes: Vec<QueryStreamParts> = qids
+            .iter()
+            .map(|&qid| {
+                let s = client.take_stream(qid);
+                (s.events, s.occurred, s.expired)
+            })
+            .collect();
+        (qids, prefixes)
+    });
+
+    // ---- Phase 2: restore from the checkpoint, resubscribe, drain.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    println!("daemon 2 restored from checkpoint, listening on {addr}");
+
+    std::thread::scope(|s| {
+        let server = s.spawn(|| {
+            let mut svc = restore_service(&g, &dir, RecoveryPolicy::Strict).expect("restore");
+            serve(listener, &mut svc, &server_cfg).expect("daemon 2 serves")
+        });
+
+        let mut client = Client::connect(addr).expect("connect");
+        for &qid in &qids {
+            client.resubscribe(qid).expect("resubscribe");
+        }
+        let (_, done) = client.step(0).expect("drain");
+        assert!(done, "stream exhausted");
+
+        for (i, &qid) in qids.iter().enumerate() {
+            let suffix = client.take_stream(qid);
+            let (ref full, ref stats) = reference[i];
+            let (ref pre_events, pre_occ, pre_exp) = prefixes[i];
+            let mut stitched = pre_events.clone();
+            stitched.extend(suffix.events.iter().cloned());
+            assert_eq!(&stitched, full, "qid {qid} diverged from the reference");
+            assert_eq!(
+                (pre_occ + suffix.occurred, pre_exp + suffix.expired),
+                (
+                    full.iter()
+                        .filter(|e| e.kind == MatchKind::Occurred)
+                        .count() as u64,
+                    full.iter().filter(|e| e.kind == MatchKind::Expired).count() as u64,
+                ),
+                "qid {qid} delivered counts diverged"
+            );
+            let (resident, wire_stats) = client.query_stats(qid).expect("query stats");
+            assert!(resident, "qid {qid} still resident");
+            assert_eq!(
+                wire_stats.semantic(),
+                stats.semantic(),
+                "qid {qid} stats diverged from the reference"
+            );
+            println!(
+                "  qid {qid}: prefix {} + suffix {} events — stitches onto the reference exactly",
+                pre_events.len(),
+                suffix.events.len()
+            );
+        }
+
+        // Retire one query over the wire: final stats, slot freed.
+        let final_stats = client.retire(qids[0]).expect("retire");
+        assert_eq!(final_stats.semantic(), reference[0].1.semantic());
+        let (resident, _) = client.query_stats(qids[0]).expect("peek retired");
+        assert!(!resident, "retired query no longer resident");
+        println!(
+            "  qid {}: retired over the wire with the reference's final stats",
+            qids[0]
+        );
+
+        client.shutdown(false).expect("shutdown");
+        server.join().expect("daemon 2 thread");
+    });
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("\nkill → restore → resubscribe replayed every stream byte-identically ✓");
+}
+
+type QueryStreamParts = (Vec<MatchEvent>, u64, u64);

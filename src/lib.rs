@@ -16,6 +16,7 @@
 //! | [`dcs`] | `tcsm-dcs` | SymBi's dynamic candidate space, TC-restricted |
 //! | [`core`] | `tcsm-core` | the `TcmEngine` + `FindMatches` with §V pruning |
 //! | [`service`] | `tcsm-service` | sharded multi-query service, shared per-shard windows |
+//! | [`server`] | `tcsm-server` | `tcsm-serviced` network daemon, wire protocol, client |
 //! | [`baselines`] | `tcsm-baselines` | oracle, RapidFlow-lite, Timing-join |
 //! | [`datasets`] | `tcsm-datasets` | Table III profiles + query generator |
 //!
@@ -43,6 +44,33 @@
 //! let matches = engine.run();
 //! assert_eq!(matches.iter().filter(|m| m.kind == MatchKind::Occurred).count(), 1);
 //! ```
+//!
+//! ## Serving queries over the network
+//!
+//! The [`server`] crate wraps the multi-query [`service`] in a daemon,
+//! `tcsm-serviced`: clients connect over TCP, admit and retire standing
+//! queries, and receive their match streams as framed deliveries.
+//!
+//! ```sh
+//! cargo run --release -p tcsm-server --bin tcsm-serviced -- \
+//!     --input crates/datasets/fixtures/mini-snap.txt --format snap \
+//!     --shards 4 --checkpoint /tmp/tcsm-ckpt --autorun
+//! ```
+//!
+//! Everything on the wire is a length-prefixed [`graph::codec`] frame
+//! (`TCSM` magic, format version, kind byte, FNV-1a checksum): requests
+//! carry a client sequence number and an op tag (admit / retire / query
+//! stats / service stats / step / resubscribe / checkpoint / shutdown),
+//! responses echo both, typed error frames report refused or malformed
+//! requests without ever killing the daemon, and unsolicited delivery
+//! frames stream each query's match events to the connection that
+//! admitted it. A dead subscriber is auto-retired without disturbing
+//! anyone else; shutdown can checkpoint the full service state, and a
+//! daemon restarted with `--restore` resumes the exact match-stream
+//! suffix, with clients re-attaching via the resubscribe op. The frame
+//! grammar and payload layouts live on [`server`]'s crate docs and its
+//! `wire` module; the loopback [`server::Client`] is both the test
+//! harness and a minimal embedding API.
 
 pub use tcsm_baselines as baselines;
 pub use tcsm_core as core;
@@ -51,6 +79,7 @@ pub use tcsm_datasets as datasets;
 pub use tcsm_dcs as dcs;
 pub use tcsm_filter as filter;
 pub use tcsm_graph as graph;
+pub use tcsm_server as server;
 pub use tcsm_service as service;
 
 /// The most common imports in one place.
@@ -65,7 +94,7 @@ pub mod prelude {
         TemporalGraphBuilder, TemporalOrder, Ts, WindowGraph, EDGE_LABEL_ANY,
     };
     pub use tcsm_service::{
-        CollectedMatches, CollectingSink, CountingSink, MatchService, QueryId, RecoveryPolicy,
-        ResultSink, ServiceConfig, ShardPolicy, SnapshotError,
+        CollectedMatches, CollectingSink, CountingSink, DiscardSink, MatchService, QueryId,
+        RecoveryPolicy, ResultSink, ServiceConfig, ShardPolicy, SinkClosed, SnapshotError,
     };
 }
