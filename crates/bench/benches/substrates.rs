@@ -15,8 +15,17 @@ use tcsm_core::{EngineConfig, TcmEngine, WorkerPool};
 use tcsm_dag::build_best_dag;
 use tcsm_datasets::{profiles::SUPERUSER, QueryGen};
 use tcsm_dcs::Dcs;
-use tcsm_filter::{Exec, FilterBank, FilterMode};
+use tcsm_filter::{kernel, DcsDelta, Exec, FilterBank, FilterMode, KernelKind};
 use tcsm_graph::{EventKind, EventQueue, WindowGraph};
+
+/// Deterministic SplitMix64 for the synthetic kernel workload.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 fn bench(c: &mut Criterion) {
     let scale = 0.15;
@@ -26,6 +35,54 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("substrates");
     group.sample_size(10);
+    // The Eq. (1) kernel alone, scalar vs chunked, on one synthetic
+    // workload: random lane values, ranks, and relation masks, so the
+    // scalar reference's per-lane branches mispredict the way mixed
+    // real rows make them. The two entries run back to back in the same
+    // process (interleaved same-machine methodology).
+    {
+        const WIDTH: usize = 48;
+        const ROWS: usize = 256;
+        let mut s = 0x5EEDu64;
+        let rows: Vec<[i64; WIDTH + 1]> = (0..ROWS)
+            .map(|_| {
+                let mut row = [0i64; WIDTH + 1];
+                for lane in row.iter_mut().take(WIDTH) {
+                    *lane = (mix(&mut s) as i64) >> 16;
+                }
+                row[WIDTH] = i64::MAX; // pad lane
+                row
+            })
+            .collect();
+        let ranks: Vec<[u8; WIDTH]> = (0..ROWS)
+            .map(|_| std::array::from_fn(|_| (mix(&mut s) as usize % (WIDTH + 1)) as u8))
+            .collect();
+        let relmasks: Vec<[i64; WIDTH]> = (0..ROWS)
+            .map(|_| std::array::from_fn(|_| if mix(&mut s) & 1 == 0 { -1 } else { 0 }))
+            .collect();
+        let tmaxes: Vec<i64> = (0..ROWS).map(|_| (mix(&mut s) as i64) >> 16).collect();
+        for (name, kind) in [
+            ("chunked", KernelKind::Chunked),
+            ("scalar", KernelKind::Scalar),
+        ] {
+            group.bench_function(BenchmarkId::new("kernel_maxmin", name), |b| {
+                b.iter(|| {
+                    let mut best = [i64::MIN; WIDTH];
+                    for r in 0..ROWS {
+                        kernel::accumulate(
+                            kind,
+                            &mut best,
+                            &rows[r],
+                            &ranks[r],
+                            &relmasks[r],
+                            tmaxes[r],
+                        );
+                    }
+                    best[0]
+                })
+            });
+        }
+    }
     for size in [5usize, 11] {
         let Some(q) = qg.generate(size, 0.5, delta / 2, 99) else {
             continue;
@@ -33,33 +90,41 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("build_dag", size), &q, |b, q| {
             b.iter(|| build_best_dag(q))
         });
-        // Filter maintenance alone: the max-min tables over the stream.
-        group.bench_with_input(BenchmarkId::new("maxmin_update", size), &q, |b, q| {
-            b.iter(|| {
-                let dag = build_best_dag(q);
-                let mut w = WindowGraph::new(g.labels().to_vec(), true);
-                let mut bank = FilterBank::new(q, &dag, FilterMode::Tc, &w);
-                let queue = EventQueue::new(&g, delta).unwrap();
-                let mut deltas = Vec::new();
-                let mut total = 0usize;
-                for ev in queue.iter() {
-                    let edge = *g.edge(ev.edge);
-                    deltas.clear();
-                    match ev.kind {
-                        EventKind::Insert => {
-                            w.insert(&edge);
-                            bank.on_insert(q, &w, &edge, |k| g.edge(k), &mut deltas);
+        // Filter maintenance alone: the max-min tables over the stream —
+        // once per kernel, registered back to back so the scalar/chunked
+        // comparison is an interleaved same-machine run.
+        for (name, kind) in [
+            ("maxmin_update", KernelKind::Chunked),
+            ("maxmin_update_scalar", KernelKind::Scalar),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, size), &q, |b, q| {
+                b.iter(|| {
+                    let dag = build_best_dag(q);
+                    let mut w = WindowGraph::new(g.labels().to_vec(), true);
+                    let mut bank = FilterBank::new(q, &dag, FilterMode::Tc, &w);
+                    bank.set_kernel(kind);
+                    let queue = EventQueue::new(&g, delta).unwrap();
+                    let mut deltas = Vec::new();
+                    let mut total = 0usize;
+                    for ev in queue.iter() {
+                        let edge = *g.edge(ev.edge);
+                        deltas.clear();
+                        match ev.kind {
+                            EventKind::Insert => {
+                                w.insert(&edge);
+                                bank.on_insert(q, &w, &edge, |k| g.edge(k), &mut deltas);
+                            }
+                            EventKind::Delete => {
+                                w.remove(&edge);
+                                bank.on_delete(q, &w, &edge, |k| g.edge(k), &mut deltas);
+                            }
                         }
-                        EventKind::Delete => {
-                            w.remove(&edge);
-                            bank.on_delete(q, &w, &edge, |k| g.edge(k), &mut deltas);
-                        }
+                        total += deltas.len();
                     }
-                    total += deltas.len();
-                }
-                total
-            })
-        });
+                    total
+                })
+            });
+        }
         // Full-stream maintenance without any matching: filter + DCS.
         group.bench_with_input(
             BenchmarkId::new("maxmin_and_dcs_update", size),
@@ -127,18 +192,65 @@ fn bench(c: &mut Criterion) {
                 },
             );
         }
-        // End to end: the full Algorithm 1 pipeline including FindMatches.
-        group.bench_with_input(BenchmarkId::new("engine_run", size), &q, |b, q| {
+        // Per-phase DCS maintenance (the cache-audit counterpart of
+        // `maxmin_update`): the bank's per-event delta lists are
+        // precomputed, so the measured loop is window replay + `Dcs::apply`
+        // alone — the pair-slab walks and d1/d2 bitmap refreshes.
+        group.bench_with_input(BenchmarkId::new("dcs_apply", size), &q, |b, q| {
+            let dag = build_best_dag(q);
+            let mut w = WindowGraph::new(g.labels().to_vec(), true);
+            let mut bank = FilterBank::new(q, &dag, FilterMode::Tc, &w);
+            let queue = EventQueue::new(&g, delta).unwrap();
+            let mut per_event: Vec<Vec<DcsDelta>> = Vec::with_capacity(queue.len());
+            let mut deltas = Vec::new();
+            for ev in queue.iter() {
+                let edge = *g.edge(ev.edge);
+                deltas.clear();
+                match ev.kind {
+                    EventKind::Insert => {
+                        w.insert(&edge);
+                        bank.on_insert(q, &w, &edge, |k| g.edge(k), &mut deltas);
+                    }
+                    EventKind::Delete => {
+                        w.remove(&edge);
+                        bank.on_delete(q, &w, &edge, |k| g.edge(k), &mut deltas);
+                    }
+                }
+                per_event.push(deltas.clone());
+            }
             b.iter(|| {
-                let cfg = EngineConfig {
-                    collect_matches: false,
-                    directed: true,
-                    ..Default::default()
-                };
-                let mut engine = TcmEngine::new(q, &g, delta, cfg).unwrap();
-                engine.run_counting().occurred
+                let mut w = WindowGraph::new(g.labels().to_vec(), true);
+                let mut dcs = Dcs::new(dag.clone(), q, &w);
+                for (ev, deltas) in queue.iter().zip(&per_event) {
+                    let edge = *g.edge(ev.edge);
+                    match ev.kind {
+                        EventKind::Insert => w.insert(&edge),
+                        EventKind::Delete => w.remove(&edge),
+                    }
+                    dcs.apply(q, &w, |k| g.edge(k), deltas);
+                }
+                dcs.num_edges()
             })
         });
+        // End to end: the full Algorithm 1 pipeline including FindMatches —
+        // once per kernel (interleaved same-machine runs, as above).
+        for (name, kind) in [
+            ("engine_run", KernelKind::Chunked),
+            ("engine_run_scalar", KernelKind::Scalar),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, size), &q, |b, q| {
+                b.iter(|| {
+                    let cfg = EngineConfig {
+                        collect_matches: false,
+                        directed: true,
+                        ..Default::default()
+                    };
+                    let mut engine = TcmEngine::new(q, &g, delta, cfg).unwrap();
+                    engine.set_kernel(kind);
+                    engine.run_counting().occurred
+                })
+            });
+        }
         // Batched path on the same uniform stream (size-one batches): pins
         // that batching support costs nothing when bursts don't exist.
         group.bench_with_input(BenchmarkId::new("engine_run_batched", size), &q, |b, q| {

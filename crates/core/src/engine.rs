@@ -125,6 +125,13 @@ impl<'g> TcmEngine<'g> {
         self.rt.stats()
     }
 
+    /// Overrides the Eq. (1) kernel on every filter instance (tests and
+    /// interleaved benches; production selection is `TCSM_KERNEL`).
+    #[doc(hidden)]
+    pub fn set_kernel(&mut self, kern: tcsm_filter::KernelKind) {
+        self.rt.set_kernel(kern);
+    }
+
     /// The live window graph.
     #[inline]
     pub fn window(&self) -> &WindowGraph {

@@ -665,12 +665,14 @@ impl<'a> Matcher<'a> {
         }
         let (pivot_e, pivot_img, _) = pivot.expect("extendable vertex has a mapped neighbour");
         for &(v, pid) in self.g.neighbor_entries(pivot_img) {
-            if self.g.label(v) != self.q.label(u) || self.vertex_used(v) {
+            // `d2 ⊆ label-match` (Dcs::refresh_node gates d1 — and hence d2
+            // — on label compatibility), so the old per-candidate label
+            // probe was redundant: the d2 bitmap test subsumes it and is
+            // the more selective gate, so it runs first.
+            if !self.dcs.d2(u, v) || self.vertex_used(v) {
                 continue;
             }
-            if !self.dcs.d2(u, v) {
-                continue;
-            }
+            debug_assert_eq!(self.g.label(v), self.q.label(u), "d2 outside label match");
             if self.edge_supported(pivot_e, u, pivot_img, v, pid) {
                 out.push(v);
             }

@@ -183,6 +183,13 @@ impl QueryRuntime {
         &self.stats
     }
 
+    /// Overrides the Eq. (1) kernel on every filter instance (tests and
+    /// interleaved benches; production selection is `TCSM_KERNEL`).
+    #[doc(hidden)]
+    pub fn set_kernel(&mut self, kern: tcsm_filter::KernelKind) {
+        self.bank.set_kernel(kern);
+    }
+
     /// Current number of DCS edge pairs (Table V's "edges in DCS").
     #[inline]
     pub fn dcs_edges(&self) -> usize {
@@ -334,6 +341,10 @@ impl QueryRuntime {
         self.stats.peak_dcs_vertices = self.stats.peak_dcs_vertices.max(dv);
         self.stats.sum_dcs_vertices += dv * weight;
         self.stats.parallel_filter_rounds = self.bank.parallel_rounds();
+        let (ki, kl, kx) = self.bank.kernel_counters();
+        self.stats.kernel_invocations = ki;
+        self.stats.kernel_lanes = kl;
+        self.stats.kernel_early_exits = kx;
     }
 
     fn find_matches_sweep(

@@ -42,6 +42,14 @@ pub struct EngineStats {
     pub parallel_sweeps: u64,
     /// Seeds searched under those fanned-out sweeps.
     pub parallel_sweep_seeds: u64,
+    /// Eq. (1) kernel invocations (one per contributing child/neighbour in
+    /// a filter-table recompute), summed over the four instances.
+    pub kernel_invocations: u64,
+    /// `TR(u)` lanes folded across those kernel invocations.
+    pub kernel_lanes: u64,
+    /// Child terms with no contributing neighbour (the recompute bailed —
+    /// the entry ceases to exist without running the remaining children).
+    pub kernel_early_exits: u64,
     /// True when a budget was exhausted (query counts as unsolved).
     pub budget_exhausted: bool,
 }
@@ -66,14 +74,21 @@ impl EngineStats {
     }
 
     /// The algorithmic counters alone: a copy with the thread-placement
-    /// counters (`parallel_*`) zeroed. Two runs of the same stream differing
-    /// only in [`crate::EngineConfig::threads`] must agree on this (the
-    /// differential suite compares it across pool widths).
+    /// counters (`parallel_*`) and the kernel instrumentation zeroed. Two
+    /// runs of the same stream differing only in
+    /// [`crate::EngineConfig::threads`] must agree on this (the
+    /// differential suite compares it across pool widths). The kernel
+    /// counters are zeroed too because recompute *counts* legitimately
+    /// differ between incremental updates and from-window rebuilds (live
+    /// admission) even though the resulting tables are identical.
     pub fn semantic(&self) -> EngineStats {
         EngineStats {
             parallel_filter_rounds: 0,
             parallel_sweeps: 0,
             parallel_sweep_seeds: 0,
+            kernel_invocations: 0,
+            kernel_lanes: 0,
+            kernel_early_exits: 0,
             ..*self
         }
     }
@@ -98,6 +113,9 @@ impl EngineStats {
             self.parallel_filter_rounds,
             self.parallel_sweeps,
             self.parallel_sweep_seeds,
+            self.kernel_invocations,
+            self.kernel_lanes,
+            self.kernel_early_exits,
         ] {
             enc.put_u64(v);
         }
@@ -124,6 +142,9 @@ impl EngineStats {
             parallel_filter_rounds: dec.get_u64()?,
             parallel_sweeps: dec.get_u64()?,
             parallel_sweep_seeds: dec.get_u64()?,
+            kernel_invocations: dec.get_u64()?,
+            kernel_lanes: dec.get_u64()?,
+            kernel_early_exits: dec.get_u64()?,
             budget_exhausted: dec.get_bool()?,
         })
     }

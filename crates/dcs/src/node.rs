@@ -73,6 +73,14 @@ impl Dcs {
         let m = dag.num_edges();
         let nq = dag.num_vertices();
         let n = g.num_vertices();
+        // Defense in depth behind the typed `GraphError::QueryTooLarge`
+        // guard in `QueryGraph::new` (the slot/width tables and the
+        // matcher's 64-bit vertex sets assume this bound).
+        assert!(
+            nq <= tcsm_graph::MAX_QUERY_DIM && m <= tcsm_graph::MAX_QUERY_DIM,
+            "query exceeds MAX_QUERY_DIM={} (QueryGraph construction must reject this)",
+            tcsm_graph::MAX_QUERY_DIM
+        );
         let mut parent_slot = vec![0; m];
         let mut child_slot = vec![0; m];
         let mut np = vec![0u32; nq];

@@ -282,6 +282,25 @@ impl FilterBank {
         self.par_rounds
     }
 
+    /// Cumulative Eq. (1) kernel counters summed over the instances:
+    /// `(invocations, merged lanes, early-exit bails)`. All zero in
+    /// [`FilterMode::LabelOnly`] (no instances).
+    pub fn kernel_counters(&self) -> (u64, u64, u64) {
+        self.instances.iter().fold((0, 0, 0), |acc, inst| {
+            let (i, l, x) = inst.kernel_counters();
+            (acc.0 + i, acc.1 + l, acc.2 + x)
+        })
+    }
+
+    /// Overrides the Eq. (1) kernel on every instance (tests and
+    /// interleaved benches; production selection is `TCSM_KERNEL`).
+    #[doc(hidden)]
+    pub fn set_kernel(&mut self, kern: crate::kernel::KernelKind) {
+        for inst in &mut self.instances {
+            inst.set_kernel(kern);
+        }
+    }
+
     /// Runs `f` exactly once per filter instance. With an executor
     /// installed the calls fan out, each instance pushing its pass-flips
     /// into a private shard; the shards are merged into `flips` in

@@ -30,56 +30,97 @@
 //! on delete, in the effective domain), so the worklist converges and each
 //! candidate pair flips its per-instance status at most once per event.
 
+use crate::kernel::{self, KernelKind};
 use crate::pair::{valid_orientations, CandPair, DirectPairs};
 use tcsm_dag::{Polarity, QueryDag};
 use tcsm_graph::codec::{CodecError, Decoder, Encoder};
 use tcsm_graph::{
-    DenseBits, EdgeConstraint, PairEdges, QEdgeId, QVertexId, QueryGraph, TemporalEdge, Ts,
-    VertexId, WindowGraph,
+    DenseBits, Direction, EdgeConstraint, EdgeLabel, PairEdges, QEdgeId, QVertexId, QueryGraph,
+    TemporalEdge, Ts, VertexId, WindowGraph, MAX_QUERY_DIM,
 };
+
+/// Raw-lane sentinels (`Ts` ordering equals raw `i64` ordering, so the
+/// value slab and all recompute scratch work on plain `i64` — see
+/// [`crate::kernel`]).
+const RAW_NEG_INF: i64 = i64::MIN;
+const RAW_INF: i64 = i64::MAX;
 
 /// Scratch buffers for entry recomputation, reused across events (and
 /// passed explicitly so read-only consumers like `check_consistency` can
-/// bring their own).
+/// bring their own), plus the Eq. (1) kernel counters — they ride on the
+/// scratch because `recompute_into` takes `&self` (a private scratch, as in
+/// `check_consistency`, keeps its counts out of the instance's totals).
 #[derive(Default)]
 struct RecomputeScratch {
-    new_vals: Vec<Ts>,
-    best: Vec<Ts>,
-    old_vals: Vec<Ts>,
+    new_vals: Vec<i64>,
+    best: Vec<i64>,
+    old_vals: Vec<i64>,
+    /// Kernel `accumulate` calls (one per contributing child/neighbour).
+    kernel_invocations: u64,
+    /// `TR(u)` lanes folded across those calls.
+    kernel_lanes: u64,
+    /// Child terms with no contributing neighbour (`!any` bails: the entry
+    /// ceases to exist without touching the kernel further).
+    kernel_early_exits: u64,
 }
 
-/// Sentinel in rank tables: the edge is not in `TR(u)`.
+/// Sentinel in [`FilterInstance::rank_tbl`]: the edge is not in `TR(u)`.
+/// The kernel-facing SoA rank rows (`cm_rank`) never contain it — absent
+/// edges are remapped to the child row's pad lane at construction.
 const NO_RANK: u8 = u8::MAX;
 
-/// Per `(u, child-slot, TR(u) element)`: the element's rank in the child's
-/// value row ([`NO_RANK`] if absent) and whether the polarity relates it to
-/// the child edge. Both are DAG/order constants, precomputed at
-/// construction so the Eq. (1) inner loop reads a contiguous slice.
+/// Per `(u, child-slot)`: the query-edge constants of the child edge,
+/// hoisted out of the Eq. (1) neighbour loop. The [`EdgeConstraint`] for a
+/// concrete neighbour `(v, v_c)` is then pure arithmetic — no query-edge
+/// lookup, no direction re-resolution per neighbour.
 #[derive(Clone, Copy)]
-struct ChildMeta {
-    rank: u8,
-    related: bool,
+struct ChildEdgeMeta {
+    /// Required edge label.
+    label: EdgeLabel,
+    /// Direction requirement, already resolved against the window's
+    /// directedness (undirected windows erase `AToB`).
+    direction: Direction,
+    /// Does the query edge's `a` endpoint map to the DAG tail (= the parent
+    /// `u` side)? Determines `src_is_a` from the vertex-id order.
+    a_is_tail: bool,
 }
 
 /// One `(DAG, polarity)` filter instance.
 pub struct FilterInstance {
     pol: Polarity,
     dag: QueryDag,
-    /// Rank lookup table: `rank_tbl[u · 64 + e]` = index of `e` in `TR(u)`'s
-    /// value row, or [`NO_RANK`]. Replaces per-access popcounts.
+    /// Rank lookup table: `rank_tbl[u · MAX_QUERY_DIM + e]` = index of `e`
+    /// in `TR(u)`'s value row, or [`NO_RANK`]. Replaces per-access
+    /// popcounts. (Query shape is ≤ [`MAX_QUERY_DIM`] by the typed
+    /// construction-time guard in `QueryGraph::new`.)
     rank_tbl: Vec<u8>,
-    /// [`ChildMeta`] rows, one per `(u, child slot)`, each `width[u]` long.
-    child_meta: Vec<ChildMeta>,
-    /// Start of `u`'s [`ChildMeta`] block in `child_meta`.
+    /// SoA kernel metadata, one row per `(u, child slot)`, each `width[u]`
+    /// long: the rank of `TR(u)[i]` in the child's padded value row
+    /// (absent edges point at the pad lane, never [`NO_RANK`]).
+    cm_rank: Vec<u8>,
+    /// Parallel to [`FilterInstance::cm_rank`]: `-1` when the polarity
+    /// relates `TR(u)[i]` to the child edge, `0` otherwise (the kernel's
+    /// branch-free select mask).
+    cm_relmask: Vec<i64>,
+    /// Start of `u`'s kernel-metadata block in `cm_rank`/`cm_relmask`.
     cmeta_base: Vec<u32>,
+    /// Hoisted child-edge constants, indexed `cedge_base[u] + child slot`.
+    cedge: Vec<ChildEdgeMeta>,
+    /// Start of `u`'s block in [`FilterInstance::cedge`].
+    cedge_base: Vec<u32>,
     /// Data-vertex count (row count per block).
     n: usize,
-    /// `|TR(u)|` per query vertex.
+    /// `|TR(u)|` per query vertex (logical lanes; rows are stored with one
+    /// extra pad lane — see `vals`).
     width: Vec<u32>,
-    /// Prefix sums of `width`: block `u` starts at `vbase[u] * n`.
+    /// Prefix sums of `width + 1` (the padded strides): block `u` starts at
+    /// `vbase[u] * n`.
     vbase: Vec<u32>,
-    /// The flat value slab (see module docs).
-    vals: Vec<Ts>,
+    /// The flat value slab (see module docs), in **raw `i64`** effective
+    /// time. Each `(u, v)` row is `width[u] + 1` lanes: `width[u]` logical
+    /// values plus one trailing pad lane pinned to `+∞` at construction and
+    /// never overwritten, so kernel rank loads need no existence branch.
+    vals: Vec<i64>,
     /// `W[u, v]` existence bit per `(u, v)` (index `u·n + v`).
     exists: DenseBits,
     /// Default existence per `(u, v)`: leaf vertex with matching label.
@@ -105,6 +146,10 @@ pub struct FilterInstance {
     scratch: RecomputeScratch,
     /// Deferred enqueues (reused allocation).
     pending: Vec<(QVertexId, VertexId)>,
+    /// Which Eq. (1) kernel this instance runs (`TCSM_KERNEL`, resolved
+    /// once per process; overridable per instance for differential tests
+    /// and interleaved benches). Both kinds produce bit-identical tables.
+    kern: KernelKind,
 }
 
 impl FilterInstance {
@@ -114,21 +159,36 @@ impl FilterInstance {
     pub fn new(dag: QueryDag, pol: Polarity, q: &QueryGraph, g: &WindowGraph) -> FilterInstance {
         let nq = dag.num_vertices();
         let n = g.num_vertices();
+        // Defense in depth behind the typed `GraphError::QueryTooLarge`
+        // guard in `QueryGraph::new`: the rank table and the one-word
+        // worklist bitmask below bake this limit into their layout.
+        assert!(
+            nq <= MAX_QUERY_DIM && q.num_edges() <= MAX_QUERY_DIM,
+            "query exceeds MAX_QUERY_DIM={MAX_QUERY_DIM} (QueryGraph construction must reject this)"
+        );
         let tr: Vec<tcsm_graph::Set64> = (0..nq).map(|u| dag.relevant_ancestors(u, pol)).collect();
         let width: Vec<u32> = tr.iter().map(|s| s.len() as u32).collect();
-        let mut rank_tbl = vec![NO_RANK; nq * 64];
+        let mut rank_tbl = vec![NO_RANK; nq * MAX_QUERY_DIM];
         for u in 0..nq {
             for (i, e) in tr[u].iter().enumerate() {
-                rank_tbl[u * 64 + e] = i as u8;
+                rank_tbl[u * MAX_QUERY_DIM + e] = i as u8;
             }
         }
+        // Rows are padded by one trailing +∞ lane (stride `width + 1`) so
+        // kernel rank loads are unconditional — see the module docs.
         let mut vbase = vec![0u32; nq];
         let mut acc = 0u32;
         for u in 0..nq {
             vbase[u] = acc;
-            acc += width[u];
+            acc += width[u] + 1;
         }
-        let mut vals = vec![Ts::NEG_INF; acc as usize * n];
+        let mut vals = vec![RAW_NEG_INF; acc as usize * n];
+        for u in 0..nq {
+            let stride = width[u] as usize + 1;
+            for v in 0..n {
+                vals[vbase[u] as usize * n + v * stride + width[u] as usize] = RAW_INF;
+            }
+        }
         let mut exists = DenseBits::new(nq * n);
         let mut default_exists = DenseBits::new(nq * n);
         let mut label_ok = DenseBits::new(nq * n);
@@ -144,8 +204,8 @@ impl FilterInstance {
                     // Default entry: exists with all-∞ values.
                     exists.set(u * n + v);
                     default_exists.set(u * n + v);
-                    let base = vbase[u] as usize * n + v * width[u] as usize;
-                    vals[base..base + width[u] as usize].fill(Ts::INF);
+                    let base = vbase[u] as usize * n + v * (width[u] as usize + 1);
+                    vals[base..base + width[u] as usize].fill(RAW_INF);
                 }
             }
         }
@@ -156,15 +216,37 @@ impl FilterInstance {
             u_at_pos[pos] = u as u32;
         }
         let order = q.order();
-        let mut child_meta = Vec::new();
+        let mut cm_rank = Vec::new();
+        let mut cm_relmask = Vec::new();
         let mut cmeta_base = vec![0u32; nq];
+        let mut cedge = Vec::new();
+        let mut cedge_base = vec![0u32; nq];
+        let directed = g.is_directed();
         for u in 0..nq {
-            cmeta_base[u] = child_meta.len() as u32;
+            cmeta_base[u] = cm_rank.len() as u32;
+            cedge_base[u] = cedge.len() as u32;
             for &(echild, uc) in dag.children(u) {
+                let qe = q.edge(echild);
+                cedge.push(ChildEdgeMeta {
+                    label: qe.label,
+                    direction: if directed {
+                        qe.direction
+                    } else {
+                        Direction::Undirected
+                    },
+                    a_is_tail: qe.a == dag.tail(echild),
+                });
                 for ep in tr[u].iter() {
-                    child_meta.push(ChildMeta {
-                        rank: rank_tbl[uc * 64 + ep],
-                        related: pol.relates(order, ep, echild),
+                    // Absent edges load the child row's pad lane (+∞)
+                    // instead of branching on a sentinel.
+                    cm_rank.push(match rank_tbl[uc * MAX_QUERY_DIM + ep] {
+                        NO_RANK => width[uc] as u8,
+                        r => r,
+                    });
+                    cm_relmask.push(if pol.relates(order, ep, echild) {
+                        -1
+                    } else {
+                        0
                     });
                 }
             }
@@ -173,8 +255,11 @@ impl FilterInstance {
             pol,
             dag,
             rank_tbl,
-            child_meta,
+            cm_rank,
+            cm_relmask,
             cmeta_base,
+            cedge,
+            cedge_base,
             n,
             width,
             vbase,
@@ -192,7 +277,33 @@ impl FilterInstance {
             gen: 0,
             scratch: RecomputeScratch::default(),
             pending: Vec::new(),
+            kern: KernelKind::from_env(),
         }
+    }
+
+    /// Overrides the Eq. (1) kernel for this instance (tests and
+    /// interleaved benches; production selection is `TCSM_KERNEL`). Safe at
+    /// any event boundary — both kernels compute bit-identical tables.
+    #[doc(hidden)]
+    pub fn set_kernel(&mut self, kern: KernelKind) {
+        self.kern = kern;
+    }
+
+    /// The kernel this instance runs.
+    #[inline]
+    pub fn kernel(&self) -> KernelKind {
+        self.kern
+    }
+
+    /// Cumulative Eq. (1) kernel counters:
+    /// `(invocations, merged lanes, early-exit bails)`.
+    #[inline]
+    pub fn kernel_counters(&self) -> (u64, u64, u64) {
+        (
+            self.scratch.kernel_invocations,
+            self.scratch.kernel_lanes,
+            self.scratch.kernel_early_exits,
+        )
     }
 
     /// The instance's polarity.
@@ -213,10 +324,11 @@ impl FilterInstance {
         self.nondefault_count
     }
 
-    /// Start of the value row for `(u, v)`.
+    /// Start of the (padded) value row for `(u, v)`: `width[u]` logical
+    /// lanes followed by the `+∞` pad lane.
     #[inline]
     fn row(&self, u: QVertexId, v: VertexId) -> usize {
-        self.vbase[u] as usize * self.n + v as usize * self.width[u] as usize
+        self.vbase[u] as usize * self.n + v as usize * (self.width[u] as usize + 1)
     }
 
     #[inline]
@@ -239,7 +351,7 @@ impl FilterInstance {
     /// Rank of `e` within `TR(u)` (its index in the value row).
     #[inline]
     fn rank(&self, u: QVertexId, e: QEdgeId) -> Option<usize> {
-        match self.rank_tbl[u * 64 + e] {
+        match self.rank_tbl[u * MAX_QUERY_DIM + e] {
             NO_RANK => None,
             i => Some(i as usize),
         }
@@ -253,19 +365,20 @@ impl FilterInstance {
             return Ts::NEG_INF;
         }
         match self.rank(u, e) {
-            Some(i) => self.vals[self.row(u, v) + i],
+            Some(i) => Ts::from_raw(self.vals[self.row(u, v) + i]),
             None => Ts::INF,
         }
     }
 
-    /// Value for relevant-edge rank within an explicit row snapshot.
+    /// Value for relevant-edge rank within an explicit (raw-lane) row
+    /// snapshot.
     #[inline]
-    fn value_in(&self, row: &[Ts], row_exists: bool, u: QVertexId, e: QEdgeId) -> Ts {
+    fn value_in(&self, row: &[i64], row_exists: bool, u: QVertexId, e: QEdgeId) -> Ts {
         if !row_exists {
             return Ts::NEG_INF;
         }
         match self.rank(u, e) {
-            Some(i) => row[i],
+            Some(i) => Ts::from_raw(row[i]),
             None => Ts::INF,
         }
     }
@@ -309,9 +422,14 @@ impl FilterInstance {
     /// Full Eq. (1) evaluation of the entry at `(u, v)` from current child
     /// entries and the alive adjacency of `v`, written into `sc.new_vals`.
     /// Returns the existence bit. Allocation-free after warm-up.
+    ///
+    /// The per-lane merge runs through [`crate::kernel`] on the SoA
+    /// metadata and padded rows prepared at construction; the neighbour
+    /// loop itself only gates on existence and derives the edge constraint
+    /// from hoisted child-edge constants.
     fn recompute_into(
         &self,
-        q: &QueryGraph,
+        _q: &QueryGraph,
         g: &WindowGraph,
         u: QVertexId,
         v: VertexId,
@@ -319,51 +437,62 @@ impl FilterInstance {
     ) -> bool {
         let len = self.width[u] as usize;
         sc.new_vals.clear();
-        sc.new_vals.resize(len, Ts::NEG_INF);
         if !self.label_ok.get(u * self.n + v as usize) {
+            // Early out before touching anything else: callers still read
+            // a full row of −∞ lanes.
+            sc.new_vals.resize(len, RAW_NEG_INF);
             return false;
         }
-        sc.new_vals.fill(Ts::INF);
+        sc.new_vals.resize(len, RAW_INF);
         sc.best.clear();
-        sc.best.resize(len, Ts::NEG_INF);
-        for (k, &(echild, uc)) in self.dag.children(u).iter().enumerate() {
-            sc.best.fill(Ts::NEG_INF);
-            // Child-row ranks and polarity relations are DAG constants,
-            // precomputed per (u, child slot) at construction.
+        sc.best.resize(len, RAW_NEG_INF);
+        for (k, &(_echild, uc)) in self.dag.children(u).iter().enumerate() {
+            sc.best.fill(RAW_NEG_INF);
+            // Child-row ranks, polarity masks, and child-edge constants are
+            // DAG/order constants, precomputed per (u, child slot).
             let mbase = self.cmeta_base[u] as usize + k * len;
-            let meta = &self.child_meta[mbase..mbase + len];
+            let ranks = &self.cm_rank[mbase..mbase + len];
+            let relmask = &self.cm_relmask[mbase..mbase + len];
+            let cem = self.cedge[self.cedge_base[u] as usize + k];
+            let cstride = self.width[uc] as usize + 1;
             let mut any = false;
             for (vc, pe) in g.neighbors(v) {
                 let ucvc = uc * self.n + vc as usize;
-                if !self.label_ok.get(ucvc) || !self.exists.get(ucvc) {
+                // `exists ⊆ label_ok`: construction only sets existence
+                // under a label match and recomputation bails on label
+                // mismatch above, so the old label probe here was
+                // redundant — one bitmap walk fewer per neighbour.
+                if !self.exists.get(ucvc) {
                     continue;
                 }
-                let c = self.constraint(q, g, echild, v, vc);
+                debug_assert!(self.label_ok.get(ucvc), "exists outside label_ok");
+                let c = EdgeConstraint {
+                    label: cem.label,
+                    direction: cem.direction,
+                    src_is_a: if cem.a_is_tail { v < vc } else { vc < v },
+                };
                 let Some(tmax) = self.eff_max(pe, c) else {
                     continue;
                 };
                 any = true;
+                sc.kernel_invocations += 1;
+                sc.kernel_lanes += len as u64;
                 let crow = self.row(uc, vc);
-                for (m, best) in meta.iter().zip(sc.best.iter_mut()) {
-                    let tstar = match m.rank {
-                        NO_RANK => Ts::INF,
-                        j => self.vals[crow + j as usize],
-                    };
-                    let f = if m.related { tstar.min(tmax) } else { tstar };
-                    if f > *best {
-                        *best = f;
-                    }
-                }
+                kernel::accumulate(
+                    self.kern,
+                    &mut sc.best,
+                    &self.vals[crow..crow + cstride],
+                    ranks,
+                    relmask,
+                    tmax.raw(),
+                );
             }
             if !any {
-                sc.new_vals.fill(Ts::NEG_INF);
+                sc.kernel_early_exits += 1;
+                sc.new_vals.fill(RAW_NEG_INF);
                 return false;
             }
-            for i in 0..len {
-                if sc.best[i] < sc.new_vals[i] {
-                    sc.new_vals[i] = sc.best[i];
-                }
-            }
+            kernel::merge_min(&mut sc.new_vals, &sc.best);
         }
         true
     }
@@ -515,7 +644,7 @@ impl FilterInstance {
             self.vals[base..base + w].copy_from_slice(&scratch.new_vals);
             self.exists.replace(uv, new_exists);
             let is_default = if new_exists {
-                self.default_exists.get(uv) && scratch.new_vals.iter().all(|&t| t == Ts::INF)
+                self.default_exists.get(uv) && scratch.new_vals.iter().all(|&t| t == RAW_INF)
             } else {
                 !self.default_exists.get(uv)
             };
@@ -598,7 +727,7 @@ impl FilterInstance {
                 self.vals[base..base + w].copy_from_slice(&scratch.new_vals);
                 self.exists.replace(uv, new_exists);
                 let is_default = if new_exists {
-                    self.default_exists.get(uv) && scratch.new_vals.iter().all(|&t| t == Ts::INF)
+                    self.default_exists.get(uv) && scratch.new_vals.iter().all(|&t| t == RAW_INF)
                 } else {
                     !self.default_exists.get(uv)
                 };
@@ -639,7 +768,7 @@ impl FilterInstance {
                     self.pol
                 );
                 let is_default = if fresh_exists {
-                    self.default_exists.get(uv) && sc.new_vals.iter().all(|&t| t == Ts::INF)
+                    self.default_exists.get(uv) && sc.new_vals.iter().all(|&t| t == RAW_INF)
                 } else {
                     !self.default_exists.get(uv)
                 };
@@ -659,38 +788,59 @@ impl FilterInstance {
         );
     }
 
+    /// Logical lane count of the whole table (`Σ_u |TR(u)| · n`) — the
+    /// slab minus the per-row pad lanes.
+    fn logical_lanes(&self) -> usize {
+        self.width.iter().map(|&w| w as usize).sum::<usize>() * self.n
+    }
+
     /// Serializes the dynamic state (value slab, existence and non-default
-    /// bitmaps). Everything else — rank tables, defaults, topo orders — is
-    /// a construction-time constant rebuilt by [`FilterInstance::new`].
+    /// bitmaps, kernel counters). Everything else — rank tables, defaults,
+    /// topo orders, SoA kernel metadata — is a construction-time constant
+    /// rebuilt by [`FilterInstance::new`].
+    ///
+    /// Only the **logical** lanes are written: the pad lanes are pinned to
+    /// `+∞` at construction and are not dynamic state, so no byte pattern
+    /// in a snapshot can ever unpin one.
     ///
     /// Must only be called at an event boundary (no open update), where the
     /// worklist transients are provably empty.
     pub fn encode_state(&self, enc: &mut Encoder) {
         debug_assert!(self.pending_pos == 0, "snapshot during an open update");
-        enc.put_usize(self.vals.len());
-        for &t in &self.vals {
-            enc.put_ts(t);
+        enc.put_usize(self.logical_lanes());
+        for u in 0..self.width.len() {
+            let w = self.width[u] as usize;
+            for v in 0..self.n {
+                let base = self.row(u, v as VertexId);
+                for &t in &self.vals[base..base + w] {
+                    enc.put_ts(Ts::from_raw(t));
+                }
+            }
         }
         enc.put_bits(&self.exists);
         enc.put_bits(&self.nondefault);
         enc.put_usize(self.nondefault_count);
+        enc.put_u64(self.scratch.kernel_invocations);
+        enc.put_u64(self.scratch.kernel_lanes);
+        enc.put_u64(self.scratch.kernel_early_exits);
     }
 
     /// Overlays serialized dynamic state onto a freshly constructed
-    /// instance. The slab length and bitmap capacities must match this
-    /// instance's construction-time shape, and the stored non-default
+    /// instance. The logical lane count and bitmap capacities must match
+    /// this instance's construction-time shape, and the stored non-default
     /// census must agree with the bitmap — anything else is corruption.
+    /// The instance is untouched unless every field decodes.
     pub fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CodecError> {
         let nvals = dec.get_count(8)?;
-        if nvals != self.vals.len() {
+        if nvals != self.logical_lanes() {
             return Err(CodecError::Invalid(format!(
-                "filter value slab has {nvals} entries (expected {})",
-                self.vals.len()
+                "filter value slab has {nvals} logical lanes (expected {})",
+                self.logical_lanes()
             )));
         }
-        let mut vals = Vec::with_capacity(nvals);
+        let mut lanes = Vec::with_capacity(nvals);
         for _ in 0..nvals {
-            vals.push(dec.get_ts()?);
+            lanes.push(dec.get_ts()?.raw());
         }
         let exists = dec.get_bits(self.exists.len())?;
         let nondefault = dec.get_bits(self.nondefault.len())?;
@@ -701,10 +851,27 @@ impl FilterInstance {
                 nondefault.count_ones()
             )));
         }
-        self.vals = vals;
+        let kernel_invocations = dec.get_u64()?;
+        let kernel_lanes = dec.get_u64()?;
+        let kernel_early_exits = dec.get_u64()?;
+        // Commit: scatter logical lanes into the padded slab (pad lanes
+        // keep their construction-time `+∞`).
+        let mut it = lanes.into_iter();
+        for u in 0..self.width.len() {
+            let w = self.width[u] as usize;
+            for v in 0..self.n {
+                let base = self.row(u, v as VertexId);
+                for lane in &mut self.vals[base..base + w] {
+                    *lane = it.next().expect("lane count validated above");
+                }
+            }
+        }
         self.exists = exists;
         self.nondefault = nondefault;
         self.nondefault_count = nondefault_count;
+        self.scratch.kernel_invocations = kernel_invocations;
+        self.scratch.kernel_lanes = kernel_lanes;
+        self.scratch.kernel_early_exits = kernel_early_exits;
         Ok(())
     }
 }

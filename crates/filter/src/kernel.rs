@@ -1,0 +1,238 @@
+//! The Eq. (1) inner-loop kernels: bulk max-min merges over `TR(u)` lanes.
+//!
+//! One `recompute_into` evaluates, per DAG child `(ε_c, u_c)` of `u` and per
+//! contributing alive neighbour `v_c` of `v`, the per-lane update
+//!
+//! ```text
+//! best[i] = max(best[i], min(t*, tmax_eff))        for i in 0..|TR(u)|
+//! ```
+//!
+//! where `t* = T[u_c, v_c, TR(u)[i]]` and `tmax_eff` is the child-edge term
+//! `tmax` when the polarity relates `TR(u)[i]` to `ε_c`, `+∞` otherwise.
+//! After all neighbours of one child are folded, `new_vals[i] =
+//! min(new_vals[i], best[i])` merges the child into the row.
+//!
+//! # Kernel contract
+//!
+//! The instance hands the kernels a structure-of-arrays view it prepares at
+//! construction time (see `FilterInstance`):
+//!
+//! * `child_row` — the child's value row **padded by one trailing `+∞`
+//!   lane** (stride `|TR(u_c)| + 1`), so a rank is *always* a valid index:
+//!   edges outside `TR(u_c)` are remapped from the old `NO_RANK` sentinel
+//!   to the pad index and load `+∞` unconditionally, with no per-lane
+//!   branch.
+//! * `rank[i]` — index of `TR(u)[i]` in `child_row` (pad index if absent).
+//! * `relmask[i]` — `-1` ("all ones") when the polarity relates `TR(u)[i]`
+//!   to the child edge, `0` otherwise, so `tmax_eff` is two bit-ops:
+//!   `((tmax ^ MAX) & mask) ^ MAX` selects `tmax` or `i64::MAX` branch-free.
+//!
+//! All lanes are **raw `i64`** in the effective time domain: `Ts` derives
+//! `Ord` on its raw representation (sentinels are `i64::MIN`/`i64::MAX`),
+//! so raw integer `min`/`max` is exactly `Ts::min`/`Ts::max`. Integer
+//! min/max is associative, commutative, and exact — both kernels produce
+//! **bit-identical** rows for any chunking, which is what lets
+//! `TCSM_KERNEL` swap them under the differential suites.
+//!
+//! [`accumulate_scalar`] is the branchy per-lane reference (the shape of
+//! the pre-kernel code); [`accumulate_chunked`] processes fixed
+//! [`CHUNK`]-wide blocks of branch-free select/min/max ops that the
+//! compiler can keep in vector registers. Std-only, no intrinsics: the
+//! chunked kernel is written so autovectorization is *possible*, and stays
+//! correct scalar-by-scalar where it is not.
+
+/// Fixed chunk width of [`accumulate_chunked`] (8 × `i64` = one 64-byte
+/// cache line per block; also the widest common SIMD register span).
+pub const CHUNK: usize = 8;
+
+/// Which Eq. (1) kernel an instance runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Branchy per-lane reference implementation.
+    Scalar,
+    /// Fixed-width chunked, branch-free implementation (the default).
+    Chunked,
+}
+
+impl KernelKind {
+    /// Parses a `TCSM_KERNEL` value. Unknown or empty values fall back to
+    /// [`KernelKind::Chunked`], the default.
+    pub fn parse(v: &str) -> KernelKind {
+        match v.trim() {
+            "scalar" => KernelKind::Scalar,
+            _ => KernelKind::Chunked,
+        }
+    }
+
+    /// The process-wide default, from the `TCSM_KERNEL` environment
+    /// variable (`scalar` | `chunked`), read **once per process** — the
+    /// same contract as `TCSM_THREADS`. Unset or invalid ⇒ chunked.
+    pub fn from_env() -> KernelKind {
+        static KERNEL: std::sync::OnceLock<KernelKind> = std::sync::OnceLock::new();
+        *KERNEL.get_or_init(|| {
+            std::env::var("TCSM_KERNEL")
+                .map(|v| KernelKind::parse(&v))
+                .unwrap_or(KernelKind::Chunked)
+        })
+    }
+}
+
+/// Folds one contributing neighbour into `best` — reference kernel.
+///
+/// Per-lane semantics (shared by both kernels):
+/// `best[i] = max(best[i], min(child_row[rank[i]], relmask[i] ? tmax : +∞))`.
+///
+/// `rank` and `relmask` are `best.len()` long; every rank indexes into
+/// `child_row` (the pad lane included).
+#[inline]
+pub fn accumulate_scalar(
+    best: &mut [i64],
+    child_row: &[i64],
+    rank: &[u8],
+    relmask: &[i64],
+    tmax: i64,
+) {
+    assert_eq!(rank.len(), best.len());
+    assert_eq!(relmask.len(), best.len());
+    for i in 0..best.len() {
+        let tstar = child_row[rank[i] as usize];
+        let f = if relmask[i] != 0 {
+            if tstar < tmax {
+                tstar
+            } else {
+                tmax
+            }
+        } else {
+            tstar
+        };
+        if f > best[i] {
+            best[i] = f;
+        }
+    }
+}
+
+/// Folds one contributing neighbour into `best` — chunked branch-free
+/// kernel. Bit-identical to [`accumulate_scalar`] on every input.
+#[inline]
+pub fn accumulate_chunked(
+    best: &mut [i64],
+    child_row: &[i64],
+    rank: &[u8],
+    relmask: &[i64],
+    tmax: i64,
+) {
+    assert_eq!(rank.len(), best.len());
+    assert_eq!(relmask.len(), best.len());
+    // `((tmax ^ MAX) & mask) ^ MAX` = `tmax` when mask is all-ones, `MAX`
+    // when mask is zero — the branch-free select behind `tmax_eff`.
+    let txm = tmax ^ i64::MAX;
+    let n = best.len();
+    let mut i = 0;
+    while i + CHUNK <= n {
+        let b = &mut best[i..i + CHUNK];
+        let r = &rank[i..i + CHUNK];
+        let m = &relmask[i..i + CHUNK];
+        for j in 0..CHUNK {
+            let tstar = child_row[r[j] as usize];
+            let teff = (txm & m[j]) ^ i64::MAX;
+            b[j] = b[j].max(tstar.min(teff));
+        }
+        i += CHUNK;
+    }
+    while i < n {
+        let tstar = child_row[rank[i] as usize];
+        let teff = (txm & relmask[i]) ^ i64::MAX;
+        best[i] = best[i].max(tstar.min(teff));
+        i += 1;
+    }
+}
+
+/// Dispatches on the kernel kind.
+#[inline]
+pub fn accumulate(
+    kind: KernelKind,
+    best: &mut [i64],
+    child_row: &[i64],
+    rank: &[u8],
+    relmask: &[i64],
+    tmax: i64,
+) {
+    match kind {
+        KernelKind::Scalar => accumulate_scalar(best, child_row, rank, relmask, tmax),
+        KernelKind::Chunked => accumulate_chunked(best, child_row, rank, relmask, tmax),
+    }
+}
+
+/// Lane-wise `acc[i] = min(acc[i], best[i])` — the per-child merge into the
+/// row under recomputation. Trivially autovectorizable; shared by both
+/// kernel paths (exact, so it cannot diverge them).
+#[inline]
+pub fn merge_min(acc: &mut [i64], best: &[i64]) {
+    assert_eq!(acc.len(), best.len());
+    for (a, &b) in acc.iter_mut().zip(best) {
+        if b < *a {
+            *a = b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_kernel_kinds() {
+        assert_eq!(KernelKind::parse("scalar"), KernelKind::Scalar);
+        assert_eq!(KernelKind::parse(" scalar "), KernelKind::Scalar);
+        assert_eq!(KernelKind::parse("chunked"), KernelKind::Chunked);
+        assert_eq!(KernelKind::parse(""), KernelKind::Chunked);
+        assert_eq!(KernelKind::parse("nonsense"), KernelKind::Chunked);
+    }
+
+    /// Deterministic SplitMix64 for the self-contained differential check.
+    fn mix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn kernels_agree_across_widths_and_sentinels() {
+        let mut s = 0x5EEDu64;
+        for width in [0usize, 1, 2, 7, 8, 9, 15, 16, 23, 64] {
+            let crow_len = width + 1; // padded child row
+            let mut child_row: Vec<i64> = (0..crow_len)
+                .map(|_| match mix(&mut s) % 5 {
+                    0 => i64::MIN,
+                    1 => i64::MAX,
+                    _ => (mix(&mut s) as i64) >> 16,
+                })
+                .collect();
+            child_row[width] = i64::MAX; // pad lane is always +∞
+            let rank: Vec<u8> = (0..width)
+                .map(|_| (mix(&mut s) as usize % crow_len) as u8)
+                .collect();
+            let relmask: Vec<i64> = (0..width)
+                .map(|_| if mix(&mut s) & 1 == 0 { -1 } else { 0 })
+                .collect();
+            for tmax in [i64::MIN + 1, -7, 0, 42, i64::MAX - 1] {
+                let mut a = vec![i64::MIN; width];
+                let mut b = vec![i64::MIN; width];
+                for _ in 0..3 {
+                    accumulate_scalar(&mut a, &child_row, &rank, &relmask, tmax);
+                    accumulate_chunked(&mut b, &child_row, &rank, &relmask, tmax);
+                    assert_eq!(a, b, "width {width} tmax {tmax}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_min_is_lanewise() {
+        let mut acc = vec![5, i64::MAX, -3, i64::MIN];
+        merge_min(&mut acc, &[7, 0, -3, 9]);
+        assert_eq!(acc, vec![5, 0, -3, i64::MIN]);
+    }
+}

@@ -29,6 +29,22 @@
 //! recomputes at most once per event, and recompute scratch buffers are
 //! owned by the instance and reused.
 //!
+//! ## SoA kernel layout
+//!
+//! The slab stores **raw `i64`** lanes in the effective time domain (`Ts`
+//! ordering equals raw ordering), and every `(u, v)` row carries one
+//! trailing pad lane pinned to `+∞` (stride `|TR(u)| + 1`). Alongside it,
+//! construction lays out structure-of-arrays metadata per `(u, child
+//! slot)`: a rank row mapping each `TR(u)` lane to its index in the child's
+//! padded row (edges outside `TR(u_c)` point at the pad lane — no sentinel
+//! branch), a `-1`/`0` relation mask row feeding a branch-free `tmax`
+//! select, and the hoisted child-edge constants (label, resolved direction,
+//! tail orientation). The Eq. (1) inner loop is thereby a flat max-min
+//! merge over contiguous lanes, dispatched through [`kernel`] — a branchy
+//! scalar reference or the default fixed-width chunked form, selected by
+//! `TCSM_KERNEL` (`scalar` | `chunked`). Integer min/max is exact, so both
+//! kernels produce bit-identical tables; the differential suites pin this.
+//!
 //! # Batched updates
 //!
 //! A same-timestamp delta batch (all arrivals, or all expirations — see
@@ -54,10 +70,12 @@
 pub mod bank;
 pub mod exec;
 pub mod instance;
+pub mod kernel;
 pub mod oracle;
 pub mod pair;
 
 pub use bank::{DcsDelta, FilterBank, FilterMode};
 pub use exec::{Exec, SerialExec};
 pub use instance::FilterInstance;
+pub use kernel::KernelKind;
 pub use pair::{CandPair, DirectPairs};

@@ -1,0 +1,176 @@
+//! Differential suite: the chunked Eq. (1) kernel is bit-identical to the
+//! scalar reference — at the kernel level on adversarial lane patterns, and
+//! end-to-end through the filter bank on random streams.
+//!
+//! Together with the CI `kernel-differential` job (which re-runs the whole
+//! equivalence test suite under `TCSM_KERNEL=scalar`), this pins the
+//! guarantee that `TCSM_KERNEL` selection can never change a match stream.
+
+use proptest::prelude::*;
+use tcsm_dag::build_best_dag;
+use tcsm_filter::{kernel, FilterBank, FilterMode, KernelKind};
+use tcsm_graph::*;
+
+/// Random kernel operands: `(child_row, rank, relmask, tmax)` with the
+/// instance's invariants (pad lane pinned to `+∞`, every rank a valid
+/// index, relmask ∈ {-1, 0}) but otherwise adversarial values.
+///
+/// Widths deliberately cover the chunked kernel's edge cases: 0 (a vertex
+/// with an empty `TR(u)` row), 1, non-multiples of `CHUNK` (remainder
+/// loop), exact multiples (no remainder), and the `MAX_QUERY_DIM` maximum.
+/// `rank_bias` skews rows toward the pad index — the old `NO_RANK`
+/// sentinel — so pad-heavy rows (children sharing few temporal ranks) are
+/// common, and lane values are skewed toward the `±∞` sentinels.
+fn arb_kernel_args() -> impl Strategy<Value = (Vec<i64>, Vec<u8>, Vec<i64>, i64)> {
+    (
+        0usize..10,
+        any::<u64>(),
+        prop::collection::vec(any::<i64>(), 65),
+        prop::collection::vec((0u8..4, any::<i64>()), 64),
+        any::<i64>(),
+    )
+        .prop_map(|(wsel, seed, raw_row, lanes, tmax)| {
+            const WIDTHS: [usize; 10] = [0, 1, 2, 7, 8, 9, 16, 17, 33, 64];
+            let width = WIDTHS[wsel];
+            let mut child_row: Vec<i64> = raw_row[..width + 1]
+                .iter()
+                .map(|&v| match v.rem_euclid(4) {
+                    0 => i64::MIN,
+                    1 => i64::MAX,
+                    _ => v,
+                })
+                .collect();
+            child_row[width] = i64::MAX; // pad lane invariant
+            let rank_bias = seed % 3; // 0 = uniform, 1/2 = increasingly pad-heavy
+            let rank: Vec<u8> = lanes[..width]
+                .iter()
+                .map(|&(r, v)| {
+                    if rank_bias > 0 && !(v as u64).is_multiple_of(rank_bias + 1) {
+                        width as u8 // NO_RANK ⇒ pad index
+                    } else {
+                        (r as usize % (width + 1)) as u8
+                    }
+                })
+                .collect();
+            let relmask: Vec<i64> = lanes[..width]
+                .iter()
+                .map(|&(_, v)| if v & 1 == 0 { -1 } else { 0 })
+                .collect();
+            (child_row, rank, relmask, tmax)
+        })
+}
+
+/// Small random stream + query, identical in shape to the `laws.rs`
+/// generator (kept local so the two suites can evolve independently).
+fn arb_stream() -> impl Strategy<Value = (TemporalGraph, QueryGraph, i64)> {
+    (
+        3usize..6,
+        prop::collection::vec((0u32..8, 0u32..8, 1i64..20, 0u32..2), 4..14),
+        2usize..5,
+        any::<u64>(),
+        prop::collection::vec((0usize..8, 0usize..8), 0..4),
+        3i64..12,
+    )
+        .prop_map(|(n, edges, qn, seed, order_pairs, delta)| {
+            let mut b = TemporalGraphBuilder::new();
+            for i in 0..n {
+                b.vertex((seed >> i) as u32 % 2);
+            }
+            for (a, c, t, l) in edges {
+                let (a, c) = (a % n as u32, c % n as u32);
+                if a != c {
+                    b.edge_full(a, c, t, l);
+                }
+            }
+            let g = b.build().unwrap();
+            let mut qb = QueryGraphBuilder::new();
+            for i in 0..qn {
+                qb.vertex((seed >> (i + 8)) as u32 % 2);
+            }
+            let mut m = 0;
+            for i in 1..qn {
+                qb.edge((seed as usize >> i) % i, i);
+                m += 1;
+            }
+            for &(x, y) in &order_pairs {
+                if m >= 2 {
+                    let (x, y) = (x % m, y % m);
+                    if x != y {
+                        qb.precede(x.min(y), x.max(y));
+                    }
+                }
+            }
+            (g, qb.build().unwrap(), delta)
+        })
+}
+
+fn bank_state(bank: &FilterBank) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    bank.encode_state(&mut enc);
+    enc.into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Kernel level: scalar and chunked agree bit-for-bit on every lane
+    /// pattern, including repeated application onto the same accumulator.
+    #[test]
+    fn chunked_kernel_matches_scalar((child_row, rank, relmask, tmax) in arb_kernel_args()) {
+        let width = rank.len();
+        let mut a = vec![i64::MIN; width];
+        let mut b = vec![i64::MIN; width];
+        for _ in 0..3 {
+            kernel::accumulate_scalar(&mut a, &child_row, &rank, &relmask, tmax);
+            kernel::accumulate_chunked(&mut b, &child_row, &rank, &relmask, tmax);
+            prop_assert_eq!(&a, &b);
+        }
+        // The per-child merge is shared, but check it preserves agreement.
+        let mut am = vec![0i64; width];
+        let mut bm = vec![0i64; width];
+        kernel::merge_min(&mut am, &a);
+        kernel::merge_min(&mut bm, &b);
+        prop_assert_eq!(am, bm);
+    }
+
+    /// Bank level: two banks differing only in kernel kind produce
+    /// identical DCS deltas at every event and byte-identical encoded
+    /// state (max-min tables, membership, existence bits, counters) at
+    /// every step of a random insert/delete stream.
+    #[test]
+    fn bank_is_kernel_invariant((g, q, delta) in arb_stream()) {
+        let dag = build_best_dag(&q);
+        let w = WindowGraph::new(g.labels().to_vec(), false);
+        let mut ws = w.clone();
+        let mut wc = w;
+        let mut scalar = FilterBank::new(&q, &dag, FilterMode::Tc, &ws);
+        let mut chunked = FilterBank::new(&q, &dag, FilterMode::Tc, &wc);
+        scalar.set_kernel(KernelKind::Scalar);
+        chunked.set_kernel(KernelKind::Chunked);
+        let mut ds = Vec::new();
+        let mut dc = Vec::new();
+        let queue = EventQueue::new(&g, delta).unwrap();
+        for ev in queue.iter() {
+            let edge = *g.edge(ev.edge);
+            ds.clear();
+            dc.clear();
+            match ev.kind {
+                EventKind::Insert => {
+                    ws.insert(&edge);
+                    wc.insert(&edge);
+                    scalar.on_insert(&q, &ws, &edge, |k| g.edge(k), &mut ds);
+                    chunked.on_insert(&q, &wc, &edge, |k| g.edge(k), &mut dc);
+                }
+                EventKind::Delete => {
+                    ws.remove(&edge);
+                    wc.remove(&edge);
+                    scalar.on_delete(&q, &ws, &edge, |k| g.edge(k), &mut ds);
+                    chunked.on_delete(&q, &wc, &edge, |k| g.edge(k), &mut dc);
+                }
+            }
+            prop_assert_eq!(&ds, &dc);
+            prop_assert_eq!(scalar.num_pairs(), chunked.num_pairs());
+            prop_assert_eq!(bank_state(&scalar), bank_state(&chunked));
+        }
+    }
+}

@@ -32,9 +32,11 @@ pub const MAGIC: [u8; 4] = *b"TCSM";
 
 /// Current snapshot/wire format version. Bump on any layout change;
 /// decoders refuse other versions with [`CodecError::UnsupportedVersion`].
-/// (v2: the service manifest carries the disconnect counter and retirement
-/// order; v1 frames are refused.)
-pub const FORMAT_VERSION: u32 = 2;
+/// (v3: filter-instance state stores logical `TR(u)` lanes plus kernel
+/// counters, and engine/service stats carry the kernel counter triple;
+/// v2 added the service manifest disconnect counter and retirement order.
+/// Older frames are refused.)
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Size of the fixed frame header (magic + version + kind).
 const HEADER_LEN: usize = 4 + 4 + 1;

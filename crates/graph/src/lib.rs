@@ -48,7 +48,9 @@ pub use error::GraphError;
 pub use fx::{FxHashMap, FxHashSet};
 pub use io::{SnapLabeling, SnapOptions, SnapStats};
 pub use order::TemporalOrder;
-pub use query::{Direction, QEdgeId, QVertexId, QueryEdge, QueryGraph, QueryGraphBuilder};
+pub use query::{
+    Direction, QEdgeId, QVertexId, QueryEdge, QueryGraph, QueryGraphBuilder, MAX_QUERY_DIM,
+};
 pub use stream::{Event, EventKind, EventQueue};
 pub use time::Ts;
 pub use window::{EdgeConstraint, PairEdges, PairId, WindowGraph};

@@ -24,7 +24,7 @@ impl TemporalOrder {
     /// Builds the order over `m` edges from generating pairs `(a, b)` meaning
     /// `a ≺ b`, closing transitively and validating strictness.
     pub fn new(m: usize, pairs: &[(usize, usize)]) -> Result<TemporalOrder, GraphError> {
-        if m > 64 {
+        if m > crate::query::MAX_QUERY_DIM {
             return Err(GraphError::QueryTooLarge("edges", m));
         }
         let mut succ = vec![Set64::EMPTY; m];

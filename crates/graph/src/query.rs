@@ -16,6 +16,18 @@ pub type QVertexId = usize;
 /// Index of a query edge (`ε` in the paper).
 pub type QEdgeId = usize;
 
+/// Hard upper bound on query vertices *and* edges.
+///
+/// Downstream hot-path structures bake this limit into their layout —
+/// `Set64` edge/vertex sets, the filter's `rank_tbl[u · MAX_QUERY_DIM + e]`
+/// lookup table, and the one-word `pending_pos: u64` worklist bitmask —
+/// so exceeding it is a *typed* construction-time error
+/// ([`GraphError::QueryTooLarge`]) here at the only gate through which
+/// queries enter the system (builders, parsers, and the network daemon all
+/// construct through [`QueryGraph::new`]), never a silent truncation or a
+/// downstream panic.
+pub const MAX_QUERY_DIM: usize = 64;
+
 /// Direction requirement of a query edge with respect to its `(a, b)`
 /// endpoint order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -77,10 +89,10 @@ impl QueryGraph {
         order: TemporalOrder,
     ) -> Result<QueryGraph, GraphError> {
         let n = labels.len();
-        if n > 64 {
+        if n > MAX_QUERY_DIM {
             return Err(GraphError::QueryTooLarge("vertices", n));
         }
-        if edges.len() > 64 {
+        if edges.len() > MAX_QUERY_DIM {
             return Err(GraphError::QueryTooLarge("edges", edges.len()));
         }
         if order.num_edges() != edges.len() {
@@ -332,6 +344,46 @@ mod tests {
             b.build().unwrap_err(),
             GraphError::DisconnectedQuery
         ));
+    }
+
+    #[test]
+    fn rejects_oversized_queries_with_typed_error() {
+        // 65 vertices on a path: exceeds MAX_QUERY_DIM on the vertex axis.
+        let mut b = QueryGraphBuilder::new();
+        let vs: Vec<_> = (0..MAX_QUERY_DIM + 1).map(|_| b.vertex(0)).collect();
+        for w in vs.windows(2) {
+            b.edge(w[0], w[1]);
+        }
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GraphError::QueryTooLarge("vertices", n) if n == MAX_QUERY_DIM + 1
+        ));
+
+        // 33 vertices arranged so the edge count (65) exceeds the limit
+        // while the vertex count does not: a path plus chords.
+        let mut b = QueryGraphBuilder::new();
+        let vs: Vec<_> = (0..33).map(|_| b.vertex(0)).collect();
+        for w in vs.windows(2) {
+            b.edge(w[0], w[1]); // 32 path edges
+        }
+        for i in 0..31 {
+            b.edge(vs[i], vs[i + 2]); // 31 chords
+        }
+        b.edge(vs[0], vs[3]);
+        b.edge(vs[0], vs[4]); // total 65 edges
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GraphError::QueryTooLarge("edges", m) if m == MAX_QUERY_DIM + 1
+        ));
+
+        // Exactly MAX_QUERY_DIM vertices is accepted.
+        let mut b = QueryGraphBuilder::new();
+        let vs: Vec<_> = (0..MAX_QUERY_DIM).map(|_| b.vertex(0)).collect();
+        for w in vs.windows(2) {
+            b.edge(w[0], w[1]);
+        }
+        let q = b.build().unwrap();
+        assert_eq!(q.num_vertices(), MAX_QUERY_DIM);
     }
 
     #[test]

@@ -43,6 +43,18 @@ impl Ts {
         self.0
     }
 
+    /// Inverse of [`Ts::raw`]: reinterprets a raw `i64` as a timestamp.
+    ///
+    /// Every `i64` is a valid representation — `i64::MIN`/`i64::MAX` map
+    /// onto the sentinels — and `Ts` derives `Ord` on the raw value, so
+    /// `Ts` ordering and raw ordering coincide. This is the bridge that
+    /// lets bulk min/max kernels (`tcsm-filter::kernel`) work on plain
+    /// `i64` lanes and convert only at API boundaries.
+    #[inline]
+    pub fn from_raw(v: i64) -> Ts {
+        Ts(v)
+    }
+
     /// True when neither `INF` nor `NEG_INF`.
     #[inline]
     pub fn is_finite(self) -> bool {

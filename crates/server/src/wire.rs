@@ -442,6 +442,9 @@ fn encode_service_stats(e: &mut Encoder, s: &ServiceStats) {
     e.put_u64(s.disconnected);
     e.put_u64(s.events);
     e.put_u64(s.batches);
+    e.put_u64(s.kernel_invocations);
+    e.put_u64(s.kernel_lanes);
+    e.put_u64(s.kernel_early_exits);
 }
 
 fn decode_service_stats(dec: &mut Decoder<'_>) -> Result<ServiceStats, CodecError> {
@@ -454,6 +457,9 @@ fn decode_service_stats(dec: &mut Decoder<'_>) -> Result<ServiceStats, CodecErro
         disconnected: dec.get_u64()?,
         events: dec.get_u64()?,
         batches: dec.get_u64()?,
+        kernel_invocations: dec.get_u64()?,
+        kernel_lanes: dec.get_u64()?,
+        kernel_early_exits: dec.get_u64()?,
     })
 }
 

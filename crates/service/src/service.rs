@@ -118,6 +118,14 @@ pub struct ServiceStats {
     pub events: u64,
     /// Delta batches processed (0 in the per-event regime).
     pub batches: u64,
+    /// Eq. (1) kernel invocations summed over all resident queries'
+    /// filter instances (see `EngineStats::kernel_invocations`).
+    pub kernel_invocations: u64,
+    /// `TR(u)` lanes folded across those invocations.
+    pub kernel_lanes: u64,
+    /// Eq. (1) early-exit bails (child term with no contributing
+    /// neighbour) summed over all resident queries.
+    pub kernel_early_exits: u64,
 }
 
 /// One resident query: its runtime, sink, and per-delta delivery state.
@@ -375,10 +383,26 @@ impl<'g> MatchService<'g> {
         self.queue.len() - self.next_event
     }
 
-    /// Aggregate service counters (resident count refreshed here).
+    /// Aggregate service counters (resident count and the kernel
+    /// instrumentation aggregates refreshed here — the latter sum over the
+    /// *resident* queries' filter instances; retired queries drop out).
     pub fn stats(&self) -> ServiceStats {
+        let mut ki = 0u64;
+        let mut kl = 0u64;
+        let mut kx = 0u64;
+        for shard in &self.shards {
+            for slot in &shard.slots {
+                let s = slot.rt.stats();
+                ki += s.kernel_invocations;
+                kl += s.kernel_lanes;
+                kx += s.kernel_early_exits;
+            }
+        }
         ServiceStats {
             resident_queries: self.index.len(),
+            kernel_invocations: ki,
+            kernel_lanes: kl,
+            kernel_early_exits: kx,
             ..self.stats
         }
     }

@@ -228,6 +228,11 @@ fn decode_manifest(bytes: &[u8]) -> Result<Manifest, SnapshotError> {
             disconnected: dec.get_u64()?,
             events: dec.get_u64()?,
             batches: dec.get_u64()?,
+            // Derived at `stats()` time from the resident queries' own
+            // (snapshotted) kernel counters — never stored here.
+            kernel_invocations: 0,
+            kernel_lanes: 0,
+            kernel_early_exits: 0,
         };
         let nretired = dec.get_count(4)?;
         let mut retired = Vec::with_capacity(nretired);
