@@ -23,7 +23,13 @@ impl CountingAlloc {
     }
 }
 
+// SAFETY: every method delegates verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the wrapper only reads `layout`/`new_size` to
+// maintain byte-count atomics and never fabricates, retains, or resizes a
+// pointer itself.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwarded to `System.alloc` under the caller's contract
+    // (non-zero-sized `layout`); the atomics are bookkeeping only.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc(layout);
         if !p.is_null() {
@@ -33,11 +39,16 @@ unsafe impl GlobalAlloc for CountingAlloc {
         p
     }
 
+    // SAFETY: forwarded to `System.dealloc` under the caller's contract
+    // (`ptr` was allocated here with this `layout`).
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout);
         LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
     }
 
+    // SAFETY: forwarded to `System.realloc` under the caller's contract
+    // (`ptr` from this allocator, `layout` its current layout, `new_size`
+    // non-zero); the branches only adjust the live-byte census.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let p = System.realloc(ptr, layout, new_size);
         if !p.is_null() {

@@ -1,0 +1,94 @@
+//! Step-path audit cadence: when the engine/service actually runs the
+//! cross-crate invariant audit.
+//!
+//! The audit levels, the violation type and the env plumbing live in
+//! [`tcsm_graph::audit`] (re-exported here); this module adds the
+//! [`Auditor`] — a countdown that fires every `TCSM_AUDIT_EVERY`th stream
+//! event — which [`crate::TcmEngine`] and `tcsm_service::MatchService`
+//! embed in their step paths. The serviced network daemon drives the
+//! service's step loop, so all three entry points share this one dial.
+//!
+//! A fired audit that finds violations panics listing all of them
+//! ([`expect_clean`]): the audit is a tripwire for incremental-maintenance
+//! bugs, not a recoverable condition.
+
+pub use tcsm_graph::audit::{audit_every_from_env, expect_clean, AuditLevel, AuditViolation};
+
+/// Event-countdown driver for step-path audits.
+#[derive(Clone, Copy, Debug)]
+pub struct Auditor {
+    level: AuditLevel,
+    every: u64,
+    countdown: u64,
+}
+
+impl Auditor {
+    /// An auditor at `level`, firing every `every` stream events
+    /// (clamped to ≥ 1).
+    pub fn with(level: AuditLevel, every: u64) -> Auditor {
+        let every = every.max(1);
+        Auditor {
+            level,
+            every,
+            countdown: every,
+        }
+    }
+
+    /// The process-default auditor: `TCSM_AUDIT` × `TCSM_AUDIT_EVERY`.
+    pub fn from_env() -> Auditor {
+        Auditor::with(AuditLevel::from_env(), audit_every_from_env())
+    }
+
+    /// The configured level.
+    #[inline]
+    pub fn level(&self) -> AuditLevel {
+        self.level
+    }
+
+    /// Advances the countdown by `events` processed events; returns `true`
+    /// when an audit is due (and resets the countdown). Never fires when
+    /// the level is [`AuditLevel::Off`].
+    pub fn due(&mut self, events: u64) -> bool {
+        if !self.level.enabled() || events == 0 {
+            return false;
+        }
+        if self.countdown > events {
+            self.countdown -= events;
+            false
+        } else {
+            self.countdown = self.every;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn countdown_fires_every_nth_event() {
+        let mut a = Auditor::with(AuditLevel::Cheap, 3);
+        assert!(!a.due(1));
+        assert!(!a.due(1));
+        assert!(a.due(1));
+        assert!(!a.due(2));
+        assert!(a.due(5)); // batch overshooting the boundary fires once
+        assert!(!a.due(0));
+    }
+
+    #[test]
+    fn off_never_fires() {
+        let mut a = Auditor::with(AuditLevel::Off, 1);
+        for _ in 0..10 {
+            assert!(!a.due(1));
+        }
+    }
+
+    #[test]
+    fn every_clamps_to_one() {
+        let mut a = Auditor::with(AuditLevel::Deep, 0);
+        assert!(a.due(1));
+        assert!(a.due(1));
+    }
+}

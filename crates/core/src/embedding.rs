@@ -136,8 +136,10 @@ impl EmbeddingArena {
     /// Appends one embedding from the matcher's (complete) mapping rows.
     pub(crate) fn push_mapping(&mut self, vmap: &[Option<VertexId>], emap: &[Option<EdgeKey>]) {
         debug_assert_eq!((vmap.len(), emap.len()), (self.nv, self.ne));
-        self.verts.extend(vmap.iter().map(|v| v.unwrap()));
-        self.edges.extend(emap.iter().map(|e| e.unwrap()));
+        self.verts
+            .extend(vmap.iter().map(|v| v.expect("complete mapping row")));
+        self.edges
+            .extend(emap.iter().map(|e| e.expect("complete mapping row")));
     }
 
     /// Appends a copy of embedding `i` with query edge `e` remapped to `k` —

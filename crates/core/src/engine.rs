@@ -33,6 +33,7 @@
 //! structures still admit every expiring edge — see DESIGN.md), occurred
 //! embeddings after the batch's insertions.
 
+use crate::audit::{AuditLevel, AuditViolation, Auditor};
 use crate::config::EngineConfig;
 use crate::embedding::MatchEvent;
 use crate::pool::WorkerPool;
@@ -58,6 +59,8 @@ pub struct TcmEngine<'g> {
     rt: QueryRuntime,
     /// Materialized edges of the current delta batch (reused allocation).
     batch_scratch: Vec<TemporalEdge>,
+    /// Step-path invariant audit cadence (`TCSM_AUDIT` × `TCSM_AUDIT_EVERY`).
+    auditor: Auditor,
 }
 
 impl<'g> TcmEngine<'g> {
@@ -110,6 +113,7 @@ impl<'g> TcmEngine<'g> {
             next_event: 0,
             rt,
             batch_scratch: Vec::new(),
+            auditor: Auditor::from_env(),
         })
     }
 
@@ -182,6 +186,7 @@ impl<'g> TcmEngine<'g> {
                 self.rt.apply_delete(&self.window, &edge, |k| full.edge(k));
             }
         }
+        self.maybe_audit(1);
         true
     }
 
@@ -241,7 +246,9 @@ impl<'g> TcmEngine<'g> {
                     .apply_delete_batch(&self.window, &edges, |k| full.edge(k));
             }
         }
+        let processed = edges.len() as u64;
         self.batch_scratch = edges;
+        self.maybe_audit(processed);
         true
     }
 
@@ -293,6 +300,38 @@ impl<'g> TcmEngine<'g> {
             out.clear();
         }
         self.rt.stats()
+    }
+
+    /// Advances the audit countdown by `events` processed events and runs
+    /// the configured-level audit when it fires, panicking on violations
+    /// (the step-path tripwire — see [`crate::audit`]).
+    fn maybe_audit(&mut self, events: u64) {
+        if !self.auditor.due(events) {
+            return;
+        }
+        let out = self.audit_now(self.auditor.level());
+        crate::audit::expect_clean("TcmEngine step audit", &out);
+    }
+
+    /// Runs the invariant audit at `level` against the current window and
+    /// returns the violations found (empty on a healthy engine).
+    pub fn audit_now(&self, level: AuditLevel) -> Vec<AuditViolation> {
+        let full = self.full;
+        self.rt.audit(&self.window, |k| full.edge(k), level)
+    }
+
+    /// Overrides the step-path audit level/cadence chosen from the
+    /// environment (tests; production selection is `TCSM_AUDIT` ×
+    /// `TCSM_AUDIT_EVERY`).
+    #[doc(hidden)]
+    pub fn set_audit(&mut self, level: AuditLevel, every: u64) {
+        self.auditor = Auditor::with(level, every);
+    }
+
+    /// Corruption-hook access for the negative-test corpus.
+    #[doc(hidden)]
+    pub fn runtime_mut(&mut self) -> &mut QueryRuntime {
+        &mut self.rt
     }
 
     /// From-scratch consistency audit of every incremental structure

@@ -116,15 +116,18 @@
 //! assert_eq!(occurred, 1); // e0 ↦ t=1, e1 ↦ t=2 (the reverse violates ≺)
 //! ```
 
+pub mod audit;
 pub mod config;
 pub mod embedding;
 pub mod engine;
 pub mod matcher;
 pub mod parallel;
 pub mod pool;
+pub mod pool_model;
 pub mod runtime;
 pub mod stats;
 
+pub use audit::{AuditLevel, AuditViolation, Auditor};
 pub use config::{AlgorithmPreset, EngineConfig, PruningFlags, SearchBudget};
 pub use embedding::{Embedding, EmbeddingArena, MatchEvent, MatchKind};
 pub use engine::TcmEngine;

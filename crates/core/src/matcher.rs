@@ -377,8 +377,8 @@ impl<'a> Matcher<'a> {
     /// buffer — no allocation on the steady-state search path).
     fn fill_candidates(&self, e: QEdgeId, out: &mut Vec<(EdgeKey, Ts)>) {
         let qe = self.q.edge(e);
-        let va = self.s.vmap[qe.a].unwrap();
-        let vb = self.s.vmap[qe.b].unwrap();
+        let va = self.s.vmap[qe.a].expect("both endpoints of an extendable edge are mapped");
+        let vb = self.s.vmap[qe.b].expect("both endpoints of an extendable edge are mapped");
         let Some(bucket) = self.g.pair(va, vb) else {
             return;
         };
@@ -655,7 +655,7 @@ impl<'a> Matcher<'a> {
             if let Some(img) = self
                 .mapped_vertices
                 .contains(w)
-                .then(|| self.s.vmap[w].unwrap())
+                .then(|| self.s.vmap[w].expect("mapped_vertices bit implies a vmap entry"))
             {
                 let n = self.g.num_neighbors(img);
                 if pivot.is_none_or(|(_, _, pn)| n < pn) {
@@ -687,7 +687,7 @@ impl<'a> Matcher<'a> {
             if out.is_empty() {
                 return;
             }
-            let img_w = self.s.vmap[w].unwrap();
+            let img_w = self.s.vmap[w].expect("mapped_vertices bit implies a vmap entry");
             let entries = self.g.neighbor_entries(img_w);
             let mut cursor = 0usize;
             let mut keep = 0usize;

@@ -418,7 +418,14 @@ impl tcsm_filter::Exec for WorkerPool {
 /// [`SyncPtr::at`] so edition-2021 closures capture the wrapper, not the
 /// bare field, keeping the `Send`/`Sync` assertions in force.)
 struct SyncPtr<T>(*mut T);
+// SAFETY: a `SyncPtr` is only constructed over slabs that outlive the
+// dispatch it is captured by, and the pool's disjoint index partitioning
+// means no two lanes ever touch the same element — so sharing and sending
+// the raw pointer across the worker threads is sound (each use site below
+// documents its own aliasing discipline).
 unsafe impl<T> Send for SyncPtr<T> {}
+// SAFETY: as above — disjoint per-index access only, for the duration of
+// one dispatch.
 unsafe impl<T> Sync for SyncPtr<T> {}
 
 impl<T> SyncPtr<T> {

@@ -1,0 +1,420 @@
+//! A schedule-exploring model checker for the [`crate::pool`] ticket
+//! protocol.
+//!
+//! [`WorkerPool::dispatch_chunked`](crate::pool::WorkerPool::dispatch_chunked)
+//! coordinates the caller lane plus parked workers through three shared
+//! atomics: a **monotone claim counter** (tickets are claimed by CAS from a
+//! per-dispatch `base`, and the counter is *never* reset — that is the ABA
+//! defence that keeps a stale lane from re-claiming an old ticket), a
+//! **remaining countdown** (one decrement per ticket, panicking chunks
+//! included), and the published job itself. This module models exactly that
+//! protocol as a deterministically schedulable state machine and
+//! **exhaustively explores every interleaving** for small configurations,
+//! checking:
+//!
+//! * every index of every dispatch runs **exactly once**
+//!   ([`Violation::DoubleRun`] / [`Violation::LostIndex`]),
+//! * a panic mid-chunk still retires its chunk — the dispatcher reaches
+//!   `Done` instead of waiting forever ([`Violation::Hang`]),
+//! * the dispatcher's `remaining == 0` wait is eventually enabled on every
+//!   schedule ([`Violation::Hang`]).
+//!
+//! # Model shape
+//!
+//! One *dispatcher* actor publishes each dispatch in sequence, then runs
+//! the caller-lane claim loop, then waits for `remaining == 0` before
+//! clearing the job and publishing the next. `extra_lanes` *worker* actors
+//! park, grab the currently published job (capturing `d`/`base` like the
+//! real workers copy the `Job`), and run the same claim loop. The claim
+//! loop is modelled at atomic-step granularity — **load** and **CAS** are
+//! separate transitions, so every stale-read interleaving is explored —
+//! while a chunk execution is one atomic step (per-index interleaving
+//! cannot affect the counted properties).
+//!
+//! # Seeded bugs
+//!
+//! The checker must *fail* on broken variants of the claim protocol, or it
+//! proves nothing. [`Bug`] seeds the two historical failure shapes:
+//!
+//! * [`Bug::NonAtomicClaim`] — the CAS becomes a blind `load; store`
+//!   increment. Two lanes that read the same counter value both claim the
+//!   same ticket → `DoubleRun`.
+//! * [`Bug::ResetCounter`] — each publish resets the claim counter to `0`
+//!   instead of continuing the monotone sequence. A lane delayed between
+//!   its load and its CAS can now re-claim a ticket of the *previous*
+//!   dispatch (the classic ABA) → `DoubleRun` on the old dispatch and a
+//!   stolen ticket on the new one.
+//!
+//! Out of scope: condvar wakeups (the model treats every actor as always
+//! schedulable, which over-approximates wakeups) and the inline serial
+//! fast path (`width == 1 || tickets == 1`), which has no concurrency.
+//!
+//! `crates/core/tests/pool_model.rs` gates all of the above in CI.
+
+use tcsm_graph::FxHashSet;
+
+/// One `dispatch_chunked(n, chunk, ..)` call to model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Dispatch {
+    /// Index count (`n`).
+    pub n: u8,
+    /// Chunk size (≥ 1).
+    pub chunk: u8,
+}
+
+impl Dispatch {
+    fn tickets(self) -> u8 {
+        self.n.div_ceil(self.chunk)
+    }
+}
+
+/// Which (if any) seeded protocol bug to model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bug {
+    /// The faithful protocol.
+    None,
+    /// Ticket claim is a blind `load; store` instead of a CAS.
+    NonAtomicClaim,
+    /// The claim counter is reset to `0` at every publish (re-introduces
+    /// the ABA the monotone counter exists to kill).
+    ResetCounter,
+}
+
+/// A model configuration: lane count, dispatch sequence, seeded bug, and
+/// an optional injected panic.
+#[derive(Clone, Debug)]
+pub struct ModelConfig {
+    /// Worker lanes in addition to the dispatcher (total width =
+    /// `extra_lanes + 1`).
+    pub extra_lanes: usize,
+    /// The dispatches, applied in order on one pool.
+    pub dispatches: Vec<Dispatch>,
+    /// Seeded protocol bug (or [`Bug::None`]).
+    pub bug: Bug,
+    /// Inject a panic at `(dispatch, index)`: the run marking that chunk
+    /// stops at `index` (the panicking closure), but the chunk still
+    /// retires. The panicked index and the rest of its chunk are exempt
+    /// from the exactly-once check.
+    pub panic_at: Option<(u8, u8)>,
+}
+
+/// A property violation found on some schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Violation {
+    /// `(dispatch, index)` executed more than once.
+    DoubleRun { dispatch: u8, index: u8 },
+    /// `(dispatch, index)` never executed although every dispatch retired.
+    LostIndex { dispatch: u8, index: u8 },
+    /// A schedule reached a state with no enabled transition before the
+    /// dispatcher finished (deadlock / lost ticket).
+    Hang,
+}
+
+/// Exploration result.
+#[derive(Clone, Debug)]
+pub struct ModelReport {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Deduplicated violations, sorted.
+    pub violations: Vec<Violation>,
+}
+
+impl ModelReport {
+    /// `true` when every explored schedule satisfied every property.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The shared claim-loop sub-machine: one transition per atomic step.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum Sub {
+    /// About to load the claim counter.
+    Load,
+    /// Loaded `cur`; about to CAS `cur → cur + 1`.
+    Cas { cur: u8 },
+    /// Claimed `ticket`; about to run its chunk.
+    Run { ticket: u8 },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum Lane {
+    Parked,
+    /// Holds a copy of the published job (`d`, `base`) like a real worker.
+    Active {
+        d: u8,
+        base: u8,
+        sub: Sub,
+    },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum Boss {
+    /// About to publish dispatch `d` (no job visible to workers).
+    Publish {
+        d: u8,
+    },
+    /// Dispatch `d` published with claim base `base`; running the
+    /// caller-lane claim loop.
+    Work {
+        d: u8,
+        base: u8,
+        sub: Sub,
+    },
+    /// Claim loop exhausted; waiting for `remaining == 0`.
+    WaitDone {
+        d: u8,
+        base: u8,
+    },
+    Done,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct State {
+    boss: Boss,
+    lanes: Vec<Lane>,
+    claim: u8,
+    remaining: i16,
+    /// Per-index run counts, all dispatches flattened, saturated at 2.
+    runs: Vec<u8>,
+}
+
+/// Offset of dispatch `d`'s index range inside [`State::runs`].
+fn run_offset(cfg: &ModelConfig, d: u8) -> usize {
+    cfg.dispatches[..d as usize]
+        .iter()
+        .map(|disp| disp.n as usize)
+        .sum()
+}
+
+/// Marks one claimed chunk as executed and retires its ticket. Returns
+/// `false` (prune the branch) when an index double-ran.
+fn apply_run(
+    cfg: &ModelConfig,
+    st: &mut State,
+    d: u8,
+    ticket: u8,
+    violations: &mut FxHashSet<Violation>,
+) -> bool {
+    let disp = cfg.dispatches[d as usize];
+    let lo = ticket as usize * disp.chunk as usize;
+    let hi = (lo + disp.chunk as usize).min(disp.n as usize);
+    let off = run_offset(cfg, d);
+    let mut ok = true;
+    for idx in lo..hi {
+        if cfg.panic_at == Some((d, idx as u8)) {
+            // The closure panics here: the rest of the chunk is abandoned,
+            // but the ticket below still retires (catch_unwind + countdown).
+            break;
+        }
+        let slot = &mut st.runs[off + idx];
+        if *slot >= 1 {
+            violations.insert(Violation::DoubleRun {
+                dispatch: d,
+                index: idx as u8,
+            });
+            ok = false;
+        }
+        *slot = (*slot + 1).min(2);
+    }
+    st.remaining -= 1;
+    ok
+}
+
+/// One claim-loop step for an actor holding job `(d, base)` in sub-state
+/// `sub`. Returns the successor sub-state, `None` when the claim range is
+/// exhausted (the actor leaves the loop), and pushes the mutated state via
+/// `emit` unless the branch was pruned by a double-run.
+fn step_claim(
+    cfg: &ModelConfig,
+    st: &State,
+    d: u8,
+    base: u8,
+    sub: Sub,
+    violations: &mut FxHashSet<Violation>,
+) -> Option<(State, Option<Sub>)> {
+    let tickets = cfg.dispatches[d as usize].tickets();
+    let mut next = st.clone();
+    let succ = match sub {
+        Sub::Load => {
+            let cur = next.claim;
+            // `cur < base` is unreachable under the faithful protocol
+            // (monotone counter); buggy variants can rewind the counter, in
+            // which case the real claim loop's bound check still exits.
+            if cur < base || cur >= base + tickets {
+                None
+            } else {
+                Some(Sub::Cas { cur })
+            }
+        }
+        Sub::Cas { cur } => {
+            if cfg.bug == Bug::NonAtomicClaim {
+                // Blind increment: succeeds regardless of interleaving.
+                next.claim = cur + 1;
+                Some(Sub::Run { ticket: cur - base })
+            } else if next.claim == cur {
+                next.claim = cur + 1;
+                Some(Sub::Run { ticket: cur - base })
+            } else {
+                // CAS failed; reload.
+                Some(Sub::Load)
+            }
+        }
+        Sub::Run { ticket } => {
+            if !apply_run(cfg, &mut next, d, ticket, violations) {
+                return None; // double-run: record and prune this branch
+            }
+            Some(Sub::Load)
+        }
+    };
+    Some((next, succ))
+}
+
+fn initial(cfg: &ModelConfig) -> State {
+    State {
+        boss: Boss::Publish { d: 0 },
+        lanes: vec![Lane::Parked; cfg.extra_lanes],
+        claim: 0,
+        remaining: 0,
+        runs: vec![0; cfg.dispatches.iter().map(|d| d.n as usize).sum()],
+    }
+}
+
+/// All successor states of `st` (one per enabled atomic transition).
+fn successors(cfg: &ModelConfig, st: &State, violations: &mut FxHashSet<Violation>) -> Vec<State> {
+    let mut out = Vec::new();
+
+    // Dispatcher transition.
+    match st.boss {
+        Boss::Publish { d } => {
+            let mut next = st.clone();
+            if cfg.bug == Bug::ResetCounter {
+                next.claim = 0;
+            }
+            let base = next.claim;
+            next.remaining = cfg.dispatches[d as usize].tickets() as i16;
+            next.boss = Boss::Work {
+                d,
+                base,
+                sub: Sub::Load,
+            };
+            out.push(next);
+        }
+        Boss::Work { d, base, sub } => {
+            if let Some((mut next, succ)) = step_claim(cfg, st, d, base, sub, violations) {
+                next.boss = match succ {
+                    Some(sub) => Boss::Work { d, base, sub },
+                    None => Boss::WaitDone { d, base },
+                };
+                out.push(next);
+            }
+        }
+        Boss::WaitDone { d, .. } => {
+            // The condvar wait: enabled only once every ticket retired.
+            if st.remaining == 0 {
+                let mut next = st.clone();
+                next.boss = if (d as usize + 1) < cfg.dispatches.len() {
+                    Boss::Publish { d: d + 1 }
+                } else {
+                    Boss::Done
+                };
+                out.push(next);
+            }
+        }
+        Boss::Done => {}
+    }
+
+    // Worker-lane transitions.
+    for (i, lane) in st.lanes.iter().enumerate() {
+        match *lane {
+            Lane::Parked => {
+                // A parked lane can take the job while it is published
+                // (between publish and the dispatcher clearing it).
+                if let Boss::Work { d, base, .. } | Boss::WaitDone { d, base } = st.boss {
+                    let mut next = st.clone();
+                    next.lanes[i] = Lane::Active {
+                        d,
+                        base,
+                        sub: Sub::Load,
+                    };
+                    out.push(next);
+                }
+            }
+            Lane::Active { d, base, sub } => {
+                if let Some((mut next, succ)) = step_claim(cfg, st, d, base, sub, violations) {
+                    next.lanes[i] = match succ {
+                        Some(sub) => Lane::Active { d, base, sub },
+                        None => Lane::Parked,
+                    };
+                    out.push(next);
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// Exactly-once check at a terminal `Done` state.
+fn final_check(cfg: &ModelConfig, st: &State, violations: &mut FxHashSet<Violation>) {
+    for (d, disp) in cfg.dispatches.iter().enumerate() {
+        let off = run_offset(cfg, d as u8);
+        for idx in 0..disp.n {
+            let exempt = match cfg.panic_at {
+                Some((pd, pidx)) => {
+                    pd == d as u8 && idx / disp.chunk == pidx / disp.chunk && idx >= pidx
+                }
+                None => false,
+            };
+            if st.runs[off + idx as usize] == 0 && !exempt {
+                violations.insert(Violation::LostIndex {
+                    dispatch: d as u8,
+                    index: idx,
+                });
+            }
+        }
+    }
+}
+
+/// Exhaustively explores every schedule of `cfg` and reports all property
+/// violations found on any of them.
+///
+/// # Panics
+///
+/// Panics when the configuration itself is malformed (a dispatch with
+/// `chunk == 0`, or a total index count that overflows the `u8` ticket
+/// space).
+pub fn explore(cfg: &ModelConfig) -> ModelReport {
+    let total: usize = cfg.dispatches.iter().map(|d| d.n as usize).sum();
+    assert!(total <= u8::MAX as usize, "model too large for u8 tickets");
+    assert!(
+        cfg.dispatches.iter().all(|d| d.chunk >= 1),
+        "chunk must be at least 1"
+    );
+
+    let mut violations: FxHashSet<Violation> = FxHashSet::default();
+    let mut seen: FxHashSet<State> = FxHashSet::default();
+    let mut stack = vec![initial(cfg)];
+    while let Some(st) = stack.pop() {
+        if !seen.insert(st.clone()) {
+            continue;
+        }
+        let succs = successors(cfg, &st, &mut violations);
+        if succs.is_empty() {
+            if matches!(st.boss, Boss::Done) {
+                final_check(cfg, &st, &mut violations);
+            } else {
+                violations.insert(Violation::Hang);
+            }
+        } else {
+            stack.extend(succs);
+        }
+    }
+
+    let mut violations: Vec<Violation> = violations.into_iter().collect();
+    violations.sort();
+    ModelReport {
+        states: seen.len(),
+        violations,
+    }
+}

@@ -485,22 +485,119 @@ impl QueryRuntime {
         found.clear();
     }
 
-    /// From-scratch consistency audit of every incremental structure
-    /// (filter tables, bank membership, DCS candidacies) against the
-    /// current window — the invariant the differential suites check.
+    /// Cross-crate invariant audit of every incremental structure against
+    /// the current window, returning the violations found (see
+    /// [`tcsm_graph::audit`] for the level contract and the catalogue).
+    ///
+    /// Beyond delegating to [`FilterBank::audit`] and [`Dcs::audit`], this
+    /// is where the two cross-crate invariants neither crate can check
+    /// alone live:
+    ///
+    /// * **Deep** — the DCS multiplicity slab must equal a recount of the
+    ///   alive window through the bank membership: for every alive edge,
+    ///   query edge and valid orientation, the pair contributes one
+    ///   multiplicity to its `(pair bucket, edge, tail < head)` slot iff
+    ///   its membership bit is set.
+    /// * **Cheap** — the stats conservation laws: `batches ≤ events`,
+    ///   `kernel_early_exits ≤ kernel_invocations`, `peak ≤ sum` for both
+    ///   DCS size series, `parallel_sweeps ≤ parallel_sweep_seeds`, and
+    ///   `expired ≤ occurred` (every expiring embedding occurred first)
+    ///   unless a search budget cut occurrence sweeps short.
+    pub fn audit<'a>(
+        &self,
+        window: &WindowGraph,
+        lookup: impl Fn(EdgeKey) -> &'a TemporalEdge,
+        level: crate::audit::AuditLevel,
+    ) -> Vec<crate::audit::AuditViolation> {
+        use crate::audit::AuditViolation;
+        let mut out = Vec::new();
+        if !level.enabled() {
+            return out;
+        }
+        let alive: Vec<&TemporalEdge> = window
+            .buckets()
+            .flat_map(|b| b.iter().map(|r| lookup(r.key)))
+            .collect();
+        self.bank.audit(&self.q, window, &alive, level, &mut out);
+        self.dcs.audit(&self.q, window, level, &mut out);
+        if level.deep() {
+            let mut expected: tcsm_graph::FxHashMap<(tcsm_graph::PairId, usize, bool), u32> =
+                tcsm_graph::FxHashMap::default();
+            for sigma in &alive {
+                for e in 0..self.q.num_edges() {
+                    for o in tcsm_filter::pair::valid_orientations(&self.q, window, e, sigma) {
+                        let pair = tcsm_filter::CandPair {
+                            qedge: e,
+                            key: sigma.key,
+                            a_to_src: o,
+                        };
+                        if !self.bank.contains(pair) {
+                            continue;
+                        }
+                        let v_tail = pair.image_of(&self.q, sigma, self.dag.tail(e));
+                        let v_head = pair.image_of(&self.q, sigma, self.dag.head(e));
+                        if let Some(pid) = window.pair_id(v_tail, v_head) {
+                            *expected.entry((pid, e, v_tail < v_head)).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+            self.dcs.audit_mult(&expected, &mut out);
+        }
+        let s = &self.stats;
+        let mut law = |name: &str, lhs: u64, rhs: u64| {
+            if lhs > rhs {
+                out.push(AuditViolation::new(
+                    "stats-conservation",
+                    format!("{name}: {lhs} > {rhs}"),
+                ));
+            }
+        };
+        law("batches <= events", s.batches, s.events);
+        law(
+            "peak_dcs_edges <= sum_dcs_edges",
+            s.peak_dcs_edges,
+            s.sum_dcs_edges,
+        );
+        law(
+            "peak_dcs_vertices <= sum_dcs_vertices",
+            s.peak_dcs_vertices,
+            s.sum_dcs_vertices,
+        );
+        law(
+            "parallel_sweeps <= parallel_sweep_seeds",
+            s.parallel_sweeps,
+            s.parallel_sweep_seeds,
+        );
+        if !s.budget_exhausted {
+            law("expired <= occurred", s.expired, s.occurred);
+        }
+        out
+    }
+
+    /// From-scratch consistency audit of every incremental structure — the
+    /// historical panicking wrapper over [`QueryRuntime::audit`] at
+    /// [`crate::audit::AuditLevel::Deep`] (the differential suites' hook).
     #[doc(hidden)]
     pub fn check_consistency<'a>(
         &self,
         window: &WindowGraph,
         lookup: impl Fn(EdgeKey) -> &'a TemporalEdge,
     ) {
-        let alive: Vec<&TemporalEdge> = window
-            .buckets()
-            .flat_map(|b| b.iter().map(|r| lookup(r.key)))
-            .collect();
-        self.bank
-            .check_consistency(&self.q, window, alive.into_iter());
-        self.dcs.check_consistency(&self.q, window);
+        let out = self.audit(window, lookup, crate::audit::AuditLevel::Deep);
+        crate::audit::expect_clean("QueryRuntime", &out);
+    }
+
+    /// Corruption-hook access for the negative-test corpus.
+    #[doc(hidden)]
+    pub fn bank_mut(&mut self) -> &mut FilterBank {
+        &mut self.bank
+    }
+
+    /// Corruption-hook access for the negative-test corpus.
+    #[doc(hidden)]
+    pub fn dcs_mut(&mut self) -> &mut Dcs {
+        &mut self.dcs
     }
 
     /// Serializes the runtime's dynamic state: window length, accumulated

@@ -1,0 +1,108 @@
+//! Gates for the [`tcsm_core::pool_model`] schedule explorer: the faithful
+//! ticket protocol must pass exhaustively at small widths, and seeded
+//! claim-protocol bugs must be caught — otherwise the checker proves
+//! nothing about [`tcsm_core::pool`].
+
+use tcsm_core::pool_model::{explore, Bug, Dispatch, ModelConfig, Violation};
+
+fn cfg(extra_lanes: usize, dispatches: &[(u8, u8)], bug: Bug) -> ModelConfig {
+    ModelConfig {
+        extra_lanes,
+        dispatches: dispatches
+            .iter()
+            .map(|&(n, chunk)| Dispatch { n, chunk })
+            .collect(),
+        bug,
+        panic_at: None,
+    }
+}
+
+#[test]
+fn faithful_protocol_is_exhaustively_clean() {
+    // 2–3 total lanes × small index counts × both chunk sizes × one or two
+    // dispatches in sequence: every interleaving must run every index
+    // exactly once and terminate.
+    let mut explored = 0usize;
+    for extra in [1, 2] {
+        for n in 1..=4u8 {
+            for chunk in [1, 2] {
+                for dispatches in [vec![(n, chunk)], vec![(n, chunk), (n, chunk)]] {
+                    let report = explore(&cfg(extra, &dispatches, Bug::None));
+                    assert!(
+                        report.clean(),
+                        "extra={extra} dispatches={dispatches:?}: {:?}",
+                        report.violations
+                    );
+                    explored += report.states;
+                }
+            }
+        }
+    }
+    // Sanity: the explorer actually walked a nontrivial state space.
+    assert!(
+        explored > 1000,
+        "suspiciously small exploration: {explored}"
+    );
+}
+
+#[test]
+fn non_atomic_claim_double_runs() {
+    // Two lanes that both load the same counter value and blindly
+    // increment claim the same ticket.
+    let report = explore(&cfg(1, &[(2, 1)], Bug::NonAtomicClaim));
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DoubleRun { .. })),
+        "blind-increment claim must double-run a ticket: {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn reset_counter_reintroduces_aba() {
+    // A lane delayed between load and CAS across a publish boundary
+    // re-claims a ticket of the previous dispatch once the counter is
+    // reset — the exact ABA the monotone counter kills.
+    let report = explore(&cfg(1, &[(2, 1), (2, 1)], Bug::ResetCounter));
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DoubleRun { dispatch: 0, .. })),
+        "counter reset must re-run an old dispatch's ticket: {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn panic_mid_chunk_still_retires_the_chunk() {
+    // A panic at index 1 (inside chunk 0 of a 4-index, chunk-2 dispatch)
+    // abandons the rest of its chunk but must not hang the dispatcher or
+    // double-run anything; all other indices still run exactly once.
+    for extra in [1, 2] {
+        let mut c = cfg(extra, &[(4, 2)], Bug::None);
+        c.panic_at = Some((0, 1));
+        let report = explore(&c);
+        assert!(
+            report.clean(),
+            "extra={extra}: panic mid-chunk broke the protocol: {:?}",
+            report.violations
+        );
+    }
+}
+
+#[test]
+fn panic_on_last_ticket_does_not_hang() {
+    // The panicking ticket is the one the dispatcher's remaining==0 wait
+    // depends on last: the countdown must still reach zero.
+    let mut c = cfg(1, &[(3, 1)], Bug::None);
+    c.panic_at = Some((0, 2));
+    let report = explore(&c);
+    assert!(
+        !report.violations.contains(&Violation::Hang),
+        "panicking final ticket must still retire: {:?}",
+        report.violations
+    );
+}

@@ -1,0 +1,272 @@
+//! DCS invariant auditing (see `tcsm_graph::audit` for the level contract
+//! and the violation catalogue).
+//!
+//! The Cheap tier checks every census the DCS maintains against the slab
+//! it summarizes, plus the candidacy subset laws the matcher relies on
+//! (`d2 ⊆ d1 ⊆ …` and `d2 ⊆ label_ok` — the precondition behind the
+//! matcher's label-free candidate iteration). The Deep tier recomputes
+//! `d1`/`d2` as a fixpoint from the multiplicity index and recounts every
+//! support counter from the window's neighbourhood lists — the invariant
+//! the incremental `DCSInsertion`/`DCSDeletion` worklist must preserve.
+
+use crate::node::Dcs;
+use tcsm_graph::{
+    AuditLevel, AuditViolation, FxHashMap, PairId, QEdgeId, QueryGraph, VertexId, WindowGraph,
+};
+
+impl Dcs {
+    /// Appends this DCS's invariant violations to `out`.
+    ///
+    /// * **Cheap**: `d2_count` equals the `d2` popcount; `d2 ⊆ d1` and
+    ///   `d2 ⊆ label_ok`; `live_nodes` equals the number of `(u, v)` nodes
+    ///   with a nonzero slot census; each `nonzero_slots[u, v]` equals its
+    ///   counter row's actual nonzero count; `mult_groups`/`mult_total`
+    ///   equal the multiplicity slab's nonzero-entry count and sum.
+    /// * **Deep**: additionally recomputes `d1` (topological fixpoint over
+    ///   the multiplicity index) and `d2` (reverse order), compares every
+    ///   bit, and recounts every `n1`/`n2` support counter from the
+    ///   window's neighbour lists under the fixpoint candidacies.
+    pub fn audit(
+        &self,
+        q: &QueryGraph,
+        g: &WindowGraph,
+        level: AuditLevel,
+        out: &mut Vec<AuditViolation>,
+    ) {
+        if !level.enabled() {
+            return;
+        }
+        let n = self.n;
+        let nq = self.dag.num_vertices();
+        if self.d2_count != self.d2.count_ones() {
+            out.push(AuditViolation::new(
+                "dcs-d2-census",
+                format!(
+                    "d2_count {} vs bitmap popcount {}",
+                    self.d2_count,
+                    self.d2.count_ones()
+                ),
+            ));
+        }
+        for (i, (&w2, (&w1, &wl))) in self
+            .d2
+            .words()
+            .iter()
+            .zip(self.d1.words().iter().zip(self.label_ok.words()))
+            .enumerate()
+        {
+            if w2 & !w1 != 0 {
+                let bit = i * 64 + (w2 & !w1).trailing_zeros() as usize;
+                out.push(AuditViolation::new(
+                    "dcs-d2-outside-d1",
+                    format!("d2 set without d1 at (u{}, v{})", bit / n, bit % n),
+                ));
+            }
+            if w2 & !wl != 0 {
+                let bit = i * 64 + (w2 & !wl).trailing_zeros() as usize;
+                out.push(AuditViolation::new(
+                    "dcs-d2-outside-label",
+                    format!(
+                        "d2 set where labels mismatch at (u{}, v{})",
+                        bit / n,
+                        bit % n
+                    ),
+                ));
+            }
+        }
+        let mut live = 0usize;
+        for u in 0..nq {
+            let w = self.width[u] as usize;
+            for v in 0..n {
+                let row = self.row(u, v as VertexId);
+                let nonzero = self.counters[row..row + w]
+                    .iter()
+                    .filter(|&&c| c > 0)
+                    .count();
+                let stored = self.nonzero_slots[u * n + v] as usize;
+                if stored != nonzero {
+                    out.push(AuditViolation::new(
+                        "dcs-slot-census",
+                        format!("nonzero_slots {stored} vs counter row {nonzero} at (u{u}, v{v})"),
+                    ));
+                }
+                if nonzero > 0 {
+                    live += 1;
+                }
+            }
+        }
+        if self.live_nodes != live {
+            out.push(AuditViolation::new(
+                "dcs-live-census",
+                format!("live_nodes {} vs slab recount {live}", self.live_nodes),
+            ));
+        }
+        let groups = self.mult.iter().filter(|&&m| m != 0).count();
+        let total: usize = self.mult.iter().map(|&m| m as usize).sum();
+        if self.mult_groups != groups || self.mult_total != total {
+            out.push(AuditViolation::new(
+                "dcs-mult-census",
+                format!(
+                    "mult censuses ({}, {}) vs slab recount ({groups}, {total})",
+                    self.mult_groups, self.mult_total
+                ),
+            ));
+        }
+        if !level.deep() {
+            return;
+        }
+        // Fixpoint d1 in topological order, then d2 in reverse order — the
+        // ground truth the worklist maintenance must track.
+        let mut d1 = vec![vec![false; n]; nq];
+        for &u in self.dag.topo_order() {
+            for v in 0..n as VertexId {
+                if q.label(u) != g.label(v) {
+                    continue;
+                }
+                d1[u][v as usize] = self.dag.parents(u).iter().all(|&(e, up)| {
+                    (0..n as VertexId).any(|vp| self.mult(g, e, vp, v) > 0 && d1[up][vp as usize])
+                });
+            }
+        }
+        let mut d2 = vec![vec![false; n]; nq];
+        for &u in self.dag.topo_order().iter().rev() {
+            for v in 0..n as VertexId {
+                if !d1[u][v as usize] {
+                    continue;
+                }
+                d2[u][v as usize] = self.dag.children(u).iter().all(|&(e, uc)| {
+                    (0..n as VertexId).any(|vc| self.mult(g, e, v, vc) > 0 && d2[uc][vc as usize])
+                });
+            }
+        }
+        for u in 0..nq {
+            for v in 0..n as VertexId {
+                if self.d1(u, v) != d1[u][v as usize] {
+                    out.push(AuditViolation::new(
+                        "dcs-d1",
+                        format!(
+                            "stored d1 {} vs fixpoint {} at (u{u}, v{v})",
+                            self.d1(u, v),
+                            d1[u][v as usize]
+                        ),
+                    ));
+                }
+                if self.d2(u, v) != d2[u][v as usize] {
+                    out.push(AuditViolation::new(
+                        "dcs-d2",
+                        format!(
+                            "stored d2 {} vs fixpoint {} at (u{u}, v{v})",
+                            self.d2(u, v),
+                            d2[u][v as usize]
+                        ),
+                    ));
+                }
+            }
+        }
+        // Counter recount: each n1 slot counts the distinct parent images
+        // connected by an alive DCS edge group whose parent node holds
+        // d1; each n2 slot the distinct child images holding d2.
+        for u in 0..nq {
+            for v in 0..n as VertexId {
+                let row = self.row(u, v);
+                for (i, &(e, up)) in self.dag.parents(u).iter().enumerate() {
+                    let expected = g
+                        .neighbors_with_ids(v)
+                        .filter(|&(vp, pid, _)| {
+                            self.mult_at(pid, e, vp < v) > 0 && d1[up][vp as usize]
+                        })
+                        .count() as u32;
+                    let stored = self.counters[row + i];
+                    if stored != expected {
+                        out.push(AuditViolation::new(
+                            "dcs-counter",
+                            format!(
+                                "n1 slot {i} (edge {e}) stored {stored} vs recount {expected} \
+                                 at (u{u}, v{v})"
+                            ),
+                        ));
+                    }
+                }
+                let np = self.np[u] as usize;
+                for (i, &(e, uc)) in self.dag.children(u).iter().enumerate() {
+                    let expected = g
+                        .neighbors_with_ids(v)
+                        .filter(|&(vc, pid, _)| {
+                            self.mult_at(pid, e, v < vc) > 0 && d2[uc][vc as usize]
+                        })
+                        .count() as u32;
+                    let stored = self.counters[row + np + i];
+                    if stored != expected {
+                        out.push(AuditViolation::new(
+                            "dcs-counter",
+                            format!(
+                                "n2 slot {i} (edge {e}) stored {stored} vs recount {expected} \
+                                 at (u{u}, v{v})"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Compares the multiplicity slab against an expected recount keyed
+    /// `(pair bucket, query edge, tail < head)` — built by the runtime
+    /// audit from the alive window and the bank membership (the one
+    /// cross-crate invariant neither crate can check alone). Slab entries
+    /// absent from the map must be zero; map entries beyond the slab are
+    /// pairs the slab never admitted.
+    #[doc(hidden)]
+    pub fn audit_mult(
+        &self,
+        expected: &FxHashMap<(PairId, QEdgeId, bool), u32>,
+        out: &mut Vec<AuditViolation>,
+    ) {
+        for (idx, &stored) in self.mult.iter().enumerate() {
+            let pair = (idx / self.m2) as PairId;
+            let rem = idx % self.m2;
+            let (e, orient) = (rem / 2, rem % 2 == 1);
+            let want = expected.get(&(pair, e, orient)).copied().unwrap_or(0);
+            if stored != want {
+                out.push(AuditViolation::new(
+                    "dcs-mult",
+                    format!(
+                        "mult stored {stored} vs window recount {want} \
+                         at (pair {pair}, edge {e}, orient {orient})"
+                    ),
+                ));
+            }
+        }
+        for (&(pair, e, orient), &want) in expected {
+            let idx = Dcs::mult_idx(pair, self.m2, e, orient);
+            if idx >= self.mult.len() && want > 0 {
+                out.push(AuditViolation::new(
+                    "dcs-mult",
+                    format!(
+                        "window recount {want} at (pair {pair}, edge {e}, orient {orient}) \
+                         beyond the multiplicity slab"
+                    ),
+                ));
+            }
+        }
+    }
+
+    /// Corruption hook for the negative-test corpus: bumps one support
+    /// counter without the matching slot-census/worklist bookkeeping.
+    /// `slot` indexes the full `n1 ++ n2` row (must be `< width[u]`).
+    #[doc(hidden)]
+    pub fn corrupt_counter(&mut self, u: usize, v: VertexId, slot: usize) {
+        assert!(slot < self.width[u] as usize, "slot beyond counter row");
+        let row = self.row(u, v);
+        self.counters[row + slot] += 1;
+    }
+
+    /// Corruption hook for the negative-test corpus: toggles one `d2` bit
+    /// without updating `d2_count` or propagating support deltas.
+    #[doc(hidden)]
+    pub fn corrupt_d2(&mut self, u: usize, v: VertexId) {
+        let uv = u * self.n + v as usize;
+        let was = self.d2.get(uv);
+        self.d2.replace(uv, !was);
+    }
+}

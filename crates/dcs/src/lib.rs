@@ -35,6 +35,7 @@
 //! in place (`num_nodes()` returns to 0 on a drained stream — the
 //! regression tests in `tests/dense_oracle.rs` pin this).
 
+mod audit;
 mod node;
 mod update;
 

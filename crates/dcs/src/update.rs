@@ -229,56 +229,14 @@ impl Dcs {
         }
     }
 
-    /// From-scratch recomputation of `d1`/`d2` from the multiplicity index,
-    /// compared against the incremental state — the test invariant.
+    /// From-scratch recomputation of the incremental state — the
+    /// historical panicking wrapper over [`Dcs::audit`] at
+    /// [`tcsm_graph::AuditLevel::Deep`], kept for tests.
     #[doc(hidden)]
     pub fn check_consistency(&self, q: &QueryGraph, g: &WindowGraph) {
-        let n = g.num_vertices() as VertexId;
-        let nq = q.num_vertices();
-        // Fixpoint d1 in topo order, then d2 in reverse topo order.
-        let mut d1 = vec![vec![false; n as usize]; nq];
-        for &u in self.dag.topo_order() {
-            for v in 0..n {
-                if q.label(u) != g.label(v) {
-                    continue;
-                }
-                let ok = self.dag.parents(u).iter().all(|&(e, up)| {
-                    (0..n).any(|vp| self.mult(g, e, vp, v) > 0 && d1[up][vp as usize])
-                });
-                d1[u][v as usize] = ok;
-            }
-        }
-        let mut d2 = vec![vec![false; n as usize]; nq];
-        for &u in self.dag.topo_order().iter().rev() {
-            for v in 0..n {
-                if !d1[u][v as usize] {
-                    continue;
-                }
-                let ok = self.dag.children(u).iter().all(|&(e, uc)| {
-                    (0..n).any(|vc| self.mult(g, e, v, vc) > 0 && d2[uc][vc as usize])
-                });
-                d2[u][v as usize] = ok;
-            }
-        }
-        let mut expected_d2_count = 0;
-        for u in 0..nq {
-            for v in 0..n {
-                assert_eq!(
-                    self.d1(u, v),
-                    d1[u][v as usize],
-                    "d1 mismatch at (u{u}, v{v})"
-                );
-                assert_eq!(
-                    self.d2(u, v),
-                    d2[u][v as usize],
-                    "d2 mismatch at (u{u}, v{v})"
-                );
-                if d2[u][v as usize] {
-                    expected_d2_count += 1;
-                }
-            }
-        }
-        assert_eq!(self.d2_count, expected_d2_count, "d2_count diverged");
+        let mut out = Vec::new();
+        self.audit(q, g, tcsm_graph::AuditLevel::Deep, &mut out);
+        tcsm_graph::audit::expect_clean("Dcs", &out);
     }
 }
 

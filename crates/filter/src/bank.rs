@@ -25,7 +25,7 @@ use crate::pair::{valid_orientations, CandPair, DirectPairs};
 use std::sync::Arc;
 use tcsm_dag::{Polarity, QueryDag};
 use tcsm_graph::codec::{CodecError, Decoder, Encoder};
-use tcsm_graph::{QueryGraph, TemporalEdge, WindowGraph};
+use tcsm_graph::{AuditLevel, AuditViolation, QueryGraph, TemporalEdge, WindowGraph};
 
 /// Whether candidate pairs are filtered by TC-matchability or labels only.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -705,19 +705,82 @@ impl FilterBank {
         }
     }
 
-    /// From-scratch membership check for tests: recompute which pairs of all
-    /// alive edges should currently pass, and compare with the bitmap.
-    #[doc(hidden)]
-    pub fn check_consistency<'a>(
+    /// Instance position names for audit violation details (construction
+    /// order in [`FilterBank::new`]).
+    const INSTANCE_LABELS: [&'static str; 4] =
+        ["fwd-later", "fwd-earlier", "rev-later", "rev-earlier"];
+
+    /// Appends the bank's invariant violations to `out` (see
+    /// [`tcsm_graph::audit`] for the level contract and the catalogue).
+    ///
+    /// * **Cheap**: each instance's Cheap checks; every allocated
+    ///   membership page's census equals its popcount (and no allocated
+    ///   page sits at census zero — those are freed); `num_pairs` equals
+    ///   the sum of page censuses.
+    /// * **Deep**: additionally each instance's oracle checks, plus a
+    ///   from-scratch membership evaluation — every `(query edge, alive
+    ///   edge, orientation)` pair is re-tested with
+    ///   [`FilterBank::passes_all`] and compared against the bitmap.
+    pub fn audit(
         &self,
         q: &QueryGraph,
         g: &WindowGraph,
-        alive: impl Iterator<Item = &'a TemporalEdge>,
+        alive: &[&TemporalEdge],
+        level: AuditLevel,
+        out: &mut Vec<AuditViolation>,
     ) {
-        for inst in &self.instances {
-            inst.check_consistency(q, g);
+        if !level.enabled() {
+            return;
         }
-        let mut expected = 0usize;
+        for (i, inst) in self.instances.iter().enumerate() {
+            let label = FilterBank::INSTANCE_LABELS
+                .get(i)
+                .copied()
+                .unwrap_or("instance");
+            inst.audit(q, g, level, label, out);
+        }
+        let mut total = 0usize;
+        for (i, page) in self.members.pages.iter().enumerate() {
+            let census = self.members.page_bits[i] as usize;
+            match page {
+                Some(p) => {
+                    let ones: usize = p.iter().map(|w| w.count_ones() as usize).sum();
+                    if ones != census {
+                        out.push(AuditViolation::new(
+                            "bank-page-census",
+                            format!("page {i} census {census} vs popcount {ones}"),
+                        ));
+                    }
+                    if census == 0 {
+                        out.push(AuditViolation::new(
+                            "bank-empty-page",
+                            format!("page {i} allocated at census 0 (should be freed)"),
+                        ));
+                    }
+                    total += ones;
+                }
+                None => {
+                    if census != 0 {
+                        out.push(AuditViolation::new(
+                            "bank-page-census",
+                            format!("freed page {i} still carries census {census}"),
+                        ));
+                    }
+                }
+            }
+        }
+        if self.num_pairs != total {
+            out.push(AuditViolation::new(
+                "bank-pair-census",
+                format!(
+                    "num_pairs {} vs membership popcount {total}",
+                    self.num_pairs
+                ),
+            ));
+        }
+        if !level.deep() {
+            return;
+        }
         for sigma in alive {
             for e in 0..q.num_edges() {
                 for o in valid_orientations(q, g, e, sigma) {
@@ -726,25 +789,80 @@ impl FilterBank {
                         key: sigma.key,
                         a_to_src: o,
                     };
-                    if self.passes_all(q, pair, sigma) {
-                        expected += 1;
-                        assert!(
-                            self.contains(pair),
-                            "missing member {pair:?} (from-scratch evaluation passes)"
-                        );
-                    } else {
-                        assert!(
-                            !self.contains(pair),
-                            "stale member {pair:?} (from-scratch evaluation fails)"
-                        );
+                    let passes = self.passes_all(q, pair, sigma);
+                    let member = self.contains(pair);
+                    if passes && !member {
+                        out.push(AuditViolation::new(
+                            "bank-member-missing",
+                            format!("{pair:?} passes the from-scratch evaluation but is unset"),
+                        ));
+                    } else if !passes && member {
+                        out.push(AuditViolation::new(
+                            "bank-member-stale",
+                            format!("{pair:?} fails the from-scratch evaluation but is set"),
+                        ));
                     }
                 }
             }
         }
-        assert_eq!(
-            self.num_pairs, expected,
-            "bank membership count diverged from from-scratch evaluation"
-        );
+    }
+
+    /// From-scratch membership check for tests — the historical panicking
+    /// wrapper over [`FilterBank::audit`] at [`AuditLevel::Deep`].
+    #[doc(hidden)]
+    pub fn check_consistency<'a>(
+        &self,
+        q: &QueryGraph,
+        g: &WindowGraph,
+        alive: impl Iterator<Item = &'a TemporalEdge>,
+    ) {
+        let alive: Vec<&TemporalEdge> = alive.collect();
+        let mut out = Vec::new();
+        self.audit(q, g, &alive, AuditLevel::Deep, &mut out);
+        tcsm_graph::audit::expect_clean("FilterBank", &out);
+    }
+
+    /// Corruption hook for the negative-test corpus: clears the lowest set
+    /// membership bit *without* updating the page census or `num_pairs`
+    /// (the raw-word desync only the audit's popcounts can see). Returns
+    /// `false` when no member bit exists to corrupt.
+    #[doc(hidden)]
+    pub fn corrupt_membership_word(&mut self) -> bool {
+        for page in self.members.pages.iter_mut().flatten() {
+            for w in page.iter_mut() {
+                if *w != 0 {
+                    *w &= *w - 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Corruption hook for the negative-test corpus: desyncs the pair
+    /// count from the membership bitmap.
+    #[doc(hidden)]
+    pub fn corrupt_pair_census(&mut self) {
+        self.num_pairs += 1;
+    }
+
+    /// Corruption hook for the negative-test corpus: unpins one pad lane
+    /// of instance `instance` (see [`FilterInstance::corrupt_pad_lane`]).
+    /// No-op (returning `false`) when the bank runs label-only.
+    #[doc(hidden)]
+    pub fn corrupt_pad_lane(
+        &mut self,
+        instance: usize,
+        u: tcsm_graph::QVertexId,
+        v: tcsm_graph::VertexId,
+    ) -> bool {
+        match self.instances.get_mut(instance) {
+            Some(inst) => {
+                inst.corrupt_pad_lane(u, v);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Serializes the bank's dynamic state: mode tag, per-instance tables,

@@ -35,8 +35,8 @@ use crate::pair::{valid_orientations, CandPair, DirectPairs};
 use tcsm_dag::{Polarity, QueryDag};
 use tcsm_graph::codec::{CodecError, Decoder, Encoder};
 use tcsm_graph::{
-    DenseBits, Direction, EdgeConstraint, EdgeLabel, PairEdges, QEdgeId, QVertexId, QueryGraph,
-    TemporalEdge, Ts, VertexId, WindowGraph, MAX_QUERY_DIM,
+    AuditLevel, AuditViolation, DenseBits, Direction, EdgeConstraint, EdgeLabel, PairEdges,
+    QEdgeId, QVertexId, QueryGraph, TemporalEdge, Ts, VertexId, WindowGraph, MAX_QUERY_DIM,
 };
 
 /// Raw-lane sentinels (`Ts` ordering equals raw `i64` ordering, so the
@@ -742,50 +742,143 @@ impl FilterInstance {
         self.scratch = scratch;
     }
 
-    /// Recomputes every entry from scratch and asserts the dense table (and
-    /// its non-default census) matches — the incremental-maintenance
-    /// invariant, used by tests.
-    #[doc(hidden)]
-    pub fn check_consistency(&self, q: &QueryGraph, g: &WindowGraph) {
+    /// Appends this instance's invariant violations to `out` (see
+    /// [`tcsm_graph::audit`] for the level contract and the catalogue).
+    ///
+    /// * **Cheap**: every padded row's trailing lane still holds the `+∞`
+    ///   sentinel pinned at construction; `W[u,v] ⊆ label_ok[u,v]` (a weak
+    ///   embedding rooted at a label-incompatible vertex is impossible);
+    ///   the non-default census equals the bitmap popcount.
+    /// * **Deep**: additionally recomputes every `(u, v)` entry from
+    ///   scratch ([`FilterInstance::recompute_into`]) and compares the
+    ///   existence bit, the value row, and the non-default classification.
+    ///
+    /// `label` names the instance in violation details (the bank passes
+    /// its DAG/polarity position).
+    pub fn audit(
+        &self,
+        q: &QueryGraph,
+        g: &WindowGraph,
+        level: AuditLevel,
+        label: &str,
+        out: &mut Vec<AuditViolation>,
+    ) {
+        if !level.enabled() {
+            return;
+        }
+        for u in 0..q.num_vertices() {
+            let w = self.width[u] as usize;
+            for v in 0..self.n as VertexId {
+                let base = self.row(u, v);
+                if self.vals[base + w] != RAW_INF {
+                    out.push(AuditViolation::new(
+                        "filter-pad-lane",
+                        format!(
+                            "{label}: pad lane of (u{u}, v{v}) holds {} (expected +inf)",
+                            self.vals[base + w]
+                        ),
+                    ));
+                }
+            }
+        }
+        for (i, (&we, &wl)) in self
+            .exists
+            .words()
+            .iter()
+            .zip(self.label_ok.words())
+            .enumerate()
+        {
+            let escaped = we & !wl;
+            if escaped != 0 {
+                let bit = i * 64 + escaped.trailing_zeros() as usize;
+                out.push(AuditViolation::new(
+                    "filter-exists-outside-label",
+                    format!(
+                        "{label}: existence bit set at (u{}, v{}) where labels mismatch",
+                        bit / self.n,
+                        bit % self.n
+                    ),
+                ));
+            }
+        }
+        if self.nondefault_count != self.nondefault.count_ones() {
+            out.push(AuditViolation::new(
+                "filter-nondefault-census",
+                format!(
+                    "{label}: nondefault_count {} vs bitmap popcount {}",
+                    self.nondefault_count,
+                    self.nondefault.count_ones()
+                ),
+            ));
+        }
+        if !level.deep() {
+            return;
+        }
         let mut sc = RecomputeScratch::default();
-        let mut nondefault = 0usize;
         for u in 0..q.num_vertices() {
             for v in 0..self.n as VertexId {
                 let uv = u * self.n + v as usize;
                 let fresh_exists = self.recompute_into(q, g, u, v, &mut sc);
-                assert_eq!(
-                    self.exists.get(uv),
-                    fresh_exists,
-                    "stale existence at (u{u}, v{v}) pol={:?}",
-                    self.pol
-                );
+                if self.exists.get(uv) != fresh_exists {
+                    out.push(AuditViolation::new(
+                        "filter-existence",
+                        format!(
+                            "{label}: stored existence {} vs recomputed {fresh_exists} \
+                             at (u{u}, v{v})",
+                            self.exists.get(uv)
+                        ),
+                    ));
+                }
                 let base = self.row(u, v);
                 let w = self.width[u] as usize;
-                assert_eq!(
-                    &self.vals[base..base + w],
-                    &sc.new_vals[..],
-                    "stale entry at (u{u}, v{v}) pol={:?}",
-                    self.pol
-                );
+                if self.vals[base..base + w] != sc.new_vals[..] {
+                    out.push(AuditViolation::new(
+                        "filter-value",
+                        format!(
+                            "{label}: stored row {:?} vs recomputed {:?} at (u{u}, v{v})",
+                            &self.vals[base..base + w],
+                            &sc.new_vals[..]
+                        ),
+                    ));
+                }
                 let is_default = if fresh_exists {
                     self.default_exists.get(uv) && sc.new_vals.iter().all(|&t| t == RAW_INF)
                 } else {
                     !self.default_exists.get(uv)
                 };
-                assert_eq!(
-                    self.nondefault.get(uv),
-                    !is_default,
-                    "non-default census wrong at (u{u}, v{v})"
-                );
-                if !is_default {
-                    nondefault += 1;
+                if self.nondefault.get(uv) == is_default {
+                    out.push(AuditViolation::new(
+                        "filter-nondefault-bit",
+                        format!(
+                            "{label}: non-default bit {} vs recomputed default \
+                             classification at (u{u}, v{v})",
+                            self.nondefault.get(uv)
+                        ),
+                    ));
                 }
             }
         }
-        assert_eq!(
-            self.nondefault_count, nondefault,
-            "table_len census diverged"
-        );
+    }
+
+    /// Recomputes every entry from scratch and panics on the first
+    /// divergence — the historical panicking wrapper over
+    /// [`FilterInstance::audit`] at [`AuditLevel::Deep`], kept for tests.
+    #[doc(hidden)]
+    pub fn check_consistency(&self, q: &QueryGraph, g: &WindowGraph) {
+        let mut out = Vec::new();
+        self.audit(q, g, AuditLevel::Deep, &format!("{:?}", self.pol), &mut out);
+        tcsm_graph::audit::expect_clean("FilterInstance", &out);
+    }
+
+    /// Corruption hook for the negative-test corpus: unpins the pad lane
+    /// of `(u, v)`'s row, overwriting the construction-time `+∞` sentinel
+    /// with `0`. Only the Cheap pad-lane check can see this — no logical
+    /// lane, census, or snapshot byte covers the pad.
+    #[doc(hidden)]
+    pub fn corrupt_pad_lane(&mut self, u: QVertexId, v: VertexId) {
+        let w = self.width[u] as usize;
+        let base = self.row(u, v);
+        self.vals[base + w] = 0;
     }
 
     /// Logical lane count of the whole table (`Σ_u |TR(u)| · n`) — the

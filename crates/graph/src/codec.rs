@@ -125,10 +125,23 @@ impl std::error::Error for CodecError {}
 pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
-        h ^= b as u64;
+        h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// `N` bytes of `bytes` starting at `at`, as a fixed array. Callers have
+/// already length-checked the slice.
+fn array_at<const N: usize>(bytes: &[u8], at: usize) -> [u8; N] {
+    let mut a = [0u8; N];
+    a.copy_from_slice(&bytes[at..at + N]);
+    a
+}
+
+/// A `usize` widened to the 64-bit wire representation.
+fn wire_u64(v: usize) -> u64 {
+    u64::try_from(v).expect("usize fits the 64-bit wire format")
 }
 
 /// Append-only snapshot writer. Build one with [`Encoder::new`] (bare
@@ -178,13 +191,13 @@ impl Encoder {
 
     #[inline]
     pub fn put_bool(&mut self, v: bool) {
-        self.buf.push(v as u8);
+        self.buf.push(u8::from(v));
     }
 
     /// A `usize` as `u64` (the format is 64-bit regardless of host width).
     #[inline]
     pub fn put_usize(&mut self, v: usize) {
-        self.put_u64(v as u64);
+        self.put_u64(wire_u64(v));
     }
 
     /// A timestamp, as its raw `i64` (sentinels included).
@@ -220,7 +233,7 @@ impl Encoder {
         let at = self.buf.len();
         self.buf.extend_from_slice(&[0u8; 8]);
         f(self);
-        let len = (self.buf.len() - at - 8) as u64;
+        let len = wire_u64(self.buf.len() - at - 8);
         self.buf[at..at + 8].copy_from_slice(&len.to_le_bytes());
     }
 
@@ -276,20 +289,28 @@ impl<'a> Decoder<'a> {
         Ok(s)
     }
 
+    /// Takes exactly `N` bytes as a fixed array, or reports truncation.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        let s = self.take(N)?;
+        let mut a = [0u8; N];
+        a.copy_from_slice(s);
+        Ok(a)
+    }
+
     pub fn get_u8(&mut self) -> Result<u8, CodecError> {
         Ok(self.take(1)?[0])
     }
 
     pub fn get_u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     pub fn get_u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     pub fn get_i64(&mut self) -> Result<i64, CodecError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.take_array()?))
     }
 
     pub fn get_bool(&mut self) -> Result<bool, CodecError> {
@@ -372,14 +393,14 @@ impl<'a> Decoder<'a> {
     /// bytes is a [`CodecError::SectionLength`].
     pub fn section(&mut self) -> Result<Decoder<'a>, CodecError> {
         let len = self.get_u64()?;
-        let avail = self.remaining() as u64;
+        let avail = wire_u64(self.remaining());
         if len > avail {
             return Err(CodecError::SectionLength {
                 declared: len,
                 available: avail,
             });
         }
-        let len = len as usize;
+        let len = usize::try_from(len).expect("bounded by remaining(), which is a usize");
         let sub = Decoder {
             buf: &self.buf[self.pos..self.pos + len],
             pos: 0,
@@ -406,11 +427,11 @@ pub fn open_frame(bytes: &[u8], expected_kind: u8) -> Result<Decoder<'_>, CodecE
             have: bytes.len(),
         });
     }
-    let magic: [u8; 4] = bytes[..4].try_into().unwrap();
+    let magic: [u8; 4] = array_at(bytes, 0);
     if magic != MAGIC {
         return Err(CodecError::BadMagic(magic));
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let version = u32::from_le_bytes(array_at(bytes, 4));
     if version != FORMAT_VERSION {
         return Err(CodecError::UnsupportedVersion(version));
     }
@@ -422,7 +443,7 @@ pub fn open_frame(bytes: &[u8], expected_kind: u8) -> Result<Decoder<'_>, CodecE
         });
     }
     let body_end = bytes.len() - CHECKSUM_LEN;
-    let stored = u64::from_le_bytes(bytes[body_end..].try_into().unwrap());
+    let stored = u64::from_le_bytes(array_at(bytes, body_end));
     let computed = fnv1a(&bytes[..body_end]);
     if stored != computed {
         return Err(CodecError::Checksum { stored, computed });
@@ -441,11 +462,11 @@ pub fn frame_kind(bytes: &[u8]) -> Result<u8, CodecError> {
             have: bytes.len(),
         });
     }
-    let magic: [u8; 4] = bytes[..4].try_into().unwrap();
+    let magic: [u8; 4] = array_at(bytes, 0);
     if magic != MAGIC {
         return Err(CodecError::BadMagic(magic));
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let version = u32::from_le_bytes(array_at(bytes, 4));
     if version != FORMAT_VERSION {
         return Err(CodecError::UnsupportedVersion(version));
     }
@@ -500,8 +521,13 @@ impl std::error::Error for WireError {
 /// under the caller's exclusivity — interleave-free framing on a shared
 /// connection needs external locking.
 pub fn write_wire_frame(w: &mut impl std::io::Write, frame: &[u8]) -> std::io::Result<()> {
-    debug_assert!(u32::try_from(frame.len()).is_ok(), "frame exceeds u32");
-    w.write_all(&(frame.len() as u32).to_le_bytes())?;
+    let len = u32::try_from(frame.len()).map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "frame exceeds the u32 wire length prefix",
+        )
+    })?;
+    w.write_all(&len.to_le_bytes())?;
     w.write_all(frame)?;
     w.flush()
 }
@@ -534,13 +560,14 @@ pub fn read_wire_frame(
             n => got += n,
         }
     }
-    let len = u32::from_le_bytes(len_bytes) as usize;
-    if len > max_len {
+    let declared = u64::from(u32::from_le_bytes(len_bytes));
+    if declared > wire_u64(max_len) {
         return Err(WireError::Oversized {
-            declared: len as u64,
-            max: max_len as u64,
+            declared,
+            max: wire_u64(max_len),
         });
     }
+    let len = usize::try_from(declared).expect("bounded by max_len, which is a usize");
     let mut frame = vec![0u8; len];
     r.read_exact(&mut frame).map_err(WireError::Io)?;
     Ok(Some(frame))

@@ -150,8 +150,18 @@ impl TemporalGraph {
         if self.edges.len() < 2 {
             return 1.0;
         }
-        let first = self.edges.first().unwrap().time.raw();
-        let last = self.edges.last().unwrap().time.raw();
+        let first = self
+            .edges
+            .first()
+            .expect("len >= 2 checked above")
+            .time
+            .raw();
+        let last = self
+            .edges
+            .last()
+            .expect("len >= 2 checked above")
+            .time
+            .raw();
         ((last - first) as f64 / (self.edges.len() - 1) as f64).max(f64::MIN_POSITIVE)
     }
 }

@@ -60,8 +60,10 @@ impl Hasher for FxHasher {
 }
 
 /// `HashMap` with the Fx hasher.
+// lint: allow(default-hasher) — this alias supplies the Fx BuildHasher.
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
 /// `HashSet` with the Fx hasher.
+// lint: allow(default-hasher) — this alias supplies the Fx BuildHasher.
 pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
 
 #[cfg(test)]

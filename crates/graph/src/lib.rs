@@ -29,6 +29,7 @@
 //! deltas for a whole batch, and slab memory is reclaimed exactly one batch
 //! late — bounded by the alive-pair spread, never by stream length.
 
+pub mod audit;
 pub mod bitset;
 pub mod codec;
 pub mod data;
@@ -41,6 +42,7 @@ pub mod stream;
 pub mod time;
 pub mod window;
 
+pub use audit::{AuditLevel, AuditViolation};
 pub use bitset::{DenseBits, Set64};
 pub use codec::{CodecError, Decoder, Encoder};
 pub use data::{EdgeKey, TemporalEdge, TemporalGraph, TemporalGraphBuilder, VertexId};

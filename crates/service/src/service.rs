@@ -287,6 +287,11 @@ pub struct MatchService<'g> {
     stats: ServiceStats,
     /// Materialized edges of the current delta (reused allocation).
     unit_scratch: Vec<TemporalEdge>,
+    /// Step-path invariant audit cadence (`TCSM_AUDIT` ×
+    /// `TCSM_AUDIT_EVERY`), shared by every resident runtime. The serviced
+    /// network daemon drives [`MatchService::step`], so it inherits this
+    /// tripwire too.
+    auditor: tcsm_core::Auditor,
 }
 
 impl<'g> MatchService<'g> {
@@ -361,6 +366,7 @@ impl<'g> MatchService<'g> {
             next_id: 0,
             stats,
             unit_scratch: Vec::new(),
+            auditor: tcsm_core::Auditor::from_env(),
         })
     }
 
@@ -668,12 +674,44 @@ impl<'g> MatchService<'g> {
         }
         self.unit_scratch = edges;
         self.sweep_disconnected();
+        if self.auditor.due(n as u64) {
+            let out = self.audit_now(self.auditor.level());
+            tcsm_core::audit::expect_clean("MatchService step audit", &out);
+        }
         true
     }
 
     /// Drains the rest of the stream.
     pub fn run(&mut self) {
         while self.step() {}
+    }
+
+    /// Runs the cross-crate invariant audit over every resident runtime at
+    /// `level`, tagging each violation with the owning query id.
+    pub fn audit_now(&self, level: tcsm_core::AuditLevel) -> Vec<tcsm_core::AuditViolation> {
+        let full = self.full;
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for slot in &shard.slots {
+                if !slot.rt.done() {
+                    let mut vs = slot.rt.audit(&shard.window, |k| full.edge(k), level);
+                    for v in &mut vs {
+                        *v = tcsm_core::AuditViolation::new(
+                            v.name(),
+                            format!("query {}: {}", slot.id, v.detail()),
+                        );
+                    }
+                    out.append(&mut vs);
+                }
+            }
+        }
+        out
+    }
+
+    /// Overrides the env-seeded audit cadence (test hook).
+    #[doc(hidden)]
+    pub fn set_audit(&mut self, level: tcsm_core::AuditLevel, every: u64) {
+        self.auditor = tcsm_core::Auditor::with(level, every);
     }
 
     /// From-scratch consistency audit of every resident runtime against
@@ -766,6 +804,30 @@ mod tests {
                     "stats diverged ({shards} shards)"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn deep_audit_every_event_passes_on_the_service_path() {
+        let (queries, g) = workload();
+        for shards in [1usize, 2] {
+            let cfg = ServiceConfig {
+                shards,
+                threads: 0,
+                batching: false,
+                directed: false,
+                policy: ShardPolicy::LabelLocality,
+            };
+            let mut svc = MatchService::new(&g, 10, cfg).unwrap();
+            for q in &queries {
+                svc.add_query(q, serial_cfg(), Box::new(CountingSink::new().0));
+            }
+            // The step-path hook panics on any violation; the final sweep
+            // below then re-checks explicitly.
+            svc.set_audit(tcsm_core::AuditLevel::Deep, 1);
+            svc.run();
+            let out = svc.audit_now(tcsm_core::AuditLevel::Deep);
+            assert!(out.is_empty(), "service audit flagged: {out:?}");
         }
     }
 

@@ -1,0 +1,736 @@
+//! Workspace lint driver: `cargo run -p xtask -- lint [--bless]`.
+//!
+//! A hand-rolled, zero-dependency source scanner enforcing the repo-specific
+//! rules that `clippy` cannot know about. Every rule exists because a past
+//! or planned failure mode of *this* codebase makes it load-bearing:
+//!
+//! * **`no-unwrap`** — no `.unwrap()` in non-test library code of the
+//!   runtime crates (`core`, `filter`, `dcs`, `graph`, `service`,
+//!   `server`). The engine is long-running and serves checkpoint/restore
+//!   paths fed by untrusted bytes; failures must surface as typed
+//!   `GraphError`/`ServiceError`/`CodecError` values, or at minimum as a
+//!   `.expect("…")` whose message documents why the state is impossible.
+//! * **`safety-comment`** — every line of code containing `unsafe` must be
+//!   preceded (within a few lines) by a `// SAFETY:` comment — or a
+//!   `/// # Safety` doc section for `unsafe fn`s — stating the invariant
+//!   that makes it sound. The `WorkerPool`'s lifetime-erased job
+//!   pointer is exactly the kind of unsafety that is only sound because of
+//!   a protocol (epoch-tagged tickets + a completion barrier); the proof
+//!   obligation belongs next to the code.
+//! * **`default-hasher`** — no std-default `HashMap`/`HashSet` in the
+//!   hot-path crates (`graph`, `dcs`, `filter`, `core`). SipHash dominated
+//!   early profiles; `tcsm_graph::fx` provides the sanctioned FxHash
+//!   aliases, and falling back to the default hasher silently reverts that
+//!   win.
+//! * **`codec-cast`** — no bare `as` numeric casts in
+//!   `tcsm-graph::codec`. The codec defines the durable snapshot *and* the
+//!   wire format; a silent `as` truncation (e.g. a >4 GiB frame length
+//!   narrowed to `u32`) corrupts bytes that a checksum then faithfully
+//!   certifies. Conversions must be `From`/`TryFrom` with a typed error or
+//!   a documented `expect`.
+//! * **`codec-shape`** — a FORMAT_VERSION tripwire. A golden fingerprint
+//!   (FNV-1a over every non-test source line that touches a codec
+//!   primitive — `put_*`/`get_*`/`section(`/`encode_frame` — across the
+//!   workspace, plus `FORMAT_VERSION` itself) is stored in
+//!   `crates/xtask/codec-shape.golden`. If any encode/decode shape changes
+//!   while FORMAT_VERSION stays put, the lint fails: bump the version in
+//!   `crates/graph/src/codec.rs`, then re-bless with
+//!   `cargo run -p xtask -- lint -- --bless` (or `--bless` after `lint`).
+//!
+//! A violation can be waived on a specific line with a trailing
+//! `// lint: allow(<rule>)` comment on the same or the preceding line;
+//! waivers are for code that *satisfies the rule's intent* in a way the
+//! scanner cannot see (e.g. a `HashMap` alias that supplies its own
+//! `BuildHasher`).
+//!
+//! Test code — `#[cfg(test)]` items, and everything under `tests/`,
+//! `benches/`, `examples/` — is exempt from every rule: tests are run, not
+//! shipped, and `.unwrap()` is the correct assertion idiom there.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates whose `src/` trees are scanned at all (rule scopes narrow this).
+const SCANNED_CRATES: &[&str] = &[
+    "graph",
+    "dag",
+    "filter",
+    "dcs",
+    "core",
+    "service",
+    "server",
+    "baselines",
+    "datasets",
+    "bench",
+    "xtask",
+];
+
+/// Crates where `.unwrap()` is forbidden in non-test library code.
+const NO_UNWRAP_CRATES: &[&str] = &["core", "filter", "dcs", "graph", "service", "server"];
+
+/// Hot-path crates where the std default hasher is forbidden.
+const NO_DEFAULT_HASHER_CRATES: &[&str] = &["graph", "dcs", "filter", "core"];
+
+/// Source tokens whose lines define the encode/decode shape. Any non-test
+/// line containing one of these feeds the codec-shape fingerprint.
+const SHAPE_TOKENS: &[&str] = &[
+    "put_u8",
+    "put_u32",
+    "put_u64",
+    "put_i64",
+    "put_bool",
+    "put_usize",
+    "put_ts",
+    "put_bytes",
+    "put_str",
+    "put_bits",
+    "get_u8",
+    "get_u32",
+    "get_u64",
+    "get_i64",
+    "get_bool",
+    "get_usize",
+    "get_count",
+    "get_ts",
+    "get_bytes",
+    "get_str",
+    "get_bits",
+    "encode_frame",
+    "open_frame",
+    "FORMAT_VERSION",
+];
+
+/// Numeric primitive names that make an `as` cast a `codec-cast` violation.
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// How many preceding lines a `SAFETY:` comment may sit above its `unsafe`.
+const SAFETY_WINDOW: usize = 12;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut bless = false;
+    let mut cmd = None;
+    for a in &args {
+        match a.as_str() {
+            "--bless" => bless = true,
+            "lint" => cmd = Some("lint"),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: cargo run -p xtask -- lint [--bless]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if cmd != Some("lint") {
+        eprintln!("usage: cargo run -p xtask -- lint [--bless]");
+        return ExitCode::FAILURE;
+    }
+
+    let root = workspace_root();
+    match run_lint(&root, bless) {
+        Ok(0) => {
+            println!("xtask lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(n) => {
+            eprintln!("xtask lint: {n} violation(s)");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: I/O failure: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root is two levels above this crate's manifest dir.
+fn workspace_root() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p
+}
+
+fn run_lint(root: &Path, bless: bool) -> std::io::Result<usize> {
+    let mut violations: Vec<String> = Vec::new();
+    let mut shape_lines: Vec<String> = Vec::new();
+
+    for krate in SCANNED_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        for path in files {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let text = fs::read_to_string(&path)?;
+            let scan = scan_source(&text);
+            check_file(krate, &rel, &scan, &mut violations);
+            collect_shape_lines(&rel, &scan, &mut shape_lines);
+        }
+    }
+
+    check_codec_shape(root, &shape_lines, bless, &mut violations)?;
+
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    Ok(violations.len())
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+// ---- source model -------------------------------------------------------
+
+/// One source line after lexical classification.
+struct LineInfo {
+    /// Code with comments removed and string/char-literal contents blanked.
+    code: String,
+    /// The comment text of the line (line + block comment contents).
+    comment: String,
+    /// True when the line belongs to a `#[cfg(test)]` item.
+    is_test: bool,
+}
+
+struct FileScan {
+    lines: Vec<LineInfo>,
+}
+
+/// Lexes a file into per-line code/comment channels and marks
+/// `#[cfg(test)]` item regions. This is a pragmatic scanner, not a full
+/// Rust lexer: it understands line/block comments (nested), string, raw
+/// string, byte string, and char literals, and distinguishes lifetimes
+/// from char literals — enough to never misread this workspace.
+fn scan_source(text: &str) -> FileScan {
+    #[derive(PartialEq)]
+    enum Mode {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+
+    let mut lines: Vec<LineInfo> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut mode = Mode::Code;
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+
+    while i <= chars.len() {
+        let c = if i < chars.len() { chars[i] } else { '\n' };
+        let at_end = i == chars.len();
+        if c == '\n' {
+            if let Mode::LineComment = mode {
+                mode = Mode::Code;
+            }
+            if !(at_end && code.is_empty() && comment.is_empty() && lines.is_empty()) {
+                // Don't emit a phantom line for a file ending in '\n'.
+                let emit = !at_end || !code.is_empty() || !comment.is_empty();
+                if emit {
+                    lines.push(LineInfo {
+                        code: std::mem::take(&mut code),
+                        comment: std::mem::take(&mut comment),
+                        is_test: false,
+                    });
+                }
+            }
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    mode = Mode::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    // Raw string? Look back over emitted code for `r`/`br`
+                    // plus hashes immediately before this quote.
+                    let tail: Vec<char> = code.chars().rev().collect();
+                    let mut hashes = 0u32;
+                    while (hashes as usize) < tail.len() && tail[hashes as usize] == '#' {
+                        hashes += 1;
+                    }
+                    let after = tail.get(hashes as usize).copied();
+                    let is_raw = after == Some('r')
+                        && (hashes > 0 || {
+                            // `r"` only counts when `r` is not part of a
+                            // longer identifier (e.g. `var"` is impossible
+                            // anyway, but `_r` would be).
+                            let before = tail.get(hashes as usize + 1).copied();
+                            !matches!(before, Some(ch) if ch.is_alphanumeric() || ch == '_')
+                        });
+                    code.push('"');
+                    mode = if is_raw {
+                        Mode::RawStr(hashes)
+                    } else {
+                        Mode::Str
+                    };
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    // Char/byte literal vs lifetime: a literal closes with
+                    // a `'` after one (possibly escaped) char.
+                    let is_literal = match next {
+                        Some('\\') => true,
+                        Some(_) => chars.get(i + 2).copied() == Some('\''),
+                        None => false,
+                    };
+                    if is_literal {
+                        code.push('\'');
+                        mode = Mode::Char;
+                        i += 1;
+                        continue;
+                    }
+                    // Lifetime: emit as code.
+                    code.push('\'');
+                    i += 1;
+                    continue;
+                }
+                code.push(c);
+                i += 1;
+            }
+            Mode::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    i += 2; // skip the escaped char (blanked anyway)
+                } else if c == '"' {
+                    code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if chars.get(i + 1 + k).copied() != Some('#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push('#');
+                        }
+                        mode = Mode::Code;
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                code.push(' ');
+                i += 1;
+            }
+            Mode::Char => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    code.push('\'');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+        if at_end {
+            break;
+        }
+    }
+
+    let mut scan = FileScan { lines };
+    mark_test_regions(&mut scan);
+    scan
+}
+
+/// Marks every line of each `#[cfg(test)]` item (attribute through the
+/// item's closing brace, or its `;` for brace-less items) as test code.
+fn mark_test_regions(scan: &mut FileScan) {
+    let n = scan.lines.len();
+    let mut i = 0;
+    while i < n {
+        if !scan.lines[i].code.contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        // Walk forward from the attribute to the end of the annotated item.
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut j = i;
+        loop {
+            scan.lines[j].is_test = true;
+            let code = scan.lines[j].code.clone();
+            let mut ended = false;
+            for ch in code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if opened && depth == 0 {
+                            ended = true;
+                        }
+                    }
+                    ';' if !opened && depth == 0 && j > i => ended = true,
+                    _ => {}
+                }
+            }
+            // A one-line `#[cfg(test)] use …;` ends on its own line.
+            if !ended && !opened && j == i && code.trim_end().ends_with(';') {
+                ended = true;
+            }
+            if ended || j + 1 == n {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+// ---- rules --------------------------------------------------------------
+
+/// True when line `idx` (or the one above) carries `lint: allow(<rule>)`.
+fn allowed(scan: &FileScan, idx: usize, rule: &str) -> bool {
+    let marker = format!("lint: allow({rule})");
+    if scan.lines[idx].comment.contains(&marker) {
+        return true;
+    }
+    idx > 0 && scan.lines[idx - 1].comment.contains(&marker)
+}
+
+/// True when `code` contains `word` delimited by non-identifier chars.
+fn has_word(code: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|ch| ch.is_alphanumeric() || ch == '_');
+        let after = code[at + word.len()..].chars().next();
+        let after_ok = !after.is_some_and(|ch| ch.is_alphanumeric() || ch == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+/// True when `code` contains a bare `as <numeric-type>` cast.
+fn has_numeric_cast(code: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(" as ") {
+        let at = start + pos;
+        // `as` must itself be a word ("alias as " must not match — the
+        // preceding char of " as " is a space, so it always is).
+        let rest = &code[at + 4..];
+        let ident: String = rest
+            .chars()
+            .take_while(|ch| ch.is_alphanumeric() || *ch == '_')
+            .collect();
+        if NUMERIC_TYPES.contains(&ident.as_str()) {
+            return true;
+        }
+        start = at + 4;
+    }
+    false
+}
+
+fn check_file(krate: &str, rel: &str, scan: &FileScan, violations: &mut Vec<String>) {
+    let lines = &scan.lines;
+    for (idx, line) in lines.iter().enumerate() {
+        if line.is_test {
+            continue;
+        }
+        let lineno = idx + 1;
+
+        if NO_UNWRAP_CRATES.contains(&krate)
+            && line.code.contains(".unwrap()")
+            && !allowed(scan, idx, "unwrap")
+        {
+            violations.push(format!(
+                "{rel}:{lineno}: [no-unwrap] `.unwrap()` in non-test library code — \
+                 return a typed error or use a documented `.expect(\"…\")`"
+            ));
+        }
+
+        if has_word(&line.code, "unsafe") && !allowed(scan, idx, "safety-comment") {
+            let lo = idx.saturating_sub(SAFETY_WINDOW);
+            let documented = (lo..=idx).any(|k| {
+                lines[k].comment.contains("SAFETY")
+                    || lines[k].comment.contains("# Safety")
+                    || lines[k].code.contains("SAFETY")
+            });
+            if !documented {
+                violations.push(format!(
+                    "{rel}:{lineno}: [safety-comment] `unsafe` without a `// SAFETY:` \
+                     comment in the preceding {SAFETY_WINDOW} lines"
+                ));
+            }
+        }
+
+        if NO_DEFAULT_HASHER_CRATES.contains(&krate)
+            && (has_word(&line.code, "HashMap") || has_word(&line.code, "HashSet"))
+            && !allowed(scan, idx, "default-hasher")
+        {
+            violations.push(format!(
+                "{rel}:{lineno}: [default-hasher] std `HashMap`/`HashSet` in a hot-path \
+                 crate — use `tcsm_graph::fx::{{FxHashMap, FxHashSet}}`"
+            ));
+        }
+
+        if rel == "crates/graph/src/codec.rs"
+            && has_numeric_cast(&line.code)
+            && !allowed(scan, idx, "codec-cast")
+        {
+            violations.push(format!(
+                "{rel}:{lineno}: [codec-cast] bare `as` numeric cast in the codec — \
+                 use `From`/`TryFrom` with a typed error or documented `expect`"
+            ));
+        }
+    }
+}
+
+// ---- codec-shape tripwire -----------------------------------------------
+
+fn collect_shape_lines(rel: &str, scan: &FileScan, out: &mut Vec<String>) {
+    for line in &scan.lines {
+        if line.is_test {
+            continue;
+        }
+        if SHAPE_TOKENS.iter().any(|t| line.code.contains(t)) {
+            out.push(format!("{rel}|{}", line.code.trim()));
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Reads `FORMAT_VERSION` out of the codec source.
+fn read_format_version(root: &Path) -> std::io::Result<Option<u64>> {
+    let text = fs::read_to_string(root.join("crates/graph/src/codec.rs"))?;
+    for line in text.lines() {
+        if let Some(rest) = line.trim().strip_prefix("pub const FORMAT_VERSION: u32 =") {
+            let num: String = rest
+                .chars()
+                .skip_while(|c| c.is_whitespace())
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            return Ok(num.parse().ok());
+        }
+    }
+    Ok(None)
+}
+
+fn check_codec_shape(
+    root: &Path,
+    shape_lines: &[String],
+    bless: bool,
+    violations: &mut Vec<String>,
+) -> std::io::Result<()> {
+    let golden_path = root.join("crates/xtask/codec-shape.golden");
+    let Some(version) = read_format_version(root)? else {
+        violations
+            .push("crates/graph/src/codec.rs: [codec-shape] FORMAT_VERSION const not found".into());
+        return Ok(());
+    };
+    let mut blob = format!("FORMAT_VERSION={version}\n");
+    for l in shape_lines {
+        blob.push_str(l);
+        blob.push('\n');
+    }
+    let fingerprint = fnv1a(blob.as_bytes());
+
+    if bless {
+        let body = format!(
+            "# Codec shape golden — regenerated by `cargo run -p xtask -- lint --bless`.\n\
+             # Fails the lint when encode/decode shapes drift without a FORMAT_VERSION bump.\n\
+             version {version}\n\
+             fingerprint {fingerprint:#018x}\n\
+             lines {}\n",
+            shape_lines.len()
+        );
+        fs::write(&golden_path, body)?;
+        println!("xtask lint: blessed codec shape (version {version}, {fingerprint:#018x})");
+        return Ok(());
+    }
+
+    let golden = match fs::read_to_string(&golden_path) {
+        Ok(g) => g,
+        Err(_) => {
+            violations.push(
+                "crates/xtask/codec-shape.golden: [codec-shape] missing golden file — \
+                 run `cargo run -p xtask -- lint --bless` to create it"
+                    .to_string(),
+            );
+            return Ok(());
+        }
+    };
+    let mut golden_version = None;
+    let mut golden_fp = None;
+    for line in golden.lines() {
+        if let Some(v) = line.strip_prefix("version ") {
+            golden_version = v.trim().parse::<u64>().ok();
+        }
+        if let Some(v) = line.strip_prefix("fingerprint ") {
+            let v = v.trim().trim_start_matches("0x");
+            golden_fp = u64::from_str_radix(v, 16).ok();
+        }
+    }
+    let (Some(gv), Some(gf)) = (golden_version, golden_fp) else {
+        violations.push(
+            "crates/xtask/codec-shape.golden: [codec-shape] unreadable golden file — \
+             re-bless with `cargo run -p xtask -- lint --bless`"
+                .into(),
+        );
+        return Ok(());
+    };
+
+    if fingerprint == gf && version == gv {
+        return Ok(());
+    }
+    if version == gv {
+        violations.push(format!(
+            "crates/graph/src/codec.rs: [codec-shape] encode/decode shape drifted \
+             (fingerprint {fingerprint:#018x} != golden {gf:#018x}) without a FORMAT_VERSION \
+             bump — bump FORMAT_VERSION, then `cargo run -p xtask -- lint --bless`"
+        ));
+    } else {
+        violations.push(format!(
+            "crates/graph/src/codec.rs: [codec-shape] FORMAT_VERSION changed ({gv} -> \
+             {version}) — record the new shape with `cargo run -p xtask -- lint --bless`"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let s = scan_source("let a = \"x.unwrap()\"; // .unwrap()\nlet b = y.unwrap();\n");
+        assert!(!s.lines[0].code.contains(".unwrap()"));
+        assert!(s.lines[0].comment.contains(".unwrap()"));
+        assert!(s.lines[1].code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let s = scan_source("let a = r#\"unsafe \"quoted\" text\"#;\nlet c = '\\'';\nlet l: &'static str = \"x\";\n");
+        assert!(!has_word(&s.lines[0].code, "unsafe"));
+        assert!(s.lines[2].code.contains("'static"));
+    }
+
+    #[test]
+    fn block_comments_nest_across_lines() {
+        let s = scan_source("/* outer /* inner */ still comment .unwrap() */\nlet x = 1;\n");
+        assert!(!s.lines[0].code.contains(".unwrap()"));
+        assert!(s.lines[1].code.contains("let x"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn lib2() {}\n";
+        let s = scan_source(src);
+        assert!(!s.lines[0].is_test);
+        assert!(s.lines[1].is_test);
+        assert!(s.lines[3].is_test);
+        assert!(s.lines[4].is_test);
+        assert!(!s.lines[5].is_test);
+    }
+
+    #[test]
+    fn cfg_test_single_item() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() {}\n";
+        let s = scan_source(src);
+        assert!(s.lines[1].is_test);
+        assert!(!s.lines[2].is_test);
+    }
+
+    #[test]
+    fn numeric_cast_detection() {
+        assert!(has_numeric_cast("let x = y as u32;"));
+        assert!(has_numeric_cast("(a + b) as usize"));
+        assert!(!has_numeric_cast("let x = y as Wide;"));
+        assert!(!has_numeric_cast("known as the best"));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(has_word("unsafe {", "unsafe"));
+        assert!(!has_word("unsafely(true)", "unsafe"));
+        assert!(has_word("let m: HashMap<K, V> = x;", "HashMap"));
+        assert!(!has_word("FxHashMap::default()", "HashMap"));
+    }
+}
