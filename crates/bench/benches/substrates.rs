@@ -251,6 +251,33 @@ fn bench(c: &mut Criterion) {
                 })
             });
         }
+        // The same pipeline under each telemetry trace level, registered
+        // back to back (interleaved same-machine runs): `off` vs the plain
+        // `engine_run` above bounds the cost of the disabled-recorder
+        // branch, `counters`/`spans` price the enabled paths.
+        for (name, level) in [
+            ("engine_run_trace_off", tcsm_telemetry::TraceLevel::Off),
+            (
+                "engine_run_trace_counters",
+                tcsm_telemetry::TraceLevel::Counters,
+            ),
+            ("engine_run_trace_spans", tcsm_telemetry::TraceLevel::Spans),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, size), &q, |b, q| {
+                let clock: Arc<dyn tcsm_telemetry::Clock> =
+                    Arc::new(tcsm_telemetry::SystemClock::new());
+                b.iter(|| {
+                    let cfg = EngineConfig {
+                        collect_matches: false,
+                        directed: true,
+                        ..Default::default()
+                    };
+                    let mut engine = TcmEngine::new(q, &g, delta, cfg).unwrap();
+                    engine.set_trace(level, Arc::clone(&clock));
+                    engine.run_counting().occurred
+                })
+            });
+        }
         // Batched path on the same uniform stream (size-one batches): pins
         // that batching support costs nothing when bursts don't exist.
         group.bench_with_input(BenchmarkId::new("engine_run_batched", size), &q, |b, q| {

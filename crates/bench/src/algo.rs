@@ -1,9 +1,10 @@
 //! Uniform runner over all evaluated algorithms.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use tcsm_baselines::{RapidFlowLite, TimingJoin};
 use tcsm_core::{AlgorithmPreset, EngineConfig, SearchBudget, TcmEngine};
 use tcsm_graph::{QueryGraph, TemporalGraph};
+use tcsm_telemetry::{Clock, SystemClock};
 
 /// The algorithms of §VI (plus one extra ablation).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -99,7 +100,7 @@ pub fn run_one(
 ) -> RunResult {
     let base = crate::mem::live_bytes();
     crate::mem::reset_peak();
-    let start = Instant::now();
+    let clock = SystemClock::new();
     let budget = SearchBudget {
         max_total_nodes: rc.max_total_nodes,
         ..Default::default()
@@ -164,7 +165,7 @@ pub fn run_one(
         }
     };
     RunResult {
-        elapsed: start.elapsed(),
+        elapsed: Duration::from_micros(clock.micros()),
         solved,
         occurred,
         expired,

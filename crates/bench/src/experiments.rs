@@ -500,11 +500,11 @@ impl Suite {
                         },
                         ..Default::default()
                     };
-                    let start = std::time::Instant::now();
+                    let clock = tcsm_telemetry::SystemClock::new();
                     let mut e = TcmEngine::new(q, g, delta, cfg)?;
                     let s = e.run_counting();
                     nodes += s.search_nodes;
-                    ms += start.elapsed().as_secs_f64() * 1e3;
+                    ms += tcsm_telemetry::Clock::micros(&clock) as f64 / 1e3;
                 }
                 row.push(format!("{nodes} | {}", fmt_ms(ms / queries.len() as f64)));
             }
@@ -560,13 +560,13 @@ impl Suite {
             };
             // Baseline: the deprecated one-engine-per-query fan-out this
             // service replaces (kept callable exactly for this comparison).
-            let start = std::time::Instant::now();
+            let clock = tcsm_telemetry::SystemClock::new();
             #[allow(deprecated)]
             let engine_stats = tcsm_core::run_queries_parallel(&queries, g, delta, cfg, threads)?;
-            let engines_ms = start.elapsed().as_secs_f64() * 1e3;
+            let engines_ms = tcsm_telemetry::Clock::micros(&clock) as f64 / 1e3;
             let engines_matches: u64 = engine_stats.iter().map(|s| s.occurred).sum();
 
-            let start = std::time::Instant::now();
+            let clock = tcsm_telemetry::SystemClock::new();
             let mut svc = MatchService::new(
                 g,
                 delta,
@@ -583,7 +583,7 @@ impl Suite {
                 .map(|q| svc.add_query(q, cfg, Box::new(CountingSink::new().0)))
                 .collect();
             svc.run();
-            let service_ms = start.elapsed().as_secs_f64() * 1e3;
+            let service_ms = tcsm_telemetry::Clock::micros(&clock) as f64 / 1e3;
             let service_matches: u64 = ids
                 .iter()
                 .map(|&id| svc.query_stats(id).expect("resident").occurred)

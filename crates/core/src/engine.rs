@@ -44,6 +44,7 @@ use tcsm_dag::QueryDag;
 use tcsm_graph::{
     EventKind, EventQueue, GraphError, QueryGraph, TemporalEdge, TemporalGraph, WindowGraph,
 };
+use tcsm_telemetry::{Clock, Phase};
 
 /// Time-constrained continuous subgraph matching over one stream.
 ///
@@ -136,6 +137,23 @@ impl<'g> TcmEngine<'g> {
         self.rt.set_kernel(kern);
     }
 
+    /// The per-phase latency recorder: queue pop, filter update, DCS
+    /// apply, and `FindMatches` sweep spans (empty unless `TCSM_TRACE`
+    /// enabled tracing). Timing is telemetry-only — never part of
+    /// [`EngineStats`] or any snapshot.
+    #[inline]
+    pub fn telemetry(&self) -> &tcsm_telemetry::PhaseRecorder {
+        self.rt.telemetry()
+    }
+
+    /// Replaces the recorder with one at `level` reading `clock` —
+    /// deterministic-clock tests and the interleaved trace benches
+    /// (production selection is `TCSM_TRACE`).
+    #[doc(hidden)]
+    pub fn set_trace(&mut self, level: tcsm_telemetry::TraceLevel, clock: Arc<dyn Clock>) {
+        self.rt.set_trace(level, clock);
+    }
+
     /// The live window graph.
     #[inline]
     pub fn window(&self) -> &WindowGraph {
@@ -166,12 +184,14 @@ impl<'g> TcmEngine<'g> {
         if self.rt.done() {
             return false;
         }
+        let t = self.rt.telemetry().start();
         let Some(ev) = self.queue.events().get(self.next_event).copied() else {
             return false;
         };
         self.next_event += 1;
         let full = self.full;
         let edge = *full.edge(ev.edge);
+        self.rt.telemetry_mut().stop(Phase::QueuePop, t);
         match ev.kind {
             EventKind::Insert => {
                 self.window.insert(&edge);
@@ -213,6 +233,7 @@ impl<'g> TcmEngine<'g> {
         if !self.at_batch_boundary() {
             return self.step(out);
         }
+        let t = self.rt.telemetry().start();
         let Some(batch) = self.queue.batch_at(self.next_event) else {
             return false;
         };
@@ -222,6 +243,7 @@ impl<'g> TcmEngine<'g> {
         edges.clear();
         edges.extend(batch.events.iter().map(|ev| *full.edge(ev.edge)));
         self.next_event += edges.len();
+        self.rt.telemetry_mut().stop(Phase::QueuePop, t);
         match kind {
             EventKind::Insert => {
                 // Window first (whole batch), then one filter/DCS delta,

@@ -55,6 +55,7 @@ use tcsm_dcs::Dcs;
 use tcsm_filter::FilterBank;
 use tcsm_graph::codec::{CodecError, Decoder, Encoder};
 use tcsm_graph::{EdgeKey, QueryGraph, TemporalEdge, Ts, WindowGraph};
+use tcsm_telemetry::{Clock, Phase, PhaseRecorder, TraceLevel};
 
 /// Where one fanned-out sweep seed parks its results until the seed-order
 /// merge on lane 0.
@@ -98,6 +99,10 @@ pub struct QueryRuntime {
     /// Per-seed result slots of fanned-out sweeps (reused across batches);
     /// merged in seed order so the match stream stays byte-identical.
     seed_slots: Vec<SeedSlot>,
+    /// Per-phase latency recorder (`TCSM_TRACE`-selected; a single branch
+    /// per phase when off). Timing lives here, **never** in `stats` — the
+    /// semantic counters and snapshot bytes stay identical at every level.
+    recorder: PhaseRecorder,
 }
 
 impl QueryRuntime {
@@ -132,6 +137,7 @@ impl QueryRuntime {
             pool,
             lane_scratch: Vec::new(),
             seed_slots: Vec::new(),
+            recorder: PhaseRecorder::from_env(),
         }
     }
 
@@ -190,6 +196,32 @@ impl QueryRuntime {
         self.bank.set_kernel(kern);
     }
 
+    /// The per-phase latency recorder (empty unless `TCSM_TRACE` — or a
+    /// [`QueryRuntime::set_trace`] override — enabled it). This is the
+    /// aggregation seam: `tcsm-service` merges these histograms into its
+    /// per-shard and per-service rollups.
+    #[inline]
+    pub fn telemetry(&self) -> &PhaseRecorder {
+        &self.recorder
+    }
+
+    /// Mutable recorder access (subscriber registration, threshold
+    /// overrides, and the owner recording owner-side phases — the engine
+    /// books its queue-pop spans here so per-query phase totals stay
+    /// coherent with one wall clock).
+    #[inline]
+    pub fn telemetry_mut(&mut self) -> &mut PhaseRecorder {
+        &mut self.recorder
+    }
+
+    /// Replaces the recorder with one at `level` reading `clock` —
+    /// deterministic-clock tests and the interleaved trace benches
+    /// (production selection is `TCSM_TRACE`).
+    #[doc(hidden)]
+    pub fn set_trace(&mut self, level: TraceLevel, clock: Arc<dyn Clock>) {
+        self.recorder = PhaseRecorder::with_clock(level, clock);
+    }
+
     /// Current number of DCS edge pairs (Table V's "edges in DCS").
     #[inline]
     pub fn dcs_edges(&self) -> usize {
@@ -221,9 +253,13 @@ impl QueryRuntime {
         self.stats.events += 1;
         let mut deltas = std::mem::take(&mut self.deltas_scratch);
         deltas.clear();
+        let t = self.recorder.start();
         self.bank
             .on_insert(&self.q, window, edge, &lookup, &mut deltas);
+        self.recorder.stop(Phase::Filter, t);
+        let t = self.recorder.start();
         self.dcs.apply(&self.q, window, &lookup, &deltas);
+        self.recorder.stop(Phase::DcsApply, t);
         self.deltas_scratch = deltas;
         self.find_matches_sweep(window, Sweep::Edge(edge), MatchKind::Occurred, out);
         self.sample_dcs(1);
@@ -252,9 +288,13 @@ impl QueryRuntime {
         self.stats.events += 1;
         let mut deltas = std::mem::take(&mut self.deltas_scratch);
         deltas.clear();
+        let t = self.recorder.start();
         self.bank
             .on_delete(&self.q, window, edge, &lookup, &mut deltas);
+        self.recorder.stop(Phase::Filter, t);
+        let t = self.recorder.start();
         self.dcs.apply(&self.q, window, &lookup, &deltas);
+        self.recorder.stop(Phase::DcsApply, t);
         self.deltas_scratch = deltas;
         self.sample_dcs(1);
     }
@@ -274,6 +314,7 @@ impl QueryRuntime {
         self.stats.batches += 1;
         let mut deltas = std::mem::take(&mut self.deltas_scratch);
         deltas.clear();
+        let t = self.recorder.start();
         if let [e] = edges[..] {
             self.bank
                 .on_insert(&self.q, window, &e, &lookup, &mut deltas);
@@ -281,7 +322,10 @@ impl QueryRuntime {
             self.bank
                 .on_insert_batch(&self.q, window, edges, &lookup, &mut deltas);
         }
+        self.recorder.stop(Phase::Filter, t);
+        let t = self.recorder.start();
         self.dcs.apply(&self.q, window, &lookup, &deltas);
+        self.recorder.stop(Phase::DcsApply, t);
         self.deltas_scratch = deltas;
         let sweep = match edges {
             [e] => Sweep::Edge(e),
@@ -318,6 +362,7 @@ impl QueryRuntime {
         self.stats.batches += 1;
         let mut deltas = std::mem::take(&mut self.deltas_scratch);
         deltas.clear();
+        let t = self.recorder.start();
         if let [e] = edges[..] {
             self.bank
                 .on_delete(&self.q, window, &e, &lookup, &mut deltas);
@@ -325,7 +370,10 @@ impl QueryRuntime {
             self.bank
                 .on_delete_batch(&self.q, window, edges, &lookup, &mut deltas);
         }
+        self.recorder.stop(Phase::Filter, t);
+        let t = self.recorder.start();
         self.dcs.apply(&self.q, window, &lookup, &deltas);
+        self.recorder.stop(Phase::DcsApply, t);
         self.deltas_scratch = deltas;
         self.sample_dcs(edges.len() as u64);
     }
@@ -347,7 +395,21 @@ impl QueryRuntime {
         self.stats.kernel_early_exits = kx;
     }
 
+    /// Timed shell around the sweep body: one [`Phase::Sweep`] span per
+    /// `FindMatches` invocation, occurred and expired alike.
     fn find_matches_sweep(
+        &mut self,
+        window: &WindowGraph,
+        sweep: Sweep<'_>,
+        kind: MatchKind,
+        out: &mut Vec<MatchEvent>,
+    ) {
+        let t = self.recorder.start();
+        self.find_matches_sweep_inner(window, sweep, kind, out);
+        self.recorder.stop(Phase::Sweep, t);
+    }
+
+    fn find_matches_sweep_inner(
         &mut self,
         window: &WindowGraph,
         sweep: Sweep<'_>,
@@ -608,6 +670,10 @@ impl QueryRuntime {
     ///
     /// Must only be called at an event boundary (between
     /// insert/sweep/delete calls), where every scratch transient is dead.
+    ///
+    /// Phase-timing telemetry is deliberately **not** serialized: snapshot
+    /// bytes are identical at every `TCSM_TRACE` level, and a
+    /// checkpoint/restore cycle leaves the in-memory recorder untouched.
     pub fn encode_state(&self, enc: &mut Encoder) {
         enc.put_i64(self.delta);
         enc.section(|e| self.stats.encode(e));

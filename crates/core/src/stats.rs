@@ -81,6 +81,11 @@ impl EngineStats {
     /// counters are zeroed too because recompute *counts* legitimately
     /// differ between incremental updates and from-window rebuilds (live
     /// admission) even though the resulting tables are identical.
+    ///
+    /// Phase timing needs no exclusion here **by design**: durations live
+    /// in `tcsm-telemetry`'s per-runtime recorder, never in this struct,
+    /// so `semantic()` — and every snapshot byte — is identical at every
+    /// `TCSM_TRACE` level.
     pub fn semantic(&self) -> EngineStats {
         EngineStats {
             parallel_filter_rounds: 0,

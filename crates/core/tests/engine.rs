@@ -344,3 +344,56 @@ fn label_mismatch_query_finds_nothing() {
     assert!(e.run().is_empty());
     assert_eq!(e.stats().occurred, 0);
 }
+
+#[test]
+fn deterministic_clock_phase_timings_bound_wall_time() {
+    use std::sync::Arc;
+    use tcsm_telemetry::{Clock, ManualClock, Phase, TraceLevel};
+    let (q, g, delta) = workload();
+    let clock = Arc::new(ManualClock::new(7));
+    let mut e = TcmEngine::new(&q, &g, delta, Default::default()).unwrap();
+    e.set_trace(TraceLevel::Counters, clock.clone());
+    let baseline = e.run();
+    // Phases never overlap, so their summed durations are bounded by the
+    // clock's total advance (the deterministic "wall time").
+    let total = e.telemetry().total_us();
+    assert!(total > 0, "counters level must record the hot phases");
+    let wall = clock.micros();
+    assert!(total <= wall, "phase sum {total} exceeds wall {wall}");
+    // The engine reads time only between events, so with a fixed-tick
+    // clock the recorded totals are a pure function of the run: a second
+    // identical run reproduces them exactly.
+    let clock2 = Arc::new(ManualClock::new(7));
+    let mut e2 = TcmEngine::new(&q, &g, delta, Default::default()).unwrap();
+    e2.set_trace(TraceLevel::Counters, clock2.clone());
+    assert_eq!(e2.run(), baseline);
+    assert_eq!(e2.telemetry().total_us(), total);
+    for phase in Phase::ALL {
+        let a = e.telemetry().histogram(phase).map(|h| (h.count(), h.sum()));
+        let b = e2
+            .telemetry()
+            .histogram(phase)
+            .map(|h| (h.count(), h.sum()));
+        assert_eq!(a, b, "{phase:?} histogram diverged between runs");
+    }
+}
+
+#[test]
+fn trace_off_records_nothing_and_changes_nothing() {
+    use std::sync::Arc;
+    use tcsm_telemetry::{ManualClock, TraceLevel};
+    let (q, g, delta) = workload();
+    let mut plain = TcmEngine::new(&q, &g, delta, Default::default()).unwrap();
+    let expect = plain.run();
+    let clock = Arc::new(ManualClock::new(7));
+    let mut off = TcmEngine::new(&q, &g, delta, Default::default()).unwrap();
+    off.set_trace(TraceLevel::Off, clock.clone());
+    assert_eq!(off.run(), expect, "tracing must not perturb semantics");
+    assert_eq!(off.telemetry().total_us(), 0, "off level records nothing");
+    assert_eq!(
+        tcsm_telemetry::Clock::micros(&*clock),
+        0,
+        "off never reads the clock"
+    );
+    assert_eq!(plain.stats().semantic(), off.stats().semantic());
+}

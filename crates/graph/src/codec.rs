@@ -32,11 +32,13 @@ pub const MAGIC: [u8; 4] = *b"TCSM";
 
 /// Current snapshot/wire format version. Bump on any layout change;
 /// decoders refuse other versions with [`CodecError::UnsupportedVersion`].
-/// (v3: filter-instance state stores logical `TR(u)` lanes plus kernel
-/// counters, and engine/service stats carry the kernel counter triple;
-/// v2 added the service manifest disconnect counter and retirement order.
-/// Older frames are refused.)
-pub const FORMAT_VERSION: u32 = 3;
+/// (v4: the service manifest and wire stats carry the retired-side
+/// kernel accumulators and the retired-stats eviction counter;
+/// v3 stored logical `TR(u)` lanes plus kernel counters in
+/// filter-instance state and the kernel counter triple in engine/service
+/// stats; v2 added the service manifest disconnect counter and
+/// retirement order. Older frames are refused.)
+pub const FORMAT_VERSION: u32 = 4;
 
 /// Size of the fixed frame header (magic + version + kind).
 const HEADER_LEN: usize = 4 + 4 + 1;

@@ -21,6 +21,11 @@
 //!                         replaying the stream prefix (default: strict)
 //!        --autorun        drive the stream whenever no request is
 //!                         pending (default: clients step explicitly)
+//!        --metrics-addr A bind a plaintext metrics endpoint at A (each
+//!                         connection gets one Prometheus-style
+//!                         exposition and is closed; `nc host port`
+//!                         scrapes it). Phase latencies appear when the
+//!                         daemon runs with TCSM_TRACE=counters|spans.
 //! ```
 //!
 //! The wire protocol is documented on the `tcsm_server` crate root.
@@ -61,6 +66,7 @@ fn main() {
     let mut restore = false;
     let mut policy = RecoveryPolicy::Strict;
     let mut autorun = false;
+    let mut metrics_addr: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -86,6 +92,7 @@ fn main() {
             "--restore" => restore = true,
             "--rebuild" => policy = RecoveryPolicy::Rebuild,
             "--autorun" => autorun = true,
+            "--metrics-addr" => metrics_addr = Some(need(&mut i).to_string()),
             other => usage_err(&format!("unknown flag {other}")),
         }
         i += 1;
@@ -116,6 +123,7 @@ fn main() {
     let server_cfg = ServerConfig {
         checkpoint_dir: checkpoint_dir.clone(),
         autorun,
+        metrics_addr: metrics_addr.clone(),
     };
     let mut svc = if restore {
         let dir = checkpoint_dir.as_deref().expect("checked above");
@@ -140,6 +148,9 @@ fn main() {
             .local_addr()
             .map_or(listen.clone(), |a| a.to_string())
     );
+    if let Some(addr) = &metrics_addr {
+        eprintln!("tcsm-serviced: metrics endpoint on {addr}");
+    }
     match serve(listener, &mut svc, &server_cfg) {
         Ok(stats) => eprintln!(
             "tcsm-serviced: shut down after {} events, {} admitted, {} retired ({} disconnected)",

@@ -237,6 +237,15 @@ impl Client {
         }
     }
 
+    /// Fetches the service's metrics exposition (Prometheus-style text,
+    /// parseable with `tcsm_telemetry::parse_exposition`).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.call(Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(unexpected("Metrics", &other)),
+        }
+    }
+
     /// Checkpoints the service into the server's configured directory.
     pub fn checkpoint(&mut self) -> Result<(), ClientError> {
         match self.call(Request::Checkpoint)? {

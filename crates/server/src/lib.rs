@@ -28,11 +28,23 @@
 //!
 //! Ops (request/response pairs share the tag): `1` admit, `2` retire,
 //! `3` query stats, `4` service stats, `5` step, `6` resubscribe,
-//! `7` checkpoint, `8` shutdown. Each request is answered by exactly one
-//! `RESPONSE` (echoing `seq` and op) or one `ERROR`; `DELIVERY` frames
-//! are unsolicited and interleave, but always *precede* the response of
-//! the step that produced them on that connection. See [`wire`] for the
-//! payload layouts and [`wire::ErrorCode`] for the refusal classes.
+//! `7` checkpoint, `8` shutdown, `9` metrics. Each request is answered by
+//! exactly one `RESPONSE` (echoing `seq` and op) or one `ERROR`;
+//! `DELIVERY` frames are unsolicited and interleave, but always *precede*
+//! the response of the step that produced them on that connection. See
+//! [`wire`] for the payload layouts and [`wire::ErrorCode`] for the
+//! refusal classes.
+//!
+//! The `metrics` request (`op 9`, empty payload) is answered with one
+//! string payload: a Prometheus-style text exposition of the service
+//! counters and per-phase latency quantiles (per service, per shard, and
+//! per query — populated when the daemon runs with
+//! `TCSM_TRACE=counters|spans`), parseable with
+//! `tcsm_telemetry::parse_exposition`. The same text is served outside
+//! the frame protocol when the daemon is started with
+//! `--metrics-addr HOST:PORT` ([`ServerConfig::metrics_addr`]): each
+//! connection to that address receives exactly one exposition as plain
+//! bytes and is closed, so `nc host port` is a complete scraper.
 //!
 //! Malformed input never kills the daemon and never panics: a frame that
 //! fails validation is answered with a typed `ERROR` (with `seq = 0` when

@@ -33,6 +33,12 @@ pub struct ServerConfig {
     /// that need exact admission points (the differential tests) leave
     /// this off.
     pub autorun: bool,
+    /// Bind a plaintext metrics endpoint here (e.g. `127.0.0.1:9184`):
+    /// every connection receives one metrics exposition
+    /// ([`MatchService::metrics_text`]) and is closed — no request
+    /// framing, so `nc host port` scrapes it. `None` disables the
+    /// endpoint; the [`Request::Metrics`] wire op works either way.
+    pub metrics_addr: Option<String>,
 }
 
 /// A sink that frames one query's match stream onto its subscriber's
@@ -65,6 +71,10 @@ enum Event {
     Conn(TcpStream),
     /// A complete wire frame arrived on connection `conn`.
     Request { conn: u64, bytes: Vec<u8> },
+    /// A scraper connected to the metrics endpoint; the service loop
+    /// writes one exposition and closes (keeping every `MatchService`
+    /// access on the service thread).
+    MetricsConn(TcpStream),
     /// Connection `conn` declared a frame beyond [`MAX_REQUEST_FRAME`];
     /// the stream cannot be re-synchronized.
     Oversized { conn: u64, declared: u64 },
@@ -120,6 +130,14 @@ pub fn serve(
     let (tx, rx) = std::sync::mpsc::channel::<Event>();
     let stop = Arc::new(AtomicBool::new(false));
     let acceptor = spawn_acceptor(listener, tx.clone(), Arc::clone(&stop))?;
+    let metrics_acceptor = match &cfg.metrics_addr {
+        Some(addr) => Some(spawn_metrics_acceptor(
+            TcpListener::bind(addr)?,
+            tx.clone(),
+            Arc::clone(&stop),
+        )?),
+        None => None,
+    };
 
     let mut conns: HashMap<u64, Conn> = HashMap::new();
     let mut next_conn: u64 = 0;
@@ -179,6 +197,13 @@ pub fn serve(
                 }
                 drop_conn(svc, &mut conns, conn);
             }
+            Event::MetricsConn(mut stream) => {
+                // One shot: write the exposition, close. Scrape failures
+                // (a peer that vanished) are the scraper's problem.
+                let text = svc.metrics_text();
+                let _ = stream.write_all(text.as_bytes());
+                let _ = stream.shutdown(Shutdown::Both);
+            }
             Event::Gone { conn } => drop_conn(svc, &mut conns, conn),
         }
     }
@@ -188,6 +213,9 @@ pub fn serve(
         close_conn(conn);
     }
     let _ = acceptor.join();
+    if let Some(handle) = metrics_acceptor {
+        let _ = handle.join();
+    }
     Ok(svc.stats())
 }
 
@@ -207,6 +235,34 @@ fn spawn_acceptor(
                 let _ = stream.set_nonblocking(false);
                 let _ = stream.set_nodelay(true);
                 if tx.send(Event::Conn(stream)).is_err() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            Err(_) => return,
+        }
+    }))
+}
+
+/// The metrics-endpoint accept loop: forwards each scraper connection to
+/// the service loop (which renders and writes the exposition) and
+/// observes the same stop flag as the main acceptor.
+fn spawn_metrics_acceptor(
+    listener: TcpListener,
+    tx: Sender<Event>,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<JoinHandle<()>> {
+    listener.set_nonblocking(true)?;
+    Ok(std::thread::spawn(move || loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                if tx.send(Event::MetricsConn(stream)).is_err() {
                     return;
                 }
             }
@@ -366,6 +422,9 @@ fn dispatch(
                 Err(unknown_query(seq, qid))
             }
         }
+        Request::Metrics => Ok(Response::Metrics {
+            text: svc.metrics_text(),
+        }),
         Request::Checkpoint => checkpoint(svc, cfg, seq).map(|()| Response::Checkpointed),
         Request::Shutdown { checkpoint: cp } => {
             let outcome = if cp {
@@ -396,7 +455,7 @@ fn unknown_query(seq: u64, qid: u32) -> WireFault {
     }
 }
 
-fn checkpoint(svc: &MatchService<'_>, cfg: &ServerConfig, seq: u64) -> Result<(), WireFault> {
+fn checkpoint(svc: &mut MatchService<'_>, cfg: &ServerConfig, seq: u64) -> Result<(), WireFault> {
     let Some(dir) = &cfg.checkpoint_dir else {
         return Err(WireFault {
             seq,

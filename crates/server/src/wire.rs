@@ -54,6 +54,7 @@ const OP_STEP: u8 = 5;
 const OP_RESUBSCRIBE: u8 = 6;
 const OP_CHECKPOINT: u8 = 7;
 const OP_SHUTDOWN: u8 = 8;
+const OP_METRICS: u8 = 9;
 
 /// Why a request was refused (the `code` byte of a [`KIND_ERROR`] frame).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -137,6 +138,9 @@ pub enum Request {
         /// Checkpoint into the configured directory before stopping.
         checkpoint: bool,
     },
+    /// Fetch the service's metrics exposition (Prometheus-style text:
+    /// service counters plus per-phase latency quantiles per scope).
+    Metrics,
 }
 
 impl Request {
@@ -150,6 +154,7 @@ impl Request {
             Request::Resubscribe { .. } => OP_RESUBSCRIBE,
             Request::Checkpoint => OP_CHECKPOINT,
             Request::Shutdown { .. } => OP_SHUTDOWN,
+            Request::Metrics => OP_METRICS,
         }
     }
 
@@ -166,7 +171,7 @@ impl Request {
                 Request::Retire { qid }
                 | Request::QueryStats { qid }
                 | Request::Resubscribe { qid } => e.put_u32(*qid),
-                Request::ServiceStats | Request::Checkpoint => {}
+                Request::ServiceStats | Request::Checkpoint | Request::Metrics => {}
                 Request::Step { n } => e.put_u64(*n),
                 Request::Shutdown { checkpoint } => e.put_bool(*checkpoint),
             }
@@ -222,6 +227,7 @@ impl Request {
                 OP_SHUTDOWN => Request::Shutdown {
                     checkpoint: dec.get_bool()?,
                 },
+                OP_METRICS => Request::Metrics,
                 other => {
                     return Err(WireFault {
                         seq,
@@ -346,6 +352,12 @@ pub enum Response {
     Checkpointed,
     /// The server stops; this is the connection's last frame.
     ShuttingDown,
+    /// The service's metrics exposition.
+    Metrics {
+        /// Prometheus-style text (see `tcsm_telemetry`'s crate docs for
+        /// the grammar; parseable with `tcsm_telemetry::parse_exposition`).
+        text: String,
+    },
 }
 
 impl Response {
@@ -359,6 +371,7 @@ impl Response {
             Response::Resubscribed => OP_RESUBSCRIBE,
             Response::Checkpointed => OP_CHECKPOINT,
             Response::ShuttingDown => OP_SHUTDOWN,
+            Response::Metrics { .. } => OP_METRICS,
         }
     }
 
@@ -388,6 +401,7 @@ impl Response {
                     e.put_bool(*done);
                 }
                 Response::Resubscribed | Response::Checkpointed | Response::ShuttingDown => {}
+                Response::Metrics { text } => e.put_str(text),
             }
         })
     }
@@ -419,6 +433,9 @@ impl Response {
             OP_RESUBSCRIBE => Response::Resubscribed,
             OP_CHECKPOINT => Response::Checkpointed,
             OP_SHUTDOWN => Response::ShuttingDown,
+            OP_METRICS => Response::Metrics {
+                text: dec.get_str()?.to_string(),
+            },
             other => return Err(CodecError::Invalid(format!("unknown response op {other}"))),
         };
         dec.finish()?;
@@ -445,6 +462,7 @@ fn encode_service_stats(e: &mut Encoder, s: &ServiceStats) {
     e.put_u64(s.kernel_invocations);
     e.put_u64(s.kernel_lanes);
     e.put_u64(s.kernel_early_exits);
+    e.put_u64(s.retired_stats_evictions);
 }
 
 fn decode_service_stats(dec: &mut Decoder<'_>) -> Result<ServiceStats, CodecError> {
@@ -460,6 +478,7 @@ fn decode_service_stats(dec: &mut Decoder<'_>) -> Result<ServiceStats, CodecErro
         kernel_invocations: dec.get_u64()?,
         kernel_lanes: dec.get_u64()?,
         kernel_early_exits: dec.get_u64()?,
+        retired_stats_evictions: dec.get_u64()?,
     })
 }
 

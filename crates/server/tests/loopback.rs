@@ -219,6 +219,7 @@ fn kill_and_restart_from_checkpoint_resumes_byte_identically() {
         let server_cfg = ServerConfig {
             checkpoint_dir: Some(dir.clone()),
             autorun: false,
+            metrics_addr: None,
         };
         let (qids, prefixes) = std::thread::scope(|s| {
             s.spawn(|| {
@@ -292,6 +293,7 @@ fn autorun_daemon_streams_to_a_passive_subscriber() {
     let server_cfg = ServerConfig {
         checkpoint_dir: None,
         autorun: true,
+        metrics_addr: None,
     };
     std::thread::scope(|s| {
         s.spawn(|| {

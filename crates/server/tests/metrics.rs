@@ -1,0 +1,172 @@
+//! Metrics smoke: a daemon on the mini fixture must serve a parseable
+//! Prometheus-style exposition over both transports — the `Metrics` wire
+//! op and the plaintext `--metrics-addr` endpoint — with ordered phase
+//! quantiles and counters that reconcile with `ServiceStats`.
+
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+
+use tcsm_datasets::QueryGen;
+use tcsm_graph::io::{parse_snap, SnapOptions};
+use tcsm_graph::{QueryGraph, TemporalGraph};
+use tcsm_server::server::{serve, ServerConfig};
+use tcsm_server::Client;
+use tcsm_service::{MatchService, ServiceConfig, ShardPolicy};
+use tcsm_telemetry::{parse_exposition, Sample};
+
+const MINI_SNAP: &str = include_str!("../../datasets/fixtures/mini-snap.txt");
+
+fn fixture() -> (TemporalGraph, i64) {
+    let g = parse_snap(MINI_SNAP, &SnapOptions::default()).expect("fixture parses");
+    let delta = tcsm_datasets::ingest::windows_for_stream(&g)[2];
+    (g, delta)
+}
+
+fn queries(g: &TemporalGraph, delta: i64, n: usize) -> Vec<QueryGraph> {
+    let mut qg = QueryGen::new(g);
+    qg.directed = true;
+    (0..32u64)
+        .filter_map(|seed| qg.generate(3, 0.5, (delta * 3 / 4).max(4), 11 + seed))
+        .take(n)
+        .collect()
+}
+
+/// An address the metrics endpoint can bind: grab an ephemeral port, free
+/// it, hand the address over (the tiny reuse window is fine for a test).
+fn free_addr() -> String {
+    let l = TcpListener::bind("127.0.0.1:0").expect("probe bind");
+    l.local_addr().expect("probe addr").to_string()
+}
+
+fn counter(samples: &[Sample], name: &str) -> f64 {
+    samples
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("{name} missing from exposition"))
+        .value
+}
+
+/// Every `(scope, phase)` family in `samples` has p50 ≤ p90 ≤ p99 ≤ max;
+/// returns the scopes seen.
+fn check_quantiles(samples: &[Sample]) -> Vec<String> {
+    let pick = |scope: &str, phase: &str, name: &str, quant: Option<&str>| {
+        samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && s.label("scope") == Some(scope)
+                    && s.label("phase") == Some(phase)
+                    && s.label("quantile") == quant
+            })
+            .map(|s| s.value)
+            .unwrap_or_else(|| panic!("{name} {scope}/{phase} quantile {quant:?} missing"))
+    };
+    let mut scopes = Vec::new();
+    for s in samples {
+        if s.name != "tcsm_phase_latency_us" || s.label("quantile") != Some("0.5") {
+            continue;
+        }
+        let (scope, phase) = (s.label("scope").unwrap(), s.label("phase").unwrap());
+        scopes.push(scope.to_string());
+        let p50 = s.value;
+        let p90 = pick(scope, phase, "tcsm_phase_latency_us", Some("0.9"));
+        let p99 = pick(scope, phase, "tcsm_phase_latency_us", Some("0.99"));
+        let max = pick(scope, phase, "tcsm_phase_latency_us_max", None);
+        assert!(
+            p50 <= p90 && p90 <= p99 && p99 <= max,
+            "{scope}/{phase}: quantiles out of order: {p50} {p90} {p99} {max}"
+        );
+    }
+    scopes
+}
+
+#[test]
+fn daemon_serves_parseable_metrics_on_both_transports() {
+    // Once per process, before any recorder exists: this test binary runs
+    // this single test, so the process-wide level is safe to pin.
+    std::env::set_var("TCSM_TRACE", "counters");
+
+    let (g, delta) = fixture();
+    let qs = queries(&g, delta, 2);
+    assert!(!qs.is_empty(), "fixture hosts generated queries");
+    let cfg = ServiceConfig {
+        shards: 2,
+        policy: ShardPolicy::Spread,
+        threads: 0,
+        batching: false,
+        directed: true,
+    };
+    let metrics_addr = free_addr();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server_cfg = ServerConfig {
+        checkpoint_dir: None,
+        autorun: false,
+        metrics_addr: Some(metrics_addr.clone()),
+    };
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut svc = MatchService::new(&g, delta, cfg).expect("service builds");
+            serve(listener, &mut svc, &server_cfg).expect("serve")
+        });
+        let mut client = Client::connect(addr).expect("connect");
+        let qids: Vec<u32> = qs
+            .iter()
+            .map(|q| client.admit(q, Default::default()).expect("admit"))
+            .collect();
+        client.step(0).expect("drain");
+
+        // Transport 1: the wire op.
+        let text = client.metrics().expect("metrics over the wire");
+        let samples = parse_exposition(&text).expect("wire exposition parses");
+        let (stats, ..) = client.service_stats().expect("service stats");
+        assert_eq!(
+            counter(&samples, "tcsm_service_events_total"),
+            stats.events as f64
+        );
+        assert_eq!(
+            counter(&samples, "tcsm_service_admitted_total"),
+            stats.admitted as f64
+        );
+        assert_eq!(
+            counter(&samples, "tcsm_service_kernel_invocations_total"),
+            stats.kernel_invocations as f64
+        );
+        assert_eq!(
+            counter(&samples, "tcsm_service_resident_queries"),
+            stats.resident_queries as f64
+        );
+        assert_eq!(
+            counter(&samples, "tcsm_service_retired_stats_evictions_total"),
+            stats.retired_stats_evictions as f64
+        );
+        let scopes = check_quantiles(&samples);
+        assert!(scopes.iter().any(|s| s == "service"), "service scope");
+        for shard in 0..cfg.shards {
+            let want = format!("shard{shard}");
+            assert!(scopes.contains(&want), "{want} scope missing");
+        }
+        for qid in &qids {
+            let want = format!("q{qid}");
+            assert!(scopes.contains(&want), "{want} scope missing");
+        }
+
+        // Transport 2: the plaintext endpoint — one exposition per
+        // connection, then close, no framing.
+        let mut scraped = String::new();
+        TcpStream::connect(&metrics_addr)
+            .expect("scrape connect")
+            .read_to_string(&mut scraped)
+            .expect("scrape read");
+        let endpoint = parse_exposition(&scraped).expect("endpoint exposition parses");
+        check_quantiles(&endpoint);
+        // Nothing stepped between the scrapes, so the two transports
+        // agree exactly.
+        assert_eq!(
+            counter(&endpoint, "tcsm_service_events_total"),
+            stats.events as f64
+        );
+
+        client.shutdown(false).expect("shutdown");
+    });
+}

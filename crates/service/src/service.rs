@@ -12,6 +12,7 @@ use tcsm_graph::{
     EventKind, EventQueue, FxHashMap, GraphError, Label, QueryGraph, TemporalEdge, TemporalGraph,
     WindowGraph,
 };
+use tcsm_telemetry::{Clock, LatencyHistogram, MetricsWriter, Phase, PhaseRecorder, TraceLevel};
 
 /// Handle of one standing query, valid for the service's lifetime (also
 /// after retirement, for [`MatchService::query_stats`]).
@@ -119,13 +120,21 @@ pub struct ServiceStats {
     /// Delta batches processed (0 in the per-event regime).
     pub batches: u64,
     /// Eq. (1) kernel invocations summed over all resident queries'
-    /// filter instances (see `EngineStats::kernel_invocations`).
+    /// filter instances **plus** every retired query's final count (see
+    /// `EngineStats::kernel_invocations`) — retirement folds a query's
+    /// kernel counters into the service totals instead of dropping them.
     pub kernel_invocations: u64,
-    /// `TR(u)` lanes folded across those invocations.
+    /// `TR(u)` lanes folded across those invocations (resident +
+    /// retired, like `kernel_invocations`).
     pub kernel_lanes: u64,
     /// Eq. (1) early-exit bails (child term with no contributing
-    /// neighbour) summed over all resident queries.
+    /// neighbour), resident + retired.
     pub kernel_early_exits: u64,
+    /// Retired-stats records evicted from the bounded table (capacity
+    /// [`RETIRED_STATS_CAPACITY`]) to make room for newer retirements.
+    /// A non-zero value tells an operator that per-query post-mortem
+    /// stats are being lost and sinks should take them at retirement.
+    pub retired_stats_evictions: u64,
 }
 
 /// One resident query: its runtime, sink, and per-delta delivery state.
@@ -292,6 +301,12 @@ pub struct MatchService<'g> {
     /// network daemon drives [`MatchService::step`], so it inherits this
     /// tripwire too.
     auditor: tcsm_core::Auditor,
+    /// Service-level phase timing (`TCSM_TRACE`): queue pop, shard-pool
+    /// dispatch, checkpoint, restore. Per-query phases live on each
+    /// slot's runtime recorder; [`MatchService::metrics_text`] rolls both
+    /// up. Never serialized — snapshots are byte-identical at every trace
+    /// level.
+    recorder: PhaseRecorder,
 }
 
 impl<'g> MatchService<'g> {
@@ -367,6 +382,7 @@ impl<'g> MatchService<'g> {
             stats,
             unit_scratch: Vec::new(),
             auditor: tcsm_core::Auditor::from_env(),
+            recorder: PhaseRecorder::from_env(),
         })
     }
 
@@ -390,8 +406,10 @@ impl<'g> MatchService<'g> {
     }
 
     /// Aggregate service counters (resident count and the kernel
-    /// instrumentation aggregates refreshed here — the latter sum over the
-    /// *resident* queries' filter instances; retired queries drop out).
+    /// instrumentation aggregates refreshed here — the latter sum the
+    /// *resident* queries' filter instances on top of the retired-side
+    /// accumulators folded in by [`MatchService::remove_query`], so a
+    /// query's kernel work is never lost to retirement).
     pub fn stats(&self) -> ServiceStats {
         let mut ki = 0u64;
         let mut kl = 0u64;
@@ -406,9 +424,9 @@ impl<'g> MatchService<'g> {
         }
         ServiceStats {
             resident_queries: self.index.len(),
-            kernel_invocations: ki,
-            kernel_lanes: kl,
-            kernel_early_exits: kx,
+            kernel_invocations: self.stats.kernel_invocations + ki,
+            kernel_lanes: self.stats.kernel_lanes + kl,
+            kernel_early_exits: self.stats.kernel_early_exits + kx,
             ..self.stats
         }
     }
@@ -555,6 +573,12 @@ impl<'g> MatchService<'g> {
             }
         }
         let stats = *slot.rt.stats();
+        // Fold the retiring query's kernel counters into the service
+        // accumulators — `stats()` adds resident runtimes on top, so the
+        // aggregate keeps counting work done by queries that are gone.
+        self.stats.kernel_invocations += stats.kernel_invocations;
+        self.stats.kernel_lanes += stats.kernel_lanes;
+        self.stats.kernel_early_exits += stats.kernel_early_exits;
         self.note_retired(id.0, stats);
         self.stats.retired += 1;
         Some(stats)
@@ -567,7 +591,10 @@ impl<'g> MatchService<'g> {
         while self.retired.len() >= RETIRED_STATS_CAPACITY {
             match self.retired_order.pop_front() {
                 // Skip ids already taken out via `take_retired_stats`.
-                Some(old) if self.retired.remove(&old).is_some() => break,
+                Some(old) if self.retired.remove(&old).is_some() => {
+                    self.stats.retired_stats_evictions += 1;
+                    break;
+                }
                 Some(_) => continue,
                 None => break,
             }
@@ -634,6 +661,7 @@ impl<'g> MatchService<'g> {
     /// when the stream is exhausted. Shards with no resident queries still
     /// advance their windows, so later admissions stay cheap and exact.
     pub fn step(&mut self) -> bool {
+        let t_pop = self.recorder.start();
         let (kind, n) = if self.cfg.batching {
             match self.queue.batch_at(self.next_event) {
                 Some(b) => (b.kind, b.len()),
@@ -658,13 +686,16 @@ impl<'g> MatchService<'g> {
         if self.cfg.batching {
             self.stats.batches += 1;
         }
+        self.recorder.stop(Phase::QueuePop, t_pop);
         let batching = self.cfg.batching;
         match &self.pool {
             Some(pool) if self.shards.len() > 1 => {
                 let edges = &edges[..];
+                let t = self.recorder.start();
                 pool.for_each_mut(&mut self.shards, |_i, shard| {
                     shard.apply_unit(full, kind, edges, batching);
                 });
+                self.recorder.stop(Phase::PoolDispatch, t);
             }
             _ => {
                 for shard in &mut self.shards {
@@ -706,6 +737,117 @@ impl<'g> MatchService<'g> {
             }
         }
         out
+    }
+
+    /// The service-level phase recorder (queue pop, pool dispatch,
+    /// checkpoint, restore). Per-query phases are on each runtime's own
+    /// recorder; [`MatchService::metrics_text`] rolls both up.
+    pub fn telemetry(&self) -> &PhaseRecorder {
+        &self.recorder
+    }
+
+    /// Replaces the env-seeded trace configuration of the service *and*
+    /// every resident runtime with `level` on `clock` (test/bench hook —
+    /// inject a [`tcsm_telemetry::ManualClock`] for deterministic phase
+    /// timings). Queries admitted afterwards still seed from the
+    /// environment.
+    #[doc(hidden)]
+    pub fn set_trace(&mut self, level: TraceLevel, clock: Arc<dyn Clock>) {
+        self.recorder = PhaseRecorder::with_clock(level, Arc::clone(&clock));
+        for shard in &mut self.shards {
+            for slot in &mut shard.slots {
+                slot.rt.set_trace(level, Arc::clone(&clock));
+            }
+        }
+    }
+
+    /// Renders the service counters and every per-phase latency histogram
+    /// as Prometheus-style text exposition (grammar: `tcsm_telemetry`
+    /// crate docs). Histogram families are labelled by `scope` —
+    /// `service` (the service-level recorder), `shard<i>` (merged over
+    /// shard `i`'s resident queries), `q<id>` (one resident query) — and
+    /// `phase`. Retired queries' phase timings are dropped with their
+    /// runtimes; their kernel counters survive in the service counters.
+    pub fn metrics_text(&self) -> String {
+        let stats = self.stats();
+        let mut w = MetricsWriter::new();
+        for (name, kind, value) in [
+            ("tcsm_service_shards", "gauge", stats.shards as u64),
+            (
+                "tcsm_service_windows_allocated",
+                "gauge",
+                stats.windows_allocated,
+            ),
+            (
+                "tcsm_service_resident_queries",
+                "gauge",
+                stats.resident_queries as u64,
+            ),
+            ("tcsm_service_admitted_total", "counter", stats.admitted),
+            ("tcsm_service_retired_total", "counter", stats.retired),
+            (
+                "tcsm_service_disconnected_total",
+                "counter",
+                stats.disconnected,
+            ),
+            ("tcsm_service_events_total", "counter", stats.events),
+            ("tcsm_service_batches_total", "counter", stats.batches),
+            (
+                "tcsm_service_kernel_invocations_total",
+                "counter",
+                stats.kernel_invocations,
+            ),
+            (
+                "tcsm_service_kernel_lanes_total",
+                "counter",
+                stats.kernel_lanes,
+            ),
+            (
+                "tcsm_service_kernel_early_exits_total",
+                "counter",
+                stats.kernel_early_exits,
+            ),
+            (
+                "tcsm_service_retired_stats_evictions_total",
+                "counter",
+                stats.retired_stats_evictions,
+            ),
+        ] {
+            w.type_header(name, kind);
+            w.sample(name, &[], value);
+        }
+        const HIST: &str = "tcsm_phase_latency_us";
+        w.type_header(HIST, "summary");
+        for phase in Phase::ALL {
+            if let Some(h) = self.recorder.histogram(phase) {
+                w.histogram(HIST, &[("scope", "service"), ("phase", phase.name())], h);
+            }
+        }
+        for (si, shard) in self.shards.iter().enumerate() {
+            let mut acc: [LatencyHistogram; Phase::COUNT] =
+                std::array::from_fn(|_| LatencyHistogram::new());
+            for slot in &shard.slots {
+                slot.rt.telemetry().merge_into(&mut acc);
+            }
+            let scope = format!("shard{si}");
+            for phase in Phase::ALL {
+                let h = &acc[phase.index()];
+                if !h.is_empty() {
+                    w.histogram(HIST, &[("scope", &scope), ("phase", phase.name())], h);
+                }
+            }
+        }
+        for shard in &self.shards {
+            for slot in &shard.slots {
+                let scope = format!("q{}", slot.id);
+                for phase in Phase::ALL {
+                    if let Some(h) = slot.rt.telemetry().histogram(phase) {
+                        w.histogram(HIST, &[("scope", &scope), ("phase", phase.name())], h);
+                    }
+                }
+            }
+        }
+        w.finish()
     }
 
     /// Overrides the env-seeded audit cadence (test hook).
@@ -1080,6 +1222,94 @@ mod tests {
         assert!(svc.query_stats(ids[7]).is_none(), "8 over capacity");
         assert!(svc.query_stats(ids[8]).is_some(), "within bound kept");
         assert!(svc.query_stats(*ids.last().unwrap()).is_some());
+        // Each eviction is counted — the operator-facing signal that
+        // `take_retired_stats` readers are falling behind.
+        assert_eq!(svc.stats().retired_stats_evictions, 8);
+    }
+
+    #[test]
+    fn retired_kernel_counters_fold_into_service_stats() {
+        let (queries, g) = workload();
+        let mut svc = MatchService::new(&g, 10, ServiceConfig::default()).unwrap();
+        let id = svc.add_query(&queries[0], serial_cfg(), Box::new(CountingSink::new().0));
+        svc.run();
+        let resident = svc.stats();
+        let per_query = svc.query_stats(id).unwrap();
+        assert!(
+            per_query.kernel_invocations > 0,
+            "workload must exercise the kernel for this test to bite"
+        );
+        assert_eq!(resident.kernel_invocations, per_query.kernel_invocations);
+        // Retiring the query must not make its kernel work vanish from
+        // the aggregate.
+        svc.remove_query(id).expect("resident");
+        let after = svc.stats();
+        assert_eq!(after.kernel_invocations, resident.kernel_invocations);
+        assert_eq!(after.kernel_lanes, resident.kernel_lanes);
+        assert_eq!(after.kernel_early_exits, resident.kernel_early_exits);
+    }
+
+    #[test]
+    fn metrics_exposition_parses_and_quantiles_are_ordered() {
+        use tcsm_telemetry::{parse_exposition, ManualClock, TraceLevel};
+        let (queries, g) = workload();
+        let mut svc = MatchService::new(&g, 10, ServiceConfig::default()).unwrap();
+        let id = svc.add_query(&queries[0], serial_cfg(), Box::new(CountingSink::new().0));
+        svc.set_trace(TraceLevel::Counters, Arc::new(ManualClock::new(3)));
+        svc.run();
+        let text = svc.metrics_text();
+        let samples = parse_exposition(&text).expect("exposition parses");
+        // Counters in the text agree with the live aggregate.
+        let stats = svc.stats();
+        let counter = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .value
+        };
+        assert_eq!(counter("tcsm_service_events_total"), stats.events as f64);
+        assert_eq!(
+            counter("tcsm_service_admitted_total"),
+            stats.admitted as f64
+        );
+        assert_eq!(
+            counter("tcsm_service_kernel_invocations_total"),
+            stats.kernel_invocations as f64
+        );
+        // Every (scope, phase) histogram family has ordered quantiles, and
+        // the service and per-query scopes are both present.
+        let pick = |scope: &str, phase: &str, name: &str, quant: Option<&str>| {
+            samples
+                .iter()
+                .find(|s| {
+                    s.name == name
+                        && s.label("scope") == Some(scope)
+                        && s.label("phase") == Some(phase)
+                        && s.label("quantile") == quant
+                })
+                .map(|s| s.value)
+        };
+        let mut scopes_seen = Vec::new();
+        for s in &samples {
+            if s.name != "tcsm_phase_latency_us" || s.label("quantile") != Some("0.5") {
+                continue;
+            }
+            let (scope, phase) = (s.label("scope").unwrap(), s.label("phase").unwrap());
+            scopes_seen.push(scope.to_string());
+            let p50 = s.value;
+            let p90 = pick(scope, phase, "tcsm_phase_latency_us", Some("0.9")).unwrap();
+            let p99 = pick(scope, phase, "tcsm_phase_latency_us", Some("0.99")).unwrap();
+            let max = pick(scope, phase, "tcsm_phase_latency_us_max", None).unwrap();
+            assert!(
+                p50 <= p90 && p90 <= p99 && p99 <= max,
+                "{scope}/{phase}: quantiles out of order: {p50} {p90} {p99} {max}"
+            );
+        }
+        assert!(scopes_seen.iter().any(|s| s == "service"), "service scope");
+        let qscope = format!("q{}", id.raw());
+        assert!(scopes_seen.contains(&qscope), "per-query scope {qscope}");
+        assert!(scopes_seen.iter().any(|s| s == "shard0"), "shard scope");
     }
 
     #[test]

@@ -228,11 +228,13 @@ fn decode_manifest(bytes: &[u8]) -> Result<Manifest, SnapshotError> {
             disconnected: dec.get_u64()?,
             events: dec.get_u64()?,
             batches: dec.get_u64()?,
-            // Derived at `stats()` time from the resident queries' own
-            // (snapshotted) kernel counters — never stored here.
-            kernel_invocations: 0,
-            kernel_lanes: 0,
-            kernel_early_exits: 0,
+            // The stored kernel counters are the retired-side
+            // accumulators; resident contributions are re-derived at
+            // `stats()` time from the restored runtimes.
+            kernel_invocations: dec.get_u64()?,
+            kernel_lanes: dec.get_u64()?,
+            kernel_early_exits: dec.get_u64()?,
+            retired_stats_evictions: dec.get_u64()?,
         };
         let nretired = dec.get_count(4)?;
         let mut retired = Vec::with_capacity(nretired);
@@ -295,7 +297,20 @@ impl<'g> MatchService<'g> {
     /// May be called between any two [`MatchService::step`] calls; a later
     /// checkpoint into the same directory atomically supersedes file by
     /// file, manifest last.
-    pub fn checkpoint(&self, dir: &Path) -> Result<(), SnapshotError> {
+    ///
+    /// Takes `&mut self` only to record the wall-clock cost as a
+    /// [`Phase::Checkpoint`](tcsm_telemetry::Phase) span on the service's
+    /// phase recorder; no matching state is touched, and the written
+    /// bytes are identical at every `TCSM_TRACE` level (timing is never
+    /// serialized).
+    pub fn checkpoint(&mut self, dir: &Path) -> Result<(), SnapshotError> {
+        let t = self.recorder.start();
+        let result = self.checkpoint_inner(dir);
+        self.recorder.stop(tcsm_telemetry::Phase::Checkpoint, t);
+        result
+    }
+
+    fn checkpoint_inner(&self, dir: &Path) -> Result<(), SnapshotError> {
         fs::create_dir_all(dir).map_err(|source| SnapshotError::Io {
             path: dir.to_path_buf(),
             source,
@@ -334,6 +349,14 @@ impl<'g> MatchService<'g> {
             e.put_u64(self.stats.disconnected);
             e.put_u64(self.stats.events);
             e.put_u64(self.stats.batches);
+            // Retired-side accumulators: the kernel counters folded in by
+            // `remove_query` (resident contributions are re-derived from
+            // the restored runtimes at `stats()` time) and the eviction
+            // count of the bounded retired-stats table.
+            e.put_u64(self.stats.kernel_invocations);
+            e.put_u64(self.stats.kernel_lanes);
+            e.put_u64(self.stats.kernel_early_exits);
+            e.put_u64(self.stats.retired_stats_evictions);
             // Retirement order (skipping taken-out ids), so the restored
             // service evicts oldest-first exactly like this one would.
             let retired: Vec<(u32, &EngineStats)> = self
@@ -374,6 +397,12 @@ impl<'g> MatchService<'g> {
         policy: RecoveryPolicy,
         mut make_sink: impl FnMut(QueryId) -> Box<dyn ResultSink>,
     ) -> Result<MatchService<'g>, SnapshotError> {
+        // Time the whole restore (decode, rebuild, replay) as one
+        // `Phase::Restore` span on a recorder created up front; it
+        // replaces the recorder `MatchService::new` seeds below, so the
+        // span survives into the returned service.
+        let mut recorder = tcsm_telemetry::PhaseRecorder::from_env();
+        let t = recorder.start();
         let m = decode_manifest(&read_file(dir, MANIFEST_FILE)?)?;
         if m.fingerprint != stream_fingerprint(g, m.delta) {
             return Err(SnapshotError::Mismatch(
@@ -435,6 +464,8 @@ impl<'g> MatchService<'g> {
                 (Err(_), RecoveryPolicy::Rebuild) => svc.rebuild_shard(si),
             }
         }
+        recorder.stop(tcsm_telemetry::Phase::Restore, t);
+        svc.recorder = recorder;
         Ok(svc)
     }
 

@@ -606,3 +606,80 @@ fn corpus_manifest_corruption_is_fatal_under_rebuild() {
     assert!(matches!(err, SnapshotError::Codec { .. }), "got {err}");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Telemetry is observational: snapshots taken at every trace level are
+/// byte-identical (timing is never serialized), and a restored service
+/// carries no phase timings from its previous life.
+#[test]
+fn snapshots_are_byte_identical_across_trace_levels() {
+    use std::sync::Arc;
+    use tcsm_telemetry::{ManualClock, TraceLevel};
+    let (queries, g) = workload();
+    let cfg = svc_cfg(2, 0, false, false);
+    let ecfg = EngineConfig {
+        directed: cfg.directed,
+        ..serial_cfg()
+    };
+    let mut dumps: Vec<(TraceLevel, PathBuf)> = Vec::new();
+    for (tag, level) in [
+        ("off", TraceLevel::Off),
+        ("counters", TraceLevel::Counters),
+        ("spans", TraceLevel::Spans),
+    ] {
+        let dir = scratch(&format!("trace-{tag}"));
+        let mut svc = MatchService::new(&g, 10, cfg).unwrap();
+        for q in &queries {
+            svc.add_query(q, ecfg, Box::new(CollectingSink::new().0));
+        }
+        svc.set_trace(level, Arc::new(ManualClock::new(5)));
+        for _ in 0..9 {
+            svc.step();
+        }
+        svc.checkpoint(&dir).expect("checkpoint succeeds");
+        if level == TraceLevel::Counters {
+            assert!(
+                svc.telemetry().total_us() > 0,
+                "counters run must actually record timings"
+            );
+        }
+        dumps.push((level, dir));
+    }
+    let files = |dir: &Path| -> Vec<(String, Vec<u8>)> {
+        let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| {
+                let e = e.unwrap();
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).unwrap(),
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    };
+    let baseline = files(&dumps[0].1);
+    assert!(!baseline.is_empty(), "checkpoint wrote files");
+    for (level, dir) in &dumps[1..] {
+        assert_eq!(
+            files(dir),
+            baseline,
+            "{level:?} snapshot differs from Off snapshot"
+        );
+    }
+    // A restored service starts with a fresh recorder: the previous
+    // process's timings do not leak through the snapshot.
+    let restored = MatchService::restore(&g, &dumps[1].1, RecoveryPolicy::Strict, |_| {
+        Box::new(CollectingSink::new().0)
+    })
+    .expect("restore succeeds");
+    for phase in tcsm_telemetry::Phase::ALL {
+        if phase == tcsm_telemetry::Phase::Restore {
+            continue; // the restore itself may be timed (env-gated)
+        }
+        assert!(
+            restored.telemetry().histogram(phase).is_none(),
+            "{phase:?} timings leaked through the snapshot"
+        );
+    }
+}

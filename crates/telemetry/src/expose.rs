@@ -1,0 +1,285 @@
+//! Prometheus-style text exposition: a renderer ([`MetricsWriter`]) and
+//! the matching parser ([`parse_exposition`]) the smoke tests scrape
+//! with.
+//!
+//! The grammar is the text subset the daemon emits:
+//!
+//! ```text
+//! exposition = { comment | sample } ;
+//! comment    = "#" ... "\n" ;                       (* TYPE/HELP lines *)
+//! sample     = name [ "{" label { "," label } "}" ] " " value "\n" ;
+//! label      = lname "=" '"' escaped-value '"' ;
+//! ```
+//!
+//! Names are `[a-zA-Z_:][a-zA-Z0-9_:]*`; label values escape `\`, `"`
+//! and newline.
+
+use crate::hist::LatencyHistogram;
+use crate::trace::QUANTILES;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders Prometheus text exposition.
+#[derive(Default)]
+pub struct MetricsWriter {
+    out: String,
+}
+
+impl MetricsWriter {
+    /// An empty exposition.
+    pub fn new() -> MetricsWriter {
+        MetricsWriter::default()
+    }
+
+    /// Emits a `# TYPE` header.
+    pub fn type_header(&mut self, name: &str, kind: &str) {
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Emits one sample line.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{k}=\"");
+                for c in v.chars() {
+                    match c {
+                        '\\' => self.out.push_str("\\\\"),
+                        '"' => self.out.push_str("\\\""),
+                        '\n' => self.out.push_str("\\n"),
+                        c => self.out.push(c),
+                    }
+                }
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        let _ = writeln!(self.out, " {value}");
+    }
+
+    /// Emits the quantile/`_count`/`_sum`/`_max` family of one histogram
+    /// under `name`, with `labels` prepended to every line.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], h: &LatencyHistogram) {
+        let mut all: Vec<(&str, &str)> = labels.to_vec();
+        for (q, qs) in QUANTILES {
+            all.push(("quantile", qs));
+            self.sample(name, &all, h.percentile(q));
+            all.pop();
+        }
+        let count = format!("{name}_count");
+        let sum = format!("{name}_sum");
+        let max = format!("{name}_max");
+        self.sample(&count, labels, h.count());
+        self.sample(&sum, labels, h.sum());
+        self.sample(&max, labels, h.max());
+    }
+
+    /// The rendered exposition.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// One parsed sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name.
+    pub name: String,
+    /// Label set (sorted by key).
+    pub labels: BTreeMap<String, String>,
+    /// The value (all tcsm metrics are integral).
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.get(key).map(String::as_str)
+    }
+}
+
+/// Parses text exposition into samples, rejecting malformed lines with a
+/// message naming the offending line. Comments and blank lines are
+/// skipped.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_sample(line).map_err(|e| format!("line {}: {e}: {line:?}", lineno + 1))?);
+    }
+    Ok(out)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len()
+        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b':')
+    {
+        i += 1;
+    }
+    if i == 0 || bytes[0].is_ascii_digit() {
+        return Err("missing metric name".into());
+    }
+    let name = line[..i].to_string();
+    let mut labels = BTreeMap::new();
+    let rest = &line[i..];
+    let rest = if let Some(body) = rest.strip_prefix('{') {
+        let end = find_label_end(body).ok_or("unterminated label set")?;
+        parse_labels(&body[..end], &mut labels)?;
+        &body[end + 1..]
+    } else {
+        rest
+    };
+    let value = rest.trim();
+    if value.is_empty() {
+        return Err("missing value".into());
+    }
+    let value: f64 = value.parse().map_err(|_| "unparseable value".to_string())?;
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+/// Index of the closing `}` of a label body (quote-aware).
+fn find_label_end(body: &str) -> Option<usize> {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            '}' if !in_quotes => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_labels(body: &str, out: &mut BTreeMap<String, String>) -> Result<(), String> {
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or("label without '='")?;
+        let key = rest[..eq].trim().to_string();
+        if key.is_empty() {
+            return Err("empty label name".into());
+        }
+        let after = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or("label value not quoted")?;
+        let mut value = String::new();
+        let mut escaped = false;
+        let mut close = None;
+        for (i, c) in after.char_indices() {
+            if escaped {
+                value.push(match c {
+                    'n' => '\n',
+                    c => c,
+                });
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                close = Some(i);
+                break;
+            } else {
+                value.push(c);
+            }
+        }
+        let close = close.ok_or("unterminated label value")?;
+        out.insert(key, value);
+        let tail = &after[close + 1..];
+        rest = match tail.strip_prefix(',') {
+            Some(next) => next.trim_start(),
+            None if tail.trim().is_empty() => "",
+            None => return Err("expected ',' between labels".into()),
+        };
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_samples_and_labels() {
+        let mut w = MetricsWriter::new();
+        w.type_header("tcsm_events_total", "counter");
+        w.sample("tcsm_events_total", &[], 42);
+        w.sample(
+            "tcsm_phase_latency_us",
+            &[("scope", "shard0"), ("phase", "sweep"), ("quantile", "0.5")],
+            17,
+        );
+        let text = w.finish();
+        let samples = parse_exposition(&text).unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].name, "tcsm_events_total");
+        assert_eq!(samples[0].value, 42.0);
+        assert_eq!(samples[1].label("phase"), Some("sweep"));
+        assert_eq!(samples[1].label("quantile"), Some("0.5"));
+        assert_eq!(samples[1].value, 17.0);
+    }
+
+    #[test]
+    fn histogram_family_is_complete_and_monotone() {
+        let mut h = LatencyHistogram::new();
+        for v in [1u64, 5, 9, 1000, 20_000] {
+            h.record(v);
+        }
+        let mut w = MetricsWriter::new();
+        w.histogram("tcsm_phase_latency_us", &[("scope", "q1")], &h);
+        let samples = parse_exposition(&w.finish()).unwrap();
+        let q = |qs: &str| {
+            samples
+                .iter()
+                .find(|s| s.label("quantile") == Some(qs))
+                .map(|s| s.value)
+                .unwrap()
+        };
+        let max = samples
+            .iter()
+            .find(|s| s.name == "tcsm_phase_latency_us_max")
+            .map(|s| s.value)
+            .unwrap();
+        assert!(q("0.5") <= q("0.9"));
+        assert!(q("0.9") <= q("0.99"));
+        assert!(q("0.99") <= max);
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "tcsm_phase_latency_us_count" && s.value == 5.0));
+    }
+
+    #[test]
+    fn escaped_label_values_roundtrip() {
+        let mut w = MetricsWriter::new();
+        w.sample("m", &[("k", "a\"b\\c\nd")], 1);
+        let samples = parse_exposition(&w.finish()).unwrap();
+        assert_eq!(samples[0].label("k"), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "1bad 3",
+            "name{unterminated 3",
+            "name{k=\"v\" 3",
+            "name{k=v} 3",
+            "name abc",
+            "name",
+        ] {
+            assert!(parse_exposition(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! The log-bucketed latency histogram (see the crate docs for the bucket
+//! scheme catalogue).
+
+/// Sub-bucket bits per binade: each power-of-two range splits into
+/// `2^SUB_BITS` equal sub-buckets, bounding relative quantization error
+/// by `2^-SUB_BITS` (6.25%).
+pub const SUB_BITS: u32 = 4;
+
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+
+/// Total bucket count: 16 exact unit buckets for `0..16`, then 16
+/// sub-buckets per binade for `h = 4..=63`.
+pub const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB_COUNT as usize;
+
+/// The bucket index of value `v` (contiguous, monotone in `v`).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT {
+        return v as usize;
+    }
+    let h = 63 - v.leading_zeros();
+    let sub = (v >> (h - SUB_BITS)) - SUB_COUNT;
+    ((h - (SUB_BITS - 1)) as u64 * SUB_COUNT + sub) as usize
+}
+
+/// The inclusive `[lo, hi]` value range of bucket `i` — the inverse of
+/// [`bucket_index`], used by the proptests to pin the error bound.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    let i = i as u64;
+    if i < SUB_COUNT {
+        return (i, i);
+    }
+    let h = i / SUB_COUNT + (SUB_BITS - 1) as u64;
+    let sub = i % SUB_COUNT;
+    let width = 1u64 << (h - SUB_BITS as u64);
+    let lo = (SUB_COUNT + sub) << (h - SUB_BITS as u64);
+    (lo, lo + (width - 1))
+}
+
+/// An HDR-style log-bucketed histogram of `u64` microsecond durations.
+///
+/// Records in O(1), merges element-wise (associative + commutative), and
+/// answers p50/p90/p99-style rank queries with ≤ 6.25% relative error —
+/// clamped to the exact tracked maximum, so the top percentile is always
+/// the true max. The count table allocates lazily on the first record, so
+/// an empty histogram is pointer-sized state.
+#[derive(Clone, Default)]
+pub struct LatencyHistogram {
+    counts: Option<Box<[u64; NUM_BUCKETS]>>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram (no bucket table allocated yet).
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one duration.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let counts = self
+            .counts
+            .get_or_insert_with(|| Box::new([0u64; NUM_BUCKETS]));
+        counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total recorded samples.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded durations (saturating).
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The exact maximum recorded value (0 when empty).
+    #[inline]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Is the histogram empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Folds `other` into `self` (element-wise bucket addition).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        let counts = self
+            .counts
+            .get_or_insert_with(|| Box::new([0u64; NUM_BUCKETS]));
+        if let Some(theirs) = &other.counts {
+            for (a, b) in counts.iter_mut().zip(theirs.iter()) {
+                *a += b;
+            }
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`: the upper bound of the bucket
+    /// holding the sample of rank `⌈q·count⌉`, clamped to the exact max.
+    /// Returns 0 on an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let Some(counts) = &self.counts else {
+            return 0;
+        };
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("max", &self.max)
+            .field("p50", &self.percentile(0.50))
+            .field("p90", &self.percentile(0.90))
+            .field("p99", &self.percentile(0.99))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_monotone_and_bounds_invert() {
+        let mut prev = 0usize;
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            100,
+            1_000,
+            65_535,
+            65_536,
+            u32::MAX as u64,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            assert!(i >= prev, "index not monotone at {v}");
+            assert!(i < NUM_BUCKETS);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}] of bucket {i}");
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.percentile(1.0), 15);
+        // Rank 8 of 16 at q=0.5 is the value 7 (exact unit buckets).
+        assert_eq!(h.percentile(0.5), 7);
+    }
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.max(), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn merge_equals_recording_both() {
+        let (mut a, mut b, mut both) = (
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+        );
+        for v in [3u64, 99, 7_000, 123_456] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [1u64, 42, 1_000_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.sum(), both.sum());
+        assert_eq!(a.max(), both.max());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.percentile(q), both.percentile(q));
+        }
+    }
+}

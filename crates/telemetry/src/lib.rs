@@ -1,0 +1,81 @@
+//! # tcsm-telemetry
+//!
+//! Hand-rolled (std-only, like `tcsm-graph::codec`) observability
+//! substrate for the TCM workspace: log-bucketed latency histograms, a
+//! monotonic [`Clock`] with an injectable deterministic test clock, and a
+//! lightweight per-phase span recorder with a ring buffer, pluggable
+//! [`Subscriber`]s, and Prometheus-style text exposition.
+//!
+//! # What gets measured
+//!
+//! The engine's event loop decomposes into the phases of [`Phase`]: queue
+//! pop, filter-bank update, DCS apply, and the `FindMatches` sweep on the
+//! hot path, plus checkpoint/restore and pool dispatch on the service
+//! path. Each instrumented site brackets its phase with
+//! [`PhaseRecorder::start`] / [`PhaseRecorder::stop`]; durations land in
+//! one [`LatencyHistogram`] per phase.
+//!
+//! Tracing is **off by default** and selected per process by `TCSM_TRACE`
+//! (the same once-per-process pattern as `TCSM_KERNEL` / `TCSM_AUDIT`):
+//!
+//! * `TCSM_TRACE=off` — a disabled recorder; `start`/`stop` are a single
+//!   `enabled` branch each, nothing is allocated;
+//! * `TCSM_TRACE=counters` — per-phase histograms (count/sum/percentiles);
+//! * `TCSM_TRACE=spans` — histograms plus a bounded in-memory span ring
+//!   and per-span [`Subscriber`] callbacks.
+//!
+//! `TCSM_SLOW_EVENT_US` (default [`DEFAULT_SLOW_EVENT_US`]) sets the
+//! slow-event threshold: any span at least that long emits one structured
+//! `tcsm-slow phase=<name> us=<dur> start_us=<t>` line on stderr (and
+//! [`Subscriber::on_slow`]), at every level except `off`.
+//!
+//! Timing is deliberately **not** part of `EngineStats`: semantic stats
+//! stay byte-identical across trace levels, machines, and runs, so the
+//! differential suites never see a timing-shaped diff, and snapshots never
+//! embed wall-clock state.
+//!
+//! # Histogram bucket scheme
+//!
+//! [`LatencyHistogram`] is an HDR-style log-bucketed histogram over `u64`
+//! microsecond values with [`SUB_BITS`] = 4 sub-bucket bits:
+//!
+//! * values `0..16` land in 16 **exact** unit buckets (index = value);
+//! * every binade `[2^h, 2^(h+1))` for `h ≥ 4` splits into 16 equal
+//!   sub-buckets of width `2^(h-4)`; the bucket of value `v` is
+//!   `(h - 3) * 16 + ((v >> (h - 4)) - 16)` with `h = 63 - v.leading_zeros()`.
+//!
+//! Indices are contiguous from 0 (value 0) to [`NUM_BUCKETS`]` - 1`
+//! (values near `u64::MAX`), so the whole table is a flat 976-slot count
+//! array. Relative quantization error is bounded by the sub-bucket width
+//! over the binade base: `2^(h-4) / 2^h = 1/16 = 6.25%`. Percentile
+//! queries walk the cumulative counts and report the matched bucket's
+//! upper bound, clamped to the exact tracked maximum — so `p(1.0)` is
+//! always the true max, and every reported percentile is a value that is
+//! ≥ the requested rank's sample and within 6.25% of it.
+//!
+//! Merging two histograms is element-wise count addition (plus
+//! count/sum/max folds) and is associative and commutative — the property
+//! the per-shard and per-service aggregations in `tcsm-service` rely on,
+//! pinned by this crate's proptests.
+//!
+//! # Exposition
+//!
+//! [`MetricsWriter`] renders Prometheus text exposition (`name{labels}
+//! value` lines, `# TYPE` headers) and [`parse_exposition`] parses it back
+//! into [`Sample`]s — the same parser the CI metrics-smoke job uses to
+//! assert the daemon's scrape output is well-formed and its percentiles
+//! monotone.
+
+mod clock;
+mod expose;
+mod hist;
+mod recorder;
+mod trace;
+
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use expose::{parse_exposition, MetricsWriter, Sample};
+pub use hist::{bucket_bounds, bucket_index, LatencyHistogram, NUM_BUCKETS, SUB_BITS};
+pub use recorder::{PhaseRecorder, Span, SpanRing, Subscriber, SPAN_RING_CAPACITY};
+pub use trace::{
+    env_slow_event_us, env_trace_level, Phase, TraceLevel, DEFAULT_SLOW_EVENT_US, QUANTILES,
+};

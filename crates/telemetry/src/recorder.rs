@@ -1,0 +1,322 @@
+//! The per-owner phase recorder: one [`LatencyHistogram`] per [`Phase`],
+//! an optional bounded span ring, subscriber fan-out, and slow-event log
+//! lines.
+
+use crate::clock::{Clock, SystemClock};
+use crate::hist::LatencyHistogram;
+use crate::trace::{env_slow_event_us, env_trace_level, Phase, TraceLevel};
+use std::sync::Arc;
+
+/// One completed phase measurement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Which phase ran.
+    pub phase: Phase,
+    /// Clock reading at `start` (µs since the clock's origin).
+    pub start_us: u64,
+    /// Duration in µs.
+    pub dur_us: u64,
+}
+
+/// Spans kept per recorder at [`TraceLevel::Spans`]; older spans are
+/// overwritten (the ring answers "what just happened", not history).
+pub const SPAN_RING_CAPACITY: usize = 256;
+
+/// A fixed-capacity overwrite-oldest span buffer.
+#[derive(Default)]
+pub struct SpanRing {
+    buf: Vec<Span>,
+    /// Next write slot once `buf` has reached capacity.
+    head: usize,
+}
+
+impl SpanRing {
+    fn push(&mut self, span: Span) {
+        if self.buf.len() < SPAN_RING_CAPACITY {
+            self.buf.push(span);
+        } else {
+            self.buf[self.head] = span;
+            self.head = (self.head + 1) % SPAN_RING_CAPACITY;
+        }
+    }
+
+    /// Recorded spans, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Span> {
+        let (wrapped, recent) = self.buf.split_at(self.head);
+        recent.iter().chain(wrapped.iter())
+    }
+
+    /// Number of retained spans (≤ [`SPAN_RING_CAPACITY`]).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Receives spans as they complete at [`TraceLevel::Spans`].
+pub trait Subscriber: Send {
+    /// Called for every completed span.
+    fn on_span(&mut self, span: &Span);
+    /// Called for spans at or above the slow-event threshold (any
+    /// enabled level, after the stderr log line).
+    fn on_slow(&mut self, _span: &Span) {}
+}
+
+/// Per-owner phase timing: the engine's runtime and the service each own
+/// one. All methods are `&mut`-serial; cross-owner aggregation merges
+/// histograms after the fact (associative, so shard/service rollups are
+/// order-independent).
+///
+/// At [`TraceLevel::Off`] the recorder holds no histograms and
+/// [`PhaseRecorder::start`] / [`PhaseRecorder::stop`] cost exactly one
+/// predictable `enabled` branch — the invariant the interleaved
+/// `engine_run_trace_*` bench pair pins.
+pub struct PhaseRecorder {
+    level: TraceLevel,
+    clock: Arc<dyn Clock>,
+    /// One histogram per `Phase::ALL` slot; empty vec when disabled.
+    hists: Vec<LatencyHistogram>,
+    ring: SpanRing,
+    subscribers: Vec<Box<dyn Subscriber>>,
+    slow_us: u64,
+}
+
+impl Default for PhaseRecorder {
+    fn default() -> PhaseRecorder {
+        PhaseRecorder::from_env()
+    }
+}
+
+impl PhaseRecorder {
+    /// A recorder at the `TCSM_TRACE` level with the system clock and the
+    /// `TCSM_SLOW_EVENT_US` threshold.
+    pub fn from_env() -> PhaseRecorder {
+        match env_trace_level() {
+            TraceLevel::Off => PhaseRecorder::disabled(),
+            level => PhaseRecorder::with_clock(level, Arc::new(SystemClock::new())),
+        }
+    }
+
+    /// A recorder that measures nothing and allocates nothing.
+    pub fn disabled() -> PhaseRecorder {
+        PhaseRecorder {
+            level: TraceLevel::Off,
+            clock: Arc::new(NullClock),
+            hists: Vec::new(),
+            ring: SpanRing::default(),
+            subscribers: Vec::new(),
+            slow_us: 0,
+        }
+    }
+
+    /// A recorder at `level` reading `clock` (inject a
+    /// [`crate::ManualClock`] for deterministic tests).
+    pub fn with_clock(level: TraceLevel, clock: Arc<dyn Clock>) -> PhaseRecorder {
+        let hists = if level.enabled() {
+            vec![LatencyHistogram::new(); Phase::COUNT]
+        } else {
+            Vec::new()
+        };
+        PhaseRecorder {
+            level,
+            clock,
+            hists,
+            ring: SpanRing::default(),
+            subscribers: Vec::new(),
+            slow_us: env_slow_event_us(),
+        }
+    }
+
+    /// The recorder's level.
+    #[inline]
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// Is anything being recorded?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.level.enabled()
+    }
+
+    /// Overrides the slow-event threshold (µs; 0 disables).
+    pub fn set_slow_event_us(&mut self, us: u64) {
+        self.slow_us = us;
+    }
+
+    /// Registers a span subscriber (invoked at [`TraceLevel::Spans`]).
+    pub fn subscribe(&mut self, sub: Box<dyn Subscriber>) {
+        self.subscribers.push(sub);
+    }
+
+    /// Opens a phase span: the clock reading, or 0 when disabled. Hot
+    /// path — exactly one branch at `off`.
+    #[inline]
+    pub fn start(&self) -> u64 {
+        if !self.level.enabled() {
+            return 0;
+        }
+        self.clock.micros()
+    }
+
+    /// Closes a phase span opened by [`PhaseRecorder::start`]. Hot path —
+    /// exactly one branch at `off`; everything else lives in the cold
+    /// half.
+    #[inline]
+    pub fn stop(&mut self, phase: Phase, start_us: u64) {
+        if !self.level.enabled() {
+            return;
+        }
+        self.stop_enabled(phase, start_us);
+    }
+
+    #[cold]
+    fn stop_enabled(&mut self, phase: Phase, start_us: u64) {
+        let now = self.clock.micros();
+        let dur_us = now.saturating_sub(start_us);
+        self.hists[phase.index()].record(dur_us);
+        let span = Span {
+            phase,
+            start_us,
+            dur_us,
+        };
+        if self.level.spans() {
+            self.ring.push(span);
+            for sub in &mut self.subscribers {
+                sub.on_span(&span);
+            }
+        }
+        if self.slow_us != 0 && dur_us >= self.slow_us {
+            // Structured one-line slow-event record (grep-able key=value).
+            eprintln!(
+                "tcsm-slow phase={} us={} start_us={}",
+                phase.name(),
+                dur_us,
+                start_us
+            );
+            for sub in &mut self.subscribers {
+                sub.on_slow(&span);
+            }
+        }
+    }
+
+    /// The histogram of `phase`, if anything was recorded for it.
+    pub fn histogram(&self, phase: Phase) -> Option<&LatencyHistogram> {
+        self.hists.get(phase.index()).filter(|h| !h.is_empty())
+    }
+
+    /// Folds this recorder's histograms into a per-phase accumulator
+    /// table (the shard/service rollup primitive).
+    pub fn merge_into(&self, acc: &mut [LatencyHistogram; Phase::COUNT]) {
+        for (a, h) in acc.iter_mut().zip(self.hists.iter()) {
+            a.merge(h);
+        }
+    }
+
+    /// Sum of all recorded phase durations (µs) — the "phase time ≤ wall
+    /// time" test's left-hand side.
+    pub fn total_us(&self) -> u64 {
+        self.hists.iter().map(|h| h.sum()).sum()
+    }
+
+    /// The span ring (non-empty only at [`TraceLevel::Spans`]).
+    pub fn spans(&self) -> &SpanRing {
+        &self.ring
+    }
+}
+
+/// The disabled recorder's clock: never read (every caller checks
+/// `enabled` first), returns 0 if it ever is.
+struct NullClock;
+
+impl Clock for NullClock {
+    fn micros(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use std::sync::Mutex;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut r = PhaseRecorder::disabled();
+        let t = r.start();
+        assert_eq!(t, 0);
+        r.stop(Phase::Filter, t);
+        assert!(r.histogram(Phase::Filter).is_none());
+        assert_eq!(r.total_us(), 0);
+    }
+
+    #[test]
+    fn counters_record_durations_from_the_injected_clock() {
+        let clock = Arc::new(ManualClock::new(5));
+        let mut r = PhaseRecorder::with_clock(TraceLevel::Counters, clock);
+        r.set_slow_event_us(0);
+        for _ in 0..4 {
+            let t = r.start();
+            r.stop(Phase::Sweep, t);
+        }
+        let h = r.histogram(Phase::Sweep).expect("recorded");
+        assert_eq!(h.count(), 4);
+        // tick=5 and exactly one read inside stop ⇒ every span is 5 µs.
+        assert_eq!(h.max(), 5);
+        assert_eq!(r.total_us(), 20);
+        assert!(r.spans().is_empty(), "counters level keeps no spans");
+    }
+
+    #[test]
+    fn spans_level_fills_the_ring_and_notifies_subscribers() {
+        struct Tap(Arc<Mutex<Vec<Span>>>);
+        impl Subscriber for Tap {
+            fn on_span(&mut self, span: &Span) {
+                self.0.lock().unwrap().push(*span);
+            }
+        }
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let clock = Arc::new(ManualClock::new(1));
+        let mut r = PhaseRecorder::with_clock(TraceLevel::Spans, clock);
+        r.set_slow_event_us(0);
+        r.subscribe(Box::new(Tap(Arc::clone(&seen))));
+        for _ in 0..(SPAN_RING_CAPACITY + 10) {
+            let t = r.start();
+            r.stop(Phase::QueuePop, t);
+        }
+        assert_eq!(r.spans().len(), SPAN_RING_CAPACITY);
+        assert_eq!(seen.lock().unwrap().len(), SPAN_RING_CAPACITY + 10);
+        // Ring iteration is oldest-first and strictly time-ordered.
+        let starts: Vec<u64> = r.spans().iter().map(|s| s.start_us).collect();
+        assert!(starts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn slow_threshold_triggers_on_slow() {
+        struct SlowTap(Arc<Mutex<u64>>);
+        impl Subscriber for SlowTap {
+            fn on_span(&mut self, _: &Span) {}
+            fn on_slow(&mut self, _: &Span) {
+                *self.0.lock().unwrap() += 1;
+            }
+        }
+        let hits = Arc::new(Mutex::new(0u64));
+        let clock = Arc::new(ManualClock::new(0));
+        let dyn_clock: Arc<dyn Clock> = clock.clone();
+        let mut r = PhaseRecorder::with_clock(TraceLevel::Spans, dyn_clock);
+        r.set_slow_event_us(50);
+        r.subscribe(Box::new(SlowTap(Arc::clone(&hits))));
+        let t = r.start();
+        clock.advance(10); // fast span: below threshold
+        r.stop(Phase::Checkpoint, t);
+        let t = r.start();
+        clock.advance(75); // slow span
+        r.stop(Phase::Checkpoint, t);
+        assert_eq!(*hits.lock().unwrap(), 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Trace levels, the instrumented phase catalogue, and the
+//! once-per-process environment selection (`TCSM_TRACE`,
+//! `TCSM_SLOW_EVENT_US`).
+
+use std::sync::OnceLock;
+
+/// The instrumented phases of the TCM pipeline. The first four are the
+/// hot per-event phases of `tcsm-core`; the rest are service-level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Fetching the next event/batch from the stream cursor.
+    QueuePop,
+    /// Filter-bank (max-min table) update for one delta.
+    Filter,
+    /// DCS structure apply for one delta.
+    DcsApply,
+    /// The `FindMatches` backtracking sweep (occurred or expired).
+    Sweep,
+    /// One full-service checkpoint write.
+    Checkpoint,
+    /// One full-service restore.
+    Restore,
+    /// One pooled fan-out of a delta unit across the shard set.
+    PoolDispatch,
+}
+
+impl Phase {
+    /// Number of phases (the recorder's histogram table length).
+    pub const COUNT: usize = 7;
+
+    /// Every phase, in stable exposition order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::QueuePop,
+        Phase::Filter,
+        Phase::DcsApply,
+        Phase::Sweep,
+        Phase::Checkpoint,
+        Phase::Restore,
+        Phase::PoolDispatch,
+    ];
+
+    /// Stable dense index (the recorder's table slot).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The snake_case label used in metric label values and slow-event
+    /// log lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::QueuePop => "queue_pop",
+            Phase::Filter => "filter",
+            Phase::DcsApply => "dcs_apply",
+            Phase::Sweep => "sweep",
+            Phase::Checkpoint => "checkpoint",
+            Phase::Restore => "restore",
+            Phase::PoolDispatch => "pool_dispatch",
+        }
+    }
+}
+
+/// How much the recorder records.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceLevel {
+    /// Nothing: `start`/`stop` are a single branch each.
+    #[default]
+    Off,
+    /// Per-phase latency histograms.
+    Counters,
+    /// Histograms plus the bounded span ring and subscriber callbacks.
+    Spans,
+}
+
+impl TraceLevel {
+    /// Is anything recorded at all?
+    #[inline]
+    pub fn enabled(self) -> bool {
+        self != TraceLevel::Off
+    }
+
+    /// Are individual spans kept (ring + subscribers)?
+    #[inline]
+    pub fn spans(self) -> bool {
+        self == TraceLevel::Spans
+    }
+}
+
+/// The `TCSM_TRACE` selection, read once per process (the `TCSM_KERNEL` /
+/// `TCSM_AUDIT` pattern). Unset or unrecognized ⇒ [`TraceLevel::Off`].
+pub fn env_trace_level() -> TraceLevel {
+    static LEVEL: OnceLock<TraceLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        match std::env::var("TCSM_TRACE")
+            .unwrap_or_default()
+            .trim()
+            .to_ascii_lowercase()
+            .as_str()
+        {
+            "counters" => TraceLevel::Counters,
+            "spans" => TraceLevel::Spans,
+            _ => TraceLevel::Off,
+        }
+    })
+}
+
+/// Default slow-event threshold (µs) when `TCSM_SLOW_EVENT_US` is unset.
+pub const DEFAULT_SLOW_EVENT_US: u64 = 100_000;
+
+/// The `TCSM_SLOW_EVENT_US` threshold, read once per process. `0`
+/// disables slow-event logging entirely.
+pub fn env_slow_event_us() -> u64 {
+    static SLOW: OnceLock<u64> = OnceLock::new();
+    *SLOW.get_or_init(|| {
+        std::env::var("TCSM_SLOW_EVENT_US")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(DEFAULT_SLOW_EVENT_US)
+    })
+}
+
+/// The quantiles every exposition reports, with their label values.
+pub const QUANTILES: [(f64, &str); 3] = [(0.50, "0.5"), (0.90, "0.9"), (0.99, "0.99")];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_indices_are_dense_and_stable() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert_eq!(Phase::ALL.len(), Phase::COUNT);
+    }
+
+    #[test]
+    fn level_order() {
+        assert!(TraceLevel::Off < TraceLevel::Counters);
+        assert!(TraceLevel::Counters < TraceLevel::Spans);
+        assert!(!TraceLevel::Off.enabled());
+        assert!(TraceLevel::Counters.enabled());
+        assert!(!TraceLevel::Counters.spans());
+        assert!(TraceLevel::Spans.spans());
+    }
+}

@@ -1,0 +1,120 @@
+//! Property suite for the log-bucketed histogram: merge is associative
+//! and commutative, percentiles are monotone in the quantile, and every
+//! reported percentile is an upper bound within the bucket-scheme error
+//! of some recorded value.
+
+use proptest::prelude::*;
+use tcsm_telemetry::{bucket_bounds, bucket_index, LatencyHistogram, NUM_BUCKETS, SUB_BITS};
+
+/// Durations skewed across binades: unit-range, mid-range and huge values
+/// all occur, so bucket edges and the exact-bucket region are exercised.
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec((0u8..4, any::<u64>()), 0..200).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(sel, v)| match sel {
+                0 => v % 32,
+                1 => 32 + v % 100_000,
+                2 => v >> (v % 40),
+                _ => u64::MAX,
+            })
+            .collect()
+    })
+}
+
+fn hist_of(values: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn assert_same(a: &LatencyHistogram, b: &LatencyHistogram) {
+    assert_eq!(a.count(), b.count());
+    assert_eq!(a.sum(), b.sum());
+    assert_eq!(a.max(), b.max());
+    for i in 0..=100 {
+        let q = i as f64 / 100.0;
+        assert_eq!(a.percentile(q), b.percentile(q), "q={q}");
+    }
+}
+
+proptest! {
+    /// (a ∪ b) ∪ c answers exactly like a ∪ (b ∪ c).
+    #[test]
+    fn merge_is_associative(a in arb_values(), b in arb_values(), c in arb_values()) {
+        let mut left = hist_of(&a);
+        left.merge(&hist_of(&b));
+        left.merge(&hist_of(&c));
+        let mut bc = hist_of(&b);
+        bc.merge(&hist_of(&c));
+        let mut right = hist_of(&a);
+        right.merge(&bc);
+        assert_same(&left, &right);
+    }
+
+    /// a ∪ b answers exactly like b ∪ a, and like recording both streams
+    /// into one histogram.
+    #[test]
+    fn merge_is_commutative(a in arb_values(), b in arb_values()) {
+        let mut ab = hist_of(&a);
+        ab.merge(&hist_of(&b));
+        let mut ba = hist_of(&b);
+        ba.merge(&hist_of(&a));
+        assert_same(&ab, &ba);
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        assert_same(&ab, &hist_of(&all));
+    }
+
+    /// Percentiles never decrease as the quantile grows, and p(1) is the
+    /// exact maximum.
+    #[test]
+    fn percentiles_are_monotone(values in arb_values()) {
+        let h = hist_of(&values);
+        let mut prev = 0u64;
+        for i in 0..=100 {
+            let p = h.percentile(i as f64 / 100.0);
+            prop_assert!(p >= prev, "p({i}%) = {p} < p({}%) = {prev}", i - 1);
+            prev = p;
+        }
+        prop_assert_eq!(h.percentile(1.0), values.iter().copied().max().unwrap_or(0));
+    }
+
+    /// Every reported percentile brackets the true rank value: it is ≥
+    /// the exact sample at that rank and ≤ that sample's bucket upper
+    /// bound (the ≤ 2^-SUB_BITS relative-error contract).
+    #[test]
+    fn percentiles_bound_the_exact_rank(values in arb_values(), qi in 0usize..100) {
+        if values.is_empty() {
+            return Ok(());
+        }
+        let h = hist_of(&values);
+        let q = qi as f64 / 100.0;
+        let p = h.percentile(q);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        prop_assert!(p >= exact, "p({q}) = {p} < exact rank value {exact}");
+        prop_assert!(
+            p <= bucket_bounds(bucket_index(exact)).1,
+            "p({q}) = {p} beyond the bucket of {exact}"
+        );
+    }
+
+    /// The index/bounds pair invert each other over the whole domain.
+    #[test]
+    fn bucket_bounds_invert_index(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi);
+        // The scheme's error bound: bucket width ≤ lo >> SUB_BITS.
+        if lo >= 1 << SUB_BITS {
+            prop_assert!(hi - lo < (lo >> SUB_BITS).max(1));
+        } else {
+            prop_assert_eq!(lo, hi);
+        }
+    }
+}

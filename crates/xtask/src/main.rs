@@ -28,6 +28,13 @@
 //!   narrowed to `u32`) corrupts bytes that a checksum then faithfully
 //!   certifies. Conversions must be `From`/`TryFrom` with a typed error or
 //!   a documented `expect`.
+//! * **`instant-now`** — no `Instant::now()` outside
+//!   `tcsm-telemetry`'s clock module. All phase timing must flow through
+//!   the [`tcsm_telemetry::Clock`] trait so tests can inject a
+//!   deterministic `ManualClock`; a stray `Instant::now()` is a
+//!   measurement the telemetry layer cannot see, merge, or make
+//!   deterministic. The one sanctioned call (the `SystemClock` origin)
+//!   carries a waiver.
 //! * **`codec-shape`** — a FORMAT_VERSION tripwire. A golden fingerprint
 //!   (FNV-1a over every non-test source line that touches a codec
 //!   primitive — `put_*`/`get_*`/`section(`/`encode_frame` — across the
@@ -54,6 +61,7 @@ use std::process::ExitCode;
 /// Crates whose `src/` trees are scanned at all (rule scopes narrow this).
 const SCANNED_CRATES: &[&str] = &[
     "graph",
+    "telemetry",
     "dag",
     "filter",
     "dcs",
@@ -538,6 +546,14 @@ fn check_file(krate: &str, rel: &str, scan: &FileScan, violations: &mut Vec<Stri
             violations.push(format!(
                 "{rel}:{lineno}: [default-hasher] std `HashMap`/`HashSet` in a hot-path \
                  crate — use `tcsm_graph::fx::{{FxHashMap, FxHashSet}}`"
+            ));
+        }
+
+        if line.code.contains("Instant::now(") && !allowed(scan, idx, "instant-now") {
+            violations.push(format!(
+                "{rel}:{lineno}: [instant-now] `Instant::now()` outside the telemetry \
+                 clock — read time through `tcsm_telemetry::Clock` (inject a \
+                 `ManualClock` in tests) so timings stay deterministic and mergeable"
             ));
         }
 

@@ -83,6 +83,7 @@ fn main() {
     let server_cfg = ServerConfig {
         checkpoint_dir: Some(dir.clone()),
         autorun: false,
+        metrics_addr: None,
     };
 
     // ---- Phase 1: fresh daemon, admit, stream half, checkpoint, kill.

@@ -17,6 +17,7 @@
 //! | [`core`] | `tcsm-core` | the `TcmEngine` + `FindMatches` with §V pruning |
 //! | [`service`] | `tcsm-service` | sharded multi-query service, shared per-shard windows |
 //! | [`server`] | `tcsm-server` | `tcsm-serviced` network daemon, wire protocol, client |
+//! | [`telemetry`] | `tcsm-telemetry` | phase tracing, latency histograms, metrics exposition |
 //! | [`baselines`] | `tcsm-baselines` | oracle, RapidFlow-lite, Timing-join |
 //! | [`datasets`] | `tcsm-datasets` | Table III profiles + query generator |
 //!
@@ -71,6 +72,37 @@
 //! grammar and payload layouts live on [`server`]'s crate docs and its
 //! `wire` module; the loopback [`server::Client`] is both the test
 //! harness and a minimal embedding API.
+//!
+//! ## Observability
+//!
+//! The [`telemetry`] crate times the pipeline's hot phases — queue pop,
+//! filter-bank update, DCS apply, the `FindMatches` sweep, plus
+//! checkpoint/restore and pool dispatch — into log-bucketed latency
+//! histograms (bucket scheme and error bound on [`telemetry`]'s crate
+//! docs). Tracing is selected per process:
+//!
+//! * `TCSM_TRACE=off` (default) — disabled; each instrumented site costs
+//!   a single branch and semantics are untouched (the differential suites
+//!   run byte-identically at every level);
+//! * `TCSM_TRACE=counters` — per-phase latency histograms;
+//! * `TCSM_TRACE=spans` — histograms plus a bounded span ring and
+//!   pluggable subscribers;
+//! * `TCSM_SLOW_EVENT_US=N` — any phase span at least `N` µs long logs a
+//!   structured `tcsm-slow` line on stderr (any level except `off`).
+//!
+//! Timing is *observational only*: it never enters
+//! [`EngineStats`](core::EngineStats) semantics or checkpoint bytes.
+//! The daemon exposes everything as Prometheus-style text — per-service,
+//! per-shard (`scope="shard0"`), and per-query (`scope="q3"`) phase
+//! quantiles plus the service counters — via the `metrics` wire op
+//! ([`server::Client::metrics`]) and, with `--metrics-addr HOST:PORT`, a
+//! plaintext TCP endpoint serving one exposition per connection:
+//!
+//! ```sh
+//! TCSM_TRACE=counters cargo run --release -p tcsm-server --bin tcsm-serviced -- \
+//!     --input crates/datasets/fixtures/mini-snap.txt --metrics-addr 127.0.0.1:9184 &
+//! nc 127.0.0.1 9184   # one scrape, parseable by telemetry::parse_exposition
+//! ```
 
 pub use tcsm_baselines as baselines;
 pub use tcsm_core as core;
@@ -81,6 +113,7 @@ pub use tcsm_filter as filter;
 pub use tcsm_graph as graph;
 pub use tcsm_server as server;
 pub use tcsm_service as service;
+pub use tcsm_telemetry as telemetry;
 
 /// The most common imports in one place.
 pub mod prelude {
